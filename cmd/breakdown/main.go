@@ -1,0 +1,38 @@
+// Command breakdown regenerates the paper's per-layer latency
+// decompositions: Table 2 (transmit side) and Table 3 (receive side),
+// with the published values printed alongside for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		side  = flag.String("side", "both", "which table: tx, rx, or both")
+		iters = flag.Int("iters", 100, "measured iterations per size")
+	)
+	flag.Parse()
+	opts := core.Options{Iterations: *iters, Warmup: 8}
+
+	if *side == "tx" || *side == "both" {
+		r, err := core.RunTable2(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "breakdown:", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Render())
+	}
+	if *side == "rx" || *side == "both" {
+		r, err := core.RunTable3(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "breakdown:", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Render())
+	}
+}

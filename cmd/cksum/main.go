@@ -1,0 +1,33 @@
+// Command cksum regenerates the user-level copy and checksum study
+// (Table 5 / Figure 2) and the §3 PCB lookup experiment. The checksum
+// routines execute for real over random buffers; the reported times come
+// from the DECstation 5000/200 cost calibration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	pcb := flag.Bool("pcb", true, "include the PCB lookup experiment")
+	sun := flag.Bool("sun3", true, "include the §4.1 Sun-3 comparison")
+	flag.Parse()
+
+	r, err := core.RunTable5()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cksum:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r.Render())
+
+	if *pcb {
+		fmt.Println(core.RunPCBExperiment().Render())
+	}
+	if *sun {
+		fmt.Println(core.RunSun3Comparison().Render())
+	}
+}

@@ -1,0 +1,39 @@
+// Command tables regenerates every table and figure in the paper's
+// evaluation — Tables 1 through 7, the §3 PCB study, Figures 1 and 2 —
+// with published values alongside measured ones, and optionally writes
+// the result to a file (the content of EXPERIMENTS.md's data section).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		iters   = flag.Int("iters", 100, "measured iterations per configuration")
+		out     = flag.String("o", "", "also write the report to this file")
+		figures = flag.Bool("figures", true, "render ASCII figures 1 and 2")
+	)
+	flag.Parse()
+
+	rep, err := core.RunAll(core.Options{Iterations: *iters, Warmup: 8})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	text := rep.Render()
+	if *figures {
+		text += "\n" + core.RenderFigure1(rep.Table4) + "\n" + core.RenderFigure2(rep.Table5)
+	}
+	fmt.Print(text)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+	}
+}

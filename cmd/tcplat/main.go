@@ -1,0 +1,88 @@
+// Command tcplat runs one round-trip latency experiment on the simulated
+// testbed: the echo benchmark of §1.2 under a chosen link, checksum mode,
+// header-prediction setting, and transfer size.
+//
+// Examples:
+//
+//	tcplat -size 4                         # baseline ATM, 4-byte echo
+//	tcplat -link ether -size 1400          # Ethernet comparison point
+//	tcplat -mode none -size 8000           # checksum eliminated
+//	tcplat -nopred -size 200               # header prediction disabled
+//	tcplat -sweep                          # all paper sizes at once
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/lab"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		size   = flag.Int("size", 4, "transfer size in bytes")
+		link   = flag.String("link", "atm", "link type: atm or ether")
+		mode   = flag.String("mode", "standard", "checksum mode: standard, integrated, or none")
+		noPred = flag.Bool("nopred", false, "disable header prediction (PCB cache + fast path)")
+		hash   = flag.Bool("hashpcb", false, "use the hash-table PCB organization")
+		pcbs   = flag.Int("pcbs", 0, "extra idle PCBs inserted ahead of the benchmark connection")
+		loss   = flag.Float64("loss", 0, "ATM cell loss probability")
+		iters  = flag.Int("iters", 100, "measured iterations")
+		warmup = flag.Int("warmup", 8, "warm-up iterations")
+		seed   = flag.Uint64("seed", 0, "simulation RNG seed")
+		sweep  = flag.Bool("sweep", false, "run every paper transfer size")
+	)
+	flag.Parse()
+
+	cfg := lab.Config{
+		DisablePrediction: *noPred,
+		HashPCBs:          *hash,
+		ExtraPCBs:         *pcbs,
+		CellLossRate:      *loss,
+		Seed:              *seed,
+	}
+	switch *link {
+	case "atm":
+		cfg.Link = lab.LinkATM
+	case "ether":
+		cfg.Link = lab.LinkEther
+	default:
+		fmt.Fprintf(os.Stderr, "tcplat: unknown link %q\n", *link)
+		os.Exit(2)
+	}
+	switch *mode {
+	case "standard":
+		cfg.Mode = cost.ChecksumStandard
+	case "integrated":
+		cfg.Mode = cost.ChecksumIntegrated
+	case "none":
+		cfg.Mode = cost.ChecksumNone
+	default:
+		fmt.Fprintf(os.Stderr, "tcplat: unknown checksum mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	opts := core.Options{Iterations: *iters, Warmup: *warmup}
+	sizes := []int{*size}
+	if *sweep {
+		sizes = core.Sizes
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Round-trip latency: %s link, %s checksum, prediction %v",
+			cfg.Link, cfg.Mode, !cfg.DisablePrediction),
+		"Size", "RTT (µs)")
+	for _, s := range sizes {
+		rtt, err := core.MeasureRTT(cfg, s, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcplat: size %d: %v\n", s, err)
+			os.Exit(1)
+		}
+		t.AddRow(s, rtt)
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "Latency Analysis of TCP on an ATM Network"
+// (Wolman, Voelker, Thekkath; USENIX Winter 1994) as a deterministic
+// discrete-event simulation of the paper's entire testbed: BSD 4.4 alpha
+// TCP, the ULTRIX socket layer and mbufs, IP, the FORE TCA-100 ATM
+// adapter with AAL3/4, a LANCE Ethernet, and the DECstation 5000/200 cost
+// model the latencies are calibrated against.
+//
+// The library lives under internal/; see README.md for the layout,
+// DESIGN.md for the system inventory and substitutions, and EXPERIMENTS.md
+// for paper-versus-measured results. The benchmarks in bench_test.go
+// regenerate every table and figure in the paper's evaluation.
+package repro

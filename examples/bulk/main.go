@@ -1,0 +1,88 @@
+// Bulk: unidirectional transfer, the workload header prediction was
+// designed for — and the contrast with the RPC example.
+//
+// The sender streams data one way; the receiver sees pure in-sequence
+// data segments (fast path case b), the sender sees pure ACKs (case a).
+// The example also demonstrates the famous TCP-over-ATM effect this
+// substrate reproduces: the receive path processes cells at ~10 µs each
+// while the 140 Mb/s TAXI wire delivers one every ~3 µs, so large bursts
+// overflow the 292-cell receive FIFO, lose cells, and force TCP loss
+// recovery (the Romanow/Floyd problem, contemporary with the paper).
+//
+// Run with: go run ./examples/bulk
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/lab"
+	"repro/internal/sim"
+)
+
+func main() {
+	const total = 500 * 1000 // half a megabyte, one direction
+
+	cfg := lab.Config{Link: lab.LinkATM}
+	l := lab.New(cfg)
+
+	ln, err := l.Server.TCP.Listen(9000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var received int
+	l.Env.Spawn("sink", func(p *sim.Proc) {
+		so, _ := ln.Accept(p)
+		buf := make([]byte, 8192)
+		for received < total {
+			n, err := so.Recv(p, buf)
+			if err != nil || n == 0 {
+				return
+			}
+			received += n
+		}
+	})
+
+	var start, end sim.Time
+	l.Env.Spawn("source", func(p *sim.Proc) {
+		so, conn, err := l.Client.TCP.Connect(p, lab.ServerAddr, 9000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conn.SetNoDelay(true)
+		payload := make([]byte, total)
+		l.Env.RNG().Fill(payload)
+		start = l.Env.Now()
+		if _, err := so.Send(p, payload); err != nil {
+			log.Fatal(err)
+		}
+		end = l.Env.Now()
+		so.Close(p)
+	})
+	l.Env.Run()
+
+	if received != total {
+		log.Fatalf("received %d of %d bytes", received, total)
+	}
+	elapsed := end - start
+	mbps := float64(total) * 8 / (float64(elapsed) / 1e9) / 1e6
+
+	cs, ss := l.Client.TCP.Stats, l.Server.TCP.Stats
+	fmt.Printf("Transferred %d bytes in %.1f ms: %.1f Mb/s\n", total, elapsed.Millis(), mbps)
+	fmt.Println()
+	fmt.Println("Header prediction on unidirectional traffic:")
+	fmt.Printf("  receiver fast path (data) %6d segments\n", ss.FastPathData)
+	fmt.Printf("  sender fast path (ACK)    %6d segments\n", cs.FastPathAck)
+	fmt.Printf("  slow path (both hosts)    %6d segments\n", cs.SlowPath+ss.SlowPath)
+	fmt.Println()
+	fmt.Println("TCP-over-ATM cell loss at the receive FIFO:")
+	fmt.Printf("  cells dropped             %6d\n", l.Server.ATMAdapter.CellsDropped)
+	fmt.Printf("  AAL3/4 reassembly errors  %6d\n", l.Server.ATMDriver.ReassemblyErrors)
+	fmt.Printf("  TCP retransmissions       %6d (timer) + %d (fast retransmit)\n",
+		cs.Retransmits, cs.FastRetransmits)
+	fmt.Println()
+	fmt.Println("The wire runs at 140 Mb/s but goodput is driver-limited: the")
+	fmt.Println("receive path costs ~10 µs/cell of CPU, i.e. ~35 Mb/s sustained,")
+	fmt.Println("and bursts beyond the 292-cell FIFO are lost — why 1994 TCP/ATM")
+	fmt.Println("deployments saw throughput collapse without link flow control.")
+}

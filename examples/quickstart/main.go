@@ -1,0 +1,52 @@
+// Quickstart: build the paper's testbed — two simulated DECstation
+// 5000/200s joined by FORE TCA-100 ATM adapters — run one round-trip echo
+// measurement, and print the transmit- and receive-side latency
+// breakdowns for a 200-byte transfer.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/lab"
+)
+
+func main() {
+	// A Config describes one experimental setup; the zero value plus a
+	// link choice is the paper's baseline (BSD 4.4 alpha TCP, standard
+	// checksum, header prediction on).
+	cfg := lab.Config{Link: lab.LinkATM}
+
+	// Measure the mean round-trip time of a 200-byte echo, the way the
+	// paper does: repeated send/receive pairs on one connection.
+	l := lab.New(cfg)
+	res, err := l.RunEcho(200, 50, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("200-byte round trip over %s: %.1f µs (paper: 1520 µs)\n\n",
+		cfg.Link, res.MeanRTTMicros())
+
+	// Decompose the latency by protocol layer, reproducing the paper's
+	// Tables 2 and 3 for this size.
+	tx, rx, err := core.MeasureBreakdowns(cfg, 200, 50, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Transmit side (write syscall → last byte at the adapter):")
+	for i, layer := range core.TxLayers {
+		label := []string{"User", "TCP.checksum", "TCP.mcopy", "TCP.segment", "IP", "ATM"}[i]
+		fmt.Printf("  %-13s %7.1f µs\n", label, tx.Rows[layer])
+	}
+	fmt.Printf("  %-13s %7.1f µs\n\n", "Total", tx.Total)
+
+	fmt.Println("Receive side (last cell arrival → read returns):")
+	for i, layer := range core.RxLayers {
+		label := []string{"ATM", "IPQ", "IP", "TCP.checksum", "TCP.segment", "Wakeup", "User"}[i]
+		fmt.Printf("  %-13s %7.1f µs\n", label, rx.Rows[layer])
+	}
+	fmt.Printf("  %-13s %7.1f µs\n", "Total", rx.Total)
+}

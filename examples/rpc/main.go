@@ -1,0 +1,59 @@
+// RPC: demonstrates the paper's central header-prediction finding (§3).
+//
+// A round-trip RPC exchange carries data with a piggybacked ACK in every
+// segment, which fails BSD's header-prediction predicates — the fast path
+// was built for unidirectional transfer. This example runs the same
+// request/response workload on two kernels (prediction on and off),
+// prints the fast-path hit counters to show the path is simply never
+// taken, and shows the latency difference is only the PCB cache.
+//
+// Run with: go run ./examples/rpc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/lab"
+)
+
+func run(disablePrediction bool) (rttMicros float64, fastData, fastAck, slow, cacheHits int64) {
+	cfg := lab.Config{Link: lab.LinkATM, DisablePrediction: disablePrediction}
+	l := lab.New(cfg)
+	res, err := l.RunEcho(80, 100, 10) // 80-byte RPC-sized messages
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := l.Client.TCP.Stats
+	sv := l.Server.TCP.Stats
+	return res.MeanRTTMicros(),
+		st.FastPathData + sv.FastPathData,
+		st.FastPathAck + sv.FastPathAck,
+		st.SlowPath + sv.SlowPath,
+		st.PCBCacheHits + sv.PCBCacheHits
+}
+
+func main() {
+	fmt.Println("80-byte RPC-style echo, 100 round trips over simulated ATM")
+	fmt.Println()
+
+	rtt, fd, fa, slow, hits := run(false)
+	fmt.Println("Kernel with header prediction enabled:")
+	fmt.Printf("  mean RTT          %8.1f µs\n", rtt)
+	fmt.Printf("  fast path (data)  %8d   <- fails for RPC: every segment\n", fd)
+	fmt.Printf("  fast path (ACK)   %8d      carries data AND acks new data\n", fa)
+	fmt.Printf("  slow path         %8d\n", slow)
+	fmt.Printf("  PCB cache hits    %8d   <- the only part that helps\n", hits)
+	fmt.Println()
+
+	rtt2, _, _, slow2, hits2 := run(true)
+	fmt.Println("Kernel with header prediction disabled (the paper's §3 experiment):")
+	fmt.Printf("  mean RTT          %8.1f µs\n", rtt2)
+	fmt.Printf("  slow path         %8d\n", slow2)
+	fmt.Printf("  PCB cache hits    %8d\n", hits2)
+	fmt.Println()
+
+	fmt.Printf("Prediction saves %.1f%% for RPC traffic (paper: ~3%% at 80 bytes,\n",
+		(rtt2-rtt)/rtt2*100)
+	fmt.Println("attributed to the PCB cache, not the fast path).")
+}

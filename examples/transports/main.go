@@ -1,0 +1,37 @@
+// Transports: the paper's introductory question — "Can we provide
+// evidence that TCP is a viable option for a transport layer for RPC?" —
+// answered by racing the same echo workload over TCP and over UDP (the
+// datagram transport an RPC system would otherwise use) on the same
+// simulated ATM testbed.
+//
+// Run with: go run ./examples/transports
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+func main() {
+	r, err := core.RunTransportComparison(cost.ChecksumStandard,
+		core.Options{Iterations: 50, Warmup: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(r.Render())
+	fmt.Println()
+
+	// The same comparison with checksums eliminated on both transports
+	// (UDP's has been optional since RFC 768; TCP's via the negotiated
+	// elimination of §4.2): the gap narrows further because the
+	// remaining costs are mostly shared data movement.
+	r2, err := core.RunTransportComparison(cost.ChecksumNone,
+		core.Options{Iterations: 50, Warmup: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(r2.Render())
+}

@@ -1,0 +1,243 @@
+package atm
+
+import "fmt"
+
+// AAL3/4 segmentation and reassembly, the adaptation layer the paper's
+// driver and adapter implement ("the ATM driver and adapter implement the
+// Class 3/4 ATM Adaptation Layer (AAL), which is responsible for all
+// segmentation and reassembly of datagrams and the detection of
+// transmission errors and dropped cells", §1.1).
+//
+// Each 48-byte SAR-PDU is: 2 bytes of header (segment type, sequence
+// number, multiplexing ID), 44 bytes of payload, 2 bytes of trailer
+// (length indicator, CRC-10). The CPCS-PDU wraps the user datagram in a
+// 4-byte header (CPI, Btag, BASize) and 4-byte trailer (AL, Etag, Length),
+// padded to a 4-byte boundary.
+
+// Segment types in the SAR header.
+const (
+	segBOM = 0x2 // beginning of message
+	segCOM = 0x0 // continuation of message
+	segEOM = 0x1 // end of message
+	segSSM = 0x3 // single-segment message
+)
+
+// SARPayload is the per-cell AAL3/4 payload capacity.
+const SARPayload = 44
+
+// cpcsOverhead is the CPCS-PDU header plus trailer.
+const cpcsOverhead = 8
+
+// MaxDatagram is the largest user datagram AAL3/4 will carry here. The
+// TCA-100's MTU is just over 9 KB ("also close to our ATM MTU of 9K").
+const MaxDatagram = 9188
+
+// crc10 computes the AAL3/4 CRC-10 (polynomial x^10+x^9+x^5+x^4+x+1,
+// 0x633) over b.
+func crc10(b []byte) uint16 {
+	var crc uint16
+	for _, v := range b {
+		crc ^= uint16(v) << 2
+		for i := 0; i < 8; i++ {
+			if crc&0x200 != 0 {
+				crc = crc<<1 ^ 0x233
+			} else {
+				crc <<= 1
+			}
+		}
+		crc &= 0x3ff
+	}
+	return crc
+}
+
+// CellsForDatagram returns how many cells a datagram of n bytes occupies
+// after CPCS encapsulation, the quantity the driver's per-cell costs
+// scale with.
+func CellsForDatagram(n int) int {
+	padded := (n + 3) &^ 3
+	total := padded + cpcsOverhead
+	return (total + SARPayload - 1) / SARPayload
+}
+
+// Segmenter turns datagrams into cells on one virtual channel.
+type Segmenter struct {
+	VCI  uint16
+	MID  uint16
+	btag uint8
+	sn   uint8
+}
+
+// Segment encapsulates data in a CPCS-PDU and returns its cells in
+// transmission order. Every call uses a fresh Btag so that interleaved or
+// lost frames cannot be spliced together undetected.
+func (s *Segmenter) Segment(data []byte) []Cell {
+	if len(data) > MaxDatagram {
+		panic(fmt.Sprintf("atm: datagram of %d bytes exceeds AAL3/4 maximum %d", len(data), MaxDatagram))
+	}
+	s.btag++
+	padded := (len(data) + 3) &^ 3
+	pdu := make([]byte, padded+cpcsOverhead)
+	// CPCS header: CPI, Btag, BASize.
+	pdu[0] = 0
+	pdu[1] = s.btag
+	pdu[2] = byte(padded >> 8)
+	pdu[3] = byte(padded)
+	copy(pdu[4:], data)
+	// CPCS trailer: AL, Etag, Length.
+	t := pdu[len(pdu)-4:]
+	t[0] = 0
+	t[1] = s.btag
+	t[2] = byte(len(data) >> 8)
+	t[3] = byte(len(data))
+
+	n := (len(pdu) + SARPayload - 1) / SARPayload
+	cells := make([]Cell, n)
+	for i := 0; i < n; i++ {
+		st := byte(segCOM)
+		switch {
+		case n == 1:
+			st = segSSM
+		case i == 0:
+			st = segBOM
+		case i == n-1:
+			st = segEOM
+		}
+		chunk := pdu[i*SARPayload:]
+		li := SARPayload
+		if len(chunk) < SARPayload {
+			li = len(chunk)
+		} else {
+			chunk = chunk[:SARPayload]
+		}
+		c := &cells[i]
+		CellHeader{VCI: s.VCI, PT: 0}.Marshal(c)
+		p := c.Payload()
+		// SAR header: ST(2) SN(4) MID(10).
+		p[0] = st<<6 | (s.sn&0xf)<<2 | byte(s.MID>>8)
+		p[1] = byte(s.MID)
+		s.sn = (s.sn + 1) & 0xf
+		copy(p[2:2+SARPayload], chunk)
+		for j := 2 + li; j < 2+SARPayload; j++ {
+			p[j] = 0
+		}
+		// SAR trailer: LI(6) CRC10(10), CRC computed over the payload
+		// with the CRC field zeroed.
+		p[46] = byte(li) << 2
+		p[47] = 0
+		crc := crc10(p)
+		p[46] |= byte(crc >> 8)
+		p[47] = byte(crc)
+	}
+	return cells
+}
+
+// ReassemblyError describes why a frame was discarded.
+type ReassemblyError struct{ Reason string }
+
+func (e *ReassemblyError) Error() string { return "atm: reassembly: " + e.Reason }
+
+// Reassembler rebuilds datagrams from cells on one virtual channel. Cells
+// from the adapter are pushed in arrival order; a completed datagram or a
+// reassembly error is returned when a frame ends.
+type Reassembler struct {
+	buf    []byte
+	active bool
+	sn     uint8
+	haveSN bool
+	// Errors counts discarded frames, the quantity the paper's error
+	// discussion (§4.2.1) cares about.
+	Errors int64
+}
+
+// Push processes one cell. It returns (datagram, nil) when a frame
+// completes, (nil, error) when a frame is discarded, and (nil, nil) when
+// more cells are needed. Detection is real: sequence-number gaps from
+// dropped cells, CRC-10 failures from corruption, and Btag/Etag or length
+// mismatches from spliced frames all surface here, exactly the failures
+// AAL3/4 exists to catch.
+func (r *Reassembler) Push(c *Cell) ([]byte, error) {
+	p := c.Payload()
+	// Validate the CRC-10: recompute over the payload with the CRC bits
+	// zeroed and compare against the stored value.
+	stored := uint16(p[46]&0x3)<<8 | uint16(p[47])
+	var tmp [PayloadSize]byte
+	copy(tmp[:], p)
+	tmp[46] &^= 0x3
+	tmp[47] = 0
+	if crc10(tmp[:]) != stored {
+		r.drop()
+		return nil, &ReassemblyError{Reason: "CRC-10 mismatch"}
+	}
+	st := p[0] >> 6
+	sn := p[0] >> 2 & 0xf
+	li := int(p[46] >> 2)
+	if li > SARPayload {
+		r.drop()
+		return nil, &ReassemblyError{Reason: "bad length indicator"}
+	}
+	if r.haveSN && sn != (r.sn+1)&0xf {
+		r.drop()
+		r.sn, r.haveSN = sn, true
+		return nil, &ReassemblyError{Reason: "sequence gap (lost cell)"}
+	}
+	r.sn, r.haveSN = sn, true
+
+	switch st {
+	case segBOM, segSSM:
+		if r.active {
+			r.Errors++ // previous frame never finished
+		}
+		r.buf = r.buf[:0]
+		r.active = true
+	case segCOM, segEOM:
+		if !r.active {
+			r.drop()
+			return nil, &ReassemblyError{Reason: "continuation without beginning"}
+		}
+	}
+	r.buf = append(r.buf, p[2:2+li]...)
+	if st == segEOM || st == segSSM {
+		r.active = false
+		return r.finish()
+	}
+	return nil, nil
+}
+
+// drop abandons any partial frame.
+func (r *Reassembler) drop() {
+	if r.active {
+		r.active = false
+		r.buf = r.buf[:0]
+	}
+	r.Errors++
+}
+
+// finish validates the completed CPCS-PDU and extracts the datagram.
+func (r *Reassembler) finish() ([]byte, error) {
+	pdu := r.buf
+	if len(pdu) < cpcsOverhead {
+		r.Errors++
+		return nil, &ReassemblyError{Reason: "short CPCS-PDU"}
+	}
+	btag := pdu[1]
+	baSize := int(pdu[2])<<8 | int(pdu[3])
+	t := pdu[len(pdu)-4:]
+	etag := t[1]
+	length := int(t[2])<<8 | int(t[3])
+	if btag != etag {
+		r.Errors++
+		return nil, &ReassemblyError{Reason: "Btag/Etag mismatch"}
+	}
+	if baSize != len(pdu)-cpcsOverhead {
+		r.Errors++
+		return nil, &ReassemblyError{Reason: "BASize mismatch"}
+	}
+	if length > len(pdu)-cpcsOverhead {
+		r.Errors++
+		return nil, &ReassemblyError{Reason: "length exceeds PDU"}
+	}
+	out := make([]byte, length)
+	copy(out, pdu[4:4+length])
+	r.buf = r.buf[:0]
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package atm
+
+import (
+	"repro/internal/cost"
+	"repro/internal/kern"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FIFO capacities of the FORE TCA-100 (§1.1: "a memory mapped receive
+// FIFO that stores up to 292 53-byte ATM cells, and a similar transmit
+// FIFO that stores up to 36 cells").
+const (
+	TxFIFOCells = 36
+	RxFIFOCells = 292
+)
+
+// RxDrainThreshold is the FIFO occupancy at which the adapter raises a
+// receive interrupt even without a completed frame. Without it, a burst
+// that overflows the FIFO and loses an end-of-frame cell would leave the
+// FIFO permanently full and the driver permanently asleep; real adapters
+// interrupt on occupancy thresholds for exactly this reason.
+const RxDrainThreshold = 200
+
+// Adapter models one TCA-100: the transmit FIFO feeding the wire and the
+// receive FIFO filled from the wire. The transmit engine "starts reading
+// from the transmit FIFO as soon as there is one complete cell in the
+// FIFO" — there is no send doorbell; pushing a cell is the trigger.
+type Adapter struct {
+	K    *kern.Kernel
+	peer *Adapter
+
+	txCount       int      // cells currently in the transmit FIFO
+	wireBusy      sim.Time // when the transmit engine finishes its current cell
+	rxFIFO        []Cell
+	framesPending int // frame-ending cells in the FIFO not yet consumed
+
+	// SpaceAvail is woken each time the transmit engine drains a cell,
+	// unblocking a driver waiting for FIFO space.
+	SpaceAvail *sim.WaitQueue
+	// RxReady is woken when a frame-ending cell lands in the receive
+	// FIFO: the adapter's receive interrupt.
+	RxReady *sim.WaitQueue
+
+	// LossRate drops each wire cell with this probability (fault
+	// injection; the paper notes "the ATM network does not guarantee
+	// freedom from cell loss").
+	LossRate float64
+	// DropNext forces the next wire cell to be lost, for deterministic
+	// loss tests.
+	DropNext bool
+	// CorruptRate flips one random bit of each arriving cell with this
+	// probability — link noise for the §4.2.1 error study. Header bits
+	// are caught by the HEC, payload bits by the AAL3/4 CRC-10.
+	CorruptRate float64
+
+	// Counters.
+	CellsSent      int64
+	CellsDropped   int64 // lost on the wire or to a full receive FIFO
+	CellsCorrupted int64
+	RxOverflows    int64
+}
+
+// NewAdapter returns an adapter attached to the given host kernel.
+func NewAdapter(k *kern.Kernel) *Adapter {
+	return &Adapter{
+		K:          k,
+		SpaceAvail: k.Env.NewWaitQueue(k.Name + ".atm.space"),
+		RxReady:    k.Env.NewWaitQueue(k.Name + ".atm.rx"),
+	}
+}
+
+// Connect joins two adapters with a duplex fiber.
+func Connect(a, b *Adapter) {
+	a.peer = b
+	b.peer = a
+}
+
+// CellTime returns the wire occupancy of one cell at the model's TAXI
+// link rate.
+func (a *Adapter) CellTime() sim.Time {
+	return cost.WireTime(CellSize, a.K.Cost.ATMLinkBitsPS)
+}
+
+// TxSpace returns the free cell slots in the transmit FIFO.
+func (a *Adapter) TxSpace() int { return TxFIFOCells - a.txCount }
+
+// PushTx places one cell in the transmit FIFO. The caller (the driver)
+// must have verified TxSpace; pushing into a full FIFO panics because on
+// the real hardware it would corrupt the frame.
+func (a *Adapter) PushTx(c Cell) {
+	if a.txCount >= TxFIFOCells {
+		panic("atm: transmit FIFO overflow")
+	}
+	a.txCount++
+	env := a.K.Env
+	start := env.Now()
+	if a.wireBusy > start {
+		start = a.wireBusy
+	}
+	end := start + a.CellTime()
+	a.wireBusy = end
+	a.CellsSent++
+	env.At(end, "atm.cellout", func() {
+		a.txCount--
+		a.SpaceAvail.WakeAll()
+		prop := a.K.Cost.ATMPropagation
+		cc := c
+		env.After(prop, "atm.cellin", func() { a.peer.receive(cc) })
+	})
+}
+
+// receive handles a cell arriving from the wire.
+func (a *Adapter) receive(c Cell) {
+	if a.DropNext {
+		a.DropNext = false
+		a.CellsDropped++
+		return
+	}
+	if a.LossRate > 0 && a.K.Env.RNG().Bool(a.LossRate) {
+		a.CellsDropped++
+		return
+	}
+	if a.CorruptRate > 0 && a.K.Env.RNG().Bool(a.CorruptRate) {
+		bit := a.K.Env.RNG().Intn(CellSize * 8)
+		c[bit/8] ^= 1 << (bit % 8)
+		a.CellsCorrupted++
+	}
+	if len(a.rxFIFO) >= RxFIFOCells {
+		a.RxOverflows++
+		a.CellsDropped++
+		return
+	}
+	a.rxFIFO = append(a.rxFIFO, c)
+	if IsFrameEnd(&c) {
+		// Frame-ending cell: record the paper's receive-measurement
+		// origin ("the arrival of the last group of ATM cells
+		// comprising the last TCP segment") and raise the interrupt.
+		a.framesPending++
+		a.K.Trace.Mark(trace.MarkFrameArrival, a.K.Env.Now())
+		a.RxReady.Wake()
+	} else if len(a.rxFIFO) >= RxDrainThreshold {
+		// Occupancy interrupt: make the driver drain before overflow.
+		a.RxReady.Wake()
+	}
+}
+
+// IsFrameEnd reports whether the cell's segment type terminates an AAL3/4
+// frame (EOM or SSM). The adapter interrupts per frame, not per cell.
+func IsFrameEnd(c *Cell) bool {
+	st := c.Payload()[0] >> 6
+	return st == segEOM || st == segSSM
+}
+
+// FramesPending returns the number of complete frames whose cells are
+// waiting in the receive FIFO.
+func (a *Adapter) FramesPending() int { return a.framesPending }
+
+// ConsumeFrameEnd is called by the driver when it pops a frame-ending
+// cell, balancing the count incremented on arrival.
+func (a *Adapter) ConsumeFrameEnd() {
+	a.framesPending--
+	if a.framesPending < 0 {
+		panic("atm: frame-pending underflow")
+	}
+}
+
+// RxAvail returns the number of cells waiting in the receive FIFO.
+func (a *Adapter) RxAvail() int { return len(a.rxFIFO) }
+
+// PopRx removes and returns the oldest cell in the receive FIFO.
+func (a *Adapter) PopRx() (Cell, bool) {
+	if len(a.rxFIFO) == 0 {
+		return Cell{}, false
+	}
+	c := a.rxFIFO[0]
+	copy(a.rxFIFO, a.rxFIFO[1:])
+	a.rxFIFO = a.rxFIFO[:len(a.rxFIFO)-1]
+	return c, true
+}

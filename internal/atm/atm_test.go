@@ -1,0 +1,402 @@
+package atm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/ip"
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestCellHeaderRoundTrip(t *testing.T) {
+	f := func(gfc, vpi uint8, vci uint16, pt uint8, clp bool) bool {
+		h := CellHeader{GFC: gfc & 0xf, VPI: vpi, VCI: vci, PT: pt & 0x7, CLP: clp}
+		var c Cell
+		h.Marshal(&c)
+		got, err := ParseHeader(&c)
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellHeaderHECDetectsCorruption(t *testing.T) {
+	var c Cell
+	CellHeader{VCI: 32}.Marshal(&c)
+	for i := 0; i < 4; i++ {
+		for bit := 0; bit < 8; bit++ {
+			c[i] ^= 1 << bit
+			if _, err := ParseHeader(&c); err == nil {
+				t.Fatalf("HEC missed flip at byte %d bit %d", i, bit)
+			}
+			c[i] ^= 1 << bit
+		}
+	}
+}
+
+func TestCellsForDatagram(t *testing.T) {
+	cases := map[int]int{
+		0:    1, // CPCS overhead alone
+		1:    1,
+		36:   1, // 36+8=44, exactly one cell
+		37:   2, // padded to 40, +8 = 48 > 44
+		4000: 92,
+		8000: 182, // 8008/44 exactly
+	}
+	for n, want := range cases {
+		if got := CellsForDatagram(n); got != want {
+			t.Errorf("CellsForDatagram(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSegmentReassembleRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(3)
+	var seg Segmenter
+	seg.VCI = 32
+	var re Reassembler
+	f := func(n uint16) bool {
+		size := int(n) % MaxDatagram
+		data := make([]byte, size)
+		rng.Fill(data)
+		cells := seg.Segment(data)
+		if len(cells) != CellsForDatagram(size) {
+			return false
+		}
+		for i := range cells[:len(cells)-1] {
+			dg, err := re.Push(&cells[i])
+			if dg != nil || err != nil {
+				return false
+			}
+		}
+		dg, err := re.Push(&cells[len(cells)-1])
+		return err == nil && dg != nil && bytes.Equal(dg, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentTooLargePanics(t *testing.T) {
+	var seg Segmenter
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized datagram did not panic")
+		}
+	}()
+	seg.Segment(make([]byte, MaxDatagram+1))
+}
+
+func TestReassemblerDetectsLostCell(t *testing.T) {
+	var seg Segmenter
+	var re Reassembler
+	data := make([]byte, 500)
+	cells := seg.Segment(data)
+	if len(cells) < 3 {
+		t.Fatal("want multi-cell frame")
+	}
+	// Drop a middle cell.
+	gotErr := false
+	for i := range cells {
+		if i == 2 {
+			continue
+		}
+		dg, err := re.Push(&cells[i])
+		if err != nil {
+			gotErr = true
+		}
+		if dg != nil {
+			t.Fatal("reassembled despite a lost cell")
+		}
+	}
+	if !gotErr {
+		t.Fatal("lost cell not detected")
+	}
+	if re.Errors == 0 {
+		t.Fatal("error counter not incremented")
+	}
+	// Recovery: the next whole frame must reassemble.
+	cells2 := seg.Segment(data)
+	var dg []byte
+	for i := range cells2 {
+		var err error
+		dg, err = re.Push(&cells2[i])
+		if err != nil {
+			t.Fatalf("clean frame after loss failed: %v", err)
+		}
+	}
+	if dg == nil {
+		t.Fatal("clean frame after loss did not complete")
+	}
+}
+
+func TestReassemblerDetectsPayloadCorruption(t *testing.T) {
+	var seg Segmenter
+	var re Reassembler
+	data := make([]byte, 100)
+	cells := seg.Segment(data)
+	cells[0][7] ^= 0x40 // corrupt SAR payload
+	sawErr := false
+	for i := range cells {
+		if _, err := re.Push(&cells[i]); err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("CRC-10 missed payload corruption")
+	}
+}
+
+func TestReassemblerDetectsSplicedFrames(t *testing.T) {
+	var seg Segmenter
+	var re Reassembler
+	a := seg.Segment(make([]byte, 200)) // 5 cells
+	b := seg.Segment(make([]byte, 200))
+	// Frame B's head replaced with frame A's head: Btag/SN mismatch must
+	// prevent silent splicing.
+	mixed := append(append([]Cell{}, a[:2]...), b[2:]...)
+	ok := false
+	for i := range mixed {
+		dg, err := re.Push(&mixed[i])
+		if err != nil {
+			ok = true
+		}
+		if dg != nil {
+			t.Fatal("spliced frame reassembled")
+		}
+	}
+	if !ok {
+		t.Fatal("splice undetected")
+	}
+}
+
+func TestCRC10KnownProperties(t *testing.T) {
+	if crc10(nil) != 0 {
+		t.Fatal("crc10(nil) != 0")
+	}
+	a := crc10([]byte{1, 2, 3})
+	b := crc10([]byte{1, 2, 4})
+	if a == b {
+		t.Fatal("crc10 collision on adjacent inputs")
+	}
+	if a > 0x3ff || b > 0x3ff {
+		t.Fatal("crc10 wider than 10 bits")
+	}
+}
+
+// twoAdapters builds a connected adapter pair on one simulation.
+func twoAdapters(t *testing.T) (*sim.Env, *kern.Kernel, *kern.Kernel, *Adapter, *Adapter) {
+	t.Helper()
+	env := sim.NewEnv()
+	model := cost.DECstation5000()
+	ka := kern.New(env, model, "a")
+	kb := kern.New(env, model, "b")
+	a, b := NewAdapter(ka), NewAdapter(kb)
+	Connect(a, b)
+	return env, ka, kb, a, b
+}
+
+func TestAdapterWirePacing(t *testing.T) {
+	env, _, _, a, b := twoAdapters(t)
+	var seg Segmenter
+	cells := seg.Segment(make([]byte, 200))
+	for _, c := range cells {
+		a.PushTx(c)
+	}
+	env.Run()
+	if b.RxAvail() != len(cells) {
+		t.Fatalf("delivered %d of %d cells", b.RxAvail(), len(cells))
+	}
+	// Wire time: n cells at CellTime each plus propagation.
+	want := sim.Time(len(cells))*a.CellTime() + a.K.Cost.ATMPropagation
+	if env.Now() != want {
+		t.Fatalf("delivery finished at %v, want %v", env.Now(), want)
+	}
+	if b.FramesPending() != 1 {
+		t.Fatalf("FramesPending = %d, want 1", b.FramesPending())
+	}
+}
+
+func TestAdapterTxFIFOLimit(t *testing.T) {
+	_, _, _, a, _ := twoAdapters(t)
+	var c Cell
+	CellHeader{VCI: 32}.Marshal(&c)
+	for i := 0; i < TxFIFOCells; i++ {
+		a.PushTx(c)
+	}
+	if a.TxSpace() != 0 {
+		t.Fatalf("TxSpace = %d after filling", a.TxSpace())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("push into full FIFO did not panic")
+		}
+	}()
+	a.PushTx(c)
+}
+
+func TestAdapterRxOverflowDropsCells(t *testing.T) {
+	env, _, _, a, b := twoAdapters(t)
+	var seg Segmenter
+	// Push far more cells than the 292-cell receive FIFO without
+	// draining b; excess must be dropped and counted.
+	for i := 0; i < 10; i++ {
+		cells := seg.Segment(make([]byte, 1400))
+		for _, c := range cells {
+			for a.TxSpace() == 0 {
+				env.Step()
+			}
+			a.PushTx(c)
+		}
+	}
+	env.Run()
+	if b.RxAvail() != RxFIFOCells {
+		t.Fatalf("rx FIFO holds %d, want cap %d", b.RxAvail(), RxFIFOCells)
+	}
+	if b.RxOverflows == 0 || b.CellsDropped == 0 {
+		t.Fatal("overflow not counted")
+	}
+}
+
+func TestAdapterDropNext(t *testing.T) {
+	env, _, _, a, b := twoAdapters(t)
+	b.DropNext = true
+	var c Cell
+	CellHeader{VCI: 32}.Marshal(&c)
+	a.PushTx(c)
+	a.PushTx(c)
+	env.Run()
+	if b.RxAvail() != 1 {
+		t.Fatalf("RxAvail = %d, want 1 (first cell dropped)", b.RxAvail())
+	}
+	if b.CellsDropped != 1 {
+		t.Fatalf("CellsDropped = %d", b.CellsDropped)
+	}
+}
+
+// buildStack wires adapter+driver+ip+sink for driver-level tests.
+type sinkHandler struct {
+	got [][]byte
+}
+
+func (s *sinkHandler) Input(p *sim.Proc, h ip.Header, m *mbuf.Mbuf) {
+	s.got = append(s.got, mbuf.Linearize(m))
+}
+
+func TestDriverEndToEndDatagram(t *testing.T) {
+	env := sim.NewEnv()
+	model := cost.DECstation5000()
+	ka := kern.New(env, model, "a")
+	kb := kern.New(env, model, "b")
+	ipa := ip.NewStack(ka, 1)
+	ipb := ip.NewStack(kb, 2)
+	aa, ab := NewAdapter(ka), NewAdapter(kb)
+	Connect(aa, ab)
+	NewDriver(ka, aa, ipa)
+	db := NewDriver(kb, ab, ipb)
+	sink := &sinkHandler{}
+	ipb.Register(99, sink)
+
+	payload := make([]byte, 3000)
+	env.RNG().Fill(payload)
+	env.Spawn("sender", func(p *sim.Proc) {
+		m := ka.Pool.AllocCluster()
+		m.Append(payload)
+		ipa.Output(p, 2, 99, m)
+	})
+	env.Run()
+	if len(sink.got) != 1 {
+		t.Fatalf("delivered %d datagrams, want 1", len(sink.got))
+	}
+	if !bytes.Equal(sink.got[0], payload) {
+		t.Fatal("payload corrupted in transit")
+	}
+	if db.FramesIn != 1 {
+		t.Fatalf("FramesIn = %d", db.FramesIn)
+	}
+}
+
+func TestDriverChargesATMLayer(t *testing.T) {
+	env := sim.NewEnv()
+	model := cost.DECstation5000()
+	ka := kern.New(env, model, "a")
+	kb := kern.New(env, model, "b")
+	ka.Trace.Enable()
+	kb.Trace.Enable()
+	ipa := ip.NewStack(ka, 1)
+	ipb := ip.NewStack(kb, 2)
+	aa, ab := NewAdapter(ka), NewAdapter(kb)
+	Connect(aa, ab)
+	NewDriver(ka, aa, ipa)
+	NewDriver(kb, ab, ipb)
+	ipb.Register(99, &sinkHandler{})
+
+	env.Spawn("sender", func(p *sim.Proc) {
+		m := ka.Pool.Alloc()
+		m.Append(make([]byte, 50))
+		ipa.Output(p, 2, 99, m)
+	})
+	env.Run()
+
+	txSum := sim.Time(0)
+	for _, s := range ka.Trace.Spans() {
+		if s.Layer == trace.LayerATMTx {
+			txSum += s.Duration()
+		}
+	}
+	// 70-byte datagram: 2 cells. Expect frame fixed + 2 per-cell.
+	want := model.ATMTxFrameFixed + 2*model.ATMTxPerCell
+	if txSum != want {
+		t.Fatalf("ATM tx charge %v, want %v", txSum, want)
+	}
+	rxSum := sim.Time(0)
+	for _, s := range kb.Trace.Spans() {
+		if s.Layer == trace.LayerATMRx {
+			rxSum += s.Duration()
+		}
+	}
+	// Frame fixed + 2 per-cell + 2 mbuf allocations (header mbuf and
+	// payload mbuf) charged by deliver.
+	wantRx := model.ATMRxFrameFixed + 2*model.ATMRxPerCell + 2*model.MbufAlloc
+	if rxSum != wantRx {
+		t.Fatalf("ATM rx charge %v, want %v", rxSum, wantRx)
+	}
+}
+
+func TestDriverRecoversAfterCellLoss(t *testing.T) {
+	env := sim.NewEnv()
+	model := cost.DECstation5000()
+	ka := kern.New(env, model, "a")
+	kb := kern.New(env, model, "b")
+	ipa := ip.NewStack(ka, 1)
+	ipb := ip.NewStack(kb, 2)
+	aa, ab := NewAdapter(ka), NewAdapter(kb)
+	Connect(aa, ab)
+	NewDriver(ka, aa, ipa)
+	db := NewDriver(kb, ab, ipb)
+	sink := &sinkHandler{}
+	ipb.Register(99, sink)
+
+	ab.DropNext = true // lose the first cell of datagram 1
+	env.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			m := ka.Pool.AllocCluster()
+			m.Append(make([]byte, 2000))
+			ipa.Output(p, 2, 99, m)
+			p.Sleep(5 * sim.Millisecond)
+		}
+	})
+	env.Run()
+	if len(sink.got) != 1 {
+		t.Fatalf("delivered %d datagrams, want 1 (first lost)", len(sink.got))
+	}
+	if db.ReassemblyErrors == 0 {
+		t.Fatal("loss not surfaced as reassembly error")
+	}
+}

@@ -1,0 +1,210 @@
+package atm
+
+import (
+	"repro/internal/checksum"
+	"repro/internal/cost"
+	"repro/internal/ip"
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// MTU is the datagram size the driver advertises to IP. The paper's ATM
+// MTU is "close to 9K"; the AAL3/4 maximum here.
+const MTU = MaxDatagram
+
+// Driver is the ATM network driver: it implements ip.NetIf on the
+// transmit side and runs a receive interrupt service process that drains
+// the adapter FIFO, reassembles AAL3/4 frames, and hands datagrams to IP.
+type Driver struct {
+	K       *kern.Kernel
+	Adapter *Adapter
+	IP      *ip.Stack
+
+	// Mode selects the receive-side checksum strategy. In
+	// ChecksumIntegrated the driver fuses a partial TCP checksum into
+	// its device-to-kernel copy and stashes it in the mbufs (§4.1.1:
+	// "we have implemented the combined copy and checksum from the
+	// device memory to kernel memory").
+	Mode cost.ChecksumMode
+
+	seg   Segmenter
+	reasm Reassembler
+
+	// HostCorruptRate flips one random bit of each reassembled datagram
+	// during the device-to-host transfer — the paper's second error
+	// source ("errors introduced by the network controllers in moving
+	// data between host and controller memories", §4.2.1), which the
+	// AAL CRC cannot see and only the TCP checksum can catch.
+	HostCorruptRate float64
+
+	// txBusy serializes Output, as splimp does around the real driver:
+	// CPU charges yield to the event loop, so without the lock a user
+	// send and a protocol-timer send could interleave cell pushes.
+	txBusy bool
+	txWait *sim.WaitQueue
+
+	// FramesIn and FramesOut count successfully reassembled and
+	// transmitted datagrams.
+	FramesIn  int64
+	FramesOut int64
+	// ReassemblyErrors counts cells the AAL reassembler rejected.
+	ReassemblyErrors int64
+	// HECErrors counts cells discarded for a bad header checksum.
+	HECErrors int64
+	// HostCorruptions counts datagram bits flipped by HostCorruptRate.
+	HostCorruptions int64
+}
+
+// NewDriver creates the driver, wires it to the adapter and IP stack, and
+// starts the receive service process.
+func NewDriver(k *kern.Kernel, a *Adapter, ipStack *ip.Stack) *Driver {
+	d := &Driver{K: k, Adapter: a, IP: ipStack}
+	d.txWait = k.Env.NewWaitQueue(k.Name + ".atm.txlock")
+	d.seg.VCI = 32 // first non-reserved VCI; a single PVC, as in the paper's lab
+	ipStack.Attach(d)
+	k.Env.Spawn(k.Name+".atmintr", d.rxproc)
+	return d
+}
+
+// Name implements ip.NetIf.
+func (d *Driver) Name() string { return d.K.Name + ".atm0" }
+
+// MTU implements ip.NetIf.
+func (d *Driver) MTU() int { return MTU }
+
+// Output implements ip.NetIf: it segments the datagram into AAL3/4 cells
+// and copies them into the transmit FIFO, blocking when the FIFO is full.
+// Costs: a per-frame setup charge plus a per-cell compose-and-copy charge,
+// all attributed to the ATM row. The span ends when the last cell has been
+// written — the paper measures "up to when the ATM adapter is signaled to
+// send the last byte of data", and on the TCA-100 writing the FIFO is the
+// signal.
+func (d *Driver) Output(p *sim.Proc, m *mbuf.Mbuf) {
+	for d.txBusy {
+		d.txWait.Wait(p)
+	}
+	d.txBusy = true
+	d.K.Use(p, trace.LayerATMTx, d.K.Cost.ATMTxFrameFixed)
+	data := mbuf.Linearize(m)
+	cells := d.seg.Segment(data)
+	for i := range cells {
+		for d.Adapter.TxSpace() == 0 {
+			waitStart := d.K.Now()
+			d.Adapter.SpaceAvail.Wait(p)
+			// Stalled on the FIFO: the driver spins on the status
+			// register, which is time in the ATM row.
+			d.K.Trace.Span(trace.LayerATMTx, waitStart, d.K.Now())
+		}
+		d.K.Use(p, trace.LayerATMTx, d.K.Cost.ATMTxPerCell)
+		d.Adapter.PushTx(cells[i])
+	}
+	d.FramesOut++
+	d.K.FreeChain(p, trace.LayerMbuf, m)
+	d.txBusy = false
+	d.txWait.WakeAll()
+}
+
+// rxproc is the receive interrupt service process. It wakes on the
+// adapter's end-of-frame interrupt, drains the receive FIFO charging the
+// per-cell receive cost, pushes cells through the reassembler, and
+// enqueues completed datagrams on the IP input queue.
+func (d *Driver) rxproc(p *sim.Proc) {
+	k := d.K
+	for {
+		// The TCA-100 model interrupts per completed frame, so the
+		// driver sleeps until a frame-ending cell has landed, then
+		// drains cells up to and including it. Cells of a later,
+		// still-arriving frame stay in the FIFO until that frame's own
+		// interrupt — which is what makes driver processing of one
+		// segment overlap the wire arrival of the next at large
+		// transfer sizes (the Table 3 ATM-row nonlinearity).
+		for d.Adapter.FramesPending() == 0 && d.Adapter.RxAvail() < RxDrainThreshold {
+			d.Adapter.RxReady.Wait(p)
+		}
+		// Drain up to one complete frame, or — when woken by the
+		// occupancy threshold with no complete frame present — whatever
+		// cells have accumulated, so an overflow can never wedge the
+		// receive path.
+		framePending := d.Adapter.FramesPending() > 0
+		for {
+			c, ok := d.Adapter.PopRx()
+			if !ok {
+				break
+			}
+			k.Use(p, trace.LayerATMRx, k.Cost.ATMRxPerCell)
+			if d.Mode == cost.ChecksumIntegrated {
+				k.Use(p, trace.LayerATMRx,
+					sim.Time(k.Cost.IntegratedRxPerByte*SARPayload))
+			}
+			if _, err := ParseHeader(&c); err != nil {
+				// Header corruption: the HEC catches it and the cell
+				// is discarded, surfacing later as a sequence gap.
+				d.HECErrors++
+				continue
+			}
+			frameEnd := IsFrameEnd(&c)
+			if frameEnd {
+				d.Adapter.ConsumeFrameEnd()
+			}
+			dg, err := d.reasm.Push(&c)
+			if err != nil {
+				d.ReassemblyErrors++
+			} else if dg != nil {
+				d.deliver(p, dg)
+			}
+			if frameEnd && framePending {
+				break
+			}
+		}
+	}
+}
+
+// deliver builds the mbuf chain for a reassembled datagram and enqueues it
+// for IP. Layout: the IP header in its own normal mbuf, the rest in
+// cluster mbufs (or normal mbufs for small frames), so that stripping the
+// IP header cannot invalidate partial checksums stashed for the payload.
+func (d *Driver) deliver(p *sim.Proc, dg []byte) {
+	k := d.K
+	if len(dg) < ip.HeaderLen {
+		d.ReassemblyErrors++
+		return
+	}
+	// Per-frame interrupt and reassembly-completion overhead.
+	k.Use(p, trace.LayerATMRx, k.Cost.ATMRxFrameFixed)
+	if d.HostCorruptRate > 0 && k.Env.RNG().Bool(d.HostCorruptRate) {
+		bit := k.Env.RNG().Intn(len(dg) * 8)
+		dg[bit/8] ^= 1 << (bit % 8)
+		d.HostCorruptions++
+	}
+	if d.Mode == cost.ChecksumIntegrated {
+		k.Use(p, trace.LayerATMRx, k.Cost.IntegratedRxFixed)
+	}
+	hm := k.AllocMbuf(p, trace.LayerATMRx)
+	hm.Append(dg[:ip.HeaderLen])
+	rest := dg[ip.HeaderLen:]
+	chain := hm
+	tail := hm
+	for len(rest) > 0 {
+		var m *mbuf.Mbuf
+		if len(dg) > mbuf.ClusterThreshold {
+			m = k.AllocCluster(p, trace.LayerATMRx)
+		} else {
+			m = k.AllocMbuf(p, trace.LayerATMRx)
+		}
+		n := m.Append(rest)
+		if d.Mode == cost.ChecksumIntegrated {
+			// The device-to-kernel copy computed this sum as a side
+			// effect; stash it for tcp_input to fold.
+			var cs checksum.Partial
+			cs.Add(rest[:n])
+			m.Csum, m.CsumValid = cs, true
+		}
+		rest = rest[n:]
+		tail.SetNext(m)
+		tail = m
+	}
+	d.FramesIn++
+	d.IP.Enqueue(chain)
+}

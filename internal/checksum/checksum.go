@@ -1,0 +1,197 @@
+// Package checksum implements the Internet (RFC 1071) one's-complement
+// checksum in the three styles the paper compares (§4.1):
+//
+//   - SumULTRIX: the straightforward halfword-at-a-time loop used by
+//     ULTRIX 4.2A.
+//   - SumOptimized: the word-accumulating, unrolled loop the paper (and
+//     Kay & Pasquale) propose, which eliminates halfword accesses.
+//   - CopyAndSum: the integrated copy-and-checksum that touches each byte
+//     once, the basis of the paper's combined kernel path (§4.1.1).
+//
+// All three produce identical sums; they differ only in memory access
+// pattern, which is what the cost model prices differently. The package
+// also provides Partial, the incremental partial-sum type the combined
+// kernel path needs: the socket layer checksums each chunk as it is copied
+// into an mbuf and TCP later folds the per-mbuf partial sums into a
+// segment checksum (the paper stores partial checksums in the mbuf header).
+package checksum
+
+// Fold reduces a 32-bit intermediate sum to 16 bits by repeatedly adding
+// the carries back in, per RFC 1071.
+func Fold(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return uint16(sum)
+}
+
+// SumULTRIX computes the one's-complement sum of b (not complemented),
+// processing one big-endian halfword per iteration exactly as the ULTRIX
+// in_cksum inner loop does. An odd trailing byte is padded with a zero low
+// byte.
+func SumULTRIX(b []byte) uint16 {
+	var sum uint32
+	i := 0
+	for ; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if i < len(b) {
+		sum += uint32(b[i]) << 8
+	}
+	return Fold(sum)
+}
+
+// SumOptimized computes the same one's-complement sum with an unrolled,
+// word-accumulating loop (the optimization of §4.1). The result is always
+// identical to SumULTRIX; only the access pattern differs.
+func SumOptimized(b []byte) uint16 {
+	var sum uint64
+	i := 0
+	// Unrolled by 16 bytes: eight halfword adds per iteration, no
+	// per-halfword loop overhead. A uint64 accumulator absorbs carries.
+	for ; i+16 <= len(b); i += 16 {
+		sum += uint64(b[i])<<8 | uint64(b[i+1])
+		sum += uint64(b[i+2])<<8 | uint64(b[i+3])
+		sum += uint64(b[i+4])<<8 | uint64(b[i+5])
+		sum += uint64(b[i+6])<<8 | uint64(b[i+7])
+		sum += uint64(b[i+8])<<8 | uint64(b[i+9])
+		sum += uint64(b[i+10])<<8 | uint64(b[i+11])
+		sum += uint64(b[i+12])<<8 | uint64(b[i+13])
+		sum += uint64(b[i+14])<<8 | uint64(b[i+15])
+	}
+	for ; i+1 < len(b); i += 2 {
+		sum += uint64(b[i])<<8 | uint64(b[i+1])
+	}
+	if i < len(b) {
+		sum += uint64(b[i]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return uint16(sum)
+}
+
+// CopyAndSum copies src into dst and returns the one's-complement sum of
+// the bytes in a single pass, touching each byte once. dst must be at
+// least as long as src.
+func CopyAndSum(dst, src []byte) uint16 {
+	if len(dst) < len(src) {
+		panic("checksum: CopyAndSum destination too short")
+	}
+	var sum uint64
+	i := 0
+	for ; i+8 <= len(src); i += 8 {
+		dst[i] = src[i]
+		dst[i+1] = src[i+1]
+		dst[i+2] = src[i+2]
+		dst[i+3] = src[i+3]
+		dst[i+4] = src[i+4]
+		dst[i+5] = src[i+5]
+		dst[i+6] = src[i+6]
+		dst[i+7] = src[i+7]
+		sum += uint64(src[i])<<8 | uint64(src[i+1])
+		sum += uint64(src[i+2])<<8 | uint64(src[i+3])
+		sum += uint64(src[i+4])<<8 | uint64(src[i+5])
+		sum += uint64(src[i+6])<<8 | uint64(src[i+7])
+	}
+	for ; i+1 < len(src); i += 2 {
+		dst[i], dst[i+1] = src[i], src[i+1]
+		sum += uint64(src[i])<<8 | uint64(src[i+1])
+	}
+	if i < len(src) {
+		dst[i] = src[i]
+		sum += uint64(src[i]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return uint16(sum)
+}
+
+// Checksum returns the Internet checksum of b: the one's complement of the
+// one's-complement sum, as stored in IP/TCP header checksum fields.
+func Checksum(b []byte) uint16 { return ^SumOptimized(b) }
+
+// Verify reports whether a byte range that includes its own checksum field
+// sums to the all-ones value, i.e. the data is intact.
+func Verify(b []byte) bool { return SumOptimized(b) == 0xffff }
+
+// Partial is an incremental one's-complement sum that tracks byte parity,
+// so chunks of any length — including odd lengths, which occur whenever an
+// mbuf holds an odd number of bytes — can be appended or combined and
+// still yield exactly the sum of the concatenated data.
+type Partial struct {
+	sum uint32
+	odd bool // total bytes added so far is odd
+}
+
+// Add appends the bytes of b to the running sum.
+func (p *Partial) Add(b []byte) {
+	i := 0
+	if p.odd && len(b) > 0 {
+		// The dangling high byte from the previous chunk pairs with
+		// b[0] as its low byte; the high byte was already added.
+		p.sum += uint32(b[0])
+		i = 1
+		p.odd = false
+	}
+	for ; i+1 < len(b); i += 2 {
+		p.sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if i < len(b) {
+		p.sum += uint32(b[i]) << 8
+		p.odd = true
+	}
+	// Keep the accumulator from ever overflowing 32 bits.
+	if p.sum >= 0xffff0000 {
+		p.sum = uint32(Fold(p.sum))
+	}
+}
+
+// AddWord appends a big-endian 16-bit word. It must only be used at even
+// byte parity (it panics otherwise), which is how the pseudo-header fields
+// are summed.
+func (p *Partial) AddWord(w uint16) {
+	if p.odd {
+		panic("checksum: AddWord at odd offset")
+	}
+	p.sum += uint32(w)
+}
+
+// Combine appends another partial sum as if its underlying bytes followed
+// p's. If p currently ends at an odd offset, q's sum is byte-swapped, the
+// standard trick for combining checksums computed at different alignments.
+func (p *Partial) Combine(q Partial) {
+	s := Fold(q.sum)
+	if p.odd {
+		s = s>>8 | s<<8
+	}
+	p.sum += uint32(s)
+	p.odd = p.odd != q.odd
+	if p.sum >= 0xffff0000 {
+		p.sum = uint32(Fold(p.sum))
+	}
+}
+
+// Sum16 returns the folded (not complemented) 16-bit sum so far.
+func (p *Partial) Sum16() uint16 { return Fold(p.sum) }
+
+// Checksum returns the complemented checksum of everything added so far.
+func (p *Partial) Checksum() uint16 { return ^Fold(p.sum) }
+
+// Odd reports whether an odd number of bytes has been added.
+func (p *Partial) Odd() bool { return p.odd }
+
+// TCPPseudo returns a Partial primed with the TCP pseudo-header for the
+// given source and destination IPv4 addresses and TCP segment length
+// (header + payload), per RFC 793.
+func TCPPseudo(src, dst uint32, tcpLen int) Partial {
+	var p Partial
+	p.AddWord(uint16(src >> 16))
+	p.AddWord(uint16(src))
+	p.AddWord(uint16(dst >> 16))
+	p.AddWord(uint16(dst))
+	p.AddWord(6) // protocol number: TCP
+	p.AddWord(uint16(tcpLen))
+	return p
+}

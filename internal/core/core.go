@@ -1,0 +1,53 @@
+package core
+
+import (
+	"repro/internal/cost"
+	"repro/internal/lab"
+)
+
+// Options controls how the experiments run. The paper used 40000
+// iterations and three repetitions; the simulation is deterministic, so
+// far fewer iterations give stable means, but the counts remain
+// configurable for fidelity.
+type Options struct {
+	Iterations int
+	Warmup     int
+}
+
+// DefaultOptions returns the iteration counts the experiment suite uses
+// by default.
+func DefaultOptions() Options { return Options{Iterations: 100, Warmup: 8} }
+
+// normalize applies defaults to zero fields.
+func (o Options) normalize() Options {
+	if o.Iterations <= 0 {
+		o.Iterations = 100
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	}
+	return o
+}
+
+// MeasureRTT runs the echo benchmark under one configuration and returns
+// the mean round-trip time in microseconds.
+func MeasureRTT(cfg lab.Config, size int, o Options) (float64, error) {
+	o = o.normalize()
+	l := lab.New(cfg)
+	res, err := l.RunEcho(size, o.Iterations, o.Warmup)
+	if err != nil {
+		return 0, err
+	}
+	return res.MeanRTTMicros(), nil
+}
+
+// Sizes is the transfer-size set shared by every round-trip experiment
+// (§1.2: 500 bytes and smaller from RPC/TCP traffic studies, plus 1400,
+// 4000 and 8000).
+var Sizes = []int{4, 20, 80, 200, 500, 1400, 4000, 8000}
+
+// baseConfig is the paper's baseline system: BSD 4.4 alpha TCP over ATM,
+// header prediction enabled, standard checksum.
+func baseConfig() lab.Config {
+	return lab.Config{Link: lab.LinkATM, Mode: cost.ChecksumStandard}
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/lab"
+	"repro/internal/paperdata"
+	"repro/internal/trace"
+)
+
+// fastOpts keeps unit-test runtime low; the simulation is deterministic,
+// so small iteration counts are stable.
+func fastOpts() Options { return Options{Iterations: 6, Warmup: 2} }
+
+func TestTable1Shape(t *testing.T) {
+	r, err := RunTable1(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	for _, row := range r.Rows {
+		// ATM must beat Ethernet at every size (the paper's 45-55%).
+		if row.B >= row.A {
+			t.Errorf("size %d: ATM (%.0f) not faster than Ethernet (%.0f)",
+				row.Size, row.B, row.A)
+		}
+		if row.DecreasePercent < 25 || row.DecreasePercent > 70 {
+			t.Errorf("size %d: decrease %.0f%% outside the paper's band (45-55%%, tolerance 25-70)",
+				row.Size, row.DecreasePercent)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r, err := RunTable2(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	// Checksum dominates TCP processing at large sizes.
+	b8000 := r.PerSize[8000]
+	if b8000.Rows[trace.LayerTCPCksumTx] < b8000.Rows[trace.LayerTCPSegmentTx] {
+		t.Error("8000B: checksum should dominate segment processing")
+	}
+	// The mcopy row must drop between 500 and 1400 bytes (cluster
+	// refcount copies), the paper's §2.2.1 nonlinearity.
+	if r.PerSize[1400].Rows[trace.LayerTCPMcopy] >= r.PerSize[500].Rows[trace.LayerTCPMcopy] {
+		t.Error("mcopy did not drop at the cluster switch (500→1400)")
+	}
+	// Totals within 2x of the paper at every size.
+	for _, size := range Sizes {
+		meas := r.PerSize[size].Total
+		paper := paperdata.Table2["Total"][size]
+		if meas < paper/2 || meas > paper*2 {
+			t.Errorf("size %d: transmit total %.0f vs paper %.0f (out of 2x band)",
+				size, meas, paper)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r, err := RunTable3(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	// At 8000 bytes both segments' processing lands after the final
+	// arrival: the checksum row must cover two segments (the paper
+	// measures 1172 = 2x578) while the ATM row stays at least one
+	// segment's worth. (The paper's 1783 ATM row reflects a driver
+	// overlap our timeline only partially reproduces; EXPERIMENTS.md
+	// records the deviation.)
+	ck4000 := r.PerSize[4000].Rows[trace.LayerTCPCksumRx]
+	ck8000 := r.PerSize[8000].Rows[trace.LayerTCPCksumRx]
+	if ck8000 < ck4000*1.7 {
+		t.Errorf("receive checksum row: 8000B (%.0f) should be ~2x 4000B (%.0f)",
+			ck8000, ck4000)
+	}
+	atm4000 := r.PerSize[4000].Rows[trace.LayerATMRx]
+	atm8000 := r.PerSize[8000].Rows[trace.LayerATMRx]
+	if atm8000 < atm4000*0.9 {
+		t.Errorf("receive ATM row: 8000B (%.0f) collapsed below 4000B (%.0f)",
+			atm8000, atm4000)
+	}
+	// TCP segment processing at 8000 should be cheaper than at 4000:
+	// only the final (fast path) segment is on the critical path.
+	seg4000 := r.PerSize[4000].Rows[trace.LayerTCPSegmentRx]
+	seg8000 := r.PerSize[8000].Rows[trace.LayerTCPSegmentRx]
+	if seg8000 >= seg4000 {
+		t.Errorf("receive TCP segment row should drop at 8000B: %.0f vs %.0f",
+			seg8000, seg4000)
+	}
+	for _, size := range Sizes {
+		meas := r.PerSize[size].Total
+		paper := paperdata.Table3["Total"][size]
+		if meas < paper/2 || meas > paper*2 {
+			t.Errorf("size %d: receive total %.0f vs paper %.0f (out of 2x band)",
+				size, meas, paper)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	r, err := RunTable4(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	for _, row := range r.Rows {
+		// Prediction must never lose, and the improvement must be small
+		// (the paper: 0-8%, "basically independent of data size").
+		if row.B > row.A {
+			t.Errorf("size %d: prediction slower (%.0f vs %.0f)", row.Size, row.B, row.A)
+		}
+		if row.DecreasePercent > 15 {
+			t.Errorf("size %d: prediction improvement %.0f%% implausibly large",
+				row.Size, row.DecreasePercent)
+		}
+	}
+}
+
+func TestTable5Values(t *testing.T) {
+	r, err := RunTable5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	for _, row := range r.Rows {
+		paper := paperdata.Table5
+		within := func(name string, got, want float64) {
+			tol := want * 0.25
+			if tol < 2 {
+				tol = 2
+			}
+			if got < want-tol || got > want+tol {
+				t.Errorf("size %d %s: %.1f vs paper %.1f", row.Size, name, got, want)
+			}
+		}
+		within("ULTRIX checksum", row.ULTRIXChecksum, paper["ULTRIXChecksum"][row.Size])
+		within("bcopy", row.ULTRIXBcopy, paper["ULTRIXBcopy"][row.Size])
+		within("optimized", row.OptimizedChecksum, paper["OptimizedChecksum"][row.Size])
+		within("integrated", row.IntegratedCopyCk, paper["IntegratedCopyCk"][row.Size])
+		// Integrated must beat separate at every size.
+		if row.IntegratedCopyCk >= row.OptimizedChecksum+row.ULTRIXBcopy {
+			t.Errorf("size %d: integrated not faster than separate", row.Size)
+		}
+	}
+}
+
+func TestTable6Crossover(t *testing.T) {
+	r, err := RunTable6(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	bys := map[int]CompareRow{}
+	for _, row := range r.Rows {
+		bys[row.Size] = row
+	}
+	// Small sizes: combined must LOSE (paper: -22% at 4 bytes).
+	if bys[4].DecreasePercent >= 0 {
+		t.Error("combined copy+checksum should be slower at 4 bytes")
+	}
+	// Large sizes: combined must WIN (paper: +21%/+24% at 4000/8000).
+	if bys[4000].DecreasePercent <= 0 || bys[8000].DecreasePercent <= 0 {
+		t.Error("combined copy+checksum should be faster at 4000/8000 bytes")
+	}
+	// Break-even between 500 and 1400 bytes.
+	if bys[500].DecreasePercent > 5 {
+		t.Errorf("500B should be at or below break-even, got %.1f%%", bys[500].DecreasePercent)
+	}
+	if bys[1400].DecreasePercent < 0 {
+		t.Errorf("1400B should be past break-even, got %.1f%%", bys[1400].DecreasePercent)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	r, err := RunTable7(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	var prev float64 = -1
+	for _, row := range r.Rows {
+		if row.B > row.A {
+			t.Errorf("size %d: eliminating the checksum made latency worse", row.Size)
+		}
+		// Savings must grow with size (paper: 0.1% → 41%); allow a
+		// small dip at 8000 where the two-segment pipeline shifts
+		// which costs sit on the critical path.
+		if row.DecreasePercent < prev-5 {
+			t.Errorf("size %d: savings %.1f%% not growing (prev %.1f%%)",
+				row.Size, row.DecreasePercent, prev)
+		}
+		prev = row.DecreasePercent
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.DecreasePercent < 25 {
+		t.Errorf("8000B saving %.1f%% too small (paper: 41%%)", last.DecreasePercent)
+	}
+}
+
+func TestPCBExperiment(t *testing.T) {
+	r := RunPCBExperiment()
+	t.Log("\n" + r.Render())
+	// Linear slope near the paper's 1.3 µs/entry.
+	if r.PerEntryMicros < 1.0 || r.PerEntryMicros > 1.6 {
+		t.Errorf("slope %.2f µs/entry, paper ~1.3", r.PerEntryMicros)
+	}
+	for _, row := range r.Rows {
+		// The hash and cache organizations must be flat and cheap.
+		if row.HashMicros > 20 || row.CacheMicros > 20 {
+			t.Errorf("entries %d: hash %.1f / cache %.1f µs not constant-time",
+				row.Entries, row.HashMicros, row.CacheMicros)
+		}
+		if row.Entries >= 100 && row.ListMicros <= row.HashMicros {
+			t.Errorf("entries %d: list (%.1f) should cost more than hash (%.1f)",
+				row.Entries, row.ListMicros, row.HashMicros)
+		}
+	}
+}
+
+func TestPCBPopulationEffect(t *testing.T) {
+	rtts, err := PCBPopulationEffect([]int{0, 250, 1000}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("population→RTT: %v", rtts)
+	if !(rtts[0] < rtts[250] && rtts[250] < rtts[1000]) {
+		t.Error("RTT should grow with PCB population when prediction is off")
+	}
+}
+
+func TestSun3Comparison(t *testing.T) {
+	r := RunSun3Comparison()
+	t.Log("\n" + r.Render())
+	if r.Sun3SavingPercent < 30 || r.Sun3SavingPercent > 40 {
+		t.Errorf("Sun-3 saving %.0f%%, paper 35%%", r.Sun3SavingPercent)
+	}
+	if r.DECSavingPercent < 50 || r.DECSavingPercent > 85 {
+		t.Errorf("DEC saving %.0f%%, paper 68%%", r.DECSavingPercent)
+	}
+}
+
+func TestMeasureBreakdownsConsistency(t *testing.T) {
+	tx, rx, err := MeasureBreakdowns(lab.Config{Link: lab.LinkATM}, 200, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Total <= 0 || rx.Total <= 0 {
+		t.Fatal("empty breakdown windows")
+	}
+	// Attributed rows must not exceed the window (no double counting
+	// beyond the documented overlap classes).
+	sumTx := 0.0
+	for _, l := range TxLayers {
+		sumTx += tx.Rows[l]
+	}
+	if sumTx > tx.Total*1.05 {
+		t.Errorf("transmit rows (%.0f) exceed window (%.0f)", sumTx, tx.Total)
+	}
+}
+
+func TestErrorStudy(t *testing.T) {
+	r, err := RunErrorStudy(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	rows := map[string]ErrorStudyRow{}
+	for _, row := range r.Rows {
+		rows[row.Label] = row
+	}
+
+	wireOn := rows["wire noise, checksum on"]
+	if wireOn.WireCorrupted == 0 {
+		t.Fatal("no wire corruption injected; study vacuous")
+	}
+	if wireOn.HECDrops+wireOn.AALDrops == 0 {
+		t.Error("wire noise not caught below TCP")
+	}
+	if wireOn.TCPCksumDrops != 0 {
+		t.Errorf("TCP checksum caught %d wire errors the AAL should have caught",
+			wireOn.TCPCksumDrops)
+	}
+	if wireOn.CorruptEchoes != 0 {
+		t.Error("wire noise reached the application with the checksum on")
+	}
+
+	wireOff := rows["wire noise, checksum off"]
+	if wireOff.CorruptEchoes != 0 {
+		t.Error("wire noise reached the application with the checksum off: AAL insufficient")
+	}
+
+	ctlOn := rows["buggy controller, checksum on"]
+	if ctlOn.HostCorrupted == 0 {
+		t.Fatal("no host corruption injected; study vacuous")
+	}
+	if ctlOn.TCPCksumDrops == 0 {
+		t.Error("TCP checksum missed host-side corruption")
+	}
+	if ctlOn.CorruptEchoes != 0 {
+		t.Error("host corruption reached the application despite the checksum")
+	}
+
+	ctlOff := rows["buggy controller, checksum off"]
+	if ctlOff.CorruptEchoes == 0 {
+		t.Error("expected corruption to reach the application with checksum off and a buggy controller")
+	}
+}
+
+func TestTransportComparison(t *testing.T) {
+	r, err := RunTransportComparison(cost.ChecksumStandard, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	for _, row := range r.Rows {
+		if row.UDPMicros >= row.TCPMicros {
+			t.Errorf("size %d: UDP (%.0f) not faster than TCP (%.0f)",
+				row.Size, row.UDPMicros, row.TCPMicros)
+		}
+		if row.TCPOverheadPct > 100 {
+			t.Errorf("size %d: TCP overhead %.0f%% implausibly large",
+				row.Size, row.TCPOverheadPct)
+		}
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	t4, err := RunTable4(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := RenderFigure1(t4)
+	if len(f1) < 100 || !containsAll(f1, "Figure 1", "With Prediction", "#") {
+		t.Fatalf("figure 1 render suspect:\n%s", f1)
+	}
+	t5, err := RunTable5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := RenderFigure2(t5)
+	if len(f2) < 100 || !containsAll(f2, "Figure 2", "Integrated", "#") {
+		t.Fatalf("figure 2 render suspect:\n%s", f2)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/lab"
+)
+
+// ErrorStudyRow is one configuration of the §4.2.1 error-detection study:
+// where were injected errors caught, and did any corruption reach the
+// application?
+type ErrorStudyRow struct {
+	Label          string
+	Mode           cost.ChecksumMode
+	WireCorrupted  int64 // cells with a flipped bit on the wire
+	HECDrops       int64 // caught by the cell header checksum
+	AALDrops       int64 // caught by CRC-10 / sequence / length checks
+	HostCorrupted  int64 // datagrams corrupted after AAL validation
+	TCPCksumDrops  int64 // caught by the TCP checksum
+	CorruptEchoes  int   // reached the application undetected
+	Retransmits    int64
+	EchoesComplete int
+}
+
+// ErrorStudyResult is the full §4.2.1 study.
+type ErrorStudyResult struct {
+	Rows []ErrorStudyRow
+}
+
+// RunErrorStudy exercises the paper's §4.2.1 analysis of what the TCP
+// checksum protects against once a link-level CRC exists:
+//
+//   - Wire noise (error sources 1, 3 and 4): bits flipped in cells are
+//     caught below TCP, by the HEC or the AAL3/4 CRC-10, and repaired by
+//     retransmission. The TCP checksum catches nothing — the simulated
+//     analogue of the paper's Ethernet observation that "without
+//     wide-area traffic, TCP detected no checksum errors" — so
+//     eliminating it costs nothing in error detection.
+//   - Host-side corruption (error source 2, a buggy controller moving
+//     data between controller and host memory): invisible to the AAL.
+//     With the checksum on, TCP catches and recovers it; with the
+//     checksum eliminated, corrupt data reaches the application — the
+//     hardware-problem caveat the paper attaches to elimination.
+func RunErrorStudy(iterations int) (*ErrorStudyResult, error) {
+	if iterations <= 0 {
+		iterations = 150
+	}
+	res := &ErrorStudyResult{}
+	type config struct {
+		label    string
+		mode     cost.ChecksumMode
+		wireRate float64
+		hostRate float64
+	}
+	configs := []config{
+		{"wire noise, checksum on", cost.ChecksumStandard, 0.001, 0},
+		{"wire noise, checksum off", cost.ChecksumNone, 0.001, 0},
+		{"buggy controller, checksum on", cost.ChecksumStandard, 0, 0.01},
+		{"buggy controller, checksum off", cost.ChecksumNone, 0, 0.01},
+	}
+	for _, c := range configs {
+		cfg := lab.Config{
+			Link:            lab.LinkATM,
+			Mode:            c.mode,
+			CellCorruptRate: c.wireRate,
+			HostCorruptRate: c.hostRate,
+			Seed:            1994,
+		}
+		l := lab.New(cfg)
+		echo, err := l.RunEcho(1400, iterations, 2)
+		if err != nil {
+			return nil, fmt.Errorf("core: error study %q: %w", c.label, err)
+		}
+		row := ErrorStudyRow{
+			Label: c.label,
+			Mode:  c.mode,
+			WireCorrupted: l.Client.ATMAdapter.CellsCorrupted +
+				l.Server.ATMAdapter.CellsCorrupted,
+			HECDrops: l.Client.ATMDriver.HECErrors + l.Server.ATMDriver.HECErrors,
+			AALDrops: l.Client.ATMDriver.ReassemblyErrors +
+				l.Server.ATMDriver.ReassemblyErrors,
+			HostCorrupted: l.Client.ATMDriver.HostCorruptions +
+				l.Server.ATMDriver.HostCorruptions,
+			TCPCksumDrops: l.Client.TCP.Stats.ChecksumErrors +
+				l.Server.TCP.Stats.ChecksumErrors,
+			CorruptEchoes: echo.CorruptEchoes,
+			Retransmits: l.Client.TCP.Stats.Retransmits + l.Server.TCP.Stats.Retransmits +
+				l.Client.TCP.Stats.FastRetransmits + l.Server.TCP.Stats.FastRetransmits,
+			EchoesComplete: len(echo.RTTs),
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the study.
+func (r *ErrorStudyResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§4.2.1: Where injected errors are caught (1400-byte echoes)\n")
+	fmt.Fprintf(&b, "%-30s %9s %8s %8s %9s %8s %8s\n",
+		"configuration", "wire-bits", "HEC", "AAL", "host-bits", "TCPcksum", "corrupt")
+	b.WriteString(strings.Repeat("-", 88) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-30s %9d %8d %8d %9d %8d %8d\n",
+			row.Label, row.WireCorrupted, row.HECDrops, row.AALDrops,
+			row.HostCorrupted, row.TCPCksumDrops, row.CorruptEchoes)
+	}
+	b.WriteString(`Reading: wire noise never reaches TCP (HEC+AAL catch it; the checksum
+detects nothing and can be eliminated); controller corruption is caught
+only by the TCP checksum — with it eliminated, corruption reaches the
+application, the paper's caveat for that error source.
+`)
+	return b.String()
+}

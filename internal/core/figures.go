@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// barChart renders grouped horizontal bars, one group per transfer size,
+// one bar per series — an ASCII rendering of the paper's figures.
+func barChart(title string, sizes []int, series []string, value func(series string, size int) float64, unit string) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	maxV := 0.0
+	for _, s := range series {
+		for _, sz := range sizes {
+			if v := value(s, sz); v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		return b.String()
+	}
+	const width = 56
+	labelW := 0
+	for _, s := range series {
+		if len(s) > labelW {
+			labelW = len(s)
+		}
+	}
+	for _, sz := range sizes {
+		fmt.Fprintf(&b, "%d bytes\n", sz)
+		for _, s := range series {
+			v := value(s, sz)
+			n := int(v / maxV * width)
+			if n < 1 && v > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %.0f%s\n", labelW, s, strings.Repeat("#", n), v, unit)
+		}
+	}
+	return b.String()
+}
+
+// RenderFigure1 draws Figure 1 — round-trip times with and without header
+// prediction — from a regenerated Table 4.
+func RenderFigure1(t4 *CompareResult) string {
+	byuSize := map[int]CompareRow{}
+	for _, r := range t4.Rows {
+		byuSize[r.Size] = r
+	}
+	return barChart(
+		"Figure 1: Effects of Header Prediction (round-trip µs)",
+		Sizes,
+		[]string{"Without Prediction", "With Prediction"},
+		func(series string, size int) float64 {
+			if series == "Without Prediction" {
+				return byuSize[size].A
+			}
+			return byuSize[size].B
+		},
+		"µs",
+	)
+}
+
+// RenderFigure2 draws Figure 2 — the three copy/checksum strategies —
+// from a regenerated Table 5.
+func RenderFigure2(t5 *CksumResult) string {
+	bySize := map[int]CksumRow{}
+	for _, r := range t5.Rows {
+		bySize[r.Size] = r
+	}
+	return barChart(
+		"Figure 2: Copy and Checksum Measurements (µs)",
+		Sizes,
+		[]string{"Copy & ULTRIX Checksum", "Copy & Optimized Checksum", "Integrated Copy & Checksum"},
+		func(series string, size int) float64 {
+			row := bySize[size]
+			switch series {
+			case "Copy & ULTRIX Checksum":
+				return row.ULTRIXTotal
+			case "Copy & Optimized Checksum":
+				return row.ULTRIXBcopy + row.OptimizedChecksum
+			default:
+				return row.IntegratedCopyCk
+			}
+		},
+		"µs",
+	)
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+)
+
+// Report holds every regenerated experiment.
+type Report struct {
+	Table1    *CompareResult
+	Table2    *BreakdownResult
+	Table3    *BreakdownResult
+	Table4    *CompareResult
+	Table5    *CksumResult
+	Table6    *CompareResult
+	Table7    *CompareResult
+	PCB       *PCBResult
+	Sun3      Sun3Result
+	Errors    *ErrorStudyResult
+	Transport *TransportResult
+}
+
+// RunAll regenerates every table and figure in the paper's evaluation.
+func RunAll(o Options) (*Report, error) {
+	o = o.normalize()
+	r := &Report{}
+	var err error
+	if r.Table1, err = RunTable1(o); err != nil {
+		return nil, fmt.Errorf("table 1: %w", err)
+	}
+	if r.Table2, err = RunTable2(o); err != nil {
+		return nil, fmt.Errorf("table 2: %w", err)
+	}
+	if r.Table3, err = RunTable3(o); err != nil {
+		return nil, fmt.Errorf("table 3: %w", err)
+	}
+	if r.Table4, err = RunTable4(o); err != nil {
+		return nil, fmt.Errorf("table 4: %w", err)
+	}
+	if r.Table5, err = RunTable5(); err != nil {
+		return nil, fmt.Errorf("table 5: %w", err)
+	}
+	if r.Table6, err = RunTable6(o); err != nil {
+		return nil, fmt.Errorf("table 6: %w", err)
+	}
+	if r.Table7, err = RunTable7(o); err != nil {
+		return nil, fmt.Errorf("table 7: %w", err)
+	}
+	r.PCB = RunPCBExperiment()
+	r.Sun3 = RunSun3Comparison()
+	if r.Errors, err = RunErrorStudy(150); err != nil {
+		return nil, fmt.Errorf("error study: %w", err)
+	}
+	if r.Transport, err = RunTransportComparison(cost.ChecksumStandard, o); err != nil {
+		return nil, fmt.Errorf("transport comparison: %w", err)
+	}
+	return r, nil
+}
+
+// Render formats the full report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	sections := []string{
+		r.Table1.Render(),
+		r.Table2.Render(),
+		r.Table3.Render(),
+		r.Table4.Render(),
+		r.PCB.Render(),
+		r.Table5.Render(),
+		r.Table6.Render(),
+		r.Table7.Render(),
+		r.Sun3.Render(),
+		r.Errors.Render(),
+		r.Transport.Render(),
+	}
+	for _, s := range sections {
+		b.WriteString(s)
+		b.WriteString("\n")
+	}
+	return b.String()
+}

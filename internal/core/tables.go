@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/lab"
+	"repro/internal/paperdata"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// CompareRow is one size's paper-versus-measured pair in a two-series
+// experiment (ATM vs Ethernet, prediction on vs off, and so on).
+type CompareRow struct {
+	Size            int
+	A, B            float64 // measured, µs (series meaning depends on table)
+	DecreasePercent float64 // relative change the paper reports
+}
+
+// CompareResult is a regenerated two-series round-trip table.
+type CompareResult struct {
+	Title  string
+	ALabel string
+	BLabel string
+	Rows   []CompareRow
+	PaperA map[int]float64
+	PaperB map[int]float64
+}
+
+// Render formats the table with paper values alongside measured ones.
+func (r *CompareResult) Render() string {
+	t := stats.NewTable(r.Title,
+		"Size", r.ALabel, "paper", r.BLabel, "paper", "Δ%", "paperΔ%")
+	for _, row := range r.Rows {
+		paperDelta := stats.PercentDecrease(r.PaperA[row.Size], r.PaperB[row.Size])
+		t.AddRow(row.Size, row.A, r.PaperA[row.Size], row.B, r.PaperB[row.Size],
+			row.DecreasePercent, paperDelta)
+	}
+	return t.String()
+}
+
+// runCompare measures two configurations across all sizes.
+func runCompare(cfgA, cfgB lab.Config, o Options) ([]CompareRow, error) {
+	var rows []CompareRow
+	for _, size := range Sizes {
+		a, err := MeasureRTT(cfgA, size, o)
+		if err != nil {
+			return nil, fmt.Errorf("size %d (A): %w", size, err)
+		}
+		b, err := MeasureRTT(cfgB, size, o)
+		if err != nil {
+			return nil, fmt.Errorf("size %d (B): %w", size, err)
+		}
+		rows = append(rows, CompareRow{
+			Size: size, A: a, B: b,
+			DecreasePercent: stats.PercentDecrease(a, b),
+		})
+	}
+	return rows, nil
+}
+
+// RunTable1 regenerates Table 1: ATM versus Ethernet round-trip latency.
+func RunTable1(o Options) (*CompareResult, error) {
+	eth := baseConfig()
+	eth.Link = lab.LinkEther
+	rows, err := runCompare(eth, baseConfig(), o)
+	if err != nil {
+		return nil, err
+	}
+	return &CompareResult{
+		Title:  "Table 1: ATM versus Ethernet round-trip latency (µs)",
+		ALabel: "Ethernet", BLabel: "ATM",
+		Rows:   rows,
+		PaperA: paperdata.Table1.Ethernet,
+		PaperB: paperdata.Table1.ATM,
+	}, nil
+}
+
+// BreakdownResult is a regenerated Table 2 or Table 3.
+type BreakdownResult struct {
+	Title  string
+	Side   string // "transmit" or "receive"
+	Layers []trace.Layer
+	Labels []string // presentation row labels matching Layers
+	// PerSize maps transfer size to the measured breakdown.
+	PerSize map[int]Breakdown
+	Paper   map[string]map[int]float64
+}
+
+// Render formats the breakdown with one column per transfer size, paper
+// values in parentheses.
+func (r *BreakdownResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-14s", "Layer")
+	for _, size := range Sizes {
+		fmt.Fprintf(&b, "%14d", size)
+	}
+	b.WriteString("\n")
+	line := 14 + 14*len(Sizes)
+	b.WriteString(strings.Repeat("-", line) + "\n")
+	for i, layer := range r.Layers {
+		label := r.Labels[i]
+		fmt.Fprintf(&b, "%-14s", label)
+		for _, size := range Sizes {
+			meas := r.PerSize[size].Rows[layer]
+			paper := r.Paper[label][size]
+			fmt.Fprintf(&b, "%7.0f(%4.0f)", meas, paper)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-14s", "Total")
+	for _, size := range Sizes {
+		fmt.Fprintf(&b, "%7.0f(%4.0f)", r.PerSize[size].Total, r.Paper["Total"][size])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RunTable2 regenerates Table 2: the transmit-side latency breakdown.
+func RunTable2(o Options) (*BreakdownResult, error) {
+	return runBreakdown(o, "transmit")
+}
+
+// RunTable3 regenerates Table 3: the receive-side latency breakdown.
+func RunTable3(o Options) (*BreakdownResult, error) {
+	return runBreakdown(o, "receive")
+}
+
+func runBreakdown(o Options, side string) (*BreakdownResult, error) {
+	o = o.normalize()
+	res := &BreakdownResult{
+		Side:    side,
+		PerSize: map[int]Breakdown{},
+	}
+	if side == "transmit" {
+		res.Title = "Table 2: Breakdown of Transmit Side Latency (µs, paper in parens)"
+		res.Layers = TxLayers
+		res.Labels = []string{"User", "TCP.checksum", "TCP.mcopy", "TCP.segment", "IP", "ATM"}
+		res.Paper = paperdata.Table2
+	} else {
+		res.Title = "Table 3: Breakdown of Receive Side Latency (µs, paper in parens)"
+		res.Layers = RxLayers
+		res.Labels = []string{"ATM", "IPQ", "IP", "TCP.checksum", "TCP.segment", "Wakeup", "User"}
+		res.Paper = paperdata.Table3
+	}
+	for _, size := range Sizes {
+		tx, rx, err := MeasureBreakdowns(baseConfig(), size, o.Iterations, o.Warmup)
+		if err != nil {
+			return nil, fmt.Errorf("size %d: %w", size, err)
+		}
+		if side == "transmit" {
+			res.PerSize[size] = tx
+		} else {
+			res.PerSize[size] = rx
+		}
+	}
+	return res, nil
+}
+
+// RunTable4 regenerates Table 4 (and Figure 1's series): round trips with
+// header prediction disabled versus enabled.
+func RunTable4(o Options) (*CompareResult, error) {
+	noPred := baseConfig()
+	noPred.DisablePrediction = true
+	rows, err := runCompare(noPred, baseConfig(), o)
+	if err != nil {
+		return nil, err
+	}
+	return &CompareResult{
+		Title:  "Table 4 / Figure 1: Effects of Header Prediction (µs)",
+		ALabel: "NoPred", BLabel: "Pred",
+		Rows:   rows,
+		PaperA: paperdata.Table4.NoPrediction,
+		PaperB: paperdata.Table4.Prediction,
+	}, nil
+}
+
+// RunTable6 regenerates Table 6: the standard checksum versus the
+// combined copy-and-checksum kernel.
+func RunTable6(o Options) (*CompareResult, error) {
+	comb := baseConfig()
+	comb.Mode = cost.ChecksumIntegrated
+	rows, err := runCompare(baseConfig(), comb, o)
+	if err != nil {
+		return nil, err
+	}
+	return &CompareResult{
+		Title:  "Table 6: Standard checksum versus combined copy+checksum (µs)",
+		ALabel: "Standard", BLabel: "Combined",
+		Rows:   rows,
+		PaperA: paperdata.Table6.Standard,
+		PaperB: paperdata.Table6.Combined,
+	}, nil
+}
+
+// RunTable7 regenerates Table 7: round trips with and without the TCP
+// checksum.
+func RunTable7(o Options) (*CompareResult, error) {
+	none := baseConfig()
+	none.Mode = cost.ChecksumNone
+	rows, err := runCompare(baseConfig(), none, o)
+	if err != nil {
+		return nil, err
+	}
+	return &CompareResult{
+		Title:  "Table 7: Round trips with and without the TCP checksum (µs)",
+		ALabel: "Checksum", BLabel: "NoChecksum",
+		Rows:   rows,
+		PaperA: paperdata.Table7.Checksum,
+		PaperB: paperdata.Table7.NoChecksum,
+	}, nil
+}

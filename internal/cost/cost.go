@@ -1,0 +1,221 @@
+// Package cost defines the CPU cost model that gives the simulated
+// DECstation 5000/200 its timing behaviour.
+//
+// The paper's latency tables are, at bottom, sums of code-path execution
+// times on a 25 MHz MIPS R3000 plus queueing and wire delays. This package
+// captures those execution times as a set of named constants — fixed
+// per-operation costs and per-byte rates — calibrated against the numbers
+// the paper publishes (Table 5 for the user-level copy/checksum routines,
+// Tables 2 and 3 for the kernel path constants, §3 for PCB lookup). The
+// protocol implementations in the other packages charge these costs to a
+// simulated CPU as they execute the corresponding real operations on real
+// bytes, so the *structure* of the latency (what overlaps, what waits, what
+// scales per byte versus per packet versus per cell) emerges from the
+// simulation while the magnitudes come from calibration.
+package cost
+
+import "repro/internal/sim"
+
+// ChecksumMode selects how the stack handles the TCP checksum, the
+// experimental variable of the paper's §4.
+type ChecksumMode int
+
+const (
+	// ChecksumStandard computes the checksum in tcp_output/tcp_input as
+	// stock BSD does. This is the baseline configuration.
+	ChecksumStandard ChecksumMode = iota
+	// ChecksumIntegrated fuses the checksum with a data copy: on
+	// transmit with the user-to-kernel copy at the socket layer (partial
+	// sums stored per mbuf), on receive with the device-to-kernel copy
+	// in the driver (§4.1.1, Table 6).
+	ChecksumIntegrated
+	// ChecksumNone eliminates the TCP checksum entirely, relying on the
+	// AAL3/4 CRC for error detection (§4.2, Table 7). Both ends must
+	// agree, which the paper models with the Alternate Checksum Option.
+	ChecksumNone
+)
+
+// String returns the mode name used in reports.
+func (m ChecksumMode) String() string {
+	switch m {
+	case ChecksumStandard:
+		return "standard"
+	case ChecksumIntegrated:
+		return "integrated"
+	case ChecksumNone:
+		return "none"
+	}
+	return "unknown"
+}
+
+// Linear is an affine cost curve: Fixed + PerByte×n, the form the paper's
+// own measurements take ("the results scaled linearly", §3).
+type Linear struct {
+	Fixed   sim.Time // per-invocation cost
+	PerByte float64  // nanoseconds per byte
+}
+
+// Cost returns the cost of applying the operation to n bytes.
+func (l Linear) Cost(n int) sim.Time {
+	return l.Fixed + sim.Time(l.PerByte*float64(n))
+}
+
+// Model holds every constant the simulated kernel and drivers charge.
+// Field groups follow the structure of the paper's breakdown tables.
+// All values describe a DECstation 5000/200 unless a caller overrides them.
+type Model struct {
+	// User-level copy and checksum routines (Table 5). These are charged
+	// by the user-level microbenchmark harness; the same algorithms run
+	// for real in internal/checksum.
+	UserChecksumULTRIX Linear // ULTRIX 4.2A halfword checksum
+	UserChecksumOpt    Linear // word-at-a-time, unrolled checksum
+	UserBcopy          Linear // plain memory-to-memory copy
+	UserCopyChecksum   Linear // fused copy + checksum
+
+	// Syscall entry/exit and user/kernel copies (the User rows of
+	// Tables 2 and 3).
+	WriteSyscall   sim.Time // write(2) entry to sosend
+	ReadSyscall    sim.Time // read(2) entry/exit + soreceive bookkeeping
+	CopyinFixed    sim.Time // per-mbuf fixed cost of copying user data in
+	CopyinPerByte  float64  // ns/byte, user space to mbuf
+	CopyoutFixed   sim.Time // per-mbuf fixed cost of copying data out
+	CopyoutPerByte float64  // ns/byte, mbuf to user space
+	SockAppend     sim.Time // sbappend per mbuf
+	UsrreqDispatch sim.Time // protocol user-request dispatch (PRU_SEND etc.)
+
+	// Mbuf management (§2.2.1: "just over 7µs" to allocate and free).
+	MbufAlloc    sim.Time
+	MbufFree     sim.Time
+	ClusterAlloc sim.Time
+	ClusterFree  sim.Time
+	ClusterRef   sim.Time // reference-count copy of a cluster mbuf
+	MbufCopyFix  sim.Time // per-mbuf fixed cost inside m_copy
+
+	// TCP protocol processing (Tables 2 and 3, §3).
+	TCPOutputSegment  Linear   // per-segment output processing (the "segment" row)
+	TCPInputSlow      sim.Time // full tcp_input path per segment
+	TCPInputFast      sim.Time // header-prediction fast path per segment
+	TCPKernelChecksum Linear   // in-kernel checksum per segment over header+data
+	TCPCksumPerMbuf   sim.Time // mbuf-chain walk overhead per mbuf
+	PCBCacheHit       sim.Time // single-entry PCB cache hit
+	PCBLookupFixed    sim.Time // in_pcblookup call overhead
+	PCBLookupPerEntry sim.Time // per list entry (§3: "just less than 1.3µs")
+	PCBHashLookup     sim.Time // hash-table alternative, constant time
+
+	// Integrated copy-and-checksum kernel path (§4.1.1, Table 6). The
+	// initial BSD implementation the paper measured pays fixed
+	// bookkeeping costs (partial checksums stored per mbuf on send, a
+	// modified driver receive loop) in exchange for touching each byte
+	// once instead of twice.
+	IntegratedTxFixed   sim.Time // per-segment partial-checksum bookkeeping
+	IntegratedTxPerByte float64  // ns/byte added to copyin when fusing the sum
+	IntegratedRxFixed   sim.Time // per-frame driver receive bookkeeping
+	IntegratedRxPerByte float64  // ns/byte added to the driver copy when fusing
+	ChecksumCombine     sim.Time // folding stored partial sums into a segment sum
+
+	// IP and software-interrupt scheduling.
+	IPOutput        sim.Time // ip_output per packet
+	IPInput         sim.Time // ip_input per packet
+	SoftintDispatch sim.Time // raise-to-run latency of the IP softint (IPQ row)
+
+	// Process scheduling (the Wakeup row).
+	Wakeup sim.Time // sowakeup to user process running
+
+	// FORE TCA-100 ATM adapter and driver.
+	ATMTxFrameFixed sim.Time // per-frame driver setup on transmit
+	ATMTxPerCell    sim.Time // compose + copy one cell into the transmit FIFO
+	ATMRxFrameFixed sim.Time // per-frame interrupt + reassembly overhead
+	ATMRxPerCell    sim.Time // drain + validate + copy one cell from the FIFO
+	ATMLinkBitsPS   float64  // TAXI link rate, bits/second
+	ATMPropagation  sim.Time // one-way propagation (switchless private network)
+
+	// LANCE Ethernet adapter and driver.
+	EtherTx          Linear  // driver output per frame
+	EtherRx          Linear  // driver input per frame
+	EtherLinkBitsPS  float64 // 10 Mb/s
+	EtherPropagation sim.Time
+	EtherIFG         sim.Time // inter-frame gap
+}
+
+// DECstation5000 returns the cost model calibrated against the paper's
+// published measurements of a DECstation 5000/200 (25 MHz MIPS R3000,
+// TurboChannel, FORE TCA-100, LANCE Ethernet). Calibration sources:
+//
+//   - Table 5 fits the four user-level routines to within a few percent
+//     at every size (e.g. ULTRIX checksum 1605µs at 8000 bytes →
+//     4.3µs + 0.2002µs/byte).
+//   - Table 2/3 checksum rows fit 4µs + 0.142µs/byte per segment over
+//     payload+40 header bytes (576µs at 4000 bytes, ×2 segments = 1149µs
+//     at 8000).
+//   - §2.2.1 gives mbuf allocate+free ≈ 7µs.
+//   - §3 gives PCB search ≈ 1.3µs per list entry.
+//   - The ATM receive rows give ≈10µs per cell + 36µs per frame
+//     (46µs for 1 cell at 4 bytes, 920µs for 92 cells at 4000 bytes).
+func DECstation5000() *Model {
+	return &Model{
+		UserChecksumULTRIX: Linear{Fixed: sim.Micros(4.3), PerByte: 200.2},
+		UserChecksumOpt:    Linear{Fixed: sim.Micros(3.2), PerByte: 93.9},
+		UserBcopy:          Linear{Fixed: sim.Micros(4.2), PerByte: 86.8},
+		UserCopyChecksum:   Linear{Fixed: sim.Micros(3.4), PerByte: 107.6},
+
+		WriteSyscall:   sim.Micros(28),
+		ReadSyscall:    sim.Micros(55),
+		CopyinFixed:    sim.Micros(6),
+		CopyinPerByte:  33.5,
+		CopyoutFixed:   sim.Micros(2),
+		CopyoutPerByte: 45,
+		SockAppend:     sim.Micros(3),
+		UsrreqDispatch: sim.Micros(4),
+
+		MbufAlloc:    sim.Micros(4.5),
+		MbufFree:     sim.Micros(2.7),
+		ClusterAlloc: sim.Micros(7),
+		ClusterFree:  sim.Micros(3),
+		ClusterRef:   sim.Micros(7),
+		MbufCopyFix:  sim.Micros(1),
+
+		TCPOutputSegment:  Linear{Fixed: sim.Micros(62), PerByte: 0.8},
+		TCPInputSlow:      sim.Micros(128),
+		TCPInputFast:      sim.Micros(52),
+		TCPKernelChecksum: Linear{Fixed: sim.Micros(4), PerByte: 142},
+		TCPCksumPerMbuf:   sim.Micros(1),
+		PCBCacheHit:       sim.Micros(4),
+		PCBLookupFixed:    sim.Micros(35),
+		PCBLookupPerEntry: sim.Micros(1.3),
+		PCBHashLookup:     sim.Micros(8),
+
+		IntegratedTxFixed:   sim.Micros(27),
+		IntegratedTxPerByte: 74,
+		IntegratedRxFixed:   sim.Micros(28),
+		IntegratedRxPerByte: 60,
+		ChecksumCombine:     sim.Micros(3),
+
+		IPOutput:        sim.Micros(35),
+		IPInput:         sim.Micros(48),
+		SoftintDispatch: sim.Micros(22),
+
+		Wakeup: sim.Micros(47),
+
+		ATMTxFrameFixed: sim.Micros(20),
+		ATMTxPerCell:    sim.Micros(2.2),
+		ATMRxFrameFixed: sim.Micros(36),
+		ATMRxPerCell:    sim.Micros(10),
+		ATMLinkBitsPS:   140e6, // TAXI
+		ATMPropagation:  sim.Micros(1),
+
+		EtherTx:          Linear{Fixed: sim.Micros(100), PerByte: 60},
+		EtherRx:          Linear{Fixed: sim.Micros(200), PerByte: 100},
+		EtherLinkBitsPS:  10e6,
+		EtherPropagation: sim.Micros(1),
+		EtherIFG:         sim.Micros(9.6),
+	}
+}
+
+// MbufAllocFree returns the combined cost of allocating and later freeing
+// one normal mbuf. The paper reports this as "just over 7µs" (§2.2.1).
+func (m *Model) MbufAllocFree() sim.Time { return m.MbufAlloc + m.MbufFree }
+
+// WireTime returns the time n bytes occupy a link of rate bitsPerSec.
+func WireTime(n int, bitsPerSec float64) sim.Time {
+	return sim.Time(float64(n) * 8 / bitsPerSec * 1e9)
+}

@@ -1,0 +1,115 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLinearCost(t *testing.T) {
+	l := Linear{Fixed: sim.Micros(5), PerByte: 100} // 100 ns/byte
+	if got := l.Cost(0); got != sim.Micros(5) {
+		t.Fatalf("Cost(0) = %v", got)
+	}
+	if got := l.Cost(1000); got != sim.Micros(105) {
+		t.Fatalf("Cost(1000) = %v", got)
+	}
+}
+
+func TestWireTime(t *testing.T) {
+	// 1250 bytes at 10 Mb/s = 1 ms.
+	if got := WireTime(1250, 10e6); got != sim.Millisecond {
+		t.Fatalf("WireTime = %v", got)
+	}
+	// One cell at 140 Mb/s ≈ 3.03 µs.
+	ct := WireTime(53, 140e6)
+	if ct < 3*sim.Microsecond || ct > 3100*sim.Nanosecond {
+		t.Fatalf("cell time = %v", ct)
+	}
+}
+
+func TestChecksumModeString(t *testing.T) {
+	cases := map[ChecksumMode]string{
+		ChecksumStandard:   "standard",
+		ChecksumIntegrated: "integrated",
+		ChecksumNone:       "none",
+		ChecksumMode(9):    "unknown",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+// TestCalibrationAgainstTable5 pins the user-level cost curves to the
+// paper's published measurements within 15% at every size, so an
+// accidental edit to a constant fails loudly.
+func TestCalibrationAgainstTable5(t *testing.T) {
+	m := DECstation5000()
+	table := []struct {
+		curve Linear
+		name  string
+		pub   map[int]float64
+	}{
+		{m.UserChecksumULTRIX, "ULTRIX checksum",
+			map[int]float64{4: 5, 200: 43, 1400: 283, 8000: 1605}},
+		{m.UserBcopy, "bcopy",
+			map[int]float64{200: 20, 1400: 124, 8000: 698}},
+		{m.UserChecksumOpt, "optimized checksum",
+			map[int]float64{200: 21, 1400: 134, 8000: 754}},
+		{m.UserCopyChecksum, "integrated",
+			map[int]float64{200: 24, 1400: 153, 8000: 864}},
+	}
+	for _, c := range table {
+		for size, want := range c.pub {
+			got := c.curve.Cost(size).Micros()
+			if got < want*0.85 || got > want*1.15 {
+				t.Errorf("%s at %d: %.1fµs vs paper %.1fµs", c.name, size, got, want)
+			}
+		}
+	}
+}
+
+func TestKernelChecksumCalibration(t *testing.T) {
+	// Table 2's checksum row: per segment over payload+40 header bytes.
+	m := DECstation5000()
+	pub := map[int]float64{4: 10, 500: 90, 1400: 209, 4000: 576}
+	for size, want := range pub {
+		got := m.TCPKernelChecksum.Cost(size + 40).Micros()
+		if got < want*0.8 || got > want*1.2 {
+			t.Errorf("kernel checksum at %d: %.1fµs vs paper %.1f", size, got, want)
+		}
+	}
+}
+
+func TestPCBSearchCalibration(t *testing.T) {
+	m := DECstation5000()
+	if got := m.PCBLookupPerEntry.Micros(); got < 1.2 || got > 1.4 {
+		t.Fatalf("per-entry cost %.2fµs, paper: just under 1.3", got)
+	}
+}
+
+func TestATMLinkRatesSane(t *testing.T) {
+	m := DECstation5000()
+	if m.ATMLinkBitsPS <= m.EtherLinkBitsPS {
+		t.Fatal("ATM must be faster than Ethernet")
+	}
+	if m.EtherLinkBitsPS != 10e6 {
+		t.Fatalf("Ethernet rate %v, want 10 Mb/s", m.EtherLinkBitsPS)
+	}
+}
+
+func TestIntegratedBreakEvenImpliedSize(t *testing.T) {
+	// The model's integrated-mode parameters must place the RTT
+	// break-even between 500 and 1400 bytes (Table 6: "the break-even
+	// point occurs somewhere between 500 and 1400 bytes").
+	m := DECstation5000()
+	perByteSaving := (m.TCPKernelChecksum.PerByte - m.IntegratedTxPerByte) +
+		(m.TCPKernelChecksum.PerByte - m.IntegratedRxPerByte)
+	fixedCost := (m.IntegratedTxFixed + m.IntegratedRxFixed).Micros()
+	breakEven := fixedCost * 1000 / perByteSaving
+	if breakEven < 300 || breakEven > 1400 {
+		t.Fatalf("implied break-even %.0f bytes, want between 500 and 1400", breakEven)
+	}
+}

@@ -1,0 +1,262 @@
+// Package ether implements the Ethernet substrate used as the paper's
+// comparison link (Table 1): frame encapsulation with a real FCS, a
+// LANCE-style adapter model pacing a 10 Mb/s wire, and a driver
+// implementing ip.NetIf.
+//
+// The model captures the two properties Table 1 turns on: a much larger
+// fixed per-packet driver/adapter cost than the TCA-100, and a wire an
+// order of magnitude slower, so that small-transfer latency is dominated
+// by the driver gap and large-transfer latency by bandwidth.
+package ether
+
+import (
+	"repro/internal/cost"
+	"repro/internal/ip"
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+const (
+	// HeaderLen is destination + source + type.
+	HeaderLen = 14
+	// FCSLen is the frame check sequence.
+	FCSLen = 4
+	// MTU is the Ethernet payload limit; the paper's 1400-byte transfer
+	// size is "the Ethernet MTU minus protocol headers".
+	MTU = 1500
+	// MinPayload pads short frames to the 64-byte minimum.
+	MinPayload = 46
+	// PreambleBytes precede every frame on the wire.
+	PreambleBytes = 8
+	// EtherTypeIPv4 is the type field for IP datagrams.
+	EtherTypeIPv4 = 0x0800
+)
+
+// fcs is a real CRC-32 (IEEE polynomial, bitwise) over the frame.
+func fcs(b []byte) uint32 {
+	crc := ^uint32(0)
+	for _, v := range b {
+		crc ^= uint32(v)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xedb88320
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// Frame is a raw Ethernet frame (header + payload + FCS).
+type Frame []byte
+
+// Encapsulate builds a frame around payload, padding to the minimum size
+// and appending a real FCS.
+func Encapsulate(dst, src [6]byte, etherType uint16, payload []byte) Frame {
+	n := len(payload)
+	if n < MinPayload {
+		n = MinPayload
+	}
+	f := make([]byte, HeaderLen+n+FCSLen)
+	copy(f[0:6], dst[:])
+	copy(f[6:12], src[:])
+	f[12] = byte(etherType >> 8)
+	f[13] = byte(etherType)
+	copy(f[HeaderLen:], payload)
+	c := fcs(f[:HeaderLen+n])
+	f[HeaderLen+n] = byte(c >> 24)
+	f[HeaderLen+n+1] = byte(c >> 16)
+	f[HeaderLen+n+2] = byte(c >> 8)
+	f[HeaderLen+n+3] = byte(c)
+	return f
+}
+
+// Decapsulate verifies the FCS and returns the payload (possibly padded)
+// and type. ok is false for a corrupt or short frame.
+func Decapsulate(f Frame) (payload []byte, etherType uint16, ok bool) {
+	if len(f) < HeaderLen+MinPayload+FCSLen {
+		return nil, 0, false
+	}
+	body := f[:len(f)-FCSLen]
+	tail := f[len(f)-FCSLen:]
+	want := uint32(tail[0])<<24 | uint32(tail[1])<<16 | uint32(tail[2])<<8 | uint32(tail[3])
+	if fcs(body) != want {
+		return nil, 0, false
+	}
+	etherType = uint16(f[12])<<8 | uint16(f[13])
+	return f[HeaderLen : len(f)-FCSLen], etherType, true
+}
+
+// Adapter models a LANCE on a 10 Mb/s segment: a transmit queue paced by
+// the wire (with preamble and inter-frame gap) and enough receive
+// buffering that frames are not dropped at the rates the experiments
+// generate. It interrupts per received frame.
+type Adapter struct {
+	K    *kern.Kernel
+	Addr [6]byte
+	peer *Adapter
+
+	wireBusy sim.Time
+	rxQ      []Frame
+	// RxReady is the per-frame receive interrupt.
+	RxReady *sim.WaitQueue
+
+	FramesSent int64
+	FramesRecv int64
+	// LossRate drops frames on the wire for fault injection.
+	LossRate float64
+}
+
+// NewAdapter returns an adapter with the given station address.
+func NewAdapter(k *kern.Kernel, addr [6]byte) *Adapter {
+	return &Adapter{K: k, Addr: addr, RxReady: k.Env.NewWaitQueue(k.Name + ".le.rx")}
+}
+
+// Connect joins two adapters into a private two-station segment.
+func Connect(a, b *Adapter) {
+	a.peer = b
+	b.peer = a
+}
+
+// Transmit paces the frame onto the wire and delivers it to the peer.
+func (a *Adapter) Transmit(f Frame) {
+	env := a.K.Env
+	start := env.Now()
+	if a.wireBusy > start {
+		start = a.wireBusy
+	}
+	onWire := cost.WireTime(len(f)+PreambleBytes, a.K.Cost.EtherLinkBitsPS)
+	end := start + onWire
+	a.wireBusy = end + a.K.Cost.EtherIFG
+	a.FramesSent++
+	env.At(end, "ether.frameout", func() {
+		ff := f
+		env.After(a.K.Cost.EtherPropagation, "ether.framein", func() { a.peer.receive(ff) })
+	})
+}
+
+// receive handles a frame arriving from the wire.
+func (a *Adapter) receive(f Frame) {
+	if a.LossRate > 0 && a.K.Env.RNG().Bool(a.LossRate) {
+		return
+	}
+	a.FramesRecv++
+	a.rxQ = append(a.rxQ, f)
+	a.K.Trace.Mark(trace.MarkFrameArrival, a.K.Env.Now())
+	a.RxReady.Wake()
+}
+
+// RxAvail returns the number of received frames waiting.
+func (a *Adapter) RxAvail() int { return len(a.rxQ) }
+
+// PopRx removes and returns the oldest waiting frame.
+func (a *Adapter) PopRx() (Frame, bool) {
+	if len(a.rxQ) == 0 {
+		return nil, false
+	}
+	f := a.rxQ[0]
+	copy(a.rxQ, a.rxQ[1:])
+	a.rxQ = a.rxQ[:len(a.rxQ)-1]
+	return f, true
+}
+
+// Driver is the Ethernet network driver (ip.NetIf plus the receive
+// interrupt service process).
+type Driver struct {
+	K       *kern.Kernel
+	Adapter *Adapter
+	IP      *ip.Stack
+
+	// txBusy serializes Output (the splimp-protected driver section).
+	txBusy bool
+	txWait *sim.WaitQueue
+
+	FramesIn  int64
+	FramesOut int64
+	FCSErrors int64
+}
+
+// NewDriver wires a driver to its adapter and IP stack and starts the
+// receive service process.
+func NewDriver(k *kern.Kernel, a *Adapter, ipStack *ip.Stack) *Driver {
+	d := &Driver{K: k, Adapter: a, IP: ipStack}
+	d.txWait = k.Env.NewWaitQueue(k.Name + ".le.txlock")
+	ipStack.Attach(d)
+	k.Env.Spawn(k.Name+".leintr", d.rxproc)
+	return d
+}
+
+// Name implements ip.NetIf.
+func (d *Driver) Name() string { return d.K.Name + ".le0" }
+
+// MTU implements ip.NetIf.
+func (d *Driver) MTU() int { return MTU }
+
+// Output implements ip.NetIf: encapsulate and hand to the adapter,
+// charging the driver's per-frame output cost (the LANCE copy is part of
+// the per-byte term).
+func (d *Driver) Output(p *sim.Proc, m *mbuf.Mbuf) {
+	for d.txBusy {
+		d.txWait.Wait(p)
+	}
+	d.txBusy = true
+	data := mbuf.Linearize(m)
+	d.K.Use(p, trace.LayerEtherTx, d.K.Cost.EtherTx.Cost(len(data)))
+	f := Encapsulate(d.Adapter.peer.Addr, d.Adapter.Addr, EtherTypeIPv4, data)
+	d.Adapter.Transmit(f)
+	d.FramesOut++
+	d.K.FreeChain(p, trace.LayerMbuf, m)
+	d.txBusy = false
+	d.txWait.WakeAll()
+}
+
+// rxproc drains received frames, validates the FCS, and enqueues the
+// payload for IP.
+func (d *Driver) rxproc(p *sim.Proc) {
+	k := d.K
+	for {
+		for d.Adapter.RxAvail() == 0 {
+			d.Adapter.RxReady.Wait(p)
+		}
+		f, _ := d.Adapter.PopRx()
+		payload, etherType, ok := Decapsulate(f)
+		k.Use(p, trace.LayerEtherRx, k.Cost.EtherRx.Cost(len(payload)))
+		if !ok || etherType != EtherTypeIPv4 {
+			d.FCSErrors++
+			continue
+		}
+		d.deliver(p, payload)
+	}
+}
+
+// deliver builds the mbuf chain (IP header mbuf + payload mbufs) and
+// enqueues it. IP trims Ethernet minimum-frame padding via the header's
+// total length.
+func (d *Driver) deliver(p *sim.Proc, dg []byte) {
+	k := d.K
+	if len(dg) < ip.HeaderLen {
+		d.FCSErrors++
+		return
+	}
+	hm := k.AllocMbuf(p, trace.LayerEtherRx)
+	hm.Append(dg[:ip.HeaderLen])
+	rest := dg[ip.HeaderLen:]
+	tail := hm
+	for len(rest) > 0 {
+		var m *mbuf.Mbuf
+		if len(dg) > mbuf.ClusterThreshold {
+			m = k.AllocCluster(p, trace.LayerEtherRx)
+		} else {
+			m = k.AllocMbuf(p, trace.LayerEtherRx)
+		}
+		n := m.Append(rest)
+		rest = rest[n:]
+		tail.SetNext(m)
+		tail = m
+	}
+	d.FramesIn++
+	d.IP.Enqueue(hm)
+}

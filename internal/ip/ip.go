@@ -1,0 +1,238 @@
+// Package ip implements the IPv4 layer of the simulated stack: real header
+// marshaling and parsing (with a real header checksum), the output path,
+// and the input path's software-interrupt queue — the IPQ whose scheduling
+// latency the paper reports as its own row in Table 3.
+//
+// Routing is the trivial two-host case the paper measures (a private,
+// switchless network): every datagram goes out the single attached
+// interface. Fragmentation is unnecessary because TCP segments to the
+// interface MSS; Output enforces this with a panic rather than silently
+// producing wrong timing.
+package ip
+
+import (
+	"fmt"
+
+	"repro/internal/checksum"
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// HeaderLen is the length of an IPv4 header without options.
+const HeaderLen = 20
+
+// ProtoTCP is the IPv4 protocol number for TCP.
+const ProtoTCP = 6
+
+// Header is a parsed IPv4 header (no options).
+type Header struct {
+	TotalLen int
+	ID       uint16
+	TTL      uint8
+	Proto    uint8
+	Src, Dst uint32
+}
+
+// Marshal writes the header, including a freshly computed header checksum,
+// into b, which must be at least HeaderLen bytes.
+func (h *Header) Marshal(b []byte) {
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = 0
+	b[2] = byte(h.TotalLen >> 8)
+	b[3] = byte(h.TotalLen)
+	b[4] = byte(h.ID >> 8)
+	b[5] = byte(h.ID)
+	b[6], b[7] = 0, 0 // no fragmentation
+	b[8] = h.TTL
+	b[9] = h.Proto
+	b[10], b[11] = 0, 0
+	b[12] = byte(h.Src >> 24)
+	b[13] = byte(h.Src >> 16)
+	b[14] = byte(h.Src >> 8)
+	b[15] = byte(h.Src)
+	b[16] = byte(h.Dst >> 24)
+	b[17] = byte(h.Dst >> 16)
+	b[18] = byte(h.Dst >> 8)
+	b[19] = byte(h.Dst)
+	ck := checksum.Checksum(b[:HeaderLen])
+	b[10] = byte(ck >> 8)
+	b[11] = byte(ck)
+}
+
+// Parse reads and validates a header from b. It returns an error for a bad
+// version, short buffer, or checksum mismatch.
+func Parse(b []byte) (Header, error) {
+	var h Header
+	if len(b) < HeaderLen {
+		return h, fmt.Errorf("ip: short header (%d bytes)", len(b))
+	}
+	if b[0] != 0x45 {
+		return h, fmt.Errorf("ip: unsupported version/IHL %#x", b[0])
+	}
+	if !checksum.Verify(b[:HeaderLen]) {
+		return h, fmt.Errorf("ip: header checksum mismatch")
+	}
+	h.TotalLen = int(b[2])<<8 | int(b[3])
+	h.ID = uint16(b[4])<<8 | uint16(b[5])
+	h.TTL = b[8]
+	h.Proto = b[9]
+	h.Src = uint32(b[12])<<24 | uint32(b[13])<<16 | uint32(b[14])<<8 | uint32(b[15])
+	h.Dst = uint32(b[16])<<24 | uint32(b[17])<<16 | uint32(b[18])<<8 | uint32(b[19])
+	return h, nil
+}
+
+// NetIf is a network interface as IP sees it: something that can transmit
+// a complete IP datagram. The ATM and Ethernet drivers implement it.
+type NetIf interface {
+	// Output transmits the datagram in process context, charging its own
+	// driver costs. The chain includes the IP header.
+	Output(p *sim.Proc, m *mbuf.Mbuf)
+	// MTU returns the maximum datagram size the interface accepts.
+	MTU() int
+	// Name identifies the interface in diagnostics.
+	Name() string
+}
+
+// Handler receives demultiplexed datagram payloads (header stripped).
+type Handler interface {
+	Input(p *sim.Proc, h Header, m *mbuf.Mbuf)
+}
+
+// queued is one datagram waiting on the IP input queue.
+type queued struct {
+	m  *mbuf.Mbuf
+	at sim.Time // enqueue time, the start of the IPQ span
+}
+
+// Stack is one host's IP layer.
+type Stack struct {
+	K    *kern.Kernel
+	If   NetIf
+	Addr uint32
+
+	handlers map[uint8]Handler
+	q        []queued
+	wq       *sim.WaitQueue
+	nextID   uint16
+
+	// Drops counts datagrams discarded on input (bad header, no handler),
+	// for tests and fault-injection experiments.
+	Drops int64
+}
+
+// NewStack creates the IP layer for a host with the given address and
+// starts its software-interrupt service process (the netisr).
+func NewStack(k *kern.Kernel, addr uint32) *Stack {
+	s := &Stack{
+		K:        k,
+		Addr:     addr,
+		handlers: make(map[uint8]Handler),
+		wq:       k.Env.NewWaitQueue(k.Name + ".ipq"),
+	}
+	k.Env.Spawn(k.Name+".netisr", s.netisr)
+	return s
+}
+
+// Attach sets the interface datagrams are routed out of.
+func (s *Stack) Attach(nif NetIf) { s.If = nif }
+
+// Register installs the handler for an IP protocol number.
+func (s *Stack) Register(proto uint8, h Handler) { s.handlers[proto] = h }
+
+// Output encapsulates the transport payload m (e.g. a TCP segment) in an
+// IP datagram to dst and hands it to the interface. It charges the
+// ip_output processing cost and panics if the datagram exceeds the MTU,
+// since this stack deliberately omits fragmentation.
+func (s *Stack) Output(p *sim.Proc, dst uint32, proto uint8, m *mbuf.Mbuf) {
+	s.K.Use(p, trace.LayerIPTx, s.K.Cost.IPOutput)
+	total := mbuf.ChainLen(m) + HeaderLen
+	if total > s.If.MTU() {
+		panic(fmt.Sprintf("ip: datagram of %d bytes exceeds MTU %d", total, s.If.MTU()))
+	}
+	s.nextID++
+	h := Header{TotalLen: total, ID: s.nextID, TTL: 64, Proto: proto, Src: s.Addr, Dst: dst}
+	head, hdr, _ := s.K.Pool.PrependHeader(m, HeaderLen)
+	h.Marshal(hdr)
+	s.If.Output(p, head)
+}
+
+// Enqueue places a received datagram on the IP input queue and signals the
+// software interrupt. Drivers call it from interrupt context; the paper's
+// IPQ row measures the latency from this call to the netisr removing the
+// datagram.
+func (s *Stack) Enqueue(m *mbuf.Mbuf) {
+	s.q = append(s.q, queued{m: m, at: s.K.Now()})
+	s.wq.Wake()
+}
+
+// QueueLen returns the number of datagrams waiting on the input queue.
+func (s *Stack) QueueLen() int { return len(s.q) }
+
+// netisr is the IP software-interrupt service loop.
+func (s *Stack) netisr(p *sim.Proc) {
+	for {
+		for len(s.q) == 0 {
+			s.wq.Wait(p)
+		}
+		// Software-interrupt dispatch: CPU time spent getting from the
+		// signal to the dequeue, attributed to the IPQ row. Queueing
+		// delay behind a busy CPU is not re-attributed here — the work
+		// occupying the CPU (typically the driver copying a later
+		// segment's cells) already owns those spans.
+		s.K.Use(p, trace.LayerIPQ, s.K.Cost.SoftintDispatch)
+		item := s.q[0]
+		copy(s.q, s.q[1:])
+		s.q = s.q[:len(s.q)-1]
+		s.input(p, item.m)
+	}
+}
+
+// input runs ip_input on one datagram: charge processing, parse and verify
+// the real header, strip it, and hand the payload to the protocol handler.
+func (s *Stack) input(p *sim.Proc, m *mbuf.Mbuf) {
+	s.K.Use(p, trace.LayerIPRx, s.K.Cost.IPInput)
+	raw := make([]byte, HeaderLen)
+	if mbuf.CopyBytesTo(m, 0, HeaderLen, raw) != HeaderLen {
+		s.Drops++
+		s.K.Pool.Free(m)
+		return
+	}
+	h, err := Parse(raw)
+	if err != nil {
+		s.Drops++
+		s.K.Pool.Free(m)
+		return
+	}
+	// Trim to the datagram's stated length (drivers may deliver padding,
+	// e.g. Ethernet minimum-frame padding) and strip the header.
+	excess := mbuf.ChainLen(m) - h.TotalLen
+	if excess < 0 {
+		s.Drops++
+		s.K.Pool.Free(m)
+		return
+	}
+	m = s.K.Pool.Drop(m, HeaderLen)
+	if excess > 0 {
+		m = trimTail(s.K.Pool, m, excess)
+	}
+	hd, ok := s.handlers[h.Proto]
+	if !ok {
+		s.Drops++
+		s.K.Pool.Free(m)
+		return
+	}
+	hd.Input(p, h, m)
+}
+
+// trimTail removes n bytes from the end of the chain, freeing emptied
+// mbufs.
+func trimTail(pool *mbuf.Pool, m *mbuf.Mbuf, n int) *mbuf.Mbuf {
+	keep := mbuf.ChainLen(m) - n
+	front, back := pool.Split(m, keep)
+	if back != nil {
+		pool.Free(back)
+	}
+	return front
+}

@@ -1,0 +1,99 @@
+// Package kern models the host operating system the protocol stack runs
+// on: a single CPU, kernel code executing in process context or interrupt
+// context, sleep/wakeup scheduling, and software interrupts. It is the
+// ULTRIX 4.2A stand-in.
+//
+// The CPU is a busy-until cursor: each charge reserves the interval
+// [max(now, busyUntil), +duration) and attributes it to a protocol layer
+// in the trace recorder. Work requested while the CPU is busy starts when
+// the CPU frees up, which is how interrupt processing, software-interrupt
+// dispatch and process wakeup naturally delay one another — the queueing
+// structure behind the paper's IPQ and Wakeup rows and behind the
+// receive-side overlap effects at large transfer sizes.
+package kern
+
+import (
+	"repro/internal/cost"
+	"repro/internal/mbuf"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Kernel is one host's operating system state.
+type Kernel struct {
+	Env   *sim.Env
+	Cost  *cost.Model
+	Trace *trace.Recorder
+	Pool  *mbuf.Pool
+	Name  string // host name, for diagnostics
+
+	busyUntil sim.Time
+}
+
+// New returns a kernel for one host, sharing the simulation environment
+// and using the given cost model.
+func New(env *sim.Env, model *cost.Model, name string) *Kernel {
+	return &Kernel{
+		Env:   env,
+		Cost:  model,
+		Trace: &trace.Recorder{},
+		Pool:  &mbuf.Pool{},
+		Name:  name,
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() sim.Time { return k.Env.Now() }
+
+// BusyUntil returns the time the CPU becomes free.
+func (k *Kernel) BusyUntil() sim.Time { return k.busyUntil }
+
+// Use charges d of CPU time attributed to layer, executing in the context
+// of process p. The process advances to the end of the charge; if the CPU
+// is currently reserved by other work the charge starts after it.
+// It returns the interval actually occupied.
+func (k *Kernel) Use(p *sim.Proc, layer trace.Layer, d sim.Time) (start, end sim.Time) {
+	if d < 0 {
+		panic("kern: negative CPU charge")
+	}
+	start = k.Env.Now()
+	if k.busyUntil > start {
+		start = k.busyUntil
+	}
+	end = start + d
+	k.busyUntil = end
+	k.Trace.Span(layer, start, end)
+	p.SleepUntil(end)
+	return start, end
+}
+
+// SleepOn blocks p on wq and, once woken, charges the scheduler's wakeup
+// path (run-queue to running). The time from wakeup to running is the
+// paper's Wakeup row; the trace span covers both the CPU charge and any
+// wait for the CPU.
+func (k *Kernel) SleepOn(p *sim.Proc, wq *sim.WaitQueue) {
+	wq.Wait(p)
+	k.Use(p, trace.LayerWakeup, k.Cost.Wakeup)
+}
+
+// AllocMbuf allocates a normal mbuf, charging allocation cost to layer.
+func (k *Kernel) AllocMbuf(p *sim.Proc, layer trace.Layer) *mbuf.Mbuf {
+	k.Use(p, layer, k.Cost.MbufAlloc)
+	return k.Pool.Alloc()
+}
+
+// AllocCluster allocates a cluster mbuf, charging allocation cost to layer.
+func (k *Kernel) AllocCluster(p *sim.Proc, layer trace.Layer) *mbuf.Mbuf {
+	k.Use(p, layer, k.Cost.ClusterAlloc)
+	return k.Pool.AllocCluster()
+}
+
+// FreeChain frees an mbuf chain, charging per-mbuf free cost to layer.
+func (k *Kernel) FreeChain(p *sim.Proc, layer trace.Layer, m *mbuf.Mbuf) {
+	n := mbuf.ChainCount(m)
+	if n == 0 {
+		return
+	}
+	k.Use(p, layer, sim.Time(n)*k.Cost.MbufFree)
+	k.Pool.Free(m)
+}

@@ -1,0 +1,132 @@
+package kern
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func newKernel() (*sim.Env, *Kernel) {
+	env := sim.NewEnv()
+	k := New(env, cost.DECstation5000(), "host")
+	return env, k
+}
+
+func TestUseAdvancesBusyCursor(t *testing.T) {
+	env, k := newKernel()
+	var s1, e1, s2, e2 sim.Time
+	env.Spawn("p", func(p *sim.Proc) {
+		s1, e1 = k.Use(p, trace.LayerIPTx, 100*sim.Microsecond)
+		s2, e2 = k.Use(p, trace.LayerIPTx, 50*sim.Microsecond)
+	})
+	env.Run()
+	if s1 != 0 || e1 != 100*sim.Microsecond {
+		t.Fatalf("first charge [%v,%v]", s1, e1)
+	}
+	if s2 != e1 || e2 != e1+50*sim.Microsecond {
+		t.Fatalf("second charge [%v,%v]", s2, e2)
+	}
+	if k.BusyUntil() != e2 {
+		t.Fatalf("BusyUntil = %v", k.BusyUntil())
+	}
+}
+
+func TestUseSerializesAcrossProcs(t *testing.T) {
+	env, k := newKernel()
+	var endA, startB sim.Time
+	env.Spawn("a", func(p *sim.Proc) {
+		_, endA = k.Use(p, trace.LayerIPTx, 200*sim.Microsecond)
+	})
+	env.Spawn("b", func(p *sim.Proc) {
+		startB, _ = k.Use(p, trace.LayerIPRx, 10*sim.Microsecond)
+	})
+	env.Run()
+	// b spawned second at t=0: its charge must start when a's ends.
+	if startB != endA {
+		t.Fatalf("b started at %v, a ended at %v: CPU not serialized", startB, endA)
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	env, k := newKernel()
+	env.Spawn("p", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative charge did not panic")
+			}
+		}()
+		k.Use(p, trace.LayerIPTx, -1)
+	})
+	env.Run()
+}
+
+func TestSleepOnChargesWakeup(t *testing.T) {
+	env, k := newKernel()
+	k.Trace.Enable()
+	wq := env.NewWaitQueue("w")
+	var resumed sim.Time
+	env.Spawn("sleeper", func(p *sim.Proc) {
+		k.SleepOn(p, wq)
+		resumed = env.Now()
+	})
+	env.Spawn("waker", func(p *sim.Proc) {
+		p.Sleep(1 * sim.Millisecond)
+		wq.Wake()
+	})
+	env.Run()
+	want := 1*sim.Millisecond + k.Cost.Wakeup
+	if resumed != want {
+		t.Fatalf("resumed at %v, want %v", resumed, want)
+	}
+	found := false
+	for _, s := range k.Trace.Spans() {
+		if s.Layer == trace.LayerWakeup && s.Duration() == k.Cost.Wakeup {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Wakeup span not recorded")
+	}
+}
+
+func TestAllocChargesAndCounts(t *testing.T) {
+	env, k := newKernel()
+	k.Trace.Enable()
+	env.Spawn("p", func(p *sim.Proc) {
+		m := k.AllocMbuf(p, trace.LayerUserTx)
+		c := k.AllocCluster(p, trace.LayerUserTx)
+		m.SetNext(c)
+		k.FreeChain(p, trace.LayerMbuf, m)
+	})
+	env.Run()
+	st := k.Pool.Stats
+	if st.MbufAllocs != 2 || st.MbufFrees != 2 || st.ClusterAllocs != 1 || st.ClusterFrees != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if k.BusyUntil() != k.Cost.MbufAlloc+k.Cost.ClusterAlloc+2*k.Cost.MbufFree {
+		t.Fatalf("charge total %v", k.BusyUntil())
+	}
+}
+
+func TestFreeChainNilIsNoop(t *testing.T) {
+	env, k := newKernel()
+	env.Spawn("p", func(p *sim.Proc) {
+		k.FreeChain(p, trace.LayerMbuf, nil)
+	})
+	env.Run()
+	if k.BusyUntil() != 0 {
+		t.Fatal("freeing nil charged time")
+	}
+}
+
+func TestMbufAllocFreeCostMatchesPaper(t *testing.T) {
+	// §2.2.1: "the measured time to allocate and free an mbuf ... is
+	// just over 7µs".
+	m := cost.DECstation5000()
+	got := m.MbufAllocFree().Micros()
+	if got < 7.0 || got > 7.5 {
+		t.Fatalf("mbuf alloc+free = %.2fµs, paper says just over 7", got)
+	}
+}

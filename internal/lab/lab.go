@@ -1,0 +1,389 @@
+// Package lab assembles complete simulated testbeds: two DECstation
+// 5000/200 hosts, each with a kernel, IP and TCP stacks, and either FORE
+// TCA-100 ATM adapters on a private switchless fiber or LANCE Ethernets on
+// a private segment — the configuration of §1.1 — plus the round-trip echo
+// benchmark of §1.2.
+package lab
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/cost"
+	"repro/internal/ether"
+	"repro/internal/ip"
+	"repro/internal/kern"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+	"repro/internal/udp"
+)
+
+// LinkKind selects the network technology under test (Table 1's variable).
+type LinkKind int
+
+// Available link kinds.
+const (
+	LinkATM LinkKind = iota
+	LinkEther
+)
+
+// String names the link for reports.
+func (l LinkKind) String() string {
+	if l == LinkEther {
+		return "Ethernet"
+	}
+	return "ATM"
+}
+
+// Config describes one experimental configuration: every knob the paper's
+// experiments turn.
+type Config struct {
+	// Link selects ATM or Ethernet.
+	Link LinkKind
+	// Mode is the checksum configuration on both hosts.
+	Mode cost.ChecksumMode
+	// DisablePrediction builds the paper's §3 kernel with the PCB cache
+	// and TCP fast path turned off.
+	DisablePrediction bool
+	// HashPCBs uses the hash-table PCB organization instead of the list.
+	HashPCBs bool
+	// ExtraPCBs populates each host's PCB table with this many inactive
+	// connections before the benchmark connection is created, to exercise
+	// lookup cost.
+	ExtraPCBs int
+	// CellLossRate injects random ATM cell loss.
+	CellLossRate float64
+	// CellCorruptRate flips random bits in cells on the wire (caught by
+	// HEC / AAL CRC-10).
+	CellCorruptRate float64
+	// HostCorruptRate flips random bits in reassembled datagrams during
+	// the device-to-host transfer (invisible to the AAL; only the TCP
+	// checksum can catch it — the §4.2.1 buggy-controller scenario).
+	HostCorruptRate float64
+	// Cost overrides the cost model (nil means DECstation 5000/200).
+	Cost *cost.Model
+	// Seed seeds the simulation RNG.
+	Seed uint64
+	// Nagle leaves the Nagle algorithm enabled on the benchmark
+	// connection. By default the harness disables it (TCP_NODELAY), the
+	// standard setting for RPC-style benchmarks and the only sender
+	// behaviour consistent with the paper's observation that the two
+	// segments of an 8000-byte transfer leave back to back.
+	Nagle bool
+}
+
+// Host is one assembled workstation.
+type Host struct {
+	Kern *kern.Kernel
+	IP   *ip.Stack
+	TCP  *tcp.Stack
+	UDP  *udp.Stack
+
+	ATMAdapter *atm.Adapter
+	ATMDriver  *atm.Driver
+	EthAdapter *ether.Adapter
+	EthDriver  *ether.Driver
+}
+
+// Trace returns the host's span recorder.
+func (h *Host) Trace() *trace.Recorder { return h.Kern.Trace }
+
+// Lab is a two-host testbed.
+type Lab struct {
+	Env    *sim.Env
+	Client *Host
+	Server *Host
+	Config Config
+}
+
+// Host IP addresses on the private network.
+const (
+	ClientAddr = 0xc0a80101 // 192.168.1.1
+	ServerAddr = 0xc0a80102 // 192.168.1.2
+)
+
+// New builds a testbed per the configuration.
+func New(cfg Config) *Lab {
+	env := sim.NewEnv()
+	if cfg.Seed != 0 {
+		env.Seed(cfg.Seed)
+	}
+	model := cfg.Cost
+	if model == nil {
+		model = cost.DECstation5000()
+	}
+	l := &Lab{Env: env, Config: cfg}
+	l.Client = buildHost(env, model, cfg, "client", ClientAddr)
+	l.Server = buildHost(env, model, cfg, "server", ServerAddr)
+	switch cfg.Link {
+	case LinkATM:
+		atm.Connect(l.Client.ATMAdapter, l.Server.ATMAdapter)
+		l.Client.ATMAdapter.LossRate = cfg.CellLossRate
+		l.Server.ATMAdapter.LossRate = cfg.CellLossRate
+		l.Client.ATMAdapter.CorruptRate = cfg.CellCorruptRate
+		l.Server.ATMAdapter.CorruptRate = cfg.CellCorruptRate
+		l.Client.ATMDriver.HostCorruptRate = cfg.HostCorruptRate
+		l.Server.ATMDriver.HostCorruptRate = cfg.HostCorruptRate
+	case LinkEther:
+		ether.Connect(l.Client.EthAdapter, l.Server.EthAdapter)
+	}
+	return l
+}
+
+// buildHost assembles one workstation.
+func buildHost(env *sim.Env, model *cost.Model, cfg Config, name string, addr uint32) *Host {
+	k := kern.New(env, model, name)
+	h := &Host{Kern: k}
+	h.IP = ip.NewStack(k, addr)
+	switch cfg.Link {
+	case LinkATM:
+		h.ATMAdapter = atm.NewAdapter(k)
+		h.ATMDriver = atm.NewDriver(k, h.ATMAdapter, h.IP)
+		h.ATMDriver.Mode = cfg.Mode
+	case LinkEther:
+		var station [6]byte
+		station[5] = byte(addr)
+		h.EthAdapter = ether.NewAdapter(k, station)
+		h.EthDriver = ether.NewDriver(k, h.EthAdapter, h.IP)
+	}
+	h.TCP = tcp.NewStack(k, h.IP)
+	h.TCP.Mode = cfg.Mode
+	h.TCP.PredictionEnabled = !cfg.DisablePrediction
+	h.TCP.Table.UseHash = cfg.HashPCBs
+	h.UDP = udp.NewStack(k, h.IP)
+	h.UDP.ChecksumOff = cfg.Mode == cost.ChecksumNone
+	return h
+}
+
+// populatePCBs inserts n synthetic idle connections. The harness calls it
+// after the benchmark connection is established, so the noise connections
+// sit ahead of it on the list (BSD inserts at the head) and every
+// cache-miss lookup must walk past them — the situation the §3 hash-table
+// discussion addresses.
+func populatePCBs(s *tcp.Stack, n int) {
+	for i := 0; i < n; i++ {
+		s.InsertIdlePCB(uint32(0x0a000000+i), uint16(20000+i%40000))
+	}
+}
+
+// EchoResult is the outcome of one echo benchmark run.
+type EchoResult struct {
+	Size       int
+	Iterations int
+	// CorruptEchoes counts measured iterations whose echoed bytes did
+	// not match what was sent — end-to-end data corruption that every
+	// lower-layer check missed. Zero in every experiment except the
+	// §4.2.1 study's no-checksum-plus-host-corruption configuration.
+	CorruptEchoes int
+	RTTs          []sim.Time
+	// Windows give, for each measured iteration, the client-side
+	// timestamps the breakdown computations need.
+	Windows []IterWindow
+}
+
+// IterWindow delimits one measured round trip on the client.
+type IterWindow struct {
+	WriteStart sim.Time // client entered write(2)
+	WriteEnd   sim.Time // write returned
+	ReadReturn sim.Time // read of the full echo returned
+}
+
+// MeanRTT returns the average round-trip time.
+func (r *EchoResult) MeanRTT() sim.Time {
+	if len(r.RTTs) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, v := range r.RTTs {
+		sum += v
+	}
+	return sum / sim.Time(len(r.RTTs))
+}
+
+// MeanRTTMicros returns the average round-trip time in microseconds, the
+// paper's reporting unit.
+func (r *EchoResult) MeanRTTMicros() float64 { return r.MeanRTT().Micros() }
+
+// MedianRTTMicros returns the median round-trip time in microseconds.
+// Under injected loss the mean is dominated by retransmission-timeout
+// stalls; the median shows the loss-free common case.
+func (r *EchoResult) MedianRTTMicros() float64 {
+	var s stats.Sample
+	for _, v := range r.RTTs {
+		s.Add(v.Micros())
+	}
+	return s.Percentile(50)
+}
+
+// echoPort is the server's listening port.
+const echoPort = 7 // the echo service
+
+// RunEcho runs the paper's benchmark (§1.2): the client connects, then
+// repeatedly sends size bytes and waits to receive size bytes back, for
+// warmup unmeasured iterations followed by iterations measured ones.
+// Tracing is enabled only for the measured iterations.
+func (l *Lab) RunEcho(size, iterations, warmup int) (*EchoResult, error) {
+	res := &EchoResult{Size: size, Iterations: iterations}
+	var runErr error
+
+	ln, err := l.Server.TCP.Listen(echoPort)
+	if err != nil {
+		return nil, err
+	}
+	l.Env.Spawn("server.echo", func(p *sim.Proc) {
+		so, conn := ln.Accept(p)
+		if !l.Config.Nagle {
+			conn.SetNoDelay(true)
+		}
+		buf := make([]byte, size)
+		for {
+			total := 0
+			for total < size {
+				n, err := so.Recv(p, buf[total:])
+				if err != nil || n == 0 {
+					return
+				}
+				total += n
+			}
+			if _, err := so.Send(p, buf); err != nil {
+				return
+			}
+		}
+	})
+
+	l.Env.Spawn("client.echo", func(p *sim.Proc) {
+		so, conn, err := l.Client.TCP.Connect(p, ServerAddr, echoPort)
+		if err != nil {
+			runErr = err
+			return
+		}
+		if !l.Config.Nagle {
+			conn.SetNoDelay(true)
+		}
+		populatePCBs(l.Client.TCP, l.Config.ExtraPCBs)
+		populatePCBs(l.Server.TCP, l.Config.ExtraPCBs)
+		msg := make([]byte, size)
+		l.Env.RNG().Fill(msg)
+		buf := make([]byte, size)
+		for i := 0; i < warmup+iterations; i++ {
+			measured := i >= warmup
+			if measured && !l.tracing() {
+				l.setTracing(true)
+			}
+			w := IterWindow{WriteStart: l.Env.Now()}
+			if _, err := so.Send(p, msg); err != nil {
+				runErr = err
+				return
+			}
+			w.WriteEnd = l.Env.Now()
+			total := 0
+			for total < size {
+				n, err := so.Recv(p, buf[total:])
+				if err != nil {
+					runErr = err
+					return
+				}
+				if n == 0 {
+					runErr = fmt.Errorf("lab: unexpected EOF at iteration %d", i)
+					return
+				}
+				total += n
+			}
+			w.ReadReturn = l.Env.Now()
+			if measured {
+				res.RTTs = append(res.RTTs, w.ReadReturn-w.WriteStart)
+				res.Windows = append(res.Windows, w)
+				if !bytesEqual(buf, msg) {
+					res.CorruptEchoes++
+				}
+			}
+		}
+		so.Close(p)
+	})
+
+	l.Env.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if len(res.RTTs) != iterations {
+		return nil, fmt.Errorf("lab: measured %d of %d iterations", len(res.RTTs), iterations)
+	}
+	return res, nil
+}
+
+// RunUDPEcho runs the same request/response benchmark over UDP: the
+// datagram baseline for the paper's "is TCP viable for RPC?" question.
+// Sizes above the link MTU are rejected (UDP here does not fragment).
+func (l *Lab) RunUDPEcho(size, iterations, warmup int) (*EchoResult, error) {
+	res := &EchoResult{Size: size, Iterations: iterations}
+	const port = 2049 // the NFS port, in the spirit of §4.2
+	srv, err := l.Server.UDP.Bind(port)
+	if err != nil {
+		return nil, err
+	}
+	l.Env.Spawn("server.udpecho", func(p *sim.Proc) {
+		for i := 0; i < warmup+iterations; i++ {
+			d := srv.RecvFrom(p)
+			srv.SendTo(p, d.Src, d.SrcPort, d.Data)
+		}
+	})
+	var runErr error
+	l.Env.Spawn("client.udpecho", func(p *sim.Proc) {
+		cli, err := l.Client.UDP.Bind(0)
+		if err != nil {
+			runErr = err
+			return
+		}
+		msg := make([]byte, size)
+		l.Env.RNG().Fill(msg)
+		for i := 0; i < warmup+iterations; i++ {
+			w := IterWindow{WriteStart: l.Env.Now()}
+			cli.SendTo(p, ServerAddr, port, msg)
+			w.WriteEnd = l.Env.Now()
+			d := cli.RecvFrom(p)
+			w.ReadReturn = l.Env.Now()
+			if i >= warmup {
+				res.RTTs = append(res.RTTs, w.ReadReturn-w.WriteStart)
+				res.Windows = append(res.Windows, w)
+				if !bytesEqual(d.Data, msg) {
+					res.CorruptEchoes++
+				}
+			}
+		}
+	})
+	l.Env.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if len(res.RTTs) != iterations {
+		return nil, fmt.Errorf("lab: udp echo measured %d of %d iterations",
+			len(res.RTTs), iterations)
+	}
+	return res, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *Lab) tracing() bool { return l.Client.Kern.Trace.Enabled() }
+
+func (l *Lab) setTracing(on bool) {
+	if on {
+		l.Client.Kern.Trace.Enable()
+		l.Server.Kern.Trace.Enable()
+	} else {
+		l.Client.Kern.Trace.Disable()
+		l.Server.Kern.Trace.Disable()
+	}
+}

@@ -1,0 +1,158 @@
+// Package paperdata embeds the published measurements from every table of
+// "Latency Analysis of TCP on an ATM Network" (Wolman, Voelker, Thekkath;
+// USENIX Winter 1994), so the experiment harness can print paper-versus-
+// measured comparisons and the shape tests can assert that the
+// reproduction preserves orderings, ratios and crossovers.
+//
+// All times are microseconds, exactly as printed in the paper.
+package paperdata
+
+// Sizes is the set of transfer sizes every round-trip table uses,
+// chosen per §1.2.
+var Sizes = []int{4, 20, 80, 200, 500, 1400, 4000, 8000}
+
+// Table1 compares ATM and Ethernet round-trip times.
+var Table1 = struct {
+	Ethernet map[int]float64
+	ATM      map[int]float64
+}{
+	Ethernet: map[int]float64{
+		4: 1940, 20: 2337, 80: 2590, 200: 2804,
+		500: 4101, 1400: 6554, 4000: 13168, 8000: 22141,
+	},
+	ATM: map[int]float64{
+		4: 1021, 20: 1039, 80: 1289, 200: 1520,
+		500: 2140, 1400: 2976, 4000: 5891, 8000: 10636,
+	},
+}
+
+// Table2 is the transmit-side latency breakdown (BSD 4.4 alpha, ATM).
+// Keyed by row label then size.
+var Table2 = map[string]map[int]float64{
+	"User":         {4: 45, 20: 45, 80: 48, 200: 67, 500: 121, 1400: 99, 4000: 174, 8000: 400},
+	"TCP.checksum": {4: 10, 20: 12, 80: 23, 200: 42, 500: 90, 1400: 209, 4000: 576, 8000: 1149},
+	"TCP.mcopy":    {4: 5.1, 20: 5.7, 80: 26, 200: 41, 500: 80, 1400: 29, 4000: 30, 8000: 41},
+	"TCP.segment":  {4: 62, 20: 65, 80: 63, 200: 65, 500: 71, 1400: 63, 4000: 65, 8000: 72},
+	"IP":           {4: 35, 20: 34, 80: 35, 200: 35, 500: 36, 1400: 36, 4000: 38, 8000: 36},
+	"ATM":          {4: 23, 20: 24, 80: 39, 200: 47, 500: 71, 1400: 96, 4000: 215, 8000: 498},
+	"Total":        {4: 180, 20: 184, 80: 234, 200: 297, 500: 469, 1400: 532, 4000: 1098, 8000: 2196},
+}
+
+// Table2TCPTotal is the TCP sub-total row of Table 2.
+var Table2TCPTotal = map[int]float64{
+	4: 77, 20: 81, 80: 112, 200: 148, 500: 241, 1400: 301, 4000: 671, 8000: 1262,
+}
+
+// Table3 is the receive-side latency breakdown (BSD 4.4 alpha, ATM).
+var Table3 = map[string]map[int]float64{
+	"ATM":          {4: 46, 20: 46, 80: 70, 200: 99, 500: 164, 1400: 363, 4000: 920, 8000: 1783},
+	"IPQ":          {4: 22, 20: 22, 80: 22, 200: 22, 500: 23, 1400: 45, 4000: 46, 8000: 50},
+	"IP":           {4: 40, 20: 40, 80: 62, 200: 62, 500: 62, 1400: 53, 4000: 54, 8000: 43},
+	"TCP.checksum": {4: 10, 20: 12, 80: 23, 200: 40, 500: 82, 1400: 211, 4000: 578, 8000: 1172},
+	"TCP.segment":  {4: 135, 20: 135, 80: 138, 200: 141, 500: 158, 1400: 142, 4000: 143, 8000: 59},
+	"Wakeup":       {4: 46, 20: 47, 80: 47, 200: 50, 500: 49, 1400: 51, 4000: 58, 8000: 67},
+	"User":         {4: 64, 20: 65, 80: 89, 200: 81, 500: 102, 1400: 124, 4000: 199, 8000: 468},
+	"Total":        {4: 363, 20: 367, 80: 451, 200: 495, 500: 640, 1400: 989, 4000: 1998, 8000: 3642},
+}
+
+// Table3TCPTotal is the TCP sub-total row of Table 3.
+var Table3TCPTotal = map[int]float64{
+	4: 145, 20: 147, 80: 161, 200: 181, 500: 240, 1400: 353, 4000: 721, 8000: 1231,
+}
+
+// Table4 compares round trips with header prediction disabled and enabled
+// (Figure 1 plots the same data).
+var Table4 = struct {
+	NoPrediction map[int]float64
+	Prediction   map[int]float64
+}{
+	NoPrediction: map[int]float64{
+		4: 1110, 20: 1127, 80: 1324, 200: 1560,
+		500: 2186, 1400: 2962, 4000: 5950, 8000: 11477,
+	},
+	Prediction: map[int]float64{
+		4: 1021, 20: 1039, 80: 1289, 200: 1520,
+		500: 2140, 1400: 2976, 4000: 5891, 8000: 10636,
+	},
+}
+
+// PCBSearch holds the §3 PCB lookup measurements: 20 entries cost 26 µs,
+// 1000 entries cost 1280 µs, scaling linearly at just under 1.3 µs per
+// entry on the DECstation 5000/200.
+var PCBSearch = struct {
+	Len20, Len1000 float64
+	PerEntry       float64
+}{Len20: 26, Len1000: 1280, PerEntry: 1.3}
+
+// Table5 is the user-level copy and checksum study (Figure 2 plots it).
+var Table5 = map[string]map[int]float64{
+	"ULTRIXChecksum":    {4: 5, 20: 7, 80: 20, 200: 43, 500: 104, 1400: 283, 4000: 807, 8000: 1605},
+	"ULTRIXBcopy":       {4: 4, 20: 5, 80: 11, 200: 20, 500: 47, 1400: 124, 4000: 350, 8000: 698},
+	"ULTRIXTotal":       {4: 9, 20: 12, 80: 31, 200: 63, 500: 151, 1400: 407, 4000: 1157, 8000: 2303},
+	"OptimizedChecksum": {4: 3, 20: 4, 80: 9, 200: 21, 500: 49, 1400: 134, 4000: 378, 8000: 754},
+	"IntegratedCopyCk":  {4: 3, 20: 5, 80: 10, 200: 24, 500: 56, 1400: 153, 4000: 430, 8000: 864},
+}
+
+// Table5Savings is the published "Savings When Integrated (%)" column.
+var Table5Savings = map[int]float64{
+	4: 57, 20: 44, 80: 50, 200: 41, 500: 42, 1400: 41, 4000: 41, 8000: 40,
+}
+
+// Table6 compares round trips with the standard checksum against the
+// combined copy-and-checksum kernel.
+var Table6 = struct {
+	Standard map[int]float64
+	Combined map[int]float64
+	Saving   map[int]float64 // percent; negative means slower
+}{
+	Standard: map[int]float64{
+		4: 1021, 20: 1039, 80: 1289, 200: 1520,
+		500: 2140, 1400: 2976, 4000: 5891, 8000: 10636,
+	},
+	Combined: map[int]float64{
+		4: 1249, 20: 1256, 80: 1477, 200: 1707,
+		500: 2222, 1400: 2691, 4000: 4644, 8000: 8062,
+	},
+	Saving: map[int]float64{
+		4: -22, 20: -21, 80: -15, 200: -12,
+		500: -3.8, 1400: 10, 4000: 21, 8000: 24,
+	},
+}
+
+// Table7 compares round trips with and without the TCP checksum.
+var Table7 = struct {
+	Checksum   map[int]float64
+	NoChecksum map[int]float64
+	Saving     map[int]float64 // percent
+}{
+	Checksum: map[int]float64{
+		4: 1021, 20: 1039, 80: 1289, 200: 1520,
+		500: 2140, 1400: 2976, 4000: 5891, 8000: 10636,
+	},
+	NoChecksum: map[int]float64{
+		4: 1020, 20: 1020, 80: 1233, 200: 1392,
+		500: 1808, 1400: 2083, 4000: 3633, 8000: 6233,
+	},
+	Saving: map[int]float64{
+		4: 0.1, 20: 1.8, 80: 4.3, 200: 8.4,
+		500: 16, 1400: 30, 4000: 38, 8000: 41,
+	},
+}
+
+// Sun3Comparison holds the §4.1 cross-platform data points: checksum,
+// copy, and combined times for 1 KB of data on a Sun-3 (from Clark et al.)
+// and on the DECstation 5000/200.
+var Sun3Comparison = struct {
+	Sun3Checksum, Sun3Copy, Sun3Combined float64
+	DECChecksum, DECCopy, DECCombined    float64
+}{
+	Sun3Checksum: 130, Sun3Copy: 140, Sun3Combined: 200,
+	DECChecksum: 96, DECCopy: 91, DECCombined: 111,
+}
+
+// MbufAllocFreeMicros is §2.2.1's measured mbuf allocate+free time.
+const MbufAllocFreeMicros = 7.0
+
+// CombinedBandwidthMBps is §4.1's observed bandwidth ceiling of the
+// integrated copy-and-checksum loop on the DECstation 5000/200.
+const CombinedBandwidthMBps = 9.0

@@ -1,0 +1,65 @@
+package paperdata
+
+import "testing"
+
+// TestTablesComplete guards against a transcription slip: every table
+// must carry a value for every benchmark size.
+func TestTablesComplete(t *testing.T) {
+	check := func(name string, m map[int]float64) {
+		t.Helper()
+		for _, size := range Sizes {
+			v, ok := m[size]
+			if !ok || v <= 0 {
+				t.Errorf("%s missing size %d", name, size)
+			}
+		}
+	}
+	check("Table1.Ethernet", Table1.Ethernet)
+	check("Table1.ATM", Table1.ATM)
+	for row, m := range Table2 {
+		check("Table2."+row, m)
+	}
+	for row, m := range Table3 {
+		check("Table3."+row, m)
+	}
+	check("Table4.NoPrediction", Table4.NoPrediction)
+	check("Table4.Prediction", Table4.Prediction)
+	for row, m := range Table5 {
+		check("Table5."+row, m)
+	}
+	check("Table6.Standard", Table6.Standard)
+	check("Table6.Combined", Table6.Combined)
+	check("Table7.Checksum", Table7.Checksum)
+	check("Table7.NoChecksum", Table7.NoChecksum)
+}
+
+// TestInternalConsistency cross-checks relations the paper's own numbers
+// satisfy, so a typo in one cell is caught by its neighbours.
+func TestInternalConsistency(t *testing.T) {
+	// Table 5: total = checksum + bcopy.
+	for _, size := range Sizes {
+		sum := Table5["ULTRIXChecksum"][size] + Table5["ULTRIXBcopy"][size]
+		if tot := Table5["ULTRIXTotal"][size]; tot != sum {
+			t.Errorf("Table5 total at %d: %v != %v+%v", size, tot,
+				Table5["ULTRIXChecksum"][size], Table5["ULTRIXBcopy"][size])
+		}
+	}
+	// Tables 4/6/7 share the baseline ATM column with Table 1.
+	for _, size := range Sizes {
+		if Table4.Prediction[size] != Table1.ATM[size] {
+			t.Errorf("Table4 baseline at %d differs from Table1", size)
+		}
+		if Table6.Standard[size] != Table1.ATM[size] {
+			t.Errorf("Table6 baseline at %d differs from Table1", size)
+		}
+		if Table7.Checksum[size] != Table1.ATM[size] {
+			t.Errorf("Table7 baseline at %d differs from Table1", size)
+		}
+	}
+	// ATM must beat Ethernet everywhere in the published data too.
+	for _, size := range Sizes {
+		if Table1.ATM[size] >= Table1.Ethernet[size] {
+			t.Errorf("published ATM not faster at %d", size)
+		}
+	}
+}

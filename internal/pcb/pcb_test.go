@@ -1,0 +1,227 @@
+package pcb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func key(i int) Key {
+	return Key{LocalAddr: 1, RemoteAddr: uint32(i + 2), LocalPort: 80, RemotePort: uint16(i + 1000)}
+}
+
+func TestInsertAtHead(t *testing.T) {
+	var tb Table
+	a := &PCB{Key: key(1)}
+	b := &PCB{Key: key(2)}
+	tb.Insert(a)
+	tb.Insert(b)
+	ents := tb.Entries()
+	if len(ents) != 2 || ents[0] != b || ents[1] != a {
+		t.Fatal("most recent insertion is not at the head")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestLookupExact(t *testing.T) {
+	var tb Table
+	pcbs := make([]*PCB, 10)
+	for i := range pcbs {
+		pcbs[i] = &PCB{Key: key(i), Owner: i}
+		tb.Insert(pcbs[i])
+	}
+	for i := range pcbs {
+		p, _ := tb.Lookup(key(i))
+		if p == nil || p.Owner.(int) != i {
+			t.Fatalf("lookup %d found %v", i, p)
+		}
+	}
+	if p, _ := tb.Lookup(key(99)); p != nil {
+		t.Fatal("lookup of absent key succeeded")
+	}
+}
+
+func TestCacheHit(t *testing.T) {
+	var tb Table
+	for i := 0; i < 50; i++ {
+		tb.Insert(&PCB{Key: key(i)})
+	}
+	_, r1 := tb.Lookup(key(0)) // deep in the list: inserted first
+	if r1.CacheHit {
+		t.Fatal("first lookup cannot hit the cache")
+	}
+	if r1.Searched != 50 {
+		t.Fatalf("first lookup searched %d, want 50 (key 0 is at the tail)", r1.Searched)
+	}
+	_, r2 := tb.Lookup(key(0))
+	if !r2.CacheHit || r2.Searched != 0 {
+		t.Fatalf("repeat lookup: %+v, want cache hit", r2)
+	}
+	if tb.CacheHits != 1 || tb.Lookups != 2 {
+		t.Fatalf("counters: hits=%d lookups=%d", tb.CacheHits, tb.Lookups)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	tb := Table{CacheDisabled: true}
+	tb.Insert(&PCB{Key: key(1)})
+	tb.Lookup(key(1))
+	_, r := tb.Lookup(key(1))
+	if r.CacheHit {
+		t.Fatal("disabled cache hit")
+	}
+	if r.Searched != 1 {
+		t.Fatalf("Searched = %d", r.Searched)
+	}
+}
+
+func TestSearchLengthLinear(t *testing.T) {
+	// The paper measures search cost linear in position; Searched must
+	// equal the 1-based position from the head.
+	var tb Table
+	n := 1000
+	for i := 0; i < n; i++ {
+		tb.Insert(&PCB{Key: key(i)})
+	}
+	for _, pos := range []int{1, 20, 100, 500, 1000} {
+		tb.cache = nil
+		// key(n-pos) is at 1-based position pos from the head.
+		_, r := tb.Lookup(key(n - pos))
+		if r.Searched != pos {
+			t.Fatalf("pos %d: searched %d", pos, r.Searched)
+		}
+	}
+}
+
+func TestHashLookupConstant(t *testing.T) {
+	tb := Table{UseHash: true, CacheDisabled: true}
+	for i := 0; i < 1000; i++ {
+		tb.Insert(&PCB{Key: key(i)})
+	}
+	for _, i := range []int{0, 500, 999} {
+		_, r := tb.Lookup(key(i))
+		if r.Searched != 1 {
+			t.Fatalf("hash lookup searched %d, want 1", r.Searched)
+		}
+	}
+	// A miss in the hash also misses the wildcard scan, paying the scan.
+	_, r := tb.Lookup(Key{LocalAddr: 9, LocalPort: 9})
+	if r.Searched != 1001 {
+		t.Fatalf("hash miss searched %d, want 1001", r.Searched)
+	}
+}
+
+func TestWildcardListen(t *testing.T) {
+	var tb Table
+	listen := &PCB{Key: Key{LocalAddr: 0, LocalPort: 80}, Owner: "listen"}
+	tb.Insert(listen)
+	probe := Key{LocalAddr: 5, RemoteAddr: 6, LocalPort: 80, RemotePort: 1234}
+	p, _ := tb.Lookup(probe)
+	if p != listen {
+		t.Fatal("wildcard listen PCB not found")
+	}
+	// A fully specified PCB must win over the wildcard even when the
+	// wildcard is nearer the head.
+	conn := &PCB{Key: probe, Owner: "conn"}
+	tb.Insert(listen) // ensure order: listen at head
+	tb.Remove(listen)
+	tb.Insert(conn)
+	tb.Insert(listen)
+	tb.cache = nil
+	p, _ = tb.Lookup(probe)
+	if p != conn {
+		t.Fatalf("specific PCB lost to wildcard: %v", p.Owner)
+	}
+}
+
+func TestWrongPortNoMatch(t *testing.T) {
+	var tb Table
+	tb.Insert(&PCB{Key: Key{LocalAddr: 0, LocalPort: 80}})
+	if p, _ := tb.Lookup(Key{LocalAddr: 5, RemoteAddr: 6, LocalPort: 81, RemotePort: 9}); p != nil {
+		t.Fatal("matched wrong local port")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var tb Table
+	a, b, c := &PCB{Key: key(1)}, &PCB{Key: key(2)}, &PCB{Key: key(3)}
+	tb.Insert(a)
+	tb.Insert(b)
+	tb.Insert(c)
+	tb.Remove(b)
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if p, _ := tb.Lookup(key(2)); p != nil {
+		t.Fatal("removed PCB still found")
+	}
+	tb.Remove(b) // no-op
+	if tb.Len() != 2 {
+		t.Fatal("double remove changed the table")
+	}
+	// Removing the cached PCB must invalidate the cache.
+	tb.Lookup(key(3))
+	tb.Remove(c)
+	if p, _ := tb.Lookup(key(3)); p != nil {
+		t.Fatal("stale cache entry returned after Remove")
+	}
+}
+
+func TestRebind(t *testing.T) {
+	var tb Table
+	p := &PCB{Key: Key{LocalAddr: 0, LocalPort: 80}}
+	tb.Insert(p)
+	full := Key{LocalAddr: 1, RemoteAddr: 2, LocalPort: 80, RemotePort: 3}
+	tb.Rebind(p, full)
+	got, _ := tb.Lookup(full)
+	if got != p {
+		t.Fatal("rebound PCB not found by new key")
+	}
+	tbh := Table{UseHash: true}
+	p2 := &PCB{Key: key(9)}
+	tbh.Insert(p2)
+	tbh.Rebind(p2, full)
+	got2, _ := tbh.Lookup(full)
+	if got2 != p2 {
+		t.Fatal("hash table lost rebound PCB")
+	}
+}
+
+// TestHashMatchesList cross-checks the two organizations against each
+// other over random workloads: they must always resolve a probe to a PCB
+// with the same key.
+func TestHashMatchesList(t *testing.T) {
+	r := sim.NewRNG(17)
+	f := func(ops []uint16) bool {
+		list := Table{CacheDisabled: true}
+		hash := Table{CacheDisabled: true, UseHash: true}
+		live := map[Key]bool{}
+		for _, op := range ops {
+			i := int(op % 64)
+			k := key(i)
+			switch {
+			case op%3 == 0 && !live[k]:
+				list.Insert(&PCB{Key: k})
+				hash.Insert(&PCB{Key: k})
+				live[k] = true
+			default:
+				probe := key(int(r.Uint64()) % 64)
+				lp, _ := list.Lookup(probe)
+				hp, _ := hash.Lookup(probe)
+				if (lp == nil) != (hp == nil) {
+					return false
+				}
+				if lp != nil && lp.Key != hp.Key {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events with equal timestamps fire in the
+// order they were scheduled (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	name string
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a discrete-event simulation environment. The zero value is not
+// usable; create one with NewEnv.
+type Env struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	current *Proc // the proc currently executing, if any
+	procs   int   // live (unfinished) procs
+	rng     *RNG
+}
+
+// NewEnv returns a fresh simulation environment with its clock at zero
+// and a deterministic default random seed.
+func NewEnv() *Env {
+	return &Env{rng: NewRNG(1)}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// RNG returns the environment's random number generator.
+func (e *Env) RNG() *RNG { return e.rng }
+
+// Seed reseeds the environment's random number generator.
+func (e *Env) Seed(s uint64) { e.rng = NewRNG(s) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would violate causality and silently corrupt measurements.
+func (e *Env) At(t Time, name string, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, name: name, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Env) After(d Time, name string, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
+	}
+	e.At(e.now+d, name, fn)
+}
+
+// Step runs the next pending event, advancing the clock to its timestamp.
+// It reports whether an event was run.
+func (e *Env) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run processes events until none remain.
+func (e *Env) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps at or before deadline and then
+// advances the clock to the deadline. Later events remain pending.
+func (e *Env) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of scheduled events not yet run.
+func (e *Env) Pending() int { return len(e.events) }

@@ -1,0 +1,145 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a function that runs on its own goroutine
+// but executes strictly interleaved with the event loop. A Proc may block
+// on virtual time (Sleep, SleepUntil) or on a WaitQueue; while it is
+// blocked the event loop runs other events. Exactly one goroutine — either
+// the event loop or one Proc — is ever runnable at a time, so simulations
+// are deterministic.
+//
+// Procs model both user processes (the echo client and server) and
+// persistent kernel service loops (the ATM receive interrupt handler and
+// the IP software interrupt).
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Spawn creates a process and schedules it to start at the current virtual
+// time. The body runs on its own goroutine, interleaved with the event loop.
+func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		env:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.resume // wait for the start event
+		defer func() {
+			p.done = true
+			e.procs--
+			p.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	e.After(0, "spawn:"+name, func() { p.run() })
+	return p
+}
+
+// run transfers control to the process goroutine and waits for it to block
+// or finish. It must be called from the event loop.
+func (p *Proc) run() {
+	if p.done {
+		panic(fmt.Sprintf("sim: resuming finished proc %q", p.name))
+	}
+	prev := p.env.current
+	p.env.current = p
+	p.resume <- struct{}{}
+	<-p.yield
+	p.env.current = prev
+}
+
+// block suspends the process until something schedules its resumption.
+// It must be called from the process goroutine.
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// SleepUntil blocks the process until virtual time t. Sleeping into the
+// past is a no-op.
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.env.now {
+		return
+	}
+	p.env.At(t, "wake:"+p.name, func() { p.run() })
+	p.block()
+}
+
+// Sleep blocks the process for duration d of virtual time.
+func (p *Proc) Sleep(d Time) { p.SleepUntil(p.env.now + d) }
+
+// Current returns the process currently executing, or nil when called from
+// plain event context.
+func (e *Env) Current() *Proc { return e.current }
+
+// WaitQueue is a FIFO queue of blocked processes, analogous to a kernel
+// sleep channel. Wake moves the process at the head of the queue back onto
+// the event queue at the current time; WakeAll drains the queue.
+type WaitQueue struct {
+	env   *Env
+	name  string
+	procs []*Proc
+}
+
+// NewWaitQueue returns an empty wait queue.
+func (e *Env) NewWaitQueue(name string) *WaitQueue {
+	return &WaitQueue{env: e, name: name}
+}
+
+// Len returns the number of processes blocked on the queue.
+func (w *WaitQueue) Len() int { return len(w.procs) }
+
+// Wait blocks p until another part of the simulation calls Wake or WakeAll.
+func (w *WaitQueue) Wait(p *Proc) {
+	w.procs = append(w.procs, p)
+	p.block()
+}
+
+// Wake schedules the longest-waiting process, if any, to resume at the
+// current virtual time. It reports whether a process was woken.
+func (w *WaitQueue) Wake() bool {
+	if len(w.procs) == 0 {
+		return false
+	}
+	p := w.procs[0]
+	copy(w.procs, w.procs[1:])
+	w.procs = w.procs[:len(w.procs)-1]
+	w.env.After(0, "wakeq:"+w.name, func() { p.run() })
+	return true
+}
+
+// WakeAll wakes every waiting process, preserving FIFO order.
+func (w *WaitQueue) WakeAll() {
+	for w.Wake() {
+	}
+}
+
+// WakeAt schedules the longest-waiting process, if any, to resume at
+// absolute time t. It reports whether a process was scheduled.
+func (w *WaitQueue) WakeAt(t Time) bool {
+	if len(w.procs) == 0 {
+		return false
+	}
+	p := w.procs[0]
+	copy(w.procs, w.procs[1:])
+	w.procs = w.procs[:len(w.procs)-1]
+	w.env.At(t, "wakeq:"+w.name, func() { p.run() })
+	return true
+}

@@ -1,0 +1,56 @@
+package sim
+
+// RNG is a small, fast, deterministic random number generator
+// (xorshift64*). The simulation cannot use math/rand's global state
+// because reproducibility across runs and across packages is a hard
+// requirement for the latency experiments.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with s. A zero seed is remapped to a
+// fixed nonzero constant, since xorshift has an all-zero fixed point.
+func NewRNG(s uint64) *RNG {
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: s}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Fill fills b with pseudo-random bytes.
+func (r *RNG) Fill(b []byte) {
+	for i := range b {
+		if i%8 == 0 {
+			v := r.Uint64()
+			for j := 0; j < 8 && i+j < len(b); j++ {
+				b[i+j] = byte(v >> (8 * j))
+			}
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Microsecond != 1000 {
+		t.Fatalf("Microsecond = %d, want 1000", int64(Microsecond))
+	}
+	if Second != 1e9 {
+		t.Fatalf("Second = %d, want 1e9", int64(Second))
+	}
+	if got := Time(1500).Micros(); got != 1.5 {
+		t.Fatalf("Micros = %v, want 1.5", got)
+	}
+	if got := Micros(2.5); got != 2500 {
+		t.Fatalf("Micros(2.5) = %v, want 2500ns", got)
+	}
+	if got := (2 * Millisecond).Millis(); got != 2 {
+		t.Fatalf("Millis = %v, want 2", got)
+	}
+	if s := (3 * Microsecond).String(); s != "3.0µs" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	e.At(30, "c", func() { order = append(order, 3) })
+	e.At(10, "a", func() { order = append(order, 1) })
+	e.At(20, "b", func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEventTieBreakFIFO(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, "tie", func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEnv()
+	e.At(100, "x", func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, "past", func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEnv()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.After(-1, "neg", func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEnv()
+	ran := 0
+	e.At(10, "a", func() { ran++ })
+	e.At(20, "b", func() { ran++ })
+	e.At(30, "c", func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	// RunUntil advances the clock even with no events in range.
+	e.RunUntil(25)
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", e.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEnv()
+	var hits []Time
+	e.At(10, "outer", func() {
+		e.After(5, "inner", func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 1 || hits[0] != 15 {
+		t.Fatalf("hits = %v, want [15]", hits)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEnv()
+	var marks []Time
+	e.Spawn("sleeper", func(p *Proc) {
+		marks = append(marks, e.Now())
+		p.Sleep(100)
+		marks = append(marks, e.Now())
+		p.Sleep(50)
+		marks = append(marks, e.Now())
+	})
+	e.Run()
+	want := []Time{0, 100, 150}
+	if len(marks) != 3 {
+		t.Fatalf("marks = %v", marks)
+	}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestProcSleepUntilPastIsNoop(t *testing.T) {
+	e := NewEnv()
+	done := false
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(10)
+		p.SleepUntil(5) // in the past: must not block forever
+		done = true
+	})
+	e.Run()
+	if !done {
+		t.Fatal("proc did not finish")
+	}
+}
+
+func TestTwoProcsInterleave(t *testing.T) {
+	e := NewEnv()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a0")
+		p.Sleep(10)
+		order = append(order, "a10")
+		p.Sleep(20)
+		order = append(order, "a30")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b0")
+		p.Sleep(15)
+		order = append(order, "b15")
+	})
+	e.Run()
+	want := []string{"a0", "b0", "a10", "b15", "a30"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWaitQueue(t *testing.T) {
+	e := NewEnv()
+	wq := e.NewWaitQueue("test")
+	var woken []string
+	e.Spawn("w1", func(p *Proc) {
+		wq.Wait(p)
+		woken = append(woken, "w1@"+e.Now().String())
+	})
+	e.Spawn("w2", func(p *Proc) {
+		wq.Wait(p)
+		woken = append(woken, "w2@"+e.Now().String())
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(100 * Microsecond)
+		if !wq.Wake() {
+			t.Error("Wake found nobody")
+		}
+		p.Sleep(100 * Microsecond)
+		wq.WakeAll()
+	})
+	e.Run()
+	if len(woken) != 2 {
+		t.Fatalf("woken = %v", woken)
+	}
+	if woken[0] != "w1@100.0µs" || woken[1] != "w2@200.0µs" {
+		t.Fatalf("woken = %v", woken)
+	}
+}
+
+func TestWaitQueueWakeEmpty(t *testing.T) {
+	e := NewEnv()
+	wq := e.NewWaitQueue("empty")
+	if wq.Wake() {
+		t.Fatal("Wake on empty queue returned true")
+	}
+	wq.WakeAll() // must not panic or loop
+	if wq.Len() != 0 {
+		t.Fatalf("Len = %d", wq.Len())
+	}
+}
+
+func TestWaitQueueWakeAt(t *testing.T) {
+	e := NewEnv()
+	wq := e.NewWaitQueue("at")
+	var at Time = -1
+	e.Spawn("w", func(p *Proc) {
+		wq.Wait(p)
+		at = e.Now()
+	})
+	e.Spawn("k", func(p *Proc) {
+		p.Sleep(10)
+		wq.WakeAt(500)
+	})
+	e.Run()
+	if at != 500 {
+		t.Fatalf("woke at %v, want 500", at)
+	}
+}
+
+func TestProcDone(t *testing.T) {
+	e := NewEnv()
+	p := e.Spawn("d", func(p *Proc) { p.Sleep(5) })
+	if p.Done() {
+		t.Fatal("Done before running")
+	}
+	e.Run()
+	if !p.Done() {
+		t.Fatal("not Done after running")
+	}
+	if p.Name() != "d" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEnv()
+		var ts []Time
+		for i := 0; i < 5; i++ {
+			e.Spawn("p", func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Sleep(Time(e.RNG().Intn(100) + 1))
+					ts = append(ts, e.Now())
+				}
+			})
+		}
+		e.Run()
+		return ts
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced zeros")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGFill(t *testing.T) {
+	r := NewRNG(11)
+	b := make([]byte, 37)
+	r.Fill(b)
+	zero := 0
+	for _, v := range b {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero > 10 {
+		t.Fatalf("suspiciously many zero bytes: %d of %d", zero, len(b))
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(13)
+	n, hits := 10000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.20 || frac > 0.30 {
+		t.Fatalf("Bool(0.25) hit rate %v", frac)
+	}
+}
+
+func TestManyProcsStress(t *testing.T) {
+	// 100 processes interleaving sleeps and wait queues: all must finish
+	// and the clock must advance monotonically through every resumption.
+	e := NewEnv()
+	wq := e.NewWaitQueue("barrier")
+	finished := 0
+	var lastSeen Time
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				if e.Now() < lastSeen {
+					t.Error("clock went backwards")
+				}
+				lastSeen = e.Now()
+				p.Sleep(Time(1 + (i*7+j*13)%50))
+			}
+			if i%10 == 0 {
+				wq.Wait(p)
+			}
+			finished++
+		})
+	}
+	e.Spawn("waker", func(p *Proc) {
+		for finished < 90 {
+			p.Sleep(100)
+		}
+		wq.WakeAll()
+	})
+	e.Run()
+	if finished != 100 {
+		t.Fatalf("finished = %d, want 100", finished)
+	}
+}
+
+func TestEventHeapOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEnv()
+		var fired []Time
+		for _, d := range delays {
+			e.After(Time(d), "x", func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

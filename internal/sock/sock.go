@@ -1,0 +1,297 @@
+// Package sock implements the BSD socket layer: send and receive socket
+// buffers with high-water marks, sosend (the user-to-kernel copy with the
+// ULTRIX mbuf sizing policy), soreceive (the kernel-to-user copy), and the
+// sleep/wakeup protocol that produces the paper's Wakeup row.
+//
+// The socket layer is where two of the paper's experimental effects live:
+//
+//   - The normal-mbuf/cluster switch at 1 KB that causes the nonlinear
+//     User and mcopy rows between 500 and 1400 bytes (§2.2.1). sosend
+//     reproduces ULTRIX's policy: writes over 1 KB go into 4 KB cluster
+//     mbufs, one protocol send per cluster — which is also why an
+//     8000-byte transfer leaves as two TCP segments.
+//   - The transmit half of the integrated copy-and-checksum (§4.1.1):
+//     in that mode sosend folds the checksum into the copyin and stores
+//     the partial sum in the mbuf for TCP to combine later.
+package sock
+
+import (
+	"repro/internal/checksum"
+	"repro/internal/cost"
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// DefaultHiwat is the socket buffer high-water mark. The paper's
+// benchmark must have run with at least 8 KB of socket buffering: it
+// observes the two segments of an 8000-byte transfer leaving back to back
+// and overlapping at the receiver (Table 3's ATM row), which a 4 KB
+// buffer would serialize behind a window update. 16 KB reproduces that
+// behaviour; per-socket buffers remain adjustable via Buffer.Hiwat.
+const DefaultHiwat = 16384
+
+// Protocol is the interface the socket layer drives, the analogue of the
+// BSD pr_usrreq entry points this stack needs.
+type Protocol interface {
+	// Send notifies the protocol that data was appended to the send
+	// buffer (PRU_SEND).
+	Send(p *sim.Proc)
+	// Rcvd notifies the protocol that the application consumed receive
+	// buffer space (PRU_RCVD), the window-update hook.
+	Rcvd(p *sim.Proc)
+	// Close begins an orderly release (PRU_DISCONNECT).
+	Close(p *sim.Proc)
+}
+
+// Buffer is a socket buffer: an mbuf chain plus bookkeeping.
+type Buffer struct {
+	K     *kern.Kernel
+	Hiwat int
+	mb    *mbuf.Mbuf
+	cc    int
+	// WaitQ is where processes sleep for state changes (sbwait).
+	WaitQ *sim.WaitQueue
+}
+
+// initBuffer prepares a buffer owned by kernel k.
+func (b *Buffer) initBuffer(k *kern.Kernel, name string) {
+	b.K = k
+	b.Hiwat = DefaultHiwat
+	b.WaitQ = k.Env.NewWaitQueue(name)
+}
+
+// Len returns the bytes queued.
+func (b *Buffer) Len() int { return b.cc }
+
+// Space returns the bytes of room below the high-water mark.
+func (b *Buffer) Space() int { return b.Hiwat - b.cc }
+
+// Chain returns the head of the buffered mbuf chain.
+func (b *Buffer) Chain() *mbuf.Mbuf { return b.mb }
+
+// Append adds a chain to the buffer (sbappend).
+func (b *Buffer) Append(m *mbuf.Mbuf) {
+	b.cc += mbuf.ChainLen(m)
+	b.mb = mbuf.Concat(b.mb, m)
+}
+
+// Drop releases n bytes from the front (sbdrop), returning the mbufs to
+// the pool.
+func (b *Buffer) Drop(n int) {
+	if n > b.cc {
+		panic("sock: sbdrop more than buffered")
+	}
+	b.mb = b.K.Pool.Drop(b.mb, n)
+	b.cc -= n
+}
+
+// Socket is a connected stream socket.
+type Socket struct {
+	K     *kern.Kernel
+	Proto Protocol
+	Snd   Buffer
+	Rcv   Buffer
+
+	// Mode selects the transmit-side checksum strategy for sosend.
+	Mode cost.ChecksumMode
+
+	// Eof is set when the peer's FIN has been consumed.
+	Eof bool
+	// Err terminates operations with an error state (connection reset).
+	Err error
+	// Connected reflects protocol state; Recv/Send require it unless
+	// data is already buffered.
+	Connected bool
+
+	// StateQ is where processes wait for connection state changes.
+	StateQ *sim.WaitQueue
+}
+
+// New returns a socket owned by kernel k. The protocol must be attached
+// by the transport before use.
+func New(k *kern.Kernel) *Socket {
+	so := &Socket{K: k, StateQ: k.Env.NewWaitQueue(k.Name + ".so.state")}
+	so.Snd.initBuffer(k, k.Name+".so.snd")
+	so.Rcv.initBuffer(k, k.Name+".so.rcv")
+	return so
+}
+
+// chunkPolicy decides the mbuf type for a write of resid bytes, per the
+// ULTRIX 4.2A rule: cluster mbufs once the transfer exceeds 1 KB.
+func chunkPolicy(resid int) bool { return resid > mbuf.ClusterThreshold }
+
+// Send implements sosend for a stream socket: block for buffer space,
+// copy user data into mbufs (charging the User row), append, and kick the
+// protocol once per chunk. It returns the number of bytes accepted, which
+// is len(data) unless the connection fails.
+func (so *Socket) Send(p *sim.Proc, data []byte) (int, error) {
+	k := so.K
+	k.Use(p, trace.LayerUserTx, k.Cost.WriteSyscall)
+	useClusters := chunkPolicy(len(data))
+	sent := 0
+	for sent < len(data) {
+		if so.Err != nil {
+			return sent, so.Err
+		}
+		if so.Snd.Space() <= 0 {
+			k.SleepOn(p, so.Snd.WaitQ)
+			continue
+		}
+		resid := len(data) - sent
+		space := so.Snd.Space()
+		var chain *mbuf.Mbuf
+		if useClusters {
+			// One cluster per protocol send, as in ULTRIX sosend.
+			m := k.AllocCluster(p, trace.LayerUserTx)
+			n := min3(resid, mbuf.MCLBYTES, space)
+			so.copyin(p, m, data[sent:sent+n])
+			sent += n
+			chain = m
+		} else {
+			// Fill normal mbufs up to the available space, one
+			// protocol send for the chain.
+			budget := min3(resid, space, resid)
+			var tail *mbuf.Mbuf
+			for budget > 0 {
+				m := k.AllocMbuf(p, trace.LayerUserTx)
+				n := budget
+				if n > mbuf.MLEN {
+					n = mbuf.MLEN
+				}
+				so.copyin(p, m, data[sent:sent+n])
+				sent += n
+				budget -= n
+				if chain == nil {
+					chain = m
+				} else {
+					tail.SetNext(m)
+				}
+				tail = m
+			}
+		}
+		k.Use(p, trace.LayerUserTx,
+			sim.Time(mbuf.ChainCount(chain))*k.Cost.SockAppend)
+		so.Snd.Append(chain)
+		k.Use(p, trace.LayerUserTx, k.Cost.UsrreqDispatch)
+		so.Proto.Send(p)
+	}
+	return sent, so.Err
+}
+
+// copyin moves user bytes into one mbuf, charging the copy and — in
+// integrated mode — fusing the checksum into it and stashing the partial
+// sum (§4.1.1: "we calculate the checksum for each chunk of data copied
+// into an mbuf at the socket layer, and store the partial checksum in the
+// mbuf header").
+func (so *Socket) copyin(p *sim.Proc, m *mbuf.Mbuf, data []byte) {
+	k := so.K
+	perByte := k.Cost.CopyinPerByte
+	if so.Mode == cost.ChecksumIntegrated {
+		perByte += k.Cost.IntegratedTxPerByte
+	}
+	k.Use(p, trace.LayerUserTx,
+		k.Cost.CopyinFixed+sim.Time(perByte*float64(len(data))))
+	if m.Append(data) != len(data) {
+		panic("sock: mbuf overflow in copyin")
+	}
+	if so.Mode == cost.ChecksumIntegrated {
+		var cs checksum.Partial
+		cs.Add(data)
+		m.Csum, m.CsumValid = cs, true
+	}
+}
+
+// Recv implements soreceive: block until data (or EOF or error), copy out
+// up to len(buf) bytes, release the consumed mbufs, and give the protocol
+// its window-update hook. It returns 0, nil at EOF.
+func (so *Socket) Recv(p *sim.Proc, buf []byte) (int, error) {
+	k := so.K
+	for so.Rcv.Len() == 0 {
+		if so.Err != nil {
+			return 0, so.Err
+		}
+		if so.Eof {
+			return 0, nil
+		}
+		k.SleepOn(p, so.Rcv.WaitQ)
+	}
+	k.Use(p, trace.LayerUserRx, k.Cost.ReadSyscall)
+	n := len(buf)
+	if n > so.Rcv.Len() {
+		n = so.Rcv.Len()
+	}
+	// Copy out mbuf by mbuf, charging per-mbuf and per-byte costs.
+	copied := 0
+	m := so.Rcv.Chain()
+	for copied < n {
+		take := m.Len()
+		if take > n-copied {
+			take = n - copied
+		}
+		k.Use(p, trace.LayerUserRx,
+			k.Cost.CopyoutFixed+sim.Time(k.Cost.CopyoutPerByte*float64(take)))
+		copy(buf[copied:], m.Bytes()[:take])
+		copied += take
+		m = m.Next()
+	}
+	// Free the consumed mbufs; the paper charges mbuf bookkeeping
+	// separately from the copy.
+	freed := 0
+	for c := so.Rcv.Chain(); c != nil && freed+c.Len() <= n; c = c.Next() {
+		freed++
+	}
+	if freed > 0 {
+		k.Use(p, trace.LayerMbuf, sim.Time(freed)*k.Cost.MbufFree)
+	}
+	so.Rcv.Drop(n)
+	k.Use(p, trace.LayerUserRx, k.Cost.UsrreqDispatch)
+	so.Proto.Rcvd(p)
+	return n, nil
+}
+
+// Close starts an orderly release.
+func (so *Socket) Close(p *sim.Proc) {
+	so.Proto.Close(p)
+}
+
+// --- Upcalls from the transport protocol. ---
+
+// RcvWakeup wakes readers after the protocol appended data or EOF
+// (sorwakeup).
+func (so *Socket) RcvWakeup() { so.Rcv.WaitQ.WakeAll() }
+
+// SndWakeup wakes writers after send-buffer space opened (sowwakeup).
+func (so *Socket) SndWakeup() { so.Snd.WaitQ.WakeAll() }
+
+// SetConnected marks the socket connected and wakes state waiters.
+func (so *Socket) SetConnected() {
+	so.Connected = true
+	so.StateQ.WakeAll()
+}
+
+// SetEof marks the receive stream finished and wakes readers.
+func (so *Socket) SetEof() {
+	so.Eof = true
+	so.RcvWakeup()
+}
+
+// SetError poisons the socket and wakes everyone.
+func (so *Socket) SetError(err error) {
+	so.Err = err
+	so.Connected = false
+	so.RcvWakeup()
+	so.SndWakeup()
+	so.StateQ.WakeAll()
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,280 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/pcb"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// State is a TCP connection state (RFC 793).
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+var stateNames = [...]string{
+	"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+	"FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "CLOSING", "LAST_ACK",
+	"TIME_WAIT",
+}
+
+// String returns the conventional state name.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// defaultMSS is used before an interface MSS is known.
+const defaultMSS = 512
+
+// Timer constants. Granularities follow BSD (200 ms fast timer, 500 ms
+// slow timer); TIME_WAIT is shortened from 2×30 s to keep simulations
+// bounded without changing any measured path.
+const (
+	delackTimeout = 200 * sim.Millisecond
+	minRTO        = 1 * sim.Second
+	maxRTO        = 64 * sim.Second
+	msl           = 500 * sim.Millisecond
+)
+
+// ErrReset is delivered to a socket whose connection received a RST.
+var ErrReset = errors.New("tcp: connection reset by peer")
+
+// reassSeg is one out-of-order segment held for reassembly.
+type reassSeg struct {
+	seq Seq
+	m   *mbuf.Mbuf
+}
+
+// Conn is one TCP connection (the tcpcb).
+type Conn struct {
+	S        *Stack
+	K        *kern.Kernel
+	so       *sock.Socket
+	pcbEntry *pcb.PCB
+	listener *Listener // non-nil on passively opened connections
+	state    State
+
+	// Send sequence space.
+	iss    Seq
+	sndUna Seq // oldest unacknowledged
+	sndNxt Seq // next to send
+	sndMax Seq // highest ever sent
+	sndWnd int // peer's advertised window
+
+	// Receive sequence space.
+	irs    Seq
+	rcvNxt Seq
+	rcvAdv Seq // highest window edge advertised to the peer
+
+	mss      int
+	cwnd     int
+	ssthresh int
+	noDelay  bool // disable Nagle when set
+
+	// wantCksumOff is the local policy (stack configured for checksum
+	// elimination); cksumOff becomes true only when BOTH ends carried
+	// the Alternate Checksum Request on their SYNs (§4.2 / RFC 1146).
+	// SYN segments themselves are always checksummed.
+	wantCksumOff bool
+	cksumOff     bool
+
+	// ACK strategy flags.
+	flagAckNow bool
+	flagDelAck bool
+
+	// Jacobson RTT estimation.
+	srtt, rttvar sim.Time
+	rtTiming     bool
+	rtSeq        Seq
+	rtStart      sim.Time
+	rexmtShift   uint
+	rexmtGen     int // invalidates outstanding retransmit timer events
+	delackGen    int
+
+	reass []reassSeg
+
+	// dupAcks counts consecutive duplicate ACKs for fast retransmit
+	// (BSD's tcprexmtthresh is 3).
+	dupAcks int
+
+	// finSent tracks whether our FIN occupies sequence space yet.
+	finSent bool
+}
+
+// Socket returns the connection's socket.
+func (c *Conn) Socket() *sock.Socket { return c.so }
+
+// State returns the connection state, for tests and diagnostics.
+func (c *Conn) State() State { return c.state }
+
+// MSS returns the negotiated maximum segment size.
+func (c *Conn) MSS() int { return c.mss }
+
+// ChecksumEliminated reports whether both ends negotiated the TCP
+// checksum off for this connection.
+func (c *Conn) ChecksumEliminated() bool { return c.cksumOff }
+
+// SRTT returns the smoothed round-trip estimate (0 before any sample).
+func (c *Conn) SRTT() sim.Time { return c.srtt }
+
+// SetNoDelay disables the Nagle algorithm, as TCP_NODELAY does.
+func (c *Conn) SetNoDelay(v bool) { c.noDelay = v }
+
+func (c *Conn) remoteAddr() uint32 { return c.pcbEntry.Key.RemoteAddr }
+
+// --- sock.Protocol ---
+
+// Send implements sock.Protocol: new data is in the send buffer.
+func (c *Conn) Send(p *sim.Proc) { c.output(p) }
+
+// Rcvd implements sock.Protocol: the application drained receive buffer
+// space, so a window update may be due.
+func (c *Conn) Rcvd(p *sim.Proc) { c.output(p) }
+
+// Close implements sock.Protocol: begin orderly release.
+func (c *Conn) Close(p *sim.Proc) {
+	switch c.state {
+	case StateEstablished:
+		c.state = StateFinWait1
+	case StateCloseWait:
+		c.state = StateLastAck
+	case StateSynSent, StateSynRcvd:
+		c.drop(nil)
+		return
+	default:
+		return
+	}
+	c.output(p)
+}
+
+// drop tears the connection down, optionally with an error.
+func (c *Conn) drop(err error) {
+	c.state = StateClosed
+	c.rexmtGen++
+	c.S.Table.Remove(c.pcbEntry)
+	if err != nil {
+		c.so.SetError(err)
+	} else {
+		c.so.SetEof()
+	}
+}
+
+// --- RTT estimation and the retransmit timer ---
+
+// rto returns the current retransmission timeout with backoff applied.
+func (c *Conn) rto() sim.Time {
+	var base sim.Time
+	if c.srtt == 0 {
+		base = 3 * sim.Second // before the first sample, per BSD
+	} else {
+		base = c.srtt + 4*c.rttvar
+	}
+	d := base << c.rexmtShift
+	if d < minRTO {
+		d = minRTO
+	}
+	if d > maxRTO {
+		d = maxRTO
+	}
+	return d
+}
+
+// rttUpdate folds a measured sample into srtt/rttvar (Jacobson 1988).
+func (c *Conn) rttUpdate(sample sim.Time) {
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+		return
+	}
+	delta := sample - c.srtt
+	c.srtt += delta / 8
+	if delta < 0 {
+		delta = -delta
+	}
+	c.rttvar += (delta - c.rttvar) / 4
+}
+
+// setRexmt (re)arms the retransmission timer.
+func (c *Conn) setRexmt() {
+	c.rexmtGen++
+	gen := c.rexmtGen
+	c.K.Env.After(c.rto(), "tcp.rexmt", func() {
+		if gen != c.rexmtGen {
+			return
+		}
+		c.S.dispatch(c.rexmtFire)
+	})
+}
+
+// clearRexmt cancels any pending retransmission timer.
+func (c *Conn) clearRexmt() { c.rexmtGen++ }
+
+// rexmtFire handles a retransmission timeout: back off, collapse the
+// congestion window (Tahoe), rewind snd_nxt, and resend.
+func (c *Conn) rexmtFire(p *sim.Proc) {
+	if c.state == StateClosed || c.sndUna == c.sndMax {
+		return
+	}
+	c.S.Stats.Retransmits++
+	if c.rexmtShift < 12 {
+		c.rexmtShift++
+	}
+	flight := c.sndMax.Diff(c.sndUna)
+	half := min2(flight, c.sndWnd) / 2
+	if half < 2*c.mss {
+		half = 2 * c.mss
+	}
+	c.ssthresh = half
+	c.cwnd = c.mss
+	c.sndNxt = c.sndUna
+	c.rtTiming = false // Karn: do not time retransmitted data
+	c.flagAckNow = true
+	c.setRexmt()
+	c.output(p)
+}
+
+// scheduleDelack arms the 200 ms delayed-ACK timer.
+func (c *Conn) scheduleDelack() {
+	c.delackGen++
+	gen := c.delackGen
+	c.K.Env.After(delackTimeout, "tcp.delack", func() {
+		if gen != c.delackGen || !c.flagDelAck {
+			return
+		}
+		c.S.dispatch(func(p *sim.Proc) {
+			if c.flagDelAck {
+				c.flagDelAck = false
+				c.flagAckNow = true
+				c.S.Stats.DelayedAcks++
+				c.output(p)
+			}
+		})
+	})
+}
+
+func min2(a, b int) int {
+	if b < a {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,185 @@
+// Package tcp implements the transport under test: a TCP modeled on the
+// BSD 4.4 alpha implementation the paper measures, including the pieces
+// the paper's experiments turn on and off:
+//
+//   - segmentation against the interface MSS and the send window, with
+//     the sender's data retained in the socket buffer and copied per
+//     transmission (the mcopy row);
+//   - the single-entry PCB cache and the header-prediction fast path with
+//     BSD's exact predicates, which succeed only for the two
+//     unidirectional-transfer cases (§3);
+//   - the three checksum configurations: standard in-TCP checksum,
+//     integrated copy-and-checksum using partial sums stashed in mbufs,
+//     and checksum elimination (§4);
+//   - retransmission with Jacobson RTT estimation and a reassembly queue,
+//     so cell loss injected at the ATM layer is recovered end to end.
+//
+// All headers are real bytes with real checksums; corruption and loss are
+// detected by the same arithmetic a production stack would use.
+package tcp
+
+import "fmt"
+
+// Flag bits in the TCP header.
+const (
+	FlagFIN = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+)
+
+// HeaderLen is the length of a TCP header without options.
+const HeaderLen = 20
+
+// AltCksumNone is the Alternate Checksum Request value meaning "no
+// checksum" on this connection. The paper points at Kay and Pasquale's
+// use of the Alternate Checksum Option (RFC 1146, kind 14) "to negotiate
+// connections that do not use the checksum" (§4.2); both SYNs must carry
+// the request for it to take effect.
+const AltCksumNone = 1
+
+// Header is a parsed TCP header. MSS and AltCksum are option values from
+// a SYN segment (0 when absent); they are the only options this stack
+// uses, which matches the paper's environment (RFC 1323 extensions
+// postdate it).
+type Header struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         Seq
+	Flags            uint8
+	Win              uint16
+	Cksum            uint16
+	MSS              uint16
+	AltCksum         uint8 // Alternate Checksum Request (RFC 1146)
+}
+
+// Len returns the encoded header length including options.
+func (h *Header) Len() int {
+	n := HeaderLen
+	if h.MSS != 0 {
+		n += 4
+	}
+	if h.AltCksum != 0 {
+		n += 4 // kind, len, value, padding no-op
+	}
+	return n
+}
+
+// Marshal encodes the header into b (which must be at least h.Len() bytes)
+// with a zero checksum field, returning the encoded length. The caller
+// computes and stores the checksum afterwards.
+func (h *Header) Marshal(b []byte) int {
+	n := h.Len()
+	b[0] = byte(h.SrcPort >> 8)
+	b[1] = byte(h.SrcPort)
+	b[2] = byte(h.DstPort >> 8)
+	b[3] = byte(h.DstPort)
+	putSeq(b[4:], h.Seq)
+	putSeq(b[8:], h.Ack)
+	b[12] = byte(n / 4 << 4)
+	b[13] = h.Flags
+	b[14] = byte(h.Win >> 8)
+	b[15] = byte(h.Win)
+	b[16], b[17] = 0, 0 // checksum, filled in later
+	b[18], b[19] = 0, 0 // urgent pointer, unused
+	off := HeaderLen
+	if h.MSS != 0 {
+		b[off] = 2 // kind: MSS
+		b[off+1] = 4
+		b[off+2] = byte(h.MSS >> 8)
+		b[off+3] = byte(h.MSS)
+		off += 4
+	}
+	if h.AltCksum != 0 {
+		b[off] = 14 // kind: Alternate Checksum Request
+		b[off+1] = 3
+		b[off+2] = h.AltCksum
+		b[off+3] = 1 // no-op pad to a 4-byte boundary
+		off += 4
+	}
+	return n
+}
+
+// Parse decodes a header from b, returning the header and its encoded
+// length (data offset).
+func Parse(b []byte) (Header, int, error) {
+	var h Header
+	if len(b) < HeaderLen {
+		return h, 0, fmt.Errorf("tcp: short header (%d bytes)", len(b))
+	}
+	h.SrcPort = uint16(b[0])<<8 | uint16(b[1])
+	h.DstPort = uint16(b[2])<<8 | uint16(b[3])
+	h.Seq = getSeq(b[4:])
+	h.Ack = getSeq(b[8:])
+	off := int(b[12]>>4) * 4
+	if off < HeaderLen || off > len(b) {
+		return h, 0, fmt.Errorf("tcp: bad data offset %d", off)
+	}
+	h.Flags = b[13]
+	h.Win = uint16(b[14])<<8 | uint16(b[15])
+	h.Cksum = uint16(b[16])<<8 | uint16(b[17])
+	// Scan options for MSS.
+	opts := b[HeaderLen:off]
+	for len(opts) > 0 {
+		switch opts[0] {
+		case 0: // end of options
+			opts = nil
+		case 1: // no-op
+			opts = opts[1:]
+		case 2: // MSS
+			if len(opts) < 4 || opts[1] != 4 {
+				return h, 0, fmt.Errorf("tcp: malformed MSS option")
+			}
+			h.MSS = uint16(opts[2])<<8 | uint16(opts[3])
+			opts = opts[4:]
+		case 14: // Alternate Checksum Request
+			if len(opts) < 3 || opts[1] != 3 {
+				return h, 0, fmt.Errorf("tcp: malformed alternate checksum option")
+			}
+			h.AltCksum = opts[2]
+			opts = opts[3:]
+		default:
+			if len(opts) < 2 || int(opts[1]) < 2 || int(opts[1]) > len(opts) {
+				return h, 0, fmt.Errorf("tcp: malformed option")
+			}
+			opts = opts[opts[1]:]
+		}
+	}
+	return h, off, nil
+}
+
+// FlagString renders flags for diagnostics, e.g. "SYN|ACK".
+func FlagString(f uint8) string {
+	names := []struct {
+		bit  uint8
+		name string
+	}{
+		{FlagFIN, "FIN"}, {FlagSYN, "SYN"}, {FlagRST, "RST"},
+		{FlagPSH, "PSH"}, {FlagACK, "ACK"}, {FlagURG, "URG"},
+	}
+	out := ""
+	for _, n := range names {
+		if f&n.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		out = "none"
+	}
+	return out
+}
+
+func putSeq(b []byte, s Seq) {
+	b[0] = byte(s >> 24)
+	b[1] = byte(s >> 16)
+	b[2] = byte(s >> 8)
+	b[3] = byte(s)
+}
+
+func getSeq(b []byte) Seq {
+	return Seq(b[0])<<24 | Seq(b[1])<<16 | Seq(b[2])<<8 | Seq(b[3])
+}

@@ -1,0 +1,379 @@
+package tcp
+
+import (
+	"repro/internal/mbuf"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// input processes one inbound segment for an existing connection. The
+// chain m holds the segment data (header already parsed and stripped);
+// it may be nil for a pure ACK.
+func (c *Conn) input(p *sim.Proc, th Header, m *mbuf.Mbuf) {
+	k := c.K
+	dlen := mbuf.ChainLen(m)
+
+	// Header prediction (§3). BSD 4.4 alpha precomputes the expected
+	// next header and takes a fast path when the incoming segment
+	// matches: ESTABLISHED, no unusual flags, in-sequence, window
+	// unchanged, and not retransmitting. Within that, exactly two cases
+	// exist — the two common cases of *unidirectional* transfer:
+	//
+	//   (a) a pure ACK that acknowledges new data (the sender's side);
+	//   (b) a pure in-sequence data segment acknowledging nothing new
+	//       (the receiver's side).
+	//
+	// An RPC-style exchange delivers data *with* a piggybacked ACK of
+	// new data, which fits neither case — the paper's central
+	// observation about why header prediction does not help
+	// request-response traffic.
+	if c.S.PredictionEnabled && c.state == StateEstablished &&
+		th.Flags&(FlagSYN|FlagFIN|FlagRST|FlagURG) == 0 &&
+		th.Flags&FlagACK != 0 &&
+		th.Seq == c.rcvNxt &&
+		int(th.Win) == c.sndWnd &&
+		c.sndNxt == c.sndMax {
+
+		if dlen == 0 && th.Ack.Gt(c.sndUna) && th.Ack.Leq(c.sndMax) {
+			// Case (a): pure ACK for outstanding data.
+			k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputFast)
+			c.S.Stats.FastPathAck++
+			c.processAck(th.Ack)
+			c.so.SndWakeup()
+			if c.so.Snd.Len() > c.sndNxt.Diff(c.sndUna) {
+				c.output(p)
+			}
+			return
+		}
+		if dlen > 0 && th.Ack == c.sndUna && len(c.reass) == 0 &&
+			dlen <= c.so.Rcv.Space() {
+			// Case (b): pure in-sequence data, nothing new acked.
+			k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputFast)
+			c.S.Stats.FastPathData++
+			c.rcvNxt = c.rcvNxt.Add(dlen)
+			c.so.Rcv.Append(m)
+			c.so.RcvWakeup()
+			c.ackPolicy(p)
+			return
+		}
+	}
+
+	// Slow path: the full tcp_input processing.
+	k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputSlow)
+	c.S.Stats.SlowPath++
+	c.slowInput(p, th, m, dlen)
+}
+
+// ackPolicy implements BSD's receive-side ACK strategy: delay the first
+// ACK, force one on every second unacknowledged segment.
+func (c *Conn) ackPolicy(p *sim.Proc) {
+	if c.flagDelAck {
+		c.flagDelAck = false
+		c.flagAckNow = true
+		c.output(p)
+		return
+	}
+	c.flagDelAck = true
+	c.scheduleDelack()
+}
+
+// processAck advances the send window for an acceptable new ACK.
+func (c *Conn) processAck(ack Seq) {
+	acked := ack.Diff(c.sndUna)
+	if acked <= 0 {
+		return
+	}
+	// Congestion window growth: slow start below ssthresh, linear
+	// (per-ACK mss*mss/cwnd) above.
+	if c.cwnd < c.ssthresh {
+		c.cwnd += c.mss
+	} else {
+		c.cwnd += c.mss * c.mss / c.cwnd
+		if c.cwnd > 65535 {
+			c.cwnd = 65535
+		}
+	}
+	// RTT sample if the timed sequence number is covered (Karn's rule
+	// is handled by rtTiming being cleared on retransmission).
+	if c.rtTiming && ack.Gt(c.rtSeq) {
+		c.rttUpdate(c.K.Now() - c.rtStart)
+		c.rtTiming = false
+	}
+	// Release acknowledged bytes (the FIN and SYN occupy sequence space
+	// but no buffer bytes).
+	drop := acked
+	if drop > c.so.Snd.Len() {
+		drop = c.so.Snd.Len()
+	}
+	if drop > 0 {
+		c.so.Snd.Drop(drop)
+	}
+	c.sndUna = ack
+	if c.sndNxt.Lt(c.sndUna) {
+		c.sndNxt = c.sndUna
+	}
+	c.rexmtShift = 0
+	if c.sndUna == c.sndMax {
+		c.clearRexmt()
+	} else {
+		c.setRexmt()
+	}
+}
+
+// slowInput is the full state-machine processing for segments the fast
+// path rejected.
+func (c *Conn) slowInput(p *sim.Proc, th Header, m *mbuf.Mbuf, dlen int) {
+	k := c.K
+
+	if th.Flags&FlagRST != 0 {
+		k.Pool.Free(m)
+		c.drop(ErrReset)
+		return
+	}
+
+	switch c.state {
+	case StateSynSent:
+		k.Pool.Free(m)
+		if th.Flags&(FlagSYN|FlagACK) != FlagSYN|FlagACK ||
+			!th.Ack.Gt(c.iss) || !th.Ack.Leq(c.sndMax) {
+			return
+		}
+		c.irs = th.Seq
+		c.rcvNxt = th.Seq.Add(1)
+		if th.MSS != 0 && int(th.MSS) < c.mss {
+			c.mss = int(th.MSS)
+		}
+		if th.AltCksum == AltCksumNone && c.wantCksumOff {
+			c.cksumOff = true
+		}
+		c.cwnd = c.mss
+		c.sndWnd = int(th.Win)
+		c.processAck(th.Ack)
+		c.state = StateEstablished
+		c.flagAckNow = true
+		c.so.SetConnected()
+		c.output(p)
+		return
+	case StateClosed, StateListen:
+		k.Pool.Free(m)
+		return
+	}
+
+	// Trim duplicate data at the front (retransmissions overlapping
+	// what we already have).
+	if th.Seq.Lt(c.rcvNxt) {
+		todrop := c.rcvNxt.Diff(th.Seq)
+		if th.Flags&FlagSYN != 0 {
+			th.Flags &^= FlagSYN
+			th.Seq = th.Seq.Add(1)
+			todrop--
+		}
+		if todrop >= dlen {
+			// Entirely duplicate: ACK it and drop the data, but
+			// still process the ACK field below.
+			c.S.Stats.DupSegs++
+			c.flagAckNow = true
+			k.Pool.Free(m)
+			m, dlen = nil, 0
+			th.Flags &^= FlagFIN
+			th.Seq = c.rcvNxt
+		} else {
+			m = k.Pool.Drop(m, todrop)
+			th.Seq = th.Seq.Add(todrop)
+			dlen -= todrop
+		}
+	}
+
+	// ACK processing.
+	if th.Flags&FlagACK != 0 {
+		if c.state == StateSynRcvd {
+			if th.Ack.Gt(c.iss) && th.Ack.Leq(c.sndMax) {
+				c.state = StateEstablished
+				c.so.SetConnected()
+				if c.listener != nil {
+					c.listener.backlog = append(c.listener.backlog, c)
+					c.listener.wq.WakeAll()
+				}
+			}
+		}
+		switch {
+		case th.Ack == c.sndUna && dlen == 0 && c.sndUna != c.sndMax &&
+			int(th.Win) == c.sndWnd:
+			// Duplicate ACK while data is outstanding: after three,
+			// assume the segment at snd_una was lost and retransmit it
+			// without waiting for the timer (BSD 4.4 fast retransmit).
+			c.dupAcks++
+			if c.dupAcks == 3 {
+				flight := c.sndMax.Diff(c.sndUna)
+				half := min2(flight, c.sndWnd) / 2
+				if half < 2*c.mss {
+					half = 2 * c.mss
+				}
+				c.ssthresh = half
+				c.cwnd = c.mss
+				saved := c.sndNxt
+				c.sndNxt = c.sndUna
+				c.rtTiming = false
+				c.flagAckNow = true
+				c.S.Stats.FastRetransmits++
+				c.output(p)
+				if saved.Gt(c.sndNxt) {
+					c.sndNxt = saved
+				}
+			}
+		case th.Ack.Gt(c.sndUna) && th.Ack.Leq(c.sndMax):
+			c.dupAcks = 0
+			finWasOutstanding := c.finSent && c.sndMax == th.Ack
+			c.processAck(th.Ack)
+			c.so.SndWakeup()
+			if finWasOutstanding && c.sndUna == c.sndMax {
+				switch c.state {
+				case StateFinWait1:
+					c.state = StateFinWait2
+				case StateClosing:
+					c.enterTimeWait()
+				case StateLastAck:
+					c.drop(nil)
+					k.Pool.Free(m)
+					return
+				}
+			}
+		}
+		// Window update from the most recent segment.
+		c.sndWnd = int(th.Win)
+	}
+
+	// Data processing.
+	if dlen > 0 {
+		switch c.state {
+		case StateEstablished, StateFinWait1, StateFinWait2:
+			if th.Seq == c.rcvNxt && len(c.reass) == 0 {
+				c.rcvNxt = c.rcvNxt.Add(dlen)
+				c.so.Rcv.Append(m)
+				m = nil
+				c.so.RcvWakeup()
+				if c.flagDelAck {
+					c.flagDelAck = false
+					c.flagAckNow = true
+				} else {
+					c.flagDelAck = true
+					c.scheduleDelack()
+				}
+			} else {
+				// Out of order: queue for reassembly, ACK now to
+				// trigger the peer's recovery.
+				c.S.Stats.OutOfOrderSegs++
+				c.insertReass(th.Seq, m)
+				m = nil
+				c.pullReass()
+				c.flagAckNow = true
+			}
+		default:
+			k.Pool.Free(m)
+			m = nil
+		}
+	} else if m != nil {
+		k.Pool.Free(m)
+		m = nil
+	}
+
+	// FIN processing (only once all data up to the FIN has arrived).
+	if th.Flags&FlagFIN != 0 && th.Seq.Add(dlen) == c.rcvNxt && len(c.reass) == 0 {
+		c.rcvNxt = c.rcvNxt.Add(1)
+		c.flagAckNow = true
+		c.so.SetEof()
+		switch c.state {
+		case StateEstablished:
+			c.state = StateCloseWait
+		case StateFinWait1:
+			// Our FIN is unacknowledged: simultaneous close.
+			c.state = StateClosing
+		case StateFinWait2:
+			c.enterTimeWait()
+		}
+	}
+
+	if c.flagAckNow || c.flagDelAck {
+		// flagDelAck alone waits for the fast timer; AckNow sends.
+		if c.flagAckNow {
+			c.output(p)
+		}
+	} else {
+		c.output(p)
+	}
+}
+
+// enterTimeWait moves the connection into TIME_WAIT and schedules the
+// 2MSL release.
+func (c *Conn) enterTimeWait() {
+	c.state = StateTimeWait
+	c.flagAckNow = true
+	c.clearRexmt()
+	c.K.Env.After(2*msl, "tcp.2msl", func() {
+		if c.state == StateTimeWait {
+			c.S.dispatch(func(p *sim.Proc) {
+				if c.state == StateTimeWait {
+					c.drop(nil)
+				}
+			})
+		}
+	})
+}
+
+// insertReass adds an out-of-order segment to the reassembly queue,
+// keeping it sorted and non-overlapping.
+func (c *Conn) insertReass(seq Seq, m *mbuf.Mbuf) {
+	dlen := mbuf.ChainLen(m)
+	// Discard anything that duplicates queued data wholesale; partial
+	// overlaps trim the incoming segment.
+	for _, r := range c.reass {
+		rl := mbuf.ChainLen(r.m)
+		if seq.Geq(r.seq) && seq.Add(dlen).Leq(r.seq.Add(rl)) {
+			c.K.Pool.Free(m)
+			return
+		}
+	}
+	// Trim overlap with rcv_nxt already handled by caller. Insert in
+	// sequence order.
+	idx := len(c.reass)
+	for i, r := range c.reass {
+		if seq.Lt(r.seq) {
+			idx = i
+			break
+		}
+	}
+	c.reass = append(c.reass, reassSeg{})
+	copy(c.reass[idx+1:], c.reass[idx:])
+	c.reass[idx] = reassSeg{seq: seq, m: m}
+}
+
+// pullReass appends any now-contiguous queued segments to the receive
+// buffer.
+func (c *Conn) pullReass() {
+	woke := false
+	for len(c.reass) > 0 {
+		r := c.reass[0]
+		rl := mbuf.ChainLen(r.m)
+		if r.seq.Gt(c.rcvNxt) {
+			break
+		}
+		// Trim any duplicated prefix.
+		if r.seq.Lt(c.rcvNxt) {
+			over := c.rcvNxt.Diff(r.seq)
+			if over >= rl {
+				c.K.Pool.Free(r.m)
+				c.reass = c.reass[1:]
+				continue
+			}
+			r.m = c.K.Pool.Drop(r.m, over)
+			rl -= over
+		}
+		c.rcvNxt = c.rcvNxt.Add(rl)
+		c.so.Rcv.Append(r.m)
+		woke = true
+		c.reass = c.reass[1:]
+	}
+	if woke {
+		c.so.RcvWakeup()
+	}
+}

@@ -1,0 +1,276 @@
+package tcp
+
+import (
+	"repro/internal/checksum"
+	"repro/internal/cost"
+	"repro/internal/ip"
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// output runs tcp_output until it decides there is nothing more to send.
+func (c *Conn) output(p *sim.Proc) {
+	for c.outputOnce(p) {
+	}
+}
+
+// outputFlags returns the header flags implied by the connection state.
+func (c *Conn) outputFlags() uint8 {
+	switch c.state {
+	case StateSynSent:
+		return FlagSYN
+	case StateSynRcvd:
+		return FlagSYN | FlagACK
+	case StateFinWait1, StateLastAck, StateClosing:
+		return FlagFIN | FlagACK
+	case StateClosed, StateListen:
+		return FlagACK
+	default:
+		return FlagACK
+	}
+}
+
+// outputOnce is one pass of the BSD tcp_output send decision. It reports
+// whether the caller should loop for another segment ("sendalot").
+func (c *Conn) outputOnce(p *sim.Proc) bool {
+	idle := c.sndMax == c.sndUna
+	off := c.sndNxt.Diff(c.sndUna)
+	if off < 0 {
+		off = 0
+	}
+	win := min2(c.sndWnd, c.cwnd)
+	flags := c.outputFlags()
+
+	sbLen := c.so.Snd.Len()
+	length := min2(sbLen-off, win-off)
+	if length < 0 {
+		length = 0
+	}
+	sendalot := false
+	if length > c.mss {
+		length = c.mss
+		sendalot = true
+	}
+	// The FIN consumes sequence space after all data.
+	if flags&FlagFIN != 0 && off+length < sbLen {
+		flags &^= FlagFIN
+	}
+
+	send := false
+	switch {
+	case length == c.mss && length > 0:
+		send = true
+	case length > 0 && (idle || c.noDelay) && off+length == sbLen:
+		// Nagle: a sub-MSS segment goes out only when nothing is
+		// outstanding (or TCP_NODELAY) and it carries all queued data.
+		send = true
+	case length > 0 && off+length == sbLen && flags&FlagFIN != 0:
+		send = true
+	}
+	if flags&FlagSYN != 0 && c.sndNxt == c.iss {
+		send = true
+	}
+	if flags&FlagFIN != 0 && (!c.finSent || c.sndNxt == c.sndUna) {
+		send = true
+	}
+	if c.flagAckNow {
+		send = true
+	}
+	// Window update: advertise when the window has opened by two
+	// segments or half the buffer (BSD's receiver silly-window rule).
+	rcvSpace := c.so.Rcv.Space()
+	if c.state >= StateEstablished && rcvSpace > 0 {
+		adv := c.rcvNxt.Add(rcvSpace).Diff(c.rcvAdv)
+		if adv >= 2*c.mss || adv >= c.so.Rcv.Hiwat/2 {
+			send = true
+		}
+	}
+	if !send {
+		return false
+	}
+
+	c.sendSegment(p, flags, off, length)
+
+	more := sbLen - (off + length)
+	return sendalot && more > 0 && off+length < win
+}
+
+// sendSegment builds and transmits one segment of the given length from
+// send-buffer offset off.
+func (c *Conn) sendSegment(p *sim.Proc, flags uint8, off, length int) {
+	k := c.K
+	key := c.pcbEntry.Key
+
+	th := Header{
+		SrcPort: key.LocalPort,
+		DstPort: key.RemotePort,
+		Seq:     c.sndNxt,
+		Ack:     c.rcvNxt,
+		Flags:   flags,
+		Win:     clampWin(c.so.Rcv.Space()),
+	}
+	if flags&FlagSYN != 0 {
+		th.Seq = c.iss
+		th.MSS = uint16(c.S.mtuMSS())
+		if c.wantCksumOff {
+			th.AltCksum = AltCksumNone
+		}
+	}
+	if flags&FlagACK == 0 {
+		th.Ack = 0
+	}
+	if length > 0 && off+length == c.so.Snd.Len() {
+		th.Flags |= FlagPSH
+	}
+
+	// mcopy: the data sent is a copy of the socket buffer chain, kept
+	// there for retransmission (§2.2.3: "the copy in mcopy only occurs
+	// on sends, and is made from the mbuf chain for retransmissions").
+	var data *mbuf.Mbuf
+	if length > 0 {
+		var cs mbuf.CopyStats
+		data, cs = k.Pool.Copy(c.so.Snd.Chain(), off, length)
+		d := sim.Time(cs.MbufsAllocated)*(k.Cost.MbufAlloc+k.Cost.MbufCopyFix) +
+			sim.Time(cs.ClustersRef)*k.Cost.ClusterRef +
+			sim.Time(k.Cost.UserBcopy.PerByte*float64(cs.BytesCopied))
+		k.Use(p, trace.LayerTCPMcopy, d)
+	}
+
+	// Remaining TCP output processing: the paper's "segment" row.
+	k.Use(p, trace.LayerTCPSegmentTx, k.Cost.TCPOutputSegment.Cost(length))
+
+	// Header mbuf.
+	hm := k.AllocMbuf(p, trace.LayerTCPSegmentTx)
+	hdrLen := th.Len()
+	hdr := make([]byte, hdrLen)
+	th.Marshal(hdr)
+	hm.Append(hdr)
+	hm.SetNext(data)
+
+	c.fillChecksum(p, hm, hdrLen, length, flags)
+
+	c.S.Stats.SegsOut++
+	c.S.IP.Output(p, c.remoteAddr(), ip.ProtoTCP, hm)
+
+	// Advance send state.
+	seqLen := length
+	if flags&FlagSYN != 0 {
+		seqLen++
+	}
+	if flags&FlagFIN != 0 {
+		seqLen++
+		c.finSent = true
+	}
+	c.sndNxt = c.sndNxt.Add(seqLen)
+	if c.sndNxt.Gt(c.sndMax) {
+		c.sndMax = c.sndNxt
+		// Time this transmission for RTT if nothing is being timed.
+		if !c.rtTiming && seqLen > 0 {
+			c.rtTiming = true
+			c.rtSeq = th.Seq
+			c.rtStart = k.Now()
+		}
+	}
+	if c.sndUna != c.sndMax {
+		c.setRexmt()
+	}
+	// Record the advertised window edge for the update rule.
+	adv := c.rcvNxt.Add(int(th.Win))
+	if adv.Gt(c.rcvAdv) {
+		c.rcvAdv = adv
+	}
+	c.flagAckNow = false
+	c.flagDelAck = false
+}
+
+// fillChecksum computes and stores the TCP checksum into the marshaled
+// header at the front of chain hm, according to the stack's mode, and
+// charges the corresponding cost. The bytes are real in every mode except
+// elimination, where the field stays zero by agreement.
+func (c *Conn) fillChecksum(p *sim.Proc, hm *mbuf.Mbuf, hdrLen, dataLen int, flags uint8) {
+	k := c.K
+	segLen := hdrLen + dataLen
+	key := c.pcbEntry.Key
+
+	// Checksum elimination applies only once negotiated and never to
+	// SYN segments; a stack configured for elimination whose peer did
+	// not agree falls back to the standard checksum, so mismatched
+	// configurations interoperate instead of blackholing.
+	if c.cksumOff && flags&FlagSYN == 0 {
+		return
+	}
+	switch c.S.Mode {
+	case cost.ChecksumIntegrated:
+		// The data mbufs carry partial sums computed during copyin;
+		// fold them with a freshly summed header (§4.1.1). Invalidated
+		// stashes (segment boundaries that split an mbuf) fall back to
+		// summing that mbuf's bytes.
+		k.Use(p, trace.LayerTCPCksumTx, k.Cost.IntegratedTxFixed)
+		ps := checksum.TCPPseudo(key.LocalAddr, key.RemoteAddr, segLen)
+		ps.Add(hm.Bytes())
+		k.Use(p, trace.LayerTCPCksumTx, k.Cost.TCPKernelChecksum.Cost(hdrLen))
+		for m := hm.Next(); m != nil; m = m.Next() {
+			if m.CsumValid {
+				k.Use(p, trace.LayerTCPCksumTx, k.Cost.ChecksumCombine)
+				ps.Combine(m.Csum)
+			} else {
+				k.Use(p, trace.LayerTCPCksumTx,
+					sim.Time(k.Cost.TCPKernelChecksum.PerByte*float64(m.Len())))
+				ps.Add(m.Bytes())
+			}
+		}
+		storeChecksum(hm, ps.Checksum())
+	default:
+		nm := mbuf.ChainCount(hm)
+		k.Use(p, trace.LayerTCPCksumTx,
+			k.Cost.TCPKernelChecksum.Cost(segLen)+sim.Time(nm)*k.Cost.TCPCksumPerMbuf)
+		ps := checksum.TCPPseudo(key.LocalAddr, key.RemoteAddr, segLen)
+		for m := hm; m != nil; m = m.Next() {
+			ps.Add(m.Bytes())
+		}
+		storeChecksum(hm, ps.Checksum())
+	}
+}
+
+// storeChecksum writes ck into the checksum field of the header mbuf.
+func storeChecksum(hm *mbuf.Mbuf, ck uint16) {
+	b := hm.Bytes()
+	b[16] = byte(ck >> 8)
+	b[17] = byte(ck)
+}
+
+// clampWin narrows a window to the 16-bit header field.
+func clampWin(w int) uint16 {
+	if w < 0 {
+		return 0
+	}
+	if w > 65535 {
+		return 65535
+	}
+	return uint16(w)
+}
+
+// pseudoPartial builds the verification pseudo-header from a received IP
+// header.
+func pseudoPartial(h ip.Header, segLen int) checksum.Partial {
+	return checksum.TCPPseudo(h.Src, h.Dst, segLen)
+}
+
+// verifyIntegrated checks an inbound segment using the partial sums the
+// ATM driver stashed during its device-to-kernel copy.
+func verifyIntegrated(p *sim.Proc, k *kern.Kernel, h ip.Header, m *mbuf.Mbuf, segLen int) bool {
+	ps := pseudoPartial(h, segLen)
+	for c := m; c != nil; c = c.Next() {
+		if c.CsumValid {
+			k.Use(p, trace.LayerTCPCksumRx, k.Cost.ChecksumCombine)
+			ps.Combine(c.Csum)
+		} else {
+			k.Use(p, trace.LayerTCPCksumRx,
+				sim.Time(k.Cost.TCPKernelChecksum.PerByte*float64(c.Len())))
+			ps.Add(c.Bytes())
+		}
+	}
+	return ps.Sum16() == 0xffff
+}

@@ -1,0 +1,39 @@
+package tcp
+
+// Seq is a TCP sequence number with the modular comparison semantics of
+// RFC 793 (the SEQ_LT/SEQ_GEQ macros in BSD).
+type Seq uint32
+
+// Lt reports a < b in sequence space.
+func (a Seq) Lt(b Seq) bool { return int32(a-b) < 0 }
+
+// Leq reports a <= b in sequence space.
+func (a Seq) Leq(b Seq) bool { return int32(a-b) <= 0 }
+
+// Gt reports a > b in sequence space.
+func (a Seq) Gt(b Seq) bool { return int32(a-b) > 0 }
+
+// Geq reports a >= b in sequence space.
+func (a Seq) Geq(b Seq) bool { return int32(a-b) >= 0 }
+
+// Add advances the sequence number by n bytes.
+func (a Seq) Add(n int) Seq { return a + Seq(uint32(n)) }
+
+// Diff returns a-b as a byte count; callers must know a >= b.
+func (a Seq) Diff(b Seq) int { return int(int32(a - b)) }
+
+// maxSeq returns the later of two sequence numbers.
+func maxSeq(a, b Seq) Seq {
+	if a.Geq(b) {
+		return a
+	}
+	return b
+}
+
+// minSeq returns the earlier of two sequence numbers.
+func minSeq(a, b Seq) Seq {
+	if a.Leq(b) {
+		return a
+	}
+	return b
+}

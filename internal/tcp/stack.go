@@ -1,0 +1,342 @@
+package tcp
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/ip"
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/pcb"
+	"repro/internal/sim"
+	"repro/internal/sock"
+	"repro/internal/trace"
+)
+
+// Stats counts protocol events across a stack, for tests and reports.
+type Stats struct {
+	SegsIn          int64
+	SegsOut         int64
+	FastPathData    int64 // header-prediction hits, pure-data case
+	FastPathAck     int64 // header-prediction hits, pure-ACK case
+	SlowPath        int64
+	ChecksumErrors  int64
+	Retransmits     int64
+	FastRetransmits int64
+	DelayedAcks     int64
+	DupSegs         int64
+	OutOfOrderSegs  int64
+	PCBCacheHits    int64
+	PCBListSearched int64
+}
+
+// Stack is one host's TCP layer. It implements ip.Handler.
+type Stack struct {
+	K  *kern.Kernel
+	IP *ip.Stack
+
+	// Table demultiplexes incoming segments. Its organization (list
+	// versus hash, cache on or off) is the §3 experimental variable.
+	Table pcb.Table
+
+	// PredictionEnabled controls both halves of header prediction: the
+	// PCB cache and the tcp_input fast path. The paper's "no prediction"
+	// kernel disables both.
+	PredictionEnabled bool
+
+	// Mode is the checksum configuration (§4). Both ends of a
+	// connection must agree, which the paper arranges with the
+	// Alternate Checksum Option at connection setup.
+	Mode cost.ChecksumMode
+
+	Stats Stats
+
+	listeners map[uint16]*Listener
+	nextPort  uint16
+	nextISS   Seq
+
+	// deferred protocol work (timer expirations) executed by the
+	// stack's service process, which can block on driver FIFOs.
+	due   []func(p *sim.Proc)
+	workQ *sim.WaitQueue
+}
+
+// NewStack creates the TCP layer for a host, registers it with IP, and
+// starts its timer service process.
+func NewStack(k *kern.Kernel, ipStack *ip.Stack) *Stack {
+	s := &Stack{
+		K:                 k,
+		IP:                ipStack,
+		PredictionEnabled: true,
+		listeners:         make(map[uint16]*Listener),
+		nextPort:          1024,
+		nextISS:           1, // deterministic ISS: reproducibility over security
+		workQ:             k.Env.NewWaitQueue(k.Name + ".tcp.work"),
+	}
+	ipStack.Register(ip.ProtoTCP, s)
+	k.Env.Spawn(k.Name+".tcptimer", s.workLoop)
+	return s
+}
+
+// dispatch queues protocol work for the service process. Timer events use
+// it because event callbacks cannot block on FIFO space.
+func (s *Stack) dispatch(fn func(p *sim.Proc)) {
+	s.due = append(s.due, fn)
+	s.workQ.Wake()
+}
+
+func (s *Stack) workLoop(p *sim.Proc) {
+	for {
+		for len(s.due) == 0 {
+			s.workQ.Wait(p)
+		}
+		fn := s.due[0]
+		copy(s.due, s.due[1:])
+		s.due = s.due[:len(s.due)-1]
+		fn(p)
+	}
+}
+
+// allocPort returns a fresh ephemeral port.
+func (s *Stack) allocPort() uint16 {
+	s.nextPort++
+	return s.nextPort
+}
+
+// newConn builds a connection bound to a fresh socket.
+func (s *Stack) newConn() *Conn {
+	so := sock.New(s.K)
+	so.Mode = s.Mode
+	c := &Conn{
+		S:            s,
+		K:            s.K,
+		so:           so,
+		state:        StateClosed,
+		mss:          defaultMSS,
+		wantCksumOff: s.Mode == cost.ChecksumNone,
+	}
+	so.Proto = c
+	return c
+}
+
+// mtuMSS derives the MSS from the attached interface.
+func (s *Stack) mtuMSS() int {
+	return s.IP.If.MTU() - ip.HeaderLen - HeaderLen
+}
+
+// Connect opens a connection to dst:port, blocking the calling process
+// until establishment completes (or fails). It returns the connected
+// socket.
+func (s *Stack) Connect(p *sim.Proc, dst uint32, port uint16) (*sock.Socket, *Conn, error) {
+	c := s.newConn()
+	key := pcb.Key{
+		LocalAddr:  s.IP.Addr,
+		RemoteAddr: dst,
+		LocalPort:  s.allocPort(),
+		RemotePort: port,
+	}
+	c.pcbEntry = &pcb.PCB{Key: key, Owner: c}
+	s.Table.Insert(c.pcbEntry)
+	s.nextISS += 64000
+	c.iss = s.nextISS
+	c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
+	c.mss = s.mtuMSS()
+	c.cwnd = c.mss
+	c.ssthresh = 65535
+	c.state = StateSynSent
+	c.output(p)
+	for !c.so.Connected && c.so.Err == nil {
+		c.so.StateQ.Wait(p)
+	}
+	if c.so.Err != nil {
+		return nil, nil, c.so.Err
+	}
+	return c.so, c, nil
+}
+
+// InsertIdlePCB inserts a synthetic inactive connection into the
+// demultiplexing table. The §3 experiments use it to control the PCB list
+// length the lookup must search, standing in for the paper's population of
+// daemon connections.
+func (s *Stack) InsertIdlePCB(remoteAddr uint32, remotePort uint16) {
+	c := s.newConn()
+	key := pcb.Key{
+		LocalAddr:  s.IP.Addr,
+		RemoteAddr: remoteAddr,
+		LocalPort:  s.allocPort(),
+		RemotePort: remotePort,
+	}
+	c.pcbEntry = &pcb.PCB{Key: key, Owner: c}
+	s.Table.Insert(c.pcbEntry)
+}
+
+// Listener accepts incoming connections on a port.
+type Listener struct {
+	s       *Stack
+	port    uint16
+	pcbEnt  *pcb.PCB
+	backlog []*Conn
+	wq      *sim.WaitQueue
+}
+
+// Listen starts accepting connections on port.
+func (s *Stack) Listen(port uint16) (*Listener, error) {
+	if _, busy := s.listeners[port]; busy {
+		return nil, fmt.Errorf("tcp: port %d already listening", port)
+	}
+	l := &Listener{
+		s:    s,
+		port: port,
+		wq:   s.K.Env.NewWaitQueue(fmt.Sprintf("%s.tcp.accept:%d", s.K.Name, port)),
+	}
+	l.pcbEnt = &pcb.PCB{Key: pcb.Key{LocalPort: port}, Owner: l}
+	s.Table.Insert(l.pcbEnt)
+	s.listeners[port] = l
+	return l, nil
+}
+
+// Accept blocks until a connection is established and returns its socket.
+func (l *Listener) Accept(p *sim.Proc) (*sock.Socket, *Conn) {
+	for len(l.backlog) == 0 {
+		l.wq.Wait(p)
+	}
+	c := l.backlog[0]
+	copy(l.backlog, l.backlog[1:])
+	l.backlog = l.backlog[:len(l.backlog)-1]
+	return c.so, c
+}
+
+// Input implements ip.Handler: checksum verification, PCB demultiplexing
+// (with the single-entry cache), header prediction, and the slow path.
+// The mbuf chain m holds the TCP segment (header plus data).
+func (s *Stack) Input(p *sim.Proc, h ip.Header, m *mbuf.Mbuf) {
+	k := s.K
+	s.Stats.SegsIn++
+	segLen := mbuf.ChainLen(m)
+
+	raw := make([]byte, 28)
+	nn := mbuf.CopyBytesTo(m, 0, 28, raw)
+	th, off, err := Parse(raw[:nn])
+	if err != nil {
+		k.Pool.Free(m)
+		return
+	}
+
+	// PCB demultiplexing: single-entry cache, then list or hash search.
+	probe := pcb.Key{
+		LocalAddr:  h.Dst,
+		RemoteAddr: h.Src,
+		LocalPort:  th.DstPort,
+		RemotePort: th.SrcPort,
+	}
+	s.Table.CacheDisabled = !s.PredictionEnabled
+	ent, res := s.Table.Lookup(probe)
+	if res.CacheHit {
+		s.Stats.PCBCacheHits++
+		k.Use(p, trace.LayerTCPSegmentRx, k.Cost.PCBCacheHit)
+	} else {
+		s.Stats.PCBListSearched += int64(res.Searched)
+		var searchCost sim.Time
+		if s.Table.UseHash {
+			searchCost = k.Cost.PCBHashLookup
+		} else {
+			searchCost = k.Cost.PCBLookupFixed +
+				sim.Time(res.Searched)*k.Cost.PCBLookupPerEntry
+		}
+		k.Use(p, trace.LayerTCPSegmentRx, searchCost)
+	}
+	if ent == nil {
+		// No connection: drop (a full stack would send RST).
+		k.Pool.Free(m)
+		return
+	}
+
+	// Checksum verification. BSD verifies before the PCB lookup; with
+	// the Alternate Checksum Option the mode is per connection, so the
+	// lookup has to come first. A segment whose corrupted ports demux
+	// to the wrong (or no) connection is still dropped — here, by that
+	// connection's own checksum, or by the sequence checks. Whether the
+	// checksum applies: never for SYNs (negotiation is not complete),
+	// and not when both ends negotiated it off.
+	verify := true
+	if conn, ok := ent.Owner.(*Conn); ok &&
+		conn.cksumOff && th.Flags&FlagSYN == 0 {
+		verify = false
+	}
+	if verify && !s.verifyChecksum(p, h, m, segLen) {
+		s.Stats.ChecksumErrors++
+		k.Pool.Free(m)
+		return
+	}
+
+	// Strip the TCP header; the remaining chain is the segment data.
+	m = k.Pool.Drop(m, off)
+
+	switch owner := ent.Owner.(type) {
+	case *Listener:
+		k.Pool.Free(m)
+		s.listenerInput(p, owner, h, th)
+	case *Conn:
+		owner.input(p, th, m)
+	default:
+		panic("tcp: unknown PCB owner")
+	}
+}
+
+// listenerInput handles a segment addressed to a listening socket: a SYN
+// creates an embryonic connection; anything else is dropped.
+func (s *Stack) listenerInput(p *sim.Proc, l *Listener, h ip.Header, th Header) {
+	k := s.K
+	k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputSlow)
+	s.Stats.SlowPath++
+	if th.Flags&FlagSYN == 0 || th.Flags&FlagACK != 0 {
+		return
+	}
+	c := s.newConn()
+	key := pcb.Key{
+		LocalAddr:  s.IP.Addr,
+		RemoteAddr: h.Src,
+		LocalPort:  l.port,
+		RemotePort: th.SrcPort,
+	}
+	c.pcbEntry = &pcb.PCB{Key: key, Owner: c}
+	s.Table.Insert(c.pcbEntry)
+	c.listener = l
+	s.nextISS += 64000
+	c.iss = s.nextISS
+	c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
+	c.irs = th.Seq
+	c.rcvNxt = th.Seq.Add(1)
+	c.mss = s.mtuMSS()
+	if th.MSS != 0 && int(th.MSS) < c.mss {
+		c.mss = int(th.MSS)
+	}
+	if th.AltCksum == AltCksumNone && c.wantCksumOff {
+		c.cksumOff = true
+	}
+	c.cwnd = c.mss
+	c.ssthresh = 65535
+	c.sndWnd = int(th.Win)
+	c.state = StateSynRcvd
+	c.flagAckNow = true
+	c.output(p)
+}
+
+// verifyChecksum checks the segment's TCP checksum according to the
+// stack's mode, charging the appropriate cost, and reports validity.
+func (s *Stack) verifyChecksum(p *sim.Proc, h ip.Header, m *mbuf.Mbuf, segLen int) bool {
+	k := s.K
+	switch s.Mode {
+	case cost.ChecksumIntegrated:
+		return verifyIntegrated(p, k, h, m, segLen)
+	default:
+		nm := mbuf.ChainCount(m)
+		k.Use(p, trace.LayerTCPCksumRx,
+			k.Cost.TCPKernelChecksum.Cost(segLen)+sim.Time(nm)*k.Cost.TCPCksumPerMbuf)
+		ps := pseudoPartial(h, segLen)
+		for c := m; c != nil; c = c.Next() {
+			ps.Add(c.Bytes())
+		}
+		return ps.Sum16() == 0xffff
+	}
+}

@@ -1,0 +1,825 @@
+package tcp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/atm"
+	"repro/internal/cost"
+	"repro/internal/ether"
+	"repro/internal/ip"
+	"repro/internal/kern"
+	"repro/internal/sim"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags uint8, win, mss uint16, alt bool) bool {
+		h := Header{
+			SrcPort: sp, DstPort: dp,
+			Seq: Seq(seq), Ack: Seq(ack),
+			Flags: flags & 0x3f, Win: win, MSS: mss,
+		}
+		if alt {
+			h.AltCksum = AltCksumNone
+		}
+		b := make([]byte, 28)
+		n := h.Marshal(b)
+		got, off, err := Parse(b[:n])
+		if err != nil || off != n {
+			return false
+		}
+		got.Cksum = h.Cksum // checksum written separately
+		return got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderParseErrors(t *testing.T) {
+	if _, _, err := Parse(make([]byte, 10)); err == nil {
+		t.Error("short header accepted")
+	}
+	b := make([]byte, 20)
+	(&Header{}).Marshal(b)
+	b[12] = 2 << 4 // data offset 8 bytes < 20
+	if _, _, err := Parse(b); err == nil {
+		t.Error("bad offset accepted")
+	}
+	b2 := make([]byte, 24)
+	(&Header{MSS: 100}).Marshal(b2)
+	b2[21] = 3 // malformed MSS option length
+	if _, _, err := Parse(b2); err == nil {
+		t.Error("malformed option accepted")
+	}
+}
+
+func TestFlagString(t *testing.T) {
+	if got := FlagString(FlagSYN | FlagACK); got != "SYN|ACK" {
+		t.Fatalf("FlagString = %q", got)
+	}
+	if got := FlagString(0); got != "none" {
+		t.Fatalf("FlagString(0) = %q", got)
+	}
+}
+
+func TestSeqArithmetic(t *testing.T) {
+	a := Seq(0xfffffff0)
+	b := a.Add(0x20) // wraps
+	if !a.Lt(b) || !b.Gt(a) || !a.Leq(b) || !b.Geq(a) {
+		t.Fatal("wrapped comparison broken")
+	}
+	if b.Diff(a) != 0x20 {
+		t.Fatalf("Diff = %d", b.Diff(a))
+	}
+	if maxSeq(a, b) != b || minSeq(a, b) != a {
+		t.Fatal("max/min broken across wrap")
+	}
+	if !a.Leq(a) || !a.Geq(a) || a.Lt(a) || a.Gt(a) {
+		t.Fatal("reflexive comparisons broken")
+	}
+}
+
+func TestSeqProperty(t *testing.T) {
+	f := func(x uint32, d uint16) bool {
+		a := Seq(x)
+		b := a.Add(int(d))
+		if d == 0 {
+			return a == b
+		}
+		return a.Lt(b) && b.Diff(a) == int(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pair is a two-host ATM testbed at the TCP level.
+type pair struct {
+	env    *sim.Env
+	ka, kb *kern.Kernel
+	sa, sb *Stack
+	aa, ab *atm.Adapter
+}
+
+func newPair(t *testing.T, mode cost.ChecksumMode) *pair {
+	t.Helper()
+	env := sim.NewEnv()
+	model := cost.DECstation5000()
+	p := &pair{env: env}
+	p.ka = kern.New(env, model, "a")
+	p.kb = kern.New(env, model, "b")
+	ipa := ip.NewStack(p.ka, 1)
+	ipb := ip.NewStack(p.kb, 2)
+	p.aa, p.ab = atm.NewAdapter(p.ka), atm.NewAdapter(p.kb)
+	atm.Connect(p.aa, p.ab)
+	da := atm.NewDriver(p.ka, p.aa, ipa)
+	db := atm.NewDriver(p.kb, p.ab, ipb)
+	da.Mode, db.Mode = mode, mode
+	p.sa = NewStack(p.ka, ipa)
+	p.sb = NewStack(p.kb, ipb)
+	p.sa.Mode, p.sb.Mode = mode, mode
+	return p
+}
+
+func TestConnectEstablishes(t *testing.T) {
+	p := newPair(t, cost.ChecksumStandard)
+	ln, err := p.sb.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clientConn, serverConn *Conn
+	p.env.Spawn("server", func(pr *sim.Proc) {
+		_, serverConn = ln.Accept(pr)
+	})
+	p.env.Spawn("client", func(pr *sim.Proc) {
+		_, c, err := p.sa.Connect(pr, 2, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		clientConn = c
+	})
+	p.env.Run()
+	if clientConn == nil || serverConn == nil {
+		t.Fatal("handshake incomplete")
+	}
+	if clientConn.State() != StateEstablished || serverConn.State() != StateEstablished {
+		t.Fatalf("states: %v / %v", clientConn.State(), serverConn.State())
+	}
+	// MSS negotiated from the ATM MTU.
+	wantMSS := atm.MTU - ip.HeaderLen - HeaderLen
+	if clientConn.MSS() != wantMSS || serverConn.MSS() != wantMSS {
+		t.Fatalf("MSS %d/%d, want %d", clientConn.MSS(), serverConn.MSS(), wantMSS)
+	}
+}
+
+func TestListenPortConflict(t *testing.T) {
+	p := newPair(t, cost.ChecksumStandard)
+	if _, err := p.sb.Listen(80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.sb.Listen(80); err == nil {
+		t.Fatal("duplicate listen accepted")
+	}
+}
+
+// transfer sends payload a→b and returns what b received.
+func transfer(t *testing.T, p *pair, payload []byte, nodelay bool) []byte {
+	t.Helper()
+	ln, err := p.sb.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	p.env.Spawn("rx", func(pr *sim.Proc) {
+		so, _ := ln.Accept(pr)
+		buf := make([]byte, 4096)
+		for {
+			n, err := so.Recv(pr, buf)
+			if err != nil || n == 0 {
+				return
+			}
+			got = append(got, buf[:n]...)
+		}
+	})
+	p.env.Spawn("tx", func(pr *sim.Proc) {
+		so, c, err := p.sa.Connect(pr, 2, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.SetNoDelay(nodelay)
+		if _, err := so.Send(pr, payload); err != nil {
+			t.Error(err)
+			return
+		}
+		so.Close(pr)
+	})
+	p.env.Run()
+	return got
+}
+
+func TestTransferIntegritySizes(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 1024, 1025, 4096, 8000, 20000, 60000} {
+		p := newPair(t, cost.ChecksumStandard)
+		payload := make([]byte, n)
+		p.env.RNG().Fill(payload)
+		got := transfer(t, p, payload, true)
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("n=%d: corrupted transfer (got %d bytes)", n, len(got))
+		}
+	}
+}
+
+func TestTransferIntegrityQuick(t *testing.T) {
+	f := func(n uint16, seed uint64) bool {
+		p := newPair(t, cost.ChecksumStandard)
+		p.env.Seed(seed)
+		payload := make([]byte, int(n)%20000)
+		p.env.RNG().Fill(payload)
+		got := transfer(t, p, payload, true)
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferAllChecksumModes(t *testing.T) {
+	for _, mode := range []cost.ChecksumMode{
+		cost.ChecksumStandard, cost.ChecksumIntegrated, cost.ChecksumNone,
+	} {
+		p := newPair(t, mode)
+		payload := make([]byte, 10000)
+		p.env.RNG().Fill(payload)
+		got := transfer(t, p, payload, true)
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("mode %v: corrupted transfer", mode)
+		}
+	}
+}
+
+func TestRecoveryFromCellLoss(t *testing.T) {
+	for _, mode := range []cost.ChecksumMode{cost.ChecksumStandard, cost.ChecksumNone} {
+		p := newPair(t, mode)
+		p.ab.LossRate = 0.002
+		p.env.Seed(11)
+		payload := make([]byte, 60000)
+		p.env.RNG().Fill(payload)
+		got := transfer(t, p, payload, true)
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("mode %v: loss recovery failed (%d/%d bytes)", mode, len(got), len(payload))
+		}
+		if p.aa.CellsDropped+p.ab.CellsDropped == 0 {
+			t.Fatalf("mode %v: no loss injected; test vacuous", mode)
+		}
+		if p.sa.Stats.Retransmits == 0 {
+			t.Fatalf("mode %v: no retransmissions despite loss", mode)
+		}
+	}
+}
+
+func TestChecksumDetectsCorruptionAALOff(t *testing.T) {
+	// End-to-end argument in action: corrupt a cell payload. The AAL
+	// CRC-10 catches it first (frame discarded), TCP retransmits, and
+	// the data still arrives intact.
+	p := newPair(t, cost.ChecksumStandard)
+	dropped := false
+	payload := make([]byte, 9000)
+	p.env.RNG().Fill(payload)
+	// Corrupt by dropping one cell mid-stream.
+	p.env.At(2*sim.Millisecond, "sabotage", func() {
+		if !dropped {
+			p.ab.DropNext = true
+			dropped = true
+		}
+	})
+	got := transfer(t, p, payload, true)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("recovery after mid-stream cell loss failed")
+	}
+}
+
+func TestFastPathFailsForRPC(t *testing.T) {
+	// Echo (bidirectional) traffic: header prediction's data case must
+	// essentially never hit for single-segment exchanges, because every
+	// data segment carries a piggybacked ACK of new data (§3).
+	p := newPair(t, cost.ChecksumStandard)
+	ln, _ := p.sb.Listen(80)
+	const iters = 20
+	p.env.Spawn("server", func(pr *sim.Proc) {
+		so, c := ln.Accept(pr)
+		c.SetNoDelay(true)
+		buf := make([]byte, 64)
+		for {
+			n, err := so.Recv(pr, buf)
+			if err != nil || n == 0 {
+				return
+			}
+			if _, err := so.Send(pr, buf[:n]); err != nil {
+				return
+			}
+		}
+	})
+	p.env.Spawn("client", func(pr *sim.Proc) {
+		so, c, err := p.sa.Connect(pr, 2, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.SetNoDelay(true)
+		buf := make([]byte, 64)
+		for i := 0; i < iters; i++ {
+			so.Send(pr, buf)
+			total := 0
+			for total < 64 {
+				n, _ := so.Recv(pr, buf[total:])
+				total += n
+			}
+		}
+		so.Close(pr)
+	})
+	p.env.Run()
+	data := p.sa.Stats.FastPathData + p.sb.Stats.FastPathData
+	if data > 2 {
+		t.Errorf("fast path data hits = %d for RPC traffic, expected ~0", data)
+	}
+	if p.sa.Stats.SlowPath+p.sb.Stats.SlowPath < iters {
+		t.Error("slow path barely used; predicates suspect")
+	}
+}
+
+func TestFastPathSucceedsForBulk(t *testing.T) {
+	// Unidirectional transfer: the receiver should take the data fast
+	// path for most segments and the sender the ACK fast path (§3's
+	// "two common cases of unidirectional data transfer").
+	p := newPair(t, cost.ChecksumStandard)
+	payload := make([]byte, 200000)
+	p.env.RNG().Fill(payload)
+	got := transfer(t, p, payload, true)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("bulk transfer corrupted")
+	}
+	if p.sb.Stats.FastPathData < 10 {
+		t.Errorf("receiver fast-path data hits = %d, expected many", p.sb.Stats.FastPathData)
+	}
+	// The pure-ACK fast path requires an unchanged advertised window;
+	// in this driver-limited bulk run most ACKs carry window updates,
+	// so only a handful qualify — but some must.
+	if p.sa.Stats.FastPathAck < 1 {
+		t.Errorf("sender fast-path ACK hits = %d, expected some", p.sa.Stats.FastPathAck)
+	}
+}
+
+func TestPredictionDisabledNeverFastPaths(t *testing.T) {
+	p := newPair(t, cost.ChecksumStandard)
+	p.sa.PredictionEnabled = false
+	p.sb.PredictionEnabled = false
+	payload := make([]byte, 100000)
+	got := transfer(t, p, payload, true)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("transfer corrupted")
+	}
+	if p.sa.Stats.FastPathData+p.sa.Stats.FastPathAck+
+		p.sb.Stats.FastPathData+p.sb.Stats.FastPathAck != 0 {
+		t.Fatal("fast path used despite prediction disabled")
+	}
+	if p.sa.Stats.PCBCacheHits+p.sb.Stats.PCBCacheHits != 0 {
+		t.Fatal("PCB cache used despite prediction disabled")
+	}
+}
+
+func TestNagleCoalesces(t *testing.T) {
+	// With Nagle on, many tiny writes while an ACK is outstanding must
+	// produce far fewer segments than writes.
+	p := newPair(t, cost.ChecksumStandard)
+	ln, _ := p.sb.Listen(80)
+	const writes = 50
+	var received int
+	p.env.Spawn("rx", func(pr *sim.Proc) {
+		so, _ := ln.Accept(pr)
+		buf := make([]byte, 4096)
+		for {
+			n, err := so.Recv(pr, buf)
+			if err != nil || n == 0 {
+				return
+			}
+			received += n
+		}
+	})
+	p.env.Spawn("tx", func(pr *sim.Proc) {
+		so, _, err := p.sa.Connect(pr, 2, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < writes; i++ {
+			so.Send(pr, []byte{byte(i)})
+		}
+		so.Close(pr)
+	})
+	p.env.Run()
+	if received != writes {
+		t.Fatalf("received %d bytes, want %d", received, writes)
+	}
+	dataSegs := p.sa.Stats.SegsOut
+	if dataSegs >= writes {
+		t.Errorf("Nagle sent %d segments for %d 1-byte writes; expected coalescing", dataSegs, writes)
+	}
+}
+
+func TestCloseHandshakeStates(t *testing.T) {
+	p := newPair(t, cost.ChecksumStandard)
+	ln, _ := p.sb.Listen(80)
+	var server, client *Conn
+	var srvEOF bool
+	p.env.Spawn("server", func(pr *sim.Proc) {
+		so, c := ln.Accept(pr)
+		server = c
+		buf := make([]byte, 16)
+		n, err := so.Recv(pr, buf)
+		if err != nil || n != 0 {
+			t.Errorf("expected EOF, got n=%d err=%v", n, err)
+			return
+		}
+		srvEOF = true
+		so.Close(pr) // passive close
+	})
+	p.env.Spawn("client", func(pr *sim.Proc) {
+		so, c, err := p.sa.Connect(pr, 2, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		client = c
+		so.Close(pr) // active close
+	})
+	p.env.Run()
+	if !srvEOF {
+		t.Fatal("server never saw EOF")
+	}
+	if server.State() != StateClosed {
+		t.Fatalf("server state %v, want CLOSED (after LAST_ACK)", server.State())
+	}
+	// The active closer passes through TIME_WAIT and is released by the
+	// 2MSL timer, which has fired by the time Run drains the queue.
+	if client.State() != StateClosed {
+		t.Fatalf("client state %v, want CLOSED after TIME_WAIT", client.State())
+	}
+}
+
+func TestRTTEstimatorConverges(t *testing.T) {
+	p := newPair(t, cost.ChecksumStandard)
+	payload := make([]byte, 50000)
+	transfer(t, p, payload, true)
+	// Find the client conn's SRTT via the stack: use a fresh echo-style
+	// check instead; simplest: srtt must be positive and on the order of
+	// the simulated RTT (hundreds of µs to a few ms).
+	// The transfer helper closes the conn, so measure via a new pair.
+	p2 := newPair(t, cost.ChecksumStandard)
+	ln, _ := p2.sb.Listen(80)
+	p2.env.Spawn("rx", func(pr *sim.Proc) {
+		so, _ := ln.Accept(pr)
+		buf := make([]byte, 4096)
+		for {
+			n, err := so.Recv(pr, buf)
+			if err != nil || n == 0 {
+				return
+			}
+		}
+	})
+	var srtt sim.Time
+	p2.env.Spawn("tx", func(pr *sim.Proc) {
+		so, c, err := p2.sa.Connect(pr, 2, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.SetNoDelay(true)
+		for i := 0; i < 20; i++ {
+			so.Send(pr, make([]byte, 1000))
+			pr.Sleep(5 * sim.Millisecond)
+		}
+		srtt = c.SRTT()
+		so.Close(pr)
+	})
+	p2.env.Run()
+	if srtt <= 0 || srtt > 50*sim.Millisecond {
+		t.Fatalf("SRTT = %v, implausible", srtt)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateEstablished.String() != "ESTABLISHED" {
+		t.Fatal("state name broken")
+	}
+	if State(99).String() == "" {
+		t.Fatal("unknown state unnamed")
+	}
+}
+
+func TestAltChecksumNegotiation(t *testing.T) {
+	// Both ends configured for elimination: negotiated off.
+	p := newPair(t, cost.ChecksumNone)
+	payload := make([]byte, 5000)
+	p.env.RNG().Fill(payload)
+	got := transfer(t, p, payload, true)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("negotiated-off transfer corrupted")
+	}
+	if p.sa.Stats.ChecksumErrors+p.sb.Stats.ChecksumErrors != 0 {
+		t.Fatal("checksum errors on a negotiated-off connection")
+	}
+}
+
+func TestAltChecksumMismatchInteroperates(t *testing.T) {
+	// Client wants elimination, server does not: the option must not
+	// take effect, segments stay checksummed, and data flows — the
+	// failure mode this guards against is a silent blackhole where one
+	// end sends zero checksums the other drops.
+	p := newPair(t, cost.ChecksumStandard)
+	p.sa.Mode = cost.ChecksumNone // client offers; server stays standard
+	payload := make([]byte, 5000)
+	p.env.RNG().Fill(payload)
+	ln, err := p.sb.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	var serverConn *Conn
+	p.env.Spawn("rx", func(pr *sim.Proc) {
+		so, c := ln.Accept(pr)
+		serverConn = c
+		buf := make([]byte, 4096)
+		for {
+			n, err := so.Recv(pr, buf)
+			if err != nil || n == 0 {
+				return
+			}
+			got = append(got, buf[:n]...)
+		}
+	})
+	var clientConn *Conn
+	p.env.Spawn("tx", func(pr *sim.Proc) {
+		so, c, err := p.sa.Connect(pr, 2, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		clientConn = c
+		c.SetNoDelay(true)
+		so.Send(pr, payload)
+		so.Close(pr)
+	})
+	p.env.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("mismatched-mode transfer corrupted or blackholed")
+	}
+	if clientConn.ChecksumEliminated() || serverConn.ChecksumEliminated() {
+		t.Fatal("one-sided offer negotiated the checksum off")
+	}
+	if p.sa.Stats.ChecksumErrors+p.sb.Stats.ChecksumErrors != 0 {
+		t.Fatal("checksum errors under mismatch: zero-checksum segments leaked")
+	}
+}
+
+func TestAltChecksumNegotiatedFlag(t *testing.T) {
+	p := newPair(t, cost.ChecksumNone)
+	ln, _ := p.sb.Listen(80)
+	var sc, cc *Conn
+	p.env.Spawn("s", func(pr *sim.Proc) { _, sc = ln.Accept(pr) })
+	p.env.Spawn("c", func(pr *sim.Proc) {
+		_, c, err := p.sa.Connect(pr, 2, 80)
+		if err != nil {
+			t.Error(err)
+		}
+		cc = c
+	})
+	p.env.Run()
+	if cc == nil || sc == nil || !cc.ChecksumEliminated() || !sc.ChecksumEliminated() {
+		t.Fatal("both-ends offer did not negotiate the checksum off")
+	}
+}
+
+func TestDeterministicTransfers(t *testing.T) {
+	run := func() int64 {
+		p := newPair(t, cost.ChecksumStandard)
+		p.env.Seed(5)
+		payload := make([]byte, 30000)
+		p.env.RNG().Fill(payload)
+		transfer(t, p, payload, true)
+		return int64(p.env.Now())
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different completion times")
+	}
+}
+
+func TestMultipleConnectionsDemux(t *testing.T) {
+	// Three concurrent connections to one listener: the PCB table must
+	// demultiplex them and each stream must arrive intact.
+	p := newPair(t, cost.ChecksumStandard)
+	ln, _ := p.sb.Listen(80)
+	const conns = 3
+	payloads := make([][]byte, conns)
+	results := make([][]byte, conns)
+	for i := range payloads {
+		payloads[i] = make([]byte, 3000+i*1000)
+		p.env.RNG().Fill(payloads[i])
+	}
+	for i := 0; i < conns; i++ {
+		p.env.Spawn("srv", func(pr *sim.Proc) {
+			so, _ := ln.Accept(pr)
+			buf := make([]byte, 4096)
+			var got []byte
+			for {
+				n, err := so.Recv(pr, buf)
+				if err != nil || n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+			// Identify the stream by its first byte tag.
+			results[got[0]] = got
+		})
+	}
+	for i := 0; i < conns; i++ {
+		i := i
+		payloads[i][0] = byte(i)
+		p.env.Spawn("cli", func(pr *sim.Proc) {
+			pr.Sleep(sim.Time(i) * 3 * sim.Millisecond) // stagger
+			so, c, err := p.sa.Connect(pr, 2, 80)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c.SetNoDelay(true)
+			so.Send(pr, payloads[i])
+			so.Close(pr)
+		})
+	}
+	p.env.Run()
+	for i := range payloads {
+		if !bytes.Equal(results[i], payloads[i]) {
+			t.Fatalf("stream %d corrupted or crossed (%d vs %d bytes)",
+				i, len(results[i]), len(payloads[i]))
+		}
+	}
+	if p.sb.Table.Len() < 1 {
+		t.Fatal("PCB table empty")
+	}
+}
+
+func TestPCBCacheThrashAcrossConnections(t *testing.T) {
+	// Interleaved traffic on two connections defeats the single-entry
+	// cache; hit rate must be well below a single-connection run.
+	p := newPair(t, cost.ChecksumStandard)
+	ln, _ := p.sb.Listen(80)
+	for i := 0; i < 2; i++ {
+		p.env.Spawn("srv", func(pr *sim.Proc) {
+			so, c := ln.Accept(pr)
+			c.SetNoDelay(true)
+			buf := make([]byte, 64)
+			for {
+				n, err := so.Recv(pr, buf)
+				if err != nil || n == 0 {
+					return
+				}
+				so.Send(pr, buf[:n])
+			}
+		})
+	}
+	done := 0
+	for i := 0; i < 2; i++ {
+		p.env.Spawn("cli", func(pr *sim.Proc) {
+			so, c, err := p.sa.Connect(pr, 2, 80)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c.SetNoDelay(true)
+			buf := make([]byte, 64)
+			for j := 0; j < 15; j++ {
+				so.Send(pr, buf)
+				total := 0
+				for total < 64 {
+					n, _ := so.Recv(pr, buf[total:])
+					total += n
+				}
+			}
+			so.Close(pr)
+			done++
+		})
+	}
+	p.env.Run()
+	if done != 2 {
+		t.Fatal("clients did not finish")
+	}
+	lookups := p.sb.Stats.PCBCacheHits + p.sb.Stats.PCBListSearched
+	if lookups == 0 {
+		t.Fatal("no lookups recorded")
+	}
+	// With two interleaved connections some lookups must miss the cache.
+	if p.sb.Stats.PCBListSearched == 0 {
+		t.Error("cache never missed despite interleaved connections")
+	}
+}
+
+func TestDelayedAckTimerFires(t *testing.T) {
+	// A receiver whose application never responds must still ACK within
+	// the 200 ms fast-timer bound, or the sender would retransmit.
+	p := newPair(t, cost.ChecksumStandard)
+	ln, _ := p.sb.Listen(80)
+	p.env.Spawn("rx", func(pr *sim.Proc) {
+		so, _ := ln.Accept(pr)
+		buf := make([]byte, 64)
+		so.Recv(pr, buf)
+		// Read but never reply: only the delayed-ACK timer can ACK.
+	})
+	var acked bool
+	p.env.Spawn("tx", func(pr *sim.Proc) {
+		so, c, err := p.sa.Connect(pr, 2, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.SetNoDelay(true)
+		so.Send(pr, make([]byte, 64))
+		pr.Sleep(400 * sim.Millisecond)
+		acked = c.sndUna == c.sndMax
+	})
+	p.env.RunUntil(2 * sim.Second)
+	if !acked {
+		t.Fatal("data not acknowledged within the delayed-ACK bound")
+	}
+	if p.sb.Stats.DelayedAcks == 0 {
+		t.Fatal("delayed-ACK counter not incremented")
+	}
+	if p.sa.Stats.Retransmits != 0 {
+		t.Fatal("sender retransmitted despite timely delayed ACK")
+	}
+}
+
+func TestRSTDropsConnection(t *testing.T) {
+	p := newPair(t, cost.ChecksumStandard)
+	ln, _ := p.sb.Listen(80)
+	var srvConn *Conn
+	p.env.Spawn("rx", func(pr *sim.Proc) {
+		_, srvConn = ln.Accept(pr)
+	})
+	var clientErr error
+	p.env.Spawn("tx", func(pr *sim.Proc) {
+		so, c, err := p.sa.Connect(pr, 2, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pr.Sleep(5 * sim.Millisecond)
+		// Forge a RST from the server side by injecting it directly
+		// into the client's input path.
+		c.input(pr, Header{Flags: FlagRST, Seq: c.rcvNxt}, nil)
+		_, clientErr = so.Recv(pr, make([]byte, 8))
+	})
+	p.env.Run()
+	if srvConn == nil {
+		t.Fatal("handshake failed")
+	}
+	if clientErr != ErrReset {
+		t.Fatalf("Recv error = %v, want ErrReset", clientErr)
+	}
+}
+
+func TestSegmentationRespectsMSS(t *testing.T) {
+	// Over Ethernet (MSS 1460) a 10000-byte transfer must produce
+	// segments no larger than the MSS, and at least ceil(10000/1460).
+	env := sim.NewEnv()
+	model := cost.DECstation5000()
+	ka := kern.New(env, model, "a")
+	kb := kern.New(env, model, "b")
+	ipa := ip.NewStack(ka, 1)
+	ipb := ip.NewStack(kb, 2)
+	var ea, eb [6]byte
+	ea[5], eb[5] = 1, 2
+	aa := ether.NewAdapter(ka, ea)
+	ab := ether.NewAdapter(kb, eb)
+	ether.Connect(aa, ab)
+	ether.NewDriver(ka, aa, ipa)
+	ether.NewDriver(kb, ab, ipb)
+	sa := NewStack(ka, ipa)
+	sb := NewStack(kb, ipb)
+
+	ln, _ := sb.Listen(80)
+	total := 0
+	env.Spawn("rx", func(pr *sim.Proc) {
+		so, _ := ln.Accept(pr)
+		buf := make([]byte, 4096)
+		for total < 10000 {
+			n, err := so.Recv(pr, buf)
+			if err != nil || n == 0 {
+				return
+			}
+			total += n
+		}
+	})
+	env.Spawn("tx", func(pr *sim.Proc) {
+		so, c, err := sa.Connect(pr, 2, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.MSS() != ether.MTU-ip.HeaderLen-HeaderLen {
+			t.Errorf("Ethernet MSS = %d", c.MSS())
+		}
+		c.SetNoDelay(true)
+		so.Send(pr, make([]byte, 10000))
+	})
+	env.Run()
+	if total != 10000 {
+		t.Fatalf("received %d of 10000", total)
+	}
+	if sa.Stats.SegsOut < 7 { // ceil(10000/1460) = 7 data segments minimum
+		t.Fatalf("only %d segments for 10000 bytes over Ethernet", sa.Stats.SegsOut)
+	}
+}

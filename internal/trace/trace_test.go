@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDisabledRecorderIsNoop(t *testing.T) {
+	var r Recorder
+	r.Span(LayerUserTx, 0, 100)
+	r.Mark("m", 50)
+	if len(r.Spans()) != 0 || len(r.Marks()) != 0 {
+		t.Fatal("disabled recorder stored records")
+	}
+	if r.Enabled() {
+		t.Fatal("zero value enabled")
+	}
+	var nilR *Recorder
+	if nilR.Enabled() {
+		t.Fatal("nil recorder enabled")
+	}
+}
+
+func TestEnableDisableReset(t *testing.T) {
+	var r Recorder
+	r.Enable()
+	r.Span(LayerIPTx, 10, 20)
+	r.Disable()
+	r.Span(LayerIPTx, 20, 30) // dropped
+	if len(r.Spans()) != 1 {
+		t.Fatalf("spans = %d", len(r.Spans()))
+	}
+	r.Reset()
+	if len(r.Spans()) != 0 {
+		t.Fatal("Reset kept spans")
+	}
+}
+
+func TestInvertedSpanPanics(t *testing.T) {
+	var r Recorder
+	r.Enable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted span accepted")
+		}
+	}()
+	r.Span(LayerIPTx, 100, 50)
+}
+
+func TestBreakdownClipsToWindow(t *testing.T) {
+	var r Recorder
+	r.Enable()
+	r.Span(LayerUserTx, 0, 100)   // 50 inside
+	r.Span(LayerIPTx, 60, 80)     // fully inside
+	r.Span(LayerATMTx, 140, 200)  // 10 inside
+	r.Span(LayerWakeup, 300, 400) // outside
+	b := r.Breakdown(50, 150)
+	if b[LayerUserTx] != 50 || b[LayerIPTx] != 20 || b[LayerATMTx] != 10 {
+		t.Fatalf("breakdown %v", b)
+	}
+	if _, ok := b[LayerWakeup]; ok {
+		t.Fatal("outside span included")
+	}
+}
+
+func TestBreakdownSumsMultipleSpans(t *testing.T) {
+	var r Recorder
+	r.Enable()
+	for i := sim.Time(0); i < 5; i++ {
+		r.Span(LayerIPQ, i*100, i*100+10)
+	}
+	b := r.Breakdown(0, 1000)
+	if b[LayerIPQ] != 50 {
+		t.Fatalf("IPQ sum = %v", b[LayerIPQ])
+	}
+}
+
+func TestLastMark(t *testing.T) {
+	var r Recorder
+	r.Enable()
+	r.Mark(MarkFrameArrival, 100)
+	r.Mark(MarkFrameArrival, 300)
+	r.Mark("other", 400)
+	r.Mark(MarkFrameArrival, 500)
+	if at, ok := r.LastMark(MarkFrameArrival, 450); !ok || at != 300 {
+		t.Fatalf("LastMark = %v,%v", at, ok)
+	}
+	if at, ok := r.LastMark(MarkFrameArrival, 600); !ok || at != 500 {
+		t.Fatalf("LastMark = %v,%v", at, ok)
+	}
+	if _, ok := r.LastMark(MarkFrameArrival, 50); ok {
+		t.Fatal("found a mark before any exist")
+	}
+	if _, ok := r.LastMark("absent", 1000); ok {
+		t.Fatal("found a mark that was never recorded")
+	}
+}
+
+func TestFirstMarkAfter(t *testing.T) {
+	var r Recorder
+	r.Enable()
+	r.Mark("x", 100)
+	r.Mark("x", 300)
+	if at, ok := r.FirstMarkAfter("x", 150); !ok || at != 300 {
+		t.Fatalf("FirstMarkAfter = %v,%v", at, ok)
+	}
+	if at, ok := r.FirstMarkAfter("x", 100); !ok || at != 100 {
+		t.Fatalf("FirstMarkAfter inclusive = %v,%v", at, ok)
+	}
+	if _, ok := r.FirstMarkAfter("x", 301); ok {
+		t.Fatal("found mark after the last")
+	}
+}
+
+func TestWindowSpans(t *testing.T) {
+	var r Recorder
+	r.Enable()
+	r.Span(LayerUserRx, 0, 100)
+	r.Span(LayerIPRx, 200, 300)
+	got := r.WindowSpans(50, 250)
+	if len(got) != 2 {
+		t.Fatalf("WindowSpans = %v", got)
+	}
+	if got[0].Start != 50 || got[0].End != 100 {
+		t.Fatalf("first clipped to [%v,%v]", got[0].Start, got[0].End)
+	}
+	if got[1].Start != 200 || got[1].End != 250 {
+		t.Fatalf("second clipped to [%v,%v]", got[1].Start, got[1].End)
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	s := Span{Layer: LayerIPTx, Start: 10, End: 35}
+	if s.Duration() != 25 {
+		t.Fatalf("Duration = %v", s.Duration())
+	}
+}

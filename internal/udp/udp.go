@@ -1,0 +1,256 @@
+// Package udp implements a UDP layer on the simulated stack. The paper
+// leans on UDP context twice: §4.2 opens from the observation that "it is
+// already common practice to eliminate the UDP checksum for local area
+// NFS traffic" (UDP's checksum has been optional since RFC 768 — a zero
+// checksum field means "not computed"), and the Digital OSF comparison in
+// §4.1.1 concerns a combined copy-and-checksum on the UDP receive path.
+//
+// Having UDP in the testbed also answers the question the paper's
+// introduction poses — "can we provide evidence that TCP is a viable
+// option for a transport layer for RPC?" — by providing the datagram
+// baseline an RPC system would otherwise use; the extension experiment in
+// internal/core compares echo latency over both transports.
+package udp
+
+import (
+	"fmt"
+
+	"repro/internal/checksum"
+	"repro/internal/ip"
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// HeaderLen is the UDP header length.
+const HeaderLen = 8
+
+// ProtoUDP is the IPv4 protocol number for UDP.
+const ProtoUDP = 17
+
+// Header is a parsed UDP header.
+type Header struct {
+	SrcPort, DstPort uint16
+	Length           int // header + payload
+	Cksum            uint16
+}
+
+// Marshal encodes the header with a zero checksum field.
+func (h *Header) Marshal(b []byte) {
+	b[0] = byte(h.SrcPort >> 8)
+	b[1] = byte(h.SrcPort)
+	b[2] = byte(h.DstPort >> 8)
+	b[3] = byte(h.DstPort)
+	b[4] = byte(h.Length >> 8)
+	b[5] = byte(h.Length)
+	b[6], b[7] = 0, 0
+}
+
+// ParseHeader decodes a header from b.
+func ParseHeader(b []byte) (Header, error) {
+	var h Header
+	if len(b) < HeaderLen {
+		return h, fmt.Errorf("udp: short header (%d bytes)", len(b))
+	}
+	h.SrcPort = uint16(b[0])<<8 | uint16(b[1])
+	h.DstPort = uint16(b[2])<<8 | uint16(b[3])
+	h.Length = int(b[4])<<8 | int(b[5])
+	h.Cksum = uint16(b[6])<<8 | uint16(b[7])
+	return h, nil
+}
+
+// Datagram is one received datagram.
+type Datagram struct {
+	Src     uint32
+	SrcPort uint16
+	Data    []byte
+}
+
+// Endpoint is a bound UDP port: a receive queue plus send capability.
+type Endpoint struct {
+	s    *Stack
+	port uint16
+	q    []Datagram
+	wq   *sim.WaitQueue
+}
+
+// Stack is one host's UDP layer. It implements ip.Handler.
+type Stack struct {
+	K  *kern.Kernel
+	IP *ip.Stack
+
+	// ChecksumOff sends datagrams with a zero (absent) checksum, the
+	// local-area NFS configuration. Reception always honours the wire:
+	// a zero checksum field is accepted unverified, a nonzero one is
+	// verified (RFC 768 semantics).
+	ChecksumOff bool
+
+	ports    map[uint16]*Endpoint
+	nextPort uint16
+
+	// Stats.
+	DatagramsIn    int64
+	DatagramsOut   int64
+	ChecksumErrors int64
+	NoPortDrops    int64
+}
+
+// NewStack creates the UDP layer and registers it with IP.
+func NewStack(k *kern.Kernel, ipStack *ip.Stack) *Stack {
+	s := &Stack{K: k, IP: ipStack, ports: make(map[uint16]*Endpoint), nextPort: 2048}
+	ipStack.Register(ProtoUDP, s)
+	return s
+}
+
+// Bind claims a port (0 means an ephemeral one) and returns its endpoint.
+func (s *Stack) Bind(port uint16) (*Endpoint, error) {
+	if port == 0 {
+		s.nextPort++
+		port = s.nextPort
+	}
+	if _, busy := s.ports[port]; busy {
+		return nil, fmt.Errorf("udp: port %d in use", port)
+	}
+	e := &Endpoint{
+		s:    s,
+		port: port,
+		wq:   s.K.Env.NewWaitQueue(fmt.Sprintf("%s.udp:%d", s.K.Name, port)),
+	}
+	s.ports[port] = e
+	return e, nil
+}
+
+// Port returns the endpoint's bound port.
+func (e *Endpoint) Port() uint16 { return e.port }
+
+// SendTo transmits one datagram. The cost structure mirrors the TCP
+// output path minus connection state: syscall + copyin under the User
+// row, checksum under TCP.checksum (the paper's tables use that row for
+// transport checksums generally), and a light protocol-processing charge.
+func (e *Endpoint) SendTo(p *sim.Proc, dst uint32, dstPort uint16, data []byte) {
+	k := e.s.K
+	k.Use(p, trace.LayerUserTx, k.Cost.WriteSyscall)
+
+	// Copy user data into mbufs with the same sizing policy as sosend.
+	var chain, tail *mbuf.Mbuf
+	rest := data
+	useClusters := len(data) > mbuf.ClusterThreshold
+	for len(rest) > 0 || chain == nil {
+		var m *mbuf.Mbuf
+		if useClusters {
+			m = k.AllocCluster(p, trace.LayerUserTx)
+		} else {
+			m = k.AllocMbuf(p, trace.LayerUserTx)
+		}
+		n := m.Append(rest)
+		rest = rest[n:]
+		k.Use(p, trace.LayerUserTx,
+			k.Cost.CopyinFixed+sim.Time(k.Cost.CopyinPerByte*float64(n)))
+		if chain == nil {
+			chain = m
+		} else {
+			tail.SetNext(m)
+		}
+		tail = m
+		if len(rest) == 0 {
+			break
+		}
+	}
+
+	// Header + optional checksum over real bytes.
+	hm := k.AllocMbuf(p, trace.LayerTCPSegmentTx)
+	h := Header{SrcPort: e.port, DstPort: dstPort, Length: HeaderLen + len(data)}
+	hdr := make([]byte, HeaderLen)
+	h.Marshal(hdr)
+	hm.Append(hdr)
+	hm.SetNext(chain)
+	k.Use(p, trace.LayerTCPSegmentTx, k.Cost.UsrreqDispatch+k.Cost.TCPOutputSegment.Fixed/2)
+	if !e.s.ChecksumOff {
+		nm := mbuf.ChainCount(hm)
+		k.Use(p, trace.LayerTCPCksumTx,
+			k.Cost.TCPKernelChecksum.Cost(h.Length)+sim.Time(nm)*k.Cost.TCPCksumPerMbuf)
+		ps := udpPseudo(e.s.IP.Addr, dst, h.Length)
+		for m := hm; m != nil; m = m.Next() {
+			ps.Add(m.Bytes())
+		}
+		ck := ps.Checksum()
+		if ck == 0 {
+			ck = 0xffff // RFC 768: transmitted as all ones
+		}
+		b := hm.Bytes()
+		b[6] = byte(ck >> 8)
+		b[7] = byte(ck)
+	}
+	e.s.DatagramsOut++
+	e.s.IP.Output(p, dst, ProtoUDP, hm)
+}
+
+// RecvFrom blocks until a datagram arrives and returns it.
+func (e *Endpoint) RecvFrom(p *sim.Proc) Datagram {
+	k := e.s.K
+	for len(e.q) == 0 {
+		k.SleepOn(p, e.wq)
+	}
+	k.Use(p, trace.LayerUserRx, k.Cost.ReadSyscall)
+	d := e.q[0]
+	copy(e.q, e.q[1:])
+	e.q = e.q[:len(e.q)-1]
+	k.Use(p, trace.LayerUserRx,
+		k.Cost.CopyoutFixed+sim.Time(k.Cost.CopyoutPerByte*float64(len(d.Data))))
+	return d
+}
+
+// Pending returns the number of queued datagrams.
+func (e *Endpoint) Pending() int { return len(e.q) }
+
+// Input implements ip.Handler.
+func (s *Stack) Input(p *sim.Proc, h ip.Header, m *mbuf.Mbuf) {
+	k := s.K
+	defer k.Pool.Free(m)
+	raw := make([]byte, HeaderLen)
+	if mbuf.CopyBytesTo(m, 0, HeaderLen, raw) != HeaderLen {
+		return
+	}
+	uh, err := ParseHeader(raw)
+	if err != nil || uh.Length != mbuf.ChainLen(m) {
+		return
+	}
+	k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputFast)
+	if uh.Cksum != 0 {
+		// A nonzero checksum field must verify (RFC 768).
+		nm := mbuf.ChainCount(m)
+		k.Use(p, trace.LayerTCPCksumRx,
+			k.Cost.TCPKernelChecksum.Cost(uh.Length)+sim.Time(nm)*k.Cost.TCPCksumPerMbuf)
+		ps := udpPseudo(h.Src, h.Dst, uh.Length)
+		for c := m; c != nil; c = c.Next() {
+			ps.Add(c.Bytes())
+		}
+		if ps.Sum16() != 0xffff {
+			s.ChecksumErrors++
+			return
+		}
+	}
+	ep, ok := s.ports[uh.DstPort]
+	if !ok {
+		s.NoPortDrops++
+		return
+	}
+	data := make([]byte, uh.Length-HeaderLen)
+	mbuf.CopyBytesTo(m, HeaderLen, len(data), data)
+	s.DatagramsIn++
+	ep.q = append(ep.q, Datagram{Src: h.Src, SrcPort: uh.SrcPort, Data: data})
+	ep.wq.WakeAll()
+}
+
+// udpPseudo primes a partial sum with the UDP pseudo-header.
+func udpPseudo(src, dst uint32, length int) checksum.Partial {
+	var p checksum.Partial
+	p.AddWord(uint16(src >> 16))
+	p.AddWord(uint16(src))
+	p.AddWord(uint16(dst >> 16))
+	p.AddWord(uint16(dst))
+	p.AddWord(ProtoUDP)
+	p.AddWord(uint16(length))
+	return p
+}

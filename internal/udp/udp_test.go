@@ -1,0 +1,232 @@
+package udp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/atm"
+	"repro/internal/cost"
+	"repro/internal/ip"
+	"repro/internal/kern"
+	"repro/internal/sim"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, n uint16) bool {
+		h := Header{SrcPort: sp, DstPort: dp, Length: int(n)%9000 + HeaderLen}
+		b := make([]byte, HeaderLen)
+		h.Marshal(b)
+		got, err := ParseHeader(b)
+		return err == nil && got.SrcPort == sp && got.DstPort == dp &&
+			got.Length == h.Length && got.Cksum == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pair builds a two-host ATM testbed with UDP stacks.
+type pair struct {
+	env    *sim.Env
+	sa, sb *Stack
+	aa, ab *atm.Adapter
+	da, db *atm.Driver
+}
+
+func newPair(t *testing.T) *pair {
+	t.Helper()
+	env := sim.NewEnv()
+	model := cost.DECstation5000()
+	ka := kern.New(env, model, "a")
+	kb := kern.New(env, model, "b")
+	ipa := ip.NewStack(ka, 1)
+	ipb := ip.NewStack(kb, 2)
+	p := &pair{env: env}
+	p.aa, p.ab = atm.NewAdapter(ka), atm.NewAdapter(kb)
+	atm.Connect(p.aa, p.ab)
+	p.da = atm.NewDriver(ka, p.aa, ipa)
+	p.db = atm.NewDriver(kb, p.ab, ipb)
+	p.sa = NewStack(ka, ipa)
+	p.sb = NewStack(kb, ipb)
+	return p
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	p := newPair(t)
+	payload := make([]byte, 1400)
+	p.env.RNG().Fill(payload)
+	var got Datagram
+	eb, err := p.sb.Bind(53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.env.Spawn("rx", func(pr *sim.Proc) { got = eb.RecvFrom(pr) })
+	p.env.Spawn("tx", func(pr *sim.Proc) {
+		ea, err := p.sa.Bind(0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ea.SendTo(pr, 2, 53, payload)
+	})
+	p.env.Run()
+	if !bytes.Equal(got.Data, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if got.Src != 1 {
+		t.Fatalf("source address %d", got.Src)
+	}
+}
+
+func TestSizesProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		p := newPair(t)
+		size := int(n) % 8000
+		payload := make([]byte, size)
+		p.env.RNG().Fill(payload)
+		eb, _ := p.sb.Bind(99)
+		var got Datagram
+		p.env.Spawn("rx", func(pr *sim.Proc) { got = eb.RecvFrom(pr) })
+		p.env.Spawn("tx", func(pr *sim.Proc) {
+			ea, _ := p.sa.Bind(0)
+			ea.SendTo(pr, 2, 99, payload)
+		})
+		p.env.Run()
+		return bytes.Equal(got.Data, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDetectsHostCorruption(t *testing.T) {
+	p := newPair(t)
+	p.db.HostCorruptRate = 1.0 // corrupt every datagram
+	eb, _ := p.sb.Bind(7)
+	received := false
+	p.env.Spawn("rx", func(pr *sim.Proc) {
+		eb.RecvFrom(pr)
+		received = true
+	})
+	p.env.Spawn("tx", func(pr *sim.Proc) {
+		ea, _ := p.sa.Bind(0)
+		ea.SendTo(pr, 2, 7, make([]byte, 500))
+	})
+	// RecvFrom never returns: run a bounded slice of virtual time.
+	p.env.RunUntil(100 * sim.Millisecond)
+	if received {
+		t.Fatal("corrupted datagram delivered despite checksum")
+	}
+	if p.sb.ChecksumErrors != 1 {
+		t.Fatalf("ChecksumErrors = %d, want 1", p.sb.ChecksumErrors)
+	}
+}
+
+func TestChecksumOffDeliversCorruption(t *testing.T) {
+	// The NFS-style configuration: no UDP checksum. Host-side corruption
+	// is invisible (there is no recovery in UDP — the paper's point that
+	// elimination is an application decision).
+	p := newPair(t)
+	p.sa.ChecksumOff = true
+	p.db.HostCorruptRate = 1.0
+	eb, _ := p.sb.Bind(7)
+	payload := make([]byte, 500)
+	p.env.RNG().Fill(payload)
+	var got Datagram
+	p.env.Spawn("rx", func(pr *sim.Proc) { got = eb.RecvFrom(pr) })
+	p.env.Spawn("tx", func(pr *sim.Proc) {
+		ea, _ := p.sa.Bind(0)
+		ea.SendTo(pr, 2, 7, payload)
+	})
+	p.env.Run()
+	if got.Data == nil {
+		t.Fatal("datagram not delivered")
+	}
+	if bytes.Equal(got.Data, payload) {
+		t.Fatal("corruption did not occur; test vacuous")
+	}
+}
+
+func TestNoChecksumFasterThanChecksum(t *testing.T) {
+	rtt := func(off bool) sim.Time {
+		p := newPair(t)
+		p.sa.ChecksumOff = off
+		p.sb.ChecksumOff = off
+		eb, _ := p.sb.Bind(7)
+		payload := make([]byte, 4000)
+		var done sim.Time
+		p.env.Spawn("server", func(pr *sim.Proc) {
+			d := eb.RecvFrom(pr)
+			eb.SendTo(pr, d.Src, d.SrcPort, d.Data)
+		})
+		p.env.Spawn("client", func(pr *sim.Proc) {
+			ea, _ := p.sa.Bind(0)
+			ea.SendTo(pr, 2, 7, payload)
+			ea.RecvFrom(pr)
+			done = p.env.Now()
+		})
+		p.env.Run()
+		return done
+	}
+	on, off := rtt(false), rtt(true)
+	if off >= on {
+		t.Fatalf("checksum-off RTT %v not faster than on %v", off, on)
+	}
+}
+
+func TestBindConflicts(t *testing.T) {
+	p := newPair(t)
+	if _, err := p.sb.Bind(80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.sb.Bind(80); err == nil {
+		t.Fatal("duplicate bind accepted")
+	}
+	e1, err := p.sb.Bind(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := p.sb.Bind(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Port() == e2.Port() {
+		t.Fatal("ephemeral ports collided")
+	}
+}
+
+func TestUnboundPortDrops(t *testing.T) {
+	p := newPair(t)
+	p.env.Spawn("tx", func(pr *sim.Proc) {
+		ea, _ := p.sa.Bind(0)
+		ea.SendTo(pr, 2, 1234, []byte("nobody home"))
+	})
+	p.env.Run()
+	if p.sb.NoPortDrops != 1 {
+		t.Fatalf("NoPortDrops = %d", p.sb.NoPortDrops)
+	}
+}
+
+func TestQueueingMultipleDatagrams(t *testing.T) {
+	p := newPair(t)
+	eb, _ := p.sb.Bind(7)
+	var got []byte
+	p.env.Spawn("tx", func(pr *sim.Proc) {
+		ea, _ := p.sa.Bind(0)
+		for i := 0; i < 5; i++ {
+			ea.SendTo(pr, 2, 7, []byte{byte(i)})
+		}
+	})
+	p.env.Spawn("rx", func(pr *sim.Proc) {
+		pr.Sleep(50 * sim.Millisecond) // let them queue
+		for i := 0; i < 5; i++ {
+			d := eb.RecvFrom(pr)
+			got = append(got, d.Data...)
+		}
+	})
+	p.env.Run()
+	if !bytes.Equal(got, []byte{0, 1, 2, 3, 4}) {
+		t.Fatalf("order/content wrong: %v", got)
+	}
+}

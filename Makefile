@@ -1,0 +1,52 @@
+GO ?= go
+
+.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline tables
+
+all: build test
+
+## fmt: rewrite all Go files with gofmt
+fmt:
+	gofmt -w .
+
+## fmt-check: fail if any file is not gofmt-clean (what CI runs)
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## test: the tier-1 suite
+test:
+	$(GO) test ./...
+
+## race: the tier-1 suite under the race detector
+race:
+	$(GO) test -race ./...
+
+## bench: the full benchmark suite with memory stats
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+## bench-smoke: one iteration of every benchmark (deterministic metrics)
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+## benchdiff: compare the smoke run's paper metrics against the baseline
+benchdiff:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x . | \
+		$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json
+
+## baseline: regenerate BENCH_baseline.json from a smoke run
+baseline:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x . | \
+		$(GO) run ./cmd/benchdiff -write BENCH_baseline.json
+
+## tables: regenerate every table and figure of the paper's evaluation
+tables:
+	$(GO) run ./cmd/tables

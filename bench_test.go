@@ -10,12 +10,15 @@
 package repro_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/checksum"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/lab"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -135,6 +138,59 @@ func BenchmarkTable7_NoChecksum(b *testing.B) {
 	}
 	b.ReportMetric(pct, "%savings-8000B")
 }
+
+// --- The sweep engine: serial reference versus the worker pool. ---
+
+// sweepBenchTrials is a 24-cell grid with enough per-cell work that
+// sharding dominates scheduling overhead.
+func sweepBenchTrials() []runner.EchoTrial {
+	g := runner.Grid{
+		Modes:      []cost.ChecksumMode{cost.ChecksumStandard, cost.ChecksumNone},
+		NoPred:     []bool{false, true},
+		Sizes:      []int{20, 200, 1400, 4000, 8000},
+		SockBufs:   []int{0, 8192},
+		Iterations: 20,
+		Warmup:     2,
+	}
+	return g.Trials()
+}
+
+func benchSweep(b *testing.B, workers int) {
+	trials := sweepBenchTrials()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs, err := runner.RunEchoSweep(context.Background(), trials,
+			runner.Options{Workers: workers, BaseSeed: 1994})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outs {
+			if o.Error != "" {
+				b.Fatalf("cell %s: %s", o.Label, o.Error)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(trials)), "cells")
+	b.ReportMetric(float64(workersOrMax(workers)), "workers")
+}
+
+func workersOrMax(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// BenchmarkSweepSerial is the single-worker reference execution of the
+// benchmark grid.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel shards the same grid across GOMAXPROCS workers;
+// the trials are independent simulations, so ns/op here versus
+// BenchmarkSweepSerial shows near-linear speedup on multi-core hardware
+// (the outputs are bit-identical either way, asserted by
+// TestSerialParallelIdentical and cmd/tcplat's sweep test).
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
 
 // --- Wall-clock benchmarks of the real routines (Figure 2's shape on the
 // machine running the tests; absolute values are of course not the

@@ -1,0 +1,175 @@
+// Command benchdiff guards the paper metrics against regressions. The
+// benchmark suite reports its headline numbers as custom metrics in
+// simulated microseconds (unit "sim-µs/...") or percentages (unit
+// "%..."); those are produced by the deterministic simulation, so they
+// are exactly reproducible on any machine, unlike ns/op. benchdiff
+// extracts them from `go test -bench` output and compares them against a
+// committed baseline, failing on drift beyond a tolerance.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x | benchdiff -baseline BENCH_baseline.json
+//	go test -run='^$' -bench=. -benchtime=1x | benchdiff -write BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, w io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		baseline = fs.String("baseline", "BENCH_baseline.json", "baseline file to compare against")
+		write    = fs.String("write", "", "write a new baseline to this file instead of comparing")
+		tol      = fs.Float64("tol", 0.001, "relative tolerance before a difference is a failure")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+
+	got, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(got) == 0 {
+		return fmt.Errorf("no paper metrics found in the bench output")
+	}
+
+	if *write != "" {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*write, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "benchdiff: wrote %d metrics to %s\n", len(got), *write)
+		return nil
+	}
+
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		return err
+	}
+	return compare(w, base, got, *tol)
+}
+
+// parseBench extracts the deterministic paper metrics from `go test
+// -bench` output: every "value unit" pair whose unit starts with
+// "sim-µs" or "%". Keys are "BenchName/unit" with the -GOMAXPROCS
+// suffix stripped so baselines are machine-independent.
+func parseBench(in io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 1; i+1 < len(fields); i++ {
+			unit := fields[i+1]
+			if !strings.HasPrefix(unit, "sim-µs") && !strings.HasPrefix(unit, "%") {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			out[name+"/"+unit] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+func readBaseline(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base map[string]float64
+	if err := json.Unmarshal(b, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return base, nil
+}
+
+// compare reports metrics that drifted beyond tol, disappeared, or
+// appeared without a baseline entry. New metrics are advisory; drift and
+// disappearance fail.
+func compare(w io.Writer, base, got map[string]float64, tol float64) error {
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	failures := 0
+	for _, k := range keys {
+		want := base[k]
+		v, ok := got[k]
+		if !ok {
+			fmt.Fprintf(w, "MISSING %s (baseline %.4g)\n", k, want)
+			failures++
+			continue
+		}
+		if relDiff(v, want) > tol {
+			if want != 0 {
+				fmt.Fprintf(w, "DRIFT   %s: %.4g vs baseline %.4g (%+.2f%%)\n",
+					k, v, want, (v-want)/want*100)
+			} else {
+				fmt.Fprintf(w, "DRIFT   %s: %.4g vs baseline 0\n", k, v)
+			}
+			failures++
+		}
+	}
+	news := 0
+	for k := range got {
+		if _, ok := base[k]; !ok {
+			fmt.Fprintf(w, "NEW     %s = %.4g (not in baseline; add with -write)\n", k, got[k])
+			news++
+		}
+	}
+	fmt.Fprintf(w, "benchdiff: %d baseline metrics, %d failures, %d new\n",
+		len(keys), failures, news)
+	if failures > 0 {
+		return fmt.Errorf("%d metric(s) regressed", failures)
+	}
+	return nil
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

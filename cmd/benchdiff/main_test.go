@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkTable1_ATMvsEthernet-8   	       1	  51724260 ns/op	       470.1 sim-µs/rtt4B-atm	       894.7 sim-µs/rtt4B-ether
+BenchmarkTable4_HeaderPrediction-8	       1	  49000000 ns/op	         3.100 %improvement-4B
+BenchmarkSweepParallel-8          	       1	 860884515 ns/op	        40.00 cells	         8.000 workers
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkTable1_ATMvsEthernet/sim-µs/rtt4B-atm":   470.1,
+		"BenchmarkTable1_ATMvsEthernet/sim-µs/rtt4B-ether": 894.7,
+		"BenchmarkTable4_HeaderPrediction/%improvement-4B": 3.1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d metrics (%v), want %d", len(got), got, len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestWriteThenCompareClean(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	var out bytes.Buffer
+	if err := run([]string{"-write", path}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatalf("clean comparison failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 failures") {
+		t.Fatalf("unexpected summary:\n%s", out.String())
+	}
+}
+
+func TestCompareFlagsDrift(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	if err := run([]string{"-write", path}, strings.NewReader(sampleBench), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	drifted := strings.Replace(sampleBench, "470.1", "520.3", 1)
+	var out bytes.Buffer
+	err := run([]string{"-baseline", path}, strings.NewReader(drifted), &out)
+	if err == nil {
+		t.Fatalf("drift not detected:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "DRIFT") ||
+		!strings.Contains(out.String(), "rtt4B-atm") {
+		t.Fatalf("drift report missing:\n%s", out.String())
+	}
+}
+
+func TestCompareFlagsMissing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	if err := run([]string{"-write", path}, strings.NewReader(sampleBench), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	truncated := strings.SplitAfter(sampleBench, "rtt4B-ether\n")[0] + "PASS\n"
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", path}, strings.NewReader(truncated), &out); err == nil {
+		t.Fatalf("missing metric not detected:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Fatalf("missing report absent:\n%s", out.String())
+	}
+}
+
+func TestEmptyInputRejected(t *testing.T) {
+	if err := run(nil, strings.NewReader("PASS\n"), &bytes.Buffer{}); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}

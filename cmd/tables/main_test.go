@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-iters", "3", "-parallel", "4", "-seed", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4 / Figure 1",
+		"Table 5", "Table 6", "Table 7",
+		"PCB lookup cost", "Sun-3", "beyond-paper sweep",
+		"Figure 1", "Figure 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-iters", "3", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Table1 struct {
+			Rows []struct {
+				Size int
+				A, B float64
+			}
+		}
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Table1.Rows) == 0 || rep.Table1.Rows[0].A <= 0 {
+		t.Fatalf("JSON report empty: %+v", rep)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

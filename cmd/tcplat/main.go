@@ -1,6 +1,7 @@
-// Command tcplat runs one round-trip latency experiment on the simulated
-// testbed: the echo benchmark of §1.2 under a chosen link, checksum mode,
-// header-prediction setting, and transfer size.
+// Command tcplat runs round-trip latency experiments on the simulated
+// testbed: the echo benchmark of §1.2 under a chosen link, checksum
+// mode, header-prediction setting, and transfer size — or a whole grid
+// of them sharded across a worker pool.
 //
 // Examples:
 //
@@ -9,40 +10,95 @@
 //	tcplat -mode none -size 8000           # checksum eliminated
 //	tcplat -nopred -size 200               # header prediction disabled
 //	tcplat -sweep                          # all paper sizes at once
+//	tcplat -grid paper -parallel 8         # the paper's full grid, 8 workers
+//	tcplat -grid ext -json                 # beyond-paper dimensions, JSON out
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/lab"
-	"repro/internal/stats"
+	"repro/internal/runner"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tcplat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tcplat", flag.ContinueOnError)
 	var (
-		size   = flag.Int("size", 4, "transfer size in bytes")
-		link   = flag.String("link", "atm", "link type: atm or ether")
-		mode   = flag.String("mode", "standard", "checksum mode: standard, integrated, or none")
-		noPred = flag.Bool("nopred", false, "disable header prediction (PCB cache + fast path)")
-		hash   = flag.Bool("hashpcb", false, "use the hash-table PCB organization")
-		pcbs   = flag.Int("pcbs", 0, "extra idle PCBs inserted ahead of the benchmark connection")
-		loss   = flag.Float64("loss", 0, "ATM cell loss probability")
-		iters  = flag.Int("iters", 100, "measured iterations")
-		warmup = flag.Int("warmup", 8, "warm-up iterations")
-		seed   = flag.Uint64("seed", 0, "simulation RNG seed")
-		sweep  = flag.Bool("sweep", false, "run every paper transfer size")
+		size     = fs.Int("size", 4, "transfer size in bytes")
+		link     = fs.String("link", "atm", "link type: atm or ether")
+		mode     = fs.String("mode", "standard", "checksum mode: standard, integrated, or none")
+		noPred   = fs.Bool("nopred", false, "disable header prediction (PCB cache + fast path)")
+		hash     = fs.Bool("hashpcb", false, "use the hash-table PCB organization")
+		pcbs     = fs.Int("pcbs", 0, "extra idle PCBs inserted ahead of the benchmark connection")
+		loss     = fs.Float64("loss", 0, "ATM cell loss probability")
+		mtu      = fs.Int("mtu", 0, "MTU override (0 = link default)")
+		sockbuf  = fs.Int("sockbuf", 0, "socket buffer high-water mark (0 = default)")
+		iters    = fs.Int("iters", 100, "measured iterations")
+		warmup   = fs.Int("warmup", 8, "warm-up iterations")
+		seed     = fs.Uint64("seed", 0, "base RNG seed (single run: the simulation seed; grids: per-cell derivation base)")
+		sweep    = fs.Bool("sweep", false, "run every paper transfer size")
+		grid     = fs.String("grid", "", "run a predefined grid: paper or ext")
+		parallel = fs.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut  = fs.Bool("json", false, "emit results as JSON instead of text")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+
+	// Predefined grids fix every configuration dimension themselves;
+	// reject per-cell flags that would otherwise be silently ignored.
+	if *grid != "" {
+		var conflict []string
+		cellFlags := map[string]bool{
+			"size": true, "link": true, "mode": true, "nopred": true,
+			"hashpcb": true, "pcbs": true, "loss": true, "mtu": true,
+			"sockbuf": true, "sweep": true,
+		}
+		fs.Visit(func(f *flag.Flag) {
+			if cellFlags[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-grid %s fixes the cell configuration; remove %s",
+				*grid, strings.Join(conflict, ", "))
+		}
+	}
+
+	// The smallest useful MTU must hold the IP and TCP headers plus one
+	// data byte; below that the stack cannot form a segment.
+	if *mtu != 0 && *mtu < lab.MinMTU {
+		return fmt.Errorf("-mtu %d too small (need 0 or >= %d)", *mtu, lab.MinMTU)
+	}
+	if *sockbuf < 0 {
+		return fmt.Errorf("-sockbuf must be >= 0")
+	}
 
 	cfg := lab.Config{
 		DisablePrediction: *noPred,
 		HashPCBs:          *hash,
 		ExtraPCBs:         *pcbs,
 		CellLossRate:      *loss,
+		MTU:               *mtu,
+		SockBuf:           *sockbuf,
 		Seed:              *seed,
 	}
 	switch *link {
@@ -51,8 +107,7 @@ func main() {
 	case "ether":
 		cfg.Link = lab.LinkEther
 	default:
-		fmt.Fprintf(os.Stderr, "tcplat: unknown link %q\n", *link)
-		os.Exit(2)
+		return fmt.Errorf("unknown link %q", *link)
 	}
 	switch *mode {
 	case "standard":
@@ -62,27 +117,67 @@ func main() {
 	case "none":
 		cfg.Mode = cost.ChecksumNone
 	default:
-		fmt.Fprintf(os.Stderr, "tcplat: unknown checksum mode %q\n", *mode)
-		os.Exit(2)
+		return fmt.Errorf("unknown checksum mode %q", *mode)
+	}
+	// An override at or above the link's native MTU would be silently
+	// ignored by the driver while still appearing in the cell label.
+	if *mtu != 0 && *mtu >= lab.MaxMTU(cfg.Link) {
+		return fmt.Errorf("-mtu %d not below the %s native MTU %d (omit -mtu for the default)",
+			*mtu, cfg.Link, lab.MaxMTU(cfg.Link))
 	}
 
-	opts := core.Options{Iterations: *iters, Warmup: *warmup}
-	sizes := []int{*size}
-	if *sweep {
-		sizes = core.Sizes
-	}
-
-	t := stats.NewTable(
-		fmt.Sprintf("Round-trip latency: %s link, %s checksum, prediction %v",
-			cfg.Link, cfg.Mode, !cfg.DisablePrediction),
-		"Size", "RTT (µs)")
-	for _, s := range sizes {
-		rtt, err := core.MeasureRTT(cfg, s, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tcplat: size %d: %v\n", s, err)
-			os.Exit(1)
+	// Build the trial list: a predefined grid, the paper's size sweep of
+	// the flag-selected configuration, or a single cell.
+	var trials []runner.EchoTrial
+	switch *grid {
+	case "paper":
+		trials = runner.PaperGrid(core.Sizes, *iters, *warmup).Trials()
+	case "ext":
+		trials = runner.ExtendedGrid(*iters, *warmup).Trials()
+	case "":
+		sizes := []int{*size}
+		if *sweep {
+			sizes = core.Sizes
 		}
-		t.AddRow(s, rtt)
+		for _, s := range sizes {
+			trials = append(trials, runner.EchoTrial{
+				Label:      runner.TrialLabel(cfg, s),
+				Cfg:        cfg,
+				Size:       s,
+				Iterations: *iters,
+				Warmup:     *warmup,
+			})
+		}
+	default:
+		return fmt.Errorf("unknown grid %q (want paper or ext)", *grid)
 	}
-	fmt.Print(t.String())
+
+	ropts := runner.Options{Workers: *parallel}
+	if *grid != "" {
+		// For grids the seed is a derivation base, not a shared
+		// simulation seed.
+		ropts.BaseSeed = *seed
+	}
+	outs, err := runner.RunEchoSweep(context.Background(), trials, ropts)
+	if err != nil {
+		return err
+	}
+	for _, o := range outs {
+		if o.Error != "" {
+			return fmt.Errorf("cell %s: %s", o.Label, o.Error)
+		}
+	}
+
+	if *jsonOut {
+		b, err := json.MarshalIndent(outs, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(b))
+		return nil
+	}
+	title := fmt.Sprintf("Round-trip latency (%d cells, %d iterations each)",
+		len(outs), *iters)
+	fmt.Fprint(w, runner.RenderEchoOutcomes(title, outs))
+	return nil
 }

@@ -5,8 +5,10 @@
 // adapter with AAL3/4, a LANCE Ethernet, and the DECstation 5000/200 cost
 // model the latencies are calibrated against.
 //
-// The library lives under internal/; see README.md for the layout,
-// DESIGN.md for the system inventory and substitutions, and EXPERIMENTS.md
-// for paper-versus-measured results. The benchmarks in bench_test.go
-// regenerate every table and figure in the paper's evaluation.
+// The library lives under internal/; see README.md for the layout, the
+// quickstart, and how to regenerate each table and figure
+// (paper-versus-measured output comes from cmd/tables). The benchmarks
+// in bench_test.go regenerate every table and figure in the paper's
+// evaluation, and internal/runner shards the experiment grid across a
+// worker pool with bit-identical results at any worker count.
 package repro

@@ -1,0 +1,53 @@
+// Sweep: the parallel experiment-sweep engine driving the beyond-paper
+// grid — MTU × socket buffer × cell loss, dimensions the testbed
+// supports but the paper holds fixed — with live progress and a summary
+// table. The same grid runs serially first so the demo can verify the
+// engine's core guarantee: per-cell seeds derive from grid position, so
+// the parallel results are bit-identical to the serial ones.
+//
+// Run with: go run ./examples/sweep
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"reflect"
+	"runtime"
+
+	"repro/internal/runner"
+)
+
+func main() {
+	trials := runner.ExtendedGrid(40, 4).Trials()
+	fmt.Printf("%d grid cells (MTU × socket buffer × loss × size), %d workers\n\n",
+		len(trials), runtime.GOMAXPROCS(0))
+
+	serial, err := runner.RunEchoSweep(context.Background(), trials,
+		runner.Options{Workers: 1, BaseSeed: 1994})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	parallel, err := runner.RunEchoSweep(context.Background(), trials,
+		runner.Options{
+			BaseSeed: 1994,
+			Progress: func(done, total int) {
+				fmt.Printf("\r%d/%d cells", done, total)
+			},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	if !reflect.DeepEqual(serial, parallel) {
+		log.Fatal("parallel sweep diverged from the serial reference")
+	}
+	fmt.Println("parallel results bit-identical to the serial reference")
+	fmt.Println()
+	fmt.Print(runner.RenderEchoOutcomes("Beyond-paper sweep (mean µs per cell)", parallel))
+	fmt.Println("\nReading: a 1500-byte MTU forces ~6x the segments at 8000 bytes;")
+	fmt.Println("a 4 KB socket buffer serializes large transfers behind window")
+	fmt.Println("updates; cell loss adds retransmission stalls to the mean.")
+}

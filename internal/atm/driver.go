@@ -32,6 +32,11 @@ type Driver struct {
 	seg   Segmenter
 	reasm Reassembler
 
+	// MTUOverride, when positive, lowers the MTU the driver advertises to
+	// IP below the AAL3/4 maximum. TCP derives its MSS from it, so it is
+	// the knob for sweeping segment size on the ATM link.
+	MTUOverride int
+
 	// HostCorruptRate flips one random bit of each reassembled datagram
 	// during the device-to-host transfer — the paper's second error
 	// source ("errors introduced by the network controllers in moving
@@ -72,7 +77,12 @@ func NewDriver(k *kern.Kernel, a *Adapter, ipStack *ip.Stack) *Driver {
 func (d *Driver) Name() string { return d.K.Name + ".atm0" }
 
 // MTU implements ip.NetIf.
-func (d *Driver) MTU() int { return MTU }
+func (d *Driver) MTU() int {
+	if d.MTUOverride > 0 && d.MTUOverride < MTU {
+		return d.MTUOverride
+	}
+	return MTU
+}
 
 // Output implements ip.NetIf: it segments the datagram into AAL3/4 cells
 // and copies them into the transmit FIFO, blocking when the FIFO is full.

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/cost"
 	"repro/internal/lab"
+	"repro/internal/runner"
 )
 
 // Options controls how the experiments run. The paper used 40000
@@ -12,6 +13,15 @@ import (
 type Options struct {
 	Iterations int
 	Warmup     int
+	// Parallel is the sweep worker-pool size: 0 uses GOMAXPROCS, 1
+	// forces serial execution. Every trial is an independent simulation
+	// with a position-derived seed, so the results are bit-identical at
+	// any worker count.
+	Parallel int
+	// BaseSeed, when nonzero, derives a deterministic per-trial RNG seed
+	// from the trial's grid position (runner.SeedFor). Zero keeps each
+	// configuration's own seeding, matching the historical serial output.
+	BaseSeed uint64
 }
 
 // DefaultOptions returns the iteration counts the experiment suite uses
@@ -27,6 +37,17 @@ func (o Options) normalize() Options {
 		o.Warmup = 0
 	}
 	return o
+}
+
+// runnerOpts translates experiment options into sweep-engine options.
+func (o Options) runnerOpts() runner.Options {
+	return runner.Options{Workers: o.Parallel, BaseSeed: o.BaseSeed}
+}
+
+// seeded applies a derived trial seed to a configuration (see
+// runner.ApplySeed).
+func seeded(cfg lab.Config, seed uint64) lab.Config {
+	return runner.ApplySeed(cfg, seed)
 }
 
 // MeasureRTT runs the echo benchmark under one configuration and returns

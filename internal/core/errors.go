@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cost"
 	"repro/internal/lab"
+	"repro/internal/runner"
 )
 
 // ErrorStudyRow is one configuration of the §4.2.1 error-detection study:
@@ -43,10 +45,11 @@ type ErrorStudyResult struct {
 //     With the checksum on, TCP catches and recovers it; with the
 //     checksum eliminated, corrupt data reaches the application — the
 //     hardware-problem caveat the paper attaches to elimination.
-func RunErrorStudy(iterations int) (*ErrorStudyResult, error) {
+func RunErrorStudy(iterations int, o Options) (*ErrorStudyResult, error) {
 	if iterations <= 0 {
 		iterations = 150
 	}
+	o = o.normalize()
 	res := &ErrorStudyResult{}
 	type config struct {
 		label    string
@@ -60,37 +63,58 @@ func RunErrorStudy(iterations int) (*ErrorStudyResult, error) {
 		{"buggy controller, checksum on", cost.ChecksumStandard, 0, 0.01},
 		{"buggy controller, checksum off", cost.ChecksumNone, 0, 0.01},
 	}
+	// The four configurations are independent simulations with a fixed
+	// seed, so they shard across the sweep pool without affecting the
+	// reported counters.
+	jobs := make([]runner.Job, 0, len(configs))
 	for _, c := range configs {
-		cfg := lab.Config{
-			Link:            lab.LinkATM,
-			Mode:            c.mode,
-			CellCorruptRate: c.wireRate,
-			HostCorruptRate: c.hostRate,
-			Seed:            1994,
-		}
-		l := lab.New(cfg)
-		echo, err := l.RunEcho(1400, iterations, 2)
-		if err != nil {
-			return nil, fmt.Errorf("core: error study %q: %w", c.label, err)
-		}
-		row := ErrorStudyRow{
+		c := c
+		jobs = append(jobs, runner.Job{
 			Label: c.label,
-			Mode:  c.mode,
-			WireCorrupted: l.Client.ATMAdapter.CellsCorrupted +
-				l.Server.ATMAdapter.CellsCorrupted,
-			HECDrops: l.Client.ATMDriver.HECErrors + l.Server.ATMDriver.HECErrors,
-			AALDrops: l.Client.ATMDriver.ReassemblyErrors +
-				l.Server.ATMDriver.ReassemblyErrors,
-			HostCorrupted: l.Client.ATMDriver.HostCorruptions +
-				l.Server.ATMDriver.HostCorruptions,
-			TCPCksumDrops: l.Client.TCP.Stats.ChecksumErrors +
-				l.Server.TCP.Stats.ChecksumErrors,
-			CorruptEchoes: echo.CorruptEchoes,
-			Retransmits: l.Client.TCP.Stats.Retransmits + l.Server.TCP.Stats.Retransmits +
-				l.Client.TCP.Stats.FastRetransmits + l.Server.TCP.Stats.FastRetransmits,
-			EchoesComplete: len(echo.RTTs),
-		}
-		res.Rows = append(res.Rows, row)
+			Run: func(_ context.Context, _ uint64) (interface{}, error) {
+				cfg := lab.Config{
+					Link:            lab.LinkATM,
+					Mode:            c.mode,
+					CellCorruptRate: c.wireRate,
+					HostCorruptRate: c.hostRate,
+					Seed:            1994,
+				}
+				l := lab.New(cfg)
+				echo, err := l.RunEcho(1400, iterations, 2)
+				if err != nil {
+					return nil, fmt.Errorf("core: error study %q: %w", c.label, err)
+				}
+				return ErrorStudyRow{
+					Label: c.label,
+					Mode:  c.mode,
+					WireCorrupted: l.Client.ATMAdapter.CellsCorrupted +
+						l.Server.ATMAdapter.CellsCorrupted,
+					HECDrops: l.Client.ATMDriver.HECErrors + l.Server.ATMDriver.HECErrors,
+					AALDrops: l.Client.ATMDriver.ReassemblyErrors +
+						l.Server.ATMDriver.ReassemblyErrors,
+					HostCorrupted: l.Client.ATMDriver.HostCorruptions +
+						l.Server.ATMDriver.HostCorruptions,
+					TCPCksumDrops: l.Client.TCP.Stats.ChecksumErrors +
+						l.Server.TCP.Stats.ChecksumErrors,
+					CorruptEchoes: echo.CorruptEchoes,
+					Retransmits: l.Client.TCP.Stats.Retransmits + l.Server.TCP.Stats.Retransmits +
+						l.Client.TCP.Stats.FastRetransmits + l.Server.TCP.Stats.FastRetransmits,
+					EchoesComplete: len(echo.RTTs),
+				}, nil
+			},
+		})
+	}
+	// Seeds are fixed per configuration, so only the worker count is
+	// taken from the options; derived seeds would be ignored anyway.
+	outs, err := runner.Run(context.Background(), jobs, runner.Options{Workers: o.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	if err := runner.FirstError(outs); err != nil {
+		return nil, err
+	}
+	for _, out := range outs {
+		res.Rows = append(res.Rows, out.Value.(ErrorStudyRow))
 	}
 	return res, nil
 }

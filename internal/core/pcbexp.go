@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/lab"
 	"repro/internal/paperdata"
 	"repro/internal/pcb"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -116,20 +118,34 @@ func (r *PCBResult) Render() string {
 // population with prediction disabled — the situation the paper argues a
 // hash table would fix. It returns mean RTTs for a 4-byte echo with the
 // given numbers of extra PCBs inserted ahead of the benchmark connection.
+// The populations run concurrently through the sweep engine.
 func PCBPopulationEffect(populations []int, o Options) (map[int]float64, error) {
 	o = o.normalize()
-	out := map[int]float64{}
+	jobs := make([]runner.Job, 0, len(populations))
 	for _, n := range populations {
-		cfg := lab.Config{
-			Link:              lab.LinkATM,
-			DisablePrediction: true,
-			ExtraPCBs:         n,
-		}
-		rtt, err := MeasureRTT(cfg, 4, o)
-		if err != nil {
-			return nil, err
-		}
-		out[n] = rtt
+		n := n
+		jobs = append(jobs, runner.Job{
+			Label: fmt.Sprintf("pcbs=%d", n),
+			Run: func(_ context.Context, seed uint64) (interface{}, error) {
+				cfg := seeded(lab.Config{
+					Link:              lab.LinkATM,
+					DisablePrediction: true,
+					ExtraPCBs:         n,
+				}, seed)
+				return MeasureRTT(cfg, 4, o)
+			},
+		})
+	}
+	outs, err := runner.Run(context.Background(), jobs, o.runnerOpts())
+	if err != nil {
+		return nil, err
+	}
+	if err := runner.FirstError(outs); err != nil {
+		return nil, err
+	}
+	out := map[int]float64{}
+	for i, n := range populations {
+		out[n] = outs[i].Value.(float64)
 	}
 	return out, nil
 }

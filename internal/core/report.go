@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cost"
+	"repro/internal/runner"
 )
 
 // Report holds every regenerated experiment.
@@ -20,6 +22,27 @@ type Report struct {
 	Sun3      Sun3Result
 	Errors    *ErrorStudyResult
 	Transport *TransportResult
+	// Extended is the beyond-paper sweep: MTU, socket-buffer, and
+	// cell-loss dimensions the testbed supports but the paper holds
+	// fixed.
+	Extended []runner.EchoOutcome
+}
+
+// RunExtendedSweep runs the beyond-paper grid (runner.ExtendedGrid)
+// through the sweep engine.
+func RunExtendedSweep(o Options) ([]runner.EchoOutcome, error) {
+	o = o.normalize()
+	trials := runner.ExtendedGrid(o.Iterations, o.Warmup).Trials()
+	outs, err := runner.RunEchoSweep(context.Background(), trials, o.runnerOpts())
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range outs {
+		if out.Error != "" {
+			return nil, fmt.Errorf("cell %s: %s", out.Label, out.Error)
+		}
+	}
+	return outs, nil
 }
 
 // RunAll regenerates every table and figure in the paper's evaluation.
@@ -50,11 +73,14 @@ func RunAll(o Options) (*Report, error) {
 	}
 	r.PCB = RunPCBExperiment()
 	r.Sun3 = RunSun3Comparison()
-	if r.Errors, err = RunErrorStudy(150); err != nil {
+	if r.Errors, err = RunErrorStudy(150, o); err != nil {
 		return nil, fmt.Errorf("error study: %w", err)
 	}
 	if r.Transport, err = RunTransportComparison(cost.ChecksumStandard, o); err != nil {
 		return nil, fmt.Errorf("transport comparison: %w", err)
+	}
+	if r.Extended, err = RunExtendedSweep(o); err != nil {
+		return nil, fmt.Errorf("extended sweep: %w", err)
 	}
 	return r, nil
 }
@@ -74,6 +100,9 @@ func (r *Report) Render() string {
 		r.Sun3.Render(),
 		r.Errors.Render(),
 		r.Transport.Render(),
+		runner.RenderEchoOutcomes(
+			"Extension: beyond-paper sweep (MTU × socket buffer × cell loss)",
+			r.Extended),
 	}
 	for _, s := range sections {
 		b.WriteString(s)

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cost"
 	"repro/internal/lab"
 	"repro/internal/paperdata"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -41,18 +43,35 @@ func (r *CompareResult) Render() string {
 	return t.String()
 }
 
-// runCompare measures two configurations across all sizes.
+// runCompare measures two configurations across all sizes, fanning the
+// 2×len(Sizes) independent trials out over the sweep engine. The grid
+// order (size-major, then series A/B) fixes each trial's index and so its
+// derived seed: the rows are bit-identical at any worker count.
 func runCompare(cfgA, cfgB lab.Config, o Options) ([]CompareRow, error) {
-	var rows []CompareRow
+	o = o.normalize()
+	jobs := make([]runner.Job, 0, 2*len(Sizes))
 	for _, size := range Sizes {
-		a, err := MeasureRTT(cfgA, size, o)
-		if err != nil {
-			return nil, fmt.Errorf("size %d (A): %w", size, err)
+		for si, cfg := range [2]lab.Config{cfgA, cfgB} {
+			size, cfg := size, cfg
+			jobs = append(jobs, runner.Job{
+				Label: fmt.Sprintf("size %d (%c)", size, 'A'+si),
+				Run: func(_ context.Context, seed uint64) (interface{}, error) {
+					return MeasureRTT(seeded(cfg, seed), size, o)
+				},
+			})
 		}
-		b, err := MeasureRTT(cfgB, size, o)
-		if err != nil {
-			return nil, fmt.Errorf("size %d (B): %w", size, err)
-		}
+	}
+	outs, err := runner.Run(context.Background(), jobs, o.runnerOpts())
+	if err != nil {
+		return nil, err
+	}
+	if err := runner.FirstError(outs); err != nil {
+		return nil, err
+	}
+	rows := make([]CompareRow, 0, len(Sizes))
+	for i, size := range Sizes {
+		a := outs[2*i].Value.(float64)
+		b := outs[2*i+1].Value.(float64)
 		rows = append(rows, CompareRow{
 			Size: size, A: a, B: b,
 			DecreasePercent: stats.PercentDecrease(a, b),
@@ -146,15 +165,35 @@ func runBreakdown(o Options, side string) (*BreakdownResult, error) {
 		res.Labels = []string{"ATM", "IPQ", "IP", "TCP.checksum", "TCP.segment", "Wakeup", "User"}
 		res.Paper = paperdata.Table3
 	}
+	type pair struct{ tx, rx Breakdown }
+	jobs := make([]runner.Job, 0, len(Sizes))
 	for _, size := range Sizes {
-		tx, rx, err := MeasureBreakdowns(baseConfig(), size, o.Iterations, o.Warmup)
-		if err != nil {
-			return nil, fmt.Errorf("size %d: %w", size, err)
-		}
+		size := size
+		jobs = append(jobs, runner.Job{
+			Label: fmt.Sprintf("breakdown size %d", size),
+			Run: func(_ context.Context, seed uint64) (interface{}, error) {
+				tx, rx, err := MeasureBreakdowns(seeded(baseConfig(), seed),
+					size, o.Iterations, o.Warmup)
+				if err != nil {
+					return nil, err
+				}
+				return pair{tx, rx}, nil
+			},
+		})
+	}
+	outs, err := runner.Run(context.Background(), jobs, o.runnerOpts())
+	if err != nil {
+		return nil, err
+	}
+	if err := runner.FirstError(outs); err != nil {
+		return nil, err
+	}
+	for i, size := range Sizes {
+		p := outs[i].Value.(pair)
 		if side == "transmit" {
-			res.PerSize[size] = tx
+			res.PerSize[size] = p.tx
 		} else {
-			res.PerSize[size] = rx
+			res.PerSize[size] = p.rx
 		}
 	}
 	return res, nil

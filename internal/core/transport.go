@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cost"
 	"repro/internal/lab"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -35,21 +37,47 @@ type TransportResult struct {
 func RunTransportComparison(mode cost.ChecksumMode, o Options) (*TransportResult, error) {
 	o = o.normalize()
 	res := &TransportResult{Mode: mode}
+	var sizes []int
 	for _, size := range Sizes {
-		if size > 4000 {
-			continue
+		if size <= 4000 {
+			sizes = append(sizes, size)
 		}
-		cfg := lab.Config{Link: lab.LinkATM, Mode: mode}
-		tcpRTT, err := MeasureRTT(cfg, size, o)
-		if err != nil {
-			return nil, fmt.Errorf("tcp size %d: %w", size, err)
+	}
+	var jobs []runner.Job
+	for _, size := range sizes {
+		for _, udp := range [2]bool{false, true} {
+			size, udp := size, udp
+			proto := "tcp"
+			if udp {
+				proto = "udp"
+			}
+			jobs = append(jobs, runner.Job{
+				Label: fmt.Sprintf("%s size %d", proto, size),
+				Run: func(_ context.Context, seed uint64) (interface{}, error) {
+					cfg := seeded(lab.Config{Link: lab.LinkATM, Mode: mode}, seed)
+					if !udp {
+						return MeasureRTT(cfg, size, o)
+					}
+					l := lab.New(cfg)
+					echo, err := l.RunUDPEcho(size, o.Iterations, o.Warmup)
+					if err != nil {
+						return nil, err
+					}
+					return echo.MeanRTTMicros(), nil
+				},
+			})
 		}
-		l := lab.New(cfg)
-		udpEcho, err := l.RunUDPEcho(size, o.Iterations, o.Warmup)
-		if err != nil {
-			return nil, fmt.Errorf("udp size %d: %w", size, err)
-		}
-		udpRTT := udpEcho.MeanRTTMicros()
+	}
+	outs, err := runner.Run(context.Background(), jobs, o.runnerOpts())
+	if err != nil {
+		return nil, err
+	}
+	if err := runner.FirstError(outs); err != nil {
+		return nil, err
+	}
+	for i, size := range sizes {
+		tcpRTT := outs[2*i].Value.(float64)
+		udpRTT := outs[2*i+1].Value.(float64)
 		res.Rows = append(res.Rows, TransportRow{
 			Size:           size,
 			TCPMicros:      tcpRTT,

@@ -170,6 +170,10 @@ type Driver struct {
 	Adapter *Adapter
 	IP      *ip.Stack
 
+	// MTUOverride, when positive, lowers the MTU the driver advertises
+	// to IP below the Ethernet payload limit.
+	MTUOverride int
+
 	// txBusy serializes Output (the splimp-protected driver section).
 	txBusy bool
 	txWait *sim.WaitQueue
@@ -193,7 +197,12 @@ func NewDriver(k *kern.Kernel, a *Adapter, ipStack *ip.Stack) *Driver {
 func (d *Driver) Name() string { return d.K.Name + ".le0" }
 
 // MTU implements ip.NetIf.
-func (d *Driver) MTU() int { return MTU }
+func (d *Driver) MTU() int {
+	if d.MTUOverride > 0 && d.MTUOverride < MTU {
+		return d.MTUOverride
+	}
+	return MTU
+}
 
 // Output implements ip.NetIf: encapsulate and hand to the adapter,
 // charging the driver's per-frame output cost (the LANCE copy is part of

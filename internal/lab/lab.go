@@ -62,6 +62,16 @@ type Config struct {
 	// the device-to-host transfer (invisible to the AAL; only the TCP
 	// checksum can catch it — the §4.2.1 buggy-controller scenario).
 	HostCorruptRate float64
+	// MTU, when positive, lowers the MTU the link's driver advertises to
+	// IP (and so the MSS TCP negotiates) below the link default — a
+	// sweep dimension beyond the paper's grid. Values below MinMTU are
+	// ignored: an MTU that cannot hold the IP and TCP headers plus data
+	// would leave the stack unable to form a segment.
+	MTU int
+	// SockBuf, when positive, overrides the socket-buffer high-water
+	// marks on both hosts (default sock.DefaultHiwat). Buffers smaller
+	// than the transfer size serialize segments behind window updates.
+	SockBuf int
 	// Cost overrides the cost model (nil means DECstation 5000/200).
 	Cost *cost.Model
 	// Seed seeds the simulation RNG.
@@ -104,6 +114,20 @@ const (
 	ServerAddr = 0xc0a80102 // 192.168.1.2
 )
 
+// MinMTU is the smallest MTU override the lab honors: room for the IP
+// and TCP headers plus data. Config.MTU values below it are ignored.
+const MinMTU = 64
+
+// MaxMTU returns the link's native MTU — the largest value a Config.MTU
+// override can usefully take; overrides at or above it are ignored by
+// the drivers.
+func MaxMTU(l LinkKind) int {
+	if l == LinkEther {
+		return ether.MTU
+	}
+	return atm.MTU
+}
+
 // New builds a testbed per the configuration.
 func New(cfg Config) *Lab {
 	env := sim.NewEnv()
@@ -134,6 +158,9 @@ func New(cfg Config) *Lab {
 
 // buildHost assembles one workstation.
 func buildHost(env *sim.Env, model *cost.Model, cfg Config, name string, addr uint32) *Host {
+	if cfg.MTU != 0 && cfg.MTU < MinMTU {
+		cfg.MTU = 0
+	}
 	k := kern.New(env, model, name)
 	h := &Host{Kern: k}
 	h.IP = ip.NewStack(k, addr)
@@ -142,13 +169,16 @@ func buildHost(env *sim.Env, model *cost.Model, cfg Config, name string, addr ui
 		h.ATMAdapter = atm.NewAdapter(k)
 		h.ATMDriver = atm.NewDriver(k, h.ATMAdapter, h.IP)
 		h.ATMDriver.Mode = cfg.Mode
+		h.ATMDriver.MTUOverride = cfg.MTU
 	case LinkEther:
 		var station [6]byte
 		station[5] = byte(addr)
 		h.EthAdapter = ether.NewAdapter(k, station)
 		h.EthDriver = ether.NewDriver(k, h.EthAdapter, h.IP)
+		h.EthDriver.MTUOverride = cfg.MTU
 	}
 	h.TCP = tcp.NewStack(k, h.IP)
+	h.TCP.SockBuf = cfg.SockBuf
 	h.TCP.Mode = cfg.Mode
 	h.TCP.PredictionEnabled = !cfg.DisablePrediction
 	h.TCP.Table.UseHash = cfg.HashPCBs

@@ -234,3 +234,13 @@ func TestEtherEchoDeterminism(t *testing.T) {
 		t.Fatal("Ethernet echo not deterministic")
 	}
 }
+
+func TestMTUBelowFloorIgnored(t *testing.T) {
+	// Config.MTU below MinMTU cannot hold the protocol headers; the lab
+	// must fall back to the link default instead of building a stack
+	// whose MSS is zero or negative.
+	l := New(Config{Link: LinkATM, MTU: MinMTU - 1})
+	if _, err := l.RunEcho(200, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+}

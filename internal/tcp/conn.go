@@ -119,6 +119,12 @@ type Conn struct {
 
 	// finSent tracks whether our FIN occupies sequence space yet.
 	finSent bool
+
+	// outBusy marks an output invocation in progress (the splnet
+	// serialization of tcp_output); outWait queues callers that found
+	// it busy.
+	outBusy bool
+	outWait *sim.WaitQueue
 }
 
 // Socket returns the connection's socket.

@@ -11,9 +11,24 @@ import (
 )
 
 // output runs tcp_output until it decides there is nothing more to send.
+//
+// It is serialized per connection, the analogue of BSD running tcp_output
+// at splnet: CPU charges inside sendSegment yield to the event loop, so
+// without the lock a user send (sosend's PRU_SEND) and input-side
+// processing could both be inside tcp_output at once, each capturing the
+// same snd_nxt and together consuming phantom sequence space no ACK could
+// ever cover. A caller that finds output busy sleeps until the lock is
+// free and then re-evaluates the send decision against current state, as
+// a uniprocessor kernel blocking on the spl level would.
 func (c *Conn) output(p *sim.Proc) {
+	for c.outBusy {
+		c.outWait.Wait(p)
+	}
+	c.outBusy = true
 	for c.outputOnce(p) {
 	}
+	c.outBusy = false
+	c.outWait.WakeAll()
 }
 
 // outputFlags returns the header flags implied by the connection state.
@@ -80,10 +95,13 @@ func (c *Conn) outputOnce(p *sim.Proc) bool {
 	}
 	// Window update: advertise when the window has opened by two
 	// segments or half the buffer (BSD's receiver silly-window rule).
+	// The opening must be strictly positive: with a tiny socket buffer
+	// Hiwat/2 is zero, and a zero "opening" must not qualify or every
+	// pass would send an update and the two ends would chatter forever.
 	rcvSpace := c.so.Rcv.Space()
 	if c.state >= StateEstablished && rcvSpace > 0 {
 		adv := c.rcvNxt.Add(rcvSpace).Diff(c.rcvAdv)
-		if adv >= 2*c.mss || adv >= c.so.Rcv.Hiwat/2 {
+		if adv > 0 && (adv >= 2*c.mss || adv >= c.so.Rcv.Hiwat/2) {
 			send = true
 		}
 	}

@@ -49,6 +49,13 @@ type Stack struct {
 	// Alternate Checksum Option at connection setup.
 	Mode cost.ChecksumMode
 
+	// SockBuf, when positive, overrides the send and receive socket
+	// buffer high-water marks of every socket the stack creates — the
+	// buffering knob behind the paper's back-to-back-segments
+	// observation (sock.DefaultHiwat reproduces it; smaller values
+	// serialize large transfers behind window updates).
+	SockBuf int
+
 	Stats Stats
 
 	listeners map[uint16]*Listener
@@ -107,6 +114,10 @@ func (s *Stack) allocPort() uint16 {
 func (s *Stack) newConn() *Conn {
 	so := sock.New(s.K)
 	so.Mode = s.Mode
+	if s.SockBuf > 0 {
+		so.Snd.Hiwat = s.SockBuf
+		so.Rcv.Hiwat = s.SockBuf
+	}
 	c := &Conn{
 		S:            s,
 		K:            s.K,
@@ -114,6 +125,7 @@ func (s *Stack) newConn() *Conn {
 		state:        StateClosed,
 		mss:          defaultMSS,
 		wantCksumOff: s.Mode == cost.ChecksumNone,
+		outWait:      s.K.Env.NewWaitQueue(s.K.Name + ".tcp.outlock"),
 	}
 	so.Proto = c
 	return c

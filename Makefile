@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline tables
+.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline tables load-smoke
 
 all: build test
 
@@ -50,3 +50,7 @@ baseline:
 ## tables: regenerate every table and figure of the paper's evaluation
 tables:
 	$(GO) run ./cmd/tables
+
+## load-smoke: a 16-client fan-in under both PCB organizations (what CI runs)
+load-smoke:
+	$(GO) run ./cmd/load -workload fanin -hosts 17 -reqs 4 -compare -seed 1994 -parallel 2 -json > /dev/null

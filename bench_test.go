@@ -20,6 +20,7 @@ import (
 	"repro/internal/lab"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // benchOpts keeps per-iteration cost low; the simulation is deterministic
@@ -191,6 +192,29 @@ func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
 // (the outputs are bit-identical either way, asserted by
 // TestSerialParallelIdentical and cmd/tcplat's sweep test).
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkFanIn regenerates the 16-client fan-in cell of the topology
+// study under both PCB organizations and reports the mean request
+// latency of each — the §3 list-versus-hash prediction measured on a
+// live connection population. The gap between the two metrics is the
+// demultiplexing cost the hash table erases.
+func BenchmarkFanIn(b *testing.B) {
+	run := func(hash bool) float64 {
+		l := lab.NewTopology(lab.Config{Link: lab.LinkATM, HashPCBs: hash, Seed: 1994}, 17)
+		res, err := workload.FanIn{Size: 200, Requests: 8, Warmup: 1}.Run(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Sample().Mean()
+	}
+	var list, hash float64
+	for i := 0; i < b.N; i++ {
+		list = run(false)
+		hash = run(true)
+	}
+	b.ReportMetric(list, "sim-µs/fanin16-list")
+	b.ReportMetric(hash, "sim-µs/fanin16-hash")
+}
 
 // --- Wall-clock benchmarks of the real routines (Figure 2's shape on the
 // machine running the tests; absolute values are of course not the

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunFanInText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "fanin", "-hosts", "5", "-reqs", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fanin/4c/list") || !strings.Contains(out, "p99") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunCompareOrgs(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-workload", "churn", "-hosts", "3", "-conns", "4", "-compare"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "churn/2c/list") || !strings.Contains(out, "churn/2c/hash") {
+		t.Fatalf("expected both organizations:\n%s", out)
+	}
+}
+
+// TestFanIn16ParallelBitIdentical is the acceptance check: a 16-client
+// fan-in run's JSON output is identical at any -parallel level for the
+// same seed.
+func TestFanIn16ParallelBitIdentical(t *testing.T) {
+	jsonAt := func(workers string) string {
+		var buf bytes.Buffer
+		err := run([]string{"-workload", "fanin", "-hosts", "17", "-reqs", "3",
+			"-trials", "4", "-seed", "1994", "-parallel", workers, "-json"}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := jsonAt("1")
+	parallel := jsonAt("4")
+	if serial != parallel {
+		t.Fatal("16-client fan-in JSON differs between -parallel 1 and 4")
+	}
+	var outs []struct {
+		Hosts    int     `json:"hosts"`
+		Requests int     `json:"requests"`
+		P99      float64 `json:"p99_us"`
+	}
+	if err := json.Unmarshal([]byte(serial), &outs); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(outs) != 4 {
+		t.Fatalf("got %d outcomes, want 4", len(outs))
+	}
+	for _, o := range outs {
+		if o.Hosts != 17 || o.Requests != 16*3 || o.P99 <= 0 {
+			t.Fatalf("implausible outcome: %+v", o)
+		}
+	}
+}
+
+func TestRunBulkAndEcho(t *testing.T) {
+	for _, wl := range []string{"bulk", "echo"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-workload", wl, "-hosts", "2", "-reqs", "4",
+			"-bytes", "20000", "-json"}, &buf); err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		var outs []struct {
+			Workload string `json:"workload"`
+			Requests int    `json:"requests"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &outs); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", wl, err)
+		}
+		if len(outs) != 1 || outs[0].Workload != wl || outs[0].Requests == 0 {
+			t.Fatalf("%s: unexpected outcome %+v", wl, outs)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "warp"},
+		{"-hosts", "1"},
+		{"-link", "token-ring"},
+		{"-trials", "0"},
+		{"-loss", "1.5"},
+		{"-link", "ether", "-loss", "0.001"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -11,4 +11,11 @@
 // in bench_test.go regenerate every table and figure in the paper's
 // evaluation, and internal/runner shards the experiment grid across a
 // worker pool with bit-identical results at any worker count.
+//
+// Beyond the paper's two-host pair, internal/lab builds N-host
+// topologies (a shared Ethernet segment or an output-queued ATM cell
+// switch with a full virtual-channel mesh) and internal/workload drives
+// them with pluggable traffic generators — echo, bulk transfer,
+// request/response fan-in, and connection churn — driven from cmd/load
+// and the fan-in/churn study in internal/core.
 package repro

@@ -22,13 +22,19 @@ const (
 // interrupt on occupancy thresholds for exactly this reason.
 const RxDrainThreshold = 200
 
+// cellSink is the far end of an adapter's fiber: either the peer adapter
+// (the paper's switchless lab) or a switch port.
+type cellSink interface {
+	deliverCell(c Cell)
+}
+
 // Adapter models one TCA-100: the transmit FIFO feeding the wire and the
 // receive FIFO filled from the wire. The transmit engine "starts reading
 // from the transmit FIFO as soon as there is one complete cell in the
 // FIFO" — there is no send doorbell; pushing a cell is the trigger.
 type Adapter struct {
 	K    *kern.Kernel
-	peer *Adapter
+	link cellSink
 
 	txCount       int      // cells currently in the transmit FIFO
 	wireBusy      sim.Time // when the transmit engine finishes its current cell
@@ -70,11 +76,16 @@ func NewAdapter(k *kern.Kernel) *Adapter {
 	}
 }
 
-// Connect joins two adapters with a duplex fiber.
+// Connect joins two adapters with a duplex fiber — the switchless
+// configuration of the paper's lab. Topologies with more than two hosts
+// attach each adapter to a Switch port instead.
 func Connect(a, b *Adapter) {
-	a.peer = b
-	b.peer = a
+	a.link = b
+	b.link = a
 }
+
+// deliverCell implements cellSink: a cell arriving over the fiber.
+func (a *Adapter) deliverCell(c Cell) { a.receive(c) }
 
 // CellTime returns the wire occupancy of one cell at the model's TAXI
 // link rate.
@@ -106,7 +117,7 @@ func (a *Adapter) PushTx(c Cell) {
 		a.SpaceAvail.WakeAll()
 		prop := a.K.Cost.ATMPropagation
 		cc := c
-		env.After(prop, "atm.cellin", func() { a.peer.receive(cc) })
+		env.After(prop, "atm.cellin", func() { a.link.deliverCell(cc) })
 	})
 }
 

@@ -1,6 +1,8 @@
 package atm
 
 import (
+	"fmt"
+
 	"repro/internal/checksum"
 	"repro/internal/cost"
 	"repro/internal/ip"
@@ -29,8 +31,15 @@ type Driver struct {
 	// device memory to kernel memory").
 	Mode cost.ChecksumMode
 
-	seg   Segmenter
-	reasm Reassembler
+	// seg carries traffic on the default PVC (the single VC of the
+	// paper's switchless fiber); vcs maps destination IP addresses to
+	// per-VC segmenters when a topology builder installed VCs.
+	seg Segmenter
+	vcs map[uint32]*Segmenter
+	// reasms holds one reassembler per incoming VCI. Cells from
+	// different sources arrive interleaved on distinct VCIs in switched
+	// topologies; reassembly state must be per VC.
+	reasms map[uint16]*Reassembler
 
 	// MTUOverride, when positive, lowers the MTU the driver advertises to
 	// IP below the AAL3/4 maximum. TCP derives its MSS from it, so it is
@@ -62,15 +71,55 @@ type Driver struct {
 	HostCorruptions int64
 }
 
+// DefaultVCI is the first non-reserved VCI, the single PVC of the
+// paper's switchless lab.
+const DefaultVCI = 32
+
 // NewDriver creates the driver, wires it to the adapter and IP stack, and
 // starts the receive service process.
 func NewDriver(k *kern.Kernel, a *Adapter, ipStack *ip.Stack) *Driver {
 	d := &Driver{K: k, Adapter: a, IP: ipStack}
 	d.txWait = k.Env.NewWaitQueue(k.Name + ".atm.txlock")
-	d.seg.VCI = 32 // first non-reserved VCI; a single PVC, as in the paper's lab
+	d.seg.VCI = DefaultVCI
 	ipStack.Attach(d)
 	k.Env.Spawn(k.Name+".atmintr", d.rxproc)
 	return d
+}
+
+// AddVC installs a transmit-side virtual channel: datagrams addressed to
+// dst leave on their own segmenter carrying vci. Topology builders call
+// it once per reachable host; without any VCs every datagram rides the
+// default PVC, preserving the two-host fiber behaviour.
+func (d *Driver) AddVC(dst uint32, vci uint16) {
+	if d.vcs == nil {
+		d.vcs = make(map[uint32]*Segmenter)
+	}
+	d.vcs[dst] = &Segmenter{VCI: vci}
+}
+
+// segFor picks the segmenter for a datagram's destination address.
+func (d *Driver) segFor(dst uint32) *Segmenter {
+	if d.vcs == nil {
+		return &d.seg
+	}
+	s, ok := d.vcs[dst]
+	if !ok {
+		panic(fmt.Sprintf("atm: no VC to destination %#x", dst))
+	}
+	return s
+}
+
+// reasmFor picks (lazily creating) the reassembler for an incoming VCI.
+func (d *Driver) reasmFor(vci uint16) *Reassembler {
+	if d.reasms == nil {
+		d.reasms = make(map[uint16]*Reassembler)
+	}
+	r, ok := d.reasms[vci]
+	if !ok {
+		r = &Reassembler{}
+		d.reasms[vci] = r
+	}
+	return r
 }
 
 // Name implements ip.NetIf.
@@ -98,7 +147,7 @@ func (d *Driver) Output(p *sim.Proc, m *mbuf.Mbuf) {
 	d.txBusy = true
 	d.K.Use(p, trace.LayerATMTx, d.K.Cost.ATMTxFrameFixed)
 	data := mbuf.Linearize(m)
-	cells := d.seg.Segment(data)
+	cells := d.segFor(ip.Dst(data)).Segment(data)
 	for i := range cells {
 		for d.Adapter.TxSpace() == 0 {
 			waitStart := d.K.Now()
@@ -148,7 +197,8 @@ func (d *Driver) rxproc(p *sim.Proc) {
 				k.Use(p, trace.LayerATMRx,
 					sim.Time(k.Cost.IntegratedRxPerByte*SARPayload))
 			}
-			if _, err := ParseHeader(&c); err != nil {
+			h, err := ParseHeader(&c)
+			if err != nil {
 				// Header corruption: the HEC catches it and the cell
 				// is discarded, surfacing later as a sequence gap.
 				d.HECErrors++
@@ -158,7 +208,7 @@ func (d *Driver) rxproc(p *sim.Proc) {
 			if frameEnd {
 				d.Adapter.ConsumeFrameEnd()
 			}
-			dg, err := d.reasm.Push(&c)
+			dg, err := d.reasmFor(h.VCI).Push(&c)
 			if err != nil {
 				d.ReassemblyErrors++
 			} else if dg != nil {

@@ -1,0 +1,147 @@
+package atm
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+// DefaultSwitchLatency is the fixed per-cell forwarding latency of the
+// switch fabric, in the range of early TAXI-based ATM switches (a few
+// cell times).
+const DefaultSwitchLatency = 5 * sim.Microsecond
+
+// DefaultPortQueueCells bounds each output port's queue. Output-queued
+// switches drop on egress congestion; the default is deep enough that
+// the experiments only drop under deliberately oversubscribed fan-in.
+const DefaultPortQueueCells = 1024
+
+// vcKey identifies a virtual channel arriving at the switch: the ingress
+// port and the VCI the cell carries.
+type vcKey struct {
+	port int
+	vci  uint16
+}
+
+// vcRoute is the egress side of a VC table entry: the output port and
+// the VCI the cell leaves with (ATM switches rewrite VCIs per hop).
+type vcRoute struct {
+	port int
+	vci  uint16
+}
+
+// Switch is a simple output-queued ATM cell switch: any number of hosts
+// attach through ports, and a VC table maps (ingress port, VCI) to
+// (egress port, VCI). Each egress port paces cells onto its fiber at the
+// link rate, so concurrent senders to one destination queue at that
+// port — the fan-in contention point of a hub topology.
+type Switch struct {
+	env *sim.Env
+
+	// Latency is the fixed fabric forwarding latency per cell.
+	Latency sim.Time
+	// PortQueueCells is the egress queue bound; cells arriving at a full
+	// queue are dropped (and counted in CellsDropped).
+	PortQueueCells int
+
+	ports []*Port
+	vc    map[vcKey]vcRoute
+
+	// Counters.
+	CellsSwitched int64
+	CellsUnrouted int64
+	CellsDropped  int64
+	HECErrors     int64
+}
+
+// NewSwitch returns an empty switch scheduling on env.
+func NewSwitch(env *sim.Env) *Switch {
+	return &Switch{
+		env:            env,
+		Latency:        DefaultSwitchLatency,
+		PortQueueCells: DefaultPortQueueCells,
+		vc:             make(map[vcKey]vcRoute),
+	}
+}
+
+// Port is one switch port: the fiber to a single attached adapter plus
+// the egress queue pacing state.
+type Port struct {
+	sw      *Switch
+	index   int
+	adapter *Adapter
+
+	busy   sim.Time // when the egress link finishes its current cell
+	queued int      // cells committed to the egress queue
+}
+
+// Index returns the port's number on the switch.
+func (p *Port) Index() int { return p.index }
+
+// AttachPort connects an adapter to a new port and returns its index.
+func (sw *Switch) AttachPort(a *Adapter) int {
+	p := &Port{sw: sw, index: len(sw.ports), adapter: a}
+	sw.ports = append(sw.ports, p)
+	a.link = p
+	return p.index
+}
+
+// NumPorts returns the number of attached ports.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// AddVC installs a unidirectional VC table entry: cells arriving on
+// inPort with inVCI leave outPort carrying outVCI.
+func (sw *Switch) AddVC(inPort int, inVCI uint16, outPort int, outVCI uint16) {
+	if inPort < 0 || inPort >= len(sw.ports) || outPort < 0 || outPort >= len(sw.ports) {
+		panic(fmt.Sprintf("atm: VC %d:%d -> %d:%d references a missing port",
+			inPort, inVCI, outPort, outVCI))
+	}
+	sw.vc[vcKey{inPort, inVCI}] = vcRoute{outPort, outVCI}
+}
+
+// deliverCell implements cellSink for a port: a cell arriving from the
+// attached host enters the fabric.
+func (p *Port) deliverCell(c Cell) { p.sw.forward(p, c) }
+
+// forward looks the cell up in the VC table, rewrites the VCI, and
+// queues it on the egress port. The egress link paces cells back to back
+// at the link rate; the fabric adds its fixed latency up front.
+func (sw *Switch) forward(from *Port, c Cell) {
+	h, err := ParseHeader(&c)
+	if err != nil {
+		// Header corruption on the ingress fiber: the switch's own HEC
+		// check discards the cell, surfacing later as a sequence gap.
+		sw.HECErrors++
+		return
+	}
+	route, ok := sw.vc[vcKey{from.index, h.VCI}]
+	if !ok {
+		sw.CellsUnrouted++
+		return
+	}
+	out := sw.ports[route.port]
+	if out.queued >= sw.PortQueueCells {
+		sw.CellsDropped++
+		return
+	}
+	h.VCI = route.vci
+	h.Marshal(&c) // rewrites the VCI and recomputes the HEC
+
+	env := sw.env
+	start := env.Now() + sw.Latency
+	if out.busy > start {
+		start = out.busy
+	}
+	end := start + cost.WireTime(CellSize, out.adapter.K.Cost.ATMLinkBitsPS)
+	out.busy = end
+	out.queued++
+	sw.CellsSwitched++
+	cc := c
+	env.At(end, "atmsw.cellout", func() {
+		out.queued--
+		env.After(out.adapter.K.Cost.ATMPropagation, "atmsw.cellin", func() {
+			out.adapter.receive(cc)
+		})
+	})
+}

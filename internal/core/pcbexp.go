@@ -13,6 +13,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/tcp"
 	"repro/internal/trace"
 )
 
@@ -31,6 +32,12 @@ type PCBRow struct {
 type PCBResult struct {
 	Rows           []PCBRow
 	PerEntryMicros float64 // fitted slope
+	// Live marks a study whose table populations are real established
+	// connections (built by live handshakes) instead of synthetic
+	// inserts. The per-entry search cost must be identical either way —
+	// the list does not care how its entries were born — which
+	// TestPCBLiveMatchesSynthetic asserts.
+	Live bool
 }
 
 // RunPCBExperiment measures PCB lookup cost on the simulated CPU by
@@ -39,8 +46,7 @@ type PCBResult struct {
 func RunPCBExperiment() *PCBResult {
 	model := cost.DECstation5000()
 	res := &PCBResult{}
-	lengths := []int{20, 50, 100, 250, 500, 1000}
-	for _, n := range lengths {
+	for _, n := range pcbLengths {
 		env := sim.NewEnv()
 		k := kern.New(env, model, "pcbhost")
 		k.Trace.Enable()
@@ -98,10 +104,101 @@ func RunPCBExperiment() *PCBResult {
 	return res
 }
 
+// pcbLengths is the population axis shared by the synthetic and live
+// variants of the §3 study.
+var pcbLengths = []int{20, 50, 100, 250, 500, 1000}
+
+// RunPCBLiveExperiment is the live-population variant of the §3 study:
+// instead of synthetically inserting PCBs, it establishes real TCP
+// connections on a two-host testbed and measures lookup cost against the
+// server's resulting demultiplexing table. The first connection opened
+// ends deepest in the BSD head-inserted list, exactly where the
+// synthetic study places its target.
+func RunPCBLiveExperiment() *PCBResult {
+	model := cost.DECstation5000()
+	res := &PCBResult{Live: true}
+	for _, n := range pcbLengths {
+		l := lab.New(lab.Config{Link: lab.LinkATM})
+		if _, err := l.Server.TCP.Listen(7); err != nil {
+			panic(err)
+		}
+		var first *tcp.Conn
+		l.Env.Spawn("populate", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				_, c, err := l.Client.TCP.Connect(p, lab.ServerAddr, 7)
+				if err != nil {
+					panic(fmt.Sprintf("core: live PCB %d: %v", i, err))
+				}
+				if i == 0 {
+					first = c
+				}
+			}
+		})
+		l.Env.Run()
+
+		// The server-side key of the first connection: the mirror of the
+		// client's 4-tuple.
+		ck := first.Key()
+		target := pcb.Key{
+			LocalAddr:  lab.ServerAddr,
+			RemoteAddr: lab.ClientAddr,
+			LocalPort:  7,
+			RemotePort: ck.LocalPort,
+		}
+		tb := &l.Server.TCP.Table
+		k := l.Server.Kern
+		k.Trace.Enable()
+
+		measure := func(useHash, cache bool) float64 {
+			tb.UseHash = useHash
+			tb.CacheDisabled = !cache
+			var total sim.Time
+			l.Env.Spawn("lookup", func(p *sim.Proc) {
+				if cache {
+					tb.Lookup(target) // prime the cache
+				}
+				ent, r := tb.Lookup(target)
+				if ent == nil {
+					panic("core: live PCB lookup missed")
+				}
+				var d sim.Time
+				switch {
+				case r.CacheHit:
+					d = model.PCBCacheHit
+				case useHash:
+					d = model.PCBHashLookup
+				default:
+					d = model.PCBLookupFixed + sim.Time(r.Searched)*model.PCBLookupPerEntry
+				}
+				k.Use(p, trace.LayerTCPSegmentRx, d)
+				total = d
+			})
+			l.Env.Run()
+			if total == 0 {
+				panic("core: pcb lookup never ran")
+			}
+			return total.Micros()
+		}
+
+		res.Rows = append(res.Rows, PCBRow{
+			Entries:     n,
+			ListMicros:  measure(false, false),
+			HashMicros:  measure(true, false),
+			CacheMicros: measure(false, true),
+		})
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	res.PerEntryMicros = (last.ListMicros - first.ListMicros) / float64(last.Entries-first.Entries)
+	return res
+}
+
 // Render formats the §3 experiment with the paper's endpoints.
 func (r *PCBResult) Render() string {
-	t := stats.NewTable(
-		"§3: PCB lookup cost versus table organization (µs)",
+	title := "§3: PCB lookup cost versus table organization (µs)"
+	if r.Live {
+		title = "§3 (live variant): PCB lookup cost, populations of real connections (µs)"
+	}
+	t := stats.NewTable(title,
 		"Entries", "List", "Hash", "Cache hit")
 	for _, row := range r.Rows {
 		t.AddRow(row.Entries, row.ListMicros, row.HashMicros, row.CacheMicros)
@@ -120,19 +217,40 @@ func (r *PCBResult) Render() string {
 // given numbers of extra PCBs inserted ahead of the benchmark connection.
 // The populations run concurrently through the sweep engine.
 func PCBPopulationEffect(populations []int, o Options) (map[int]float64, error) {
+	return pcbPopulationEffect(populations, false, o)
+}
+
+// PCBPopulationEffectLive is the live-churn variant of
+// PCBPopulationEffect: the population ahead of the benchmark connection
+// is built from real established connections (lab.Config.LivePCBs)
+// instead of synthetic inserts. Demultiplexing walks the same number of
+// entries either way, so equal populations must cost the same per entry.
+func PCBPopulationEffectLive(populations []int, o Options) (map[int]float64, error) {
+	return pcbPopulationEffect(populations, true, o)
+}
+
+func pcbPopulationEffect(populations []int, live bool, o Options) (map[int]float64, error) {
 	o = o.normalize()
 	jobs := make([]runner.Job, 0, len(populations))
 	for _, n := range populations {
 		n := n
+		label := fmt.Sprintf("pcbs=%d", n)
+		if live {
+			label = fmt.Sprintf("livepcbs=%d", n)
+		}
 		jobs = append(jobs, runner.Job{
-			Label: fmt.Sprintf("pcbs=%d", n),
+			Label: label,
 			Run: func(_ context.Context, seed uint64) (interface{}, error) {
-				cfg := seeded(lab.Config{
+				cfg := lab.Config{
 					Link:              lab.LinkATM,
 					DisablePrediction: true,
-					ExtraPCBs:         n,
-				}, seed)
-				return MeasureRTT(cfg, 4, o)
+				}
+				if live {
+					cfg.LivePCBs = n
+				} else {
+					cfg.ExtraPCBs = n
+				}
+				return MeasureRTT(seeded(cfg, seed), 4, o)
 			},
 		})
 	}

@@ -11,17 +11,24 @@ import (
 
 // Report holds every regenerated experiment.
 type Report struct {
-	Table1    *CompareResult
-	Table2    *BreakdownResult
-	Table3    *BreakdownResult
-	Table4    *CompareResult
-	Table5    *CksumResult
-	Table6    *CompareResult
-	Table7    *CompareResult
-	PCB       *PCBResult
+	Table1 *CompareResult
+	Table2 *BreakdownResult
+	Table3 *BreakdownResult
+	Table4 *CompareResult
+	Table5 *CksumResult
+	Table6 *CompareResult
+	Table7 *CompareResult
+	PCB    *PCBResult
+	// PCBLive is the §3 study measured against live connection
+	// populations instead of synthetic inserts; its rows must match PCB
+	// exactly.
+	PCBLive   *PCBResult
 	Sun3      Sun3Result
 	Errors    *ErrorStudyResult
 	Transport *TransportResult
+	// FanIn is the fan-in/churn study: latency percentiles versus
+	// client count and PCB organization on N-host topologies.
+	FanIn *FanInResult
 	// Extended is the beyond-paper sweep: MTU, socket-buffer, and
 	// cell-loss dimensions the testbed supports but the paper holds
 	// fixed.
@@ -72,12 +79,16 @@ func RunAll(o Options) (*Report, error) {
 		return nil, fmt.Errorf("table 7: %w", err)
 	}
 	r.PCB = RunPCBExperiment()
+	r.PCBLive = RunPCBLiveExperiment()
 	r.Sun3 = RunSun3Comparison()
 	if r.Errors, err = RunErrorStudy(150, o); err != nil {
 		return nil, fmt.Errorf("error study: %w", err)
 	}
 	if r.Transport, err = RunTransportComparison(cost.ChecksumStandard, o); err != nil {
 		return nil, fmt.Errorf("transport comparison: %w", err)
+	}
+	if r.FanIn, err = RunFanInStudy(FanInClientCounts, 12, o); err != nil {
+		return nil, fmt.Errorf("fan-in study: %w", err)
 	}
 	if r.Extended, err = RunExtendedSweep(o); err != nil {
 		return nil, fmt.Errorf("extended sweep: %w", err)
@@ -94,12 +105,14 @@ func (r *Report) Render() string {
 		r.Table3.Render(),
 		r.Table4.Render(),
 		r.PCB.Render(),
+		r.PCBLive.Render(),
 		r.Table5.Render(),
 		r.Table6.Render(),
 		r.Table7.Render(),
 		r.Sun3.Render(),
 		r.Errors.Render(),
 		r.Transport.Render(),
+		r.FanIn.Render(),
 		runner.RenderEchoOutcomes(
 			"Extension: beyond-paper sweep (MTU × socket buffer × cell loss)",
 			r.Extended),

@@ -1,7 +1,8 @@
 // Package ether implements the Ethernet substrate used as the paper's
 // comparison link (Table 1): frame encapsulation with a real FCS, a
-// LANCE-style adapter model pacing a 10 Mb/s wire, and a driver
-// implementing ip.NetIf.
+// LANCE-style adapter model pacing a 10 Mb/s wire, a shared Segment (a
+// broadcast domain any number of stations attach to, with destination-MAC
+// filtering), and a driver implementing ip.NetIf.
 //
 // The model captures the two properties Table 1 turns on: a much larger
 // fixed per-packet driver/adapter cost than the TCA-100, and a wire an
@@ -10,6 +11,8 @@
 package ether
 
 import (
+	"fmt"
+
 	"repro/internal/cost"
 	"repro/internal/ip"
 	"repro/internal/kern"
@@ -90,6 +93,86 @@ func Decapsulate(f Frame) (payload []byte, etherType uint16, ok bool) {
 	return f[HeaderLen : len(f)-FCSLen], etherType, true
 }
 
+// Broadcast is the all-stations destination address. Frames addressed to
+// it are delivered to every station on the segment except the sender.
+var Broadcast = [6]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// Segment is a shared broadcast domain: any number of stations attach,
+// and delivery filters on the destination MAC. Each station's transmitter
+// paces its own frames (the model behaves like a full-duplex, non-
+// colliding segment, which is also what the two-station private wire of
+// the paper's lab was in practice). The segment also keeps the IP-to-MAC
+// bindings the drivers resolve destinations through — the static ARP
+// table of a closed testbed.
+type Segment struct {
+	stations []*Adapter
+	byMAC    map[[6]byte]*Adapter
+	byIP     map[uint32][6]byte
+
+	// UnknownUnicasts counts frames whose destination MAC matched no
+	// attached station; they are dropped, as a learning switch would
+	// eventually do.
+	UnknownUnicasts int64
+}
+
+// NewSegment returns an empty broadcast domain.
+func NewSegment() *Segment {
+	return &Segment{
+		byMAC: make(map[[6]byte]*Adapter),
+		byIP:  make(map[uint32][6]byte),
+	}
+}
+
+// Attach joins a station to the segment. Attaching two stations with the
+// same MAC panics: delivery would be ambiguous.
+func (s *Segment) Attach(a *Adapter) {
+	if _, dup := s.byMAC[a.Addr]; dup {
+		panic(fmt.Sprintf("ether: duplicate station address %x", a.Addr))
+	}
+	a.seg = s
+	s.stations = append(s.stations, a)
+	s.byMAC[a.Addr] = a
+}
+
+// BindIP records the station answering for an IP address, the segment's
+// static ARP entry. Drivers use it to resolve the destination MAC for an
+// outbound datagram.
+func (s *Segment) BindIP(addr uint32, a *Adapter) { s.byIP[addr] = a.Addr }
+
+// MACForIP resolves an IP address to the bound station MAC.
+func (s *Segment) MACForIP(addr uint32) ([6]byte, bool) {
+	mac, ok := s.byIP[addr]
+	return mac, ok
+}
+
+// NumBindings returns the number of IP-to-MAC bindings installed.
+func (s *Segment) NumBindings() int { return len(s.byIP) }
+
+// NumStations returns the number of attached stations.
+func (s *Segment) NumStations() int { return len(s.stations) }
+
+// deliver routes one frame after its wire time: to the addressed station
+// for unicast, to every other station for broadcast. Stations are walked
+// in attach order, which keeps multi-station runs deterministic.
+func (s *Segment) deliver(src *Adapter, f Frame) {
+	var dst [6]byte
+	copy(dst[:], f[0:6])
+	if dst == Broadcast {
+		for _, st := range s.stations {
+			if st != src {
+				st.receive(f)
+			}
+		}
+		return
+	}
+	st, ok := s.byMAC[dst]
+	if !ok || st == src {
+		s.UnknownUnicasts++
+		return
+	}
+	st.receive(f)
+}
+
 // Adapter models a LANCE on a 10 Mb/s segment: a transmit queue paced by
 // the wire (with preamble and inter-frame gap) and enough receive
 // buffering that frames are not dropped at the rates the experiments
@@ -97,7 +180,7 @@ func Decapsulate(f Frame) (payload []byte, etherType uint16, ok bool) {
 type Adapter struct {
 	K    *kern.Kernel
 	Addr [6]byte
-	peer *Adapter
+	seg  *Segment
 
 	wireBusy sim.Time
 	rxQ      []Frame
@@ -106,6 +189,8 @@ type Adapter struct {
 
 	FramesSent int64
 	FramesRecv int64
+	// Filtered counts frames dropped by destination-address filtering.
+	Filtered int64
 	// LossRate drops frames on the wire for fault injection.
 	LossRate float64
 }
@@ -115,13 +200,19 @@ func NewAdapter(k *kern.Kernel, addr [6]byte) *Adapter {
 	return &Adapter{K: k, Addr: addr, RxReady: k.Env.NewWaitQueue(k.Name + ".le.rx")}
 }
 
-// Connect joins two adapters into a private two-station segment.
+// Segment returns the broadcast domain the adapter is attached to, or nil.
+func (a *Adapter) Segment() *Segment { return a.seg }
+
+// Connect joins two adapters into a private two-station segment — the
+// paper's lab configuration, kept as a thin constructor over Segment.
 func Connect(a, b *Adapter) {
-	a.peer = b
-	b.peer = a
+	s := NewSegment()
+	s.Attach(a)
+	s.Attach(b)
 }
 
-// Transmit paces the frame onto the wire and delivers it to the peer.
+// Transmit paces the frame onto the wire and hands it to the segment for
+// destination filtering and delivery.
 func (a *Adapter) Transmit(f Frame) {
 	env := a.K.Env
 	start := env.Now()
@@ -134,12 +225,23 @@ func (a *Adapter) Transmit(f Frame) {
 	a.FramesSent++
 	env.At(end, "ether.frameout", func() {
 		ff := f
-		env.After(a.K.Cost.EtherPropagation, "ether.framein", func() { a.peer.receive(ff) })
+		env.After(a.K.Cost.EtherPropagation, "ether.framein", func() { a.seg.deliver(a, ff) })
 	})
 }
 
-// receive handles a frame arriving from the wire.
+// receive handles a frame arriving from the wire. The station filter
+// (own address or broadcast) mirrors the LANCE's hardware address match;
+// the segment normally routes frames so the filter only fires on
+// misdelivery.
 func (a *Adapter) receive(f Frame) {
+	if len(f) >= 6 {
+		var dst [6]byte
+		copy(dst[:], f[0:6])
+		if dst != a.Addr && dst != Broadcast {
+			a.Filtered++
+			return
+		}
+	}
 	if a.LossRate > 0 && a.K.Env.RNG().Bool(a.LossRate) {
 		return
 	}
@@ -181,6 +283,9 @@ type Driver struct {
 	FramesIn  int64
 	FramesOut int64
 	FCSErrors int64
+	// NoRoute counts datagrams dropped because their IP destination
+	// resolved to no station on a segment with ARP bindings.
+	NoRoute int64
 }
 
 // NewDriver wires a driver to its adapter and IP stack and starts the
@@ -206,7 +311,13 @@ func (d *Driver) MTU() int {
 
 // Output implements ip.NetIf: encapsulate and hand to the adapter,
 // charging the driver's per-frame output cost (the LANCE copy is part of
-// the per-byte term).
+// the per-byte term). The destination MAC comes from the segment's ARP
+// table, keyed by the datagram's IP destination. On a segment with no
+// bindings at all (raw Connect pairs assembled without a topology
+// builder) frames are flooded as broadcast, the old pairwise delivery;
+// once bindings exist, a destination that resolves to none of them is a
+// configuration error and the datagram is dropped and counted rather
+// than flooded into every other host's stack.
 func (d *Driver) Output(p *sim.Proc, m *mbuf.Mbuf) {
 	for d.txBusy {
 		d.txWait.Wait(p)
@@ -214,12 +325,31 @@ func (d *Driver) Output(p *sim.Proc, m *mbuf.Mbuf) {
 	d.txBusy = true
 	data := mbuf.Linearize(m)
 	d.K.Use(p, trace.LayerEtherTx, d.K.Cost.EtherTx.Cost(len(data)))
-	f := Encapsulate(d.Adapter.peer.Addr, d.Adapter.Addr, EtherTypeIPv4, data)
-	d.Adapter.Transmit(f)
-	d.FramesOut++
+	if dst, ok := d.resolve(data); ok {
+		f := Encapsulate(dst, d.Adapter.Addr, EtherTypeIPv4, data)
+		d.Adapter.Transmit(f)
+		d.FramesOut++
+	} else {
+		d.NoRoute++
+	}
 	d.K.FreeChain(p, trace.LayerMbuf, m)
 	d.txBusy = false
 	d.txWait.WakeAll()
+}
+
+// resolve maps the datagram's IP destination to a station MAC.
+func (d *Driver) resolve(dg []byte) ([6]byte, bool) {
+	seg := d.Adapter.seg
+	if seg == nil {
+		return Broadcast, true
+	}
+	if mac, ok := seg.MACForIP(ip.Dst(dg)); ok {
+		return mac, true
+	}
+	if seg.NumBindings() == 0 {
+		return Broadcast, true
+	}
+	return [6]byte{}, false
 }
 
 // rxproc drains received frames, validates the FCS, and enqueues the

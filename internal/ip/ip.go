@@ -83,6 +83,16 @@ func Parse(b []byte) (Header, error) {
 	return h, nil
 }
 
+// Dst reads the destination address out of a marshaled header without
+// validating anything — the cheap decode drivers use on the transmit
+// path to resolve a link-layer destination. A short buffer returns 0.
+func Dst(b []byte) uint32 {
+	if len(b) < HeaderLen {
+		return 0
+	}
+	return uint32(b[16])<<24 | uint32(b[17])<<16 | uint32(b[18])<<8 | uint32(b[19])
+}
+
 // NetIf is a network interface as IP sees it: something that can transmit
 // a complete IP datagram. The ATM and Ethernet drivers implement it.
 type NetIf interface {

@@ -1,8 +1,12 @@
-// Package lab assembles complete simulated testbeds: two DECstation
+// Package lab assembles complete simulated testbeds: N DECstation
 // 5000/200 hosts, each with a kernel, IP and TCP stacks, and either FORE
-// TCA-100 ATM adapters on a private switchless fiber or LANCE Ethernets on
-// a private segment — the configuration of §1.1 — plus the round-trip echo
-// benchmark of §1.2.
+// TCA-100 ATM adapters or LANCE Ethernets. The two-host constructor New
+// reproduces the configuration of §1.1 exactly — a private switchless
+// ATM fiber or a private Ethernet segment — plus the round-trip echo
+// benchmark of §1.2. NewTopology generalizes it: any number of hosts on
+// a shared Ethernet Segment or attached to an output-queued ATM Switch
+// with a full mesh of virtual channels, the substrate for fan-in and
+// connection-churn workloads (internal/workload).
 package lab
 
 import (
@@ -53,6 +57,12 @@ type Config struct {
 	// connections before the benchmark connection is created, to exercise
 	// lookup cost.
 	ExtraPCBs int
+	// LivePCBs opens this many real TCP connections (client to server,
+	// established and left open) ahead of the benchmark connection — the
+	// live-population counterpart of the synthetic ExtraPCBs knob. Both
+	// ends' demultiplexing must walk past the same number of entries;
+	// only the provenance differs.
+	LivePCBs int
 	// CellLossRate injects random ATM cell loss.
 	CellLossRate float64
 	// CellCorruptRate flips random bits in cells on the wire (caught by
@@ -100,18 +110,34 @@ type Host struct {
 // Trace returns the host's span recorder.
 func (h *Host) Trace() *trace.Recorder { return h.Kern.Trace }
 
-// Lab is a two-host testbed.
+// Lab is an assembled testbed of two or more hosts on one link substrate.
 type Lab struct {
-	Env    *sim.Env
+	Env *sim.Env
+	// Hosts are the workstations, in address order (HostAddr(i)).
+	Hosts []*Host
+	// Client and Server alias Hosts[0] and Hosts[1], the pair every
+	// two-host paper experiment runs on.
 	Client *Host
 	Server *Host
 	Config Config
+
+	// Segment is the shared broadcast domain of an Ethernet topology.
+	Segment *ether.Segment
+	// Switch is the cell switch of an ATM topology with more than two
+	// hosts; nil for the paper's switchless two-host fiber.
+	Switch *atm.Switch
 }
 
-// Host IP addresses on the private network.
+// BaseAddr is the first host address on the private network.
+const BaseAddr = 0xc0a80101 // 192.168.1.1
+
+// HostAddr returns the IP address of host i (Hosts[i]).
+func HostAddr(i int) uint32 { return BaseAddr + uint32(i) }
+
+// Host IP addresses of the two-host pair.
 const (
-	ClientAddr = 0xc0a80101 // 192.168.1.1
-	ServerAddr = 0xc0a80102 // 192.168.1.2
+	ClientAddr = BaseAddr     // 192.168.1.1
+	ServerAddr = BaseAddr + 1 // 192.168.1.2
 )
 
 // MinMTU is the smallest MTU override the lab honors: room for the IP
@@ -128,8 +154,20 @@ func MaxMTU(l LinkKind) int {
 	return atm.MTU
 }
 
-// New builds a testbed per the configuration.
-func New(cfg Config) *Lab {
+// New builds the paper's two-host testbed per the configuration.
+func New(cfg Config) *Lab { return NewTopology(cfg, 2) }
+
+// NewTopology builds a testbed of nHosts workstations on one link
+// substrate. Two ATM hosts share the paper's switchless fiber; more
+// attach to an output-queued Switch through a full mesh of virtual
+// channels (the VC from host i to host j is rewritten at the switch so
+// that the VCI arriving at j identifies the source, giving each flow its
+// own reassembly context). Ethernet hosts of any number share a Segment
+// with static IP bindings. Host i answers at HostAddr(i).
+func NewTopology(cfg Config, nHosts int) *Lab {
+	if nHosts < 2 {
+		panic(fmt.Sprintf("lab: topology needs at least 2 hosts, got %d", nHosts))
+	}
 	env := sim.NewEnv()
 	if cfg.Seed != 0 {
 		env.Seed(cfg.Seed)
@@ -139,22 +177,62 @@ func New(cfg Config) *Lab {
 		model = cost.DECstation5000()
 	}
 	l := &Lab{Env: env, Config: cfg}
-	l.Client = buildHost(env, model, cfg, "client", ClientAddr)
-	l.Server = buildHost(env, model, cfg, "server", ServerAddr)
+	for i := 0; i < nHosts; i++ {
+		l.Hosts = append(l.Hosts, buildHost(env, model, cfg, hostName(i), HostAddr(i)))
+	}
+	l.Client, l.Server = l.Hosts[0], l.Hosts[1]
+
 	switch cfg.Link {
 	case LinkATM:
-		atm.Connect(l.Client.ATMAdapter, l.Server.ATMAdapter)
-		l.Client.ATMAdapter.LossRate = cfg.CellLossRate
-		l.Server.ATMAdapter.LossRate = cfg.CellLossRate
-		l.Client.ATMAdapter.CorruptRate = cfg.CellCorruptRate
-		l.Server.ATMAdapter.CorruptRate = cfg.CellCorruptRate
-		l.Client.ATMDriver.HostCorruptRate = cfg.HostCorruptRate
-		l.Server.ATMDriver.HostCorruptRate = cfg.HostCorruptRate
+		if nHosts == 2 {
+			atm.Connect(l.Client.ATMAdapter, l.Server.ATMAdapter)
+		} else {
+			l.Switch = atm.NewSwitch(env)
+			for _, h := range l.Hosts {
+				l.Switch.AttachPort(h.ATMAdapter)
+			}
+			for i, h := range l.Hosts {
+				for j := range l.Hosts {
+					if i == j {
+						continue
+					}
+					// Host i reaches host j on VCI DefaultVCI+j; the
+					// switch rewrites it to DefaultVCI+i so the VCI at
+					// j names the source.
+					h.ATMDriver.AddVC(HostAddr(j), vciFor(j))
+					l.Switch.AddVC(i, vciFor(j), j, vciFor(i))
+				}
+			}
+		}
+		for _, h := range l.Hosts {
+			h.ATMAdapter.LossRate = cfg.CellLossRate
+			h.ATMAdapter.CorruptRate = cfg.CellCorruptRate
+			h.ATMDriver.HostCorruptRate = cfg.HostCorruptRate
+		}
 	case LinkEther:
-		ether.Connect(l.Client.EthAdapter, l.Server.EthAdapter)
+		l.Segment = ether.NewSegment()
+		for i, h := range l.Hosts {
+			l.Segment.Attach(h.EthAdapter)
+			l.Segment.BindIP(HostAddr(i), h.EthAdapter)
+		}
 	}
 	return l
 }
+
+// hostName keeps the paper's names for the measurement pair and numbers
+// the rest.
+func hostName(i int) string {
+	switch i {
+	case 0:
+		return "client"
+	case 1:
+		return "server"
+	}
+	return fmt.Sprintf("host%d", i)
+}
+
+// vciFor is the mesh VCI identifying host i on any fiber it shares.
+func vciFor(i int) uint16 { return atm.DefaultVCI + uint16(i) }
 
 // buildHost assembles one workstation.
 func buildHost(env *sim.Env, model *cost.Model, cfg Config, name string, addr uint32) *Host {
@@ -171,8 +249,9 @@ func buildHost(env *sim.Env, model *cost.Model, cfg Config, name string, addr ui
 		h.ATMDriver.Mode = cfg.Mode
 		h.ATMDriver.MTUOverride = cfg.MTU
 	case LinkEther:
-		var station [6]byte
-		station[5] = byte(addr)
+		// Locally administered MAC carrying the host's IP address, so
+		// every station on a shared segment is unique.
+		station := [6]byte{2, 0, byte(addr >> 24), byte(addr >> 16), byte(addr >> 8), byte(addr)}
 		h.EthAdapter = ether.NewAdapter(k, station)
 		h.EthDriver = ether.NewDriver(k, h.EthAdapter, h.IP)
 		h.EthDriver.MTUOverride = cfg.MTU
@@ -250,6 +329,23 @@ func (r *EchoResult) MedianRTTMicros() float64 {
 // echoPort is the server's listening port.
 const echoPort = 7 // the echo service
 
+// livePort accepts the Config.LivePCBs population connections.
+const livePort = 9 // the discard service
+
+// populateLivePCBs opens n real connections from the client to the
+// server's discard port and leaves them established. Like the synthetic
+// population, they insert at the head of both PCB lists, ahead of the
+// benchmark connection; unlike it, they are genuine connections created
+// by real handshakes.
+func (l *Lab) populateLivePCBs(p *sim.Proc, n int) error {
+	for i := 0; i < n; i++ {
+		if _, _, err := l.Client.TCP.Connect(p, ServerAddr, livePort); err != nil {
+			return fmt.Errorf("lab: live PCB %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // RunEcho runs the paper's benchmark (§1.2): the client connects, then
 // repeatedly sends size bytes and waits to receive size bytes back, for
 // warmup unmeasured iterations followed by iterations measured ones.
@@ -261,6 +357,11 @@ func (l *Lab) RunEcho(size, iterations, warmup int) (*EchoResult, error) {
 	ln, err := l.Server.TCP.Listen(echoPort)
 	if err != nil {
 		return nil, err
+	}
+	if l.Config.LivePCBs > 0 {
+		if _, err := l.Server.TCP.Listen(livePort); err != nil {
+			return nil, err
+		}
 	}
 	l.Env.Spawn("server.echo", func(p *sim.Proc) {
 		so, conn := ln.Accept(p)
@@ -294,6 +395,12 @@ func (l *Lab) RunEcho(size, iterations, warmup int) (*EchoResult, error) {
 		}
 		populatePCBs(l.Client.TCP, l.Config.ExtraPCBs)
 		populatePCBs(l.Server.TCP, l.Config.ExtraPCBs)
+		if l.Config.LivePCBs > 0 {
+			if err := l.populateLivePCBs(p, l.Config.LivePCBs); err != nil {
+				runErr = err
+				return
+			}
+		}
 		msg := make([]byte, size)
 		l.Env.RNG().Fill(msg)
 		buf := make([]byte, size)
@@ -409,11 +516,11 @@ func bytesEqual(a, b []byte) bool {
 func (l *Lab) tracing() bool { return l.Client.Kern.Trace.Enabled() }
 
 func (l *Lab) setTracing(on bool) {
-	if on {
-		l.Client.Kern.Trace.Enable()
-		l.Server.Kern.Trace.Enable()
-	} else {
-		l.Client.Kern.Trace.Disable()
-		l.Server.Kern.Trace.Disable()
+	for _, h := range l.Hosts {
+		if on {
+			h.Kern.Trace.Enable()
+		} else {
+			h.Kern.Trace.Disable()
+		}
 	}
 }

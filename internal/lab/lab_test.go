@@ -235,6 +235,81 @@ func TestEtherEchoDeterminism(t *testing.T) {
 	}
 }
 
+func TestTopologyTwoHostAliases(t *testing.T) {
+	l := New(Config{Link: LinkATM})
+	if len(l.Hosts) != 2 || l.Client != l.Hosts[0] || l.Server != l.Hosts[1] {
+		t.Fatal("two-host lab does not alias Hosts[0]/Hosts[1]")
+	}
+	if l.Switch != nil {
+		t.Fatal("two-host ATM lab should use the switchless fiber")
+	}
+	if HostAddr(0) != ClientAddr || HostAddr(1) != ServerAddr {
+		t.Fatal("HostAddr disagrees with the two-host constants")
+	}
+}
+
+func TestTopologyEchoThroughSwitch(t *testing.T) {
+	// The echo pair still works when it reaches its peer through the
+	// switch of a larger topology; the switch adds fabric latency, so
+	// the RTT must exceed the switchless fiber's.
+	direct := New(Config{Link: LinkATM})
+	dres, err := direct.RunEcho(200, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewTopology(Config{Link: LinkATM}, 4)
+	if l.Switch == nil {
+		t.Fatal("4-host ATM topology missing its switch")
+	}
+	res, err := l.RunEcho(200, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorruptEchoes != 0 {
+		t.Fatal("echo through the switch corrupted")
+	}
+	if res.MeanRTT() <= dres.MeanRTT() {
+		t.Fatalf("switched RTT %v not above switchless %v", res.MeanRTT(), dres.MeanRTT())
+	}
+	if l.Switch.CellsSwitched == 0 {
+		t.Fatal("echo cells did not traverse the switch")
+	}
+}
+
+func TestTopologyEtherSharedSegment(t *testing.T) {
+	l := NewTopology(Config{Link: LinkEther}, 3)
+	if l.Segment == nil || l.Segment.NumStations() != 3 {
+		t.Fatal("3-host Ethernet topology not on one shared segment")
+	}
+	if _, err := l.RunEcho(200, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Unicast filtering: the third host must see none of the echo pair's
+	// frames.
+	if got := l.Hosts[2].EthAdapter.FramesRecv; got != 0 {
+		t.Fatalf("bystander station received %d frames", got)
+	}
+}
+
+func TestLivePCBPopulationSlowsLookup(t *testing.T) {
+	// The live-population knob must reproduce the synthetic one's
+	// end-to-end effect: more entries ahead of the benchmark connection,
+	// slower demultiplexing with prediction off.
+	rtt := func(live int) float64 {
+		l := New(Config{Link: LinkATM, DisablePrediction: true, LivePCBs: live})
+		res, err := l.RunEcho(4, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanRTTMicros()
+	}
+	base, populated := rtt(0), rtt(400)
+	t.Logf("live population 0: %.0f µs, 400: %.0f µs", base, populated)
+	if populated <= base {
+		t.Fatal("live PCB population did not slow demultiplexing")
+	}
+}
+
 func TestMTUBelowFloorIgnored(t *testing.T) {
 	// Config.MTU below MinMTU cannot hold the protocol headers; the lab
 	// must fall back to the link default instead of building a stack

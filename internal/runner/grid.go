@@ -31,6 +31,8 @@ type EchoOutcome struct {
 
 	MeanMicros   float64 `json:"mean_us"`
 	MedianMicros float64 `json:"median_us"`
+	P95Micros    float64 `json:"p95_us"`
+	P99Micros    float64 `json:"p99_us"`
 	MinMicros    float64 `json:"min_us"`
 	MaxMicros    float64 `json:"max_us"`
 	StdDevMicros float64 `json:"stddev_us"`
@@ -111,11 +113,14 @@ func runEchoTrial(t EchoTrial, seed uint64) (interface{}, error) {
 	for _, rtt := range res.RTTs {
 		s.Add(rtt.Micros())
 	}
+	q := s.Quantiles()
 	return EchoOutcome{
 		Size:          t.Size,
 		N:             s.N(),
 		MeanMicros:    s.Mean(),
-		MedianMicros:  s.Percentile(50),
+		MedianMicros:  q.P50,
+		P95Micros:     q.P95,
+		P99Micros:     q.P99,
 		MinMicros:     s.Min(),
 		MaxMicros:     s.Max(),
 		StdDevMicros:  s.StdDev(),
@@ -224,6 +229,9 @@ func TrialLabel(cfg lab.Config, size int) string {
 	if cfg.ExtraPCBs > 0 {
 		l += fmt.Sprintf("/pcbs=%d", cfg.ExtraPCBs)
 	}
+	if cfg.LivePCBs > 0 {
+		l += fmt.Sprintf("/livepcbs=%d", cfg.LivePCBs)
+	}
 	if cfg.MTU > 0 {
 		l += fmt.Sprintf("/mtu=%d", cfg.MTU)
 	}
@@ -269,14 +277,14 @@ func ExtendedGrid(iterations, warmup int) Grid {
 // RenderEchoOutcomes formats sweep outcomes as a fixed-width table.
 func RenderEchoOutcomes(title string, outs []EchoOutcome) string {
 	t := stats.NewTable(title,
-		"Cell", "N", "Mean (µs)", "Median (µs)", "Min (µs)", "Max (µs)", "StdDev")
+		"Cell", "N", "Mean (µs)", "p50", "p95", "p99", "Min (µs)", "Max (µs)", "StdDev")
 	for _, o := range outs {
 		if o.Error != "" {
-			t.AddRow(o.Label, 0, "error: "+o.Error, "", "", "", "")
+			t.AddRow(o.Label, 0, "error: "+o.Error, "", "", "", "", "", "")
 			continue
 		}
-		t.AddRow(o.Label, o.N, o.MeanMicros, o.MedianMicros,
-			o.MinMicros, o.MaxMicros, o.StdDevMicros)
+		t.AddRow(o.Label, o.N, o.MeanMicros, o.MedianMicros, o.P95Micros,
+			o.P99Micros, o.MinMicros, o.MaxMicros, o.StdDevMicros)
 	}
 	return t.String()
 }

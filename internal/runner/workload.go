@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"context"
+
+	"repro/internal/lab"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// WorkloadTrial is one grid cell of a workload sweep: a topology
+// configuration, its size, and the generator to drive it.
+type WorkloadTrial struct {
+	Label string
+	Cfg   lab.Config
+	// Hosts is the topology size (server + clients); values below 2 are
+	// raised to 2.
+	Hosts int
+	Gen   workload.Generator
+}
+
+// WorkloadOutcome is the aggregated result of one workload trial, with
+// the latency percentiles the fan-in study reports.
+type WorkloadOutcome struct {
+	Label string `json:"label"`
+	Index int    `json:"index"`
+	Seed  uint64 `json:"seed,omitempty"`
+
+	Workload string `json:"workload"`
+	Hosts    int    `json:"hosts"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors,omitempty"`
+	Bytes    int64  `json:"bytes"`
+
+	ElapsedMicros float64 `json:"elapsed_us"`
+	MeanMicros    float64 `json:"mean_us"`
+	P50Micros     float64 `json:"p50_us"`
+	P95Micros     float64 `json:"p95_us"`
+	P99Micros     float64 `json:"p99_us"`
+	MinMicros     float64 `json:"min_us"`
+	MaxMicros     float64 `json:"max_us"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// RunWorkloadSweep executes the trials through the worker pool. Each
+// trial builds its own topology (its own sim.Env) with a grid-position-
+// derived seed, so outcomes are bit-identical at any worker count.
+func RunWorkloadSweep(ctx context.Context, trials []WorkloadTrial, o Options) ([]WorkloadOutcome, error) {
+	jobs := make([]Job, len(trials))
+	for i, t := range trials {
+		t := t
+		jobs[i] = Job{
+			Label: t.Label,
+			Run: func(ctx context.Context, seed uint64) (interface{}, error) {
+				return runWorkloadTrial(t, seed)
+			},
+		}
+	}
+	outs, err := Run(ctx, jobs, o)
+	res := make([]WorkloadOutcome, len(outs))
+	for i, out := range outs {
+		wo := WorkloadOutcome{
+			Label:    out.Label,
+			Index:    out.Index,
+			Seed:     out.Seed,
+			Workload: trials[i].Gen.Name(),
+			Hosts:    trials[i].hosts(),
+		}
+		if out.Err != nil {
+			wo.Error = out.Err.Error()
+		} else if agg, ok := out.Value.(WorkloadOutcome); ok {
+			agg.Label, agg.Index, agg.Seed = wo.Label, wo.Index, wo.Seed
+			wo = agg
+		}
+		res[i] = wo
+	}
+	return res, err
+}
+
+func (t WorkloadTrial) hosts() int {
+	if t.Hosts < 2 {
+		return 2
+	}
+	return t.Hosts
+}
+
+// runWorkloadTrial builds the trial's topology and runs the generator.
+func runWorkloadTrial(t WorkloadTrial, seed uint64) (interface{}, error) {
+	l := lab.NewTopology(ApplySeed(t.Cfg, seed), t.hosts())
+	r, err := t.Gen.Run(l)
+	if err != nil {
+		return nil, err
+	}
+	s := r.Sample()
+	q := s.Quantiles()
+	return WorkloadOutcome{
+		Workload:      r.Workload,
+		Hosts:         t.hosts(),
+		Requests:      r.Requests,
+		Errors:        r.Errors,
+		Bytes:         r.Bytes,
+		ElapsedMicros: r.Elapsed.Micros(),
+		MeanMicros:    s.Mean(),
+		P50Micros:     q.P50,
+		P95Micros:     q.P95,
+		P99Micros:     q.P99,
+		MinMicros:     s.Min(),
+		MaxMicros:     s.Max(),
+	}, nil
+}
+
+// RenderWorkloadOutcomes formats workload outcomes as a fixed-width
+// table with the percentile columns the fan-in study reads.
+func RenderWorkloadOutcomes(title string, outs []WorkloadOutcome) string {
+	t := stats.NewTable(title,
+		"Cell", "Hosts", "N", "Mean (µs)", "p50", "p95", "p99", "Max (µs)")
+	for _, o := range outs {
+		if o.Error != "" {
+			t.AddRow(o.Label, o.Hosts, 0, "error: "+o.Error, "", "", "", "")
+			continue
+		}
+		t.AddRow(o.Label, o.Hosts, o.Requests, o.MeanMicros,
+			o.P50Micros, o.P95Micros, o.P99Micros, o.MaxMicros)
+	}
+	return t.String()
+}

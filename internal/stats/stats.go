@@ -84,6 +84,12 @@ func (s *Sample) Percentile(p float64) float64 {
 	}
 	sorted := append([]float64(nil), s.values...)
 	sort.Float64s(sorted)
+	return atRank(sorted, p)
+}
+
+// atRank is the nearest-rank cut shared by Percentile and Quantiles:
+// one definition, so the two can never drift apart.
+func atRank(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -95,6 +101,28 @@ func (s *Sample) Percentile(p float64) float64 {
 		rank = 0
 	}
 	return sorted[rank]
+}
+
+// Quantiles is the p50/p95/p99 summary the latency reports print: the
+// common case, the tail the paper's RPC discussion cares about, and the
+// extreme tail that retransmission stalls dominate.
+type Quantiles struct {
+	P50, P95, P99 float64
+}
+
+// Quantiles returns the sample's p50/p95/p99, or zeros for an empty
+// sample. One sorted copy serves all three cuts.
+func (s *Sample) Quantiles() Quantiles {
+	if len(s.values) == 0 {
+		return Quantiles{}
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	return Quantiles{
+		P50: atRank(sorted, 50),
+		P95: atRank(sorted, 95),
+		P99: atRank(sorted, 99),
+	}
 }
 
 // PercentDecrease returns the relative decrease from a to b in percent,

@@ -133,6 +133,9 @@ func (c *Conn) Socket() *sock.Socket { return c.so }
 // State returns the connection state, for tests and diagnostics.
 func (c *Conn) State() State { return c.state }
 
+// Key returns the connection's demultiplexing 4-tuple.
+func (c *Conn) Key() pcb.Key { return c.pcbEntry.Key }
+
 // MSS returns the negotiated maximum segment size.
 func (c *Conn) MSS() int { return c.mss }
 

@@ -1,0 +1,439 @@
+// Package workload implements the pluggable traffic generators that
+// drive lab topologies: the paper's echo benchmark, one-way bulk
+// transfer, request/response fan-in (M clients hammering one server),
+// and connection churn (open/close storms that exercise real PCB insert
+// and delete under live populations). A Generator is pure configuration;
+// Run spawns its processes on a freshly built Lab and consumes that
+// lab's event loop, so each run needs its own topology — exactly the
+// shape the sweep engine (internal/runner) parallelizes over.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/lab"
+	"repro/internal/sim"
+	"repro/internal/sock"
+	"repro/internal/stats"
+)
+
+// Port is the well-known port every workload server listens on.
+const Port = 9007
+
+// Result is the outcome of one workload run.
+type Result struct {
+	Workload string
+	// Requests counts completed measured operations (echo round trips,
+	// fan-in requests, churn connection cycles, bulk transfers).
+	Requests int
+	// Errors counts harness-visible failures: payload mismatches and
+	// short transfers.
+	Errors int
+	// Bytes is the application payload carried by measured operations.
+	Bytes int64
+	// Elapsed is the virtual time from the start of the run to the last
+	// measured completion (teardown timers excluded).
+	Elapsed sim.Time
+	// Latencies holds one per-operation latency per measured operation,
+	// in deterministic order: client index major, operation index minor.
+	Latencies []sim.Time
+}
+
+// Sample aggregates the latencies in microseconds.
+func (r *Result) Sample() *stats.Sample {
+	var s stats.Sample
+	for _, v := range r.Latencies {
+		s.Add(v.Micros())
+	}
+	return &s
+}
+
+// Generator produces traffic on an assembled topology. Host 0 is the
+// server; every other host is a client. Run consumes the lab's event
+// loop and must be called once per freshly built Lab.
+type Generator interface {
+	Name() string
+	Run(l *lab.Lab) (*Result, error)
+}
+
+// Echo is the paper's §1.2 round-trip benchmark, delegated to
+// lab.RunEcho so workload-engine runs reproduce the paper tables'
+// numbers exactly. It uses Hosts[0] and Hosts[1]; extra hosts idle.
+type Echo struct {
+	Size       int // payload bytes per round trip (default 4)
+	Iterations int // measured round trips (default 100)
+	Warmup     int // unmeasured round trips (default 8)
+}
+
+// Name implements Generator.
+func (Echo) Name() string { return "echo" }
+
+// Run implements Generator.
+func (g Echo) Run(l *lab.Lab) (*Result, error) {
+	size, iters, warm := defInt(g.Size, 4), defInt(g.Iterations, 100), defInt(g.Warmup, 8)
+	res, err := l.RunEcho(size, iters, warm)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Workload:  "echo",
+		Requests:  len(res.RTTs),
+		Errors:    res.CorruptEchoes,
+		Bytes:     int64(size) * int64(len(res.RTTs)),
+		Latencies: res.RTTs,
+	}
+	// Last measured completion, not Env.Now(): RunEcho's event loop has
+	// already drained teardown timers by the time it returns.
+	if len(res.Windows) > 0 {
+		r.Elapsed = res.Windows[len(res.Windows)-1].ReadReturn
+	}
+	return r, nil
+}
+
+// FanIn is the hub workload: every client host opens one connection to
+// the server and issues request/response exchanges concurrently, so the
+// server demultiplexes interleaved segments across a live connection
+// population — the situation §3's PCB discussion is about, with real
+// connections instead of the synthetic ExtraPCBs knob.
+type FanIn struct {
+	Size     int // request and response payload bytes (default 200)
+	Requests int // measured requests per client (default 20)
+	Warmup   int // unmeasured requests per client (default 2)
+}
+
+// Name implements Generator.
+func (FanIn) Name() string { return "fanin" }
+
+// Run implements Generator.
+func (g FanIn) Run(l *lab.Lab) (*Result, error) {
+	size, reqs, warm := defInt(g.Size, 200), defInt(g.Requests, 20), defInt(g.Warmup, 2)
+	clients := len(l.Hosts) - 1
+	r := &Result{Workload: "fanin"}
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	ln, err := l.Hosts[0].TCP.Listen(Port)
+	if err != nil {
+		return nil, err
+	}
+	l.Env.Spawn("server.fanin", func(p *sim.Proc) {
+		for i := 0; i < clients; i++ {
+			so, conn := ln.Accept(p)
+			conn.SetNoDelay(true)
+			l.Env.Spawn(fmt.Sprintf("server.fanin.conn%d", i), func(p *sim.Proc) {
+				serveEcho(p, so)
+			})
+		}
+	})
+
+	perClient := make([][]sim.Time, clients)
+	var last sim.Time
+	for ci := 0; ci < clients; ci++ {
+		ci := ci
+		host := l.Hosts[ci+1]
+		l.Env.Spawn(fmt.Sprintf("client%d.fanin", ci), func(p *sim.Proc) {
+			so, conn, err := host.TCP.Connect(p, lab.HostAddr(0), Port)
+			if err != nil {
+				fail(err)
+				return
+			}
+			conn.SetNoDelay(true)
+			msg := make([]byte, size)
+			l.Env.RNG().Fill(msg)
+			buf := make([]byte, size)
+			for i := 0; i < warm+reqs; i++ {
+				start := l.Env.Now()
+				if err := exchange(p, so, msg, buf); err != nil {
+					fail(fmt.Errorf("client %d request %d: %w", ci, i, err))
+					return
+				}
+				if i >= warm {
+					lat := l.Env.Now() - start
+					perClient[ci] = append(perClient[ci], lat)
+					if l.Env.Now() > last {
+						last = l.Env.Now()
+					}
+					if !bytesEqual(buf, msg) {
+						r.Errors++
+					}
+				}
+			}
+			so.Close(p)
+		})
+	}
+
+	l.Env.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	for ci := 0; ci < clients; ci++ {
+		if len(perClient[ci]) != reqs {
+			return nil, fmt.Errorf("workload: client %d measured %d of %d requests",
+				ci, len(perClient[ci]), reqs)
+		}
+		r.Latencies = append(r.Latencies, perClient[ci]...)
+	}
+	r.Requests = len(r.Latencies)
+	r.Bytes = int64(r.Requests) * int64(size) * 2
+	r.Elapsed = last
+	return r, nil
+}
+
+// Churn is the open/close storm: every client host repeatedly opens a
+// connection to the server, performs one request/response exchange, and
+// closes — real PCB insert and delete at both ends, with TIME_WAIT
+// entries accumulating ahead of live connections on the BSD
+// head-inserted list. One measured operation is a full cycle from
+// connect to response.
+type Churn struct {
+	Conns int // connection cycles per client (default 10)
+	Size  int // payload bytes exchanged per connection (default 64)
+}
+
+// Name implements Generator.
+func (Churn) Name() string { return "churn" }
+
+// Run implements Generator.
+func (g Churn) Run(l *lab.Lab) (*Result, error) {
+	conns, size := defInt(g.Conns, 10), defInt(g.Size, 64)
+	clients := len(l.Hosts) - 1
+	r := &Result{Workload: "churn"}
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	ln, err := l.Hosts[0].TCP.Listen(Port)
+	if err != nil {
+		return nil, err
+	}
+	l.Env.Spawn("server.churn", func(p *sim.Proc) {
+		for i := 0; i < clients*conns; i++ {
+			so, conn := ln.Accept(p)
+			conn.SetNoDelay(true)
+			l.Env.Spawn(fmt.Sprintf("server.churn.conn%d", i), func(p *sim.Proc) {
+				serveEcho(p, so)
+			})
+		}
+	})
+
+	perClient := make([][]sim.Time, clients)
+	var last sim.Time
+	for ci := 0; ci < clients; ci++ {
+		ci := ci
+		host := l.Hosts[ci+1]
+		l.Env.Spawn(fmt.Sprintf("client%d.churn", ci), func(p *sim.Proc) {
+			msg := make([]byte, size)
+			l.Env.RNG().Fill(msg)
+			buf := make([]byte, size)
+			for k := 0; k < conns; k++ {
+				start := l.Env.Now()
+				so, conn, err := host.TCP.Connect(p, lab.HostAddr(0), Port)
+				if err != nil {
+					fail(fmt.Errorf("client %d cycle %d: %w", ci, k, err))
+					return
+				}
+				conn.SetNoDelay(true)
+				if err := exchange(p, so, msg, buf); err != nil {
+					fail(fmt.Errorf("client %d cycle %d: %w", ci, k, err))
+					return
+				}
+				lat := l.Env.Now() - start
+				perClient[ci] = append(perClient[ci], lat)
+				if l.Env.Now() > last {
+					last = l.Env.Now()
+				}
+				if !bytesEqual(buf, msg) {
+					r.Errors++
+				}
+				so.Close(p)
+			}
+		})
+	}
+
+	l.Env.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	for ci := 0; ci < clients; ci++ {
+		if len(perClient[ci]) != conns {
+			return nil, fmt.Errorf("workload: client %d completed %d of %d cycles",
+				ci, len(perClient[ci]), conns)
+		}
+		r.Latencies = append(r.Latencies, perClient[ci]...)
+	}
+	r.Requests = len(r.Latencies)
+	r.Bytes = int64(r.Requests) * int64(size) * 2
+	r.Elapsed = last
+	return r, nil
+}
+
+// Bulk is the one-way throughput workload: every client streams Bytes to
+// the server and closes; the measured latency of one operation is the
+// time from the client's first write to the server consuming the final
+// byte (EOF), so it includes delivery, not just buffering.
+type Bulk struct {
+	Bytes int // payload per client (default 65536)
+	Chunk int // client write size (default 8192)
+}
+
+// Name implements Generator.
+func (Bulk) Name() string { return "bulk" }
+
+// Run implements Generator.
+func (g Bulk) Run(l *lab.Lab) (*Result, error) {
+	total, chunk := defInt(g.Bytes, 65536), defInt(g.Chunk, 8192)
+	clients := len(l.Hosts) - 1
+	r := &Result{Workload: "bulk"}
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	starts := make([]sim.Time, clients)
+	dones := make([]sim.Time, clients)
+	received := make([]int, clients)
+
+	ln, err := l.Hosts[0].TCP.Listen(Port)
+	if err != nil {
+		return nil, err
+	}
+	// Connections may be accepted in any order (loss can delay one
+	// client's handshake past another's), so the accepted connection's
+	// remote address — not the accept order — identifies the transfer.
+	l.Env.Spawn("server.bulk", func(p *sim.Proc) {
+		for k := 0; k < clients; k++ {
+			so, conn := ln.Accept(p)
+			i := int(conn.Key().RemoteAddr - lab.HostAddr(1))
+			if i < 0 || i >= clients {
+				fail(fmt.Errorf("workload: bulk connection from unexpected address %#x",
+					conn.Key().RemoteAddr))
+				return
+			}
+			l.Env.Spawn(fmt.Sprintf("server.bulk.conn%d", i), func(p *sim.Proc) {
+				buf := make([]byte, 16384)
+				for {
+					n, err := so.Recv(p, buf)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if n == 0 {
+						dones[i] = l.Env.Now()
+						so.Close(p)
+						return
+					}
+					received[i] += n
+				}
+			})
+		}
+	})
+
+	for ci := 0; ci < clients; ci++ {
+		ci := ci
+		host := l.Hosts[ci+1]
+		l.Env.Spawn(fmt.Sprintf("client%d.bulk", ci), func(p *sim.Proc) {
+			so, _, err := host.TCP.Connect(p, lab.HostAddr(0), Port)
+			if err != nil {
+				fail(err)
+				return
+			}
+			msg := make([]byte, chunk)
+			l.Env.RNG().Fill(msg)
+			starts[ci] = l.Env.Now()
+			for sent := 0; sent < total; {
+				n := chunk
+				if n > total-sent {
+					n = total - sent
+				}
+				if _, err := so.Send(p, msg[:n]); err != nil {
+					fail(err)
+					return
+				}
+				sent += n
+			}
+			so.Close(p)
+		})
+	}
+
+	l.Env.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	var last sim.Time
+	for ci := 0; ci < clients; ci++ {
+		if received[ci] != total {
+			r.Errors++
+		}
+		r.Latencies = append(r.Latencies, dones[ci]-starts[ci])
+		r.Bytes += int64(received[ci])
+		if dones[ci] > last {
+			last = dones[ci]
+		}
+	}
+	r.Requests = clients
+	r.Elapsed = last
+	return r, nil
+}
+
+// serveEcho is the streaming echo handler shared by the fan-in and churn
+// servers: write back whatever arrives, until EOF, then close.
+func serveEcho(p *sim.Proc, so *sock.Socket) {
+	buf := make([]byte, 16384)
+	for {
+		n, err := so.Recv(p, buf)
+		if err != nil || n == 0 {
+			so.Close(p)
+			return
+		}
+		if _, err := so.Send(p, buf[:n]); err != nil {
+			return
+		}
+	}
+}
+
+// exchange sends msg and receives exactly len(buf) bytes back.
+func exchange(p *sim.Proc, so *sock.Socket, msg, buf []byte) error {
+	if _, err := so.Send(p, msg); err != nil {
+		return err
+	}
+	total := 0
+	for total < len(buf) {
+		n, err := so.Recv(p, buf[total:])
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("workload: unexpected EOF after %d of %d bytes", total, len(buf))
+		}
+		total += n
+	}
+	return nil
+}
+
+func defInt(v, d int) int {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

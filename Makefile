@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline tables load-smoke
+.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline tables load-smoke docs-check
 
 all: build test
 
@@ -54,3 +54,7 @@ tables:
 ## load-smoke: a 16-client fan-in under both PCB organizations (what CI runs)
 load-smoke:
 	$(GO) run ./cmd/load -workload fanin -hosts 17 -reqs 4 -compare -seed 1994 -parallel 2 -json > /dev/null
+
+## docs-check: execute every command quoted in README.md and docs/ (smoke mode)
+docs-check:
+	$(GO) run ./cmd/docscheck README.md docs

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+const sampleDoc = "# Title\n" +
+	"Inline: `go run ./cmd/tcplat -sweep` and also `go run ./cmd/cksum`.\n" +
+	"Not a command: `-link ether` or `make tables`.\n" +
+	"```sh\n" +
+	"go run ./cmd/tables -iters 100 -parallel 8   # full report\n" +
+	"go run ./cmd/load -workload fanin -hosts 17 -json > /dev/null\n" +
+	"make test\n" +
+	"```\n" +
+	"```go\n" +
+	"fmt.Println(\"go run ./cmd/fake\") // prose, but starts mid-line so skipped\n" +
+	"```\n" +
+	"And `go run ./cmd/docscheck -list` must never recurse.\n"
+
+func TestExtractCommands(t *testing.T) {
+	got := extractCommands(sampleDoc)
+	want := []string{
+		"go run ./cmd/tcplat -sweep",
+		"go run ./cmd/cksum",
+		"go run ./cmd/tables -iters 100 -parallel 8",
+		"go run ./cmd/load -workload fanin -hosts 17 -json > /dev/null",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("extractCommands:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestCommandArgsSmokeAndRedirects(t *testing.T) {
+	got := commandArgs("go run ./cmd/tables -iters 100 -parallel 8", true)
+	want := []string{"go", "run", "./cmd/tables", "-iters", "100", "-parallel", "8",
+		"-iters", "2", "-parallel", "2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("smoke args = %q, want %q", got, want)
+	}
+	got = commandArgs("go run ./cmd/load -json > /dev/null", true)
+	want = []string{"go", "run", "./cmd/load", "-json", "-reqs", "2", "-conns", "2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("redirect args = %q, want %q", got, want)
+	}
+	// No smoke entry: command passes through minus redirections.
+	got = commandArgs("go run ./examples/sweep | head", false)
+	want = []string{"go", "run", "./examples/sweep"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pipe args = %q, want %q", got, want)
+	}
+}
+
+func TestListModeAgainstRepoDocs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "DOC.md")
+	if err := os.WriteFile(path, []byte(sampleDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-list", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"go run ./cmd/tcplat -sweep -iters 2 -warmup 1",
+		"go run ./cmd/tables -iters 100 -parallel 8 -iters 2 -parallel 2",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if bytes.Contains([]byte(out), []byte("docscheck -list")) {
+		t.Fatal("docscheck would recurse into itself")
+	}
+}
+
+func TestNoCommandsIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "EMPTY.md")
+	if err := os.WriteFile(path, []byte("nothing here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-list", path}, &buf); err == nil {
+		t.Fatal("empty doc set accepted")
+	}
+}

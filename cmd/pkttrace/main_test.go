@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// chromeFile mirrors the trace_event shape the Chrome/Perfetto loaders
+// require: a traceEvents array whose records carry name/ph/ts/pid.
+type chromeFile struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		S    string  `json:"s"`
+		Args map[string]interface{}
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// checkChrome validates the structural contract of a chrome-format run.
+func checkChrome(t *testing.T, out []byte) chromeFile {
+	t.Helper()
+	var f chromeFile
+	if err := json.Unmarshal(out, &f); err != nil {
+		t.Fatalf("invalid Chrome trace_event JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	hosts := map[int]bool{}
+	var durations, instants int
+	for i, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			hosts[e.Pid] = true
+		case "X":
+			durations++
+			if e.Dur <= 0 {
+				t.Fatalf("event %d (%q): ph=X with dur %g", i, e.Name, e.Dur)
+			}
+		case "i":
+			instants++
+			if e.S == "" {
+				t.Fatalf("event %d (%q): instant without scope", i, e.Name)
+			}
+		default:
+			t.Fatalf("event %d (%q): unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Name == "" {
+			t.Fatalf("event %d has no name", i)
+		}
+		if e.Ph != "M" && !hosts[e.Pid] {
+			t.Fatalf("event %d (%q) references pid %d with no process_name", i, e.Name, e.Pid)
+		}
+		if e.Ts < 0 {
+			t.Fatalf("event %d (%q): negative ts", i, e.Name)
+		}
+	}
+	if durations == 0 || instants == 0 {
+		t.Fatalf("want both duration and instant events, got %d/%d", durations, instants)
+	}
+	return f
+}
+
+func TestEchoChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "echo", "-size", "1400", "-iters", "3",
+		"-seed", "1994", "-format", "chrome"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f := checkChrome(t, buf.Bytes())
+	// The two-host echo must show both hosts' lanes.
+	pids := map[int]bool{}
+	for _, e := range f.TraceEvents {
+		if e.Ph == "M" {
+			pids[e.Pid] = true
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("echo trace has %d process lanes, want 2", len(pids))
+	}
+}
+
+func TestFanInChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "fanin", "-hosts", "5", "-iters", "2",
+		"-seed", "7", "-format", "chrome"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f := checkChrome(t, buf.Bytes())
+	pids := map[int]bool{}
+	for _, e := range f.TraceEvents {
+		pids[e.Pid] = true
+	}
+	if len(pids) != 5 {
+		t.Fatalf("fan-in trace has %d process lanes, want 5", len(pids))
+	}
+}
+
+func TestEchoSpansOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-size", "200", "-iters", "2", "-seed", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var set struct {
+		Packets []struct {
+			Label  string `json:"label"`
+			Events []struct {
+				Kind string `json:"kind"`
+			} `json:"events"`
+			Spans struct {
+				Name     string `json:"name"`
+				StartNS  int64  `json:"start_ns"`
+				EndNS    int64  `json:"end_ns"`
+				Children []struct {
+					Name    string `json:"name"`
+					StartNS int64  `json:"start_ns"`
+					EndNS   int64  `json:"end_ns"`
+				} `json:"children"`
+			} `json:"spans"`
+		} `json:"packets"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &set); err != nil {
+		t.Fatalf("invalid span JSON: %v", err)
+	}
+	if len(set.Packets) == 0 {
+		t.Fatal("no packets reconstructed")
+	}
+	sawWire := false
+	for _, p := range set.Packets {
+		if len(p.Events) == 0 {
+			t.Fatalf("packet %s has no events", p.Label)
+		}
+		root := p.Spans
+		if root.EndNS < root.StartNS {
+			t.Fatalf("packet %s: inverted root span", p.Label)
+		}
+		for _, c := range root.Children {
+			if c.StartNS < root.StartNS || c.EndNS > root.EndNS {
+				t.Fatalf("packet %s: child %q escapes root", p.Label, c.Name)
+			}
+			if c.Name == "wire" {
+				sawWire = true
+			}
+		}
+	}
+	if !sawWire {
+		t.Fatal("no wire flight in any packet's span tree")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	once := func() []byte {
+		var buf bytes.Buffer
+		if err := run([]string{"-workload", "fanin", "-hosts", "4", "-iters", "2",
+			"-seed", "3", "-format", "chrome"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(once(), once()) {
+		t.Fatal("identical invocations produced different bytes")
+	}
+}
+
+func TestBadFlagValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "nope"},
+		{"-link", "token-ring"},
+		{"-format", "pcap"},
+		{"-hosts", "1"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestWriteToFile(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	var buf bytes.Buffer
+	if err := run([]string{"-iters", "2", "-format", "chrome", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("wrote to stdout despite -o")
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkChrome(t, blob)
+	if !strings.HasSuffix(string(blob), "\n") {
+		t.Fatal("file not newline-terminated")
+	}
+}

@@ -7,7 +7,13 @@
 //
 // The library lives under internal/; see README.md for the layout, the
 // quickstart, and how to regenerate each table and figure
-// (paper-versus-measured output comes from cmd/tables). The benchmarks
+// (paper-versus-measured output comes from cmd/tables),
+// docs/ARCHITECTURE.md for the system design — the layer stack, sim
+// engine, topology builder, workload engine, sweep engine, and the
+// per-packet trace pipeline, with a diagram of a packet's life — and
+// docs/METHODOLOGY.md for the measurement methodology: the exact
+// command reproducing each published table, the §2.2 measurement
+// windows, and the fixed-seed determinism contract. The benchmarks
 // in bench_test.go regenerate every table and figure in the paper's
 // evaluation, and internal/runner shards the experiment grid across a
 // worker pool with bit-identical results at any worker count.
@@ -18,4 +24,10 @@
 // them with pluggable traffic generators — echo, bulk transfer,
 // request/response fan-in, and connection churn — driven from cmd/load
 // and the fan-in/churn study in internal/core.
+//
+// The measurement pipeline is itself a subsystem: internal/trace
+// records typed per-packet events at every layer crossing, joins them
+// by on-wire identity into span trees, and exports Chrome trace_event
+// JSON via cmd/pkttrace; core.RunTimelineStudy proves the per-packet
+// view re-derives the paper's breakdown tables exactly.
 package repro

@@ -39,7 +39,8 @@ type Adapter struct {
 	txCount       int      // cells currently in the transmit FIFO
 	wireBusy      sim.Time // when the transmit engine finishes its current cell
 	rxFIFO        []Cell
-	framesPending int // frame-ending cells in the FIFO not yet consumed
+	framesPending int        // frame-ending cells in the FIFO not yet consumed
+	arrivals      []sim.Time // wire-arrival time of each pending frame end
 
 	// SpaceAvail is woken each time the transmit engine drains a cell,
 	// unblocking a driver waiting for FIFO space.
@@ -147,7 +148,10 @@ func (a *Adapter) receive(c Cell) {
 		// Frame-ending cell: record the paper's receive-measurement
 		// origin ("the arrival of the last group of ATM cells
 		// comprising the last TCP segment") and raise the interrupt.
+		// The arrival time queues alongside framesPending so the driver
+		// can stamp the completed datagram's wire-arrival event.
 		a.framesPending++
+		a.arrivals = append(a.arrivals, a.K.Env.Now())
 		a.K.Trace.Mark(trace.MarkFrameArrival, a.K.Env.Now())
 		a.RxReady.Wake()
 	} else if len(a.rxFIFO) >= RxDrainThreshold {
@@ -168,13 +172,24 @@ func IsFrameEnd(c *Cell) bool {
 func (a *Adapter) FramesPending() int { return a.framesPending }
 
 // ConsumeFrameEnd is called by the driver when it pops a frame-ending
-// cell, balancing the count incremented on arrival.
-func (a *Adapter) ConsumeFrameEnd() {
+// cell, balancing the count incremented on arrival. It returns the
+// virtual time that cell arrived from the wire — the receive-side
+// measurement origin for the frame it terminates.
+func (a *Adapter) ConsumeFrameEnd() sim.Time {
 	a.framesPending--
 	if a.framesPending < 0 {
 		panic("atm: frame-pending underflow")
 	}
+	at := a.arrivals[0]
+	copy(a.arrivals, a.arrivals[1:])
+	a.arrivals = a.arrivals[:len(a.arrivals)-1]
+	return at
 }
+
+// TxIdleAt returns the time the transmit engine finishes clocking out
+// everything pushed so far — after the final cell of a frame is pushed,
+// the instant that frame's last bit leaves for the wire.
+func (a *Adapter) TxIdleAt() sim.Time { return a.wireBusy }
 
 // RxAvail returns the number of cells waiting in the receive FIFO.
 func (a *Adapter) RxAvail() int { return len(a.rxFIFO) }

@@ -400,3 +400,75 @@ func TestDriverRecoversAfterCellLoss(t *testing.T) {
 		t.Fatal("loss not surfaced as reassembly error")
 	}
 }
+
+// TestHECErrorOnFrameEndConsumesPending pins the bookkeeping fix for
+// corrupted frame-end cells: when the HEC rejects a cell whose payload
+// marks end-of-frame, the driver must still consume the adapter's
+// pending-frame count and queued arrival stamp. Otherwise both stay
+// desynchronized forever and every later frame's wire-arrival event is
+// stamped with the previous frame's time.
+func TestHECErrorOnFrameEndConsumesPending(t *testing.T) {
+	env := sim.NewEnv()
+	model := cost.DECstation5000()
+	ka := kern.New(env, model, "a")
+	kb := kern.New(env, model, "b")
+	kb.Trace.EnablePackets()
+	kb.Trace.Enable()
+	ipa := ip.NewStack(ka, 1)
+	ipb := ip.NewStack(kb, 2)
+	aa, ab := NewAdapter(ka), NewAdapter(kb)
+	Connect(aa, ab)
+	NewDriver(ka, aa, ipa)
+	db := NewDriver(kb, ab, ipb)
+	sink := &sinkHandler{}
+	ipb.Register(99, sink)
+
+	// First frame: single-cell datagram whose header is corrupted on
+	// the wire — the HEC rejects it at the driver, but its payload
+	// still reads as frame-end at the adapter.
+	var seg Segmenter
+	seg.VCI = DefaultVCI
+	small := make([]byte, 20)
+	cells := seg.Segment(small)
+	if len(cells) != 1 || !IsFrameEnd(&cells[0]) {
+		t.Fatalf("expected one frame-end cell, got %d", len(cells))
+	}
+	cells[0][0] ^= 0x01 // header bit flip: caught by the HEC
+	ab.receive(cells[0])
+	env.Run()
+	if db.HECErrors != 1 {
+		t.Fatalf("HECErrors = %d, want 1", db.HECErrors)
+	}
+	if got := ab.FramesPending(); got != 0 {
+		t.Fatalf("FramesPending = %d after HEC-discarded frame end", got)
+	}
+	if got := len(ab.arrivals); got != 0 {
+		t.Fatalf("arrivals queue holds %d stale entries", got)
+	}
+
+	// Second frame: a clean datagram must carry its own arrival time,
+	// not the corrupted frame's.
+	payload := make([]byte, 200)
+	env.RNG().Fill(payload)
+	env.Spawn("sender", func(p *sim.Proc) {
+		m := ka.Pool.AllocCluster()
+		m.Append(payload)
+		ipa.Output(p, 2, 99, m)
+	})
+	env.Run()
+	if len(sink.got) != 1 {
+		t.Fatalf("delivered %d datagrams, want 1", len(sink.got))
+	}
+	var arrive []trace.Event
+	for _, e := range kb.Trace.Events() {
+		if e.Kind == trace.EvWireArrive {
+			arrive = append(arrive, e)
+		}
+	}
+	if len(arrive) != 1 {
+		t.Fatalf("EvWireArrive events = %d, want 1", len(arrive))
+	}
+	if mark, ok := kb.Trace.LastMark(trace.MarkFrameArrival, sim.MaxTime); !ok || arrive[0].At != mark {
+		t.Fatalf("wire-arrival stamped %v, want the frame's own arrival %v", arrive[0].At, mark)
+	}
+}

@@ -40,6 +40,10 @@ type Driver struct {
 	// different sources arrive interleaved on distinct VCIs in switched
 	// topologies; reassembly state must be per VC.
 	reasms map[uint16]*Reassembler
+	// rxStart notes, per VCI, when the driver popped the first cell of
+	// the datagram currently reassembling — the start of that
+	// datagram's driver-receive span in the packet trace.
+	rxStart map[uint16]sim.Time
 
 	// MTUOverride, when positive, lowers the MTU the driver advertises to
 	// IP below the AAL3/4 maximum. TCP derives its MSS from it, so it is
@@ -145,6 +149,7 @@ func (d *Driver) Output(p *sim.Proc, m *mbuf.Mbuf) {
 		d.txWait.Wait(p)
 	}
 	d.txBusy = true
+	txStart := d.K.Now()
 	d.K.Use(p, trace.LayerATMTx, d.K.Cost.ATMTxFrameFixed)
 	data := mbuf.Linearize(m)
 	cells := d.segFor(ip.Dst(data)).Segment(data)
@@ -154,10 +159,23 @@ func (d *Driver) Output(p *sim.Proc, m *mbuf.Mbuf) {
 			d.Adapter.SpaceAvail.Wait(p)
 			// Stalled on the FIFO: the driver spins on the status
 			// register, which is time in the ATM row.
-			d.K.Trace.Span(trace.LayerATMTx, waitStart, d.K.Now())
+			d.K.Attribute(p, trace.LayerATMTx, waitStart, d.K.Now())
 		}
 		d.K.Use(p, trace.LayerATMTx, d.K.Cost.ATMTxPerCell)
 		d.Adapter.PushTx(cells[i])
+	}
+	if d.K.Trace.PacketRecording() {
+		id := d.K.PacketContext(p)
+		d.K.Trace.Event(trace.Event{
+			Kind: trace.EvDriverTx, At: txStart, Dur: d.K.Now() - txStart,
+			ID: id, Len: len(data),
+		})
+		// The final cell is on its way to the wire; it clears the
+		// transmit engine at TxIdleAt.
+		d.K.Trace.Event(trace.Event{
+			Kind: trace.EvWireDepart, At: d.Adapter.TxIdleAt(),
+			ID: id, Len: len(data),
+		})
 	}
 	d.FramesOut++
 	d.K.FreeChain(p, trace.LayerMbuf, m)
@@ -188,6 +206,7 @@ func (d *Driver) rxproc(p *sim.Proc) {
 		// receive path.
 		framePending := d.Adapter.FramesPending() > 0
 		for {
+			popAt := k.Now()
 			c, ok := d.Adapter.PopRx()
 			if !ok {
 				break
@@ -200,19 +219,43 @@ func (d *Driver) rxproc(p *sim.Proc) {
 			h, err := ParseHeader(&c)
 			if err != nil {
 				// Header corruption: the HEC catches it and the cell
-				// is discarded, surfacing later as a sequence gap.
+				// is discarded, surfacing later as a sequence gap. A
+				// discarded frame-end must still consume the adapter's
+				// pending-frame bookkeeping (count and arrival stamp),
+				// or both would stay desynchronized forever.
 				d.HECErrors++
+				if IsFrameEnd(&c) {
+					d.Adapter.ConsumeFrameEnd()
+				}
 				continue
 			}
+			if d.rxStart == nil {
+				d.rxStart = make(map[uint16]sim.Time)
+			}
+			// A beginning cell always restarts the VCI's receive span:
+			// the reassembler silently abandons a partial datagram when
+			// a fresh BOM arrives mid-message (a loss pattern the
+			// sequence numbers cannot catch), and that path reports no
+			// error, so the open span would otherwise leak into the
+			// next datagram's driver.rx duration.
+			if st := c.Payload()[0] >> 6; st == segBOM || st == segSSM {
+				d.rxStart[h.VCI] = popAt
+			} else if _, open := d.rxStart[h.VCI]; !open {
+				d.rxStart[h.VCI] = popAt
+			}
 			frameEnd := IsFrameEnd(&c)
+			var arrivedAt sim.Time
 			if frameEnd {
-				d.Adapter.ConsumeFrameEnd()
+				arrivedAt = d.Adapter.ConsumeFrameEnd()
 			}
 			dg, err := d.reasmFor(h.VCI).Push(&c)
 			if err != nil {
 				d.ReassemblyErrors++
+				delete(d.rxStart, h.VCI)
 			} else if dg != nil {
-				d.deliver(p, dg)
+				start := d.rxStart[h.VCI]
+				delete(d.rxStart, h.VCI)
+				d.deliver(p, dg, start, arrivedAt)
 			}
 			if frameEnd && framePending {
 				break
@@ -225,12 +268,23 @@ func (d *Driver) rxproc(p *sim.Proc) {
 // for IP. Layout: the IP header in its own normal mbuf, the rest in
 // cluster mbufs (or normal mbufs for small frames), so that stripping the
 // IP header cannot invalidate partial checksums stashed for the payload.
-func (d *Driver) deliver(p *sim.Proc, dg []byte) {
+// start is when the driver popped the datagram's first cell and arrivedAt
+// when its final cell reached the adapter from the wire; both stamp the
+// packet trace.
+func (d *Driver) deliver(p *sim.Proc, dg []byte, start, arrivedAt sim.Time) {
 	k := d.K
 	if len(dg) < ip.HeaderLen {
 		d.ReassemblyErrors++
 		return
 	}
+	// The on-wire identity, read before any host-side corruption is
+	// injected below: the trace records what the wire carried.
+	pktID := ip.PacketIDOf(dg)
+	p.PushTag(pktID)
+	defer p.PopTag()
+	k.Trace.Event(trace.Event{
+		Kind: trace.EvWireArrive, At: arrivedAt, ID: pktID, Len: len(dg),
+	})
 	// Per-frame interrupt and reassembly-completion overhead.
 	k.Use(p, trace.LayerATMRx, k.Cost.ATMRxFrameFixed)
 	if d.HostCorruptRate > 0 && k.Env.RNG().Bool(d.HostCorruptRate) {
@@ -266,5 +320,9 @@ func (d *Driver) deliver(p *sim.Proc, dg []byte) {
 		tail = m
 	}
 	d.FramesIn++
+	k.Trace.Event(trace.Event{
+		Kind: trace.EvDriverRx, At: start, Dur: k.Now() - start,
+		ID: pktID, Len: len(dg),
+	})
 	d.IP.Enqueue(chain)
 }

@@ -70,8 +70,8 @@ func TestTable3Shape(t *testing.T) {
 	// arrival: the checksum row must cover two segments (the paper
 	// measures 1172 = 2x578) while the ATM row stays at least one
 	// segment's worth. (The paper's 1783 ATM row reflects a driver
-	// overlap our timeline only partially reproduces; EXPERIMENTS.md
-	// records the deviation.)
+	// overlap our timeline only partially reproduces; the README's
+	// fidelity notes record the deviation.)
 	ck4000 := r.PerSize[4000].Rows[trace.LayerTCPCksumRx]
 	ck8000 := r.PerSize[8000].Rows[trace.LayerTCPCksumRx]
 	if ck8000 < ck4000*1.7 {

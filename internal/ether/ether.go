@@ -183,7 +183,7 @@ type Adapter struct {
 	seg  *Segment
 
 	wireBusy sim.Time
-	rxQ      []Frame
+	rxQ      []rxItem
 	// RxReady is the per-frame receive interrupt.
 	RxReady *sim.WaitQueue
 
@@ -211,9 +211,16 @@ func Connect(a, b *Adapter) {
 	s.Attach(b)
 }
 
+// rxItem is one received frame with its wire-arrival time.
+type rxItem struct {
+	f  Frame
+	at sim.Time
+}
+
 // Transmit paces the frame onto the wire and hands it to the segment for
-// destination filtering and delivery.
-func (a *Adapter) Transmit(f Frame) {
+// destination filtering and delivery. It returns the time the frame's
+// last bit leaves the wire — the packet trace's wire-departure instant.
+func (a *Adapter) Transmit(f Frame) sim.Time {
 	env := a.K.Env
 	start := env.Now()
 	if a.wireBusy > start {
@@ -227,6 +234,7 @@ func (a *Adapter) Transmit(f Frame) {
 		ff := f
 		env.After(a.K.Cost.EtherPropagation, "ether.framein", func() { a.seg.deliver(a, ff) })
 	})
+	return end
 }
 
 // receive handles a frame arriving from the wire. The station filter
@@ -246,7 +254,7 @@ func (a *Adapter) receive(f Frame) {
 		return
 	}
 	a.FramesRecv++
-	a.rxQ = append(a.rxQ, f)
+	a.rxQ = append(a.rxQ, rxItem{f: f, at: a.K.Env.Now()})
 	a.K.Trace.Mark(trace.MarkFrameArrival, a.K.Env.Now())
 	a.RxReady.Wake()
 }
@@ -254,15 +262,16 @@ func (a *Adapter) receive(f Frame) {
 // RxAvail returns the number of received frames waiting.
 func (a *Adapter) RxAvail() int { return len(a.rxQ) }
 
-// PopRx removes and returns the oldest waiting frame.
-func (a *Adapter) PopRx() (Frame, bool) {
+// PopRx removes and returns the oldest waiting frame along with its
+// wire-arrival time.
+func (a *Adapter) PopRx() (Frame, sim.Time, bool) {
 	if len(a.rxQ) == 0 {
-		return nil, false
+		return nil, 0, false
 	}
-	f := a.rxQ[0]
+	it := a.rxQ[0]
 	copy(a.rxQ, a.rxQ[1:])
 	a.rxQ = a.rxQ[:len(a.rxQ)-1]
-	return f, true
+	return it.f, it.at, true
 }
 
 // Driver is the Ethernet network driver (ip.NetIf plus the receive
@@ -323,11 +332,22 @@ func (d *Driver) Output(p *sim.Proc, m *mbuf.Mbuf) {
 		d.txWait.Wait(p)
 	}
 	d.txBusy = true
+	txStart := d.K.Now()
 	data := mbuf.Linearize(m)
 	d.K.Use(p, trace.LayerEtherTx, d.K.Cost.EtherTx.Cost(len(data)))
 	if dst, ok := d.resolve(data); ok {
 		f := Encapsulate(dst, d.Adapter.Addr, EtherTypeIPv4, data)
-		d.Adapter.Transmit(f)
+		wireEnd := d.Adapter.Transmit(f)
+		if d.K.Trace.PacketRecording() {
+			id := d.K.PacketContext(p)
+			d.K.Trace.Event(trace.Event{
+				Kind: trace.EvDriverTx, At: txStart, Dur: d.K.Now() - txStart,
+				ID: id, Len: len(data),
+			})
+			d.K.Trace.Event(trace.Event{
+				Kind: trace.EvWireDepart, At: wireEnd, ID: id, Len: len(data),
+			})
+		}
 		d.FramesOut++
 	} else {
 		d.NoRoute++
@@ -360,26 +380,35 @@ func (d *Driver) rxproc(p *sim.Proc) {
 		for d.Adapter.RxAvail() == 0 {
 			d.Adapter.RxReady.Wait(p)
 		}
-		f, _ := d.Adapter.PopRx()
+		rxStart := k.Now()
+		f, arrivedAt, _ := d.Adapter.PopRx()
 		payload, etherType, ok := Decapsulate(f)
 		k.Use(p, trace.LayerEtherRx, k.Cost.EtherRx.Cost(len(payload)))
 		if !ok || etherType != EtherTypeIPv4 {
 			d.FCSErrors++
 			continue
 		}
-		d.deliver(p, payload)
+		d.deliver(p, payload, rxStart, arrivedAt)
 	}
 }
 
 // deliver builds the mbuf chain (IP header mbuf + payload mbufs) and
 // enqueues it. IP trims Ethernet minimum-frame padding via the header's
-// total length.
-func (d *Driver) deliver(p *sim.Proc, dg []byte) {
+// total length. start is when the driver began processing the frame and
+// arrivedAt when it reached the adapter from the wire; both stamp the
+// packet trace.
+func (d *Driver) deliver(p *sim.Proc, dg []byte, start, arrivedAt sim.Time) {
 	k := d.K
 	if len(dg) < ip.HeaderLen {
 		d.FCSErrors++
 		return
 	}
+	pktID := ip.PacketIDOf(dg)
+	p.PushTag(pktID)
+	defer p.PopTag()
+	k.Trace.Event(trace.Event{
+		Kind: trace.EvWireArrive, At: arrivedAt, ID: pktID, Len: len(dg),
+	})
 	hm := k.AllocMbuf(p, trace.LayerEtherRx)
 	hm.Append(dg[:ip.HeaderLen])
 	rest := dg[ip.HeaderLen:]
@@ -397,5 +426,9 @@ func (d *Driver) deliver(p *sim.Proc, dg []byte) {
 		tail = m
 	}
 	d.FramesIn++
+	k.Trace.Event(trace.Event{
+		Kind: trace.EvDriverRx, At: start, Dur: k.Now() - start,
+		ID: pktID, Len: len(dg),
+	})
 	d.IP.Enqueue(hm)
 }

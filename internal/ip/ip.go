@@ -93,6 +93,30 @@ func Dst(b []byte) uint32 {
 	return uint32(b[16])<<24 | uint32(b[17])<<16 | uint32(b[18])<<8 | uint32(b[19])
 }
 
+// PacketIDOf derives the trace identity of a marshaled datagram the way
+// a packet capture would: addresses from the IP header and, for TCP,
+// ports and sequence number from the transport header behind it. Short
+// or non-TCP datagrams yield an identity with only the fields that
+// exist (UDP traffic traces address-level; a truncated buffer yields
+// the zero identity). Drivers use it to label their typed events, since
+// the wire bytes are the only identity the lowest layers ever see.
+func PacketIDOf(dg []byte) trace.PacketID {
+	if len(dg) < HeaderLen {
+		return trace.PacketID{}
+	}
+	id := trace.PacketID{
+		Src: uint32(dg[12])<<24 | uint32(dg[13])<<16 | uint32(dg[14])<<8 | uint32(dg[15]),
+		Dst: uint32(dg[16])<<24 | uint32(dg[17])<<16 | uint32(dg[18])<<8 | uint32(dg[19]),
+	}
+	if dg[9] == ProtoTCP && len(dg) >= HeaderLen+8 {
+		t := dg[HeaderLen:]
+		id.SrcPort = uint16(t[0])<<8 | uint16(t[1])
+		id.DstPort = uint16(t[2])<<8 | uint16(t[3])
+		id.Seq = uint32(t[4])<<24 | uint32(t[5])<<16 | uint32(t[6])<<8 | uint32(t[7])
+	}
+	return id
+}
+
 // NetIf is a network interface as IP sees it: something that can transmit
 // a complete IP datagram. The ATM and Ethernet drivers implement it.
 type NetIf interface {
@@ -113,7 +137,8 @@ type Handler interface {
 // queued is one datagram waiting on the IP input queue.
 type queued struct {
 	m  *mbuf.Mbuf
-	at sim.Time // enqueue time, the start of the IPQ span
+	at sim.Time       // enqueue time, the start of the IPQ span
+	id trace.PacketID // identity captured at enqueue, for attribution
 }
 
 // Stack is one host's IP layer.
@@ -165,15 +190,24 @@ func (s *Stack) Output(p *sim.Proc, dst uint32, proto uint8, m *mbuf.Mbuf) {
 	h := Header{TotalLen: total, ID: s.nextID, TTL: 64, Proto: proto, Src: s.Addr, Dst: dst}
 	head, hdr, _ := s.K.Pool.PrependHeader(m, HeaderLen)
 	h.Marshal(hdr)
+	s.K.Trace.Event(trace.Event{
+		Kind: trace.EvIPSend, At: s.K.Now(),
+		ID: s.K.PacketContext(p), Len: total,
+	})
 	s.If.Output(p, head)
 }
 
 // Enqueue places a received datagram on the IP input queue and signals the
 // software interrupt. Drivers call it from interrupt context; the paper's
 // IPQ row measures the latency from this call to the netisr removing the
-// datagram.
+// datagram. The enqueueing process's packet tag is captured with the
+// datagram so the dequeue attributes the wait to the right packet.
 func (s *Stack) Enqueue(m *mbuf.Mbuf) {
-	s.q = append(s.q, queued{m: m, at: s.K.Now()})
+	id := s.K.PacketContext(s.K.Env.Current())
+	s.q = append(s.q, queued{m: m, at: s.K.Now(), id: id})
+	s.K.Trace.Event(trace.Event{
+		Kind: trace.EvIPEnqueue, At: s.K.Now(), ID: id, Aux: int64(len(s.q)),
+	})
 	s.wq.Wake()
 }
 
@@ -190,12 +224,20 @@ func (s *Stack) netisr(p *sim.Proc) {
 		// signal to the dequeue, attributed to the IPQ row. Queueing
 		// delay behind a busy CPU is not re-attributed here — the work
 		// occupying the CPU (typically the driver copying a later
-		// segment's cells) already owns those spans.
+		// segment's cells) already owns those spans. The head datagram's
+		// identity tags the process before the charge so the dispatch
+		// cost attributes to the packet being dequeued.
+		head := s.q[0]
+		p.PushTag(head.id)
 		s.K.Use(p, trace.LayerIPQ, s.K.Cost.SoftintDispatch)
-		item := s.q[0]
 		copy(s.q, s.q[1:])
 		s.q = s.q[:len(s.q)-1]
-		s.input(p, item.m)
+		s.K.Trace.Event(trace.Event{
+			Kind: trace.EvIPDequeue, At: head.at, Dur: s.K.Now() - head.at,
+			ID: head.id, Aux: int64(len(s.q)),
+		})
+		s.input(p, head.m)
+		p.PopTag()
 	}
 }
 
@@ -233,6 +275,10 @@ func (s *Stack) input(p *sim.Proc, m *mbuf.Mbuf) {
 		s.K.Pool.Free(m)
 		return
 	}
+	s.K.Trace.Event(trace.Event{
+		Kind: trace.EvIPDeliver, At: s.K.Now(),
+		ID: s.K.PacketContext(p), Len: h.TotalLen, Aux: int64(h.Proto),
+	})
 	hd.Input(p, h, m)
 }
 

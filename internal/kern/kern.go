@@ -10,6 +10,14 @@
 // dispatch and process wakeup naturally delay one another — the queueing
 // structure behind the paper's IPQ and Wakeup rows and behind the
 // receive-side overlap effects at large transfer sizes.
+//
+// Every charge flows through Attribute, which records it twice when
+// per-packet tracing is armed: as an aggregate span (the raw material of
+// Tables 2 and 3) and as a typed EvCPU event carrying the identity of
+// the packet the charging process is working on (its sim.Proc tag
+// stack). That dual recording is what lets core.RunTimelineStudy prove
+// the per-packet timelines and the breakdown tables are the same
+// measurement; see docs/ARCHITECTURE.md for the full trace pipeline.
 package kern
 
 import (
@@ -62,9 +70,42 @@ func (k *Kernel) Use(p *sim.Proc, layer trace.Layer, d sim.Time) (start, end sim
 	}
 	end = start + d
 	k.busyUntil = end
-	k.Trace.Span(layer, start, end)
+	k.Attribute(p, layer, start, end)
 	p.SleepUntil(end)
 	return start, end
+}
+
+// Attribute records the interval [start, end] of CPU time against layer:
+// always as an aggregate span (the Tables 2/3 raw material), and — when
+// packet tracing is on — as a typed EvCPU event carrying the packet
+// identity tagged on p, so the same charge joins the per-packet
+// timeline. Charges made while p carries no packet tag (user copies
+// before segmentation, scheduler wakeups) record with a zero identity
+// and surface as unattributed in timeline reconstructions.
+func (k *Kernel) Attribute(p *sim.Proc, layer trace.Layer, start, end sim.Time) {
+	k.Trace.Span(layer, start, end)
+	if k.Trace.PacketRecording() {
+		k.Trace.Event(trace.Event{
+			Kind:  trace.EvCPU,
+			Layer: layer,
+			At:    start,
+			Dur:   end - start,
+			ID:    k.PacketContext(p),
+		})
+	}
+}
+
+// PacketContext returns the packet identity the process is currently
+// working on (the top of its tag stack), or the zero identity when the
+// work belongs to no packet. p may be nil (plain event context).
+func (k *Kernel) PacketContext(p *sim.Proc) trace.PacketID {
+	if p == nil {
+		return trace.PacketID{}
+	}
+	if id, ok := p.Tag().(trace.PacketID); ok {
+		return id
+	}
+	return trace.PacketID{}
 }
 
 // SleepOn blocks p on wq and, once woken, charges the scheduler's wakeup

@@ -82,6 +82,14 @@ type Config struct {
 	// marks on both hosts (default sock.DefaultHiwat). Buffers smaller
 	// than the transfer size serialize segments behind window updates.
 	SockBuf int
+	// PacketTrace arms per-packet event recording on every host's
+	// recorder (trace.Recorder.EnablePackets). Events are recorded
+	// whenever span tracing is on — for the echo benchmark, the measured
+	// iterations; for the other workloads, the whole run — and are
+	// collected with Lab.PacketEvents. Tracing charges no simulated
+	// time, so a traced run is bit-identical in timing to an untraced
+	// one at the same seed.
+	PacketTrace bool
 	// Cost overrides the cost model (nil means DECstation 5000/200).
 	Cost *cost.Model
 	// Seed seeds the simulation RNG.
@@ -240,6 +248,9 @@ func buildHost(env *sim.Env, model *cost.Model, cfg Config, name string, addr ui
 		cfg.MTU = 0
 	}
 	k := kern.New(env, model, name)
+	if cfg.PacketTrace {
+		k.Trace.EnablePackets()
+	}
 	h := &Host{Kern: k}
 	h.IP = ip.NewStack(k, addr)
 	switch cfg.Link {
@@ -523,4 +534,26 @@ func (l *Lab) setTracing(on bool) {
 			h.Kern.Trace.Disable()
 		}
 	}
+}
+
+// EnableTracing turns span (and, when Config.PacketTrace armed it,
+// event) recording on for every host. The echo benchmark manages this
+// itself around its measured iterations; the other workload generators
+// call it at the start of a traced run so the trace covers connection
+// setup too.
+func (l *Lab) EnableTracing() { l.setTracing(true) }
+
+// PacketEvents merges every host's recorded packet events into one
+// deterministic stream, ordered by virtual time with ties broken by
+// host order (client, server, host2, …) and emission order. The result
+// is a pure function of the simulation: the same configuration and seed
+// produce byte-identical JSON at any sweep worker count.
+func (l *Lab) PacketEvents() []trace.HostEvent {
+	names := make([]string, len(l.Hosts))
+	recs := make([]*trace.Recorder, len(l.Hosts))
+	for i, h := range l.Hosts {
+		names[i] = h.Kern.Name
+		recs[i] = h.Kern.Trace
+	}
+	return trace.MergeEvents(names, recs)
 }

@@ -16,6 +16,12 @@
 //
 // Run(ctx, jobs, Options{Workers: 1}) is the serial reference; any other
 // worker count produces exactly the same outcomes, only faster.
+//
+// The guarantee extends to traced sweeps: a WorkloadTrial whose Cfg
+// sets lab.Config.PacketTrace carries its per-packet timeline
+// reconstruction inside the outcome (WorkloadOutcome.Trace), built from
+// that trial's own lab, so even full span JSON is byte-identical at any
+// worker count (TestTracedSweepParallelBitIdentical).
 package runner
 
 import (

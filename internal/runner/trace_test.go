@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/lab"
+	"repro/internal/workload"
+)
+
+// tracedFanInTrials is a small traced fan-in sweep: four seeded cells,
+// each building its own 5-host topology with per-packet tracing armed.
+func tracedFanInTrials() []WorkloadTrial {
+	var ts []WorkloadTrial
+	for i := 0; i < 4; i++ {
+		ts = append(ts, WorkloadTrial{
+			Label: fmt.Sprintf("fanin/traced/t%d", i),
+			Cfg:   lab.Config{Link: lab.LinkATM, PacketTrace: true},
+			Hosts: 5,
+			Gen:   workload.FanIn{Size: 64, Requests: 3, Warmup: 1},
+		})
+	}
+	return ts
+}
+
+// TestTracedSweepParallelBitIdentical is the traced-sweep determinism
+// gate: the same traced fan-in sweep at -parallel 1 and -parallel 8
+// marshals to byte-identical span JSON, trace payloads included. Packet
+// identity, event order, and timeline reconstruction must all be pure
+// functions of (configuration, seed) — never of worker scheduling.
+func TestTracedSweepParallelBitIdentical(t *testing.T) {
+	run := func(workers int) []byte {
+		outs, err := RunWorkloadSweep(context.Background(), tracedFanInTrials(),
+			Options{Workers: workers, BaseSeed: 1994})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outs {
+			if o.Error != "" {
+				t.Fatalf("trial %s: %s", o.Label, o.Error)
+			}
+			if o.Trace == nil || len(o.Trace.Packets) == 0 {
+				t.Fatalf("trial %s: no trace attached", o.Label)
+			}
+		}
+		blob, err := json.Marshal(outs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("traced sweep JSON differs between -parallel 1 (%d bytes) and -parallel 8 (%d bytes)",
+			len(serial), len(parallel))
+	}
+}
+
+// TestUntracedSweepCarriesNoTrace pins the opt-in contract: without
+// PacketTrace the outcome JSON is unchanged (no trace field at all), so
+// existing consumers see bit-identical output.
+func TestUntracedSweepCarriesNoTrace(t *testing.T) {
+	ts := tracedFanInTrials()[:1]
+	ts[0].Cfg.PacketTrace = false
+	outs, err := RunWorkloadSweep(context.Background(), ts, Options{Workers: 1, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Error != "" {
+		t.Fatal(outs[0].Error)
+	}
+	if outs[0].Trace != nil {
+		t.Fatal("untraced trial carries a trace")
+	}
+	blob, err := json.Marshal(outs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, []byte(`"trace"`)) {
+		t.Fatal("trace key present in untraced outcome JSON")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/lab"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -39,6 +40,12 @@ type WorkloadOutcome struct {
 	P99Micros     float64 `json:"p99_us"`
 	MinMicros     float64 `json:"min_us"`
 	MaxMicros     float64 `json:"max_us"`
+
+	// Trace is the per-packet timeline reconstruction of the trial,
+	// present only when the trial's Cfg set lab.Config.PacketTrace.
+	// It is built inside the trial's job from that trial's own lab, so
+	// it is bit-identical at any worker count like every other field.
+	Trace *trace.TimelineSet `json:"trace,omitempty"`
 
 	Error string `json:"error,omitempty"`
 }
@@ -94,7 +101,7 @@ func runWorkloadTrial(t WorkloadTrial, seed uint64) (interface{}, error) {
 	}
 	s := r.Sample()
 	q := s.Quantiles()
-	return WorkloadOutcome{
+	wo := WorkloadOutcome{
 		Workload:      r.Workload,
 		Hosts:         t.hosts(),
 		Requests:      r.Requests,
@@ -107,7 +114,11 @@ func runWorkloadTrial(t WorkloadTrial, seed uint64) (interface{}, error) {
 		P99Micros:     q.P99,
 		MinMicros:     s.Min(),
 		MaxMicros:     s.Max(),
-	}, nil
+	}
+	if len(r.Events) > 0 {
+		wo.Trace = trace.BuildTimelines(r.Events)
+	}
+	return wo, nil
 }
 
 // RenderWorkloadOutcomes formats workload outcomes as a fixed-width

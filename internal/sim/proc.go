@@ -18,6 +18,7 @@ type Proc struct {
 	resume chan struct{}
 	yield  chan struct{}
 	done   bool
+	tags   []interface{}
 }
 
 // Name returns the process name given at Spawn time.
@@ -84,6 +85,36 @@ func (p *Proc) SleepUntil(t Time) {
 
 // Sleep blocks the process for duration d of virtual time.
 func (p *Proc) Sleep(d Time) { p.SleepUntil(p.env.now + d) }
+
+// PushTag pushes an annotation onto the process's tag stack. Tags mark
+// the logical unit of work the process is currently performing — the
+// trace instrumentation pushes a packet identity around each segment's
+// processing, so CPU time charged while the tag is live attributes to
+// that packet even though the charge itself happens layers below.
+// The stack nests: a TCP input handler that transmits an ACK pushes the
+// ACK's identity on top and pops back to the inbound segment's.
+//
+// The stack is per process, not per host: two processes on one host
+// (the echo client inside tcp_output and the netisr inside tcp_input,
+// say) interleave in virtual time, and a host-global context would
+// bleed one packet's identity into the other's charges.
+func (p *Proc) PushTag(v interface{}) { p.tags = append(p.tags, v) }
+
+// PopTag removes the top tag. Popping an empty stack is a no-op so
+// instrumentation may enable mid-run without unbalancing anything.
+func (p *Proc) PopTag() {
+	if n := len(p.tags); n > 0 {
+		p.tags = p.tags[:n-1]
+	}
+}
+
+// Tag returns the top of the tag stack, or nil when empty.
+func (p *Proc) Tag() interface{} {
+	if n := len(p.tags); n > 0 {
+		return p.tags[n-1]
+	}
+	return nil
+}
 
 // Current returns the process currently executing, or nil when called from
 // plain event context.

@@ -97,6 +97,12 @@ type Socket struct {
 	// Mode selects the transmit-side checksum strategy for sosend.
 	Mode cost.ChecksumMode
 
+	// TraceID is the connection identity (4-tuple, Seq zero) stamped on
+	// the socket's enqueue/dequeue trace events. The transport sets it
+	// once the connection's addresses are known; until then socket
+	// events record unattributed.
+	TraceID trace.PacketID
+
 	// Eof is set when the peer's FIN has been consumed.
 	Eof bool
 	// Err terminates operations with an error state (connection reset).
@@ -173,7 +179,18 @@ func (so *Socket) Send(p *sim.Proc, data []byte) (int, error) {
 		}
 		k.Use(p, trace.LayerUserTx,
 			sim.Time(mbuf.ChainCount(chain))*k.Cost.SockAppend)
+		recording := k.Trace.PacketRecording()
+		var chainLen int
+		if recording {
+			chainLen = mbuf.ChainLen(chain)
+		}
 		so.Snd.Append(chain)
+		if recording {
+			k.Trace.Event(trace.Event{
+				Kind: trace.EvSockEnqueue, At: k.Now(), ID: so.TraceID,
+				Len: chainLen, Aux: int64(so.Snd.Len()),
+			})
+		}
 		k.Use(p, trace.LayerUserTx, k.Cost.UsrreqDispatch)
 		so.Proto.Send(p)
 	}
@@ -246,6 +263,10 @@ func (so *Socket) Recv(p *sim.Proc, buf []byte) (int, error) {
 		k.Use(p, trace.LayerMbuf, sim.Time(freed)*k.Cost.MbufFree)
 	}
 	so.Rcv.Drop(n)
+	k.Trace.Event(trace.Event{
+		Kind: trace.EvSockDequeue, At: k.Now(), ID: so.TraceID,
+		Len: n, Aux: int64(so.Rcv.Len()),
+	})
 	k.Use(p, trace.LayerUserRx, k.Cost.UsrreqDispatch)
 	so.Proto.Rcvd(p)
 	return n, nil

@@ -1,7 +1,7 @@
 // Package stats provides the small statistical and table-formatting
-// helpers shared by the experiment harness, the command-line tools, and
-// EXPERIMENTS.md generation: sample aggregation (mean, min, max, standard
-// deviation) and fixed-width text tables in the style of the paper.
+// helpers shared by the experiment harness and the command-line tools:
+// sample aggregation (mean, min, max, standard deviation, quantiles)
+// and fixed-width text tables in the style of the paper.
 package stats
 
 import (

@@ -143,6 +143,26 @@ func (c *Conn) sendSegment(p *sim.Proc, flags uint8, off, length int) {
 		th.Flags |= FlagPSH
 	}
 
+	// Tag the process with this segment's on-wire identity for the rest
+	// of the transmit path: every CPU charge from here down — mcopy,
+	// output processing, checksum, ip_output, the driver — attributes to
+	// this packet in the event stream. The tag nests, so an ACK sent
+	// from inside tcp_input restores the inbound segment's identity on
+	// pop.
+	pktID := trace.PacketID{
+		Src:     key.LocalAddr,
+		Dst:     key.RemoteAddr,
+		SrcPort: key.LocalPort,
+		DstPort: key.RemotePort,
+		Seq:     uint32(th.Seq),
+	}
+	p.PushTag(pktID)
+	defer p.PopTag()
+	k.Trace.Event(trace.Event{
+		Kind: trace.EvTCPOutput, At: k.Now(), ID: pktID,
+		Len: length, Aux: int64(th.Flags),
+	})
+
 	// mcopy: the data sent is a copy of the socket buffer chain, kept
 	// there for retransmission (§2.2.3: "the copy in mcopy only occurs
 	// on sends, and is made from the mbuf chain for retransmissions").

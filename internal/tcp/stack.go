@@ -148,6 +148,7 @@ func (s *Stack) Connect(p *sim.Proc, dst uint32, port uint16) (*sock.Socket, *Co
 		RemotePort: port,
 	}
 	c.pcbEntry = &pcb.PCB{Key: key, Owner: c}
+	c.so.TraceID = connTraceID(key)
 	s.Table.Insert(c.pcbEntry)
 	s.nextISS += 64000
 	c.iss = s.nextISS
@@ -234,6 +235,25 @@ func (s *Stack) Input(p *sim.Proc, h ip.Header, m *mbuf.Mbuf) {
 		return
 	}
 
+	// Tag the process with the segment's on-wire identity for the rest
+	// of input processing: the PCB lookup, checksum verification, and
+	// tcp_input charges all attribute to this packet in the event
+	// stream. (A response transmitted from inside input pushes its own
+	// identity on top.)
+	pktID := trace.PacketID{
+		Src:     h.Src,
+		Dst:     h.Dst,
+		SrcPort: th.SrcPort,
+		DstPort: th.DstPort,
+		Seq:     uint32(th.Seq),
+	}
+	p.PushTag(pktID)
+	defer p.PopTag()
+	k.Trace.Event(trace.Event{
+		Kind: trace.EvTCPInput, At: k.Now(), ID: pktID,
+		Len: segLen, Aux: int64(th.Flags),
+	})
+
 	// PCB demultiplexing: single-entry cache, then list or hash search.
 	probe := pcb.Key{
 		LocalAddr:  h.Dst,
@@ -243,6 +263,15 @@ func (s *Stack) Input(p *sim.Proc, h ip.Header, m *mbuf.Mbuf) {
 	}
 	s.Table.CacheDisabled = !s.PredictionEnabled
 	ent, res := s.Table.Lookup(probe)
+	if k.Trace.PacketRecording() {
+		searched := int64(res.Searched)
+		if res.CacheHit {
+			searched = -1
+		}
+		k.Trace.Event(trace.Event{
+			Kind: trace.EvPCBLookup, At: k.Now(), ID: pktID, Aux: searched,
+		})
+	}
 	if res.CacheHit {
 		s.Stats.PCBCacheHits++
 		k.Use(p, trace.LayerTCPSegmentRx, k.Cost.PCBCacheHit)
@@ -312,6 +341,7 @@ func (s *Stack) listenerInput(p *sim.Proc, l *Listener, h ip.Header, th Header) 
 		RemotePort: th.SrcPort,
 	}
 	c.pcbEntry = &pcb.PCB{Key: key, Owner: c}
+	c.so.TraceID = connTraceID(key)
 	s.Table.Insert(c.pcbEntry)
 	c.listener = l
 	s.nextISS += 64000
@@ -332,6 +362,17 @@ func (s *Stack) listenerInput(p *sim.Proc, l *Listener, h ip.Header, th Header) 
 	c.state = StateSynRcvd
 	c.flagAckNow = true
 	c.output(p)
+}
+
+// connTraceID is the connection-scoped trace identity (4-tuple, Seq
+// zero) socket-layer events are stamped with.
+func connTraceID(key pcb.Key) trace.PacketID {
+	return trace.PacketID{
+		Src:     key.LocalAddr,
+		Dst:     key.RemoteAddr,
+		SrcPort: key.LocalPort,
+		DstPort: key.RemotePort,
+	}
 }
 
 // verifyChecksum checks the segment's TCP checksum according to the

@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testID(seq uint32) PacketID {
+	return PacketID{
+		Src: 0xc0a80101, Dst: 0xc0a80102,
+		SrcPort: 1025, DstPort: 7, Seq: seq,
+	}
+}
+
+func TestPacketIDString(t *testing.T) {
+	got := testID(64001).String()
+	want := "192.168.1.1:1025>192.168.1.2:7#64001"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if !(PacketID{}).IsZero() {
+		t.Fatal("zero PacketID not IsZero")
+	}
+	if testID(1).IsZero() {
+		t.Fatal("non-zero PacketID IsZero")
+	}
+}
+
+func TestEventsRequireBothEnables(t *testing.T) {
+	var r Recorder
+	ev := Event{Kind: EvTCPOutput, At: 10, ID: testID(1)}
+	r.Event(ev) // disabled entirely
+	r.Enable()
+	r.Event(ev) // spans on, packets not armed
+	if len(r.Events()) != 0 {
+		t.Fatalf("events recorded without EnablePackets: %d", len(r.Events()))
+	}
+	r.EnablePackets()
+	r.Event(ev)
+	if len(r.Events()) != 1 {
+		t.Fatalf("events = %d, want 1", len(r.Events()))
+	}
+	r.Disable()
+	r.Event(ev) // packets armed but recording off
+	if len(r.Events()) != 1 {
+		t.Fatal("event recorded while disabled")
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("Reset kept events")
+	}
+}
+
+func TestSpanEmitsNoEventWithoutPackets(t *testing.T) {
+	var r Recorder
+	r.Enable()
+	r.Span(LayerIPTx, 0, 10)
+	if len(r.Events()) != 0 {
+		t.Fatal("Span alone produced events")
+	}
+}
+
+// TestMergeEventsClockTies pins the tie-breaking contract: events with
+// identical virtual timestamps order by host position and then by
+// emission order, never by map iteration or scheduling accidents. Clock
+// ties are routine in the simulation (instant events share the
+// timestamp of the charge that preceded them), so a traced sweep's
+// byte-identical-JSON guarantee rests on this ordering.
+func TestMergeEventsClockTies(t *testing.T) {
+	mk := func() (*Recorder, *Recorder) {
+		a, b := &Recorder{}, &Recorder{}
+		for _, r := range []*Recorder{a, b} {
+			r.Enable()
+			r.EnablePackets()
+		}
+		// Same instant on both hosts, multiple events each.
+		a.Event(Event{Kind: EvTCPOutput, At: 100, ID: testID(1)})
+		a.Event(Event{Kind: EvIPSend, At: 100, ID: testID(1)})
+		b.Event(Event{Kind: EvWireArrive, At: 100, ID: testID(1)})
+		// An out-of-order emission (backdated, like EvIPDequeue).
+		b.Event(Event{Kind: EvIPDequeue, At: 50, ID: testID(1)})
+		return a, b
+	}
+	a, b := mk()
+	got := MergeEvents([]string{"client", "server"}, []*Recorder{a, b})
+	wantKinds := []EventKind{EvIPDequeue, EvTCPOutput, EvIPSend, EvWireArrive}
+	wantHosts := []string{"server", "client", "client", "server"}
+	if len(got) != len(wantKinds) {
+		t.Fatalf("merged %d events, want %d", len(got), len(wantKinds))
+	}
+	for i := range got {
+		if got[i].Kind != wantKinds[i] || got[i].Host != wantHosts[i] {
+			t.Fatalf("event %d = %s on %s, want %s on %s",
+				i, got[i].Kind, got[i].Host, wantKinds[i], wantHosts[i])
+		}
+	}
+	// Deterministic: merging fresh but identical recorders yields
+	// byte-identical JSON.
+	a2, b2 := mk()
+	again := MergeEvents([]string{"client", "server"}, []*Recorder{a2, b2})
+	j1, _ := json.Marshal(got)
+	j2, _ := json.Marshal(again)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("merged streams differ across identical runs")
+	}
+}
+
+func TestBuildTimelinesGroupsByIdentity(t *testing.T) {
+	evs := []HostEvent{
+		{Host: "client", Event: Event{Kind: EvTCPOutput, At: 10, Dur: 5, ID: testID(1)}},
+		{Host: "client", Event: Event{Kind: EvWireDepart, At: 20, ID: testID(1)}},
+		{Host: "server", Event: Event{Kind: EvWireArrive, At: 30, ID: testID(1)}},
+		{Host: "server", Event: Event{Kind: EvTCPInput, At: 35, ID: testID(1)}},
+		{Host: "client", Event: Event{Kind: EvTCPOutput, At: 40, ID: testID(2)}},
+		{Host: "client", Event: Event{Kind: EvCPU, Layer: LayerWakeup, At: 50, Dur: 3}}, // no ID
+	}
+	set := BuildTimelines(evs)
+	if len(set.Packets) != 2 {
+		t.Fatalf("packets = %d, want 2", len(set.Packets))
+	}
+	if len(set.Unattributed) != 1 {
+		t.Fatalf("unattributed = %d, want 1", len(set.Unattributed))
+	}
+	p := set.Packets[0]
+	if p.ID != testID(1) || len(p.Events) != 4 {
+		t.Fatalf("first packet %v with %d events", p.ID, len(p.Events))
+	}
+	root := p.Spans
+	if root.StartNS != 10 || root.EndNS != 35 {
+		t.Fatalf("root covers [%d,%d], want [10,35]", root.StartNS, root.EndNS)
+	}
+	// client visit, wire flight, server visit.
+	if len(root.Children) != 3 {
+		t.Fatalf("root children = %d, want 3", len(root.Children))
+	}
+	if root.Children[0].Host != "client" || root.Children[2].Host != "server" {
+		t.Fatalf("host order %q,%q", root.Children[0].Host, root.Children[2].Host)
+	}
+	wire := root.Children[1]
+	if wire.Name != "wire" || wire.StartNS != 20 || wire.EndNS != 30 {
+		t.Fatalf("wire span %q [%d,%d], want wire [20,30]", wire.Name, wire.StartNS, wire.EndNS)
+	}
+	// Children stay inside the root.
+	for _, c := range root.Children {
+		if c.StartNS < root.StartNS || c.EndNS > root.EndNS {
+			t.Fatalf("child [%d,%d] escapes root [%d,%d]",
+				c.StartNS, c.EndNS, root.StartNS, root.EndNS)
+		}
+	}
+}
+
+func TestBreakdownFromEventsMatchesRecorderBreakdown(t *testing.T) {
+	var r Recorder
+	r.Enable()
+	r.EnablePackets()
+	spans := []struct {
+		layer      Layer
+		start, end sim.Time
+	}{
+		{LayerUserTx, 0, 100},
+		{LayerIPTx, 60, 80},
+		{LayerATMTx, 140, 200},
+		{LayerWakeup, 300, 400},
+	}
+	for _, s := range spans {
+		r.Span(s.layer, s.start, s.end)
+		r.Event(Event{Kind: EvCPU, Layer: s.layer, At: s.start, Dur: s.end - s.start})
+	}
+	// A non-CPU event must not contribute to the breakdown.
+	r.Event(Event{Kind: EvWireArrive, At: 70, ID: testID(1)})
+	evs := MergeEvents([]string{"h"}, []*Recorder{&r})
+	want := r.Breakdown(50, 150)
+	got := BreakdownFromEvents(evs, "h", 50, 150)
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+	for layer, d := range want {
+		if got[layer] != d {
+			t.Fatalf("layer %s = %v, want %v", layer, got[layer], d)
+		}
+	}
+	if _, ok := got[LayerWakeup]; ok {
+		t.Fatal("outside span included")
+	}
+	// Wrong host: nothing.
+	if rows := BreakdownFromEvents(evs, "other", 0, 1000); len(rows) != 0 {
+		t.Fatalf("foreign host rows = %v", rows)
+	}
+}
+
+func TestLastArrival(t *testing.T) {
+	evs := []HostEvent{
+		{Host: "client", Event: Event{Kind: EvWireArrive, At: 100, ID: testID(1)}},
+		{Host: "server", Event: Event{Kind: EvWireArrive, At: 150, ID: testID(1)}},
+		{Host: "client", Event: Event{Kind: EvWireArrive, At: 300, ID: testID(2)}},
+	}
+	if at, ok := LastArrival(evs, "client", 250); !ok || at != 100 {
+		t.Fatalf("LastArrival = %v,%v, want 100,true", at, ok)
+	}
+	if at, ok := LastArrival(evs, "client", 400); !ok || at != 300 {
+		t.Fatalf("LastArrival = %v,%v, want 300,true", at, ok)
+	}
+	if _, ok := LastArrival(evs, "client", 50); ok {
+		t.Fatal("found arrival before any exist")
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	evs := []HostEvent{
+		{Host: "client", Event: Event{Kind: EvCPU, Layer: LayerUserTx, At: 1000, Dur: 500, ID: testID(1), Len: 8}},
+		{Host: "client", Event: Event{Kind: EvWireDepart, At: 2000, ID: testID(1)}},
+		{Host: "server", Event: Event{Kind: EvWireArrive, At: 3000, ID: testID(1)}},
+	}
+	blob, err := ChromeTrace(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &f); err != nil {
+		t.Fatalf("invalid trace_event JSON: %v", err)
+	}
+	// 3 events + 2 process_name metadata records.
+	if len(f.TraceEvents) != 5 {
+		t.Fatalf("traceEvents = %d, want 5", len(f.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, e := range f.TraceEvents {
+		phases[e.Ph]++
+		if e.Ph == "X" && e.Dur <= 0 {
+			t.Fatalf("duration event %q without dur", e.Name)
+		}
+	}
+	if phases["M"] != 2 || phases["X"] != 1 || phases["i"] != 2 {
+		t.Fatalf("phase counts %v", phases)
+	}
+	// Determinism: the exporter is a pure function of its input.
+	again, _ := ChromeTrace(evs)
+	if !bytes.Equal(blob, again) {
+		t.Fatal("ChromeTrace not deterministic")
+	}
+}
+
+func TestEventNegativeDurationPanics(t *testing.T) {
+	var r Recorder
+	r.Enable()
+	r.EnablePackets()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative-duration event accepted")
+		}
+	}()
+	r.Event(Event{Kind: EvCPU, At: 100, Dur: -1})
+}

@@ -9,6 +9,23 @@
 // arrived", which the paper uses as the origin for receive-side
 // attribution). The experiment harness then computes per-layer breakdowns
 // over a window, mirroring Tables 2 and 3.
+//
+// On top of the aggregate spans sits the per-packet attribution engine:
+// when packet tracing is armed (EnablePackets) the same instrumentation
+// points also emit typed Events — CPU charges, socket enqueue/dequeue,
+// tcp_output/tcp_input, PCB lookups, IP send/queue/deliver, driver
+// TX/RX, and wire departure/arrival — each keyed by a PacketID derived
+// from the bytes on the wire (connection 4-tuple plus sequence number).
+// MergeEvents joins the per-host streams deterministically,
+// BuildTimelines reconstructs each packet's life as a span tree, and
+// ChromeTrace exports the stream in Chrome trace_event format for
+// flamegraph-style inspection. BreakdownFromEvents re-derives the
+// paper's tables from the event stream; core.RunTimelineStudy asserts
+// the re-derivation agrees with the span-based tables exactly.
+//
+// The measurement methodology — which window each table uses, why the
+// receive origin is the last wire arrival, and the fixed-seed
+// determinism contract — is documented in docs/METHODOLOGY.md.
 package trace
 
 import "repro/internal/sim"
@@ -72,8 +89,10 @@ type Mark struct {
 // (the paper likewise timed only the measured loop).
 type Recorder struct {
 	enabled bool
+	packets bool
 	spans   []Span
 	marks   []Mark
+	events  []Event
 }
 
 // Enable turns recording on.
@@ -85,10 +104,11 @@ func (r *Recorder) Disable() { r.enabled = false }
 // Enabled reports whether the recorder is accepting records.
 func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
 
-// Reset discards all spans and marks.
+// Reset discards all spans, marks, and events.
 func (r *Recorder) Reset() {
 	r.spans = r.spans[:0]
 	r.marks = r.marks[:0]
+	r.events = r.events[:0]
 }
 
 // Span records an interval attributed to a layer. Inverted intervals panic:

@@ -6,6 +6,12 @@
 // Run spawns its processes on a freshly built Lab and consumes that
 // lab's event loop, so each run needs its own topology — exactly the
 // shape the sweep engine (internal/runner) parallelizes over.
+//
+// Every generator participates in per-packet tracing: when the lab was
+// built with lab.Config.PacketTrace, Run returns the merged event
+// stream in Result.Events. The echo generator traces exactly the
+// paper's measured iterations; the others trace the whole run so
+// timelines include connection setup. See docs/METHODOLOGY.md.
 package workload
 
 import (
@@ -15,6 +21,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sock"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Port is the well-known port every workload server listens on.
@@ -37,6 +44,12 @@ type Result struct {
 	// Latencies holds one per-operation latency per measured operation,
 	// in deterministic order: client index major, operation index minor.
 	Latencies []sim.Time
+	// Events is the merged per-packet trace of the run, present only
+	// when the topology was built with lab.Config.PacketTrace. For the
+	// echo workload it covers the measured iterations (matching the
+	// paper's instrumentation window); for the other generators it
+	// covers the whole run including connection setup.
+	Events []trace.HostEvent
 }
 
 // Sample aggregates the latencies in microseconds.
@@ -87,7 +100,27 @@ func (g Echo) Run(l *lab.Lab) (*Result, error) {
 	if len(res.Windows) > 0 {
 		r.Elapsed = res.Windows[len(res.Windows)-1].ReadReturn
 	}
+	collectTrace(l, r)
 	return r, nil
+}
+
+// collectTrace attaches the merged packet-event stream to a result when
+// the topology was built with tracing armed.
+func collectTrace(l *lab.Lab, r *Result) {
+	if l.Config.PacketTrace {
+		r.Events = l.PacketEvents()
+	}
+}
+
+// startTrace turns recording on at the head of a traced run. The echo
+// generator does not use it — lab.RunEcho flips tracing at its measured
+// iterations, preserving the paper's warmup exclusion — but the other
+// generators trace from the first handshake so timelines show the whole
+// connection life.
+func startTrace(l *lab.Lab) {
+	if l.Config.PacketTrace {
+		l.EnableTracing()
+	}
 }
 
 // FanIn is the hub workload: every client host opens one connection to
@@ -116,6 +149,7 @@ func (g FanIn) Run(l *lab.Lab) (*Result, error) {
 		}
 	}
 
+	startTrace(l)
 	ln, err := l.Hosts[0].TCP.Listen(Port)
 	if err != nil {
 		return nil, err
@@ -180,6 +214,7 @@ func (g FanIn) Run(l *lab.Lab) (*Result, error) {
 	r.Requests = len(r.Latencies)
 	r.Bytes = int64(r.Requests) * int64(size) * 2
 	r.Elapsed = last
+	collectTrace(l, r)
 	return r, nil
 }
 
@@ -209,6 +244,7 @@ func (g Churn) Run(l *lab.Lab) (*Result, error) {
 		}
 	}
 
+	startTrace(l)
 	ln, err := l.Hosts[0].TCP.Listen(Port)
 	if err != nil {
 		return nil, err
@@ -271,6 +307,7 @@ func (g Churn) Run(l *lab.Lab) (*Result, error) {
 	r.Requests = len(r.Latencies)
 	r.Bytes = int64(r.Requests) * int64(size) * 2
 	r.Elapsed = last
+	collectTrace(l, r)
 	return r, nil
 }
 
@@ -302,6 +339,7 @@ func (g Bulk) Run(l *lab.Lab) (*Result, error) {
 	dones := make([]sim.Time, clients)
 	received := make([]int, clients)
 
+	startTrace(l)
 	ln, err := l.Hosts[0].TCP.Listen(Port)
 	if err != nil {
 		return nil, err
@@ -381,6 +419,7 @@ func (g Bulk) Run(l *lab.Lab) (*Result, error) {
 	}
 	r.Requests = clients
 	r.Elapsed = last
+	collectTrace(l, r)
 	return r, nil
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline tables load-smoke docs-check
+.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline bench-wallclock baseline-wallclock tables load-smoke docs-check
 
 all: build test
 
@@ -46,6 +46,21 @@ benchdiff:
 baseline:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x . | \
 		$(GO) run ./cmd/benchdiff -write BENCH_baseline.json
+
+## bench-wallclock: run the wall-clock tier and gate ns/op + allocation
+## counts against BENCH_wallclock.json with a tolerance band. CI runs it
+## with WALLCLOCK_TOL_NS=1 (gate allocations only — runner hardware
+## differs from the machine that wrote the ns/op baseline).
+WALLCLOCK_TOL_NS ?= 0.5
+bench-wallclock:
+	$(GO) test -run='^$$' -bench=Wallclock -benchmem -benchtime=2x . | \
+		$(GO) run ./cmd/benchdiff -wallclock -tol-ns $(WALLCLOCK_TOL_NS) \
+			-baseline BENCH_wallclock.json
+
+## baseline-wallclock: regenerate BENCH_wallclock.json on this machine
+baseline-wallclock:
+	$(GO) test -run='^$$' -bench=Wallclock -benchmem -benchtime=2x . | \
+		$(GO) run ./cmd/benchdiff -wallclock -write BENCH_wallclock.json
 
 ## tables: regenerate every table and figure of the paper's evaluation
 tables:

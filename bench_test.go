@@ -1,6 +1,8 @@
 // Benchmarks regenerating every table and figure of the paper's
 // evaluation, plus wall-clock benchmarks of the real checksum routines
-// and ablations of the design choices called out in DESIGN.md.
+// and ablations of the harness design choices documented in README.md's
+// fidelity notes. The simulator's own wall-clock tier lives in
+// bench_wallclock_test.go (see docs/PERFORMANCE.md).
 //
 // The table benchmarks report simulated microseconds via b.ReportMetric
 // (suffix "sim-µs/..."); ns/op for those measures the simulator itself,
@@ -142,8 +144,9 @@ func BenchmarkTable7_NoChecksum(b *testing.B) {
 
 // --- The sweep engine: serial reference versus the worker pool. ---
 
-// sweepBenchTrials is a 24-cell grid with enough per-cell work that
-// sharding dominates scheduling overhead.
+// sweepBenchTrials is the 40-cell grid (2 modes × 2 prediction ×
+// 5 sizes × 2 socket buffers) with enough per-cell work that sharding
+// dominates scheduling overhead.
 func sweepBenchTrials() []runner.EchoTrial {
 	g := runner.Grid{
 		Modes:      []cost.ChecksumMode{cost.ChecksumStandard, cost.ChecksumNone},
@@ -280,7 +283,7 @@ func BenchmarkSeparateCopyThenSum8000(b *testing.B) {
 	_ = s
 }
 
-// --- Ablations of design choices DESIGN.md calls out. ---
+// --- Ablations of the harness design choices (README fidelity notes). ---
 
 // BenchmarkAblation_PCBHashVsList contrasts the end-to-end RTT effect of
 // the two PCB organizations under a 500-entry table with prediction off —

@@ -1,0 +1,99 @@
+// Wall-clock benchmarks of the simulator itself — the tier behind
+// BENCH_wallclock.json. Where bench_test.go reports *simulated*
+// microseconds (exact, machine-independent, gated by benchdiff's strict
+// tolerance), this file reports how fast and how allocation-hungry the
+// simulator is on the machine running it: ns/op and allocs/op for the
+// sweep engine, the fan-in topology, and the traced and untraced echo
+// paths. These numbers move when the event loop, the mbuf pool, or the
+// trace engine changes — and must NOT move any sim-µs metric, which is
+// exactly what `make benchdiff` plus `make bench-wallclock` together
+// enforce (see docs/PERFORMANCE.md).
+//
+// Run with:
+//
+//	go test -run='^$' -bench=Wallclock -benchmem .
+package repro_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/lab"
+	"repro/internal/workload"
+)
+
+// BenchmarkWallclockSweepSerial is the wall-clock cost of the 40-cell
+// benchmark grid (sweepBenchTrials) on one worker — the reference
+// number the ISSUE-4 hot-path overhaul is measured against.
+func BenchmarkWallclockSweepSerial(b *testing.B) {
+	b.ReportAllocs()
+	benchSweep(b, 1)
+}
+
+// BenchmarkWallclockSweepParallel is the same grid on GOMAXPROCS
+// workers; outputs stay bit-identical (TestSerialParallelIdentical).
+func BenchmarkWallclockSweepParallel(b *testing.B) {
+	b.ReportAllocs()
+	benchSweep(b, 0)
+}
+
+// BenchmarkWallclockFanIn16 builds the 17-host ATM topology and runs the
+// 16-client fan-in once per op — the per-packet hot path under live
+// demultiplexing pressure.
+func BenchmarkWallclockFanIn16(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := lab.NewTopology(lab.Config{Link: lab.LinkATM, Seed: 1994}, 17)
+		if _, err := (workload.FanIn{Size: 200, Requests: 4, Warmup: 1}).Run(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWallclockEchoTraced runs the 1400-byte echo with per-packet
+// event recording armed, measuring what tracing costs in host time (it
+// charges no simulated time; TestPacketTraceDoesNotPerturbTiming).
+func BenchmarkWallclockEchoTraced(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := lab.New(lab.Config{Link: lab.LinkATM, Seed: 1994, PacketTrace: true})
+		if _, err := l.RunEcho(1400, 16, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// echoMallocs runs one 1400-byte echo lab to completion and returns the
+// number of heap allocations it performed.
+func echoMallocs(b *testing.B, iters int) uint64 {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	l := lab.New(lab.Config{Link: lab.LinkATM, Seed: 1994})
+	if _, err := l.RunEcho(1400, iters, 2); err != nil {
+		b.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs
+}
+
+// BenchmarkWallclockEchoSteady measures the steady-state echo round
+// trip: the marginal allocations between a 108-iteration and an
+// 8-iteration run, divided by the 100 extra round trips, so topology
+// setup and warmup cancel out exactly. The "allocs/rtt" metric is the
+// one the mbuf pool and event-loop overhaul drive toward zero; ns/op
+// times the 108-iteration run.
+func BenchmarkWallclockEchoSteady(b *testing.B) {
+	b.ReportAllocs()
+	short := echoMallocs(b, 8)
+	long := echoMallocs(b, 108)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := lab.New(lab.Config{Link: lab.LinkATM, Seed: 1994})
+		if _, err := l.RunEcho(1400, 108, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(long-short)/100, "allocs/rtt")
+}

@@ -1,15 +1,27 @@
-// Command benchdiff guards the paper metrics against regressions. The
-// benchmark suite reports its headline numbers as custom metrics in
-// simulated microseconds (unit "sim-µs/...") or percentages (unit
-// "%..."); those are produced by the deterministic simulation, so they
-// are exactly reproducible on any machine, unlike ns/op. benchdiff
-// extracts them from `go test -bench` output and compares them against a
-// committed baseline, failing on drift beyond a tolerance.
+// Command benchdiff guards the benchmark metrics against regressions,
+// in two modes.
+//
+// The default mode guards the PAPER metrics: the benchmark suite
+// reports its headline numbers as custom metrics in simulated
+// microseconds (unit "sim-µs/...") or percentages (unit "%..."); those
+// are produced by the deterministic simulation, so they are exactly
+// reproducible on any machine, unlike ns/op, and the default tolerance
+// is correspondingly strict (0.1%).
+//
+// The -wallclock mode guards the SIMULATOR's own speed: it extracts
+// ns/op, allocs/op, and the custom allocs/rtt metric from the Wallclock
+// benchmark tier and compares them against BENCH_wallclock.json with a
+// tolerance band — wide for ns/op (machine and load dependent), tight
+// for allocation counts (near-deterministic). This is the gate that
+// fails CI when a change quietly reintroduces per-event or per-packet
+// allocations the hot-path overhaul removed (see docs/PERFORMANCE.md).
 //
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchtime=1x | benchdiff -baseline BENCH_baseline.json
 //	go test -run='^$' -bench=. -benchtime=1x | benchdiff -write BENCH_baseline.json
+//	go test -run='^$' -bench=Wallclock -benchmem -benchtime=2x | benchdiff -wallclock -baseline BENCH_wallclock.json
+//	go test -run='^$' -bench=Wallclock -benchmem -benchtime=2x | benchdiff -wallclock -write BENCH_wallclock.json
 package main
 
 import (
@@ -35,9 +47,12 @@ func main() {
 func run(args []string, in io.Reader, w io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		baseline = fs.String("baseline", "BENCH_baseline.json", "baseline file to compare against")
-		write    = fs.String("write", "", "write a new baseline to this file instead of comparing")
-		tol      = fs.Float64("tol", 0.001, "relative tolerance before a difference is a failure")
+		baseline  = fs.String("baseline", "BENCH_baseline.json", "baseline file to compare against")
+		write     = fs.String("write", "", "write a new baseline to this file instead of comparing")
+		tol       = fs.Float64("tol", 0.001, "relative tolerance before a difference is a failure")
+		wallclock = fs.Bool("wallclock", false, "compare wall-clock metrics (ns/op, allocs) instead of paper metrics")
+		tolNs     = fs.Float64("tol-ns", 0.5, "wallclock: relative tolerance for ns/op (machine dependent)")
+		tolAlloc  = fs.Float64("tol-alloc", 0.15, "wallclock: relative tolerance for allocation counts")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -46,15 +61,27 @@ func run(args []string, in io.Reader, w io.Writer) error {
 		return err
 	}
 
-	got, err := parseBench(in)
+	var got map[string]float64
+	var err error
+	if *wallclock {
+		got, err = parseWallclock(in)
+	} else {
+		got, err = parseBench(in)
+	}
 	if err != nil {
 		return err
 	}
 	if len(got) == 0 {
-		return fmt.Errorf("no paper metrics found in the bench output")
+		return fmt.Errorf("no metrics found in the bench output")
 	}
 
 	if *write != "" {
+		if *wallclock && !hasAllocMetric(got) {
+			// An ns/op-only baseline would make the allocation gate —
+			// the one CI relies on — pass vacuously forever. The usual
+			// cause is forgetting -benchmem on the bench invocation.
+			return fmt.Errorf("wallclock input has no allocation metrics; run the benchmarks with -benchmem")
+		}
 		b, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {
 			return err
@@ -70,7 +97,16 @@ func run(args []string, in io.Reader, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return compare(w, base, got, *tol)
+	tolFor := func(string) float64 { return *tol }
+	if *wallclock {
+		tolFor = func(key string) float64 {
+			if strings.HasSuffix(key, "/ns/op") {
+				return *tolNs
+			}
+			return *tolAlloc
+		}
+	}
+	return compare(w, base, got, tolFor)
 }
 
 // parseBench extracts the deterministic paper metrics from `go test
@@ -107,6 +143,56 @@ func parseBench(in io.Reader) (map[string]float64, error) {
 	return out, sc.Err()
 }
 
+// parseWallclock extracts the wall-clock metrics of the Wallclock
+// benchmark tier: the standard ns/op and allocs/op columns plus the
+// custom allocs/rtt metric. Keys are "BenchName/unit" with the
+// -GOMAXPROCS suffix stripped. B/op is deliberately excluded: byte
+// counts swing with GC timing and map growth in ways allocation counts
+// do not, and the allocation count is the metric the hot-path contract
+// is written against.
+func parseWallclock(in io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "BenchmarkWallclock") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 1; i+1 < len(fields); i++ {
+			unit := fields[i+1]
+			switch unit {
+			case "ns/op", "allocs/op", "allocs/rtt":
+			default:
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			out[name+"/"+unit] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+// hasAllocMetric reports whether any parsed metric is an allocation
+// count (allocs/op or allocs/rtt).
+func hasAllocMetric(m map[string]float64) bool {
+	for k := range m {
+		if strings.HasSuffix(k, "/allocs/op") || strings.HasSuffix(k, "/allocs/rtt") {
+			return true
+		}
+	}
+	return false
+}
+
 func readBaseline(path string) (map[string]float64, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -119,10 +205,12 @@ func readBaseline(path string) (map[string]float64, error) {
 	return base, nil
 }
 
-// compare reports metrics that drifted beyond tol, disappeared, or
-// appeared without a baseline entry. New metrics are advisory; drift and
-// disappearance fail.
-func compare(w io.Writer, base, got map[string]float64, tol float64) error {
+// compare reports metrics that drifted beyond their tolerance,
+// disappeared, or appeared without a baseline entry. New metrics are
+// advisory; drift and disappearance fail. tolFor maps a metric key to
+// its tolerance, letting the wall-clock mode band ns/op loosely and
+// allocation counts tightly.
+func compare(w io.Writer, base, got map[string]float64, tolFor func(string) float64) error {
 	keys := make([]string, 0, len(base))
 	for k := range base {
 		keys = append(keys, k)
@@ -138,7 +226,7 @@ func compare(w io.Writer, base, got map[string]float64, tol float64) error {
 			failures++
 			continue
 		}
-		if relDiff(v, want) > tol {
+		if relDiff(v, want) > tolFor(k) {
 			if want != 0 {
 				fmt.Fprintf(w, "DRIFT   %s: %.4g vs baseline %.4g (%+.2f%%)\n",
 					k, v, want, (v-want)/want*100)

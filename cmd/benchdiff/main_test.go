@@ -95,3 +95,77 @@ func TestEmptyInputRejected(t *testing.T) {
 		t.Fatal("empty bench output accepted")
 	}
 }
+
+const sampleWallclock = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkWallclockSweepSerial-8   	       2	 288152656 ns/op	        40.00 cells	         1.000 workers	33812764 B/op	   28784 allocs/op
+BenchmarkWallclockEchoSteady-8    	       2	  20063557 ns/op	        12.21 allocs/rtt	 2755016 B/op	    1696 allocs/op
+BenchmarkSweepSerial-8            	       2	 289856962 ns/op	        40.00 cells	   28787 allocs/op
+PASS
+`
+
+func TestParseWallclock(t *testing.T) {
+	got, err := parseWallclock(strings.NewReader(sampleWallclock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the Wallclock tier counts, and B/op is excluded.
+	want := map[string]float64{
+		"BenchmarkWallclockSweepSerial/ns/op":     288152656,
+		"BenchmarkWallclockSweepSerial/allocs/op": 28784,
+		"BenchmarkWallclockEchoSteady/ns/op":      20063557,
+		"BenchmarkWallclockEchoSteady/allocs/rtt": 12.21,
+		"BenchmarkWallclockEchoSteady/allocs/op":  1696,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d metrics (%v), want %d", len(got), got, len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestWallclockToleranceBands(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wall.json")
+	if err := run([]string{"-wallclock", "-write", path},
+		strings.NewReader(sampleWallclock), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	// A 30% ns/op swing stays inside the wide ns/op band.
+	slower := strings.Replace(sampleWallclock, "288152656", "374598452", 1)
+	var out bytes.Buffer
+	if err := run([]string{"-wallclock", "-baseline", path},
+		strings.NewReader(slower), &out); err != nil {
+		t.Fatalf("30%% ns/op swing should pass: %v\n%s", err, out.String())
+	}
+	// A 30% allocation regression breaks the tight allocation band.
+	leaky := strings.Replace(sampleWallclock, "   28784 allocs/op", "   37419 allocs/op", 1)
+	out.Reset()
+	err := run([]string{"-wallclock", "-baseline", path}, strings.NewReader(leaky), &out)
+	if err == nil {
+		t.Fatalf("allocation regression not detected:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "DRIFT") ||
+		!strings.Contains(out.String(), "allocs/op") {
+		t.Fatalf("drift report missing:\n%s", out.String())
+	}
+}
+
+func TestWallclockWriteRejectsMissingAllocs(t *testing.T) {
+	// Forgetting -benchmem yields ns/op-only input; writing that as a
+	// baseline would disable the allocation gate, so it must refuse.
+	noAllocs := "BenchmarkWallclockSweepSerial-8   2   288152656 ns/op\nPASS\n"
+	path := filepath.Join(t.TempDir(), "wall.json")
+	err := run([]string{"-wallclock", "-write", path},
+		strings.NewReader(noAllocs), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-benchmem") {
+		t.Fatalf("ns/op-only wallclock baseline accepted: %v", err)
+	}
+	if _, statErr := os.Stat(path); statErr == nil {
+		t.Fatal("baseline file written despite rejection")
+	}
+}

@@ -1,15 +1,30 @@
 // Command docscheck keeps the documentation executable: it extracts
-// every `go run ./...` command line quoted in the given Markdown files
-// (fenced code blocks and inline code spans), reduces each to a quick
-// smoke configuration, runs it, and fails if any command errors — which
-// is what happens when a documented flag drifts from a tool's real flag
-// set. CI runs it via `make docs-check`.
+// every `go run ./...` and `go test ...` command line quoted in the
+// given Markdown files (fenced code blocks and inline code spans),
+// reduces each to a quick smoke configuration, runs it, and fails if
+// any command errors — which is what happens when a documented flag
+// drifts from a tool's real flag set. CI runs it via `make docs-check`.
 //
 // Smoke mode appends per-tool iteration-reducing flags (the Go flag
 // package lets a later flag override an earlier one), so a quoted
 // `-iters 100` executes as `-iters 2`: the check validates flags and
 // basic behaviour, not full-length output. Redirections and pipes in
 // quoted lines are stripped — stdout is discarded anyway.
+//
+// `go test` lines get their own smoke treatment, sized for the
+// benchmark and profiling commands docs/PERFORMANCE.md quotes: a
+// command that selects benchmarks (-bench) is reduced to one iteration
+// of each (-benchtime=1x) with unit tests skipped (-run ^$), and any
+// -cpuprofile/-memprofile output path is redirected into the system
+// temp directory so a docs run never litters the working tree. Plain
+// `go test` lines (a specific -run selection quoted in a doc) execute
+// as written — and FAIL if the selection matches nothing (`go test`
+// exits 0 with "[no tests to run]" when a documented test name has
+// drifted, so docscheck scans for the marker). Drift in documented
+// *benchmark* names is caught by the other gate: a renamed benchmark
+// turns up as a MISSING metric in `make bench-wallclock` or `make
+// benchdiff`. `go tool pprof` lines are not extracted: they are
+// interactive.
 package main
 
 import (
@@ -91,7 +106,7 @@ func run(args []string, w io.Writer) error {
 			continue
 		}
 		fmt.Fprintf(w, "docscheck: %s\n", c)
-		if err := execute(argv, *timeout); err != nil {
+		if err := execute(argv, *timeout, isPlainGoTest(argv)); err != nil {
 			failures++
 			fmt.Fprintf(w, "docscheck: FAIL %s\n%v\n", c, err)
 		}
@@ -132,12 +147,12 @@ func markdownFiles(paths []string) ([]string, error) {
 	return out, nil
 }
 
-var inlineRun = regexp.MustCompile("`(go run \\./[^`]+)`")
+var inlineRun = regexp.MustCompile("`(go (?:run \\./|test )[^`]+)`")
 
-// extractCommands pulls `go run ./...` command lines out of Markdown:
-// whole lines inside fenced code blocks, plus inline code spans.
-// Trailing shell comments are stripped; docscheck itself is excluded
-// (running it from inside itself would recurse).
+// extractCommands pulls `go run ./...` and `go test ...` command lines
+// out of Markdown: whole lines inside fenced code blocks, plus inline
+// code spans. Trailing shell comments are stripped; docscheck itself is
+// excluded (running it from inside itself would recurse).
 func extractCommands(md string) []string {
 	var out []string
 	add := func(c string) {
@@ -145,7 +160,8 @@ func extractCommands(md string) []string {
 		if i := strings.Index(c, " #"); i >= 0 {
 			c = strings.TrimSpace(c[:i])
 		}
-		if strings.HasPrefix(c, "go run ./") && !strings.Contains(c, "./cmd/docscheck") {
+		if (strings.HasPrefix(c, "go run ./") || strings.HasPrefix(c, "go test ")) &&
+			!strings.Contains(c, "./cmd/docscheck") {
 			out = append(out, c)
 		}
 	}
@@ -180,7 +196,13 @@ func commandArgs(c string, smoke bool) []string {
 		}
 		argv = append(argv, f)
 	}
-	if smoke && len(argv) >= 3 {
+	if !smoke || len(argv) < 2 {
+		return argv
+	}
+	if argv[1] == "test" {
+		return smokeTestArgs(argv)
+	}
+	if len(argv) >= 3 {
 		if extra, ok := smokeFlags[argv[2]]; ok {
 			argv = append(argv, extra...)
 		}
@@ -188,13 +210,65 @@ func commandArgs(c string, smoke bool) []string {
 	return argv
 }
 
-// execute runs one command with stdout discarded, returning an error
+// isBenchFlag reports whether one argv token selects benchmarks, in
+// any of the flag spellings `go test` accepts.
+func isBenchFlag(f string) bool {
+	return f == "-bench" || f == "--bench" ||
+		strings.HasPrefix(f, "-bench=") || strings.HasPrefix(f, "--bench=")
+}
+
+// smokeTestArgs reduces a documented `go test` line: benchmark
+// selections run one iteration with unit tests skipped, and profile
+// outputs land in the temp directory instead of the working tree.
+func smokeTestArgs(argv []string) []string {
+	hasBench := false
+	for i, f := range argv {
+		switch {
+		case isBenchFlag(f):
+			hasBench = true
+		case f == "-cpuprofile" || f == "-memprofile":
+			if i+1 < len(argv) {
+				argv[i+1] = filepath.Join(os.TempDir(), filepath.Base(argv[i+1]))
+			}
+		case strings.HasPrefix(f, "-cpuprofile=") || strings.HasPrefix(f, "-memprofile="):
+			flag, val, _ := strings.Cut(f, "=")
+			argv[i] = flag + "=" + filepath.Join(os.TempDir(), filepath.Base(val))
+		}
+	}
+	if hasBench {
+		argv = append(argv, "-run", "^$", "-benchtime", "1x")
+	}
+	return argv
+}
+
+// isPlainGoTest reports whether argv is a `go test` invocation with no
+// benchmark selection — the case whose output must be scanned for the
+// "[no tests to run]" marker, because a drifted test name exits 0.
+func isPlainGoTest(argv []string) bool {
+	if len(argv) < 2 || argv[1] != "test" {
+		return false
+	}
+	for _, f := range argv {
+		if isBenchFlag(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// execute runs one command with stdout discarded (or, for plain `go
+// test` lines, scanned for the zero-tests marker), returning an error
 // carrying stderr on failure. The command runs in its own process
 // group so a timeout kills the documented tool itself, not just the
 // `go run` wrapper in front of it.
-func execute(argv []string, timeout time.Duration) error {
+func execute(argv []string, timeout time.Duration, scanNoTests bool) error {
 	cmd := exec.Command(argv[0], argv[1:]...)
-	cmd.Stdout = io.Discard
+	var stdout strings.Builder
+	if scanNoTests {
+		cmd.Stdout = &stdout
+	} else {
+		cmd.Stdout = io.Discard
+	}
 	var stderr strings.Builder
 	cmd.Stderr = &stderr
 	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
@@ -207,6 +281,9 @@ func execute(argv []string, timeout time.Duration) error {
 	case err := <-done:
 		if err != nil {
 			return fmt.Errorf("%w\n%s", err, strings.TrimSpace(stderr.String()))
+		}
+		if scanNoTests && strings.Contains(stdout.String(), "no tests to run") {
+			return fmt.Errorf("documented test selection matched no tests")
 		}
 		return nil
 	case <-time.After(timeout):

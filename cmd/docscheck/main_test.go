@@ -5,7 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 )
 
 const sampleDoc = "# Title\n" +
@@ -87,5 +89,79 @@ func TestNoCommandsIsAnError(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-list", path}, &buf); err == nil {
 		t.Fatal("empty doc set accepted")
+	}
+}
+
+const sampleBenchDoc = "# Profiling\n" +
+	"```sh\n" +
+	"go test -run='^$' -bench=Sweep -benchtime=2x -cpuprofile cpu.out .\n" +
+	"go test -run='^$' -bench=Wallclock -benchmem -benchtime=2x . | go run ./cmd/benchdiff -wallclock -baseline BENCH_wallclock.json\n" +
+	"go tool pprof -top cpu.out\n" +
+	"```\n" +
+	"Inline: `go test ./internal/core -run TimelineStudy -v`.\n"
+
+func TestExtractGoTestCommands(t *testing.T) {
+	got := extractCommands(sampleBenchDoc)
+	want := []string{
+		"go test -run='^$' -bench=Sweep -benchtime=2x -cpuprofile cpu.out .",
+		"go test -run='^$' -bench=Wallclock -benchmem -benchtime=2x . | go run ./cmd/benchdiff -wallclock -baseline BENCH_wallclock.json",
+		"go test ./internal/core -run TimelineStudy -v",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("extractCommands:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestSmokeTestArgs(t *testing.T) {
+	// Bench command: profiles land in the temp dir, unit tests are
+	// skipped, and the benchtime reduction is appended last so it wins.
+	got := commandArgs("go test -run='^$' -bench=Sweep -benchtime=2x -cpuprofile cpu.out .", true)
+	want := []string{"go", "test", "-run='^$'", "-bench=Sweep", "-benchtime=2x",
+		"-cpuprofile", filepath.Join(os.TempDir(), "cpu.out"), ".",
+		"-run", "^$", "-benchtime", "1x"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("bench smoke args:\n got %q\nwant %q", got, want)
+	}
+	// The pipe into benchdiff is stripped with the rest of the shell.
+	got = commandArgs("go test -bench=Wallclock . | go run ./cmd/benchdiff -wallclock", true)
+	want = []string{"go", "test", "-bench=Wallclock", ".", "-run", "^$", "-benchtime", "1x"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("piped bench args:\n got %q\nwant %q", got, want)
+	}
+	// A plain -run selection executes as written.
+	got = commandArgs("go test ./internal/core -run TimelineStudy -v", true)
+	want = []string{"go", "test", "./internal/core", "-run", "TimelineStudy", "-v"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("plain test args:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestPlainGoTestDetection(t *testing.T) {
+	if !isPlainGoTest([]string{"go", "test", "./internal/lab", "-run", "X", "-v"}) {
+		t.Fatal("plain -run selection not detected")
+	}
+	if isPlainGoTest([]string{"go", "test", "-run=^$", "-bench=Wallclock", "."}) {
+		t.Fatal("bench command misclassified as plain go test")
+	}
+	if isPlainGoTest([]string{"go", "run", "./cmd/tables"}) {
+		t.Fatal("go run misclassified as go test")
+	}
+}
+
+func TestDriftedTestNameFails(t *testing.T) {
+	// A documented -run selection that matches nothing must fail even
+	// though `go test` itself exits 0 with "[no tests to run]".
+	err := execute([]string{"go", "test", "repro/internal/pcb",
+		"-run", "NoSuchTestEver"}, 2*time.Minute, true)
+	if err == nil {
+		t.Fatal("zero-match test selection accepted")
+	}
+	if !strings.Contains(err.Error(), "matched no tests") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The same selection with a real test passes.
+	if err := execute([]string{"go", "test", "repro/internal/pcb",
+		"-run", "TestLookupExact"}, 2*time.Minute, true); err != nil {
+		t.Fatalf("real selection failed: %v", err)
 	}
 }

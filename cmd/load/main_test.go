@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -97,6 +99,27 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	} {
 		if err := run(args, &bytes.Buffer{}); err == nil {
 			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// goldenLoadSHA256 is the SHA-256 of the 8-client fan-in JSON at seed
+// 1994, captured on the pre-overhaul (PR 3) tree; see the matching
+// golden tests in cmd/tables and cmd/pkttrace.
+const goldenLoadSHA256 = "51d27d1a4df774f64a0dd433ed4a94ef553a299cace3dccdcf5c51200d143c85"
+
+func TestGoldenJSONByteIdentical(t *testing.T) {
+	for _, parallel := range []string{"1", "4"} {
+		var buf bytes.Buffer
+		args := []string{"-workload", "fanin", "-hosts", "9", "-reqs", "4",
+			"-seed", "1994", "-json", "-parallel", parallel}
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		if got := hex.EncodeToString(sum[:]); got != goldenLoadSHA256 {
+			t.Errorf("-parallel %s: output hash %s, want golden %s (simulated results changed)",
+				parallel, got, goldenLoadSHA256)
 		}
 	}
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"os"
 	"strings"
@@ -200,5 +202,26 @@ func TestWriteToFile(t *testing.T) {
 	checkChrome(t, blob)
 	if !strings.HasSuffix(string(blob), "\n") {
 		t.Fatal("file not newline-terminated")
+	}
+}
+
+// goldenChromeSHA256 is the SHA-256 of the 1400-byte traced echo's
+// Chrome trace at seed 3, captured on the pre-overhaul (PR 3) tree; the
+// per-packet event stream is the most aliasing-sensitive output the
+// tools produce, so pinning it guards both determinism and the mbuf
+// pool's no-aliasing contract.
+const goldenChromeSHA256 = "0bb26aaadb55cfa71b019d19b2db6d68411d927ce983680e7e1453766e6f0b98"
+
+func TestGoldenChromeByteIdentical(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-workload", "echo", "-size", "1400", "-iters", "4",
+		"-seed", "3", "-format", "chrome"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != goldenChromeSHA256 {
+		t.Errorf("output hash %s, want golden %s (simulated results changed)",
+			got, goldenChromeSHA256)
 	}
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -49,5 +51,26 @@ func TestRunJSON(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+// goldenTablesSHA256 is the SHA-256 of `tables -json -iters 3 -seed 7`,
+// captured on the pre-overhaul (PR 3) tree. The wall-clock hot-path
+// overhaul (ISSUE 4) promised byte-identical simulated results; this
+// hash pins that promise for every future change, at any worker count.
+const goldenTablesSHA256 = "d0839646ab008198db03e66cd449d4f81cd86ae3d0394dcb11f238b4be1987da"
+
+func TestGoldenJSONByteIdentical(t *testing.T) {
+	for _, parallel := range []string{"1", "4"} {
+		var buf bytes.Buffer
+		args := []string{"-json", "-iters", "3", "-seed", "7", "-parallel", parallel}
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		if got := hex.EncodeToString(sum[:]); got != goldenTablesSHA256 {
+			t.Errorf("-parallel %s: output hash %s, want golden %s (simulated results changed)",
+				parallel, got, goldenTablesSHA256)
+		}
 	}
 }

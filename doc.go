@@ -18,6 +18,17 @@
 // evaluation, and internal/runner shards the experiment grid across a
 // worker pool with bit-identical results at any worker count.
 //
+// The simulator itself is engineered for wall-clock speed without
+// moving a single simulated result: a value-based 4-ary event heap in
+// internal/sim, mbuf header and cluster-page free-lists in
+// internal/mbuf, table-driven CRCs and reusable per-frame scratch in
+// the drivers, and preallocated trace buffers. docs/PERFORMANCE.md is
+// the playbook — profiling commands, the hot-path map with measured
+// numbers, and the BENCH_wallclock.json regression gate behind
+// bench_wallclock_test.go and cmd/benchdiff's -wallclock mode; golden
+// SHA-256 tests in cmd/tables, cmd/load, and cmd/pkttrace pin the
+// simulated outputs byte for byte across such changes.
+//
 // Beyond the paper's two-host pair, internal/lab builds N-host
 // topologies (a shared Ethernet segment or an output-queued ATM cell
 // switch with a full virtual-channel mesh) and internal/workload drives

@@ -32,10 +32,22 @@ const cpcsOverhead = 8
 // TCA-100's MTU is just over 9 KB ("also close to our ATM MTU of 9K").
 const MaxDatagram = 9188
 
-// crc10 computes the AAL3/4 CRC-10 (polynomial x^10+x^9+x^5+x^4+x+1,
-// 0x633) over b.
-func crc10(b []byte) uint16 {
-	var crc uint16
+// crc10Table drives the byte-at-a-time CRC-10: entry v is the bitwise
+// CRC of the single byte v. It is filled once at init from the bitwise
+// reference (crc10Bitwise), which the tests also compare against — the
+// table form computes identical values, it only removes the 8-iteration
+// inner loop from the twice-per-cell hot path.
+var crc10Table [256]uint16
+
+func init() {
+	for v := 0; v < 256; v++ {
+		crc10Table[v] = crc10Bitwise(0, []byte{byte(v)})
+	}
+}
+
+// crc10Bitwise is the reference AAL3/4 CRC-10 (polynomial
+// x^10+x^9+x^5+x^4+x+1, 0x633), one bit at a time, continuing from crc.
+func crc10Bitwise(crc uint16, b []byte) uint16 {
 	for _, v := range b {
 		crc ^= uint16(v) << 2
 		for i := 0; i < 8; i++ {
@@ -50,6 +62,15 @@ func crc10(b []byte) uint16 {
 	return crc
 }
 
+// crc10 computes the AAL3/4 CRC-10 over b, table-driven.
+func crc10(b []byte) uint16 {
+	var crc uint16
+	for _, v := range b {
+		crc = (crc&0x3)<<8 ^ crc10Table[(crc>>2)^uint16(v)]
+	}
+	return crc
+}
+
 // CellsForDatagram returns how many cells a datagram of n bytes occupies
 // after CPCS encapsulation, the quantity the driver's per-cell costs
 // scale with.
@@ -59,30 +80,56 @@ func CellsForDatagram(n int) int {
 	return (total + SARPayload - 1) / SARPayload
 }
 
-// Segmenter turns datagrams into cells on one virtual channel.
+// Segmenter turns datagrams into cells on one virtual channel. It keeps
+// a private CPCS-PDU scratch buffer that is overwritten on every
+// segmentation, so steady-state transmission does not allocate.
 type Segmenter struct {
 	VCI  uint16
 	MID  uint16
 	btag uint8
 	sn   uint8
+
+	// pdu is the CPCS-PDU scratch, reused across Segment calls. Its
+	// bytes never escape: each cell payload is copied out of it.
+	pdu []byte
 }
 
 // Segment encapsulates data in a CPCS-PDU and returns its cells in
-// transmission order. Every call uses a fresh Btag so that interleaved or
-// lost frames cannot be spliced together undetected.
+// transmission order, in freshly allocated storage the caller owns.
+// Every call uses a fresh Btag so that interleaved or lost frames cannot
+// be spliced together undetected. The transmit hot path uses
+// SegmentAppend instead, reusing the driver's cell scratch.
 func (s *Segmenter) Segment(data []byte) []Cell {
+	return s.SegmentAppend(nil, data)
+}
+
+// SegmentAppend appends the datagram's cells to dst and returns the
+// extended slice. Passing a recycled dst (length zero, retained
+// capacity) makes steady-state segmentation allocation-free; the ATM
+// driver holds one such scratch per interface, which is safe because
+// Output is serialized per driver.
+func (s *Segmenter) SegmentAppend(dst []Cell, data []byte) []Cell {
 	if len(data) > MaxDatagram {
 		panic(fmt.Sprintf("atm: datagram of %d bytes exceeds AAL3/4 maximum %d", len(data), MaxDatagram))
 	}
 	s.btag++
 	padded := (len(data) + 3) &^ 3
-	pdu := make([]byte, padded+cpcsOverhead)
+	need := padded + cpcsOverhead
+	if cap(s.pdu) < need {
+		s.pdu = make([]byte, need)
+	}
+	pdu := s.pdu[:need]
 	// CPCS header: CPI, Btag, BASize.
 	pdu[0] = 0
 	pdu[1] = s.btag
 	pdu[2] = byte(padded >> 8)
 	pdu[3] = byte(padded)
 	copy(pdu[4:], data)
+	// Zero the alignment padding explicitly: the scratch may hold bytes
+	// of an earlier datagram, and the pad must go out as zeros.
+	for i := 4 + len(data); i < len(pdu)-4; i++ {
+		pdu[i] = 0
+	}
 	// CPCS trailer: AL, Etag, Length.
 	t := pdu[len(pdu)-4:]
 	t[0] = 0
@@ -91,7 +138,11 @@ func (s *Segmenter) Segment(data []byte) []Cell {
 	t[3] = byte(len(data))
 
 	n := (len(pdu) + SARPayload - 1) / SARPayload
-	cells := make([]Cell, n)
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, Cell{})
+	}
+	cells := dst[base:]
 	for i := 0; i < n; i++ {
 		st := byte(segCOM)
 		switch {
@@ -128,7 +179,7 @@ func (s *Segmenter) Segment(data []byte) []Cell {
 		p[46] |= byte(crc >> 8)
 		p[47] = byte(crc)
 	}
-	return cells
+	return dst
 }
 
 // ReassemblyError describes why a frame was discarded.
@@ -141,6 +192,7 @@ func (e *ReassemblyError) Error() string { return "atm: reassembly: " + e.Reason
 // reassembly error is returned when a frame ends.
 type Reassembler struct {
 	buf    []byte
+	out    []byte // completed-datagram scratch, reused across frames
 	active bool
 	sn     uint8
 	haveSN bool
@@ -155,6 +207,11 @@ type Reassembler struct {
 // dropped cells, CRC-10 failures from corruption, and Btag/Etag or length
 // mismatches from spliced frames all surface here, exactly the failures
 // AAL3/4 exists to catch.
+//
+// The returned datagram is the reassembler's reusable scratch buffer:
+// it is valid until the next Push on this Reassembler. The driver copies
+// it into mbufs before touching the FIFO again; callers that need to
+// keep it longer must copy it.
 func (r *Reassembler) Push(c *Cell) ([]byte, error) {
 	p := c.Payload()
 	// Validate the CRC-10: recompute over the payload with the CRC bits
@@ -236,7 +293,10 @@ func (r *Reassembler) finish() ([]byte, error) {
 		r.Errors++
 		return nil, &ReassemblyError{Reason: "length exceeds PDU"}
 	}
-	out := make([]byte, length)
+	if cap(r.out) < length {
+		r.out = make([]byte, length)
+	}
+	out := r.out[:length]
 	copy(out, pdu[4:4+length])
 	r.buf = r.buf[:0]
 	return out, nil

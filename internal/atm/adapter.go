@@ -28,6 +28,32 @@ type cellSink interface {
 	deliverCell(c Cell)
 }
 
+// cellQueue is a FIFO of cells with a head index, so popping neither
+// shifts the backing array nor allocates: the array empties back to
+// index zero whenever the queue drains, and compacts when the dead
+// prefix dominates. It backs the adapter's FIFOs and in-flight queues.
+type cellQueue struct {
+	buf  []Cell
+	head int
+}
+
+func (q *cellQueue) push(c Cell) { q.buf = append(q.buf, c) }
+
+func (q *cellQueue) len() int { return len(q.buf) - q.head }
+
+func (q *cellQueue) pop() Cell {
+	c := q.buf[q.head]
+	q.head++
+	switch {
+	case q.head == len(q.buf):
+		q.buf, q.head = q.buf[:0], 0
+	case q.head >= 128 && q.head*2 >= len(q.buf):
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf, q.head = q.buf[:n], 0
+	}
+	return c
+}
+
 // Adapter models one TCA-100: the transmit FIFO feeding the wire and the
 // receive FIFO filled from the wire. The transmit engine "starts reading
 // from the transmit FIFO as soon as there is one complete cell in the
@@ -38,9 +64,20 @@ type Adapter struct {
 
 	txCount       int      // cells currently in the transmit FIFO
 	wireBusy      sim.Time // when the transmit engine finishes its current cell
-	rxFIFO        []Cell
+	rxFIFO        cellQueue
 	framesPending int        // frame-ending cells in the FIFO not yet consumed
 	arrivals      []sim.Time // wire-arrival time of each pending frame end
+
+	// txFIFO holds the cells awaiting the transmit engine and flight the
+	// cells crossing the fiber. Together with cellOutFn/cellInFn — bound
+	// once at construction — they let PushTx schedule both wire events
+	// without allocating a closure per cell: the engine and the fiber
+	// each drain their queue in FIFO order, which matches event order
+	// because cell completion times are monotonic per adapter.
+	txFIFO    cellQueue
+	flight    cellQueue
+	cellOutFn func()
+	cellInFn  func()
 
 	// SpaceAvail is woken each time the transmit engine drains a cell,
 	// unblocking a driver waiting for FIFO space.
@@ -70,11 +107,31 @@ type Adapter struct {
 
 // NewAdapter returns an adapter attached to the given host kernel.
 func NewAdapter(k *kern.Kernel) *Adapter {
-	return &Adapter{
+	a := &Adapter{
 		K:          k,
 		SpaceAvail: k.Env.NewWaitQueue(k.Name + ".atm.space"),
 		RxReady:    k.Env.NewWaitQueue(k.Name + ".atm.rx"),
 	}
+	// Bound once so the per-cell wire events reuse them (see PushTx).
+	a.cellOutFn = a.cellOut
+	a.cellInFn = a.cellIn
+	return a
+}
+
+// cellOut fires when the transmit engine finishes clocking one cell into
+// the wire: free the FIFO slot, wake any driver blocked on space, and
+// start the cell's propagation across the fiber.
+func (a *Adapter) cellOut() {
+	a.txCount--
+	a.SpaceAvail.WakeAll()
+	a.flight.push(a.txFIFO.pop())
+	a.K.Env.After(a.K.Cost.ATMPropagation, "atm.cellin", a.cellInFn)
+}
+
+// cellIn fires when a cell's propagation delay elapses: deliver it to
+// the far end of the fiber.
+func (a *Adapter) cellIn() {
+	a.link.deliverCell(a.flight.pop())
 }
 
 // Connect joins two adapters with a duplex fiber — the switchless
@@ -99,7 +156,9 @@ func (a *Adapter) TxSpace() int { return TxFIFOCells - a.txCount }
 
 // PushTx places one cell in the transmit FIFO. The caller (the driver)
 // must have verified TxSpace; pushing into a full FIFO panics because on
-// the real hardware it would corrupt the frame.
+// the real hardware it would corrupt the frame. The cell's two wire
+// events (engine completion, far-end arrival) reuse the adapter's bound
+// callbacks and FIFO queues, so transmission allocates nothing per cell.
 func (a *Adapter) PushTx(c Cell) {
 	if a.txCount >= TxFIFOCells {
 		panic("atm: transmit FIFO overflow")
@@ -113,13 +172,8 @@ func (a *Adapter) PushTx(c Cell) {
 	end := start + a.CellTime()
 	a.wireBusy = end
 	a.CellsSent++
-	env.At(end, "atm.cellout", func() {
-		a.txCount--
-		a.SpaceAvail.WakeAll()
-		prop := a.K.Cost.ATMPropagation
-		cc := c
-		env.After(prop, "atm.cellin", func() { a.link.deliverCell(cc) })
-	})
+	a.txFIFO.push(c)
+	env.At(end, "atm.cellout", a.cellOutFn)
 }
 
 // receive handles a cell arriving from the wire.
@@ -138,12 +192,12 @@ func (a *Adapter) receive(c Cell) {
 		c[bit/8] ^= 1 << (bit % 8)
 		a.CellsCorrupted++
 	}
-	if len(a.rxFIFO) >= RxFIFOCells {
+	if a.rxFIFO.len() >= RxFIFOCells {
 		a.RxOverflows++
 		a.CellsDropped++
 		return
 	}
-	a.rxFIFO = append(a.rxFIFO, c)
+	a.rxFIFO.push(c)
 	if IsFrameEnd(&c) {
 		// Frame-ending cell: record the paper's receive-measurement
 		// origin ("the arrival of the last group of ATM cells
@@ -154,7 +208,7 @@ func (a *Adapter) receive(c Cell) {
 		a.arrivals = append(a.arrivals, a.K.Env.Now())
 		a.K.Trace.Mark(trace.MarkFrameArrival, a.K.Env.Now())
 		a.RxReady.Wake()
-	} else if len(a.rxFIFO) >= RxDrainThreshold {
+	} else if a.rxFIFO.len() >= RxDrainThreshold {
 		// Occupancy interrupt: make the driver drain before overflow.
 		a.RxReady.Wake()
 	}
@@ -192,15 +246,12 @@ func (a *Adapter) ConsumeFrameEnd() sim.Time {
 func (a *Adapter) TxIdleAt() sim.Time { return a.wireBusy }
 
 // RxAvail returns the number of cells waiting in the receive FIFO.
-func (a *Adapter) RxAvail() int { return len(a.rxFIFO) }
+func (a *Adapter) RxAvail() int { return a.rxFIFO.len() }
 
 // PopRx removes and returns the oldest cell in the receive FIFO.
 func (a *Adapter) PopRx() (Cell, bool) {
-	if len(a.rxFIFO) == 0 {
+	if a.rxFIFO.len() == 0 {
 		return Cell{}, false
 	}
-	c := a.rxFIFO[0]
-	copy(a.rxFIFO, a.rxFIFO[1:])
-	a.rxFIFO = a.rxFIFO[:len(a.rxFIFO)-1]
-	return c, true
+	return a.rxFIFO.pop(), true
 }

@@ -472,3 +472,48 @@ func TestHECErrorOnFrameEndConsumesPending(t *testing.T) {
 		t.Fatalf("wire-arrival stamped %v, want the frame's own arrival %v", arrive[0].At, mark)
 	}
 }
+
+// TestCRCTablesMatchBitwiseReference pins the table-driven CRC-10 and
+// HEC to the bit-at-a-time reference implementations: the tables are a
+// wall-clock optimization and must compute identical values, or cells
+// would stop reassembling and corruption detection would drift.
+func TestCRCTablesMatchBitwiseReference(t *testing.T) {
+	rng := sim.NewRNG(11)
+	buf := make([]byte, 256)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(len(buf))
+		b := buf[:n]
+		rng.Fill(b)
+		if got, want := crc10(b), crc10Bitwise(0, b); got != want {
+			t.Fatalf("crc10(%d bytes) = %#x, bitwise reference %#x", n, got, want)
+		}
+		if got, want := hec(b[:4:4]), hecBitwise(b[:4:4]); n >= 4 && got != want {
+			t.Fatalf("hec = %#x, bitwise reference %#x", got, want)
+		}
+	}
+}
+
+// TestSegmentAppendMatchesSegment proves the scratch-reusing transmit
+// path produces bit-identical cells to the allocating public API, and
+// that reusing the scratch across datagrams cannot leak bytes of an
+// earlier, larger datagram into a later one's padding.
+func TestSegmentAppendMatchesSegment(t *testing.T) {
+	rng := sim.NewRNG(12)
+	var fresh, reuse Segmenter
+	fresh.VCI, reuse.VCI = 32, 32
+	var scratch []Cell
+	for _, size := range []int{4000, 37, 1400, 5, 0, 8000, 1} {
+		data := make([]byte, size)
+		rng.Fill(data)
+		want := fresh.Segment(data)
+		scratch = reuse.SegmentAppend(scratch[:0], data)
+		if len(want) != len(scratch) {
+			t.Fatalf("size %d: %d cells vs %d", size, len(scratch), len(want))
+		}
+		for i := range want {
+			if want[i] != scratch[i] {
+				t.Fatalf("size %d: cell %d differs between Segment and SegmentAppend", size, i)
+			}
+		}
+	}
+}

@@ -32,11 +32,22 @@ type CellHeader struct {
 	CLP bool   // cell loss priority
 }
 
-// hec computes the ATM Header Error Control byte: CRC-8 with polynomial
-// x^8+x^2+x+1 (0x07) over the first four header bytes.
-func hec(b []byte) byte {
+// hecTable drives the byte-at-a-time HEC CRC-8; entry v is the bitwise
+// CRC of the single byte v (filled at init from hecBitwise, which the
+// tests compare against).
+var hecTable [256]byte
+
+func init() {
+	for v := 0; v < 256; v++ {
+		hecTable[v] = hecBitwise([]byte{byte(v)})
+	}
+}
+
+// hecBitwise is the reference CRC-8 with polynomial x^8+x^2+x+1 (0x07),
+// one bit at a time.
+func hecBitwise(b []byte) byte {
 	var crc byte
-	for _, v := range b[:4] {
+	for _, v := range b {
 		crc ^= v
 		for i := 0; i < 8; i++ {
 			if crc&0x80 != 0 {
@@ -45,6 +56,16 @@ func hec(b []byte) byte {
 				crc <<= 1
 			}
 		}
+	}
+	return crc
+}
+
+// hec computes the ATM Header Error Control byte: CRC-8 over the first
+// four header bytes, table-driven.
+func hec(b []byte) byte {
+	var crc byte
+	for _, v := range b[:4] {
+		crc = hecTable[crc^v]
 	}
 	return crc
 }

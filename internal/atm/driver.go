@@ -63,6 +63,12 @@ type Driver struct {
 	txBusy bool
 	txWait *sim.WaitQueue
 
+	// lin and cells are the transmit path's scratch buffers (the
+	// linearized datagram and its cells), reused across Output calls —
+	// safe because txBusy serializes them.
+	lin   []byte
+	cells []Cell
+
 	// FramesIn and FramesOut count successfully reassembled and
 	// transmitted datagrams.
 	FramesIn  int64
@@ -151,8 +157,10 @@ func (d *Driver) Output(p *sim.Proc, m *mbuf.Mbuf) {
 	d.txBusy = true
 	txStart := d.K.Now()
 	d.K.Use(p, trace.LayerATMTx, d.K.Cost.ATMTxFrameFixed)
-	data := mbuf.Linearize(m)
-	cells := d.segFor(ip.Dst(data)).Segment(data)
+	data := mbuf.LinearizeInto(d.lin[:0], m)
+	d.lin = data
+	cells := d.segFor(ip.Dst(data)).SegmentAppend(d.cells[:0], data)
+	d.cells = cells
 	for i := range cells {
 		for d.Adapter.TxSpace() == 0 {
 			waitStart := d.K.Now()

@@ -74,6 +74,16 @@ type Port struct {
 
 	busy   sim.Time // when the egress link finishes its current cell
 	queued int      // cells committed to the egress queue
+
+	// egress holds cells committed to the port's output pacing and
+	// flight the cells crossing the fiber; outFn/inFn are bound once so
+	// forwarding a cell schedules its two wire events without closure
+	// allocations (egress completion times are monotonic per port, so
+	// FIFO order matches event order).
+	egress cellQueue
+	flight cellQueue
+	outFn  func()
+	inFn   func()
 }
 
 // Index returns the port's number on the switch.
@@ -82,9 +92,24 @@ func (p *Port) Index() int { return p.index }
 // AttachPort connects an adapter to a new port and returns its index.
 func (sw *Switch) AttachPort(a *Adapter) int {
 	p := &Port{sw: sw, index: len(sw.ports), adapter: a}
+	p.outFn = p.cellOut
+	p.inFn = p.cellIn
 	sw.ports = append(sw.ports, p)
 	a.link = p
 	return p.index
+}
+
+// cellOut fires when the egress link finishes clocking one cell onto the
+// port's fiber: release the queue slot and start the propagation delay.
+func (p *Port) cellOut() {
+	p.queued--
+	p.flight.push(p.egress.pop())
+	p.sw.env.After(p.adapter.K.Cost.ATMPropagation, "atmsw.cellin", p.inFn)
+}
+
+// cellIn fires when the cell reaches the attached adapter.
+func (p *Port) cellIn() {
+	p.adapter.receive(p.flight.pop())
 }
 
 // NumPorts returns the number of attached ports.
@@ -137,11 +162,6 @@ func (sw *Switch) forward(from *Port, c Cell) {
 	out.busy = end
 	out.queued++
 	sw.CellsSwitched++
-	cc := c
-	env.At(end, "atmsw.cellout", func() {
-		out.queued--
-		env.After(out.adapter.K.Cost.ATMPropagation, "atmsw.cellin", func() {
-			out.adapter.receive(cc)
-		})
-	})
+	out.egress.push(c)
+	env.At(end, "atmsw.cellout", out.outFn)
 }

@@ -12,6 +12,7 @@ package ether
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"repro/internal/cost"
 	"repro/internal/ip"
@@ -37,8 +38,17 @@ const (
 	EtherTypeIPv4 = 0x0800
 )
 
-// fcs is a real CRC-32 (IEEE polynomial, bitwise) over the frame.
+// fcs is a real CRC-32 (IEEE polynomial) over the frame. The standard
+// library's table/SIMD implementation computes the same function as the
+// reflected bitwise loop this replaced (fcsBitwise, kept as the test
+// reference); frames carry identical FCS bytes either way.
 func fcs(b []byte) uint32 {
+	return crc32.ChecksumIEEE(b)
+}
+
+// fcsBitwise is the reference CRC-32: IEEE polynomial 0xedb88320,
+// reflected, one bit at a time.
+func fcsBitwise(b []byte) uint32 {
 	crc := ^uint32(0)
 	for _, v := range b {
 		crc ^= uint32(v)
@@ -187,6 +197,16 @@ type Adapter struct {
 	// RxReady is the per-frame receive interrupt.
 	RxReady *sim.WaitQueue
 
+	// txPend holds frames committed to the transmitter and flight the
+	// frames crossing the wire; frameOutFn/frameInFn are bound once so
+	// Transmit schedules both wire events without allocating a closure
+	// per frame (wire completion times are monotonic per adapter, so
+	// FIFO order matches event order).
+	txPend     []Frame
+	flight     []Frame
+	frameOutFn func()
+	frameInFn  func()
+
 	FramesSent int64
 	FramesRecv int64
 	// Filtered counts frames dropped by destination-address filtering.
@@ -197,7 +217,33 @@ type Adapter struct {
 
 // NewAdapter returns an adapter with the given station address.
 func NewAdapter(k *kern.Kernel, addr [6]byte) *Adapter {
-	return &Adapter{K: k, Addr: addr, RxReady: k.Env.NewWaitQueue(k.Name + ".le.rx")}
+	a := &Adapter{K: k, Addr: addr, RxReady: k.Env.NewWaitQueue(k.Name + ".le.rx")}
+	a.frameOutFn = a.frameOut
+	a.frameInFn = a.frameIn
+	return a
+}
+
+// popFrame removes and returns the head of a frame queue, clearing the
+// vacated slot so the array does not retain the frame.
+func popFrame(q *[]Frame) Frame {
+	f := (*q)[0]
+	copy(*q, (*q)[1:])
+	(*q)[len(*q)-1] = nil
+	*q = (*q)[:len(*q)-1]
+	return f
+}
+
+// frameOut fires when a frame's last bit leaves the wire: begin its
+// propagation toward the segment.
+func (a *Adapter) frameOut() {
+	a.flight = append(a.flight, popFrame(&a.txPend))
+	a.K.Env.After(a.K.Cost.EtherPropagation, "ether.framein", a.frameInFn)
+}
+
+// frameIn fires when the frame reaches the far end: hand it to the
+// segment for destination filtering and delivery.
+func (a *Adapter) frameIn() {
+	a.seg.deliver(a, popFrame(&a.flight))
 }
 
 // Segment returns the broadcast domain the adapter is attached to, or nil.
@@ -230,10 +276,8 @@ func (a *Adapter) Transmit(f Frame) sim.Time {
 	end := start + onWire
 	a.wireBusy = end + a.K.Cost.EtherIFG
 	a.FramesSent++
-	env.At(end, "ether.frameout", func() {
-		ff := f
-		env.After(a.K.Cost.EtherPropagation, "ether.framein", func() { a.seg.deliver(a, ff) })
-	})
+	a.txPend = append(a.txPend, f)
+	env.At(end, "ether.frameout", a.frameOutFn)
 	return end
 }
 
@@ -289,6 +333,10 @@ type Driver struct {
 	txBusy bool
 	txWait *sim.WaitQueue
 
+	// lin is the transmit path's linearization scratch, reused across
+	// Output calls under the txBusy serialization.
+	lin []byte
+
 	FramesIn  int64
 	FramesOut int64
 	FCSErrors int64
@@ -333,7 +381,8 @@ func (d *Driver) Output(p *sim.Proc, m *mbuf.Mbuf) {
 	}
 	d.txBusy = true
 	txStart := d.K.Now()
-	data := mbuf.Linearize(m)
+	data := mbuf.LinearizeInto(d.lin[:0], m)
+	d.lin = data
 	d.K.Use(p, trace.LayerEtherTx, d.K.Cost.EtherTx.Cost(len(data)))
 	if dst, ok := d.resolve(data); ok {
 		f := Encapsulate(dst, d.Adapter.Addr, EtherTypeIPv4, data)

@@ -212,3 +212,16 @@ func TestIFGSerializesBackToBackFrames(t *testing.T) {
 		t.Fatalf("sent %d delivered %d", aa.FramesSent, len(s.got))
 	}
 }
+
+// TestFCSMatchesBitwiseReference pins the stdlib CRC-32 the frame FCS
+// now uses to the bit-at-a-time reference it replaced.
+func TestFCSMatchesBitwiseReference(t *testing.T) {
+	rng := sim.NewRNG(13)
+	for _, n := range []int{1, 14, 64, 1500} {
+		b := make([]byte, n)
+		rng.Fill(b)
+		if got, want := fcs(b), fcsBitwise(b); got != want {
+			t.Fatalf("fcs(%d bytes) = %#x, bitwise reference %#x", n, got, want)
+		}
+	}
+}

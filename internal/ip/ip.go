@@ -245,13 +245,15 @@ func (s *Stack) netisr(p *sim.Proc) {
 // the real header, strip it, and hand the payload to the protocol handler.
 func (s *Stack) input(p *sim.Proc, m *mbuf.Mbuf) {
 	s.K.Use(p, trace.LayerIPRx, s.K.Cost.IPInput)
-	raw := make([]byte, HeaderLen)
-	if mbuf.CopyBytesTo(m, 0, HeaderLen, raw) != HeaderLen {
+	// Header scratch on the stack: Parse copies what it keeps, so this
+	// must not escape (the per-datagram path allocates nothing).
+	var raw [HeaderLen]byte
+	if mbuf.CopyBytesTo(m, 0, HeaderLen, raw[:]) != HeaderLen {
 		s.Drops++
 		s.K.Pool.Free(m)
 		return
 	}
-	h, err := Parse(raw)
+	h, err := Parse(raw[:])
 	if err != nil {
 		s.Drops++
 		s.K.Pool.Free(m)

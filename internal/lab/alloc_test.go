@@ -1,0 +1,47 @@
+package lab
+
+import (
+	"runtime"
+	"testing"
+)
+
+// echoAllocs runs one 1400-byte ATM echo lab to completion and returns
+// how many Go heap allocations it performed.
+func echoAllocs(t *testing.T, iters int) uint64 {
+	t.Helper()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	l := New(Config{Link: LinkATM, Seed: 1994})
+	res, err := l.RunEcho(1400, iters, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorruptEchoes != 0 {
+		// A recycled mbuf or cluster aliasing an in-flight segment would
+		// corrupt echoed payloads end to end; zero proves the pool never
+		// hands live storage to a new writer under real traffic.
+		t.Fatalf("echo corrupted %d times — pool aliasing?", res.CorruptEchoes)
+	}
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs
+}
+
+// TestEchoSteadyStateAllocs pins the hot-path overhaul's allocation
+// contract end to end: the marginal cost of an extra steady-state echo
+// round trip — event scheduling, mbuf traffic, cell segmentation and
+// reassembly, trace spans — must stay two orders of magnitude below the
+// pre-overhaul ~880 allocations per round trip. The bound (176, an 80%
+// drop) is deliberately loose against the measured ~12 so unrelated
+// runtime changes do not flake it; a reintroduced per-event or
+// per-packet allocation moves the number by hundreds and trips it
+// immediately.
+func TestEchoSteadyStateAllocs(t *testing.T) {
+	short := echoAllocs(t, 8)
+	long := echoAllocs(t, 108)
+	perRTT := float64(long-short) / 100
+	t.Logf("steady-state echo: %.1f allocs per round trip", perRTT)
+	if perRTT > 176 {
+		t.Fatalf("steady-state echo allocates %.1f per round trip, want <= 176", perRTT)
+	}
+}

@@ -13,6 +13,32 @@
 // operations. CPU time is charged by the callers (socket layer, TCP, the
 // drivers) using the operation counts in Stats/CopyStats, keeping the cost
 // model in one place.
+//
+// # The free-list pool
+//
+// Pool recycles both mbuf headers and 4 KB cluster pages on free-lists,
+// so steady-state traffic — where every segment allocates a handful of
+// mbufs and frees them a round trip later — runs without touching the Go
+// heap (see docs/PERFORMANCE.md for the measured effect). The lifecycle:
+//
+//   - Alloc/AllocLeading/AllocCluster pop a recycled header (and, for
+//     clusters, a recycled page) when one is available and fall back to
+//     the Go allocator only to grow the pool's high-water mark.
+//   - Free pushes every header of the chain back onto the free-list; a
+//     cluster page follows when its reference count reaches zero.
+//   - A recycled header's data region is NOT zeroed: every caller in
+//     this stack writes before it reads (Append, Prepend, Marshal), and
+//     the reuse-aliasing tests in mbuf_test.go prove a recycled buffer
+//     never aliases bytes still reachable through a live chain.
+//
+// None of this is visible to the simulation: Stats still counts every
+// simulated allocator operation (the paper's mbuf-bookkeeping costs are
+// charged from those counts), whether or not the pool satisfied it from
+// a free-list. Recycling affects host wall-clock time only — the same
+// "no simulated-time impact" contract the trace engine follows.
+//
+// Double frees corrupt free-lists, so Free panics if it sees a header
+// that is already pooled.
 package mbuf
 
 import "repro/internal/checksum"
@@ -30,8 +56,9 @@ const (
 
 // cluster is the shared page behind one or more cluster mbufs.
 type cluster struct {
-	buf  []byte
-	refs int
+	buf      []byte
+	refs     int
+	nextFree *cluster // free-list link while the page is pooled
 }
 
 // Mbuf is one buffer in a chain. Data occupies data[off:off+length].
@@ -49,6 +76,15 @@ type Mbuf struct {
 	// mbuf is split across segments.
 	Csum      checksum.Partial
 	CsumValid bool
+
+	// pooled marks a header sitting on the free-list, to catch double
+	// frees before they corrupt the list.
+	pooled bool
+
+	// buf is the header's own MLEN bytes of storage. Normal mbufs point
+	// data at it; cluster mbufs point data at the shared page instead.
+	// Embedding it means one recycled header serves either role.
+	buf [MLEN]byte
 }
 
 // IsCluster reports whether the mbuf's storage is a shared cluster page.
@@ -112,7 +148,10 @@ func (m *Mbuf) TrimTail(n int) {
 }
 
 // Stats counts allocator and copy activity so callers can charge the cost
-// model and so tests can assert on buffer management behaviour.
+// model and so tests can assert on buffer management behaviour. The
+// counts are SIMULATED allocator operations: a Pool free-list hit still
+// counts as an alloc, because the modeled ULTRIX kernel still paid for
+// one. PoolStats separates the host-side recycling.
 type Stats struct {
 	MbufAllocs    int64
 	MbufFrees     int64
@@ -122,15 +161,59 @@ type Stats struct {
 	BytesCopied   int64 // bytes physically copied by m_copy
 }
 
+// PoolStats counts the host-side free-list traffic, for the pool-safety
+// tests and for verifying steady-state traffic recycles rather than
+// allocates.
+type PoolStats struct {
+	HeaderReuses int64 // mbuf headers popped off the free-list
+	HeaderNews   int64 // mbuf headers taken from the Go heap
+	PageReuses   int64 // cluster pages popped off the free-list
+	PageNews     int64 // cluster pages taken from the Go heap
+}
+
 // Pool allocates mbufs and tracks Stats. The zero value is ready to use.
+// A Pool belongs to one simulated host and is not safe for concurrent
+// use — the same discipline as every other per-kernel structure.
 type Pool struct {
 	Stats Stats
+	// PoolStats counts free-list recycling (host-side, not simulated).
+	PoolStats PoolStats
+
+	freeHdr  *Mbuf    // recycled headers, linked through next
+	freePage *cluster // recycled 4 KB pages, linked through nextFree
+}
+
+// get returns a blank header: recycled when possible, fresh otherwise.
+func (p *Pool) get() *Mbuf {
+	m := p.freeHdr
+	if m == nil {
+		p.PoolStats.HeaderNews++
+		return &Mbuf{}
+	}
+	p.freeHdr = m.next
+	p.PoolStats.HeaderReuses++
+	m.next = nil
+	m.pooled = false
+	return m
+}
+
+// getPage returns a 4 KB cluster page with refs set to 1.
+func (p *Pool) getPage() *cluster {
+	c := p.freePage
+	if c == nil {
+		p.PoolStats.PageNews++
+		return &cluster{buf: make([]byte, MCLBYTES), refs: 1}
+	}
+	p.freePage = c.nextFree
+	p.PoolStats.PageReuses++
+	c.nextFree = nil
+	c.refs = 1
+	return c
 }
 
 // Alloc returns a normal mbuf with leading space for protocol headers.
 func (p *Pool) Alloc() *Mbuf {
-	p.Stats.MbufAllocs++
-	return &Mbuf{data: make([]byte, MLEN), off: 0}
+	return p.AllocLeading(0)
 }
 
 // AllocLeading returns a normal mbuf whose data begins at offset lead,
@@ -140,32 +223,59 @@ func (p *Pool) AllocLeading(lead int) *Mbuf {
 		panic("mbuf: leading space exceeds MLEN")
 	}
 	p.Stats.MbufAllocs++
-	return &Mbuf{data: make([]byte, MLEN), off: lead}
+	m := p.get()
+	m.data = m.buf[:]
+	m.off = lead
+	m.length = 0
+	m.clust = nil
+	m.Csum = checksum.Partial{}
+	m.CsumValid = false
+	return m
 }
 
-// AllocCluster returns a cluster mbuf backed by a fresh 4 KB page.
+// AllocCluster returns a cluster mbuf backed by a 4 KB page.
 func (p *Pool) AllocCluster() *Mbuf {
 	p.Stats.MbufAllocs++
 	p.Stats.ClusterAllocs++
-	c := &cluster{buf: make([]byte, MCLBYTES), refs: 1}
-	return &Mbuf{data: c.buf, clust: c}
+	c := p.getPage()
+	m := p.get()
+	m.data = c.buf
+	m.off = 0
+	m.length = 0
+	m.clust = c
+	m.Csum = checksum.Partial{}
+	m.CsumValid = false
+	return m
 }
 
-// Free releases an entire chain, decrementing cluster reference counts.
+// Free releases an entire chain onto the free-lists, decrementing cluster
+// reference counts; a cluster page is recycled only when its last
+// reference drops. Freeing an already-pooled header panics.
 func (p *Pool) Free(m *Mbuf) {
 	for m != nil {
+		if m.pooled {
+			panic("mbuf: double free")
+		}
 		next := m.next
 		p.Stats.MbufFrees++
 		if m.clust != nil {
 			m.clust.refs--
 			if m.clust.refs == 0 {
 				p.Stats.ClusterFrees++
+				m.clust.nextFree = p.freePage
+				p.freePage = m.clust
 			}
 			if m.clust.refs < 0 {
 				panic("mbuf: cluster refcount underflow")
 			}
+			m.clust = nil
 		}
-		m.next = nil
+		m.data = nil
+		m.length = 0
+		m.CsumValid = false
+		m.pooled = true
+		m.next = p.freeHdr
+		p.freeHdr = m
 		m = next
 	}
 }
@@ -217,7 +327,8 @@ func (p *Pool) Copy(m *Mbuf, off, n int) (*Mbuf, CopyStats) {
 			p.Stats.ClusterRefs++
 			cs.MbufsAllocated++
 			cs.ClustersRef++
-			nm := &Mbuf{data: m.data, off: m.off + off, length: take, clust: m.clust}
+			nm := p.get()
+			nm.data, nm.off, nm.length, nm.clust = m.data, m.off+off, take, m.clust
 			nm.Csum, nm.CsumValid = m.Csum, m.CsumValid && off == 0 && take == m.length
 			appendM(nm)
 		} else {
@@ -285,11 +396,20 @@ func ChainCount(m *Mbuf) int {
 
 // Linearize copies the chain's data into a single new byte slice.
 func Linearize(m *Mbuf) []byte {
-	out := make([]byte, 0, ChainLen(m))
-	for ; m != nil; m = m.next {
-		out = append(out, m.Bytes()...)
+	return LinearizeInto(nil, m)
+}
+
+// LinearizeInto appends the chain's data to dst and returns the extended
+// slice, allowing callers on the per-packet path (the drivers) to reuse
+// one scratch buffer across datagrams instead of allocating per call.
+func LinearizeInto(dst []byte, m *Mbuf) []byte {
+	if dst == nil {
+		dst = make([]byte, 0, ChainLen(m))
 	}
-	return out
+	for ; m != nil; m = m.next {
+		dst = append(dst, m.Bytes()...)
+	}
+	return dst
 }
 
 // CopyBytesTo copies n bytes starting at offset off in the chain into dst,
@@ -377,7 +497,10 @@ func (p *Pool) Split(m *Mbuf, n int) (front, back *Mbuf) {
 		cur.clust.refs++
 		p.Stats.MbufAllocs++
 		p.Stats.ClusterRefs++
-		tailM = &Mbuf{data: cur.data, off: cur.off + remain, length: cur.length - remain, clust: cur.clust}
+		tailM = p.get()
+		tailM.data, tailM.off, tailM.length, tailM.clust =
+			cur.data, cur.off+remain, cur.length-remain, cur.clust
+		tailM.Csum, tailM.CsumValid = checksum.Partial{}, false
 	} else {
 		tailM = p.Alloc()
 		w := tailM.Append(cur.data[cur.off+remain : cur.off+cur.length])

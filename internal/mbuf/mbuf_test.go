@@ -173,6 +173,8 @@ func TestDoubleFreePanics(t *testing.T) {
 	var p Pool
 	c := buildChain(&p, make([]byte, 4000))
 	dup, _ := p.Copy(c, 0, 4000)
+	// Capture the page reference before Free clears it from the header.
+	cl, buf := dup.clust, dup.data
 	p.Free(c)
 	p.Free(dup)
 	defer func() {
@@ -180,7 +182,7 @@ func TestDoubleFreePanics(t *testing.T) {
 			t.Fatal("refcount underflow did not panic")
 		}
 	}()
-	p.Free(&Mbuf{clust: dup.clust, data: dup.data})
+	p.Free(&Mbuf{clust: cl, data: buf})
 }
 
 func TestPrependHeader(t *testing.T) {

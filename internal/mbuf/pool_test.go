@@ -1,0 +1,133 @@
+package mbuf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fillPat writes a repeating pattern into an mbuf.
+func fillPat(m *Mbuf, pat byte, n int) {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = pat
+	}
+	if m.Append(b) != n {
+		panic("fillPat: short append")
+	}
+}
+
+// TestRecycledClusterNeverAliasesLiveReference is the pool-safety
+// contract for cluster pages: freeing one reference to a shared page
+// must NOT recycle it, so a subsequent allocation can never hand the
+// same storage to a new writer while an in-flight segment (here, the
+// retransmission copy a socket buffer holds) still reads it.
+func TestRecycledClusterNeverAliasesLiveReference(t *testing.T) {
+	var p Pool
+	orig := p.AllocCluster()
+	fillPat(orig, 0xAA, 100)
+
+	// The reference-count copy TCP's mcopy makes for retransmission.
+	dup, cs := p.Copy(orig, 0, 100)
+	if cs.ClustersRef != 1 {
+		t.Fatalf("expected a reference-count copy, got %+v", cs)
+	}
+	want := append([]byte(nil), dup.Bytes()...)
+
+	// The driver frees the transmitted chain; dup's reference must keep
+	// the page off the free-list.
+	p.Free(orig)
+
+	// A new allocation storms through and scribbles over everything the
+	// pool hands out.
+	for i := 0; i < 8; i++ {
+		m := p.AllocCluster()
+		fillPat(m, 0x55, MCLBYTES)
+		if &m.data[0] == &dup.Bytes()[0] {
+			t.Fatal("pool recycled a cluster page that is still referenced")
+		}
+		p.Free(m)
+	}
+
+	if !bytes.Equal(dup.Bytes(), want) {
+		t.Fatal("live cluster reference was overwritten after recycling")
+	}
+	p.Free(dup)
+
+	// With the last reference gone the page MUST recycle: the next
+	// cluster allocation reuses it rather than growing the pool.
+	reuses := p.PoolStats.PageReuses
+	m := p.AllocCluster()
+	if p.PoolStats.PageReuses != reuses+1 {
+		t.Fatal("fully released cluster page was not recycled")
+	}
+	p.Free(m)
+}
+
+// TestRecycledHeaderNeverAliasesLiveChain proves a freed normal mbuf's
+// storage cannot leak into a chain that was physically copied from it
+// before the free.
+func TestRecycledHeaderNeverAliasesLiveChain(t *testing.T) {
+	var p Pool
+	orig := p.Alloc()
+	fillPat(orig, 0xAA, MLEN)
+	dup, cs := p.Copy(orig, 0, MLEN) // normal mbufs copy physically
+	if cs.BytesCopied != MLEN {
+		t.Fatalf("expected a physical copy, got %+v", cs)
+	}
+	p.Free(orig)
+
+	// The recycled header (orig's own storage) goes to the next Alloc.
+	m := p.Alloc()
+	fillPat(m, 0x55, MLEN)
+	if &m.Bytes()[0] == &dup.Bytes()[0] {
+		t.Fatal("recycled header aliases the live copy")
+	}
+	for _, b := range dup.Bytes() {
+		if b != 0xAA {
+			t.Fatal("live chain corrupted by header recycling")
+		}
+	}
+}
+
+// TestPoolRecyclesHeaders asserts the free-list actually engages: a
+// steady alloc/free cycle must stop taking headers from the Go heap.
+func TestPoolRecyclesHeaders(t *testing.T) {
+	var p Pool
+	m := p.Alloc()
+	p.Free(m)
+	news := p.PoolStats.HeaderNews
+	for i := 0; i < 100; i++ {
+		m := p.Alloc()
+		p.Free(m)
+	}
+	if p.PoolStats.HeaderNews != news {
+		t.Fatalf("steady alloc/free cycle grew the pool: %d new headers",
+			p.PoolStats.HeaderNews-news)
+	}
+	if p.PoolStats.HeaderReuses < 100 {
+		t.Fatalf("HeaderReuses = %d, want >= 100", p.PoolStats.HeaderReuses)
+	}
+}
+
+// TestPoolAllocationFreeSteadyState pins the wall-clock contract at the
+// pool level: once warm, the alloc/copy/free cycle of a typical segment
+// (header mbuf + cluster + reference-count copy) performs zero Go heap
+// allocations.
+func TestPoolAllocationFreeSteadyState(t *testing.T) {
+	var p Pool
+	payload := make([]byte, 1400)
+	cycle := func() {
+		hm := p.Alloc()
+		hm.Append(payload[:20])
+		cl := p.AllocCluster()
+		cl.Append(payload)
+		hm.SetNext(cl)
+		dup, _ := p.Copy(hm, 0, 1420)
+		p.Free(dup)
+		p.Free(hm)
+	}
+	cycle() // warm the free-lists
+	if n := testing.AllocsPerRun(50, cycle); n != 0 {
+		t.Fatalf("steady-state segment cycle allocates %.1f times per run, want 0", n)
+	}
+}

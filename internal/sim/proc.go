@@ -19,6 +19,13 @@ type Proc struct {
 	yield  chan struct{}
 	done   bool
 	tags   []interface{}
+
+	// runFn and wakeName are bound once at Spawn so that the hot
+	// SleepUntil/Wake paths can schedule the process's resumption
+	// without allocating a fresh closure or concatenating an event
+	// name per wakeup — every CPU charge in the testbed sleeps.
+	runFn    func()
+	wakeName string
 }
 
 // Name returns the process name given at Spawn time.
@@ -34,11 +41,13 @@ func (p *Proc) Done() bool { return p.done }
 // time. The body runs on its own goroutine, interleaved with the event loop.
 func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
 	p := &Proc{
-		env:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		env:      e,
+		name:     name,
+		resume:   make(chan struct{}),
+		yield:    make(chan struct{}),
+		wakeName: "wake:" + name,
 	}
+	p.runFn = p.run
 	e.procs++
 	go func() {
 		<-p.resume // wait for the start event
@@ -49,7 +58,7 @@ func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
 		}()
 		body(p)
 	}()
-	e.After(0, "spawn:"+name, func() { p.run() })
+	e.After(0, "spawn:"+name, p.runFn)
 	return p
 }
 
@@ -79,7 +88,7 @@ func (p *Proc) SleepUntil(t Time) {
 	if t <= p.env.now {
 		return
 	}
-	p.env.At(t, "wake:"+p.name, func() { p.run() })
+	p.env.At(t, p.wakeName, p.runFn)
 	p.block()
 }
 
@@ -124,14 +133,15 @@ func (e *Env) Current() *Proc { return e.current }
 // sleep channel. Wake moves the process at the head of the queue back onto
 // the event queue at the current time; WakeAll drains the queue.
 type WaitQueue struct {
-	env   *Env
-	name  string
-	procs []*Proc
+	env      *Env
+	name     string
+	wakeName string // "wakeq:"+name, precomputed off the wake hot path
+	procs    []*Proc
 }
 
 // NewWaitQueue returns an empty wait queue.
 func (e *Env) NewWaitQueue(name string) *WaitQueue {
-	return &WaitQueue{env: e, name: name}
+	return &WaitQueue{env: e, name: name, wakeName: "wakeq:" + name}
 }
 
 // Len returns the number of processes blocked on the queue.
@@ -152,7 +162,7 @@ func (w *WaitQueue) Wake() bool {
 	p := w.procs[0]
 	copy(w.procs, w.procs[1:])
 	w.procs = w.procs[:len(w.procs)-1]
-	w.env.After(0, "wakeq:"+w.name, func() { p.run() })
+	w.env.After(0, w.wakeName, p.runFn)
 	return true
 }
 
@@ -171,6 +181,6 @@ func (w *WaitQueue) WakeAt(t Time) bool {
 	p := w.procs[0]
 	copy(w.procs, w.procs[1:])
 	w.procs = w.procs[:len(w.procs)-1]
-	w.env.At(t, "wakeq:"+w.name, func() { p.run() })
+	w.env.At(t, w.wakeName, p.runFn)
 	return true
 }

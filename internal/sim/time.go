@@ -8,6 +8,26 @@
 // the same program produces the same event ordering and the same virtual
 // timestamps. This determinism is what lets the latency experiments in the
 // rest of the repository report exact, reproducible microsecond breakdowns.
+//
+// # The event queue
+//
+// The queue is engineered for wall-clock speed, because every CPU charge,
+// timer, cell transmission, and process wakeup in the testbed passes
+// through it (see docs/PERFORMANCE.md). Events are stored BY VALUE in a
+// 4-ary min-heap (env.go): scheduling appends into the heap's backing
+// slice and popping moves values within it, so the steady-state event
+// loop performs no per-event allocation and no interface boxing, and the
+// slice's reusable storage is the event free-list. Processes additionally
+// cache their wake-up closure and event name (proc.go), making the
+// sleep/wake cycle — the single hottest path in the simulator —
+// allocation-free.
+//
+// None of this affects simulated time: events fire in exactly the order
+// defined by (timestamp, scheduling sequence number), a total order, so
+// any correct priority queue produces the identical simulation. That
+// contract is what lets the wall-clock overhaul promise byte-identical
+// paper tables (enforced by the golden-output tests in cmd/tables,
+// cmd/load, and cmd/pkttrace).
 package sim
 
 import "fmt"

@@ -33,6 +33,11 @@ const (
 // HeaderLen is the length of a TCP header without options.
 const HeaderLen = 20
 
+// maxHeaderLen is the largest header this stack emits or parses: the
+// base header plus the MSS and Alternate Checksum options (4 bytes
+// each). Hot paths size their stack scratch buffers with it.
+const maxHeaderLen = HeaderLen + 4 + 4
+
 // AltCksumNone is the Alternate Checksum Request value meaning "no
 // checksum" on this connection. The paper points at Kay and Pasquale's
 // use of the Alternate Checksum Option (RFC 1146, kind 14) "to negotiate

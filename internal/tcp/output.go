@@ -179,12 +179,13 @@ func (c *Conn) sendSegment(p *sim.Proc, flags uint8, off, length int) {
 	// Remaining TCP output processing: the paper's "segment" row.
 	k.Use(p, trace.LayerTCPSegmentTx, k.Cost.TCPOutputSegment.Cost(length))
 
-	// Header mbuf.
+	// Header mbuf. The marshal scratch lives on the stack; Append copies
+	// it into the mbuf.
 	hm := k.AllocMbuf(p, trace.LayerTCPSegmentTx)
 	hdrLen := th.Len()
-	hdr := make([]byte, hdrLen)
-	th.Marshal(hdr)
-	hm.Append(hdr)
+	var hdr [maxHeaderLen]byte
+	th.Marshal(hdr[:hdrLen])
+	hm.Append(hdr[:hdrLen])
 	hm.SetNext(data)
 
 	c.fillChecksum(p, hm, hdrLen, length, flags)

@@ -227,8 +227,10 @@ func (s *Stack) Input(p *sim.Proc, h ip.Header, m *mbuf.Mbuf) {
 	s.Stats.SegsIn++
 	segLen := mbuf.ChainLen(m)
 
-	raw := make([]byte, 28)
-	nn := mbuf.CopyBytesTo(m, 0, 28, raw)
+	// Header scratch on the stack (20 bytes plus the two options this
+	// stack uses); Parse copies what it keeps, so this must not escape.
+	var raw [maxHeaderLen]byte
+	nn := mbuf.CopyBytesTo(m, 0, maxHeaderLen, raw[:])
 	th, off, err := Parse(raw[:nn])
 	if err != nil {
 		k.Pool.Free(m)

@@ -95,8 +95,22 @@ type Recorder struct {
 	events  []Event
 }
 
-// Enable turns recording on.
-func (r *Recorder) Enable() { r.enabled = true }
+// Enable turns recording on, pre-sizing the record buffers the first
+// time so the measured loop appends without growth reallocations (the
+// buffers are retained across Reset, so repeated measured windows reuse
+// one allocation).
+func (r *Recorder) Enable() {
+	r.enabled = true
+	if cap(r.spans) == 0 {
+		r.spans = make([]Span, 0, 2048)
+	}
+	if cap(r.marks) == 0 {
+		r.marks = make([]Mark, 0, 128)
+	}
+	if r.packets && cap(r.events) == 0 {
+		r.events = make([]Event, 0, 2048)
+	}
+}
 
 // Disable turns recording off without discarding existing records.
 func (r *Recorder) Disable() { r.enabled = false }

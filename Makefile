@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline bench-wallclock baseline-wallclock tables load-smoke docs-check
+.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline bench-wallclock bench-wallclock-scaling baseline-wallclock tables load-smoke docs-check
 
 all: build test
 
@@ -56,6 +56,15 @@ bench-wallclock:
 	$(GO) test -run='^$$' -bench=Wallclock -benchmem -benchtime=2x . | \
 		$(GO) run ./cmd/benchdiff -wallclock -tol-ns $(WALLCLOCK_TOL_NS) \
 			-baseline BENCH_wallclock.json
+
+## bench-wallclock-scaling: the sweep pair at GOMAXPROCS 1 and 2, fed
+## through benchdiff's scaling report (parallel/serial ns/op ratio per
+## GOMAXPROCS; warns non-fatally when parallel is not faster). No
+## baseline gate — this target measures worker-affine sharding, not
+## regressions.
+bench-wallclock-scaling:
+	$(GO) test -run='^$$' -bench='WallclockSweep' -benchmem -benchtime=2x -cpu=1,2 . | \
+		$(GO) run ./cmd/benchdiff -wallclock -scaling
 
 ## baseline-wallclock: regenerate BENCH_wallclock.json on this machine
 baseline-wallclock:

@@ -16,12 +16,22 @@
 // fails CI when a change quietly reintroduces per-event or per-packet
 // allocations the hot-path overhaul removed (see docs/PERFORMANCE.md).
 //
+// The wallclock mode also reports the sweep engine's parallel/serial
+// ns/op scaling ratio per GOMAXPROCS value present in the input, warning
+// (non-fatally) when the parallel sweep was not faster on a multi-core
+// run; -scaling prints only that report, for a -cpu=1,2 invocation of
+// the sweep pair with no baseline gate. Baselines written by -write
+// carry the recording machine's GOMAXPROCS and sweep worker count as
+// meta/ keys, excluded from the drift comparison but surfaced as a note
+// when a baseline from different hardware is compared.
+//
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchtime=1x | benchdiff -baseline BENCH_baseline.json
 //	go test -run='^$' -bench=. -benchtime=1x | benchdiff -write BENCH_baseline.json
 //	go test -run='^$' -bench=Wallclock -benchmem -benchtime=2x | benchdiff -wallclock -baseline BENCH_wallclock.json
 //	go test -run='^$' -bench=Wallclock -benchmem -benchtime=2x | benchdiff -wallclock -write BENCH_wallclock.json
+//	go test -run='^$' -bench=WallclockSweep -benchmem -benchtime=2x -cpu=1,2 | benchdiff -wallclock -scaling
 package main
 
 import (
@@ -53,6 +63,7 @@ func run(args []string, in io.Reader, w io.Writer) error {
 		wallclock = fs.Bool("wallclock", false, "compare wall-clock metrics (ns/op, allocs) instead of paper metrics")
 		tolNs     = fs.Float64("tol-ns", 0.5, "wallclock: relative tolerance for ns/op (machine dependent)")
 		tolAlloc  = fs.Float64("tol-alloc", 0.15, "wallclock: relative tolerance for allocation counts")
+		scaling   = fs.Bool("scaling", false, "wallclock: report the parallel/serial sweep scaling ratio only, without a baseline comparison")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -60,11 +71,18 @@ func run(args []string, in io.Reader, w io.Writer) error {
 		}
 		return err
 	}
+	if *scaling && !*wallclock {
+		// Checked before reading any input: wallclock bench output fed
+		// to the paper-metric parser would otherwise die first with a
+		// misleading "no metrics found".
+		return fmt.Errorf("-scaling requires -wallclock")
+	}
 
 	var got map[string]float64
+	var sweeps []sweepSample
 	var err error
 	if *wallclock {
-		got, err = parseWallclock(in)
+		got, sweeps, err = parseWallclock(in)
 	} else {
 		got, err = parseBench(in)
 	}
@@ -73,6 +91,12 @@ func run(args []string, in io.Reader, w io.Writer) error {
 	}
 	if len(got) == 0 {
 		return fmt.Errorf("no metrics found in the bench output")
+	}
+	if *wallclock {
+		reportScaling(w, sweeps)
+	}
+	if *scaling {
+		return nil
 	}
 
 	if *write != "" {
@@ -97,6 +121,9 @@ func run(args []string, in io.Reader, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *wallclock {
+		reportMetaMismatch(w, base, got)
+	}
 	tolFor := func(string) float64 { return *tol }
 	if *wallclock {
 		tolFor = func(key string) float64 {
@@ -107,6 +134,72 @@ func run(args []string, in io.Reader, w io.Writer) error {
 		}
 	}
 	return compare(w, base, got, tolFor)
+}
+
+// metaPrefix marks baseline entries that describe the machine the
+// baseline was recorded on, not measurements: they are written alongside
+// the metrics, excluded from the drift comparison, and surfaced as a
+// non-fatal note when they differ — so baselines from different machines
+// are never silently compared as if the hardware were equal.
+const metaPrefix = "meta/"
+
+// sweepSample is one sweep benchmark's ns/op at one GOMAXPROCS setting,
+// the raw material of the parallel/serial scaling report.
+type sweepSample struct {
+	name  string // "Serial" or "Parallel"
+	procs int    // GOMAXPROCS suffix of the run (1 when unsuffixed)
+	nsOp  float64
+}
+
+// reportScaling prints the parallel/serial wall-clock ratio of the sweep
+// pair for every GOMAXPROCS value both variants ran at, and warns —
+// non-fatally; machine load or a single core can cause it — when the
+// parallel sweep was not faster. The ratio is the headline number of the
+// worker-affine sweep engine: below 1.0 means sharding the grid pays.
+func reportScaling(w io.Writer, sweeps []sweepSample) {
+	byProcs := map[int]map[string]float64{}
+	procsSeen := []int{}
+	for _, s := range sweeps {
+		if byProcs[s.procs] == nil {
+			byProcs[s.procs] = map[string]float64{}
+			procsSeen = append(procsSeen, s.procs)
+		}
+		byProcs[s.procs][s.name] = s.nsOp
+	}
+	sort.Ints(procsSeen)
+	for _, procs := range procsSeen {
+		serial, okS := byProcs[procs]["Serial"]
+		parallel, okP := byProcs[procs]["Parallel"]
+		if !okS || !okP || serial == 0 {
+			continue
+		}
+		ratio := parallel / serial
+		fmt.Fprintf(w, "scaling: parallel/serial sweep ns/op ratio %.3f at GOMAXPROCS=%d\n", ratio, procs)
+		switch {
+		case procs == 1:
+			fmt.Fprintf(w, "scaling: note: GOMAXPROCS=1 cannot show a speedup; ratio near 1.0 is expected\n")
+		case ratio >= 1:
+			fmt.Fprintf(w, "WARNING scaling: parallel sweep is not faster than serial (ratio %.3f at GOMAXPROCS=%d)\n", ratio, procs)
+		}
+	}
+}
+
+// reportMetaMismatch prints a non-fatal note when the baseline's
+// recorded machine metadata differs from this run's.
+func reportMetaMismatch(w io.Writer, base, got map[string]float64) {
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		if strings.HasPrefix(k, metaPrefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if g, ok := got[k]; ok && g != base[k] {
+			fmt.Fprintf(w, "note: baseline %s=%.0f but this run has %.0f — ns/op drift may reflect the machine, not the code\n",
+				k, base[k], g)
+		}
+	}
 }
 
 // parseBench extracts the deterministic paper metrics from `go test
@@ -146,12 +239,22 @@ func parseBench(in io.Reader) (map[string]float64, error) {
 // parseWallclock extracts the wall-clock metrics of the Wallclock
 // benchmark tier: the standard ns/op and allocs/op columns plus the
 // custom allocs/rtt metric. Keys are "BenchName/unit" with the
-// -GOMAXPROCS suffix stripped. B/op is deliberately excluded: byte
-// counts swing with GC timing and map growth in ways allocation counts
-// do not, and the allocation count is the metric the hot-path contract
-// is written against.
-func parseWallclock(in io.Reader) (map[string]float64, error) {
+// -GOMAXPROCS suffix stripped (a -cpu=1,2 run therefore keeps the last
+// variant's values under the plain key). B/op is deliberately excluded:
+// byte counts swing with GC timing and map growth in ways allocation
+// counts do not, and the allocation count is the metric the hot-path
+// contract is written against.
+//
+// Two machine-metadata keys ride along under the meta/ prefix:
+// meta/gomaxprocs (the -N suffix of the benchmark lines) and
+// meta/sweep_workers (the sweep pair's custom "workers" metric). They
+// are written into baselines and compared only informationally, so a
+// baseline recorded on one machine is never silently treated as
+// equivalent on another. Per-GOMAXPROCS ns/op samples of the sweep pair
+// are returned separately for the scaling report.
+func parseWallclock(in io.Reader) (map[string]float64, []sweepSample, error) {
 	out := map[string]float64{}
+	var sweeps []sweepSample
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -160,26 +263,46 @@ func parseWallclock(in io.Reader) (map[string]float64, error) {
 			continue
 		}
 		name := fields[0]
+		procs := 1
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			if n, err := strconv.Atoi(name[i+1:]); err == nil {
 				name = name[:i]
+				procs = n
 			}
 		}
+		out["meta/gomaxprocs"] = float64(procs)
+		sweepVariant := strings.TrimPrefix(name, "BenchmarkWallclockSweep")
 		for i := 1; i+1 < len(fields); i++ {
 			unit := fields[i+1]
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if unit == "workers" && sweepVariant != name {
+				out["meta/sweep_workers"] = v
+				continue
+			}
 			switch unit {
 			case "ns/op", "allocs/op", "allocs/rtt":
 			default:
 				continue
 			}
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
+			if unit == "allocs/op" && sweepVariant == "Parallel" {
+				// The parallel sweep's allocation count scales with the
+				// worker count (each worker builds its own warm testbed
+				// cache), so it is machine-dependent in a way no
+				// tolerance band fixes. The serial variant carries the
+				// allocation contract; worker count is recorded in
+				// meta/sweep_workers.
 				continue
 			}
 			out[name+"/"+unit] = v
+			if unit == "ns/op" && (sweepVariant == "Serial" || sweepVariant == "Parallel") {
+				sweeps = append(sweeps, sweepSample{name: sweepVariant, procs: procs, nsOp: v})
+			}
 		}
 	}
-	return out, sc.Err()
+	return out, sweeps, sc.Err()
 }
 
 // hasAllocMetric reports whether any parsed metric is an allocation
@@ -209,11 +332,15 @@ func readBaseline(path string) (map[string]float64, error) {
 // disappeared, or appeared without a baseline entry. New metrics are
 // advisory; drift and disappearance fail. tolFor maps a metric key to
 // its tolerance, letting the wall-clock mode band ns/op loosely and
-// allocation counts tightly.
+// allocation counts tightly. Machine-metadata keys (meta/) are excluded
+// on both sides: they describe hardware, not measurements, and are
+// reported separately by reportMetaMismatch.
 func compare(w io.Writer, base, got map[string]float64, tolFor func(string) float64) error {
 	keys := make([]string, 0, len(base))
 	for k := range base {
-		keys = append(keys, k)
+		if !strings.HasPrefix(k, metaPrefix) {
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 
@@ -238,6 +365,9 @@ func compare(w io.Writer, base, got map[string]float64, tolFor func(string) floa
 	}
 	news := 0
 	for k := range got {
+		if strings.HasPrefix(k, metaPrefix) {
+			continue
+		}
 		if _, ok := base[k]; !ok {
 			fmt.Fprintf(w, "NEW     %s = %.4g (not in baseline; add with -write)\n", k, got[k])
 			news++

@@ -106,17 +106,20 @@ PASS
 `
 
 func TestParseWallclock(t *testing.T) {
-	got, err := parseWallclock(strings.NewReader(sampleWallclock))
+	got, sweeps, err := parseWallclock(strings.NewReader(sampleWallclock))
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Only the Wallclock tier counts, and B/op is excluded.
+	// Only the Wallclock tier counts, B/op is excluded, and the machine
+	// metadata rides along under meta/.
 	want := map[string]float64{
 		"BenchmarkWallclockSweepSerial/ns/op":     288152656,
 		"BenchmarkWallclockSweepSerial/allocs/op": 28784,
 		"BenchmarkWallclockEchoSteady/ns/op":      20063557,
 		"BenchmarkWallclockEchoSteady/allocs/rtt": 12.21,
 		"BenchmarkWallclockEchoSteady/allocs/op":  1696,
+		"meta/gomaxprocs":                         8,
+		"meta/sweep_workers":                      1,
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %d metrics (%v), want %d", len(got), got, len(want))
@@ -125,6 +128,82 @@ func TestParseWallclock(t *testing.T) {
 		if got[k] != v {
 			t.Errorf("%s = %v, want %v", k, got[k], v)
 		}
+	}
+	if len(sweeps) != 1 || sweeps[0].name != "Serial" || sweeps[0].procs != 8 {
+		t.Errorf("sweep samples = %+v, want one Serial sample at procs 8", sweeps)
+	}
+}
+
+// sampleScaling is the sweep pair run under -cpu=1,2: slower in parallel
+// on one CPU (expected, noted) and faster on two (healthy scaling).
+const sampleScaling = `goos: linux
+BenchmarkWallclockSweepSerial     	       2	 200000000 ns/op	        40.00 cells	         1.000 workers	 3502981 B/op	    4010 allocs/op
+BenchmarkWallclockSweepSerial-2   	       2	 210000000 ns/op	        40.00 cells	         1.000 workers	 3502981 B/op	    4010 allocs/op
+BenchmarkWallclockSweepParallel   	       2	 208000000 ns/op	        40.00 cells	         1.000 workers	 3502720 B/op	    4008 allocs/op
+BenchmarkWallclockSweepParallel-2 	       2	 126000000 ns/op	        40.00 cells	         2.000 workers	 3502720 B/op	    4300 allocs/op
+PASS
+`
+
+func TestScalingReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-wallclock", "-scaling"},
+		strings.NewReader(sampleScaling), &out); err != nil {
+		t.Fatalf("scaling report failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "ratio 1.040 at GOMAXPROCS=1") ||
+		!strings.Contains(s, "ratio 0.600 at GOMAXPROCS=2") {
+		t.Errorf("per-GOMAXPROCS ratios missing:\n%s", s)
+	}
+	if !strings.Contains(s, "GOMAXPROCS=1 cannot show a speedup") {
+		t.Errorf("single-CPU note missing:\n%s", s)
+	}
+	if strings.Contains(s, "WARNING") {
+		t.Errorf("healthy 2-CPU scaling should not warn:\n%s", s)
+	}
+}
+
+func TestScalingWarnsWhenParallelSlower(t *testing.T) {
+	inverted := strings.Replace(sampleScaling, "126000000", "230000000", 1)
+	var out bytes.Buffer
+	// Non-fatal: the run must still succeed.
+	if err := run([]string{"-wallclock", "-scaling"},
+		strings.NewReader(inverted), &out); err != nil {
+		t.Fatalf("scaling warning must be non-fatal: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "WARNING scaling: parallel sweep is not faster") {
+		t.Errorf("missing warning for parallel >= serial at GOMAXPROCS=2:\n%s", out.String())
+	}
+}
+
+func TestWallclockMetaRecordedAndExcluded(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wall.json")
+	if err := run([]string{"-wallclock", "-write", path},
+		strings.NewReader(sampleWallclock), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "meta/gomaxprocs") ||
+		!strings.Contains(string(b), "meta/sweep_workers") {
+		t.Fatalf("baseline missing machine metadata:\n%s", b)
+	}
+	// A run on different hardware (other GOMAXPROCS) notes the mismatch
+	// without failing, and the meta keys never count as drift.
+	other := strings.ReplaceAll(sampleWallclock, "-8", "-2")
+	var out bytes.Buffer
+	if err := run([]string{"-wallclock", "-baseline", path},
+		strings.NewReader(other), &out); err != nil {
+		t.Fatalf("meta mismatch must be non-fatal: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "note: baseline meta/gomaxprocs=8 but this run has 2") {
+		t.Errorf("missing machine-mismatch note:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "DRIFT   meta/") || strings.Contains(out.String(), "MISSING meta/") {
+		t.Errorf("meta keys leaked into the drift comparison:\n%s", out.String())
 	}
 }
 

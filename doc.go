@@ -22,9 +22,14 @@
 // moving a single simulated result: a value-based 4-ary event heap in
 // internal/sim, mbuf header and cluster-page free-lists in
 // internal/mbuf, table-driven CRCs and reusable per-frame scratch in
-// the drivers, and preallocated trace buffers. docs/PERFORMANCE.md is
-// the playbook — profiling commands, the hot-path map with measured
-// numbers, and the BENCH_wallclock.json regression gate behind
+// the drivers, and preallocated trace buffers. Testbeds are reusable:
+// a lab's lifecycle spans many trials — lab.Lab.Reset rebinds the
+// assembled topology to each new configuration with bit-identical
+// initial state, and the sweep engine runs worker-affine, every worker
+// recycling its own cache of warm labs (runner.Testbeds) through its
+// share of the grid. docs/PERFORMANCE.md is the playbook — profiling
+// commands, the hot-path map with measured numbers, the testbed-reuse
+// contract, and the BENCH_wallclock.json regression gate behind
 // bench_wallclock_test.go and cmd/benchdiff's -wallclock mode; golden
 // SHA-256 tests in cmd/tables, cmd/load, and cmd/pkttrace pin the
 // simulated outputs byte for byte across such changes.

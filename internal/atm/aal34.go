@@ -94,6 +94,17 @@ type Segmenter struct {
 	pdu []byte
 }
 
+// Reset rewinds the segmenter's Btag and sequence counters to their
+// initial values for testbed reuse, retaining the PDU scratch buffer. A
+// reused channel must emit bit-identical cells to a fresh one: the Btag
+// and SAR sequence numbers are on the wire, and resetting them is what
+// keeps a recycled testbed's cell stream indistinguishable from a new
+// testbed's.
+func (s *Segmenter) Reset() {
+	s.btag = 0
+	s.sn = 0
+}
+
 // Segment encapsulates data in a CPCS-PDU and returns its cells in
 // transmission order, in freshly allocated storage the caller owns.
 // Every call uses a fresh Btag so that interleaved or lost frames cannot
@@ -199,6 +210,16 @@ type Reassembler struct {
 	// Errors counts discarded frames, the quantity the paper's error
 	// discussion (§4.2.1) cares about.
 	Errors int64
+}
+
+// Reset abandons any partial frame and rewinds the sequence expectation
+// and error count for testbed reuse, retaining both scratch buffers.
+func (r *Reassembler) Reset() {
+	r.buf = r.buf[:0]
+	r.active = false
+	r.sn = 0
+	r.haveSN = false
+	r.Errors = 0
 }
 
 // Push processes one cell. It returns (datagram, nil) when a frame

@@ -39,6 +39,10 @@ type cellQueue struct {
 
 func (q *cellQueue) push(c Cell) { q.buf = append(q.buf, c) }
 
+// reset empties the queue, retaining the backing array (cells are plain
+// value arrays, so the dead tail holds no pointers).
+func (q *cellQueue) reset() { q.buf, q.head = q.buf[:0], 0 }
+
 func (q *cellQueue) len() int { return len(q.buf) - q.head }
 
 func (q *cellQueue) pop() Cell {
@@ -116,6 +120,24 @@ func NewAdapter(k *kern.Kernel) *Adapter {
 	a.cellOutFn = a.cellOut
 	a.cellInFn = a.cellIn
 	return a
+}
+
+// Reset returns the adapter to its just-constructed state for testbed
+// reuse: FIFOs and in-flight queues emptied (retaining their backing
+// arrays), the transmit engine idle at time zero, fault-injection knobs
+// back to default, counters cleared. The wait queues survive with the
+// driver's service process still parked on RxReady — part of the
+// topology, not the trial.
+func (a *Adapter) Reset() {
+	a.txCount = 0
+	a.wireBusy = 0
+	a.rxFIFO.reset()
+	a.txFIFO.reset()
+	a.flight.reset()
+	a.framesPending = 0
+	a.arrivals = a.arrivals[:0]
+	a.LossRate, a.DropNext, a.CorruptRate = 0, false, 0
+	a.CellsSent, a.CellsDropped, a.CellsCorrupted, a.RxOverflows = 0, 0, 0, 0
 }
 
 // cellOut fires when the transmit engine finishes clocking one cell into

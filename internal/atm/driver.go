@@ -96,6 +96,30 @@ func NewDriver(k *kern.Kernel, a *Adapter, ipStack *ip.Stack) *Driver {
 	return d
 }
 
+// Reset returns the driver to its just-constructed state for testbed
+// reuse: every virtual channel's segmenter and reassembler rewinds
+// (retaining scratch buffers and the VC table itself — routing is
+// topology, not trial state), open receive spans and the transmit lock
+// clear, configuration knobs return to defaults for the lab to re-apply,
+// and counters zero. The receive service process stays parked on the
+// adapter's RxReady queue.
+func (d *Driver) Reset() {
+	d.Mode = cost.ChecksumStandard
+	d.MTUOverride = 0
+	d.HostCorruptRate = 0
+	d.txBusy = false
+	d.seg.Reset()
+	for _, s := range d.vcs {
+		s.Reset()
+	}
+	for _, r := range d.reasms {
+		r.Reset()
+	}
+	clear(d.rxStart)
+	d.FramesIn, d.FramesOut = 0, 0
+	d.ReassemblyErrors, d.HECErrors, d.HostCorruptions = 0, 0, 0
+}
+
 // AddVC installs a transmit-side virtual channel: datagrams addressed to
 // dst leave on their own segmenter carrying vci. Topology builders call
 // it once per reachable host; without any VCs every datagram rides the
@@ -286,13 +310,18 @@ func (d *Driver) deliver(p *sim.Proc, dg []byte, start, arrivedAt sim.Time) {
 		return
 	}
 	// The on-wire identity, read before any host-side corruption is
-	// injected below: the trace records what the wire carried.
-	pktID := ip.PacketIDOf(dg)
-	p.PushTag(pktID)
-	defer p.PopTag()
-	k.Trace.Event(trace.Event{
-		Kind: trace.EvWireArrive, At: arrivedAt, ID: pktID, Len: len(dg),
-	})
+	// injected below: the trace records what the wire carried. Untraced
+	// runs skip the tag push (it boxes the identity — one allocation per
+	// datagram on the hot path) along with the event.
+	var pktID trace.PacketID
+	if k.Trace.PacketsEnabled() {
+		pktID = ip.PacketIDOf(dg)
+		p.PushTag(pktID)
+		defer p.PopTag()
+		k.Trace.Event(trace.Event{
+			Kind: trace.EvWireArrive, At: arrivedAt, ID: pktID, Len: len(dg),
+		})
+	}
 	// Per-frame interrupt and reassembly-completion overhead.
 	k.Use(p, trace.LayerATMRx, k.Cost.ATMRxFrameFixed)
 	if d.HostCorruptRate > 0 && k.Env.RNG().Bool(d.HostCorruptRate) {

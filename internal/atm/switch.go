@@ -65,6 +65,20 @@ func NewSwitch(env *sim.Env) *Switch {
 	}
 }
 
+// Reset returns the switch to its just-constructed state for testbed
+// reuse: every port's egress pacing rewinds to idle at time zero with
+// its queues emptied (retaining backing arrays), and the counters clear.
+// The VC table and port attachments survive — they are the topology.
+func (sw *Switch) Reset() {
+	for _, p := range sw.ports {
+		p.busy = 0
+		p.queued = 0
+		p.egress.reset()
+		p.flight.reset()
+	}
+	sw.CellsSwitched, sw.CellsUnrouted, sw.CellsDropped, sw.HECErrors = 0, 0, 0, 0
+}
+
 // Port is one switch port: the fiber to a single attached adapter plus
 // the egress queue pacing state.
 type Port struct {

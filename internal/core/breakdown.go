@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/lab"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -60,7 +61,16 @@ var RxLayers = []trace.Layer{
 //     returning — the paper's rule that only processing after the last
 //     arrival contributes to latency (§2.2's receive measurement).
 func MeasureBreakdowns(cfg lab.Config, size, iterations, warmup int) (tx, rx Breakdown, err error) {
-	l := lab.New(cfg)
+	return MeasureBreakdownsOn(nil, cfg, size, iterations, warmup)
+}
+
+// MeasureBreakdownsOn is MeasureBreakdowns on the testbed-reuse path:
+// the lab comes from the worker's warm cache when tb holds one of the
+// right shape. The trace records read below belong to the trial just
+// run; they stay valid because a warm lab is reset when the NEXT trial
+// acquires it, not when this one releases it.
+func MeasureBreakdownsOn(tb *runner.Testbeds, cfg lab.Config, size, iterations, warmup int) (tx, rx Breakdown, err error) {
+	l := tb.Lab(cfg, 2)
 	res, err := l.RunEcho(size, iterations, warmup)
 	if err != nil {
 		return tx, rx, err

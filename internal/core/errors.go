@@ -71,7 +71,7 @@ func RunErrorStudy(iterations int, o Options) (*ErrorStudyResult, error) {
 		c := c
 		jobs = append(jobs, runner.Job{
 			Label: c.label,
-			Run: func(_ context.Context, _ uint64) (interface{}, error) {
+			RunOn: func(_ context.Context, tb *runner.Testbeds, _ uint64) (interface{}, error) {
 				cfg := lab.Config{
 					Link:            lab.LinkATM,
 					Mode:            c.mode,
@@ -79,7 +79,7 @@ func RunErrorStudy(iterations int, o Options) (*ErrorStudyResult, error) {
 					HostCorruptRate: c.hostRate,
 					Seed:            1994,
 				}
-				l := lab.New(cfg)
+				l := tb.Lab(cfg, 2)
 				echo, err := l.RunEcho(1400, iterations, 2)
 				if err != nil {
 					return nil, fmt.Errorf("core: error study %q: %w", c.label, err)

@@ -60,8 +60,9 @@ func FanInTrials(clientCounts []int, reqsPerClient int) []runner.WorkloadTrial {
 }
 
 // RunFanInStudy runs the study grid through the sweep engine. Every cell
-// builds its own topology with a grid-position-derived seed, so results
-// are bit-identical at any worker count.
+// runs on its own pristine topology (reused across a worker's cells via
+// lab.Lab.Reset) with a grid-position-derived seed, so results are
+// bit-identical at any worker count.
 func RunFanInStudy(clientCounts []int, reqsPerClient int, o Options) (*FanInResult, error) {
 	o = o.normalize()
 	if len(clientCounts) == 0 {

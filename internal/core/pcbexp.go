@@ -240,7 +240,7 @@ func pcbPopulationEffect(populations []int, live bool, o Options) (map[int]float
 		}
 		jobs = append(jobs, runner.Job{
 			Label: label,
-			Run: func(_ context.Context, seed uint64) (interface{}, error) {
+			RunOn: func(_ context.Context, tb *runner.Testbeds, seed uint64) (interface{}, error) {
 				cfg := lab.Config{
 					Link:              lab.LinkATM,
 					DisablePrediction: true,
@@ -250,7 +250,7 @@ func pcbPopulationEffect(populations []int, live bool, o Options) (map[int]float
 				} else {
 					cfg.ExtraPCBs = n
 				}
-				return MeasureRTT(seeded(cfg, seed), 4, o)
+				return MeasureRTTOn(tb, seeded(cfg, seed), 4, o)
 			},
 		})
 	}

@@ -55,8 +55,8 @@ func runCompare(cfgA, cfgB lab.Config, o Options) ([]CompareRow, error) {
 			size, cfg := size, cfg
 			jobs = append(jobs, runner.Job{
 				Label: fmt.Sprintf("size %d (%c)", size, 'A'+si),
-				Run: func(_ context.Context, seed uint64) (interface{}, error) {
-					return MeasureRTT(seeded(cfg, seed), size, o)
+				RunOn: func(_ context.Context, tb *runner.Testbeds, seed uint64) (interface{}, error) {
+					return MeasureRTTOn(tb, seeded(cfg, seed), size, o)
 				},
 			})
 		}
@@ -171,8 +171,8 @@ func runBreakdown(o Options, side string) (*BreakdownResult, error) {
 		size := size
 		jobs = append(jobs, runner.Job{
 			Label: fmt.Sprintf("breakdown size %d", size),
-			Run: func(_ context.Context, seed uint64) (interface{}, error) {
-				tx, rx, err := MeasureBreakdowns(seeded(baseConfig(), seed),
+			RunOn: func(_ context.Context, tb *runner.Testbeds, seed uint64) (interface{}, error) {
+				tx, rx, err := MeasureBreakdownsOn(tb, seeded(baseConfig(), seed),
 					size, o.Iterations, o.Warmup)
 				if err != nil {
 					return nil, err

@@ -53,12 +53,12 @@ func RunTransportComparison(mode cost.ChecksumMode, o Options) (*TransportResult
 			}
 			jobs = append(jobs, runner.Job{
 				Label: fmt.Sprintf("%s size %d", proto, size),
-				Run: func(_ context.Context, seed uint64) (interface{}, error) {
+				RunOn: func(_ context.Context, tb *runner.Testbeds, seed uint64) (interface{}, error) {
 					cfg := seeded(lab.Config{Link: lab.LinkATM, Mode: mode}, seed)
 					if !udp {
-						return MeasureRTT(cfg, size, o)
+						return MeasureRTTOn(tb, cfg, size, o)
 					}
-					l := lab.New(cfg)
+					l := tb.Lab(cfg, 2)
 					echo, err := l.RunUDPEcho(size, o.Iterations, o.Warmup)
 					if err != nil {
 						return nil, err

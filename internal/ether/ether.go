@@ -133,6 +133,12 @@ func NewSegment() *Segment {
 	}
 }
 
+// Reset clears the segment's counters for testbed reuse. The stations
+// and IP bindings survive — they are the topology.
+func (s *Segment) Reset() {
+	s.UnknownUnicasts = 0
+}
+
 // Attach joins a station to the segment. Attaching two stations with the
 // same MAC panics: delivery would be ambiguous.
 func (s *Segment) Attach(a *Adapter) {
@@ -221,6 +227,29 @@ func NewAdapter(k *kern.Kernel, addr [6]byte) *Adapter {
 	a.frameOutFn = a.frameOut
 	a.frameInFn = a.frameIn
 	return a
+}
+
+// Reset returns the adapter to its just-constructed state for testbed
+// reuse: the transmitter idle at time zero, queues emptied with their
+// frame references released (frames are heap slices, unlike ATM's value
+// cells), fault injection off, counters cleared. The RxReady wait queue
+// survives with the driver's service process parked on it.
+func (a *Adapter) Reset() {
+	a.wireBusy = 0
+	for i := range a.rxQ {
+		a.rxQ[i] = rxItem{}
+	}
+	a.rxQ = a.rxQ[:0]
+	for i := range a.txPend {
+		a.txPend[i] = nil
+	}
+	a.txPend = a.txPend[:0]
+	for i := range a.flight {
+		a.flight[i] = nil
+	}
+	a.flight = a.flight[:0]
+	a.LossRate = 0
+	a.FramesSent, a.FramesRecv, a.Filtered = 0, 0, 0
 }
 
 // popFrame removes and returns the head of a frame queue, clearing the
@@ -355,6 +384,16 @@ func NewDriver(k *kern.Kernel, a *Adapter, ipStack *ip.Stack) *Driver {
 	return d
 }
 
+// Reset returns the driver to its just-constructed state for testbed
+// reuse: the transmit lock clears, the MTU override returns to default
+// for the lab to re-apply, and counters zero. The linearization scratch
+// is retained; the receive service process stays parked on RxReady.
+func (d *Driver) Reset() {
+	d.MTUOverride = 0
+	d.txBusy = false
+	d.FramesIn, d.FramesOut, d.FCSErrors, d.NoRoute = 0, 0, 0, 0
+}
+
 // Name implements ip.NetIf.
 func (d *Driver) Name() string { return d.K.Name + ".le0" }
 
@@ -452,12 +491,18 @@ func (d *Driver) deliver(p *sim.Proc, dg []byte, start, arrivedAt sim.Time) {
 		d.FCSErrors++
 		return
 	}
-	pktID := ip.PacketIDOf(dg)
-	p.PushTag(pktID)
-	defer p.PopTag()
-	k.Trace.Event(trace.Event{
-		Kind: trace.EvWireArrive, At: arrivedAt, ID: pktID, Len: len(dg),
-	})
+	// Untraced runs skip the tag push: it boxes the identity — one heap
+	// allocation per frame on the hot path — and exists only so trace
+	// events attribute to this packet.
+	var pktID trace.PacketID
+	if k.Trace.PacketsEnabled() {
+		pktID = ip.PacketIDOf(dg)
+		p.PushTag(pktID)
+		defer p.PopTag()
+		k.Trace.Event(trace.Event{
+			Kind: trace.EvWireArrive, At: arrivedAt, ID: pktID, Len: len(dg),
+		})
+	}
 	hm := k.AllocMbuf(p, trace.LayerEtherRx)
 	hm.Append(dg[:ip.HeaderLen])
 	rest := dg[ip.HeaderLen:]

@@ -173,6 +173,20 @@ func NewStack(k *kern.Kernel, addr uint32) *Stack {
 // Attach sets the interface datagrams are routed out of.
 func (s *Stack) Attach(nif NetIf) { s.If = nif }
 
+// Reset returns the stack to its just-constructed state for testbed
+// reuse: empty input queue, datagram IDs restarting from zero, counters
+// cleared. The registered protocol handlers, the attached interface, and
+// the netisr service process (parked on the input queue's wait queue)
+// all survive — they are the topology, not the trial.
+func (s *Stack) Reset() {
+	for i := range s.q {
+		s.q[i] = queued{}
+	}
+	s.q = s.q[:0]
+	s.nextID = 0
+	s.Drops = 0
+}
+
 // Register installs the handler for an IP protocol number.
 func (s *Stack) Register(proto uint8, h Handler) { s.handlers[proto] = h }
 
@@ -228,7 +242,12 @@ func (s *Stack) netisr(p *sim.Proc) {
 		// identity tags the process before the charge so the dispatch
 		// cost attributes to the packet being dequeued.
 		head := s.q[0]
-		p.PushTag(head.id)
+		// The tag exists only for trace attribution; untraced runs skip
+		// the push (it boxes the identity, one allocation per datagram).
+		tagged := s.K.Trace.PacketsEnabled()
+		if tagged {
+			p.PushTag(head.id)
+		}
 		s.K.Use(p, trace.LayerIPQ, s.K.Cost.SoftintDispatch)
 		copy(s.q, s.q[1:])
 		s.q = s.q[:len(s.q)-1]
@@ -237,7 +256,9 @@ func (s *Stack) netisr(p *sim.Proc) {
 			ID: head.id, Aux: int64(len(s.q)),
 		})
 		s.input(p, head.m)
-		p.PopTag()
+		if tagged {
+			p.PopTag()
+		}
 	}
 }
 

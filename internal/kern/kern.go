@@ -50,6 +50,21 @@ func New(env *sim.Env, model *cost.Model, name string) *Kernel {
 	}
 }
 
+// Reset returns the kernel to its just-constructed state for testbed
+// reuse: the CPU cursor rewinds to zero (the environment's clock has
+// been reset), the trace recorder is cleared and disabled, and the mbuf
+// pool's counters are zeroed while its free-lists — the recycled headers
+// and cluster pages the next trial's steady state will run on — are
+// retained. The cost model is re-bound so a reused host can run a trial
+// with a different model.
+func (k *Kernel) Reset(model *cost.Model) {
+	k.Cost = model
+	k.busyUntil = 0
+	k.Trace.Reset()
+	k.Trace.Disable()
+	k.Pool.Reset()
+}
+
 // Now returns the current virtual time.
 func (k *Kernel) Now() sim.Time { return k.Env.Now() }
 

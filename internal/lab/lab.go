@@ -10,6 +10,7 @@
 package lab
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/atm"
@@ -90,6 +91,13 @@ type Config struct {
 	// time, so a traced run is bit-identical in timing to an untraced
 	// one at the same seed.
 	PacketTrace bool
+	// CheckLeaks arms the pool-leak gate for testbed reuse: when the lab
+	// is Reset for its next trial, the reset fails if any host's mbuf
+	// pool still reports live headers or cluster pages — a chain the
+	// finished trial never freed, which would otherwise ride silently
+	// into every later trial on this testbed. Debug-only: it never
+	// changes simulated behaviour, only whether Reset tolerates a leak.
+	CheckLeaks bool
 	// Cost overrides the cost model (nil means DECstation 5000/200).
 	Cost *cost.Model
 	// Seed seeds the simulation RNG.
@@ -225,6 +233,123 @@ func NewTopology(cfg Config, nHosts int) *Lab {
 		}
 	}
 	return l
+}
+
+// Reset rebinds the assembled topology to a new trial configuration
+// instead of reallocating it: the event heap's backing store, the mbuf
+// pools' free-lists, every wait queue with its parked service process,
+// the adapters, the switch VC tables, and the Ethernet segment bindings
+// all survive; every piece of per-trial state — clock, RNG, PCB tables,
+// listeners, port/ISS counters, trace records, FIFO contents, statistics
+// — rewinds to what a freshly constructed lab would hold. A nonzero seed
+// overrides cfg.Seed (the runner.ApplySeed convention).
+//
+// The contract is bit-identity: a reset lab must produce byte-identical
+// results to lab.NewTopology(cfg, len(l.Hosts)) at every seed, which the
+// reuse-determinism tests assert against the golden outputs. Reset only
+// rebinds within a topology shape — the link kind and host count are the
+// machines on the bench, not knobs — so asking for a different link is
+// an error and the caller builds a new lab instead.
+//
+// When the finished trial ran with Config.CheckLeaks, Reset first
+// verifies every host's mbuf pool has zero live headers and cluster
+// pages, failing loudly rather than letting a leaked chain ride into
+// later trials.
+func (l *Lab) Reset(cfg Config, seed uint64) error {
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if cfg.Link != l.Config.Link {
+		return fmt.Errorf("lab: cannot reset %v topology to %v", l.Config.Link, cfg.Link)
+	}
+	if n := l.Env.Pending(); n != 0 {
+		// The previous trial never drained its event loop (it errored or
+		// was abandoned mid-run); resetting would strand scheduled work.
+		return fmt.Errorf("lab: cannot reset with %d events pending", n)
+	}
+	if l.Config.CheckLeaks {
+		if hdrs, pages := l.PoolLive(); hdrs != 0 || pages != 0 {
+			return fmt.Errorf("lab: trial leaked %d mbuf headers and %d cluster pages: %w",
+				hdrs, pages, ErrPoolLeak)
+		}
+	}
+	l.Env.Reset()
+	if cfg.Seed != 0 {
+		l.Env.Seed(cfg.Seed)
+	}
+	model := cfg.Cost
+	if model == nil {
+		model = cost.DECstation5000()
+	}
+	for _, h := range l.Hosts {
+		resetHost(h, model, cfg)
+	}
+	switch cfg.Link {
+	case LinkATM:
+		if l.Switch != nil {
+			l.Switch.Reset()
+		}
+		for _, h := range l.Hosts {
+			h.ATMAdapter.LossRate = cfg.CellLossRate
+			h.ATMAdapter.CorruptRate = cfg.CellCorruptRate
+			h.ATMDriver.HostCorruptRate = cfg.HostCorruptRate
+		}
+	case LinkEther:
+		l.Segment.Reset()
+	}
+	l.Config = cfg
+	return nil
+}
+
+// ErrPoolLeak marks a Reset refused by the Config.CheckLeaks gate: the
+// finished trial left live mbuf chains behind. Callers that fall back
+// to a fresh lab on other Reset failures (an undrained event loop, a
+// shape mismatch) must NOT swallow this one — it reports a bug in the
+// stack, not an unusable testbed.
+var ErrPoolLeak = errors.New("mbuf pool leak")
+
+// PoolLive sums the live mbuf headers and cluster pages across every
+// host's pool — both zero between trials unless a chain leaked.
+func (l *Lab) PoolLive() (hdrs, pages int64) {
+	for _, h := range l.Hosts {
+		hdrs += h.Kern.Pool.PoolStats.LiveHeaders
+		pages += h.Kern.Pool.PoolStats.LivePages
+	}
+	return hdrs, pages
+}
+
+// resetHost rewinds one workstation to its just-built state, applying
+// the new trial's configuration exactly as buildHost applies it to a
+// fresh host (same knobs, same order).
+func resetHost(h *Host, model *cost.Model, cfg Config) {
+	if cfg.MTU != 0 && cfg.MTU < MinMTU {
+		cfg.MTU = 0
+	}
+	h.Kern.Reset(model)
+	if cfg.PacketTrace {
+		h.Kern.Trace.EnablePackets()
+	} else {
+		h.Kern.Trace.DisablePackets()
+	}
+	h.IP.Reset()
+	if h.ATMAdapter != nil {
+		h.ATMAdapter.Reset()
+		h.ATMDriver.Reset()
+		h.ATMDriver.Mode = cfg.Mode
+		h.ATMDriver.MTUOverride = cfg.MTU
+	}
+	if h.EthAdapter != nil {
+		h.EthAdapter.Reset()
+		h.EthDriver.Reset()
+		h.EthDriver.MTUOverride = cfg.MTU
+	}
+	h.TCP.Reset()
+	h.TCP.SockBuf = cfg.SockBuf
+	h.TCP.Mode = cfg.Mode
+	h.TCP.PredictionEnabled = !cfg.DisablePrediction
+	h.TCP.Table.UseHash = cfg.HashPCBs
+	h.UDP.Reset()
+	h.UDP.ChecksumOff = cfg.Mode == cost.ChecksumNone
 }
 
 // hostName keeps the paper's names for the measurement pair and numbers

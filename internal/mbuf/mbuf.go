@@ -163,12 +163,18 @@ type Stats struct {
 
 // PoolStats counts the host-side free-list traffic, for the pool-safety
 // tests and for verifying steady-state traffic recycles rather than
-// allocates.
+// allocates. LiveHeaders and LivePages are gauges, not counters: they
+// track how many headers and cluster pages are currently out of the pool
+// in live chains, and both must be zero between trials — a nonzero value
+// after teardown means a chain leaked, the invariant the testbed-reuse
+// leak gate asserts (lab.Config.CheckLeaks).
 type PoolStats struct {
 	HeaderReuses int64 // mbuf headers popped off the free-list
 	HeaderNews   int64 // mbuf headers taken from the Go heap
 	PageReuses   int64 // cluster pages popped off the free-list
 	PageNews     int64 // cluster pages taken from the Go heap
+	LiveHeaders  int64 // headers currently held by live chains
+	LivePages    int64 // cluster pages currently held by live chains
 }
 
 // Pool allocates mbufs and tracks Stats. The zero value is ready to use.
@@ -185,6 +191,7 @@ type Pool struct {
 
 // get returns a blank header: recycled when possible, fresh otherwise.
 func (p *Pool) get() *Mbuf {
+	p.PoolStats.LiveHeaders++
 	m := p.freeHdr
 	if m == nil {
 		p.PoolStats.HeaderNews++
@@ -199,6 +206,7 @@ func (p *Pool) get() *Mbuf {
 
 // getPage returns a 4 KB cluster page with refs set to 1.
 func (p *Pool) getPage() *cluster {
+	p.PoolStats.LivePages++
 	c := p.freePage
 	if c == nil {
 		p.PoolStats.PageNews++
@@ -209,6 +217,21 @@ func (p *Pool) getPage() *cluster {
 	c.nextFree = nil
 	c.refs = 1
 	return c
+}
+
+// Reset clears the pool's counters for a new trial while RETAINING the
+// free-lists — the whole point of reusing a testbed is that the next
+// trial's steady-state traffic recycles this trial's headers and pages
+// instead of growing the Go heap again. The live gauges are preserved:
+// they describe chains still outstanding, which a reset cannot make
+// disappear (the leak gate checks them before the reset).
+func (p *Pool) Reset() {
+	live := PoolStats{
+		LiveHeaders: p.PoolStats.LiveHeaders,
+		LivePages:   p.PoolStats.LivePages,
+	}
+	p.Stats = Stats{}
+	p.PoolStats = live
 }
 
 // Alloc returns a normal mbuf with leading space for protocol headers.
@@ -258,10 +281,12 @@ func (p *Pool) Free(m *Mbuf) {
 		}
 		next := m.next
 		p.Stats.MbufFrees++
+		p.PoolStats.LiveHeaders--
 		if m.clust != nil {
 			m.clust.refs--
 			if m.clust.refs == 0 {
 				p.Stats.ClusterFrees++
+				p.PoolStats.LivePages--
 				m.clust.nextFree = p.freePage
 				p.freePage = m.clust
 			}

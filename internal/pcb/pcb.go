@@ -92,6 +92,22 @@ type Table struct {
 // Len returns the number of PCBs in the table.
 func (t *Table) Len() int { return t.count }
 
+// Reset empties the table back to its zero-value behaviour — no entries,
+// cold cache, cache enabled, list organization, zeroed counters — while
+// retaining the hash map's buckets so a reused table repopulates without
+// reallocating. Callers that want the hash organization or a disabled
+// cache re-apply those knobs after the reset, exactly as they configured
+// a fresh table.
+func (t *Table) Reset() {
+	t.head = nil
+	t.count = 0
+	t.cache = nil
+	t.CacheDisabled = false
+	t.UseHash = false
+	clear(t.hash)
+	t.Lookups, t.CacheHits, t.TotalSearched = 0, 0, 0
+}
+
 // Insert adds a PCB at the head of the list, the BSD insertion policy that
 // makes recently created connections cheap to find (§3: "the insertion
 // algorithm ... places the most recent creation at the head of the list").

@@ -51,8 +51,8 @@ func RunEchoSweep(ctx context.Context, trials []EchoTrial, o Options) ([]EchoOut
 		t := t
 		jobs[i] = Job{
 			Label: t.Label,
-			Run: func(ctx context.Context, seed uint64) (interface{}, error) {
-				return runEchoTrial(t, seed)
+			RunOn: func(ctx context.Context, tb *Testbeds, seed uint64) (interface{}, error) {
+				return runEchoTrial(tb, t, seed)
 			},
 		}
 	}
@@ -85,9 +85,10 @@ func ApplySeed(cfg lab.Config, seed uint64) lab.Config {
 	return cfg
 }
 
-// runEchoTrial builds the trial's testbed (its own sim.Env) and runs the
-// echo benchmark, returning the aggregated outcome.
-func runEchoTrial(t EchoTrial, seed uint64) (interface{}, error) {
+// runEchoTrial acquires the trial's testbed — warm from the worker's
+// cache when one of the right shape exists, freshly built otherwise —
+// and runs the echo benchmark, returning the aggregated outcome.
+func runEchoTrial(tb *Testbeds, t EchoTrial, seed uint64) (interface{}, error) {
 	cfg := ApplySeed(t.Cfg, seed)
 	iters, warm := t.Iterations, t.Warmup
 	if iters <= 0 {
@@ -96,7 +97,7 @@ func runEchoTrial(t EchoTrial, seed uint64) (interface{}, error) {
 	if warm < 0 {
 		warm = 0
 	}
-	l := lab.New(cfg)
+	l := tb.Lab(cfg, 2)
 	var (
 		res *lab.EchoResult
 		err error

@@ -14,6 +14,15 @@
 //   - Outcomes are collected by grid index, so aggregation sees them in
 //     grid order regardless of completion order.
 //
+// Execution is worker-affine: every worker owns a Testbeds cache of warm
+// labs keyed by topology shape, and jobs that set Job.RunOn acquire
+// their lab through it — a trial rebinds an already-assembled topology
+// (lab.Lab.Reset) instead of reconstructing kernels, mbuf pools, and
+// event heaps per grid cell, which is where most of a sweep's wall-clock
+// time and allocation volume used to go (see docs/PERFORMANCE.md). The
+// reset restores bit-identical initial state, so reuse is invisible to
+// every outcome.
+//
 // Run(ctx, jobs, Options{Workers: 1}) is the serial reference; any other
 // worker count produces exactly the same outcomes, only faster.
 //
@@ -51,9 +60,20 @@ func SeedFor(base uint64, index int) uint64 {
 // (observe it for cancellation in long jobs) and the seed derived for the
 // job's grid index — zero when the sweep did not request derived seeds,
 // in which case the job keeps whatever seeding its configuration carries.
+//
+// RunOn, when non-nil, takes precedence over Run and additionally
+// receives the executing worker's warm-testbed cache (Testbeds): jobs
+// that build a lab should acquire it through tb.Lab so consecutive
+// trials on one worker reuse an assembled topology instead of
+// reconstructing it. Because every reused lab is reset to bit-identical
+// initial state and every seed derives from grid position alone, RunOn
+// jobs keep the sweep's contract: outcomes are byte-identical at any
+// worker count, and identical whether a trial ran on a cold or warm
+// testbed.
 type Job struct {
 	Label string
 	Run   func(ctx context.Context, seed uint64) (interface{}, error)
+	RunOn func(ctx context.Context, tb *Testbeds, seed uint64) (interface{}, error)
 }
 
 // Outcome is one job's result, reported at the job's grid index.
@@ -117,8 +137,12 @@ func Run(ctx context.Context, jobs []Job, o Options) ([]Outcome, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// The worker's private warm-testbed cache: labs are
+			// single-threaded simulations, so affinity to one goroutine
+			// is what makes reuse safe without any locking.
+			tb := &Testbeds{}
 			for i := range idxc {
-				outs[i].Value, outs[i].Err = runOne(ctx, jobs[i], outs[i].Seed)
+				outs[i].Value, outs[i].Err = runOne(ctx, jobs[i], tb, outs[i].Seed)
 				if o.Progress != nil {
 					mu.Lock()
 					done++
@@ -149,7 +173,7 @@ feed:
 
 // runOne executes one job, converting a panic in the simulation into an
 // error so a bad cell cannot take down the whole sweep.
-func runOne(ctx context.Context, j Job, seed uint64) (v interface{}, err error) {
+func runOne(ctx context.Context, j Job, tb *Testbeds, seed uint64) (v interface{}, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("runner: job %q panicked: %v", j.Label, r)
@@ -157,6 +181,9 @@ func runOne(ctx context.Context, j Job, seed uint64) (v interface{}, err error) 
 	}()
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if j.RunOn != nil {
+		return j.RunOn(ctx, tb, seed)
 	}
 	return j.Run(ctx, seed)
 }

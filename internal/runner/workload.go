@@ -51,16 +51,17 @@ type WorkloadOutcome struct {
 }
 
 // RunWorkloadSweep executes the trials through the worker pool. Each
-// trial builds its own topology (its own sim.Env) with a grid-position-
-// derived seed, so outcomes are bit-identical at any worker count.
+// trial runs on its own pristine topology (warm from the worker's
+// testbed cache or freshly built) with a grid-position-derived seed, so
+// outcomes are bit-identical at any worker count.
 func RunWorkloadSweep(ctx context.Context, trials []WorkloadTrial, o Options) ([]WorkloadOutcome, error) {
 	jobs := make([]Job, len(trials))
 	for i, t := range trials {
 		t := t
 		jobs[i] = Job{
 			Label: t.Label,
-			Run: func(ctx context.Context, seed uint64) (interface{}, error) {
-				return runWorkloadTrial(t, seed)
+			RunOn: func(ctx context.Context, tb *Testbeds, seed uint64) (interface{}, error) {
+				return runWorkloadTrial(tb, t, seed)
 			},
 		}
 	}
@@ -92,9 +93,10 @@ func (t WorkloadTrial) hosts() int {
 	return t.Hosts
 }
 
-// runWorkloadTrial builds the trial's topology and runs the generator.
-func runWorkloadTrial(t WorkloadTrial, seed uint64) (interface{}, error) {
-	l := lab.NewTopology(ApplySeed(t.Cfg, seed), t.hosts())
+// runWorkloadTrial acquires the trial's topology — warm from the
+// worker's cache when the shape matches — and runs the generator.
+func runWorkloadTrial(tb *Testbeds, t WorkloadTrial, seed uint64) (interface{}, error) {
+	l := tb.Lab(ApplySeed(t.Cfg, seed), t.hosts())
 	r, err := t.Gen.Run(l)
 	if err != nil {
 		return nil, err

@@ -8,12 +8,18 @@ import "fmt"
 // event is a scheduled callback. Events with equal timestamps fire in the
 // order they were scheduled (seq breaks ties), which keeps runs
 // deterministic. Stored by value in the heap slice — never individually
-// heap-allocated.
+// heap-allocated. A callback is either fn, or argFn applied to arg: the
+// arg-carrying form lets repeat schedulers (TCP's retransmit and
+// delayed-ACK timers) use one bound method per connection plus a
+// generation number in the event, instead of allocating a fresh closure
+// per arming.
 type event struct {
-	at   Time
-	seq  uint64
-	name string
-	fn   func()
+	at    Time
+	seq   uint64
+	arg   uint64
+	name  string
+	fn    func()
+	argFn func(uint64)
 }
 
 // eventHeap is a 4-ary min-heap of events ordered by (at, seq), stored by
@@ -110,6 +116,25 @@ func NewEnv() *Env {
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
+// Reset returns the environment to its just-constructed state — clock at
+// zero, sequence counter at zero, default RNG seed — while retaining the
+// event heap's backing storage, so a reused environment schedules without
+// regrowing to its high-water mark. Processes blocked on WaitQueues are
+// untouched: a drained simulation leaves its persistent service loops
+// (netisr, driver interrupt handlers, protocol timers) parked exactly
+// where a fresh environment's would park after their spawn events run, so
+// reuse is invisible to simulated time. Resetting with events still
+// pending panics: it would strand scheduled work and silently corrupt the
+// next run's measurements.
+func (e *Env) Reset() {
+	if len(e.events) != 0 {
+		panic(fmt.Sprintf("sim: Reset with %d events pending", len(e.events)))
+	}
+	e.now = 0
+	e.seq = 0
+	e.rng = NewRNG(1)
+}
+
 // RNG returns the environment's random number generator.
 func (e *Env) RNG() *RNG { return e.rng }
 
@@ -134,6 +159,26 @@ func (e *Env) After(d Time, name string, fn func()) {
 	e.At(e.now+d, name, fn)
 }
 
+// AtArg schedules fn(arg) at absolute virtual time t. It is At for
+// callbacks that need one word of context: the function can be bound
+// once and reused across schedulings, with arg (typically a generation
+// counter) riding in the event itself — no closure allocation per call.
+func (e *Env) AtArg(t Time, name string, fn func(uint64), arg uint64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, e.now))
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, name: name, argFn: fn, arg: arg})
+}
+
+// AfterArg schedules fn(arg) to run d after the current time.
+func (e *Env) AfterArg(d Time, name string, fn func(uint64), arg uint64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
+	}
+	e.AtArg(e.now+d, name, fn, arg)
+}
+
 // Step runs the next pending event, advancing the clock to its timestamp.
 // It reports whether an event was run.
 func (e *Env) Step() bool {
@@ -142,7 +187,11 @@ func (e *Env) Step() bool {
 	}
 	ev := e.events.pop()
 	e.now = ev.at
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.argFn(ev.arg)
+	}
 	return true
 }
 

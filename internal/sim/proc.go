@@ -84,8 +84,23 @@ func (p *Proc) block() {
 
 // SleepUntil blocks the process until virtual time t. Sleeping into the
 // past is a no-op.
+//
+// Fast path: when the sleeping process is the one currently executing
+// and no queued event fires before t, nothing can run in the interval —
+// events are only created by running code, and all of it is suspended
+// until this process resumes. The clock advances to t directly, skipping
+// the park/handoff/resume round trip through the event loop (two
+// goroutine switches per CPU charge otherwise). An event queued exactly
+// at t still forces the slow path: it was scheduled earlier, so the
+// total order says it runs first. Skipping the wake event shifts later
+// sequence numbers uniformly, which preserves every tie-break — the
+// queue's total order, and therefore simulated time, is unchanged.
 func (p *Proc) SleepUntil(t Time) {
 	if t <= p.env.now {
+		return
+	}
+	if p.env.current == p && (len(p.env.events) == 0 || p.env.events[0].at > t) {
+		p.env.now = t
 		return
 	}
 	p.env.At(t, p.wakeName, p.runFn)

@@ -125,6 +125,14 @@ type Conn struct {
 	// it busy.
 	outBusy bool
 	outWait *sim.WaitQueue
+
+	// rexmtCb and delackCb are the timer callbacks, bound once at
+	// construction so (re)arming a timer schedules an arg-carrying event
+	// (the generation number rides in the event) instead of allocating a
+	// closure per arming — setRexmt runs once per transmitted data
+	// segment, squarely on the hot path.
+	rexmtCb  func(uint64)
+	delackCb func(uint64)
 }
 
 // Socket returns the connection's socket.
@@ -226,13 +234,16 @@ func (c *Conn) rttUpdate(sample sim.Time) {
 // setRexmt (re)arms the retransmission timer.
 func (c *Conn) setRexmt() {
 	c.rexmtGen++
-	gen := c.rexmtGen
-	c.K.Env.After(c.rto(), "tcp.rexmt", func() {
-		if gen != c.rexmtGen {
-			return
-		}
-		c.S.dispatch(c.rexmtFire)
-	})
+	c.K.Env.AfterArg(c.rto(), "tcp.rexmt", c.rexmtCb, uint64(c.rexmtGen))
+}
+
+// rexmtTimer fires when an armed retransmission deadline elapses; a
+// stale generation means the timer was re-armed or cancelled since.
+func (c *Conn) rexmtTimer(gen uint64) {
+	if gen != uint64(c.rexmtGen) {
+		return
+	}
+	c.S.dispatch(c.rexmtFire)
 }
 
 // clearRexmt cancels any pending retransmission timer.
@@ -265,20 +276,26 @@ func (c *Conn) rexmtFire(p *sim.Proc) {
 // scheduleDelack arms the 200 ms delayed-ACK timer.
 func (c *Conn) scheduleDelack() {
 	c.delackGen++
-	gen := c.delackGen
-	c.K.Env.After(delackTimeout, "tcp.delack", func() {
-		if gen != c.delackGen || !c.flagDelAck {
-			return
-		}
-		c.S.dispatch(func(p *sim.Proc) {
-			if c.flagDelAck {
-				c.flagDelAck = false
-				c.flagAckNow = true
-				c.S.Stats.DelayedAcks++
-				c.output(p)
-			}
-		})
-	})
+	c.K.Env.AfterArg(delackTimeout, "tcp.delack", c.delackCb, uint64(c.delackGen))
+}
+
+// delackTimer fires when the delayed-ACK deadline elapses; a stale
+// generation or an already-sent ACK makes it a no-op.
+func (c *Conn) delackTimer(gen uint64) {
+	if gen != uint64(c.delackGen) || !c.flagDelAck {
+		return
+	}
+	c.S.dispatch(c.delackFire)
+}
+
+// delackFire sends the delayed ACK from the stack's service process.
+func (c *Conn) delackFire(p *sim.Proc) {
+	if c.flagDelAck {
+		c.flagDelAck = false
+		c.flagAckNow = true
+		c.S.Stats.DelayedAcks++
+		c.output(p)
+	}
 }
 
 func min2(a, b int) int {

@@ -148,20 +148,24 @@ func (c *Conn) sendSegment(p *sim.Proc, flags uint8, off, length int) {
 	// output processing, checksum, ip_output, the driver — attributes to
 	// this packet in the event stream. The tag nests, so an ACK sent
 	// from inside tcp_input restores the inbound segment's identity on
-	// pop.
-	pktID := trace.PacketID{
-		Src:     key.LocalAddr,
-		Dst:     key.RemoteAddr,
-		SrcPort: key.LocalPort,
-		DstPort: key.RemotePort,
-		Seq:     uint32(th.Seq),
+	// pop. Tags exist only for that attribution, so an untraced run
+	// skips the push — pushing boxes the identity into an interface,
+	// one heap allocation per segment on the hot path.
+	if k.Trace.PacketsEnabled() {
+		pktID := trace.PacketID{
+			Src:     key.LocalAddr,
+			Dst:     key.RemoteAddr,
+			SrcPort: key.LocalPort,
+			DstPort: key.RemotePort,
+			Seq:     uint32(th.Seq),
+		}
+		p.PushTag(pktID)
+		defer p.PopTag()
+		k.Trace.Event(trace.Event{
+			Kind: trace.EvTCPOutput, At: k.Now(), ID: pktID,
+			Len: length, Aux: int64(th.Flags),
+		})
 	}
-	p.PushTag(pktID)
-	defer p.PopTag()
-	k.Trace.Event(trace.Event{
-		Kind: trace.EvTCPOutput, At: k.Now(), ID: pktID,
-		Len: length, Aux: int64(th.Flags),
-	})
 
 	// mcopy: the data sent is a copy of the socket buffer chain, kept
 	// there for retransmission (§2.2.3: "the copy in mcopy only occurs

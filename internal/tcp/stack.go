@@ -85,6 +85,30 @@ func NewStack(k *kern.Kernel, ipStack *ip.Stack) *Stack {
 	return s
 }
 
+// Reset returns the stack to its just-constructed state for testbed
+// reuse: demultiplexing table emptied (retaining its hash buckets),
+// listeners and connections discarded, the deterministic port and ISS
+// counters rewound, statistics and deferred work cleared. The timer
+// service process stays parked on its wait queue, exactly where a fresh
+// stack's lands after its spawn event. Configuration knobs the lab
+// applies after construction (Mode, SockBuf, PredictionEnabled,
+// Table.UseHash) are reset to their constructed defaults; the caller
+// re-applies the trial's values afterwards, as it would on a new stack.
+func (s *Stack) Reset() {
+	s.Table.Reset()
+	clear(s.listeners)
+	s.nextPort = 1024
+	s.nextISS = 1
+	s.Stats = Stats{}
+	s.PredictionEnabled = true
+	s.Mode = cost.ChecksumStandard
+	s.SockBuf = 0
+	for i := range s.due {
+		s.due[i] = nil
+	}
+	s.due = s.due[:0]
+}
+
 // dispatch queues protocol work for the service process. Timer events use
 // it because event callbacks cannot block on FIFO space.
 func (s *Stack) dispatch(fn func(p *sim.Proc)) {
@@ -127,6 +151,8 @@ func (s *Stack) newConn() *Conn {
 		wantCksumOff: s.Mode == cost.ChecksumNone,
 		outWait:      s.K.Env.NewWaitQueue(s.K.Name + ".tcp.outlock"),
 	}
+	c.rexmtCb = c.rexmtTimer
+	c.delackCb = c.delackTimer
 	so.Proto = c
 	return c
 }
@@ -241,20 +267,25 @@ func (s *Stack) Input(p *sim.Proc, h ip.Header, m *mbuf.Mbuf) {
 	// of input processing: the PCB lookup, checksum verification, and
 	// tcp_input charges all attribute to this packet in the event
 	// stream. (A response transmitted from inside input pushes its own
-	// identity on top.)
-	pktID := trace.PacketID{
-		Src:     h.Src,
-		Dst:     h.Dst,
-		SrcPort: th.SrcPort,
-		DstPort: th.DstPort,
-		Seq:     uint32(th.Seq),
+	// identity on top.) Untraced runs skip the push — the tag stack
+	// exists only for trace attribution and pushing boxes the identity,
+	// one heap allocation per segment.
+	var pktID trace.PacketID
+	if k.Trace.PacketsEnabled() {
+		pktID = trace.PacketID{
+			Src:     h.Src,
+			Dst:     h.Dst,
+			SrcPort: th.SrcPort,
+			DstPort: th.DstPort,
+			Seq:     uint32(th.Seq),
+		}
+		p.PushTag(pktID)
+		defer p.PopTag()
+		k.Trace.Event(trace.Event{
+			Kind: trace.EvTCPInput, At: k.Now(), ID: pktID,
+			Len: segLen, Aux: int64(th.Flags),
+		})
 	}
-	p.PushTag(pktID)
-	defer p.PopTag()
-	k.Trace.Event(trace.Event{
-		Kind: trace.EvTCPInput, At: k.Now(), ID: pktID,
-		Len: segLen, Aux: int64(th.Flags),
-	})
 
 	// PCB demultiplexing: single-entry cache, then list or hash search.
 	probe := pcb.Key{

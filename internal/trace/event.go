@@ -139,6 +139,11 @@ func (e Event) End() sim.Time { return e.At + e.Dur }
 // bit-identical in timing to an untraced one.
 func (r *Recorder) EnablePackets() { r.packets = true }
 
+// DisablePackets disarms per-packet event recording. Testbed reuse needs
+// it: a lab whose previous trial traced packets must behave exactly like
+// a freshly built untraced one when its next trial does not.
+func (r *Recorder) DisablePackets() { r.packets = false }
+
 // PacketsEnabled reports whether the recorder is armed for per-packet
 // events (regardless of whether recording is currently on).
 func (r *Recorder) PacketsEnabled() bool { return r != nil && r.packets }

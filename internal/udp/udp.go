@@ -103,6 +103,17 @@ func NewStack(k *kern.Kernel, ipStack *ip.Stack) *Stack {
 	return s
 }
 
+// Reset returns the stack to its just-constructed state for testbed
+// reuse: bound ports released, the ephemeral port counter rewound, the
+// checksum policy back to default, statistics cleared. The IP
+// registration survives — it is part of the topology.
+func (s *Stack) Reset() {
+	clear(s.ports)
+	s.nextPort = 2048
+	s.ChecksumOff = false
+	s.DatagramsIn, s.DatagramsOut, s.ChecksumErrors, s.NoPortDrops = 0, 0, 0, 0
+}
+
 // Bind claims a port (0 means an ephemeral one) and returns its endpoint.
 func (s *Stack) Bind(port uint16) (*Endpoint, error) {
 	if port == 0 {

@@ -3,9 +3,11 @@
 // transfer, request/response fan-in (M clients hammering one server),
 // and connection churn (open/close storms that exercise real PCB insert
 // and delete under live populations). A Generator is pure configuration;
-// Run spawns its processes on a freshly built Lab and consumes that
-// lab's event loop, so each run needs its own topology — exactly the
-// shape the sweep engine (internal/runner) parallelizes over.
+// Run spawns its processes on a freshly built (or freshly reset —
+// lab.Lab.Reset restores bit-identical initial state) Lab and consumes
+// that lab's event loop, so each run needs its own pristine topology —
+// exactly the shape the sweep engine (internal/runner) parallelizes
+// over and its worker-affine testbed cache recycles.
 //
 // Every generator participates in per-packet tracing: when the lab was
 // built with lab.Config.PacketTrace, Run returns the merged event

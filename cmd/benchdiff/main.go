@@ -42,6 +42,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -64,6 +65,7 @@ func run(args []string, in io.Reader, w io.Writer) error {
 		tolNs     = fs.Float64("tol-ns", 0.5, "wallclock: relative tolerance for ns/op (machine dependent)")
 		tolAlloc  = fs.Float64("tol-alloc", 0.15, "wallclock: relative tolerance for allocation counts")
 		scaling   = fs.Bool("scaling", false, "wallclock: report the parallel/serial sweep scaling ratio only, without a baseline comparison")
+		cpus      = fs.Int("cpus", runtime.NumCPU(), "wallclock: physical CPUs assumed by the scaling report (default: this machine's)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -93,7 +95,7 @@ func run(args []string, in io.Reader, w io.Writer) error {
 		return fmt.Errorf("no metrics found in the bench output")
 	}
 	if *wallclock {
-		reportScaling(w, sweeps)
+		reportScaling(w, sweeps, *cpus)
 	}
 	if *scaling {
 		return nil
@@ -153,10 +155,14 @@ type sweepSample struct {
 
 // reportScaling prints the parallel/serial wall-clock ratio of the sweep
 // pair for every GOMAXPROCS value both variants ran at, and warns —
-// non-fatally; machine load or a single core can cause it — when the
-// parallel sweep was not faster. The ratio is the headline number of the
-// worker-affine sweep engine: below 1.0 means sharding the grid pays.
-func reportScaling(w io.Writer, sweeps []sweepSample) {
+// non-fatally; machine load can cause it — when the parallel sweep was
+// not faster. A run whose GOMAXPROCS exceeds cpus (the machine's
+// physical CPU count) gets a note instead of a warning: extra scheduler
+// threads on the same core cannot speed anything up, so a ratio above
+// 1.0 there measures context-switch overhead, not a sharding
+// regression. The ratio is the headline number of the worker-affine
+// sweep engine: below 1.0 means sharding the grid pays.
+func reportScaling(w io.Writer, sweeps []sweepSample, cpus int) {
 	byProcs := map[int]map[string]float64{}
 	procsSeen := []int{}
 	for _, s := range sweeps {
@@ -178,6 +184,8 @@ func reportScaling(w io.Writer, sweeps []sweepSample) {
 		switch {
 		case procs == 1:
 			fmt.Fprintf(w, "scaling: note: GOMAXPROCS=1 cannot show a speedup; ratio near 1.0 is expected\n")
+		case procs > cpus:
+			fmt.Fprintf(w, "scaling: note: GOMAXPROCS=%d exceeds this machine's %d CPU(s); a speedup is impossible and a ratio above 1.0 measures thread context switching, not a regression\n", procs, cpus)
 		case ratio >= 1:
 			fmt.Fprintf(w, "WARNING scaling: parallel sweep is not faster than serial (ratio %.3f at GOMAXPROCS=%d)\n", ratio, procs)
 		}

@@ -146,7 +146,7 @@ PASS
 
 func TestScalingReport(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-wallclock", "-scaling"},
+	if err := run([]string{"-wallclock", "-scaling", "-cpus", "2"},
 		strings.NewReader(sampleScaling), &out); err != nil {
 		t.Fatalf("scaling report failed: %v\n%s", err, out.String())
 	}
@@ -167,12 +167,31 @@ func TestScalingWarnsWhenParallelSlower(t *testing.T) {
 	inverted := strings.Replace(sampleScaling, "126000000", "230000000", 1)
 	var out bytes.Buffer
 	// Non-fatal: the run must still succeed.
-	if err := run([]string{"-wallclock", "-scaling"},
+	if err := run([]string{"-wallclock", "-scaling", "-cpus", "2"},
 		strings.NewReader(inverted), &out); err != nil {
 		t.Fatalf("scaling warning must be non-fatal: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "WARNING scaling: parallel sweep is not faster") {
 		t.Errorf("missing warning for parallel >= serial at GOMAXPROCS=2:\n%s", out.String())
+	}
+}
+
+func TestScalingOversubscribedIsNoteNotWarning(t *testing.T) {
+	// The same inverted sample on a one-CPU machine: GOMAXPROCS=2 over one
+	// core cannot be faster, so the slow ratio gets an explanatory note and
+	// no warning.
+	inverted := strings.Replace(sampleScaling, "126000000", "230000000", 1)
+	var out bytes.Buffer
+	if err := run([]string{"-wallclock", "-scaling", "-cpus", "1"},
+		strings.NewReader(inverted), &out); err != nil {
+		t.Fatalf("oversubscribed scaling report failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "GOMAXPROCS=2 exceeds this machine's 1 CPU(s)") {
+		t.Errorf("missing oversubscription note:\n%s", s)
+	}
+	if strings.Contains(s, "WARNING") {
+		t.Errorf("oversubscribed run must not warn:\n%s", s)
 	}
 }
 

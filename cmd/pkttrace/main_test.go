@@ -21,7 +21,7 @@ type chromeFile struct {
 		Dur  float64 `json:"dur"`
 		Pid  int     `json:"pid"`
 		S    string  `json:"s"`
-		Args map[string]interface{}
+		Args map[string]any
 	} `json:"traceEvents"`
 	DisplayTimeUnit string `json:"displayTimeUnit"`
 }

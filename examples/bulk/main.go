@@ -18,7 +18,54 @@ import (
 
 	"repro/internal/lab"
 	"repro/internal/sim"
+	"repro/internal/sock"
+	"repro/internal/tcp"
 )
+
+// sinkFrame drains the connection until total bytes have arrived, EOF,
+// or error — a hand-rolled run-to-completion frame, the shape every
+// simulated process takes under the continuation scheduler.
+type sinkFrame struct {
+	ln       *tcp.Listener
+	total    int
+	received *int
+
+	pc     int
+	so     *sock.Socket
+	buf    []byte
+	accept *tcp.AcceptOp
+	recv   *sock.RecvOp
+}
+
+func (f *sinkFrame) Step(p *sim.Proc) {
+	for {
+		switch f.pc {
+		case 0: // accept the one connection
+			f.pc = 1
+			f.accept = f.ln.Accept(p)
+			return
+		case 1: // read loop head
+			if f.so == nil {
+				f.so = f.accept.So
+				f.buf = make([]byte, 8192)
+			}
+			if *f.received >= f.total {
+				p.Return()
+				return
+			}
+			f.pc = 2
+			f.recv = f.so.Recv(p, f.buf)
+			return
+		case 2: // fold in one read
+			if f.recv.Err != nil || f.recv.N == 0 {
+				p.Return()
+				return
+			}
+			*f.received += f.recv.N
+			f.pc = 1
+		}
+	}
+}
 
 func main() {
 	const total = 500 * 1000 // half a megabyte, one direction
@@ -31,34 +78,38 @@ func main() {
 		log.Fatal(err)
 	}
 	var received int
-	l.Env.Spawn("sink", func(p *sim.Proc) {
-		so, _ := ln.Accept(p)
-		buf := make([]byte, 8192)
-		for received < total {
-			n, err := so.Recv(p, buf)
-			if err != nil || n == 0 {
-				return
-			}
-			received += n
-		}
-	})
+	l.Env.Spawn("sink", &sinkFrame{ln: ln, total: total, received: &received})
 
+	// The source is straight-line: connect, one big send, close. Each
+	// step ends with its blocking call in tail position, so sim.Steps
+	// strings them together without a hand-rolled program counter.
 	var start, end sim.Time
-	l.Env.Spawn("source", func(p *sim.Proc) {
-		so, conn, err := l.Client.TCP.Connect(p, lab.ServerAddr, 9000)
-		if err != nil {
-			log.Fatal(err)
-		}
-		conn.SetNoDelay(true)
-		payload := make([]byte, total)
-		l.Env.RNG().Fill(payload)
-		start = l.Env.Now()
-		if _, err := so.Send(p, payload); err != nil {
-			log.Fatal(err)
-		}
-		end = l.Env.Now()
-		so.Close(p)
-	})
+	var conn *tcp.ConnectOp
+	var send *sock.SendOp
+	var so *sock.Socket
+	l.Env.Spawn("source", sim.Steps(
+		func(p *sim.Proc) {
+			conn = l.Client.TCP.Connect(p, lab.ServerAddr, 9000)
+		},
+		func(p *sim.Proc) {
+			if conn.Err != nil {
+				log.Fatal(conn.Err)
+			}
+			so = conn.So
+			conn.C.SetNoDelay(true)
+			payload := make([]byte, total)
+			l.Env.RNG().Fill(payload)
+			start = l.Env.Now()
+			send = so.Send(p, payload)
+		},
+		func(p *sim.Proc) {
+			if send.Err != nil {
+				log.Fatal(send.Err)
+			}
+			end = l.Env.Now()
+			so.Close(p)
+		},
+	))
 	l.Env.Run()
 
 	if received != total {

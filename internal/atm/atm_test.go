@@ -305,11 +305,11 @@ func TestDriverEndToEndDatagram(t *testing.T) {
 
 	payload := make([]byte, 3000)
 	env.RNG().Fill(payload)
-	env.Spawn("sender", func(p *sim.Proc) {
+	env.Spawn("sender", sim.Steps(func(p *sim.Proc) {
 		m := ka.Pool.AllocCluster()
 		m.Append(payload)
 		ipa.Output(p, 2, 99, m)
-	})
+	}))
 	env.Run()
 	if len(sink.got) != 1 {
 		t.Fatalf("delivered %d datagrams, want 1", len(sink.got))
@@ -337,11 +337,11 @@ func TestDriverChargesATMLayer(t *testing.T) {
 	NewDriver(kb, ab, ipb)
 	ipb.Register(99, &sinkHandler{})
 
-	env.Spawn("sender", func(p *sim.Proc) {
+	env.Spawn("sender", sim.Steps(func(p *sim.Proc) {
 		m := ka.Pool.Alloc()
 		m.Append(make([]byte, 50))
 		ipa.Output(p, 2, 99, m)
-	})
+	}))
 	env.Run()
 
 	txSum := sim.Time(0)
@@ -384,14 +384,17 @@ func TestDriverRecoversAfterCellLoss(t *testing.T) {
 	ipb.Register(99, sink)
 
 	ab.DropNext = true // lose the first cell of datagram 1
-	env.Spawn("sender", func(p *sim.Proc) {
-		for i := 0; i < 2; i++ {
+	// Alternating steps: even iterations transmit, odd ones space the two
+	// datagrams apart (each blocking action must end its own step).
+	env.Spawn("sender", sim.LoopN(4, func(p *sim.Proc, i int) {
+		if i%2 == 0 {
 			m := ka.Pool.AllocCluster()
 			m.Append(make([]byte, 2000))
 			ipa.Output(p, 2, 99, m)
+		} else {
 			p.Sleep(5 * sim.Millisecond)
 		}
-	})
+	}))
 	env.Run()
 	if len(sink.got) != 1 {
 		t.Fatalf("delivered %d datagrams, want 1 (first lost)", len(sink.got))
@@ -450,11 +453,11 @@ func TestHECErrorOnFrameEndConsumesPending(t *testing.T) {
 	// not the corrupted frame's.
 	payload := make([]byte, 200)
 	env.RNG().Fill(payload)
-	env.Spawn("sender", func(p *sim.Proc) {
+	env.Spawn("sender", sim.Steps(func(p *sim.Proc) {
 		m := ka.Pool.AllocCluster()
 		m.Append(payload)
 		ipa.Output(p, 2, 99, m)
-	})
+	}))
 	env.Run()
 	if len(sink.got) != 1 {
 		t.Fatalf("delivered %d datagrams, want 1", len(sink.got))

@@ -69,6 +69,11 @@ type Driver struct {
 	lin   []byte
 	cells []Cell
 
+	// outOp caches the transmit frame; txBusy serializes Output, so one
+	// cached frame covers the steady state (overlapping callers park on
+	// txWait with a fresh frame).
+	outOp *outputOp
+
 	// FramesIn and FramesOut count successfully reassembled and
 	// transmitted datagrams.
 	FramesIn  int64
@@ -92,7 +97,7 @@ func NewDriver(k *kern.Kernel, a *Adapter, ipStack *ip.Stack) *Driver {
 	d.txWait = k.Env.NewWaitQueue(k.Name + ".atm.txlock")
 	d.seg.VCI = DefaultVCI
 	ipStack.Attach(d)
-	k.Env.Spawn(k.Name+".atmintr", d.rxproc)
+	k.Env.Spawn(k.Name+".atmintr", &rxprocFrame{d: d})
 	return d
 }
 
@@ -167,88 +172,193 @@ func (d *Driver) MTU() int {
 	return MTU
 }
 
-// Output implements ip.NetIf: it segments the datagram into AAL3/4 cells
-// and copies them into the transmit FIFO, blocking when the FIFO is full.
-// Costs: a per-frame setup charge plus a per-cell compose-and-copy charge,
-// all attributed to the ATM row. The span ends when the last cell has been
-// written — the paper measures "up to when the ATM adapter is signaled to
-// send the last byte of data", and on the TCA-100 writing the FIFO is the
-// signal.
+// Output implements ip.NetIf as a frame call (tail position): it segments
+// the datagram into AAL3/4 cells and copies them into the transmit FIFO,
+// blocking when the FIFO is full. Costs: a per-frame setup charge plus a
+// per-cell compose-and-copy charge, all attributed to the ATM row. The
+// span ends when the last cell has been written — the paper measures "up
+// to when the ATM adapter is signaled to send the last byte of data", and
+// on the TCA-100 writing the FIFO is the signal.
 func (d *Driver) Output(p *sim.Proc, m *mbuf.Mbuf) {
-	for d.txBusy {
-		d.txWait.Wait(p)
+	f := d.outOp
+	if f != nil {
+		d.outOp = nil
+	} else {
+		f = &outputOp{d: d}
 	}
-	d.txBusy = true
-	txStart := d.K.Now()
-	d.K.Use(p, trace.LayerATMTx, d.K.Cost.ATMTxFrameFixed)
-	data := mbuf.LinearizeInto(d.lin[:0], m)
-	d.lin = data
-	cells := d.segFor(ip.Dst(data)).SegmentAppend(d.cells[:0], data)
-	d.cells = cells
-	for i := range cells {
-		for d.Adapter.TxSpace() == 0 {
-			waitStart := d.K.Now()
-			d.Adapter.SpaceAvail.Wait(p)
-			// Stalled on the FIFO: the driver spins on the status
-			// register, which is time in the ATM row.
-			d.K.Attribute(p, trace.LayerATMTx, waitStart, d.K.Now())
-		}
-		d.K.Use(p, trace.LayerATMTx, d.K.Cost.ATMTxPerCell)
-		d.Adapter.PushTx(cells[i])
-	}
-	if d.K.Trace.PacketRecording() {
-		id := d.K.PacketContext(p)
-		d.K.Trace.Event(trace.Event{
-			Kind: trace.EvDriverTx, At: txStart, Dur: d.K.Now() - txStart,
-			ID: id, Len: len(data),
-		})
-		// The final cell is on its way to the wire; it clears the
-		// transmit engine at TxIdleAt.
-		d.K.Trace.Event(trace.Event{
-			Kind: trace.EvWireDepart, At: d.Adapter.TxIdleAt(),
-			ID: id, Len: len(data),
-		})
-	}
-	d.FramesOut++
-	d.K.FreeChain(p, trace.LayerMbuf, m)
-	d.txBusy = false
-	d.txWait.WakeAll()
+	f.pc = 0
+	f.m = m
+	p.Call(f)
 }
 
-// rxproc is the receive interrupt service process. It wakes on the
-// adapter's end-of-frame interrupt, drains the receive FIFO charging the
-// per-cell receive cost, pushes cells through the reassembler, and
-// enqueues completed datagrams on the IP input queue.
-func (d *Driver) rxproc(p *sim.Proc) {
+// outputOp is the frame behind Driver.Output: the transmit-lock wait, the
+// per-frame setup charge, the cell-push loop with its FIFO-full stalls,
+// and the chain release.
+type outputOp struct {
+	d  *Driver
+	pc int
+
+	m         *mbuf.Mbuf
+	txStart   sim.Time
+	waitStart sim.Time
+	i         int // next cell to push
+}
+
+// Step drives the transmit state machine.
+func (f *outputOp) Step(p *sim.Proc) {
+	d := f.d
 	k := d.K
 	for {
-		// The TCA-100 model interrupts per completed frame, so the
-		// driver sleeps until a frame-ending cell has landed, then
-		// drains cells up to and including it. Cells of a later,
-		// still-arriving frame stay in the FIFO until that frame's own
-		// interrupt — which is what makes driver processing of one
-		// segment overlap the wire arrival of the next at large
-		// transfer sizes (the Table 3 ATM-row nonlinearity).
-		for d.Adapter.FramesPending() == 0 && d.Adapter.RxAvail() < RxDrainThreshold {
-			d.Adapter.RxReady.Wait(p)
+		switch f.pc {
+		case 0: // acquire the transmit lock, charge per-frame setup
+			if d.txBusy {
+				d.txWait.Wait(p)
+				return
+			}
+			d.txBusy = true
+			f.txStart = k.Now()
+			f.pc = 1
+			if !k.Use(p, trace.LayerATMTx, k.Cost.ATMTxFrameFixed) {
+				return
+			}
+		case 1: // linearize and segment into the scratch buffers
+			data := mbuf.LinearizeInto(d.lin[:0], f.m)
+			d.lin = data
+			d.cells = d.segFor(ip.Dst(data)).SegmentAppend(d.cells[:0], data)
+			f.i = 0
+			f.pc = 2
+		case 2: // cell-loop head: stall on a full FIFO or charge the push
+			if f.i >= len(d.cells) {
+				f.pc = 5
+				continue
+			}
+			if d.Adapter.TxSpace() == 0 {
+				f.waitStart = k.Now()
+				f.pc = 3
+				d.Adapter.SpaceAvail.Wait(p)
+				return
+			}
+			f.pc = 4
+			if !k.Use(p, trace.LayerATMTx, k.Cost.ATMTxPerCell) {
+				return
+			}
+		case 3: // woken from a FIFO stall: the driver spins on the status
+			// register, which is time in the ATM row.
+			k.Attribute(p, trace.LayerATMTx, f.waitStart, k.Now())
+			f.pc = 2
+		case 4: // push the charged cell
+			d.Adapter.PushTx(d.cells[f.i])
+			f.i++
+			f.pc = 2
+		case 5: // trace events, then charge the chain free
+			if k.Trace.PacketRecording() {
+				id := k.PacketContext(p)
+				k.Trace.Event(trace.Event{
+					Kind: trace.EvDriverTx, At: f.txStart, Dur: k.Now() - f.txStart,
+					ID: id, Len: len(d.lin),
+				})
+				// The final cell is on its way to the wire; it clears
+				// the transmit engine at TxIdleAt.
+				k.Trace.Event(trace.Event{
+					Kind: trace.EvWireDepart, At: d.Adapter.TxIdleAt(),
+					ID: id, Len: len(d.lin),
+				})
+			}
+			d.FramesOut++
+			f.pc = 6
+			if c := k.FreeChainCost(f.m); c > 0 {
+				if !k.Use(p, trace.LayerMbuf, c) {
+					return
+				}
+			}
+		case 6: // release the chain and the lock
+			if f.m != nil {
+				k.Pool.Free(f.m)
+				f.m = nil
+			}
+			d.txBusy = false
+			d.txWait.WakeAll()
+			if d.outOp == nil {
+				d.outOp = f
+			}
+			p.Return()
+			return
 		}
-		// Drain up to one complete frame, or — when woken by the
-		// occupancy threshold with no complete frame present — whatever
-		// cells have accumulated, so an overflow can never wedge the
-		// receive path.
-		framePending := d.Adapter.FramesPending() > 0
-		for {
-			popAt := k.Now()
+	}
+}
+
+// rxprocFrame is the receive interrupt service process. It wakes on the
+// adapter's end-of-frame interrupt, drains the receive FIFO charging the
+// per-cell receive cost, pushes cells through the reassembler, and — via
+// its inlined deliver states — builds the mbuf chain for each completed
+// datagram and enqueues it on the IP input queue.
+type rxprocFrame struct {
+	d  *Driver
+	pc int
+
+	// Drain-loop state.
+	framePending bool
+	popAt        sim.Time
+	c            Cell
+	frameEnd     bool
+	arrivedAt    sim.Time
+
+	// Deliver state (one datagram at a time).
+	dg          []byte
+	start       sim.Time
+	pktID       trace.PacketID
+	tagged      bool
+	rest        []byte
+	chain, tail *mbuf.Mbuf
+}
+
+// Step drives the receive service loop. The TCA-100 model interrupts per
+// completed frame, so the driver sleeps until a frame-ending cell has
+// landed, then drains cells up to and including it. Cells of a later,
+// still-arriving frame stay in the FIFO until that frame's own interrupt
+// — which is what makes driver processing of one segment overlap the
+// wire arrival of the next at large transfer sizes (the Table 3 ATM-row
+// nonlinearity).
+func (f *rxprocFrame) Step(p *sim.Proc) {
+	d := f.d
+	k := d.K
+	for {
+		switch f.pc {
+		case 0: // wait for a completed frame or the occupancy threshold
+			if d.Adapter.FramesPending() == 0 && d.Adapter.RxAvail() < RxDrainThreshold {
+				d.Adapter.RxReady.Wait(p)
+				return
+			}
+			// Drain up to one complete frame, or — when woken by the
+			// occupancy threshold with no complete frame present —
+			// whatever cells have accumulated, so an overflow can never
+			// wedge the receive path.
+			f.framePending = d.Adapter.FramesPending() > 0
+			f.pc = 1
+		case 1: // pop the next cell and charge its receive cost
+			f.popAt = k.Now()
 			c, ok := d.Adapter.PopRx()
 			if !ok {
-				break
+				f.pc = 0
+				continue
 			}
-			k.Use(p, trace.LayerATMRx, k.Cost.ATMRxPerCell)
+			f.c = c
+			f.pc = 2
+			if !k.Use(p, trace.LayerATMRx, k.Cost.ATMRxPerCell) {
+				return
+			}
+		case 2: // integrated mode fuses a checksum into the cell copy
 			if d.Mode == cost.ChecksumIntegrated {
-				k.Use(p, trace.LayerATMRx,
-					sim.Time(k.Cost.IntegratedRxPerByte*SARPayload))
+				f.pc = 3
+				if !k.Use(p, trace.LayerATMRx,
+					sim.Time(k.Cost.IntegratedRxPerByte*SARPayload)) {
+					return
+				}
+			} else {
+				f.pc = 3
 			}
-			h, err := ParseHeader(&c)
+		case 3: // parse, reassemble, and detect a completed datagram
+			h, err := ParseHeader(&f.c)
 			if err != nil {
 				// Header corruption: the HEC catches it and the cell
 				// is discarded, surfacing later as a sequence gap. A
@@ -256,9 +366,10 @@ func (d *Driver) rxproc(p *sim.Proc) {
 				// pending-frame bookkeeping (count and arrival stamp),
 				// or both would stay desynchronized forever.
 				d.HECErrors++
-				if IsFrameEnd(&c) {
+				if IsFrameEnd(&f.c) {
 					d.Adapter.ConsumeFrameEnd()
 				}
+				f.pc = 1
 				continue
 			}
 			if d.rxStart == nil {
@@ -270,96 +381,150 @@ func (d *Driver) rxproc(p *sim.Proc) {
 			// sequence numbers cannot catch), and that path reports no
 			// error, so the open span would otherwise leak into the
 			// next datagram's driver.rx duration.
-			if st := c.Payload()[0] >> 6; st == segBOM || st == segSSM {
-				d.rxStart[h.VCI] = popAt
+			if st := f.c.Payload()[0] >> 6; st == segBOM || st == segSSM {
+				d.rxStart[h.VCI] = f.popAt
 			} else if _, open := d.rxStart[h.VCI]; !open {
-				d.rxStart[h.VCI] = popAt
+				d.rxStart[h.VCI] = f.popAt
 			}
-			frameEnd := IsFrameEnd(&c)
-			var arrivedAt sim.Time
-			if frameEnd {
-				arrivedAt = d.Adapter.ConsumeFrameEnd()
+			f.frameEnd = IsFrameEnd(&f.c)
+			f.arrivedAt = 0
+			if f.frameEnd {
+				f.arrivedAt = d.Adapter.ConsumeFrameEnd()
 			}
-			dg, err := d.reasmFor(h.VCI).Push(&c)
+			dg, err := d.reasmFor(h.VCI).Push(&f.c)
 			if err != nil {
 				d.ReassemblyErrors++
 				delete(d.rxStart, h.VCI)
-			} else if dg != nil {
-				start := d.rxStart[h.VCI]
-				delete(d.rxStart, h.VCI)
-				d.deliver(p, dg, start, arrivedAt)
+				f.pc = 9
+				continue
 			}
-			if frameEnd && framePending {
-				break
+			if dg == nil {
+				f.pc = 9
+				continue
+			}
+			f.dg = dg
+			f.start = d.rxStart[h.VCI]
+			delete(d.rxStart, h.VCI)
+			f.pc = 4
+		case 4: // deliver: stamp the on-wire identity, charge per-frame RX
+			if len(f.dg) < ip.HeaderLen {
+				d.ReassemblyErrors++
+				f.dg = nil
+				f.pc = 9
+				continue
+			}
+			// The on-wire identity, read before any host-side corruption
+			// is injected below: the trace records what the wire carried.
+			// Untraced runs skip the tag push (it boxes the identity —
+			// one allocation per datagram on the hot path) along with
+			// the event.
+			f.pktID, f.tagged = trace.PacketID{}, false
+			if k.Trace.PacketsEnabled() {
+				f.pktID = ip.PacketIDOf(f.dg)
+				p.PushTag(f.pktID)
+				f.tagged = true
+				k.Trace.Event(trace.Event{
+					Kind: trace.EvWireArrive, At: f.arrivedAt, ID: f.pktID, Len: len(f.dg),
+				})
+			}
+			// Per-frame interrupt and reassembly-completion overhead.
+			f.pc = 5
+			if !k.Use(p, trace.LayerATMRx, k.Cost.ATMRxFrameFixed) {
+				return
+			}
+		case 5: // host-side corruption draw, then integrated fixed charge
+			if d.HostCorruptRate > 0 && k.Env.RNG().Bool(d.HostCorruptRate) {
+				bit := k.Env.RNG().Intn(len(f.dg) * 8)
+				f.dg[bit/8] ^= 1 << (bit % 8)
+				d.HostCorruptions++
+			}
+			if d.Mode == cost.ChecksumIntegrated {
+				f.pc = 6
+				if !k.Use(p, trace.LayerATMRx, k.Cost.IntegratedRxFixed) {
+					return
+				}
+			} else {
+				f.pc = 6
+			}
+		case 6: // charge the IP-header mbuf allocation
+			f.pc = 7
+			if !k.Use(p, trace.LayerATMRx, k.Cost.MbufAlloc) {
+				return
+			}
+		case 7: // build the header mbuf; charge the first payload mbuf.
+			// Layout: the IP header in its own normal mbuf, the rest in
+			// cluster mbufs (or normal mbufs for small frames), so that
+			// stripping the IP header cannot invalidate partial checksums
+			// stashed for the payload.
+			hm := k.Pool.Alloc()
+			hm.Append(f.dg[:ip.HeaderLen])
+			f.rest = f.dg[ip.HeaderLen:]
+			f.chain, f.tail = hm, hm
+			if len(f.rest) > 0 {
+				f.pc = 8
+				if !k.Use(p, trace.LayerATMRx, f.payloadAllocCost()) {
+					return
+				}
+			} else {
+				f.pc = 9
+				continue
+			}
+		case 8: // fill one payload mbuf; charge the next or finish
+			var m *mbuf.Mbuf
+			if len(f.dg) > mbuf.ClusterThreshold {
+				m = k.Pool.AllocCluster()
+			} else {
+				m = k.Pool.Alloc()
+			}
+			n := m.Append(f.rest)
+			if d.Mode == cost.ChecksumIntegrated {
+				// The device-to-kernel copy computed this sum as a side
+				// effect; stash it for tcp_input to fold.
+				var cs checksum.Partial
+				cs.Add(f.rest[:n])
+				m.Csum, m.CsumValid = cs, true
+			}
+			f.rest = f.rest[n:]
+			f.tail.SetNext(m)
+			f.tail = m
+			if len(f.rest) > 0 {
+				f.pc = 8
+				if !k.Use(p, trace.LayerATMRx, f.payloadAllocCost()) {
+					return
+				}
+			} else {
+				f.pc = 9
+			}
+		case 9: // finish the cell: enqueue any delivered datagram, then
+			// either drain the next cell or go back to sleep.
+			if f.chain != nil {
+				d.FramesIn++
+				k.Trace.Event(trace.Event{
+					Kind: trace.EvDriverRx, At: f.start, Dur: k.Now() - f.start,
+					ID: f.pktID, Len: len(f.dg),
+				})
+				d.IP.Enqueue(f.chain)
+				f.chain, f.tail = nil, nil
+			}
+			if f.tagged {
+				p.PopTag()
+				f.tagged = false
+			}
+			f.dg, f.rest = nil, nil
+			if f.frameEnd && f.framePending {
+				f.pc = 0
+			} else {
+				f.pc = 1
 			}
 		}
 	}
 }
 
-// deliver builds the mbuf chain for a reassembled datagram and enqueues it
-// for IP. Layout: the IP header in its own normal mbuf, the rest in
-// cluster mbufs (or normal mbufs for small frames), so that stripping the
-// IP header cannot invalidate partial checksums stashed for the payload.
-// start is when the driver popped the datagram's first cell and arrivedAt
-// when its final cell reached the adapter from the wire; both stamp the
-// packet trace.
-func (d *Driver) deliver(p *sim.Proc, dg []byte, start, arrivedAt sim.Time) {
-	k := d.K
-	if len(dg) < ip.HeaderLen {
-		d.ReassemblyErrors++
-		return
+// payloadAllocCost returns the charge for the next payload mbuf of the
+// datagram being delivered.
+func (f *rxprocFrame) payloadAllocCost() sim.Time {
+	if len(f.dg) > mbuf.ClusterThreshold {
+		return f.d.K.Cost.ClusterAlloc
 	}
-	// The on-wire identity, read before any host-side corruption is
-	// injected below: the trace records what the wire carried. Untraced
-	// runs skip the tag push (it boxes the identity — one allocation per
-	// datagram on the hot path) along with the event.
-	var pktID trace.PacketID
-	if k.Trace.PacketsEnabled() {
-		pktID = ip.PacketIDOf(dg)
-		p.PushTag(pktID)
-		defer p.PopTag()
-		k.Trace.Event(trace.Event{
-			Kind: trace.EvWireArrive, At: arrivedAt, ID: pktID, Len: len(dg),
-		})
-	}
-	// Per-frame interrupt and reassembly-completion overhead.
-	k.Use(p, trace.LayerATMRx, k.Cost.ATMRxFrameFixed)
-	if d.HostCorruptRate > 0 && k.Env.RNG().Bool(d.HostCorruptRate) {
-		bit := k.Env.RNG().Intn(len(dg) * 8)
-		dg[bit/8] ^= 1 << (bit % 8)
-		d.HostCorruptions++
-	}
-	if d.Mode == cost.ChecksumIntegrated {
-		k.Use(p, trace.LayerATMRx, k.Cost.IntegratedRxFixed)
-	}
-	hm := k.AllocMbuf(p, trace.LayerATMRx)
-	hm.Append(dg[:ip.HeaderLen])
-	rest := dg[ip.HeaderLen:]
-	chain := hm
-	tail := hm
-	for len(rest) > 0 {
-		var m *mbuf.Mbuf
-		if len(dg) > mbuf.ClusterThreshold {
-			m = k.AllocCluster(p, trace.LayerATMRx)
-		} else {
-			m = k.AllocMbuf(p, trace.LayerATMRx)
-		}
-		n := m.Append(rest)
-		if d.Mode == cost.ChecksumIntegrated {
-			// The device-to-kernel copy computed this sum as a side
-			// effect; stash it for tcp_input to fold.
-			var cs checksum.Partial
-			cs.Add(rest[:n])
-			m.Csum, m.CsumValid = cs, true
-		}
-		rest = rest[n:]
-		tail.SetNext(m)
-		tail = m
-	}
-	d.FramesIn++
-	k.Trace.Event(trace.Event{
-		Kind: trace.EvDriverRx, At: start, Dur: k.Now() - start,
-		ID: pktID, Len: len(dg),
-	})
-	d.IP.Enqueue(chain)
+	return f.d.K.Cost.MbufAlloc
 }

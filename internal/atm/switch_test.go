@@ -63,11 +63,11 @@ func TestSwitchDeliversOnlyToAddressedHost(t *testing.T) {
 	sw, kerns, ips, _, sinks := buildStar(t, env, 3)
 	payload := make([]byte, 900)
 	env.RNG().Fill(payload)
-	env.Spawn("tx", func(p *sim.Proc) {
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		m := kerns[0].Pool.AllocCluster()
 		m.Append(payload)
 		ips[0].Output(p, 3, 99, m) // host 0 -> host 2
-	})
+	}))
 	env.Run()
 	if len(sinks[2].got) != 1 || !bytes.Equal(sinks[2].got[0], payload) {
 		t.Fatal("addressed host did not receive the datagram intact")
@@ -91,11 +91,11 @@ func TestSwitchVCIRewriteNamesSource(t *testing.T) {
 	env.RNG().Fill(payloads[2])
 	for i := 1; i <= 2; i++ {
 		i := i
-		env.Spawn(fmt.Sprintf("tx%d", i), func(p *sim.Proc) {
+		env.Spawn(fmt.Sprintf("tx%d", i), sim.Steps(func(p *sim.Proc) {
 			m := kerns[i].Pool.AllocCluster()
 			m.Append(payloads[i])
 			ips[i].Output(p, 1, 99, m)
-		})
+		}))
 	}
 	env.Run()
 	if len(sinks[0].got) != 2 {
@@ -130,11 +130,11 @@ func TestSwitchDropsUnroutedVC(t *testing.T) {
 	// unrouted at the switch.
 	sink := &swSink{env: env}
 	ipb.Register(99, sink)
-	env.Spawn("tx", func(p *sim.Proc) {
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		m := ka.Pool.Alloc()
 		m.Append(make([]byte, 40))
 		ipa.Output(p, 2, 99, m)
-	})
+	}))
 	env.Run()
 	if len(sink.got) != 0 {
 		t.Fatal("datagram delivered despite missing VC route")
@@ -154,15 +154,13 @@ func TestSwitchThreeHostDeterminism(t *testing.T) {
 		_, kerns, ips, _, sinks := buildStar(t, env, 3)
 		for i := 0; i < 3; i++ {
 			i := i
-			env.Spawn(fmt.Sprintf("tx%d", i), func(p *sim.Proc) {
-				for k := 0; k < 4; k++ {
-					payload := make([]byte, 200+env.RNG().Intn(1800))
-					env.RNG().Fill(payload)
-					m := kerns[i].Pool.AllocCluster()
-					m.Append(payload)
-					ips[i].Output(p, uint32((i+1)%3+1), 99, m)
-				}
-			})
+			env.Spawn(fmt.Sprintf("tx%d", i), sim.LoopN(4, func(p *sim.Proc, k int) {
+				payload := make([]byte, 200+env.RNG().Intn(1800))
+				env.RNG().Fill(payload)
+				m := kerns[i].Pool.AllocCluster()
+				m.Append(payload)
+				ips[i].Output(p, uint32((i+1)%3+1), 99, m)
+			}))
 		}
 		env.Run()
 		var at []sim.Time

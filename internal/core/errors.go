@@ -71,7 +71,7 @@ func RunErrorStudy(iterations int, o Options) (*ErrorStudyResult, error) {
 		c := c
 		jobs = append(jobs, runner.Job{
 			Label: c.label,
-			RunOn: func(_ context.Context, tb *runner.Testbeds, _ uint64) (interface{}, error) {
+			RunOn: func(_ context.Context, tb *runner.Testbeds, _ uint64) (any, error) {
 				cfg := lab.Config{
 					Link:            lab.LinkATM,
 					Mode:            c.mode,

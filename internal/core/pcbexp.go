@@ -68,7 +68,7 @@ func RunPCBExperiment() *PCBResult {
 			// the calibrated per-entry cost and charged to the simulated
 			// CPU as the input path would charge it.
 			var total sim.Time
-			env.Spawn("lookup", func(p *sim.Proc) {
+			env.Spawn("lookup", sim.Steps(func(p *sim.Proc) {
 				if cache {
 					tb.Lookup(target) // prime the cache
 				}
@@ -82,9 +82,9 @@ func RunPCBExperiment() *PCBResult {
 				default:
 					d = model.PCBLookupFixed + sim.Time(r.Searched)*model.PCBLookupPerEntry
 				}
-				k.Use(p, trace.LayerTCPSegmentRx, d)
 				total = d
-			})
+				k.Use(p, trace.LayerTCPSegmentRx, d)
+			}))
 			env.Run()
 			if total == 0 {
 				panic("core: pcb lookup never ran")
@@ -123,17 +123,22 @@ func RunPCBLiveExperiment() *PCBResult {
 			panic(err)
 		}
 		var first *tcp.Conn
-		l.Env.Spawn("populate", func(p *sim.Proc) {
-			for i := 0; i < n; i++ {
-				_, c, err := l.Client.TCP.Connect(p, lab.ServerAddr, 7)
-				if err != nil {
-					panic(fmt.Sprintf("core: live PCB %d: %v", i, err))
+		var op *tcp.ConnectOp
+		// Iteration i folds in connect i-1's result before launching
+		// connect i; the extra trailing iteration folds in the last.
+		l.Env.Spawn("populate", sim.LoopN(n+1, func(p *sim.Proc, i int) {
+			if op != nil {
+				if op.Err != nil {
+					panic(fmt.Sprintf("core: live PCB %d: %v", i-1, op.Err))
 				}
-				if i == 0 {
-					first = c
+				if i == 1 {
+					first = op.C
 				}
 			}
-		})
+			if i < n {
+				op = l.Client.TCP.Connect(p, lab.ServerAddr, 7)
+			}
+		}))
 		l.Env.Run()
 
 		// The server-side key of the first connection: the mirror of the
@@ -153,7 +158,7 @@ func RunPCBLiveExperiment() *PCBResult {
 			tb.UseHash = useHash
 			tb.CacheDisabled = !cache
 			var total sim.Time
-			l.Env.Spawn("lookup", func(p *sim.Proc) {
+			l.Env.Spawn("lookup", sim.Steps(func(p *sim.Proc) {
 				if cache {
 					tb.Lookup(target) // prime the cache
 				}
@@ -170,9 +175,9 @@ func RunPCBLiveExperiment() *PCBResult {
 				default:
 					d = model.PCBLookupFixed + sim.Time(r.Searched)*model.PCBLookupPerEntry
 				}
-				k.Use(p, trace.LayerTCPSegmentRx, d)
 				total = d
-			})
+				k.Use(p, trace.LayerTCPSegmentRx, d)
+			}))
 			l.Env.Run()
 			if total == 0 {
 				panic("core: pcb lookup never ran")
@@ -240,7 +245,7 @@ func pcbPopulationEffect(populations []int, live bool, o Options) (map[int]float
 		}
 		jobs = append(jobs, runner.Job{
 			Label: label,
-			RunOn: func(_ context.Context, tb *runner.Testbeds, seed uint64) (interface{}, error) {
+			RunOn: func(_ context.Context, tb *runner.Testbeds, seed uint64) (any, error) {
 				cfg := lab.Config{
 					Link:              lab.LinkATM,
 					DisablePrediction: true,

@@ -55,7 +55,7 @@ func runCompare(cfgA, cfgB lab.Config, o Options) ([]CompareRow, error) {
 			size, cfg := size, cfg
 			jobs = append(jobs, runner.Job{
 				Label: fmt.Sprintf("size %d (%c)", size, 'A'+si),
-				RunOn: func(_ context.Context, tb *runner.Testbeds, seed uint64) (interface{}, error) {
+				RunOn: func(_ context.Context, tb *runner.Testbeds, seed uint64) (any, error) {
 					return MeasureRTTOn(tb, seeded(cfg, seed), size, o)
 				},
 			})
@@ -171,7 +171,7 @@ func runBreakdown(o Options, side string) (*BreakdownResult, error) {
 		size := size
 		jobs = append(jobs, runner.Job{
 			Label: fmt.Sprintf("breakdown size %d", size),
-			RunOn: func(_ context.Context, tb *runner.Testbeds, seed uint64) (interface{}, error) {
+			RunOn: func(_ context.Context, tb *runner.Testbeds, seed uint64) (any, error) {
 				tx, rx, err := MeasureBreakdownsOn(tb, seeded(baseConfig(), seed),
 					size, o.Iterations, o.Warmup)
 				if err != nil {

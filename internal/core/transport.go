@@ -53,7 +53,7 @@ func RunTransportComparison(mode cost.ChecksumMode, o Options) (*TransportResult
 			}
 			jobs = append(jobs, runner.Job{
 				Label: fmt.Sprintf("%s size %d", proto, size),
-				RunOn: func(_ context.Context, tb *runner.Testbeds, seed uint64) (interface{}, error) {
+				RunOn: func(_ context.Context, tb *runner.Testbeds, seed uint64) (any, error) {
 					cfg := seeded(lab.Config{Link: lab.LinkATM, Mode: mode}, seed)
 					if !udp {
 						return MeasureRTTOn(tb, cfg, size, o)

@@ -366,6 +366,10 @@ type Driver struct {
 	// Output calls under the txBusy serialization.
 	lin []byte
 
+	// outOp caches the transmit frame; txBusy serializes Output, so one
+	// cached frame covers the steady state.
+	outOp *outputOp
+
 	FramesIn  int64
 	FramesOut int64
 	FCSErrors int64
@@ -380,7 +384,7 @@ func NewDriver(k *kern.Kernel, a *Adapter, ipStack *ip.Stack) *Driver {
 	d := &Driver{K: k, Adapter: a, IP: ipStack}
 	d.txWait = k.Env.NewWaitQueue(k.Name + ".le.txlock")
 	ipStack.Attach(d)
-	k.Env.Spawn(k.Name+".leintr", d.rxproc)
+	k.Env.Spawn(k.Name+".leintr", &rxprocFrame{d: d})
 	return d
 }
 
@@ -415,34 +419,85 @@ func (d *Driver) MTU() int {
 // configuration error and the datagram is dropped and counted rather
 // than flooded into every other host's stack.
 func (d *Driver) Output(p *sim.Proc, m *mbuf.Mbuf) {
-	for d.txBusy {
-		d.txWait.Wait(p)
-	}
-	d.txBusy = true
-	txStart := d.K.Now()
-	data := mbuf.LinearizeInto(d.lin[:0], m)
-	d.lin = data
-	d.K.Use(p, trace.LayerEtherTx, d.K.Cost.EtherTx.Cost(len(data)))
-	if dst, ok := d.resolve(data); ok {
-		f := Encapsulate(dst, d.Adapter.Addr, EtherTypeIPv4, data)
-		wireEnd := d.Adapter.Transmit(f)
-		if d.K.Trace.PacketRecording() {
-			id := d.K.PacketContext(p)
-			d.K.Trace.Event(trace.Event{
-				Kind: trace.EvDriverTx, At: txStart, Dur: d.K.Now() - txStart,
-				ID: id, Len: len(data),
-			})
-			d.K.Trace.Event(trace.Event{
-				Kind: trace.EvWireDepart, At: wireEnd, ID: id, Len: len(data),
-			})
-		}
-		d.FramesOut++
+	f := d.outOp
+	if f != nil {
+		d.outOp = nil
 	} else {
-		d.NoRoute++
+		f = &outputOp{d: d}
 	}
-	d.K.FreeChain(p, trace.LayerMbuf, m)
-	d.txBusy = false
-	d.txWait.WakeAll()
+	f.pc = 0
+	f.m = m
+	p.Call(f)
+}
+
+// outputOp is the frame behind Driver.Output: the transmit-lock wait, the
+// linearize-and-charge step, the adapter hand-off, and the chain release.
+type outputOp struct {
+	d  *Driver
+	pc int
+
+	m       *mbuf.Mbuf
+	txStart sim.Time
+}
+
+// Step drives the transmit state machine.
+func (f *outputOp) Step(p *sim.Proc) {
+	d := f.d
+	k := d.K
+	for {
+		switch f.pc {
+		case 0: // acquire the lock, linearize, charge the per-frame cost
+			if d.txBusy {
+				d.txWait.Wait(p)
+				return
+			}
+			d.txBusy = true
+			f.txStart = k.Now()
+			data := mbuf.LinearizeInto(d.lin[:0], f.m)
+			d.lin = data
+			f.pc = 1
+			if !k.Use(p, trace.LayerEtherTx, k.Cost.EtherTx.Cost(len(data))) {
+				return
+			}
+		case 1: // hand to the adapter, then charge the chain free
+			data := d.lin
+			if dst, ok := d.resolve(data); ok {
+				fr := Encapsulate(dst, d.Adapter.Addr, EtherTypeIPv4, data)
+				wireEnd := d.Adapter.Transmit(fr)
+				if k.Trace.PacketRecording() {
+					id := k.PacketContext(p)
+					k.Trace.Event(trace.Event{
+						Kind: trace.EvDriverTx, At: f.txStart, Dur: k.Now() - f.txStart,
+						ID: id, Len: len(data),
+					})
+					k.Trace.Event(trace.Event{
+						Kind: trace.EvWireDepart, At: wireEnd, ID: id, Len: len(data),
+					})
+				}
+				d.FramesOut++
+			} else {
+				d.NoRoute++
+			}
+			f.pc = 2
+			if c := k.FreeChainCost(f.m); c > 0 {
+				if !k.Use(p, trace.LayerMbuf, c) {
+					return
+				}
+			}
+		case 2: // release the chain and the lock
+			if f.m != nil {
+				k.Pool.Free(f.m)
+				f.m = nil
+			}
+			d.txBusy = false
+			d.txWait.WakeAll()
+			if d.outOp == nil {
+				d.outOp = f
+			}
+			p.Return()
+			return
+		}
+	}
 }
 
 // resolve maps the datagram's IP destination to a station MAC.
@@ -460,69 +515,123 @@ func (d *Driver) resolve(dg []byte) ([6]byte, bool) {
 	return [6]byte{}, false
 }
 
-// rxproc drains received frames, validates the FCS, and enqueues the
-// payload for IP.
-func (d *Driver) rxproc(p *sim.Proc) {
+// rxprocFrame is the receive interrupt service process: it drains
+// received frames, validates the FCS, and — via its inlined deliver
+// states — builds the mbuf chain (IP header mbuf + payload mbufs) and
+// enqueues it for IP. IP trims Ethernet minimum-frame padding via the
+// header's total length.
+type rxprocFrame struct {
+	d  *Driver
+	pc int
+
+	rxStart   sim.Time
+	arrivedAt sim.Time
+	dg        []byte
+	etherType uint16
+	ok        bool
+
+	pktID       trace.PacketID
+	tagged      bool
+	rest        []byte
+	chain, tail *mbuf.Mbuf
+}
+
+// Step drives the receive service loop.
+func (f *rxprocFrame) Step(p *sim.Proc) {
+	d := f.d
 	k := d.K
 	for {
-		for d.Adapter.RxAvail() == 0 {
-			d.Adapter.RxReady.Wait(p)
+		switch f.pc {
+		case 0: // wait for a frame, pop it, charge the receive cost
+			if d.Adapter.RxAvail() == 0 {
+				d.Adapter.RxReady.Wait(p)
+				return
+			}
+			f.rxStart = k.Now()
+			fr, arrivedAt, _ := d.Adapter.PopRx()
+			f.arrivedAt = arrivedAt
+			f.dg, f.etherType, f.ok = Decapsulate(fr)
+			f.pc = 1
+			if !k.Use(p, trace.LayerEtherRx, k.Cost.EtherRx.Cost(len(f.dg))) {
+				return
+			}
+		case 1: // validate; stamp the on-wire identity; charge header mbuf
+			if !f.ok || f.etherType != EtherTypeIPv4 || len(f.dg) < ip.HeaderLen {
+				d.FCSErrors++
+				f.dg = nil
+				f.pc = 0
+				continue
+			}
+			// Untraced runs skip the tag push: it boxes the identity —
+			// one heap allocation per frame on the hot path — and exists
+			// only so trace events attribute to this packet.
+			f.pktID, f.tagged = trace.PacketID{}, false
+			if k.Trace.PacketsEnabled() {
+				f.pktID = ip.PacketIDOf(f.dg)
+				p.PushTag(f.pktID)
+				f.tagged = true
+				k.Trace.Event(trace.Event{
+					Kind: trace.EvWireArrive, At: f.arrivedAt, ID: f.pktID, Len: len(f.dg),
+				})
+			}
+			f.pc = 2
+			if !k.Use(p, trace.LayerEtherRx, k.Cost.MbufAlloc) {
+				return
+			}
+		case 2: // build the header mbuf; charge the first payload mbuf
+			hm := k.Pool.Alloc()
+			hm.Append(f.dg[:ip.HeaderLen])
+			f.rest = f.dg[ip.HeaderLen:]
+			f.chain, f.tail = hm, hm
+			if len(f.rest) > 0 {
+				f.pc = 3
+				if !k.Use(p, trace.LayerEtherRx, f.payloadAllocCost()) {
+					return
+				}
+			} else {
+				f.pc = 4
+			}
+		case 3: // fill one payload mbuf; charge the next or finish
+			var m *mbuf.Mbuf
+			if len(f.dg) > mbuf.ClusterThreshold {
+				m = k.Pool.AllocCluster()
+			} else {
+				m = k.Pool.Alloc()
+			}
+			n := m.Append(f.rest)
+			f.rest = f.rest[n:]
+			f.tail.SetNext(m)
+			f.tail = m
+			if len(f.rest) > 0 {
+				f.pc = 3
+				if !k.Use(p, trace.LayerEtherRx, f.payloadAllocCost()) {
+					return
+				}
+			} else {
+				f.pc = 4
+			}
+		case 4: // enqueue for IP and go back to the wait loop
+			d.FramesIn++
+			k.Trace.Event(trace.Event{
+				Kind: trace.EvDriverRx, At: f.rxStart, Dur: k.Now() - f.rxStart,
+				ID: f.pktID, Len: len(f.dg),
+			})
+			d.IP.Enqueue(f.chain)
+			if f.tagged {
+				p.PopTag()
+				f.tagged = false
+			}
+			f.dg, f.rest, f.chain, f.tail = nil, nil, nil, nil
+			f.pc = 0
 		}
-		rxStart := k.Now()
-		f, arrivedAt, _ := d.Adapter.PopRx()
-		payload, etherType, ok := Decapsulate(f)
-		k.Use(p, trace.LayerEtherRx, k.Cost.EtherRx.Cost(len(payload)))
-		if !ok || etherType != EtherTypeIPv4 {
-			d.FCSErrors++
-			continue
-		}
-		d.deliver(p, payload, rxStart, arrivedAt)
 	}
 }
 
-// deliver builds the mbuf chain (IP header mbuf + payload mbufs) and
-// enqueues it. IP trims Ethernet minimum-frame padding via the header's
-// total length. start is when the driver began processing the frame and
-// arrivedAt when it reached the adapter from the wire; both stamp the
-// packet trace.
-func (d *Driver) deliver(p *sim.Proc, dg []byte, start, arrivedAt sim.Time) {
-	k := d.K
-	if len(dg) < ip.HeaderLen {
-		d.FCSErrors++
-		return
+// payloadAllocCost returns the charge for the next payload mbuf of the
+// frame being delivered.
+func (f *rxprocFrame) payloadAllocCost() sim.Time {
+	if len(f.dg) > mbuf.ClusterThreshold {
+		return f.d.K.Cost.ClusterAlloc
 	}
-	// Untraced runs skip the tag push: it boxes the identity — one heap
-	// allocation per frame on the hot path — and exists only so trace
-	// events attribute to this packet.
-	var pktID trace.PacketID
-	if k.Trace.PacketsEnabled() {
-		pktID = ip.PacketIDOf(dg)
-		p.PushTag(pktID)
-		defer p.PopTag()
-		k.Trace.Event(trace.Event{
-			Kind: trace.EvWireArrive, At: arrivedAt, ID: pktID, Len: len(dg),
-		})
-	}
-	hm := k.AllocMbuf(p, trace.LayerEtherRx)
-	hm.Append(dg[:ip.HeaderLen])
-	rest := dg[ip.HeaderLen:]
-	tail := hm
-	for len(rest) > 0 {
-		var m *mbuf.Mbuf
-		if len(dg) > mbuf.ClusterThreshold {
-			m = k.AllocCluster(p, trace.LayerEtherRx)
-		} else {
-			m = k.AllocMbuf(p, trace.LayerEtherRx)
-		}
-		n := m.Append(rest)
-		rest = rest[n:]
-		tail.SetNext(m)
-		tail = m
-	}
-	d.FramesIn++
-	k.Trace.Event(trace.Event{
-		Kind: trace.EvDriverRx, At: start, Dur: k.Now() - start,
-		ID: pktID, Len: len(dg),
-	})
-	d.IP.Enqueue(hm)
+	return f.d.K.Cost.MbufAlloc
 }

@@ -97,11 +97,11 @@ func TestDriverEndToEnd(t *testing.T) {
 	ipb.Register(99, s)
 	payload := make([]byte, 1200)
 	env.RNG().Fill(payload)
-	env.Spawn("tx", func(p *sim.Proc) {
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		m := ka.Pool.AllocCluster()
 		m.Append(payload)
 		ipa.Output(p, 2, 99, m)
-	})
+	}))
 	env.Run()
 	if len(s.got) != 1 || !bytes.Equal(s.got[0], payload) {
 		t.Fatal("payload corrupted or lost")
@@ -114,11 +114,11 @@ func TestDriverStripsPadding(t *testing.T) {
 	env, ka, _, ipa, ipb, _, _ := buildPair(t)
 	s := &sink{}
 	ipb.Register(99, s)
-	env.Spawn("tx", func(p *sim.Proc) {
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		m := ka.Pool.Alloc()
 		m.Append([]byte{9, 8, 7, 6, 5})
 		ipa.Output(p, 2, 99, m)
-	})
+	}))
 	env.Run()
 	if len(s.got) != 1 {
 		t.Fatal("datagram lost")
@@ -134,12 +134,12 @@ func TestWireSlowerThanATM(t *testing.T) {
 	env, ka, _, ipa, ipb, aa, _ := buildPair(t)
 	ipb.Register(99, &sink{})
 	start := sim.Time(0)
-	env.Spawn("tx", func(p *sim.Proc) {
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		m := ka.Pool.AllocCluster()
 		m.Append(make([]byte, 1400))
 		start = env.Now()
 		ipa.Output(p, 2, 99, m)
-	})
+	}))
 	env.Run()
 	if aa.FramesSent != 1 {
 		t.Fatal("frame not sent")
@@ -155,11 +155,11 @@ func TestFrameLossDrops(t *testing.T) {
 	s := &sink{}
 	ipb.Register(99, s)
 	ab.LossRate = 1.0 // drop everything
-	env.Spawn("tx", func(p *sim.Proc) {
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		m := ka.Pool.Alloc()
 		m.Append(make([]byte, 50))
 		ipa.Output(p, 2, 99, m)
-	})
+	}))
 	env.Run()
 	if len(s.got) != 0 {
 		t.Fatal("frame delivered despite 100% loss")
@@ -171,11 +171,11 @@ func TestEtherChargesLayer(t *testing.T) {
 	ka.Trace.Enable()
 	kb.Trace.Enable()
 	ipb.Register(99, &sink{})
-	env.Spawn("tx", func(p *sim.Proc) {
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		m := ka.Pool.Alloc()
 		m.Append(make([]byte, 80))
 		ipa.Output(p, 2, 99, m)
-	})
+	}))
 	env.Run()
 	var tx, rx sim.Time
 	for _, s := range ka.Trace.Spans() {
@@ -200,13 +200,11 @@ func TestIFGSerializesBackToBackFrames(t *testing.T) {
 	env, ka, _, ipa, ipb, aa, _ := buildPair(t)
 	s := &sink{}
 	ipb.Register(99, s)
-	env.Spawn("tx", func(p *sim.Proc) {
-		for i := 0; i < 3; i++ {
-			m := ka.Pool.Alloc()
-			m.Append(make([]byte, 60))
-			ipa.Output(p, 2, 99, m)
-		}
-	})
+	env.Spawn("tx", sim.LoopN(3, func(p *sim.Proc, i int) {
+		m := ka.Pool.Alloc()
+		m.Append(make([]byte, 60))
+		ipa.Output(p, 2, 99, m)
+	}))
 	env.Run()
 	if aa.FramesSent != 3 || len(s.got) != 3 {
 		t.Fatalf("sent %d delivered %d", aa.FramesSent, len(s.got))

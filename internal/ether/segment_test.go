@@ -39,11 +39,11 @@ func TestSegmentUnicastOnlyAddressedStation(t *testing.T) {
 	_, kerns, ips, adapters, sinks := buildSegment(t, env, 3)
 	payload := make([]byte, 600)
 	env.RNG().Fill(payload)
-	env.Spawn("tx", func(p *sim.Proc) {
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		m := kerns[0].Pool.AllocCluster()
 		m.Append(payload)
 		ips[0].Output(p, 3, 99, m) // host 0 -> host 2
-	})
+	}))
 	env.Run()
 	if len(sinks[2].got) != 1 || !bytes.Equal(sinks[2].got[0], payload) {
 		t.Fatal("addressed station did not receive the frame intact")
@@ -57,7 +57,7 @@ func TestSegmentBroadcastReachesAllStations(t *testing.T) {
 	env := sim.NewEnv()
 	_, _, _, adapters, _ := buildSegment(t, env, 4)
 	f := Encapsulate(Broadcast, adapters[0].Addr, EtherTypeIPv4, make([]byte, 100))
-	env.Spawn("tx", func(p *sim.Proc) { adapters[0].Transmit(f) })
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) { adapters[0].Transmit(f) }))
 	env.Run()
 	for i, a := range adapters[1:] {
 		if a.FramesRecv != 1 {
@@ -74,7 +74,7 @@ func TestSegmentUnknownUnicastDropped(t *testing.T) {
 	seg, _, _, adapters, _ := buildSegment(t, env, 2)
 	ghost := [6]byte{2, 0, 0, 0, 0, 0x7f}
 	f := Encapsulate(ghost, adapters[0].Addr, EtherTypeIPv4, make([]byte, 80))
-	env.Spawn("tx", func(p *sim.Proc) { adapters[0].Transmit(f) })
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) { adapters[0].Transmit(f) }))
 	env.Run()
 	if adapters[1].FramesRecv != 0 {
 		t.Fatal("frame for an unknown MAC was delivered")
@@ -90,11 +90,11 @@ func TestSegmentUnboundIPDroppedNotFlooded(t *testing.T) {
 	// driver, never flooded into the other hosts' stacks.
 	env := sim.NewEnv()
 	_, kerns, ips, adapters, sinks := buildSegment(t, env, 3)
-	env.Spawn("tx", func(p *sim.Proc) {
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		m := kerns[0].Pool.Alloc()
 		m.Append(make([]byte, 40))
 		ips[0].Output(p, 0x7f, 99, m) // nobody answers for this address
-	})
+	}))
 	env.Run()
 	for i, s := range sinks {
 		if len(s.got) != 0 {
@@ -143,15 +143,13 @@ func TestSegmentThreeHostDeterminism(t *testing.T) {
 		_, kerns, ips, _, sinks := buildSegment(t, env, 3)
 		for i := 0; i < 3; i++ {
 			i := i
-			env.Spawn(fmt.Sprintf("tx%d", i), func(p *sim.Proc) {
-				for k := 0; k < 4; k++ {
-					payload := make([]byte, 100+env.RNG().Intn(1200))
-					env.RNG().Fill(payload)
-					m := kerns[i].Pool.AllocCluster()
-					m.Append(payload)
-					ips[i].Output(p, uint32((i+1)%3+1), 99, m)
-				}
-			})
+			env.Spawn(fmt.Sprintf("tx%d", i), sim.LoopN(4, func(p *sim.Proc, k int) {
+				payload := make([]byte, 100+env.RNG().Intn(1200))
+				env.RNG().Fill(payload)
+				m := kerns[i].Pool.AllocCluster()
+				m.Append(payload)
+				ips[i].Output(p, uint32((i+1)%3+1), 99, m)
+			}))
 		}
 		env.Run()
 		var got [][]byte

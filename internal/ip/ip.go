@@ -121,7 +121,9 @@ func PacketIDOf(dg []byte) trace.PacketID {
 // a complete IP datagram. The ATM and Ethernet drivers implement it.
 type NetIf interface {
 	// Output transmits the datagram in process context, charging its own
-	// driver costs. The chain includes the IP header.
+	// driver costs. The chain includes the IP header. It is a frame call:
+	// it may push a frame onto p, so it must be the caller's last action
+	// before its Step returns.
 	Output(p *sim.Proc, m *mbuf.Mbuf)
 	// MTU returns the maximum datagram size the interface accepts.
 	MTU() int
@@ -130,6 +132,8 @@ type NetIf interface {
 }
 
 // Handler receives demultiplexed datagram payloads (header stripped).
+// Input is a frame call: it may push a frame onto p, so it must be the
+// caller's last action before its Step returns.
 type Handler interface {
 	Input(p *sim.Proc, h Header, m *mbuf.Mbuf)
 }
@@ -151,6 +155,7 @@ type Stack struct {
 	q        []queued
 	wq       *sim.WaitQueue
 	nextID   uint16
+	out      *outOp // cached output frame (nil while in use)
 
 	// Drops counts datagrams discarded on input (bad header, no handler),
 	// for tests and fault-injection experiments.
@@ -166,7 +171,8 @@ func NewStack(k *kern.Kernel, addr uint32) *Stack {
 		handlers: make(map[uint8]Handler),
 		wq:       k.Env.NewWaitQueue(k.Name + ".ipq"),
 	}
-	k.Env.Spawn(k.Name+".netisr", s.netisr)
+	s.out = &outOp{s: s}
+	k.Env.Spawn(k.Name+".netisr", &netisrFrame{s: s})
 	return s
 }
 
@@ -193,22 +199,63 @@ func (s *Stack) Register(proto uint8, h Handler) { s.handlers[proto] = h }
 // Output encapsulates the transport payload m (e.g. a TCP segment) in an
 // IP datagram to dst and hands it to the interface. It charges the
 // ip_output processing cost and panics if the datagram exceeds the MTU,
-// since this stack deliberately omits fragmentation.
+// since this stack deliberately omits fragmentation. It is a frame call:
+// it pushes the output frame onto p, so it must be the caller's last
+// action before its Step returns.
 func (s *Stack) Output(p *sim.Proc, dst uint32, proto uint8, m *mbuf.Mbuf) {
-	s.K.Use(p, trace.LayerIPTx, s.K.Cost.IPOutput)
-	total := mbuf.ChainLen(m) + HeaderLen
-	if total > s.If.MTU() {
-		panic(fmt.Sprintf("ip: datagram of %d bytes exceeds MTU %d", total, s.If.MTU()))
+	f := s.out
+	if f != nil {
+		s.out = nil
+	} else {
+		f = &outOp{s: s}
 	}
-	s.nextID++
-	h := Header{TotalLen: total, ID: s.nextID, TTL: 64, Proto: proto, Src: s.Addr, Dst: dst}
-	head, hdr, _ := s.K.Pool.PrependHeader(m, HeaderLen)
-	h.Marshal(hdr)
-	s.K.Trace.Event(trace.Event{
-		Kind: trace.EvIPSend, At: s.K.Now(),
-		ID: s.K.PacketContext(p), Len: total,
-	})
-	s.If.Output(p, head)
+	f.pc, f.dst, f.proto, f.m = 0, dst, proto, m
+	p.Call(f)
+}
+
+// outOp is the resumable state of one Output call. The stack caches one:
+// outputs on a host are serialized in practice (one CPU), so steady state
+// allocates nothing; a rare overlap falls back to a fresh frame.
+type outOp struct {
+	s     *Stack
+	pc    int
+	dst   uint32
+	proto uint8
+	m     *mbuf.Mbuf
+}
+
+func (f *outOp) Step(p *sim.Proc) {
+	s := f.s
+	switch f.pc {
+	case 0:
+		f.pc = 1
+		if !s.K.Use(p, trace.LayerIPTx, s.K.Cost.IPOutput) {
+			return
+		}
+		fallthrough
+	case 1:
+		m := f.m
+		total := mbuf.ChainLen(m) + HeaderLen
+		if total > s.If.MTU() {
+			panic(fmt.Sprintf("ip: datagram of %d bytes exceeds MTU %d", total, s.If.MTU()))
+		}
+		s.nextID++
+		h := Header{TotalLen: total, ID: s.nextID, TTL: 64, Proto: f.proto, Src: s.Addr, Dst: f.dst}
+		head, hdr, _ := s.K.Pool.PrependHeader(m, HeaderLen)
+		h.Marshal(hdr)
+		s.K.Trace.Event(trace.Event{
+			Kind: trace.EvIPSend, At: s.K.Now(),
+			ID: s.K.PacketContext(p), Len: total,
+		})
+		f.pc = 2
+		s.If.Output(p, head)
+	case 2:
+		f.m = nil
+		if s.out == nil {
+			s.out = f
+		}
+		p.Return()
+	}
 }
 
 // Enqueue places a received datagram on the IP input queue and signals the
@@ -228,81 +275,111 @@ func (s *Stack) Enqueue(m *mbuf.Mbuf) {
 // QueueLen returns the number of datagrams waiting on the input queue.
 func (s *Stack) QueueLen() int { return len(s.q) }
 
-// netisr is the IP software-interrupt service loop.
-func (s *Stack) netisr(p *sim.Proc) {
-	for {
-		for len(s.q) == 0 {
-			s.wq.Wait(p)
-		}
-		// Software-interrupt dispatch: CPU time spent getting from the
-		// signal to the dequeue, attributed to the IPQ row. Queueing
-		// delay behind a busy CPU is not re-attributed here — the work
-		// occupying the CPU (typically the driver copying a later
-		// segment's cells) already owns those spans. The head datagram's
-		// identity tags the process before the charge so the dispatch
-		// cost attributes to the packet being dequeued.
-		head := s.q[0]
-		// The tag exists only for trace attribution; untraced runs skip
-		// the push (it boxes the identity, one allocation per datagram).
-		tagged := s.K.Trace.PacketsEnabled()
-		if tagged {
-			p.PushTag(head.id)
-		}
-		s.K.Use(p, trace.LayerIPQ, s.K.Cost.SoftintDispatch)
-		copy(s.q, s.q[1:])
-		s.q = s.q[:len(s.q)-1]
-		s.K.Trace.Event(trace.Event{
-			Kind: trace.EvIPDequeue, At: head.at, Dur: s.K.Now() - head.at,
-			ID: head.id, Aux: int64(len(s.q)),
-		})
-		s.input(p, head.m)
-		if tagged {
-			p.PopTag()
-		}
-	}
+// netisrFrame is the IP software-interrupt service loop: the stack's one
+// persistent process. Each pass dequeues one datagram, runs ip_input on
+// it, and hands the payload up; with the queue empty it parks on the
+// input queue's wait queue. As the root frame of a persistent process it
+// never returns, so the service loop allocates no frames in steady state.
+type netisrFrame struct {
+	s      *Stack
+	pc     int
+	head   queued
+	tagged bool
 }
 
-// input runs ip_input on one datagram: charge processing, parse and verify
-// the real header, strip it, and hand the payload to the protocol handler.
-func (s *Stack) input(p *sim.Proc, m *mbuf.Mbuf) {
-	s.K.Use(p, trace.LayerIPRx, s.K.Cost.IPInput)
-	// Header scratch on the stack: Parse copies what it keeps, so this
-	// must not escape (the per-datagram path allocates nothing).
-	var raw [HeaderLen]byte
-	if mbuf.CopyBytesTo(m, 0, HeaderLen, raw[:]) != HeaderLen {
-		s.Drops++
-		s.K.Pool.Free(m)
-		return
+func (f *netisrFrame) Step(p *sim.Proc) {
+	s := f.s
+	for {
+		switch f.pc {
+		case 0:
+			if len(s.q) == 0 {
+				s.wq.Wait(p)
+				return
+			}
+			// Software-interrupt dispatch: CPU time spent getting from the
+			// signal to the dequeue, attributed to the IPQ row. Queueing
+			// delay behind a busy CPU is not re-attributed here — the work
+			// occupying the CPU (typically the driver copying a later
+			// segment's cells) already owns those spans. The head datagram's
+			// identity tags the process before the charge so the dispatch
+			// cost attributes to the packet being dequeued.
+			f.head = s.q[0]
+			// The tag exists only for trace attribution; untraced runs skip
+			// the push (it boxes the identity, one allocation per datagram).
+			f.tagged = s.K.Trace.PacketsEnabled()
+			if f.tagged {
+				p.PushTag(f.head.id)
+			}
+			f.pc = 1
+			if !s.K.Use(p, trace.LayerIPQ, s.K.Cost.SoftintDispatch) {
+				return
+			}
+		case 1:
+			copy(s.q, s.q[1:])
+			s.q = s.q[:len(s.q)-1]
+			s.K.Trace.Event(trace.Event{
+				Kind: trace.EvIPDequeue, At: f.head.at, Dur: s.K.Now() - f.head.at,
+				ID: f.head.id, Aux: int64(len(s.q)),
+			})
+			// ip_input: charge processing, then parse, verify and deliver.
+			f.pc = 2
+			if !s.K.Use(p, trace.LayerIPRx, s.K.Cost.IPInput) {
+				return
+			}
+		case 2:
+			m := f.head.m
+			// Header scratch on the stack: Parse copies what it keeps, so
+			// this must not escape (the per-datagram path allocates nothing).
+			var raw [HeaderLen]byte
+			if mbuf.CopyBytesTo(m, 0, HeaderLen, raw[:]) != HeaderLen {
+				s.Drops++
+				s.K.Pool.Free(m)
+				f.pc = 3
+				continue
+			}
+			h, err := Parse(raw[:])
+			if err != nil {
+				s.Drops++
+				s.K.Pool.Free(m)
+				f.pc = 3
+				continue
+			}
+			// Trim to the datagram's stated length (drivers may deliver
+			// padding, e.g. Ethernet minimum-frame padding) and strip the
+			// header.
+			excess := mbuf.ChainLen(m) - h.TotalLen
+			if excess < 0 {
+				s.Drops++
+				s.K.Pool.Free(m)
+				f.pc = 3
+				continue
+			}
+			m = s.K.Pool.Drop(m, HeaderLen)
+			if excess > 0 {
+				m = trimTail(s.K.Pool, m, excess)
+			}
+			hd, ok := s.handlers[h.Proto]
+			if !ok {
+				s.Drops++
+				s.K.Pool.Free(m)
+				f.pc = 3
+				continue
+			}
+			s.K.Trace.Event(trace.Event{
+				Kind: trace.EvIPDeliver, At: s.K.Now(),
+				ID: s.K.PacketContext(p), Len: h.TotalLen, Aux: int64(h.Proto),
+			})
+			f.pc = 3
+			hd.Input(p, h, m)
+			return
+		case 3:
+			if f.tagged {
+				p.PopTag()
+			}
+			f.head = queued{}
+			f.pc = 0
+		}
 	}
-	h, err := Parse(raw[:])
-	if err != nil {
-		s.Drops++
-		s.K.Pool.Free(m)
-		return
-	}
-	// Trim to the datagram's stated length (drivers may deliver padding,
-	// e.g. Ethernet minimum-frame padding) and strip the header.
-	excess := mbuf.ChainLen(m) - h.TotalLen
-	if excess < 0 {
-		s.Drops++
-		s.K.Pool.Free(m)
-		return
-	}
-	m = s.K.Pool.Drop(m, HeaderLen)
-	if excess > 0 {
-		m = trimTail(s.K.Pool, m, excess)
-	}
-	hd, ok := s.handlers[h.Proto]
-	if !ok {
-		s.Drops++
-		s.K.Pool.Free(m)
-		return
-	}
-	s.K.Trace.Event(trace.Event{
-		Kind: trace.EvIPDeliver, At: s.K.Now(),
-		ID: s.K.PacketContext(p), Len: h.TotalLen, Aux: int64(h.Proto),
-	})
-	hd.Input(p, h, m)
 }
 
 // trimTail removes n bytes from the end of the chain, freeing emptied

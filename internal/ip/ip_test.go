@@ -101,7 +101,7 @@ func TestOutputInputRoundTrip(t *testing.T) {
 	env, ka, sa, _, cap := newTwoStacks(t)
 	payload := make([]byte, 777)
 	env.RNG().Fill(payload)
-	env.Spawn("tx", func(p *sim.Proc) {
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		m := ka.Pool.Alloc()
 		rest := payload
 		cur := m
@@ -116,7 +116,7 @@ func TestOutputInputRoundTrip(t *testing.T) {
 			cur = next
 		}
 		sa.Output(p, 0x0a000002, ProtoTCP, m)
-	})
+	}))
 	env.Run()
 	if len(cap.payloads) != 1 {
 		t.Fatalf("delivered %d datagrams", len(cap.payloads))
@@ -135,12 +135,7 @@ func TestOutputInputRoundTrip(t *testing.T) {
 
 func TestOutputMTUPanic(t *testing.T) {
 	env, ka, sa, _, _ := newTwoStacks(t)
-	env.Spawn("tx", func(p *sim.Proc) {
-		defer func() {
-			if recover() == nil {
-				t.Error("oversize datagram did not panic")
-			}
-		}()
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		m := ka.Pool.AllocCluster()
 		m.Append(make([]byte, 4096))
 		m2 := ka.Pool.AllocCluster()
@@ -150,17 +145,24 @@ func TestOutputMTUPanic(t *testing.T) {
 		m.SetNext(m2)
 		m2.SetNext(m3)
 		sa.Output(p, 0x0a000002, ProtoTCP, m)
-	})
+	}))
+	// The output frame runs inside the event loop, so the panic surfaces
+	// from Run, not from the spawning closure.
+	defer func() {
+		if recover() == nil {
+			t.Error("oversize datagram did not panic")
+		}
+	}()
 	env.Run()
 }
 
 func TestInputDropsUnknownProto(t *testing.T) {
 	env, ka, sa, sb, _ := newTwoStacks(t)
-	env.Spawn("tx", func(p *sim.Proc) {
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		m := ka.Pool.Alloc()
 		m.Append([]byte{1, 2, 3})
 		sa.Output(p, 0x0a000002, 250, m) // unregistered protocol
-	})
+	}))
 	env.Run()
 	if sb.Drops != 1 {
 		t.Fatalf("Drops = %d, want 1", sb.Drops)
@@ -209,11 +211,11 @@ func TestInputTrimsPadding(t *testing.T) {
 func TestIPQLatencyCharged(t *testing.T) {
 	env, ka, sa, sb, _ := newTwoStacks(t)
 	sb.K.Trace.Enable()
-	env.Spawn("tx", func(p *sim.Proc) {
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		m := ka.Pool.Alloc()
 		m.Append(make([]byte, 30))
 		sa.Output(p, 0x0a000002, ProtoTCP, m)
-	})
+	}))
 	env.Run()
 	var ipq sim.Time
 	for _, s := range sb.K.Trace.Spans() {
@@ -228,13 +230,11 @@ func TestIPQLatencyCharged(t *testing.T) {
 
 func TestQueueFIFOOrder(t *testing.T) {
 	env, ka, sa, _, cap := newTwoStacks(t)
-	env.Spawn("tx", func(p *sim.Proc) {
-		for i := 0; i < 5; i++ {
-			m := ka.Pool.Alloc()
-			m.Append([]byte{byte(i)})
-			sa.Output(p, 0x0a000002, ProtoTCP, m)
-		}
-	})
+	env.Spawn("tx", sim.LoopN(5, func(p *sim.Proc, i int) {
+		m := ka.Pool.Alloc()
+		m.Append([]byte{byte(i)})
+		sa.Output(p, 0x0a000002, ProtoTCP, m)
+	}))
 	env.Run()
 	if len(cap.payloads) != 5 {
 		t.Fatalf("delivered %d", len(cap.payloads))
@@ -248,13 +248,11 @@ func TestQueueFIFOOrder(t *testing.T) {
 
 func TestIDsIncrement(t *testing.T) {
 	env, ka, sa, _, cap := newTwoStacks(t)
-	env.Spawn("tx", func(p *sim.Proc) {
-		for i := 0; i < 3; i++ {
-			m := ka.Pool.Alloc()
-			m.Append([]byte{1})
-			sa.Output(p, 0x0a000002, ProtoTCP, m)
-		}
-	})
+	env.Spawn("tx", sim.LoopN(3, func(p *sim.Proc, i int) {
+		m := ka.Pool.Alloc()
+		m.Append([]byte{1})
+		sa.Output(p, 0x0a000002, ProtoTCP, m)
+	}))
 	env.Run()
 	if len(cap.headers) != 3 {
 		t.Fatal("missing datagrams")

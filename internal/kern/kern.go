@@ -36,18 +36,26 @@ type Kernel struct {
 	Name  string // host name, for diagnostics
 
 	busyUntil sim.Time
+
+	// wakeFn charges the scheduler's wakeup path when a process sleeping
+	// via SleepOn resumes; bound once so arming it allocates nothing.
+	wakeFn func(*sim.Proc) bool
 }
 
 // New returns a kernel for one host, sharing the simulation environment
 // and using the given cost model.
 func New(env *sim.Env, model *cost.Model, name string) *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		Env:   env,
 		Cost:  model,
 		Trace: &trace.Recorder{},
 		Pool:  &mbuf.Pool{},
 		Name:  name,
 	}
+	k.wakeFn = func(p *sim.Proc) bool {
+		return k.Use(p, trace.LayerWakeup, k.Cost.Wakeup)
+	}
+	return k
 }
 
 // Reset returns the kernel to its just-constructed state for testbed
@@ -73,21 +81,24 @@ func (k *Kernel) BusyUntil() sim.Time { return k.busyUntil }
 
 // Use charges d of CPU time attributed to layer, executing in the context
 // of process p. The process advances to the end of the charge; if the CPU
-// is currently reserved by other work the charge starts after it.
-// It returns the interval actually occupied.
-func (k *Kernel) Use(p *sim.Proc, layer trace.Layer, d sim.Time) (start, end sim.Time) {
+// is currently reserved by other work the charge starts after it. In the
+// common case the charge completes inline — an ordinary function call —
+// and Use returns true; when the process had to park for the CPU (or for
+// an event scheduled inside the interval) Use returns false and the
+// calling frame must return from Step immediately, resuming at the state
+// it recorded before the call.
+func (k *Kernel) Use(p *sim.Proc, layer trace.Layer, d sim.Time) bool {
 	if d < 0 {
 		panic("kern: negative CPU charge")
 	}
-	start = k.Env.Now()
+	start := k.Env.Now()
 	if k.busyUntil > start {
 		start = k.busyUntil
 	}
-	end = start + d
+	end := start + d
 	k.busyUntil = end
 	k.Attribute(p, layer, start, end)
-	p.SleepUntil(end)
-	return start, end
+	return p.SleepUntil(end)
 }
 
 // Attribute records the interval [start, end] of CPU time against layer:
@@ -123,33 +134,21 @@ func (k *Kernel) PacketContext(p *sim.Proc) trace.PacketID {
 	return trace.PacketID{}
 }
 
-// SleepOn blocks p on wq and, once woken, charges the scheduler's wakeup
-// path (run-queue to running). The time from wakeup to running is the
-// paper's Wakeup row; the trace span covers both the CPU charge and any
-// wait for the CPU.
+// SleepOn parks p on wq and arms the wakeup charge: once woken, p is
+// charged the scheduler's wakeup path (run-queue to running) before its
+// frame stack resumes. The time from wakeup to running is the paper's
+// Wakeup row; the trace span covers both the CPU charge and any wait for
+// the CPU. The calling frame must return from Step immediately after
+// SleepOn; it re-enters — wakeup already charged — when the queue wakes
+// it.
 func (k *Kernel) SleepOn(p *sim.Proc, wq *sim.WaitQueue) {
 	wq.Wait(p)
-	k.Use(p, trace.LayerWakeup, k.Cost.Wakeup)
+	p.OnWake(k.wakeFn)
 }
 
-// AllocMbuf allocates a normal mbuf, charging allocation cost to layer.
-func (k *Kernel) AllocMbuf(p *sim.Proc, layer trace.Layer) *mbuf.Mbuf {
-	k.Use(p, layer, k.Cost.MbufAlloc)
-	return k.Pool.Alloc()
-}
-
-// AllocCluster allocates a cluster mbuf, charging allocation cost to layer.
-func (k *Kernel) AllocCluster(p *sim.Proc, layer trace.Layer) *mbuf.Mbuf {
-	k.Use(p, layer, k.Cost.ClusterAlloc)
-	return k.Pool.AllocCluster()
-}
-
-// FreeChain frees an mbuf chain, charging per-mbuf free cost to layer.
-func (k *Kernel) FreeChain(p *sim.Proc, layer trace.Layer, m *mbuf.Mbuf) {
-	n := mbuf.ChainCount(m)
-	if n == 0 {
-		return
-	}
-	k.Use(p, layer, sim.Time(n)*k.Cost.MbufFree)
-	k.Pool.Free(m)
+// FreeChainCost returns the CPU cost of freeing the chain m (per-mbuf
+// free cost times chain length). Callers charge it, then release the
+// chain with Pool.Free; a nil chain costs nothing.
+func (k *Kernel) FreeChainCost(m *mbuf.Mbuf) sim.Time {
+	return sim.Time(mbuf.ChainCount(m)) * k.Cost.MbufFree
 }

@@ -16,34 +16,53 @@ func newKernel() (*sim.Env, *Kernel) {
 
 func TestUseAdvancesBusyCursor(t *testing.T) {
 	env, k := newKernel()
-	var s1, e1, s2, e2 sim.Time
-	env.Spawn("p", func(p *sim.Proc) {
-		s1, e1 = k.Use(p, trace.LayerIPTx, 100*sim.Microsecond)
-		s2, e2 = k.Use(p, trace.LayerIPTx, 50*sim.Microsecond)
-	})
+	k.Trace.Enable()
+	env.Spawn("p", sim.Steps(func(p *sim.Proc) {
+		// With nothing else queued both charges complete inline: the CPU
+		// charge is an ordinary function call, no park, no wake event.
+		if !k.Use(p, trace.LayerIPTx, 100*sim.Microsecond) {
+			t.Error("uncontended charge parked")
+		}
+		if !k.Use(p, trace.LayerIPTx, 50*sim.Microsecond) {
+			t.Error("second charge parked")
+		}
+	}))
 	env.Run()
-	if s1 != 0 || e1 != 100*sim.Microsecond {
-		t.Fatalf("first charge [%v,%v]", s1, e1)
+	spans := k.Trace.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v", spans)
 	}
-	if s2 != e1 || e2 != e1+50*sim.Microsecond {
-		t.Fatalf("second charge [%v,%v]", s2, e2)
+	if spans[0].Start != 0 || spans[0].End != 100*sim.Microsecond {
+		t.Fatalf("first charge [%v,%v]", spans[0].Start, spans[0].End)
 	}
-	if k.BusyUntil() != e2 {
+	if spans[1].Start != spans[0].End || spans[1].End != 150*sim.Microsecond {
+		t.Fatalf("second charge [%v,%v]", spans[1].Start, spans[1].End)
+	}
+	if k.BusyUntil() != spans[1].End {
 		t.Fatalf("BusyUntil = %v", k.BusyUntil())
 	}
 }
 
 func TestUseSerializesAcrossProcs(t *testing.T) {
 	env, k := newKernel()
-	var endA, startB sim.Time
-	env.Spawn("a", func(p *sim.Proc) {
-		_, endA = k.Use(p, trace.LayerIPTx, 200*sim.Microsecond)
-	})
-	env.Spawn("b", func(p *sim.Proc) {
-		startB, _ = k.Use(p, trace.LayerIPRx, 10*sim.Microsecond)
-	})
+	k.Trace.Enable()
+	env.Spawn("a", sim.Steps(func(p *sim.Proc) {
+		k.Use(p, trace.LayerIPTx, 200*sim.Microsecond)
+	}))
+	env.Spawn("b", sim.Steps(func(p *sim.Proc) {
+		k.Use(p, trace.LayerIPRx, 10*sim.Microsecond)
+	}))
 	env.Run()
 	// b spawned second at t=0: its charge must start when a's ends.
+	var endA, startB sim.Time = -1, -1
+	for _, s := range k.Trace.Spans() {
+		switch s.Layer {
+		case trace.LayerIPTx:
+			endA = s.End
+		case trace.LayerIPRx:
+			startB = s.Start
+		}
+	}
 	if startB != endA {
 		t.Fatalf("b started at %v, a ended at %v: CPU not serialized", startB, endA)
 	}
@@ -51,14 +70,14 @@ func TestUseSerializesAcrossProcs(t *testing.T) {
 
 func TestNegativeChargePanics(t *testing.T) {
 	env, k := newKernel()
-	env.Spawn("p", func(p *sim.Proc) {
+	env.Spawn("p", sim.Steps(func(p *sim.Proc) {
 		defer func() {
 			if recover() == nil {
 				t.Error("negative charge did not panic")
 			}
 		}()
 		k.Use(p, trace.LayerIPTx, -1)
-	})
+	}))
 	env.Run()
 }
 
@@ -67,14 +86,14 @@ func TestSleepOnChargesWakeup(t *testing.T) {
 	k.Trace.Enable()
 	wq := env.NewWaitQueue("w")
 	var resumed sim.Time
-	env.Spawn("sleeper", func(p *sim.Proc) {
-		k.SleepOn(p, wq)
-		resumed = env.Now()
-	})
-	env.Spawn("waker", func(p *sim.Proc) {
-		p.Sleep(1 * sim.Millisecond)
-		wq.Wake()
-	})
+	env.Spawn("sleeper", sim.Steps(
+		func(p *sim.Proc) { k.SleepOn(p, wq) },
+		func(p *sim.Proc) { resumed = env.Now() },
+	))
+	env.Spawn("waker", sim.Steps(
+		func(p *sim.Proc) { p.Sleep(1 * sim.Millisecond) },
+		func(p *sim.Proc) { wq.Wake() },
+	))
 	env.Run()
 	want := 1*sim.Millisecond + k.Cost.Wakeup
 	if resumed != want {
@@ -91,15 +110,22 @@ func TestSleepOnChargesWakeup(t *testing.T) {
 	}
 }
 
-func TestAllocChargesAndCounts(t *testing.T) {
+func TestAllocChargeAndFreeChainCost(t *testing.T) {
+	// The allocation idiom after the run-to-completion redesign: charge
+	// the CPU with Use, then perform the pool operation inline.
 	env, k := newKernel()
 	k.Trace.Enable()
-	env.Spawn("p", func(p *sim.Proc) {
-		m := k.AllocMbuf(p, trace.LayerUserTx)
-		c := k.AllocCluster(p, trace.LayerUserTx)
+	env.Spawn("p", sim.Steps(func(p *sim.Proc) {
+		k.Use(p, trace.LayerUserTx, k.Cost.MbufAlloc)
+		m := k.Pool.Alloc()
+		k.Use(p, trace.LayerUserTx, k.Cost.ClusterAlloc)
+		c := k.Pool.AllocCluster()
 		m.SetNext(c)
-		k.FreeChain(p, trace.LayerMbuf, m)
-	})
+		if cst := k.FreeChainCost(m); cst > 0 {
+			k.Use(p, trace.LayerMbuf, cst)
+		}
+		k.Pool.Free(m)
+	}))
 	env.Run()
 	st := k.Pool.Stats
 	if st.MbufAllocs != 2 || st.MbufFrees != 2 || st.ClusterAllocs != 1 || st.ClusterFrees != 1 {
@@ -110,14 +136,10 @@ func TestAllocChargesAndCounts(t *testing.T) {
 	}
 }
 
-func TestFreeChainNilIsNoop(t *testing.T) {
-	env, k := newKernel()
-	env.Spawn("p", func(p *sim.Proc) {
-		k.FreeChain(p, trace.LayerMbuf, nil)
-	})
-	env.Run()
-	if k.BusyUntil() != 0 {
-		t.Fatal("freeing nil charged time")
+func TestFreeChainCostNilIsZero(t *testing.T) {
+	_, k := newKernel()
+	if c := k.FreeChainCost(nil); c != 0 {
+		t.Fatalf("FreeChainCost(nil) = %v, want 0", c)
 	}
 }
 

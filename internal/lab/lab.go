@@ -19,6 +19,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/kern"
 	"repro/internal/sim"
+	"repro/internal/sock"
 	"repro/internal/stats"
 	"repro/internal/tcp"
 	"repro/internal/trace"
@@ -468,18 +469,224 @@ const echoPort = 7 // the echo service
 // livePort accepts the Config.LivePCBs population connections.
 const livePort = 9 // the discard service
 
-// populateLivePCBs opens n real connections from the client to the
+// livePCBsFrame opens n real connections from the client to the
 // server's discard port and leaves them established. Like the synthetic
 // population, they insert at the head of both PCB lists, ahead of the
 // benchmark connection; unlike it, they are genuine connections created
 // by real handshakes.
-func (l *Lab) populateLivePCBs(p *sim.Proc, n int) error {
-	for i := 0; i < n; i++ {
-		if _, _, err := l.Client.TCP.Connect(p, ServerAddr, livePort); err != nil {
-			return fmt.Errorf("lab: live PCB %d: %w", i, err)
+type livePCBsFrame struct {
+	l  *Lab
+	n  int
+	i  int
+	op *tcp.ConnectOp
+
+	Err error
+}
+
+// Step opens one connection per re-entry until n are established.
+func (f *livePCBsFrame) Step(p *sim.Proc) {
+	if f.op != nil {
+		if f.op.Err != nil {
+			f.Err = fmt.Errorf("lab: live PCB %d: %w", f.i, f.op.Err)
+			p.Return()
+			return
+		}
+		f.op = nil
+		f.i++
+	}
+	if f.i >= f.n {
+		p.Return()
+		return
+	}
+	f.op = f.l.Client.TCP.Connect(p, ServerAddr, livePort)
+}
+
+// echoServerFrame is the echo server: accept one connection, then loop
+// reading size bytes and writing them back until the peer closes.
+type echoServerFrame struct {
+	l    *Lab
+	ln   *tcp.Listener
+	size int
+
+	pc     int
+	accept *tcp.AcceptOp
+	so     *sock.Socket
+	buf    []byte
+	total  int
+	recv   *sock.RecvOp
+	send   *sock.SendOp
+}
+
+// Step drives the server loop.
+func (f *echoServerFrame) Step(p *sim.Proc) {
+	for {
+		switch f.pc {
+		case 0: // accept the benchmark connection
+			f.pc = 1
+			f.accept = f.ln.Accept(p)
+			return
+		case 1: // configure it and enter the echo loop
+			f.so = f.accept.So
+			if !f.l.Config.Nagle {
+				f.accept.C.SetNoDelay(true)
+			}
+			f.accept = nil
+			f.buf = make([]byte, f.size)
+			f.total = 0
+			f.pc = 2
+		case 2: // read until a full request is in
+			if f.total < f.size {
+				f.pc = 3
+				f.recv = f.so.Recv(p, f.buf[f.total:])
+				return
+			}
+			f.pc = 4
+			f.send = f.so.Send(p, f.buf)
+			return
+		case 3: // fold in one read's result
+			if f.recv.Err != nil || f.recv.N == 0 {
+				p.Return()
+				return
+			}
+			f.total += f.recv.N
+			f.recv = nil
+			f.pc = 2
+		case 4: // echo written; next request
+			if f.send.Err != nil {
+				p.Return()
+				return
+			}
+			f.send = nil
+			f.total = 0
+			f.pc = 2
 		}
 	}
-	return nil
+}
+
+// echoClientFrame is the benchmark client: connect, populate the PCB
+// tables, then run warmup+iterations timed request/response round trips.
+type echoClientFrame struct {
+	l          *Lab
+	size       int
+	iterations int
+	warmup     int
+	res        *EchoResult
+	runErr     *error
+
+	pc       int
+	conn     *tcp.ConnectOp
+	live     *livePCBsFrame
+	so       *sock.Socket
+	msg, buf []byte
+	i        int
+	total    int
+	w        IterWindow
+	recv     *sock.RecvOp
+	send     *sock.SendOp
+}
+
+// fail records the run error and finishes the frame.
+func (f *echoClientFrame) fail(p *sim.Proc, err error) {
+	*f.runErr = err
+	p.Return()
+}
+
+// Step drives the client loop.
+func (f *echoClientFrame) Step(p *sim.Proc) {
+	l := f.l
+	for {
+		switch f.pc {
+		case 0: // connect to the echo server
+			f.pc = 1
+			f.conn = l.Client.TCP.Connect(p, ServerAddr, echoPort)
+			return
+		case 1: // configure the connection, populate the PCB tables
+			if f.conn.Err != nil {
+				f.fail(p, f.conn.Err)
+				return
+			}
+			f.so = f.conn.So
+			if !l.Config.Nagle {
+				f.conn.C.SetNoDelay(true)
+			}
+			f.conn = nil
+			populatePCBs(l.Client.TCP, l.Config.ExtraPCBs)
+			populatePCBs(l.Server.TCP, l.Config.ExtraPCBs)
+			if l.Config.LivePCBs > 0 {
+				f.live = &livePCBsFrame{l: l, n: l.Config.LivePCBs}
+				f.pc = 2
+				p.Call(f.live)
+				return
+			}
+			f.pc = 3
+		case 2: // fold in the live-population result
+			if f.live.Err != nil {
+				f.fail(p, f.live.Err)
+				return
+			}
+			f.live = nil
+			f.pc = 3
+		case 3: // prepare the message buffers
+			f.msg = make([]byte, f.size)
+			l.Env.RNG().Fill(f.msg)
+			f.buf = make([]byte, f.size)
+			f.i = 0
+			f.pc = 4
+		case 4: // iteration head: write the request
+			if f.i >= f.warmup+f.iterations {
+				f.pc = 8
+				f.so.Close(p)
+				return
+			}
+			if f.i >= f.warmup && !l.tracing() {
+				l.setTracing(true)
+			}
+			f.w = IterWindow{WriteStart: l.Env.Now()}
+			f.pc = 5
+			f.send = f.so.Send(p, f.msg)
+			return
+		case 5: // request written; read the echo
+			if f.send.Err != nil {
+				f.fail(p, f.send.Err)
+				return
+			}
+			f.send = nil
+			f.w.WriteEnd = l.Env.Now()
+			f.total = 0
+			f.pc = 6
+		case 6: // read loop head
+			if f.total < f.size {
+				f.pc = 7
+				f.recv = f.so.Recv(p, f.buf[f.total:])
+				return
+			}
+			f.w.ReadReturn = l.Env.Now()
+			if f.i >= f.warmup {
+				f.res.RTTs = append(f.res.RTTs, f.w.ReadReturn-f.w.WriteStart)
+				f.res.Windows = append(f.res.Windows, f.w)
+				if !bytesEqual(f.buf, f.msg) {
+					f.res.CorruptEchoes++
+				}
+			}
+			f.i++
+			f.pc = 4
+		case 7: // fold in one read's result
+			if f.recv.Err != nil {
+				f.fail(p, f.recv.Err)
+				return
+			}
+			if f.recv.N == 0 {
+				f.fail(p, fmt.Errorf("lab: unexpected EOF at iteration %d", f.i))
+				return
+			}
+			f.total += f.recv.N
+			f.recv = nil
+			f.pc = 6
+		case 8: // closed; done
+			p.Return()
+			return
+		}
+	}
 }
 
 // RunEcho runs the paper's benchmark (§1.2): the client connects, then
@@ -499,81 +706,10 @@ func (l *Lab) RunEcho(size, iterations, warmup int) (*EchoResult, error) {
 			return nil, err
 		}
 	}
-	l.Env.Spawn("server.echo", func(p *sim.Proc) {
-		so, conn := ln.Accept(p)
-		if !l.Config.Nagle {
-			conn.SetNoDelay(true)
-		}
-		buf := make([]byte, size)
-		for {
-			total := 0
-			for total < size {
-				n, err := so.Recv(p, buf[total:])
-				if err != nil || n == 0 {
-					return
-				}
-				total += n
-			}
-			if _, err := so.Send(p, buf); err != nil {
-				return
-			}
-		}
-	})
-
-	l.Env.Spawn("client.echo", func(p *sim.Proc) {
-		so, conn, err := l.Client.TCP.Connect(p, ServerAddr, echoPort)
-		if err != nil {
-			runErr = err
-			return
-		}
-		if !l.Config.Nagle {
-			conn.SetNoDelay(true)
-		}
-		populatePCBs(l.Client.TCP, l.Config.ExtraPCBs)
-		populatePCBs(l.Server.TCP, l.Config.ExtraPCBs)
-		if l.Config.LivePCBs > 0 {
-			if err := l.populateLivePCBs(p, l.Config.LivePCBs); err != nil {
-				runErr = err
-				return
-			}
-		}
-		msg := make([]byte, size)
-		l.Env.RNG().Fill(msg)
-		buf := make([]byte, size)
-		for i := 0; i < warmup+iterations; i++ {
-			measured := i >= warmup
-			if measured && !l.tracing() {
-				l.setTracing(true)
-			}
-			w := IterWindow{WriteStart: l.Env.Now()}
-			if _, err := so.Send(p, msg); err != nil {
-				runErr = err
-				return
-			}
-			w.WriteEnd = l.Env.Now()
-			total := 0
-			for total < size {
-				n, err := so.Recv(p, buf[total:])
-				if err != nil {
-					runErr = err
-					return
-				}
-				if n == 0 {
-					runErr = fmt.Errorf("lab: unexpected EOF at iteration %d", i)
-					return
-				}
-				total += n
-			}
-			w.ReadReturn = l.Env.Now()
-			if measured {
-				res.RTTs = append(res.RTTs, w.ReadReturn-w.WriteStart)
-				res.Windows = append(res.Windows, w)
-				if !bytesEqual(buf, msg) {
-					res.CorruptEchoes++
-				}
-			}
-		}
-		so.Close(p)
+	l.Env.Spawn("server.echo", &echoServerFrame{l: l, ln: ln, size: size})
+	l.Env.Spawn("client.echo", &echoClientFrame{
+		l: l, size: size, iterations: iterations, warmup: warmup,
+		res: res, runErr: &runErr,
 	})
 
 	l.Env.Run()
@@ -586,6 +722,103 @@ func (l *Lab) RunEcho(size, iterations, warmup int) (*EchoResult, error) {
 	return res, nil
 }
 
+// udpEchoServerFrame bounces rounds datagrams back to their senders.
+type udpEchoServerFrame struct {
+	srv    *udp.Endpoint
+	rounds int
+
+	pc   int
+	i    int
+	recv *udp.RecvFromOp
+}
+
+// Step drives the UDP echo server loop.
+func (f *udpEchoServerFrame) Step(p *sim.Proc) {
+	for {
+		switch f.pc {
+		case 0: // wait for the next request
+			if f.i >= f.rounds {
+				p.Return()
+				return
+			}
+			f.pc = 1
+			f.recv = f.srv.RecvFrom(p)
+			return
+		case 1: // bounce it back
+			d := f.recv.D
+			f.recv = nil
+			f.i++
+			f.pc = 0
+			f.srv.SendTo(p, d.Src, d.SrcPort, d.Data)
+			return
+		}
+	}
+}
+
+// udpEchoClientFrame runs the timed UDP request/response loop.
+type udpEchoClientFrame struct {
+	l      *Lab
+	size   int
+	warmup int
+	rounds int
+	port   uint16
+	res    *EchoResult
+	runErr *error
+
+	pc   int
+	cli  *udp.Endpoint
+	msg  []byte
+	i    int
+	w    IterWindow
+	recv *udp.RecvFromOp
+}
+
+// Step drives the UDP echo client loop.
+func (f *udpEchoClientFrame) Step(p *sim.Proc) {
+	l := f.l
+	for {
+		switch f.pc {
+		case 0: // bind and prepare the message
+			cli, err := l.Client.UDP.Bind(0)
+			if err != nil {
+				*f.runErr = err
+				p.Return()
+				return
+			}
+			f.cli = cli
+			f.msg = make([]byte, f.size)
+			l.Env.RNG().Fill(f.msg)
+			f.pc = 1
+		case 1: // iteration head: send the request
+			if f.i >= f.rounds {
+				p.Return()
+				return
+			}
+			f.w = IterWindow{WriteStart: l.Env.Now()}
+			f.pc = 2
+			f.cli.SendTo(p, ServerAddr, f.port, f.msg)
+			return
+		case 2: // request sent; wait for the echo
+			f.w.WriteEnd = l.Env.Now()
+			f.pc = 3
+			f.recv = f.cli.RecvFrom(p)
+			return
+		case 3: // echo received; record the round trip
+			f.w.ReadReturn = l.Env.Now()
+			if f.i >= f.warmup {
+				f.res.RTTs = append(f.res.RTTs, f.w.ReadReturn-f.w.WriteStart)
+				f.res.Windows = append(f.res.Windows, f.w)
+				if !bytesEqual(f.recv.D.Data, f.msg) {
+					f.res.CorruptEchoes++
+				}
+			}
+			f.recv = nil
+			f.i++
+			f.pc = 1
+		}
+	}
+}
+
 // RunUDPEcho runs the same request/response benchmark over UDP: the
 // datagram baseline for the paper's "is TCP viable for RPC?" question.
 // Sizes above the link MTU are rejected (UDP here does not fragment).
@@ -596,35 +829,11 @@ func (l *Lab) RunUDPEcho(size, iterations, warmup int) (*EchoResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	l.Env.Spawn("server.udpecho", func(p *sim.Proc) {
-		for i := 0; i < warmup+iterations; i++ {
-			d := srv.RecvFrom(p)
-			srv.SendTo(p, d.Src, d.SrcPort, d.Data)
-		}
-	})
 	var runErr error
-	l.Env.Spawn("client.udpecho", func(p *sim.Proc) {
-		cli, err := l.Client.UDP.Bind(0)
-		if err != nil {
-			runErr = err
-			return
-		}
-		msg := make([]byte, size)
-		l.Env.RNG().Fill(msg)
-		for i := 0; i < warmup+iterations; i++ {
-			w := IterWindow{WriteStart: l.Env.Now()}
-			cli.SendTo(p, ServerAddr, port, msg)
-			w.WriteEnd = l.Env.Now()
-			d := cli.RecvFrom(p)
-			w.ReadReturn = l.Env.Now()
-			if i >= warmup {
-				res.RTTs = append(res.RTTs, w.ReadReturn-w.WriteStart)
-				res.Windows = append(res.Windows, w)
-				if !bytesEqual(d.Data, msg) {
-					res.CorruptEchoes++
-				}
-			}
-		}
+	l.Env.Spawn("server.udpecho", &udpEchoServerFrame{srv: srv, rounds: warmup + iterations})
+	l.Env.Spawn("client.udpecho", &udpEchoClientFrame{
+		l: l, size: size, warmup: warmup, rounds: warmup + iterations,
+		port: port, res: res, runErr: &runErr,
 	})
 	l.Env.Run()
 	if runErr != nil {

@@ -52,7 +52,7 @@ func wildMatch(k, probe Key) (bool, int) {
 // state (the TCP connection) that owns it.
 type PCB struct {
 	Key   Key
-	Owner interface{}
+	Owner any
 	next  *PCB
 }
 

@@ -51,7 +51,7 @@ func RunEchoSweep(ctx context.Context, trials []EchoTrial, o Options) ([]EchoOut
 		t := t
 		jobs[i] = Job{
 			Label: t.Label,
-			RunOn: func(ctx context.Context, tb *Testbeds, seed uint64) (interface{}, error) {
+			RunOn: func(ctx context.Context, tb *Testbeds, seed uint64) (any, error) {
 				return runEchoTrial(tb, t, seed)
 			},
 		}
@@ -88,7 +88,7 @@ func ApplySeed(cfg lab.Config, seed uint64) lab.Config {
 // runEchoTrial acquires the trial's testbed — warm from the worker's
 // cache when one of the right shape exists, freshly built otherwise —
 // and runs the echo benchmark, returning the aggregated outcome.
-func runEchoTrial(tb *Testbeds, t EchoTrial, seed uint64) (interface{}, error) {
+func runEchoTrial(tb *Testbeds, t EchoTrial, seed uint64) (any, error) {
 	cfg := ApplySeed(t.Cfg, seed)
 	iters, warm := t.Iterations, t.Warmup
 	if iters <= 0 {

@@ -72,8 +72,8 @@ func SeedFor(base uint64, index int) uint64 {
 // testbed.
 type Job struct {
 	Label string
-	Run   func(ctx context.Context, seed uint64) (interface{}, error)
-	RunOn func(ctx context.Context, tb *Testbeds, seed uint64) (interface{}, error)
+	Run   func(ctx context.Context, seed uint64) (any, error)
+	RunOn func(ctx context.Context, tb *Testbeds, seed uint64) (any, error)
 }
 
 // Outcome is one job's result, reported at the job's grid index.
@@ -81,7 +81,7 @@ type Outcome struct {
 	Index int
 	Label string
 	Seed  uint64
-	Value interface{}
+	Value any
 	Err   error
 }
 
@@ -173,7 +173,7 @@ feed:
 
 // runOne executes one job, converting a panic in the simulation into an
 // error so a bad cell cannot take down the whole sweep.
-func runOne(ctx context.Context, j Job, tb *Testbeds, seed uint64) (v interface{}, err error) {
+func runOne(ctx context.Context, j Job, tb *Testbeds, seed uint64) (v any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("runner: job %q panicked: %v", j.Label, r)

@@ -60,7 +60,7 @@ func RunWorkloadSweep(ctx context.Context, trials []WorkloadTrial, o Options) ([
 		t := t
 		jobs[i] = Job{
 			Label: t.Label,
-			RunOn: func(ctx context.Context, tb *Testbeds, seed uint64) (interface{}, error) {
+			RunOn: func(ctx context.Context, tb *Testbeds, seed uint64) (any, error) {
 				return runWorkloadTrial(tb, t, seed)
 			},
 		}
@@ -95,7 +95,7 @@ func (t WorkloadTrial) hosts() int {
 
 // runWorkloadTrial acquires the trial's topology — warm from the
 // worker's cache when the shape matches — and runs the generator.
-func runWorkloadTrial(tb *Testbeds, t WorkloadTrial, seed uint64) (interface{}, error) {
+func runWorkloadTrial(tb *Testbeds, t WorkloadTrial, seed uint64) (any, error) {
 	l := tb.Lab(ApplySeed(t.Cfg, seed), t.hosts())
 	r, err := t.Gen.Run(l)
 	if err != nil {

@@ -141,22 +141,32 @@ func (e *Env) RNG() *RNG { return e.rng }
 // Seed reseeds the environment's random number generator.
 func (e *Env) Seed(s uint64) { e.rng = NewRNG(s) }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it would violate causality and silently corrupt measurements.
-func (e *Env) At(t Time, name string, fn func()) {
+// schedule is the single scheduling primitive every public variant folds
+// into: it stamps the event with the next sequence number (the
+// deterministic tie-break for equal timestamps) and inserts it into the
+// heap. Scheduling in the past panics: it would violate causality and
+// silently corrupt measurements. The callback is either fn, or argFn
+// applied to arg — exactly one must be set; see the event comment.
+func (e *Env) schedule(t Time, name string, fn func(), argFn func(uint64), arg uint64) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, e.now))
 	}
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, name: name, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, name: name, fn: fn, argFn: argFn, arg: arg})
 }
 
-// After schedules fn to run d after the current time.
+// At schedules fn to run at absolute virtual time t.
+func (e *Env) At(t Time, name string, fn func()) {
+	e.schedule(t, name, fn, nil, 0)
+}
+
+// After schedules fn to run d after the current time. A negative delay
+// panics.
 func (e *Env) After(d Time, name string, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
 	}
-	e.At(e.now+d, name, fn)
+	e.schedule(e.now+d, name, fn, nil, 0)
 }
 
 // AtArg schedules fn(arg) at absolute virtual time t. It is At for
@@ -164,19 +174,16 @@ func (e *Env) After(d Time, name string, fn func()) {
 // once and reused across schedulings, with arg (typically a generation
 // counter) riding in the event itself — no closure allocation per call.
 func (e *Env) AtArg(t Time, name string, fn func(uint64), arg uint64) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, e.now))
-	}
-	e.seq++
-	e.events.push(event{at: t, seq: e.seq, name: name, argFn: fn, arg: arg})
+	e.schedule(t, name, nil, fn, arg)
 }
 
-// AfterArg schedules fn(arg) to run d after the current time.
+// AfterArg schedules fn(arg) to run d after the current time. A negative
+// delay panics.
 func (e *Env) AfterArg(d Time, name string, fn func(uint64), arg uint64) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
 	}
-	e.AtArg(e.now+d, name, fn, arg)
+	e.schedule(e.now+d, name, nil, fn, arg)
 }
 
 // Step runs the next pending event, advancing the clock to its timestamp.

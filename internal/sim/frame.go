@@ -1,0 +1,71 @@
+package sim
+
+// Frame combinators for cold paths and tests. Hot paths hand-roll frames
+// with explicit program counters; simple process bodies — test drivers,
+// populate loops — compose these instead.
+
+// stepsFrame runs a fixed sequence of functions, one per resumption.
+type stepsFrame struct {
+	pc  int
+	fns []func(p *Proc)
+}
+
+// Steps returns a frame that runs each function once, in order. A step
+// may end with at most one potentially-blocking action (a parking Sleep,
+// a WaitQueue.Wait, a Call) in tail position; the next step runs when it
+// completes. Steps with no blocking action run back to back at the same
+// virtual time, exactly as straight-line code would.
+func Steps(fns ...func(p *Proc)) Frame { return &stepsFrame{fns: fns} }
+
+func (f *stepsFrame) Step(p *Proc) {
+	if f.pc == len(f.fns) {
+		p.Return()
+		return
+	}
+	fn := f.fns[f.pc]
+	f.pc++
+	fn(p)
+}
+
+// loopFrame runs a body n times, one iteration per resumption.
+type loopFrame struct {
+	i, n int
+	body func(p *Proc, i int)
+}
+
+// LoopN returns a frame that runs body with i = 0..n-1. Each iteration
+// may end with one potentially-blocking action in tail position.
+func LoopN(n int, body func(p *Proc, i int)) Frame {
+	return &loopFrame{n: n, body: body}
+}
+
+func (f *loopFrame) Step(p *Proc) {
+	if f.i == f.n {
+		p.Return()
+		return
+	}
+	i := f.i
+	f.i++
+	f.body(p, i)
+}
+
+// whileFrame runs a body until its condition goes false.
+type whileFrame struct {
+	cond func() bool
+	body func(p *Proc)
+}
+
+// While returns a frame that runs body as long as cond() holds, checking
+// cond before each iteration. Each iteration may end with one
+// potentially-blocking action in tail position.
+func While(cond func() bool, body func(p *Proc)) Frame {
+	return &whileFrame{cond: cond, body: body}
+}
+
+func (f *whileFrame) Step(p *Proc) {
+	if !f.cond() {
+		p.Return()
+		return
+	}
+	f.body(p)
+}

@@ -2,31 +2,69 @@ package sim
 
 import "fmt"
 
-// Proc is a simulated process: a function that runs on its own goroutine
-// but executes strictly interleaved with the event loop. A Proc may block
-// on virtual time (Sleep, SleepUntil) or on a WaitQueue; while it is
-// blocked the event loop runs other events. Exactly one goroutine — either
-// the event loop or one Proc — is ever runnable at a time, so simulations
-// are deterministic.
+// Proc is a simulated process: a stack of resumable Frames driven by the
+// event loop itself. A Proc may block on virtual time (Sleep, SleepUntil)
+// or on a WaitQueue; blocking parks the frame stack — a small struct, not
+// a goroutine — and the event loop runs other events until a scheduled
+// wake-up re-enters the stack. Exactly one frame is ever executing at a
+// time, so simulations are deterministic, and a CPU charge that does not
+// need to wait is an ordinary function call with no scheduling at all.
 //
 // Procs model both user processes (the echo client and server) and
 // persistent kernel service loops (the ATM receive interrupt handler and
 // the IP software interrupt).
+//
+// # Writing frames
+//
+// A Frame's Step method runs the frame until it either finishes
+// (p.Return()), blocks (a parking Sleep/SleepUntil/WaitQueue.Wait — the
+// caller must return immediately afterwards), or invokes another frame
+// (p.Call(f), again in tail position). If Step returns without doing any
+// of these, the trampoline re-invokes it — so a service loop can be
+// written as "do one unit of work per Step" with no explicit loop, and a
+// frame resumed after a sub-call naturally re-enters Step to continue
+// from its recorded state. Frames that interleave CPU charges with
+// mutations keep an explicit program counter: set the resume state
+// *before* a potentially-parking call, and return if it parked.
 type Proc struct {
-	env    *Env
-	name   string
-	resume chan struct{}
-	yield  chan struct{}
-	done   bool
-	tags   []interface{}
+	env  *Env
+	name string
+	done bool
+	tags []any
 
-	// runFn and wakeName are bound once at Spawn so that the hot
-	// SleepUntil/Wake paths can schedule the process's resumption
-	// without allocating a fresh closure or concatenating an event
-	// name per wakeup — every CPU charge in the testbed sleeps.
-	runFn    func()
+	stack []Frame
+	op    ctlOp
+
+	// hook, when armed, runs before the next wake-up re-enters the frame
+	// stack; kern.SleepOn charges the scheduler's wakeup path there. It is
+	// one-shot: cleared before it runs, so a hook whose own charge parks
+	// resumes straight into the frame stack.
+	hook func(*Proc) bool
+
+	// stepFn and wakeName are bound once at Spawn so that the hot
+	// park/wake paths can schedule the process's resumption without
+	// allocating a fresh closure or concatenating an event name per
+	// wakeup — every CPU charge that waits for the CPU parks.
+	stepFn   func()
 	wakeName string
 }
+
+// Frame is one resumable activation record of a simulated process. See
+// the Proc comment for the Step protocol.
+type Frame interface {
+	Step(p *Proc)
+}
+
+// ctlOp is the directive a frame leaves for the trampoline when its Step
+// method returns.
+type ctlOp uint8
+
+const (
+	ctlNone   ctlOp = iota // nothing noted: re-enter the same frame
+	ctlReturn              // frame finished: pop it, resume the caller
+	ctlCall                // a frame was pushed: enter it
+	ctlPark                // the proc blocked: leave the trampoline
+)
 
 // Name returns the process name given at Spawn time.
 func (p *Proc) Name() string { return p.name }
@@ -34,81 +72,119 @@ func (p *Proc) Name() string { return p.name }
 // Env returns the environment the process runs in.
 func (p *Proc) Env() *Env { return p.env }
 
-// Done reports whether the process body has returned.
+// Done reports whether the process's frame stack has emptied.
 func (p *Proc) Done() bool { return p.done }
 
-// Spawn creates a process and schedules it to start at the current virtual
-// time. The body runs on its own goroutine, interleaved with the event loop.
-func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
+// Spawn creates a process with root as its initial frame and schedules it
+// to start at the current virtual time.
+func (e *Env) Spawn(name string, root Frame) *Proc {
 	p := &Proc{
 		env:      e,
 		name:     name,
-		resume:   make(chan struct{}),
-		yield:    make(chan struct{}),
+		stack:    make([]Frame, 1, 8),
 		wakeName: "wake:" + name,
 	}
-	p.runFn = p.run
+	p.stack[0] = root
+	p.stepFn = p.step
 	e.procs++
-	go func() {
-		<-p.resume // wait for the start event
-		defer func() {
-			p.done = true
-			e.procs--
-			p.yield <- struct{}{}
-		}()
-		body(p)
-	}()
-	e.After(0, "spawn:"+name, p.runFn)
+	e.After(0, "spawn:"+name, p.stepFn)
 	return p
 }
 
-// run transfers control to the process goroutine and waits for it to block
-// or finish. It must be called from the event loop.
-func (p *Proc) run() {
+// step is the trampoline: it drives the top frame until the process
+// parks or its stack empties. It runs in event context — spawn events,
+// wake events and wait-queue wakes all schedule this one bound method.
+func (p *Proc) step() {
 	if p.done {
 		panic(fmt.Sprintf("sim: resuming finished proc %q", p.name))
 	}
-	prev := p.env.current
-	p.env.current = p
-	p.resume <- struct{}{}
-	<-p.yield
-	p.env.current = prev
+	e := p.env
+	prev := e.current
+	e.current = p
+	if h := p.hook; h != nil {
+		p.hook = nil // one-shot: a parked hook resumes into the stack
+		if !h(p) {
+			e.current = prev
+			return
+		}
+	}
+	for {
+		n := len(p.stack)
+		if n == 0 {
+			p.done = true
+			e.procs--
+			break
+		}
+		p.op = ctlNone
+		p.stack[n-1].Step(p)
+		switch p.op {
+		case ctlReturn:
+			p.stack[n-1] = nil
+			p.stack = p.stack[:n-1]
+		case ctlPark:
+			e.current = prev
+			return
+		}
+		// ctlNone re-enters the same frame; ctlCall enters the new top.
+	}
+	e.current = prev
 }
 
-// block suspends the process until something schedules its resumption.
-// It must be called from the process goroutine.
-func (p *Proc) block() {
-	p.yield <- struct{}{}
-	<-p.resume
+// Call pushes f onto the process's frame stack and runs it; the calling
+// frame's Step is re-invoked after f returns. Call must be the frame's
+// last action before Step returns.
+func (p *Proc) Call(f Frame) {
+	p.stack = append(p.stack, f)
+	p.op = ctlCall
 }
 
-// SleepUntil blocks the process until virtual time t. Sleeping into the
-// past is a no-op.
+// Return pops the frame when its Step method returns: the frame is
+// finished and control resumes in its caller (or the process exits if
+// this was the root frame).
+func (p *Proc) Return() { p.op = ctlReturn }
+
+// park suspends the process; something must already have arranged its
+// resumption (a scheduled wake event or a WaitQueue entry).
+func (p *Proc) park() { p.op = ctlPark }
+
+// OnWake arms fn to run when the process next resumes, before its frame
+// stack re-enters. The hook returns false if it parked the process again
+// (its own CPU charge had to wait); it is cleared either way.
+func (p *Proc) OnWake(fn func(*Proc) bool) { p.hook = fn }
+
+// SleepUntil advances the process to virtual time t and reports whether
+// it completed without parking. Sleeping into the past is a no-op.
 //
-// Fast path: when the sleeping process is the one currently executing
-// and no queued event fires before t, nothing can run in the interval —
-// events are only created by running code, and all of it is suspended
-// until this process resumes. The clock advances to t directly, skipping
-// the park/handoff/resume round trip through the event loop (two
-// goroutine switches per CPU charge otherwise). An event queued exactly
-// at t still forces the slow path: it was scheduled earlier, so the
-// total order says it runs first. Skipping the wake event shifts later
-// sequence numbers uniformly, which preserves every tie-break — the
-// queue's total order, and therefore simulated time, is unchanged.
-func (p *Proc) SleepUntil(t Time) {
-	if t <= p.env.now {
-		return
+// Fast path: when no queued event fires before t, nothing can run in the
+// interval — events are only created by running code, and all of it is
+// suspended until this process resumes. The clock advances to t directly
+// and SleepUntil returns true: the charge was an ordinary function call.
+// An event queued exactly at t still forces the slow path: it was
+// scheduled earlier, so the total order says it runs first. Skipping the
+// wake event shifts later sequence numbers uniformly, which preserves
+// every tie-break — the queue's total order, and therefore simulated
+// time, is unchanged.
+//
+// Slow path: a wake event is scheduled at t and the process parks;
+// SleepUntil returns false and the frame must immediately return from
+// Step, having recorded the state to resume at.
+func (p *Proc) SleepUntil(t Time) bool {
+	e := p.env
+	if t <= e.now {
+		return true
 	}
-	if p.env.current == p && (len(p.env.events) == 0 || p.env.events[0].at > t) {
-		p.env.now = t
-		return
+	if e.current == p && (len(e.events) == 0 || e.events[0].at > t) {
+		e.now = t
+		return true
 	}
-	p.env.At(t, p.wakeName, p.runFn)
-	p.block()
+	e.At(t, p.wakeName, p.stepFn)
+	p.park()
+	return false
 }
 
-// Sleep blocks the process for duration d of virtual time.
-func (p *Proc) Sleep(d Time) { p.SleepUntil(p.env.now + d) }
+// Sleep advances the process by duration d of virtual time, reporting
+// whether it completed without parking (see SleepUntil).
+func (p *Proc) Sleep(d Time) bool { return p.SleepUntil(p.env.now + d) }
 
 // PushTag pushes an annotation onto the process's tag stack. Tags mark
 // the logical unit of work the process is currently performing — the
@@ -122,7 +198,7 @@ func (p *Proc) Sleep(d Time) { p.SleepUntil(p.env.now + d) }
 // (the echo client inside tcp_output and the netisr inside tcp_input,
 // say) interleave in virtual time, and a host-global context would
 // bleed one packet's identity into the other's charges.
-func (p *Proc) PushTag(v interface{}) { p.tags = append(p.tags, v) }
+func (p *Proc) PushTag(v any) { p.tags = append(p.tags, v) }
 
 // PopTag removes the top tag. Popping an empty stack is a no-op so
 // instrumentation may enable mid-run without unbalancing anything.
@@ -133,7 +209,7 @@ func (p *Proc) PopTag() {
 }
 
 // Tag returns the top of the tag stack, or nil when empty.
-func (p *Proc) Tag() interface{} {
+func (p *Proc) Tag() any {
 	if n := len(p.tags); n > 0 {
 		return p.tags[n-1]
 	}
@@ -162,24 +238,32 @@ func (e *Env) NewWaitQueue(name string) *WaitQueue {
 // Len returns the number of processes blocked on the queue.
 func (w *WaitQueue) Len() int { return len(w.procs) }
 
-// Wait blocks p until another part of the simulation calls Wake or WakeAll.
+// Wait parks p until another part of the simulation calls Wake or
+// WakeAll. The calling frame must return from Step immediately; its Step
+// re-enters — from the state it recorded — when the wake event fires.
 func (w *WaitQueue) Wait(p *Proc) {
 	w.procs = append(w.procs, p)
-	p.block()
+	p.park()
 }
 
-// Wake schedules the longest-waiting process, if any, to resume at the
-// current virtual time. It reports whether a process was woken.
-func (w *WaitQueue) Wake() bool {
+// wake dequeues the longest-waiting process, if any, and schedules its
+// resumption at absolute time t. It reports whether a process was woken.
+func (w *WaitQueue) wake(t Time) bool {
 	if len(w.procs) == 0 {
 		return false
 	}
 	p := w.procs[0]
 	copy(w.procs, w.procs[1:])
-	w.procs = w.procs[:len(w.procs)-1]
-	w.env.After(0, w.wakeName, p.runFn)
+	n := len(w.procs) - 1
+	w.procs[n] = nil // release for GC
+	w.procs = w.procs[:n]
+	w.env.At(t, w.wakeName, p.stepFn)
 	return true
 }
+
+// Wake schedules the longest-waiting process, if any, to resume at the
+// current virtual time. It reports whether a process was woken.
+func (w *WaitQueue) Wake() bool { return w.wake(w.env.now) }
 
 // WakeAll wakes every waiting process, preserving FIFO order.
 func (w *WaitQueue) WakeAll() {
@@ -189,13 +273,4 @@ func (w *WaitQueue) WakeAll() {
 
 // WakeAt schedules the longest-waiting process, if any, to resume at
 // absolute time t. It reports whether a process was scheduled.
-func (w *WaitQueue) WakeAt(t Time) bool {
-	if len(w.procs) == 0 {
-		return false
-	}
-	p := w.procs[0]
-	copy(w.procs, w.procs[1:])
-	w.procs = w.procs[:len(w.procs)-1]
-	w.env.At(t, w.wakeName, p.runFn)
-	return true
-}
+func (w *WaitQueue) WakeAt(t Time) bool { return w.wake(t) }

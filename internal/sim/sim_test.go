@@ -116,13 +116,11 @@ func TestNestedScheduling(t *testing.T) {
 func TestProcSleep(t *testing.T) {
 	e := NewEnv()
 	var marks []Time
-	e.Spawn("sleeper", func(p *Proc) {
-		marks = append(marks, e.Now())
-		p.Sleep(100)
-		marks = append(marks, e.Now())
-		p.Sleep(50)
-		marks = append(marks, e.Now())
-	})
+	e.Spawn("sleeper", Steps(
+		func(p *Proc) { marks = append(marks, e.Now()); p.Sleep(100) },
+		func(p *Proc) { marks = append(marks, e.Now()); p.Sleep(50) },
+		func(p *Proc) { marks = append(marks, e.Now()) },
+	))
 	e.Run()
 	want := []Time{0, 100, 150}
 	if len(marks) != 3 {
@@ -138,32 +136,77 @@ func TestProcSleep(t *testing.T) {
 func TestProcSleepUntilPastIsNoop(t *testing.T) {
 	e := NewEnv()
 	done := false
-	e.Spawn("p", func(p *Proc) {
-		p.Sleep(10)
-		p.SleepUntil(5) // in the past: must not block forever
-		done = true
-	})
+	e.Spawn("p", Steps(
+		func(p *Proc) { p.Sleep(10) },
+		func(p *Proc) {
+			if !p.SleepUntil(5) { // in the past: completes inline
+				t.Error("SleepUntil into the past parked")
+			}
+			done = true
+		},
+	))
 	e.Run()
 	if !done {
 		t.Fatal("proc did not finish")
 	}
 }
 
+func TestSleepFastPathInline(t *testing.T) {
+	// With no event scheduled before the target time, a Sleep is an
+	// ordinary function call: the clock advances inline, nothing is
+	// pushed onto the event queue, and the frame keeps running.
+	e := NewEnv()
+	var trace []string
+	e.Spawn("p", Steps(func(p *Proc) {
+		if !p.Sleep(100) {
+			t.Error("uncontended Sleep parked")
+		}
+		trace = append(trace, "after-sleep")
+		if e.Pending() != 0 {
+			t.Errorf("fast-path Sleep left %d events pending", e.Pending())
+		}
+		if e.Now() != 100 {
+			t.Errorf("Now = %v, want 100", e.Now())
+		}
+	}))
+	e.Run()
+	if len(trace) != 1 {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestSleepParksWhenEventIntervenes(t *testing.T) {
+	// An event queued inside the sleep interval — or exactly at its end —
+	// forces the slow path: the earlier-scheduled event must run first.
+	e := NewEnv()
+	var order []string
+	e.At(50, "mid", func() { order = append(order, "mid") })
+	e.Spawn("p", Steps(
+		func(p *Proc) {
+			if p.Sleep(100) {
+				t.Error("contended Sleep did not park")
+			}
+		},
+		func(p *Proc) { order = append(order, "woke") },
+	))
+	e.Run()
+	if len(order) != 2 || order[0] != "mid" || order[1] != "woke" {
+		t.Fatalf("order = %v, want [mid woke]", order)
+	}
+}
+
 func TestTwoProcsInterleave(t *testing.T) {
 	e := NewEnv()
 	var order []string
-	e.Spawn("a", func(p *Proc) {
-		order = append(order, "a0")
-		p.Sleep(10)
-		order = append(order, "a10")
-		p.Sleep(20)
-		order = append(order, "a30")
-	})
-	e.Spawn("b", func(p *Proc) {
-		order = append(order, "b0")
-		p.Sleep(15)
-		order = append(order, "b15")
-	})
+	e.Spawn("a", Steps(
+		func(p *Proc) { order = append(order, "a0"); p.Sleep(10) },
+		func(p *Proc) { order = append(order, "a10"); p.Sleep(20) },
+		func(p *Proc) { order = append(order, "a30") },
+	))
+	e.Spawn("b", Steps(
+		func(p *Proc) { order = append(order, "b0"); p.Sleep(15) },
+		func(p *Proc) { order = append(order, "b15") },
+	))
 	e.Run()
 	want := []string{"a0", "b0", "a10", "b15", "a30"}
 	if len(order) != len(want) {
@@ -176,26 +219,86 @@ func TestTwoProcsInterleave(t *testing.T) {
 	}
 }
 
+func TestProcCallStack(t *testing.T) {
+	// A Call pushes the callee; Return pops back into the caller, which
+	// resumes at its recorded state — all within one event when nothing
+	// parks, and across parks when the callee sleeps.
+	e := NewEnv()
+	var order []string
+	callee := Steps(
+		func(p *Proc) { order = append(order, "callee0"); p.Sleep(10) },
+		func(p *Proc) { order = append(order, "callee10") },
+	)
+	e.Spawn("caller", Steps(
+		func(p *Proc) { order = append(order, "caller0"); p.Call(callee) },
+		func(p *Proc) {
+			if e.Now() != 10 {
+				t.Errorf("resumed caller at %d, want 10", int64(e.Now()))
+			}
+			order = append(order, "back")
+		},
+	))
+	e.Run()
+	want := []string{"caller0", "callee0", "callee10", "back"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestOnWakeHookRunsBeforeResume(t *testing.T) {
+	// The one-shot wake hook runs before the frame stack re-enters —
+	// the mechanism kern.SleepOn uses to charge the scheduler's wakeup
+	// path on the woken process's own clock.
+	e := NewEnv()
+	wq := e.NewWaitQueue("wq")
+	var order []string
+	e.Spawn("sleeper", Steps(
+		func(p *Proc) {
+			wq.Wait(p)
+			p.OnWake(func(p *Proc) bool {
+				order = append(order, "hook")
+				return true
+			})
+		},
+		func(p *Proc) { order = append(order, "resumed") },
+	))
+	e.Spawn("waker", Steps(
+		func(p *Proc) { p.Sleep(5) },
+		func(p *Proc) { wq.Wake() },
+	))
+	e.Run()
+	if len(order) != 2 || order[0] != "hook" || order[1] != "resumed" {
+		t.Fatalf("order = %v, want [hook resumed]", order)
+	}
+}
+
 func TestWaitQueue(t *testing.T) {
 	e := NewEnv()
 	wq := e.NewWaitQueue("test")
 	var woken []string
-	e.Spawn("w1", func(p *Proc) {
-		wq.Wait(p)
-		woken = append(woken, "w1@"+e.Now().String())
-	})
-	e.Spawn("w2", func(p *Proc) {
-		wq.Wait(p)
-		woken = append(woken, "w2@"+e.Now().String())
-	})
-	e.Spawn("waker", func(p *Proc) {
-		p.Sleep(100 * Microsecond)
-		if !wq.Wake() {
-			t.Error("Wake found nobody")
-		}
-		p.Sleep(100 * Microsecond)
-		wq.WakeAll()
-	})
+	e.Spawn("w1", Steps(
+		func(p *Proc) { wq.Wait(p) },
+		func(p *Proc) { woken = append(woken, "w1@"+e.Now().String()) },
+	))
+	e.Spawn("w2", Steps(
+		func(p *Proc) { wq.Wait(p) },
+		func(p *Proc) { woken = append(woken, "w2@"+e.Now().String()) },
+	))
+	e.Spawn("waker", Steps(
+		func(p *Proc) { p.Sleep(100 * Microsecond) },
+		func(p *Proc) {
+			if !wq.Wake() {
+				t.Error("Wake found nobody")
+			}
+			p.Sleep(100 * Microsecond)
+		},
+		func(p *Proc) { wq.WakeAll() },
+	))
 	e.Run()
 	if len(woken) != 2 {
 		t.Fatalf("woken = %v", woken)
@@ -221,14 +324,14 @@ func TestWaitQueueWakeAt(t *testing.T) {
 	e := NewEnv()
 	wq := e.NewWaitQueue("at")
 	var at Time = -1
-	e.Spawn("w", func(p *Proc) {
-		wq.Wait(p)
-		at = e.Now()
-	})
-	e.Spawn("k", func(p *Proc) {
-		p.Sleep(10)
-		wq.WakeAt(500)
-	})
+	e.Spawn("w", Steps(
+		func(p *Proc) { wq.Wait(p) },
+		func(p *Proc) { at = e.Now() },
+	))
+	e.Spawn("k", Steps(
+		func(p *Proc) { p.Sleep(10) },
+		func(p *Proc) { wq.WakeAt(500) },
+	))
 	e.Run()
 	if at != 500 {
 		t.Fatalf("woke at %v, want 500", at)
@@ -237,7 +340,7 @@ func TestWaitQueueWakeAt(t *testing.T) {
 
 func TestProcDone(t *testing.T) {
 	e := NewEnv()
-	p := e.Spawn("d", func(p *Proc) { p.Sleep(5) })
+	p := e.Spawn("d", Steps(func(p *Proc) { p.Sleep(5) }))
 	if p.Done() {
 		t.Fatal("Done before running")
 	}
@@ -255,12 +358,14 @@ func TestDeterminism(t *testing.T) {
 		e := NewEnv()
 		var ts []Time
 		for i := 0; i < 5; i++ {
-			e.Spawn("p", func(p *Proc) {
-				for j := 0; j < 3; j++ {
-					p.Sleep(Time(e.RNG().Intn(100) + 1))
+			e.Spawn("p", LoopN(4, func(p *Proc, j int) {
+				if j > 0 {
 					ts = append(ts, e.Now())
 				}
-			})
+				if j < 3 {
+					p.Sleep(Time(e.RNG().Intn(100) + 1))
+				}
+			}))
 		}
 		e.Run()
 		return ts
@@ -343,6 +448,50 @@ func TestRNGBoolProbability(t *testing.T) {
 	}
 }
 
+// stressFrame is TestManyProcsStress's per-process body: ten sleeps with
+// a monotonic-clock check, an optional barrier wait, then a finish mark.
+type stressFrame struct {
+	t        *testing.T
+	e        *Env
+	wq       *WaitQueue
+	i        int
+	finished *int
+	lastSeen *Time
+
+	pc, j int
+}
+
+func (f *stressFrame) Step(p *Proc) {
+	for {
+		switch f.pc {
+		case 0: // sleep loop
+			if f.j >= 10 {
+				f.pc = 1
+				continue
+			}
+			if f.e.Now() < *f.lastSeen {
+				f.t.Error("clock went backwards")
+			}
+			*f.lastSeen = f.e.Now()
+			d := Time(1 + (f.i*7+f.j*13)%50)
+			f.j++
+			if !p.Sleep(d) {
+				return
+			}
+		case 1: // every tenth proc blocks on the barrier
+			f.pc = 2
+			if f.i%10 == 0 {
+				f.wq.Wait(p)
+				return
+			}
+		case 2:
+			*f.finished++
+			p.Return()
+			return
+		}
+	}
+}
+
 func TestManyProcsStress(t *testing.T) {
 	// 100 processes interleaving sleeps and wait queues: all must finish
 	// and the clock must advance monotonically through every resumption.
@@ -351,27 +500,18 @@ func TestManyProcsStress(t *testing.T) {
 	finished := 0
 	var lastSeen Time
 	for i := 0; i < 100; i++ {
-		i := i
-		e.Spawn("p", func(p *Proc) {
-			for j := 0; j < 10; j++ {
-				if e.Now() < lastSeen {
-					t.Error("clock went backwards")
-				}
-				lastSeen = e.Now()
-				p.Sleep(Time(1 + (i*7+j*13)%50))
-			}
-			if i%10 == 0 {
-				wq.Wait(p)
-			}
-			finished++
-		})
+		e.Spawn("p", &stressFrame{t: t, e: e, wq: wq, i: i,
+			finished: &finished, lastSeen: &lastSeen})
 	}
-	e.Spawn("waker", func(p *Proc) {
-		for finished < 90 {
-			p.Sleep(100)
-		}
-		wq.WakeAll()
-	})
+	e.Spawn("waker", Steps(
+		func(p *Proc) {
+			p.Call(While(
+				func() bool { return finished < 90 },
+				func(p *Proc) { p.Sleep(100) },
+			))
+		},
+		func(p *Proc) { wq.WakeAll() },
+	))
 	e.Run()
 	if finished != 100 {
 		t.Fatalf("finished = %d, want 100", finished)

@@ -113,6 +113,13 @@ type Socket struct {
 
 	// StateQ is where processes wait for connection state changes.
 	StateQ *sim.WaitQueue
+
+	// sendOp and recvOp cache the socket's Send/Recv frames. A socket
+	// has at most one sender and one receiver in flight at a time in the
+	// steady state, so the cached frame makes both paths allocation-free;
+	// overlap falls back to a fresh allocation.
+	sendOp *SendOp
+	recvOp *RecvOp
 }
 
 // New returns a socket owned by kernel k. The protocol must be attached
@@ -128,88 +135,195 @@ func New(k *kern.Kernel) *Socket {
 // ULTRIX 4.2A rule: cluster mbufs once the transfer exceeds 1 KB.
 func chunkPolicy(resid int) bool { return resid > mbuf.ClusterThreshold }
 
-// Send implements sosend for a stream socket: block for buffer space,
-// copy user data into mbufs (charging the User row), append, and kick the
-// protocol once per chunk. It returns the number of bytes accepted, which
-// is len(data) unless the connection fails.
-func (so *Socket) Send(p *sim.Proc, data []byte) (int, error) {
-	k := so.K
-	k.Use(p, trace.LayerUserTx, k.Cost.WriteSyscall)
-	useClusters := chunkPolicy(len(data))
-	sent := 0
-	for sent < len(data) {
-		if so.Err != nil {
-			return sent, so.Err
-		}
-		if so.Snd.Space() <= 0 {
-			k.SleepOn(p, so.Snd.WaitQ)
-			continue
-		}
-		resid := len(data) - sent
-		space := so.Snd.Space()
-		var chain *mbuf.Mbuf
-		if useClusters {
-			// One cluster per protocol send, as in ULTRIX sosend.
-			m := k.AllocCluster(p, trace.LayerUserTx)
-			n := min3(resid, mbuf.MCLBYTES, space)
-			so.copyin(p, m, data[sent:sent+n])
-			sent += n
-			chain = m
-		} else {
-			// Fill normal mbufs up to the available space, one
-			// protocol send for the chain.
-			budget := min3(resid, space, resid)
-			var tail *mbuf.Mbuf
-			for budget > 0 {
-				m := k.AllocMbuf(p, trace.LayerUserTx)
-				n := budget
-				if n > mbuf.MLEN {
-					n = mbuf.MLEN
-				}
-				so.copyin(p, m, data[sent:sent+n])
-				sent += n
-				budget -= n
-				if chain == nil {
-					chain = m
-				} else {
-					tail.SetNext(m)
-				}
-				tail = m
-			}
-		}
-		k.Use(p, trace.LayerUserTx,
-			sim.Time(mbuf.ChainCount(chain))*k.Cost.SockAppend)
-		recording := k.Trace.PacketRecording()
-		var chainLen int
-		if recording {
-			chainLen = mbuf.ChainLen(chain)
-		}
-		so.Snd.Append(chain)
-		if recording {
-			k.Trace.Event(trace.Event{
-				Kind: trace.EvSockEnqueue, At: k.Now(), ID: so.TraceID,
-				Len: chainLen, Aux: int64(so.Snd.Len()),
-			})
-		}
-		k.Use(p, trace.LayerUserTx, k.Cost.UsrreqDispatch)
-		so.Proto.Send(p)
+// Send implements sosend for a stream socket as a frame call: block for
+// buffer space, copy user data into mbufs (charging the User row),
+// append, and kick the protocol once per chunk. The call must be in tail
+// position — the caller's Step returns immediately and re-enters once
+// the operation completes, at which point the returned op carries the
+// results: N is the number of bytes accepted (len(data) unless the
+// connection fails) and Err the socket error, if any.
+func (so *Socket) Send(p *sim.Proc, data []byte) *SendOp {
+	f := so.sendOp
+	if f != nil {
+		so.sendOp = nil
+	} else {
+		f = &SendOp{so: so}
 	}
-	return sent, so.Err
+	f.pc = 0
+	f.data = data
+	f.sent = 0
+	f.useClusters = chunkPolicy(len(data))
+	f.N, f.Err = 0, nil
+	p.Call(f)
+	return f
 }
 
-// copyin moves user bytes into one mbuf, charging the copy and — in
-// integrated mode — fusing the checksum into it and stashing the partial
-// sum (§4.1.1: "we calculate the checksum for each chunk of data copied
-// into an mbuf at the socket layer, and store the partial checksum in the
-// mbuf header").
-func (so *Socket) copyin(p *sim.Proc, m *mbuf.Mbuf, data []byte) {
+// SendOp is the frame behind Socket.Send. Its states mirror the phases of
+// the original sosend loop: the write() entry charge, the
+// space-wait/chunk-carve loop head, the per-mbuf allocate/copyin charge
+// pairs, the buffer append, and the protocol kick.
+type SendOp struct {
+	so   *Socket
+	pc   int
+	data []byte
+	sent int
+
+	// Per-chunk scratch, captured at the loop head so charges that park
+	// resume against the values the decision was made with.
+	space       int
+	budget      int
+	chain, tail *mbuf.Mbuf
+	curM        *mbuf.Mbuf
+	curN        int
+	useClusters bool
+
+	// Results, valid once the frame returns to its caller.
+	N   int
+	Err error
+}
+
+// Step drives the sosend state machine.
+func (f *SendOp) Step(p *sim.Proc) {
+	so := f.so
+	k := so.K
+	for {
+		switch f.pc {
+		case 0: // write() entry
+			f.pc = 1
+			if !k.Use(p, trace.LayerUserTx, k.Cost.WriteSyscall) {
+				return
+			}
+		case 1: // chunk-loop head: done, error, or wait for space
+			if f.sent >= len(f.data) || so.Err != nil {
+				f.finish(p)
+				return
+			}
+			if so.Snd.Space() <= 0 {
+				k.SleepOn(p, so.Snd.WaitQ)
+				return
+			}
+			f.space = so.Snd.Space()
+			f.chain, f.tail = nil, nil
+			if f.useClusters {
+				// One cluster per protocol send, as in ULTRIX sosend.
+				f.pc = 2
+				if !k.Use(p, trace.LayerUserTx, k.Cost.ClusterAlloc) {
+					return
+				}
+			} else {
+				// Fill normal mbufs up to the available space, one
+				// protocol send for the chain.
+				resid := len(f.data) - f.sent
+				f.budget = min3(resid, f.space, resid)
+				f.pc = 4
+				if !k.Use(p, trace.LayerUserTx, k.Cost.MbufAlloc) {
+					return
+				}
+			}
+		case 2: // cluster allocated; charge the copyin
+			f.curM = k.Pool.AllocCluster()
+			resid := len(f.data) - f.sent
+			f.curN = min3(resid, mbuf.MCLBYTES, f.space)
+			f.pc = 3
+			if !k.Use(p, trace.LayerUserTx, so.copyinCost(f.curN)) {
+				return
+			}
+		case 3: // cluster copyin done; append the chunk
+			so.copyinAct(f.curM, f.data[f.sent:f.sent+f.curN])
+			f.sent += f.curN
+			f.chain = f.curM
+			f.pc = 6
+			if !k.Use(p, trace.LayerUserTx,
+				sim.Time(mbuf.ChainCount(f.chain))*k.Cost.SockAppend) {
+				return
+			}
+		case 4: // normal mbuf allocated; charge the copyin
+			f.curM = k.Pool.Alloc()
+			f.curN = f.budget
+			if f.curN > mbuf.MLEN {
+				f.curN = mbuf.MLEN
+			}
+			f.pc = 5
+			if !k.Use(p, trace.LayerUserTx, so.copyinCost(f.curN)) {
+				return
+			}
+		case 5: // normal copyin done; next mbuf or append the chain
+			so.copyinAct(f.curM, f.data[f.sent:f.sent+f.curN])
+			f.sent += f.curN
+			f.budget -= f.curN
+			if f.chain == nil {
+				f.chain = f.curM
+			} else {
+				f.tail.SetNext(f.curM)
+			}
+			f.tail = f.curM
+			if f.budget > 0 {
+				f.pc = 4
+				if !k.Use(p, trace.LayerUserTx, k.Cost.MbufAlloc) {
+					return
+				}
+			} else {
+				f.pc = 6
+				if !k.Use(p, trace.LayerUserTx,
+					sim.Time(mbuf.ChainCount(f.chain))*k.Cost.SockAppend) {
+					return
+				}
+			}
+		case 6: // append to the send buffer; charge the protocol dispatch
+			recording := k.Trace.PacketRecording()
+			var chainLen int
+			if recording {
+				chainLen = mbuf.ChainLen(f.chain)
+			}
+			so.Snd.Append(f.chain)
+			if recording {
+				k.Trace.Event(trace.Event{
+					Kind: trace.EvSockEnqueue, At: k.Now(), ID: so.TraceID,
+					Len: chainLen, Aux: int64(so.Snd.Len()),
+				})
+			}
+			f.chain, f.tail, f.curM = nil, nil, nil
+			f.pc = 7
+			if !k.Use(p, trace.LayerUserTx, k.Cost.UsrreqDispatch) {
+				return
+			}
+		case 7: // kick the protocol (tail call), then back to the loop head
+			f.pc = 1
+			so.Proto.Send(p)
+			return
+		}
+	}
+}
+
+// finish publishes the results, returns the frame to the socket's cache,
+// and pops it. The caller is re-stepped synchronously by the trampoline,
+// so it reads the results before any later Send can reuse the frame.
+func (f *SendOp) finish(p *sim.Proc) {
+	f.N, f.Err = f.sent, f.so.Err
+	f.data = nil
+	f.chain, f.tail, f.curM = nil, nil, nil
+	if f.so.sendOp == nil {
+		f.so.sendOp = f
+	}
+	p.Return()
+}
+
+// copyinCost returns the CPU charge for copying n user bytes into an
+// mbuf; in integrated mode the checksum is fused into the copy (§4.1.1).
+func (so *Socket) copyinCost(n int) sim.Time {
 	k := so.K
 	perByte := k.Cost.CopyinPerByte
 	if so.Mode == cost.ChecksumIntegrated {
 		perByte += k.Cost.IntegratedTxPerByte
 	}
-	k.Use(p, trace.LayerUserTx,
-		k.Cost.CopyinFixed+sim.Time(perByte*float64(len(data))))
+	return k.Cost.CopyinFixed + sim.Time(perByte*float64(n))
+}
+
+// copyinAct moves user bytes into one mbuf and — in integrated mode —
+// stashes the partial sum (§4.1.1: "we calculate the checksum for each
+// chunk of data copied into an mbuf at the socket layer, and store the
+// partial checksum in the mbuf header").
+func (so *Socket) copyinAct(m *mbuf.Mbuf, data []byte) {
 	if m.Append(data) != len(data) {
 		panic("sock: mbuf overflow in copyin")
 	}
@@ -220,59 +334,142 @@ func (so *Socket) copyin(p *sim.Proc, m *mbuf.Mbuf, data []byte) {
 	}
 }
 
-// Recv implements soreceive: block until data (or EOF or error), copy out
-// up to len(buf) bytes, release the consumed mbufs, and give the protocol
-// its window-update hook. It returns 0, nil at EOF.
-func (so *Socket) Recv(p *sim.Proc, buf []byte) (int, error) {
-	k := so.K
-	for so.Rcv.Len() == 0 {
-		if so.Err != nil {
-			return 0, so.Err
-		}
-		if so.Eof {
-			return 0, nil
-		}
-		k.SleepOn(p, so.Rcv.WaitQ)
+// Recv implements soreceive as a frame call: block until data (or EOF or
+// error), copy out up to len(buf) bytes, release the consumed mbufs, and
+// give the protocol its window-update hook. The call must be in tail
+// position; once the caller re-enters, the returned op's N is the byte
+// count (0 at EOF) and Err the socket error, if any.
+func (so *Socket) Recv(p *sim.Proc, buf []byte) *RecvOp {
+	f := so.recvOp
+	if f != nil {
+		so.recvOp = nil
+	} else {
+		f = &RecvOp{so: so}
 	}
-	k.Use(p, trace.LayerUserRx, k.Cost.ReadSyscall)
-	n := len(buf)
-	if n > so.Rcv.Len() {
-		n = so.Rcv.Len()
-	}
-	// Copy out mbuf by mbuf, charging per-mbuf and per-byte costs.
-	copied := 0
-	m := so.Rcv.Chain()
-	for copied < n {
-		take := m.Len()
-		if take > n-copied {
-			take = n - copied
-		}
-		k.Use(p, trace.LayerUserRx,
-			k.Cost.CopyoutFixed+sim.Time(k.Cost.CopyoutPerByte*float64(take)))
-		copy(buf[copied:], m.Bytes()[:take])
-		copied += take
-		m = m.Next()
-	}
-	// Free the consumed mbufs; the paper charges mbuf bookkeeping
-	// separately from the copy.
-	freed := 0
-	for c := so.Rcv.Chain(); c != nil && freed+c.Len() <= n; c = c.Next() {
-		freed++
-	}
-	if freed > 0 {
-		k.Use(p, trace.LayerMbuf, sim.Time(freed)*k.Cost.MbufFree)
-	}
-	so.Rcv.Drop(n)
-	k.Trace.Event(trace.Event{
-		Kind: trace.EvSockDequeue, At: k.Now(), ID: so.TraceID,
-		Len: n, Aux: int64(so.Rcv.Len()),
-	})
-	k.Use(p, trace.LayerUserRx, k.Cost.UsrreqDispatch)
-	so.Proto.Rcvd(p)
-	return n, nil
+	f.pc = 0
+	f.buf = buf
+	f.N, f.Err = 0, nil
+	p.Call(f)
+	return f
 }
 
-// Close starts an orderly release.
+// RecvOp is the frame behind Socket.Recv: the data-wait loop, the read()
+// entry charge, the per-mbuf copyout charges, the mbuf release, and the
+// window-update kick.
+type RecvOp struct {
+	so *Socket
+	pc int
+
+	buf    []byte
+	n      int
+	copied int
+	take   int
+	m      *mbuf.Mbuf
+
+	// Results, valid once the frame returns to its caller.
+	N   int
+	Err error
+}
+
+// Step drives the soreceive state machine.
+func (f *RecvOp) Step(p *sim.Proc) {
+	so := f.so
+	k := so.K
+	for {
+		switch f.pc {
+		case 0: // wait for data, EOF, or error
+			if so.Rcv.Len() == 0 {
+				if so.Err != nil {
+					f.N, f.Err = 0, so.Err
+					f.finish(p)
+					return
+				}
+				if so.Eof {
+					f.N, f.Err = 0, nil
+					f.finish(p)
+					return
+				}
+				k.SleepOn(p, so.Rcv.WaitQ)
+				return
+			}
+			f.pc = 1
+			if !k.Use(p, trace.LayerUserRx, k.Cost.ReadSyscall) {
+				return
+			}
+		case 1: // size the read, start the copyout loop
+			f.n = len(f.buf)
+			if f.n > so.Rcv.Len() {
+				f.n = so.Rcv.Len()
+			}
+			f.copied = 0
+			f.m = so.Rcv.Chain()
+			f.pc = 2
+		case 2: // copyout loop head: charge the next mbuf's copy
+			if f.copied < f.n {
+				take := f.m.Len()
+				if take > f.n-f.copied {
+					take = f.n - f.copied
+				}
+				f.take = take
+				f.pc = 3
+				if !k.Use(p, trace.LayerUserRx,
+					k.Cost.CopyoutFixed+sim.Time(k.Cost.CopyoutPerByte*float64(take))) {
+					return
+				}
+				continue
+			}
+			// Free the consumed mbufs; the paper charges mbuf
+			// bookkeeping separately from the copy.
+			freed := 0
+			for c := so.Rcv.Chain(); c != nil && freed+c.Len() <= f.n; c = c.Next() {
+				freed++
+			}
+			f.pc = 4
+			if freed > 0 {
+				if !k.Use(p, trace.LayerMbuf, sim.Time(freed)*k.Cost.MbufFree) {
+					return
+				}
+			}
+		case 3: // copy one mbuf's bytes out
+			copy(f.buf[f.copied:], f.m.Bytes()[:f.take])
+			f.copied += f.take
+			f.m = f.m.Next()
+			f.pc = 2
+		case 4: // release consumed mbufs; charge the protocol dispatch
+			so.Rcv.Drop(f.n)
+			k.Trace.Event(trace.Event{
+				Kind: trace.EvSockDequeue, At: k.Now(), ID: so.TraceID,
+				Len: f.n, Aux: int64(so.Rcv.Len()),
+			})
+			f.pc = 5
+			if !k.Use(p, trace.LayerUserRx, k.Cost.UsrreqDispatch) {
+				return
+			}
+		case 5: // window-update kick (tail call), then pop
+			f.N, f.Err = f.n, nil
+			f.pc = 6
+			so.Proto.Rcvd(p)
+			return
+		case 6:
+			f.finish(p)
+			return
+		}
+	}
+}
+
+// finish returns the frame to the socket's cache and pops it; results
+// were published by the terminating state.
+func (f *RecvOp) finish(p *sim.Proc) {
+	f.buf = nil
+	f.m = nil
+	if f.so.recvOp == nil {
+		f.so.recvOp = f
+	}
+	p.Return()
+}
+
+// Close starts an orderly release. The protocol may transmit, so the call
+// must be in tail position within the calling frame's Step.
 func (so *Socket) Close(p *sim.Proc) {
 	so.Proto.Close(p)
 }

@@ -48,28 +48,62 @@ func newLoopPair(env *sim.Env) (*Socket, *Socket, *loopProto) {
 	return a, b, pa
 }
 
+// recvLoopFrame reads from so repeatedly until total reaches want,
+// handing each read's length to the each callback.
+type recvLoopFrame struct {
+	t    *testing.T
+	so   *Socket
+	want int
+	buf  []byte
+	each func(n int)
+
+	pc, total int
+	recv      *RecvOp
+}
+
+func (f *recvLoopFrame) Step(p *sim.Proc) {
+	for {
+		switch f.pc {
+		case 0:
+			if f.total >= f.want {
+				p.Return()
+				return
+			}
+			f.pc = 1
+			f.recv = f.so.Recv(p, f.buf)
+			return
+		case 1:
+			if f.recv.Err != nil {
+				f.t.Error(f.recv.Err)
+				p.Return()
+				return
+			}
+			f.each(f.recv.N)
+			f.total += f.recv.N
+			f.recv = nil
+			f.pc = 0
+		}
+	}
+}
+
 func TestSendRecvRoundTrip(t *testing.T) {
 	env := sim.NewEnv()
 	a, b, _ := newLoopPair(env)
 	payload := make([]byte, 3000)
 	env.RNG().Fill(payload)
 	var got []byte
-	env.Spawn("rx", func(p *sim.Proc) {
-		buf := make([]byte, 1024)
-		for len(got) < len(payload) {
-			n, err := b.Recv(p, buf)
-			if err != nil {
-				t.Error(err)
-				return
+	buf := make([]byte, 1024)
+	env.Spawn("rx", &recvLoopFrame{t: t, so: b, want: len(payload), buf: buf,
+		each: func(n int) { got = append(got, buf[:n]...) }})
+	var send *SendOp
+	env.Spawn("tx", sim.Steps(
+		func(p *sim.Proc) { send = a.Send(p, payload) },
+		func(p *sim.Proc) {
+			if send.Err != nil || send.N != len(payload) {
+				t.Errorf("Send = %d, %v", send.N, send.Err)
 			}
-			got = append(got, buf[:n]...)
-		}
-	})
-	env.Spawn("tx", func(p *sim.Proc) {
-		if n, err := a.Send(p, payload); err != nil || n != len(payload) {
-			t.Errorf("Send = %d, %v", n, err)
-		}
-	})
+		},
+	))
 	env.Run()
 	if !bytes.Equal(got, payload) {
 		t.Fatal("data corrupted through socket layer")
@@ -80,9 +114,9 @@ func TestSendUsesClustersAboveThreshold(t *testing.T) {
 	env := sim.NewEnv()
 	a, _, _ := newLoopPair(env)
 	k := a.K
-	env.Spawn("tx", func(p *sim.Proc) {
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		a.Send(p, make([]byte, 2000))
-	})
+	}))
 	env.Run()
 	if k.Pool.Stats.ClusterAllocs == 0 {
 		t.Fatal("2000-byte write did not use clusters")
@@ -93,9 +127,9 @@ func TestSendUsesClustersAboveThreshold(t *testing.T) {
 	a2 := New(k2)
 	a2.Proto = &funcProto{}
 	a2.Connected = true
-	env2.Spawn("tx", func(p *sim.Proc) {
+	env2.Spawn("tx", sim.Steps(func(p *sim.Proc) {
 		a2.Send(p, make([]byte, 500))
-	})
+	}))
 	env2.Run()
 	if k2.Pool.Stats.ClusterAllocs != 0 {
 		t.Fatal("500-byte write used clusters")
@@ -118,17 +152,20 @@ func TestSendBlocksOnFullBuffer(t *testing.T) {
 	}
 	so.Connected = true
 	sent := 0
-	env.Spawn("tx", func(p *sim.Proc) {
-		n, _ := so.Send(p, make([]byte, DefaultHiwat+100))
-		sent = n
-	})
-	env.Spawn("drainer", func(p *sim.Proc) {
-		p.Sleep(10 * sim.Millisecond)
-		// Free exactly enough space for the tail of the write.
-		so.Snd.Drop(200)
-		drained = true
-		so.SndWakeup()
-	})
+	var send *SendOp
+	env.Spawn("tx", sim.Steps(
+		func(p *sim.Proc) { send = so.Send(p, make([]byte, DefaultHiwat+100)) },
+		func(p *sim.Proc) { sent = send.N },
+	))
+	env.Spawn("drainer", sim.Steps(
+		func(p *sim.Proc) { p.Sleep(10 * sim.Millisecond) },
+		func(p *sim.Proc) {
+			// Free exactly enough space for the tail of the write.
+			so.Snd.Drop(200)
+			drained = true
+			so.SndWakeup()
+		},
+	))
 	env.Run()
 	if !drained {
 		t.Fatal("drainer never ran")
@@ -164,16 +201,18 @@ func TestRecvEOF(t *testing.T) {
 	env := sim.NewEnv()
 	a, b, _ := newLoopPair(env)
 	var n1, n2 int
-	env.Spawn("rx", func(p *sim.Proc) {
-		buf := make([]byte, 10)
-		n1, _ = b.Recv(p, buf)
-		n2, _ = b.Recv(p, buf)
-	})
-	env.Spawn("tx", func(p *sim.Proc) {
-		a.Send(p, []byte("hi"))
-		p.Sleep(sim.Millisecond)
-		a.Close(p)
-	})
+	var r1, r2 *RecvOp
+	buf := make([]byte, 10)
+	env.Spawn("rx", sim.Steps(
+		func(p *sim.Proc) { r1 = b.Recv(p, buf) },
+		func(p *sim.Proc) { n1 = r1.N; r2 = b.Recv(p, buf) },
+		func(p *sim.Proc) { n2 = r2.N },
+	))
+	env.Spawn("tx", sim.Steps(
+		func(p *sim.Proc) { a.Send(p, []byte("hi")) },
+		func(p *sim.Proc) { p.Sleep(sim.Millisecond) },
+		func(p *sim.Proc) { a.Close(p) },
+	))
 	env.Run()
 	if n1 != 2 || n2 != 0 {
 		t.Fatalf("Recv = %d then %d, want 2 then 0 (EOF)", n1, n2)
@@ -185,13 +224,15 @@ func TestRecvError(t *testing.T) {
 	_, b, _ := newLoopPair(env)
 	boom := errors.New("boom")
 	var err error
-	env.Spawn("rx", func(p *sim.Proc) {
-		_, err = b.Recv(p, make([]byte, 4))
-	})
-	env.Spawn("killer", func(p *sim.Proc) {
-		p.Sleep(sim.Millisecond)
-		b.SetError(boom)
-	})
+	var recv *RecvOp
+	env.Spawn("rx", sim.Steps(
+		func(p *sim.Proc) { recv = b.Recv(p, make([]byte, 4)) },
+		func(p *sim.Proc) { err = recv.Err },
+	))
+	env.Spawn("killer", sim.Steps(
+		func(p *sim.Proc) { p.Sleep(sim.Millisecond) },
+		func(p *sim.Proc) { b.SetError(boom) },
+	))
 	env.Run()
 	if err != boom {
 		t.Fatalf("Recv err = %v, want boom", err)
@@ -206,14 +247,16 @@ func TestSendErrorInterrupts(t *testing.T) {
 	so.Connected = true
 	boom := errors.New("reset")
 	var err error
-	env.Spawn("tx", func(p *sim.Proc) {
+	var send *SendOp
+	env.Spawn("tx", sim.Steps(
 		// Fill the buffer, then block; the error must unblock us.
-		_, err = so.Send(p, make([]byte, DefaultHiwat*2))
-	})
-	env.Spawn("killer", func(p *sim.Proc) {
-		p.Sleep(sim.Millisecond)
-		so.SetError(boom)
-	})
+		func(p *sim.Proc) { send = so.Send(p, make([]byte, DefaultHiwat*2)) },
+		func(p *sim.Proc) { err = send.Err },
+	))
+	env.Spawn("killer", sim.Steps(
+		func(p *sim.Proc) { p.Sleep(sim.Millisecond) },
+		func(p *sim.Proc) { so.SetError(boom) },
+	))
 	env.Run()
 	if err != boom {
 		t.Fatalf("Send err = %v, want reset", err)
@@ -232,7 +275,7 @@ func TestIntegratedModeStashesChecksums(t *testing.T) {
 	so.Connected = true
 	payload := make([]byte, 2000)
 	env.RNG().Fill(payload)
-	env.Spawn("tx", func(p *sim.Proc) { so.Send(p, payload) })
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) { so.Send(p, payload) }))
 	env.Run()
 	if captured == nil {
 		t.Fatal("no chain captured")
@@ -251,7 +294,7 @@ func TestStandardModeNoStash(t *testing.T) {
 	var captured *mbuf.Mbuf
 	so.Proto = &funcProto{send: func(p *sim.Proc) { captured = so.Snd.Chain() }}
 	so.Connected = true
-	env.Spawn("tx", func(p *sim.Proc) { so.Send(p, make([]byte, 100)) })
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) { so.Send(p, make([]byte, 100)) }))
 	env.Run()
 	if captured.CsumValid {
 		t.Fatal("standard mode stashed a checksum")
@@ -275,11 +318,10 @@ func TestUserLayerCharged(t *testing.T) {
 	env := sim.NewEnv()
 	a, b, _ := newLoopPair(env)
 	a.K.Trace.Enable()
-	env.Spawn("rx", func(p *sim.Proc) {
-		buf := make([]byte, 64)
-		b.Recv(p, buf)
-	})
-	env.Spawn("tx", func(p *sim.Proc) { a.Send(p, make([]byte, 64)) })
+	env.Spawn("rx", sim.Steps(func(p *sim.Proc) {
+		b.Recv(p, make([]byte, 64))
+	}))
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) { a.Send(p, make([]byte, 64)) }))
 	env.Run()
 	var tx, rx sim.Time
 	for _, s := range a.K.Trace.Spans() {
@@ -300,20 +342,10 @@ func TestRecvPartialReads(t *testing.T) {
 	a, b, _ := newLoopPair(env)
 	payload := []byte("0123456789")
 	var reads []string
-	env.Spawn("rx", func(p *sim.Proc) {
-		buf := make([]byte, 3)
-		total := 0
-		for total < len(payload) {
-			n, err := b.Recv(p, buf)
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			reads = append(reads, string(buf[:n]))
-			total += n
-		}
-	})
-	env.Spawn("tx", func(p *sim.Proc) { a.Send(p, payload) })
+	buf := make([]byte, 3)
+	env.Spawn("rx", &recvLoopFrame{t: t, so: b, want: len(payload), buf: buf,
+		each: func(n int) { reads = append(reads, string(buf[:n])) }})
+	env.Spawn("tx", sim.Steps(func(p *sim.Proc) { a.Send(p, payload) }))
 	env.Run()
 	joined := ""
 	for _, r := range reads {

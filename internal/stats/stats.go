@@ -149,7 +149,7 @@ func NewTable(title string, headers ...string) *Table {
 
 // AddRow appends a row of cells. Non-string values are formatted with %v;
 // float64 values with one decimal place, matching the paper.
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {

@@ -126,6 +126,14 @@ type Conn struct {
 	outBusy bool
 	outWait *sim.WaitQueue
 
+	// outOp and inOp are the connection's cached output and input frames.
+	// output and input are never re-entered on the same connection in the
+	// steady state, so a single cached frame of each kind makes the hot
+	// path allocation-free; an overlapping invocation (theoretically
+	// possible through nesting) falls back to a fresh allocation.
+	outOp *outputOp
+	inOp  *connInputOp
+
 	// rexmtCb and delackCb are the timer callbacks, bound once at
 	// construction so (re)arming a timer schedules an arg-carrying event
 	// (the generation number rides in the event) instead of allocating a

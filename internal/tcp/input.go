@@ -8,73 +8,148 @@ import (
 
 // input processes one inbound segment for an existing connection. The
 // chain m holds the segment data (header already parsed and stripped);
-// it may be nil for a pure ACK.
+// it may be nil for a pure ACK. It is a frame call: the resumable input
+// frame is pushed onto p, so input must be the caller's last action
+// before its Step returns.
 func (c *Conn) input(p *sim.Proc, th Header, m *mbuf.Mbuf) {
-	k := c.K
-	dlen := mbuf.ChainLen(m)
-
-	// Header prediction (§3). BSD 4.4 alpha precomputes the expected
-	// next header and takes a fast path when the incoming segment
-	// matches: ESTABLISHED, no unusual flags, in-sequence, window
-	// unchanged, and not retransmitting. Within that, exactly two cases
-	// exist — the two common cases of *unidirectional* transfer:
-	//
-	//   (a) a pure ACK that acknowledges new data (the sender's side);
-	//   (b) a pure in-sequence data segment acknowledging nothing new
-	//       (the receiver's side).
-	//
-	// An RPC-style exchange delivers data *with* a piggybacked ACK of
-	// new data, which fits neither case — the paper's central
-	// observation about why header prediction does not help
-	// request-response traffic.
-	if c.S.PredictionEnabled && c.state == StateEstablished &&
-		th.Flags&(FlagSYN|FlagFIN|FlagRST|FlagURG) == 0 &&
-		th.Flags&FlagACK != 0 &&
-		th.Seq == c.rcvNxt &&
-		int(th.Win) == c.sndWnd &&
-		c.sndNxt == c.sndMax {
-
-		if dlen == 0 && th.Ack.Gt(c.sndUna) && th.Ack.Leq(c.sndMax) {
-			// Case (a): pure ACK for outstanding data.
-			k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputFast)
-			c.S.Stats.FastPathAck++
-			c.processAck(th.Ack)
-			c.so.SndWakeup()
-			if c.so.Snd.Len() > c.sndNxt.Diff(c.sndUna) {
-				c.output(p)
-			}
-			return
-		}
-		if dlen > 0 && th.Ack == c.sndUna && len(c.reass) == 0 &&
-			dlen <= c.so.Rcv.Space() {
-			// Case (b): pure in-sequence data, nothing new acked.
-			k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputFast)
-			c.S.Stats.FastPathData++
-			c.rcvNxt = c.rcvNxt.Add(dlen)
-			c.so.Rcv.Append(m)
-			c.so.RcvWakeup()
-			c.ackPolicy(p)
-			return
-		}
+	f := c.inOp
+	if f != nil {
+		c.inOp = nil
+	} else {
+		f = &connInputOp{c: c}
 	}
-
-	// Slow path: the full tcp_input processing.
-	k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputSlow)
-	c.S.Stats.SlowPath++
-	c.slowInput(p, th, m, dlen)
+	f.pc, f.th, f.m = 0, th, m
+	p.Call(f)
 }
 
-// ackPolicy implements BSD's receive-side ACK strategy: delay the first
-// ACK, force one on every second unacknowledged segment.
-func (c *Conn) ackPolicy(p *sim.Proc) {
-	if c.flagDelAck {
-		c.flagDelAck = false
-		c.flagAckNow = true
-		c.output(p)
-		return
+// connInputOp is the resumable state of one segment's tcp_input
+// processing on an established connection: header prediction, then the
+// full slow path. Each connection caches one — segments arrive from the
+// netisr one at a time.
+type connInputOp struct {
+	c     *Conn
+	pc    int
+	th    Header // mutated by duplicate-data trimming
+	m     *mbuf.Mbuf
+	dlen  int
+	saved Seq // snd_nxt snapshot across the fast-retransmit output
+}
+
+func (f *connInputOp) Step(p *sim.Proc) {
+	c := f.c
+	k := c.K
+	for {
+		switch f.pc {
+		case 0: // header prediction (§3), then slow-path dispatch
+			th := f.th
+			f.dlen = mbuf.ChainLen(f.m)
+
+			// BSD 4.4 alpha precomputes the expected next header and takes
+			// a fast path when the incoming segment matches: ESTABLISHED,
+			// no unusual flags, in-sequence, window unchanged, and not
+			// retransmitting. Within that, exactly two cases exist — the
+			// two common cases of *unidirectional* transfer:
+			//
+			//   (a) a pure ACK that acknowledges new data (the sender's
+			//       side);
+			//   (b) a pure in-sequence data segment acknowledging nothing
+			//       new (the receiver's side).
+			//
+			// An RPC-style exchange delivers data *with* a piggybacked ACK
+			// of new data, which fits neither case — the paper's central
+			// observation about why header prediction does not help
+			// request-response traffic.
+			if c.S.PredictionEnabled && c.state == StateEstablished &&
+				th.Flags&(FlagSYN|FlagFIN|FlagRST|FlagURG) == 0 &&
+				th.Flags&FlagACK != 0 &&
+				th.Seq == c.rcvNxt &&
+				int(th.Win) == c.sndWnd &&
+				c.sndNxt == c.sndMax {
+
+				if f.dlen == 0 && th.Ack.Gt(c.sndUna) && th.Ack.Leq(c.sndMax) {
+					// Case (a): pure ACK for outstanding data.
+					f.pc = 1
+					if !k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputFast) {
+						return
+					}
+					continue
+				}
+				if f.dlen > 0 && th.Ack == c.sndUna && len(c.reass) == 0 &&
+					f.dlen <= c.so.Rcv.Space() {
+					// Case (b): pure in-sequence data, nothing new acked.
+					f.pc = 2
+					if !k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputFast) {
+						return
+					}
+					continue
+				}
+			}
+			// Slow path: the full tcp_input processing.
+			f.pc = 3
+			if !k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputSlow) {
+				return
+			}
+
+		case 1: // fast path (a): pure ACK for outstanding data
+			c.S.Stats.FastPathAck++
+			c.processAck(f.th.Ack)
+			c.so.SndWakeup()
+			if c.so.Snd.Len() > c.sndNxt.Diff(c.sndUna) {
+				f.pc = 7
+				c.output(p)
+				return
+			}
+			f.pc = 7
+
+		case 2: // fast path (b): pure in-sequence data
+			c.S.Stats.FastPathData++
+			c.rcvNxt = c.rcvNxt.Add(f.dlen)
+			c.so.Rcv.Append(f.m)
+			f.m = nil
+			c.so.RcvWakeup()
+			// BSD's receive-side ACK strategy: delay the first ACK, force
+			// one on every second unacknowledged segment.
+			if c.flagDelAck {
+				c.flagDelAck = false
+				c.flagAckNow = true
+				f.pc = 7
+				c.output(p)
+				return
+			}
+			c.flagDelAck = true
+			c.scheduleDelack()
+			f.pc = 7
+
+		case 3: // slow path entry
+			c.S.Stats.SlowPath++
+			f.pc = 4
+
+		case 4:
+			if f.slowStep(p) {
+				return
+			}
+
+		case 5: // resume after the fast-retransmit output
+			if f.saved.Gt(c.sndNxt) {
+				c.sndNxt = f.saved
+			}
+			// Window update from the most recent segment.
+			c.sndWnd = int(f.th.Win)
+			f.pc = 6
+
+		case 6:
+			f.finishSlow(p)
+			return
+
+		case 7: // finish: recycle the frame
+			f.m = nil
+			if c.inOp == nil {
+				c.inOp = f
+			}
+			p.Return()
+			return
+		}
 	}
-	c.flagDelAck = true
-	c.scheduleDelack()
 }
 
 // processAck advances the send window for an acceptable new ACK.
@@ -120,23 +195,33 @@ func (c *Conn) processAck(ack Seq) {
 	}
 }
 
-// slowInput is the full state-machine processing for segments the fast
-// path rejected.
-func (c *Conn) slowInput(p *sim.Proc, th Header, m *mbuf.Mbuf, dlen int) {
+// slowStep is the front half of the full state-machine processing for
+// segments the fast path rejected: RST, connection-state handling,
+// duplicate-data trimming, and ACK processing. It reports whether the
+// frame's Step must return (because a frame was pushed or the processing
+// terminated with one in tail position); otherwise it has set f.pc for
+// the driving loop to continue.
+func (f *connInputOp) slowStep(p *sim.Proc) bool {
+	c := f.c
 	k := c.K
+	th := &f.th
 
 	if th.Flags&FlagRST != 0 {
-		k.Pool.Free(m)
+		k.Pool.Free(f.m)
+		f.m = nil
 		c.drop(ErrReset)
-		return
+		f.pc = 7
+		return false
 	}
 
 	switch c.state {
 	case StateSynSent:
-		k.Pool.Free(m)
+		k.Pool.Free(f.m)
+		f.m = nil
 		if th.Flags&(FlagSYN|FlagACK) != FlagSYN|FlagACK ||
 			!th.Ack.Gt(c.iss) || !th.Ack.Leq(c.sndMax) {
-			return
+			f.pc = 7
+			return false
 		}
 		c.irs = th.Seq
 		c.rcvNxt = th.Seq.Add(1)
@@ -152,11 +237,14 @@ func (c *Conn) slowInput(p *sim.Proc, th Header, m *mbuf.Mbuf, dlen int) {
 		c.state = StateEstablished
 		c.flagAckNow = true
 		c.so.SetConnected()
+		f.pc = 7
 		c.output(p)
-		return
+		return true
 	case StateClosed, StateListen:
-		k.Pool.Free(m)
-		return
+		k.Pool.Free(f.m)
+		f.m = nil
+		f.pc = 7
+		return false
 	}
 
 	// Trim duplicate data at the front (retransmissions overlapping
@@ -168,19 +256,19 @@ func (c *Conn) slowInput(p *sim.Proc, th Header, m *mbuf.Mbuf, dlen int) {
 			th.Seq = th.Seq.Add(1)
 			todrop--
 		}
-		if todrop >= dlen {
+		if todrop >= f.dlen {
 			// Entirely duplicate: ACK it and drop the data, but
 			// still process the ACK field below.
 			c.S.Stats.DupSegs++
 			c.flagAckNow = true
-			k.Pool.Free(m)
-			m, dlen = nil, 0
+			k.Pool.Free(f.m)
+			f.m, f.dlen = nil, 0
 			th.Flags &^= FlagFIN
 			th.Seq = c.rcvNxt
 		} else {
-			m = k.Pool.Drop(m, todrop)
+			f.m = k.Pool.Drop(f.m, todrop)
 			th.Seq = th.Seq.Add(todrop)
-			dlen -= todrop
+			f.dlen -= todrop
 		}
 	}
 
@@ -197,7 +285,7 @@ func (c *Conn) slowInput(p *sim.Proc, th Header, m *mbuf.Mbuf, dlen int) {
 			}
 		}
 		switch {
-		case th.Ack == c.sndUna && dlen == 0 && c.sndUna != c.sndMax &&
+		case th.Ack == c.sndUna && f.dlen == 0 && c.sndUna != c.sndMax &&
 			int(th.Win) == c.sndWnd:
 			// Duplicate ACK while data is outstanding: after three,
 			// assume the segment at snd_una was lost and retransmit it
@@ -211,15 +299,16 @@ func (c *Conn) slowInput(p *sim.Proc, th Header, m *mbuf.Mbuf, dlen int) {
 				}
 				c.ssthresh = half
 				c.cwnd = c.mss
-				saved := c.sndNxt
+				f.saved = c.sndNxt
 				c.sndNxt = c.sndUna
 				c.rtTiming = false
 				c.flagAckNow = true
 				c.S.Stats.FastRetransmits++
+				// Resume at state 5: restore snd_nxt past the
+				// retransmission, then fall into data processing.
+				f.pc = 5
 				c.output(p)
-				if saved.Gt(c.sndNxt) {
-					c.sndNxt = saved
-				}
+				return true
 			}
 		case th.Ack.Gt(c.sndUna) && th.Ack.Leq(c.sndMax):
 			c.dupAcks = 0
@@ -234,23 +323,37 @@ func (c *Conn) slowInput(p *sim.Proc, th Header, m *mbuf.Mbuf, dlen int) {
 					c.enterTimeWait()
 				case StateLastAck:
 					c.drop(nil)
-					k.Pool.Free(m)
-					return
+					k.Pool.Free(f.m)
+					f.m = nil
+					f.pc = 7
+					return false
 				}
 			}
 		}
 		// Window update from the most recent segment.
 		c.sndWnd = int(th.Win)
 	}
+	f.pc = 6
+	return false
+}
+
+// finishSlow is the back half of the slow path: data processing, FIN
+// processing, and the final send decision. It always leaves the frame at
+// the finish state, pushing the output frame in tail position when an
+// ACK or data transmission is due.
+func (f *connInputOp) finishSlow(p *sim.Proc) {
+	c := f.c
+	k := c.K
+	th := &f.th
 
 	// Data processing.
-	if dlen > 0 {
+	if f.dlen > 0 {
 		switch c.state {
 		case StateEstablished, StateFinWait1, StateFinWait2:
 			if th.Seq == c.rcvNxt && len(c.reass) == 0 {
-				c.rcvNxt = c.rcvNxt.Add(dlen)
-				c.so.Rcv.Append(m)
-				m = nil
+				c.rcvNxt = c.rcvNxt.Add(f.dlen)
+				c.so.Rcv.Append(f.m)
+				f.m = nil
 				c.so.RcvWakeup()
 				if c.flagDelAck {
 					c.flagDelAck = false
@@ -263,22 +366,22 @@ func (c *Conn) slowInput(p *sim.Proc, th Header, m *mbuf.Mbuf, dlen int) {
 				// Out of order: queue for reassembly, ACK now to
 				// trigger the peer's recovery.
 				c.S.Stats.OutOfOrderSegs++
-				c.insertReass(th.Seq, m)
-				m = nil
+				c.insertReass(th.Seq, f.m)
+				f.m = nil
 				c.pullReass()
 				c.flagAckNow = true
 			}
 		default:
-			k.Pool.Free(m)
-			m = nil
+			k.Pool.Free(f.m)
+			f.m = nil
 		}
-	} else if m != nil {
-		k.Pool.Free(m)
-		m = nil
+	} else if f.m != nil {
+		k.Pool.Free(f.m)
+		f.m = nil
 	}
 
 	// FIN processing (only once all data up to the FIN has arrived).
-	if th.Flags&FlagFIN != 0 && th.Seq.Add(dlen) == c.rcvNxt && len(c.reass) == 0 {
+	if th.Flags&FlagFIN != 0 && th.Seq.Add(f.dlen) == c.rcvNxt && len(c.reass) == 0 {
 		c.rcvNxt = c.rcvNxt.Add(1)
 		c.flagAckNow = true
 		c.so.SetEof()
@@ -293,6 +396,7 @@ func (c *Conn) slowInput(p *sim.Proc, th Header, m *mbuf.Mbuf, dlen int) {
 		}
 	}
 
+	f.pc = 7
 	if c.flagAckNow || c.flagDelAck {
 		// flagDelAck alone waits for the fast timer; AckNow sends.
 		if c.flagAckNow {

@@ -4,31 +4,356 @@ import (
 	"repro/internal/checksum"
 	"repro/internal/cost"
 	"repro/internal/ip"
-	"repro/internal/kern"
 	"repro/internal/mbuf"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
 // output runs tcp_output until it decides there is nothing more to send.
+// It is a frame call: the resumable outputOp is pushed onto p, so output
+// must be the caller's last action before its Step returns.
 //
-// It is serialized per connection, the analogue of BSD running tcp_output
-// at splnet: CPU charges inside sendSegment yield to the event loop, so
-// without the lock a user send (sosend's PRU_SEND) and input-side
-// processing could both be inside tcp_output at once, each capturing the
-// same snd_nxt and together consuming phantom sequence space no ACK could
-// ever cover. A caller that finds output busy sleeps until the lock is
-// free and then re-evaluates the send decision against current state, as
-// a uniprocessor kernel blocking on the spl level would.
+// tcp_output is serialized per connection, the analogue of BSD running it
+// at splnet: CPU charges inside the segment build yield to the event
+// loop, so without the lock a user send (sosend's PRU_SEND) and
+// input-side processing could both be inside tcp_output at once, each
+// capturing the same snd_nxt and together consuming phantom sequence
+// space no ACK could ever cover. A caller that finds output busy sleeps
+// until the lock is free and then re-evaluates the send decision against
+// current state, as a uniprocessor kernel blocking on the spl level
+// would.
 func (c *Conn) output(p *sim.Proc) {
-	for c.outBusy {
-		c.outWait.Wait(p)
+	f := c.outOp
+	if f != nil {
+		c.outOp = nil
+	} else {
+		f = &outputOp{c: c}
 	}
-	c.outBusy = true
-	for c.outputOnce(p) {
+	f.pc = 0
+	p.Call(f)
+}
+
+// outputOp is the resumable state of one output invocation: the splnet
+// lock, the outputOnce send-decision loop, and the segment build
+// (including mcopy and the checksum) flattened into one frame. Each
+// connection caches one — per-connection outputs are serialized by the
+// outBusy lock, so steady state allocates nothing; an overlapping caller
+// parked on the lock falls back to a fresh frame.
+type outputOp struct {
+	c  *Conn
+	pc int
+
+	// One pass of the send decision, captured across parks.
+	flags              uint8
+	off, length, sbLen int
+	win                int
+	sendalot           bool
+	th                 Header
+	tagged             bool
+	data, hm           *mbuf.Mbuf
+	hdrLen             int
+	ps                 checksum.Partial
+	csM                *mbuf.Mbuf // integrated-checksum chain cursor
+}
+
+func (f *outputOp) Step(p *sim.Proc) {
+	c := f.c
+	k := c.K
+	for {
+		switch f.pc {
+		case 0: // acquire the splnet lock, re-checking on every wake
+			if c.outBusy {
+				c.outWait.Wait(p)
+				return
+			}
+			c.outBusy = true
+			f.pc = 1
+
+		case 1: // one pass of the BSD tcp_output send decision
+			idle := c.sndMax == c.sndUna
+			off := c.sndNxt.Diff(c.sndUna)
+			if off < 0 {
+				off = 0
+			}
+			win := min2(c.sndWnd, c.cwnd)
+			flags := c.outputFlags()
+
+			sbLen := c.so.Snd.Len()
+			length := min2(sbLen-off, win-off)
+			if length < 0 {
+				length = 0
+			}
+			sendalot := false
+			if length > c.mss {
+				length = c.mss
+				sendalot = true
+			}
+			// The FIN consumes sequence space after all data.
+			if flags&FlagFIN != 0 && off+length < sbLen {
+				flags &^= FlagFIN
+			}
+
+			send := false
+			switch {
+			case length == c.mss && length > 0:
+				send = true
+			case length > 0 && (idle || c.noDelay) && off+length == sbLen:
+				// Nagle: a sub-MSS segment goes out only when nothing is
+				// outstanding (or TCP_NODELAY) and it carries all queued
+				// data.
+				send = true
+			case length > 0 && off+length == sbLen && flags&FlagFIN != 0:
+				send = true
+			}
+			if flags&FlagSYN != 0 && c.sndNxt == c.iss {
+				send = true
+			}
+			if flags&FlagFIN != 0 && (!c.finSent || c.sndNxt == c.sndUna) {
+				send = true
+			}
+			if c.flagAckNow {
+				send = true
+			}
+			// Window update: advertise when the window has opened by two
+			// segments or half the buffer (BSD's receiver silly-window
+			// rule). The opening must be strictly positive: with a tiny
+			// socket buffer Hiwat/2 is zero, and a zero "opening" must not
+			// qualify or every pass would send an update and the two ends
+			// would chatter forever.
+			rcvSpace := c.so.Rcv.Space()
+			if c.state >= StateEstablished && rcvSpace > 0 {
+				adv := c.rcvNxt.Add(rcvSpace).Diff(c.rcvAdv)
+				if adv > 0 && (adv >= 2*c.mss || adv >= c.so.Rcv.Hiwat/2) {
+					send = true
+				}
+			}
+			if !send {
+				f.pc = 11
+				continue
+			}
+			f.flags, f.off, f.length = flags, off, length
+			f.sbLen, f.win, f.sendalot = sbLen, win, sendalot
+
+			// Segment build. The header is assembled before any charge so
+			// the decision's snapshot is what goes on the wire.
+			key := c.pcbEntry.Key
+			th := Header{
+				SrcPort: key.LocalPort,
+				DstPort: key.RemotePort,
+				Seq:     c.sndNxt,
+				Ack:     c.rcvNxt,
+				Flags:   flags,
+				Win:     clampWin(c.so.Rcv.Space()),
+			}
+			if flags&FlagSYN != 0 {
+				th.Seq = c.iss
+				th.MSS = uint16(c.S.mtuMSS())
+				if c.wantCksumOff {
+					th.AltCksum = AltCksumNone
+				}
+			}
+			if flags&FlagACK == 0 {
+				th.Ack = 0
+			}
+			if length > 0 && off+length == c.so.Snd.Len() {
+				th.Flags |= FlagPSH
+			}
+			f.th = th
+
+			// Tag the process with this segment's on-wire identity for the
+			// rest of the transmit path: every CPU charge from here down —
+			// mcopy, output processing, checksum, ip_output, the driver —
+			// attributes to this packet in the event stream. The tag nests,
+			// so an ACK sent from inside tcp_input restores the inbound
+			// segment's identity on pop. Tags exist only for that
+			// attribution, so an untraced run skips the push — pushing
+			// boxes the identity into an interface, one heap allocation per
+			// segment on the hot path.
+			f.tagged = k.Trace.PacketsEnabled()
+			if f.tagged {
+				pktID := trace.PacketID{
+					Src:     key.LocalAddr,
+					Dst:     key.RemoteAddr,
+					SrcPort: key.LocalPort,
+					DstPort: key.RemotePort,
+					Seq:     uint32(th.Seq),
+				}
+				p.PushTag(pktID)
+				k.Trace.Event(trace.Event{
+					Kind: trace.EvTCPOutput, At: k.Now(), ID: pktID,
+					Len: length, Aux: int64(th.Flags),
+				})
+			}
+
+			// mcopy: the data sent is a copy of the socket buffer chain,
+			// kept there for retransmission (§2.2.3: "the copy in mcopy
+			// only occurs on sends, and is made from the mbuf chain for
+			// retransmissions").
+			f.pc = 2
+			if length > 0 {
+				var cs mbuf.CopyStats
+				f.data, cs = k.Pool.Copy(c.so.Snd.Chain(), off, length)
+				d := sim.Time(cs.MbufsAllocated)*(k.Cost.MbufAlloc+k.Cost.MbufCopyFix) +
+					sim.Time(cs.ClustersRef)*k.Cost.ClusterRef +
+					sim.Time(k.Cost.UserBcopy.PerByte*float64(cs.BytesCopied))
+				if !k.Use(p, trace.LayerTCPMcopy, d) {
+					return
+				}
+			}
+
+		case 2: // remaining TCP output processing: the paper's "segment" row
+			f.pc = 3
+			if !k.Use(p, trace.LayerTCPSegmentTx, k.Cost.TCPOutputSegment.Cost(f.length)) {
+				return
+			}
+
+		case 3: // header mbuf allocation charge
+			f.pc = 4
+			if !k.Use(p, trace.LayerTCPSegmentTx, k.Cost.MbufAlloc) {
+				return
+			}
+
+		case 4: // build the header mbuf, then dispatch on checksum mode
+			hm := k.Pool.Alloc()
+			f.hm = hm
+			f.hdrLen = f.th.Len()
+			// Marshal scratch lives on the stack; Append copies it in.
+			var hdr [maxHeaderLen]byte
+			f.th.Marshal(hdr[:f.hdrLen])
+			hm.Append(hdr[:f.hdrLen])
+			hm.SetNext(f.data)
+
+			// Checksum elimination applies only once negotiated and never
+			// to SYN segments; a stack configured for elimination whose
+			// peer did not agree falls back to the standard checksum, so
+			// mismatched configurations interoperate instead of
+			// blackholing.
+			if c.cksumOff && f.flags&FlagSYN == 0 {
+				f.pc = 9
+				continue
+			}
+			if c.S.Mode == cost.ChecksumIntegrated {
+				f.pc = 5
+				if !k.Use(p, trace.LayerTCPCksumTx, k.Cost.IntegratedTxFixed) {
+					return
+				}
+				continue
+			}
+			segLen := f.hdrLen + f.length
+			nm := mbuf.ChainCount(hm)
+			f.pc = 8
+			if !k.Use(p, trace.LayerTCPCksumTx,
+				k.Cost.TCPKernelChecksum.Cost(segLen)+sim.Time(nm)*k.Cost.TCPCksumPerMbuf) {
+				return
+			}
+
+		case 5: // integrated mode: pseudo-header plus freshly summed header
+			// The data mbufs carry partial sums computed during copyin;
+			// fold them with a freshly summed header (§4.1.1). Invalidated
+			// stashes (segment boundaries that split an mbuf) fall back to
+			// summing that mbuf's bytes.
+			key := c.pcbEntry.Key
+			f.ps = checksum.TCPPseudo(key.LocalAddr, key.RemoteAddr, f.hdrLen+f.length)
+			f.ps.Add(f.hm.Bytes())
+			f.csM = f.hm.Next()
+			f.pc = 6
+			if !k.Use(p, trace.LayerTCPCksumTx, k.Cost.TCPKernelChecksum.Cost(f.hdrLen)) {
+				return
+			}
+
+		case 6: // integrated mode: per-mbuf charge for the next chain link
+			m := f.csM
+			if m == nil {
+				storeChecksum(f.hm, f.ps.Checksum())
+				f.pc = 9
+				continue
+			}
+			var d sim.Time
+			if m.CsumValid {
+				d = k.Cost.ChecksumCombine
+			} else {
+				d = sim.Time(k.Cost.TCPKernelChecksum.PerByte * float64(m.Len()))
+			}
+			f.pc = 7
+			if !k.Use(p, trace.LayerTCPCksumTx, d) {
+				return
+			}
+
+		case 7: // integrated mode: fold the charged link, advance
+			m := f.csM
+			if m.CsumValid {
+				f.ps.Combine(m.Csum)
+			} else {
+				f.ps.Add(m.Bytes())
+			}
+			f.csM = m.Next()
+			f.pc = 6
+
+		case 8: // standard mode: one charged pass over the real bytes
+			key := c.pcbEntry.Key
+			ps := checksum.TCPPseudo(key.LocalAddr, key.RemoteAddr, f.hdrLen+f.length)
+			for m := f.hm; m != nil; m = m.Next() {
+				ps.Add(m.Bytes())
+			}
+			storeChecksum(f.hm, ps.Checksum())
+			f.pc = 9
+
+		case 9: // hand the segment to IP
+			c.S.Stats.SegsOut++
+			f.pc = 10
+			c.S.IP.Output(p, c.remoteAddr(), ip.ProtoTCP, f.hm)
+			return
+
+		case 10: // advance send state, then loop if outputOnce said to
+			seqLen := f.length
+			if f.flags&FlagSYN != 0 {
+				seqLen++
+			}
+			if f.flags&FlagFIN != 0 {
+				seqLen++
+				c.finSent = true
+			}
+			c.sndNxt = c.sndNxt.Add(seqLen)
+			if c.sndNxt.Gt(c.sndMax) {
+				c.sndMax = c.sndNxt
+				// Time this transmission for RTT if nothing is being timed.
+				if !c.rtTiming && seqLen > 0 {
+					c.rtTiming = true
+					c.rtSeq = f.th.Seq
+					c.rtStart = k.Now()
+				}
+			}
+			if c.sndUna != c.sndMax {
+				c.setRexmt()
+			}
+			// Record the advertised window edge for the update rule.
+			adv := c.rcvNxt.Add(int(f.th.Win))
+			if adv.Gt(c.rcvAdv) {
+				c.rcvAdv = adv
+			}
+			c.flagAckNow = false
+			c.flagDelAck = false
+			if f.tagged {
+				p.PopTag()
+			}
+			f.data, f.hm, f.csM = nil, nil, nil
+			more := f.sbLen - (f.off + f.length)
+			if f.sendalot && more > 0 && f.off+f.length < f.win {
+				f.pc = 1
+				continue
+			}
+			f.pc = 11
+
+		case 11: // release the splnet lock and finish
+			c.outBusy = false
+			c.outWait.WakeAll()
+			if c.outOp == nil {
+				c.outOp = f
+			}
+			p.Return()
+			return
+		}
 	}
-	c.outBusy = false
-	c.outWait.WakeAll()
 }
 
 // outputFlags returns the header flags implied by the connection state.
@@ -44,236 +369,6 @@ func (c *Conn) outputFlags() uint8 {
 		return FlagACK
 	default:
 		return FlagACK
-	}
-}
-
-// outputOnce is one pass of the BSD tcp_output send decision. It reports
-// whether the caller should loop for another segment ("sendalot").
-func (c *Conn) outputOnce(p *sim.Proc) bool {
-	idle := c.sndMax == c.sndUna
-	off := c.sndNxt.Diff(c.sndUna)
-	if off < 0 {
-		off = 0
-	}
-	win := min2(c.sndWnd, c.cwnd)
-	flags := c.outputFlags()
-
-	sbLen := c.so.Snd.Len()
-	length := min2(sbLen-off, win-off)
-	if length < 0 {
-		length = 0
-	}
-	sendalot := false
-	if length > c.mss {
-		length = c.mss
-		sendalot = true
-	}
-	// The FIN consumes sequence space after all data.
-	if flags&FlagFIN != 0 && off+length < sbLen {
-		flags &^= FlagFIN
-	}
-
-	send := false
-	switch {
-	case length == c.mss && length > 0:
-		send = true
-	case length > 0 && (idle || c.noDelay) && off+length == sbLen:
-		// Nagle: a sub-MSS segment goes out only when nothing is
-		// outstanding (or TCP_NODELAY) and it carries all queued data.
-		send = true
-	case length > 0 && off+length == sbLen && flags&FlagFIN != 0:
-		send = true
-	}
-	if flags&FlagSYN != 0 && c.sndNxt == c.iss {
-		send = true
-	}
-	if flags&FlagFIN != 0 && (!c.finSent || c.sndNxt == c.sndUna) {
-		send = true
-	}
-	if c.flagAckNow {
-		send = true
-	}
-	// Window update: advertise when the window has opened by two
-	// segments or half the buffer (BSD's receiver silly-window rule).
-	// The opening must be strictly positive: with a tiny socket buffer
-	// Hiwat/2 is zero, and a zero "opening" must not qualify or every
-	// pass would send an update and the two ends would chatter forever.
-	rcvSpace := c.so.Rcv.Space()
-	if c.state >= StateEstablished && rcvSpace > 0 {
-		adv := c.rcvNxt.Add(rcvSpace).Diff(c.rcvAdv)
-		if adv > 0 && (adv >= 2*c.mss || adv >= c.so.Rcv.Hiwat/2) {
-			send = true
-		}
-	}
-	if !send {
-		return false
-	}
-
-	c.sendSegment(p, flags, off, length)
-
-	more := sbLen - (off + length)
-	return sendalot && more > 0 && off+length < win
-}
-
-// sendSegment builds and transmits one segment of the given length from
-// send-buffer offset off.
-func (c *Conn) sendSegment(p *sim.Proc, flags uint8, off, length int) {
-	k := c.K
-	key := c.pcbEntry.Key
-
-	th := Header{
-		SrcPort: key.LocalPort,
-		DstPort: key.RemotePort,
-		Seq:     c.sndNxt,
-		Ack:     c.rcvNxt,
-		Flags:   flags,
-		Win:     clampWin(c.so.Rcv.Space()),
-	}
-	if flags&FlagSYN != 0 {
-		th.Seq = c.iss
-		th.MSS = uint16(c.S.mtuMSS())
-		if c.wantCksumOff {
-			th.AltCksum = AltCksumNone
-		}
-	}
-	if flags&FlagACK == 0 {
-		th.Ack = 0
-	}
-	if length > 0 && off+length == c.so.Snd.Len() {
-		th.Flags |= FlagPSH
-	}
-
-	// Tag the process with this segment's on-wire identity for the rest
-	// of the transmit path: every CPU charge from here down — mcopy,
-	// output processing, checksum, ip_output, the driver — attributes to
-	// this packet in the event stream. The tag nests, so an ACK sent
-	// from inside tcp_input restores the inbound segment's identity on
-	// pop. Tags exist only for that attribution, so an untraced run
-	// skips the push — pushing boxes the identity into an interface,
-	// one heap allocation per segment on the hot path.
-	if k.Trace.PacketsEnabled() {
-		pktID := trace.PacketID{
-			Src:     key.LocalAddr,
-			Dst:     key.RemoteAddr,
-			SrcPort: key.LocalPort,
-			DstPort: key.RemotePort,
-			Seq:     uint32(th.Seq),
-		}
-		p.PushTag(pktID)
-		defer p.PopTag()
-		k.Trace.Event(trace.Event{
-			Kind: trace.EvTCPOutput, At: k.Now(), ID: pktID,
-			Len: length, Aux: int64(th.Flags),
-		})
-	}
-
-	// mcopy: the data sent is a copy of the socket buffer chain, kept
-	// there for retransmission (§2.2.3: "the copy in mcopy only occurs
-	// on sends, and is made from the mbuf chain for retransmissions").
-	var data *mbuf.Mbuf
-	if length > 0 {
-		var cs mbuf.CopyStats
-		data, cs = k.Pool.Copy(c.so.Snd.Chain(), off, length)
-		d := sim.Time(cs.MbufsAllocated)*(k.Cost.MbufAlloc+k.Cost.MbufCopyFix) +
-			sim.Time(cs.ClustersRef)*k.Cost.ClusterRef +
-			sim.Time(k.Cost.UserBcopy.PerByte*float64(cs.BytesCopied))
-		k.Use(p, trace.LayerTCPMcopy, d)
-	}
-
-	// Remaining TCP output processing: the paper's "segment" row.
-	k.Use(p, trace.LayerTCPSegmentTx, k.Cost.TCPOutputSegment.Cost(length))
-
-	// Header mbuf. The marshal scratch lives on the stack; Append copies
-	// it into the mbuf.
-	hm := k.AllocMbuf(p, trace.LayerTCPSegmentTx)
-	hdrLen := th.Len()
-	var hdr [maxHeaderLen]byte
-	th.Marshal(hdr[:hdrLen])
-	hm.Append(hdr[:hdrLen])
-	hm.SetNext(data)
-
-	c.fillChecksum(p, hm, hdrLen, length, flags)
-
-	c.S.Stats.SegsOut++
-	c.S.IP.Output(p, c.remoteAddr(), ip.ProtoTCP, hm)
-
-	// Advance send state.
-	seqLen := length
-	if flags&FlagSYN != 0 {
-		seqLen++
-	}
-	if flags&FlagFIN != 0 {
-		seqLen++
-		c.finSent = true
-	}
-	c.sndNxt = c.sndNxt.Add(seqLen)
-	if c.sndNxt.Gt(c.sndMax) {
-		c.sndMax = c.sndNxt
-		// Time this transmission for RTT if nothing is being timed.
-		if !c.rtTiming && seqLen > 0 {
-			c.rtTiming = true
-			c.rtSeq = th.Seq
-			c.rtStart = k.Now()
-		}
-	}
-	if c.sndUna != c.sndMax {
-		c.setRexmt()
-	}
-	// Record the advertised window edge for the update rule.
-	adv := c.rcvNxt.Add(int(th.Win))
-	if adv.Gt(c.rcvAdv) {
-		c.rcvAdv = adv
-	}
-	c.flagAckNow = false
-	c.flagDelAck = false
-}
-
-// fillChecksum computes and stores the TCP checksum into the marshaled
-// header at the front of chain hm, according to the stack's mode, and
-// charges the corresponding cost. The bytes are real in every mode except
-// elimination, where the field stays zero by agreement.
-func (c *Conn) fillChecksum(p *sim.Proc, hm *mbuf.Mbuf, hdrLen, dataLen int, flags uint8) {
-	k := c.K
-	segLen := hdrLen + dataLen
-	key := c.pcbEntry.Key
-
-	// Checksum elimination applies only once negotiated and never to
-	// SYN segments; a stack configured for elimination whose peer did
-	// not agree falls back to the standard checksum, so mismatched
-	// configurations interoperate instead of blackholing.
-	if c.cksumOff && flags&FlagSYN == 0 {
-		return
-	}
-	switch c.S.Mode {
-	case cost.ChecksumIntegrated:
-		// The data mbufs carry partial sums computed during copyin;
-		// fold them with a freshly summed header (§4.1.1). Invalidated
-		// stashes (segment boundaries that split an mbuf) fall back to
-		// summing that mbuf's bytes.
-		k.Use(p, trace.LayerTCPCksumTx, k.Cost.IntegratedTxFixed)
-		ps := checksum.TCPPseudo(key.LocalAddr, key.RemoteAddr, segLen)
-		ps.Add(hm.Bytes())
-		k.Use(p, trace.LayerTCPCksumTx, k.Cost.TCPKernelChecksum.Cost(hdrLen))
-		for m := hm.Next(); m != nil; m = m.Next() {
-			if m.CsumValid {
-				k.Use(p, trace.LayerTCPCksumTx, k.Cost.ChecksumCombine)
-				ps.Combine(m.Csum)
-			} else {
-				k.Use(p, trace.LayerTCPCksumTx,
-					sim.Time(k.Cost.TCPKernelChecksum.PerByte*float64(m.Len())))
-				ps.Add(m.Bytes())
-			}
-		}
-		storeChecksum(hm, ps.Checksum())
-	default:
-		nm := mbuf.ChainCount(hm)
-		k.Use(p, trace.LayerTCPCksumTx,
-			k.Cost.TCPKernelChecksum.Cost(segLen)+sim.Time(nm)*k.Cost.TCPCksumPerMbuf)
-		ps := checksum.TCPPseudo(key.LocalAddr, key.RemoteAddr, segLen)
-		for m := hm; m != nil; m = m.Next() {
-			ps.Add(m.Bytes())
-		}
-		storeChecksum(hm, ps.Checksum())
 	}
 }
 
@@ -299,21 +394,4 @@ func clampWin(w int) uint16 {
 // header.
 func pseudoPartial(h ip.Header, segLen int) checksum.Partial {
 	return checksum.TCPPseudo(h.Src, h.Dst, segLen)
-}
-
-// verifyIntegrated checks an inbound segment using the partial sums the
-// ATM driver stashed during its device-to-kernel copy.
-func verifyIntegrated(p *sim.Proc, k *kern.Kernel, h ip.Header, m *mbuf.Mbuf, segLen int) bool {
-	ps := pseudoPartial(h, segLen)
-	for c := m; c != nil; c = c.Next() {
-		if c.CsumValid {
-			k.Use(p, trace.LayerTCPCksumRx, k.Cost.ChecksumCombine)
-			ps.Combine(c.Csum)
-		} else {
-			k.Use(p, trace.LayerTCPCksumRx,
-				sim.Time(k.Cost.TCPKernelChecksum.PerByte*float64(c.Len())))
-			ps.Add(c.Bytes())
-		}
-	}
-	return ps.Sum16() == 0xffff
 }

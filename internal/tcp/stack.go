@@ -3,6 +3,7 @@ package tcp
 import (
 	"fmt"
 
+	"repro/internal/checksum"
 	"repro/internal/cost"
 	"repro/internal/ip"
 	"repro/internal/kern"
@@ -66,6 +67,8 @@ type Stack struct {
 	// stack's service process, which can block on driver FIFOs.
 	due   []func(p *sim.Proc)
 	workQ *sim.WaitQueue
+
+	inOp *inputOp // cached input frame (nil while in use)
 }
 
 // NewStack creates the TCP layer for a host, registers it with IP, and
@@ -81,7 +84,8 @@ func NewStack(k *kern.Kernel, ipStack *ip.Stack) *Stack {
 		workQ:             k.Env.NewWaitQueue(k.Name + ".tcp.work"),
 	}
 	ipStack.Register(ip.ProtoTCP, s)
-	k.Env.Spawn(k.Name+".tcptimer", s.workLoop)
+	s.inOp = &inputOp{s: s}
+	k.Env.Spawn(k.Name+".tcptimer", &workLoopFrame{s: s})
 	return s
 }
 
@@ -116,16 +120,26 @@ func (s *Stack) dispatch(fn func(p *sim.Proc)) {
 	s.workQ.Wake()
 }
 
-func (s *Stack) workLoop(p *sim.Proc) {
-	for {
-		for len(s.due) == 0 {
-			s.workQ.Wait(p)
-		}
-		fn := s.due[0]
-		copy(s.due, s.due[1:])
-		s.due = s.due[:len(s.due)-1]
-		fn(p)
+// workLoopFrame is the timer service process: each Step either parks on
+// the work queue or pops and runs one deferred function. A function that
+// needs to transmit pushes the connection's output frame as its last
+// action; the loop resumes — and drains the next item — when that frame
+// pops.
+type workLoopFrame struct {
+	s *Stack
+}
+
+func (f *workLoopFrame) Step(p *sim.Proc) {
+	s := f.s
+	if len(s.due) == 0 {
+		s.workQ.Wait(p)
+		return
 	}
+	fn := s.due[0]
+	copy(s.due, s.due[1:])
+	s.due[len(s.due)-1] = nil
+	s.due = s.due[:len(s.due)-1]
+	fn(p)
 }
 
 // allocPort returns a fresh ephemeral port.
@@ -162,35 +176,70 @@ func (s *Stack) mtuMSS() int {
 	return s.IP.If.MTU() - ip.HeaderLen - HeaderLen
 }
 
-// Connect opens a connection to dst:port, blocking the calling process
-// until establishment completes (or fails). It returns the connected
-// socket.
-func (s *Stack) Connect(p *sim.Proc, dst uint32, port uint16) (*sock.Socket, *Conn, error) {
-	c := s.newConn()
-	key := pcb.Key{
-		LocalAddr:  s.IP.Addr,
-		RemoteAddr: dst,
-		LocalPort:  s.allocPort(),
-		RemotePort: port,
+// Connect opens a connection to dst:port. It is a frame call: the
+// returned op is pushed onto p and must be Connect's caller's last
+// action before its Step returns; the op's So/C/Err fields are valid
+// when the caller's Step next resumes.
+func (s *Stack) Connect(p *sim.Proc, dst uint32, port uint16) *ConnectOp {
+	f := &ConnectOp{s: s, dst: dst, port: port}
+	p.Call(f)
+	return f
+}
+
+// ConnectOp is the resumable state of one Connect call: send the SYN,
+// then park on the socket's state queue until establishment completes
+// (or fails). Connection setup is a cold path, so the frame is allocated
+// per call.
+type ConnectOp struct {
+	s    *Stack
+	pc   int
+	dst  uint32
+	port uint16
+	c    *Conn
+
+	// Results, valid once the op returns.
+	So  *sock.Socket
+	C   *Conn
+	Err error
+}
+
+func (f *ConnectOp) Step(p *sim.Proc) {
+	s := f.s
+	switch f.pc {
+	case 0:
+		c := s.newConn()
+		key := pcb.Key{
+			LocalAddr:  s.IP.Addr,
+			RemoteAddr: f.dst,
+			LocalPort:  s.allocPort(),
+			RemotePort: f.port,
+		}
+		c.pcbEntry = &pcb.PCB{Key: key, Owner: c}
+		c.so.TraceID = connTraceID(key)
+		s.Table.Insert(c.pcbEntry)
+		s.nextISS += 64000
+		c.iss = s.nextISS
+		c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
+		c.mss = s.mtuMSS()
+		c.cwnd = c.mss
+		c.ssthresh = 65535
+		c.state = StateSynSent
+		f.c = c
+		f.pc = 1
+		c.output(p)
+	case 1:
+		c := f.c
+		if !c.so.Connected && c.so.Err == nil {
+			c.so.StateQ.Wait(p)
+			return
+		}
+		if c.so.Err != nil {
+			f.Err = c.so.Err
+		} else {
+			f.So, f.C = c.so, c
+		}
+		p.Return()
 	}
-	c.pcbEntry = &pcb.PCB{Key: key, Owner: c}
-	c.so.TraceID = connTraceID(key)
-	s.Table.Insert(c.pcbEntry)
-	s.nextISS += 64000
-	c.iss = s.nextISS
-	c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
-	c.mss = s.mtuMSS()
-	c.cwnd = c.mss
-	c.ssthresh = 65535
-	c.state = StateSynSent
-	c.output(p)
-	for !c.so.Connected && c.so.Err == nil {
-		c.so.StateQ.Wait(p)
-	}
-	if c.so.Err != nil {
-		return nil, nil, c.so.Err
-	}
-	return c.so, c, nil
 }
 
 // InsertIdlePCB inserts a synthetic inactive connection into the
@@ -234,167 +283,315 @@ func (s *Stack) Listen(port uint16) (*Listener, error) {
 	return l, nil
 }
 
-// Accept blocks until a connection is established and returns its socket.
-func (l *Listener) Accept(p *sim.Proc) (*sock.Socket, *Conn) {
-	for len(l.backlog) == 0 {
+// Accept waits until a connection is established and delivers its
+// socket. It is a frame call: the returned op is pushed onto p and must
+// be Accept's caller's last action before its Step returns; the op's
+// So/C fields are valid when the caller's Step next resumes.
+func (l *Listener) Accept(p *sim.Proc) *AcceptOp {
+	f := &AcceptOp{l: l}
+	p.Call(f)
+	return f
+}
+
+// AcceptOp is the resumable state of one Accept call. Accepting is a
+// cold path, so the frame is allocated per call.
+type AcceptOp struct {
+	l *Listener
+
+	// Results, valid once the op returns.
+	So *sock.Socket
+	C  *Conn
+}
+
+func (f *AcceptOp) Step(p *sim.Proc) {
+	l := f.l
+	if len(l.backlog) == 0 {
 		l.wq.Wait(p)
+		return
 	}
 	c := l.backlog[0]
 	copy(l.backlog, l.backlog[1:])
+	l.backlog[len(l.backlog)-1] = nil
 	l.backlog = l.backlog[:len(l.backlog)-1]
-	return c.so, c
+	f.So, f.C = c.so, c
+	p.Return()
 }
 
 // Input implements ip.Handler: checksum verification, PCB demultiplexing
 // (with the single-entry cache), header prediction, and the slow path.
-// The mbuf chain m holds the TCP segment (header plus data).
+// The mbuf chain m holds the TCP segment (header plus data). It is a
+// frame call: the input frame is pushed onto p, so Input must be the
+// caller's last action before its Step returns.
 func (s *Stack) Input(p *sim.Proc, h ip.Header, m *mbuf.Mbuf) {
-	k := s.K
-	s.Stats.SegsIn++
-	segLen := mbuf.ChainLen(m)
-
-	// Header scratch on the stack (20 bytes plus the two options this
-	// stack uses); Parse copies what it keeps, so this must not escape.
-	var raw [maxHeaderLen]byte
-	nn := mbuf.CopyBytesTo(m, 0, maxHeaderLen, raw[:])
-	th, off, err := Parse(raw[:nn])
-	if err != nil {
-		k.Pool.Free(m)
-		return
-	}
-
-	// Tag the process with the segment's on-wire identity for the rest
-	// of input processing: the PCB lookup, checksum verification, and
-	// tcp_input charges all attribute to this packet in the event
-	// stream. (A response transmitted from inside input pushes its own
-	// identity on top.) Untraced runs skip the push — the tag stack
-	// exists only for trace attribution and pushing boxes the identity,
-	// one heap allocation per segment.
-	var pktID trace.PacketID
-	if k.Trace.PacketsEnabled() {
-		pktID = trace.PacketID{
-			Src:     h.Src,
-			Dst:     h.Dst,
-			SrcPort: th.SrcPort,
-			DstPort: th.DstPort,
-			Seq:     uint32(th.Seq),
-		}
-		p.PushTag(pktID)
-		defer p.PopTag()
-		k.Trace.Event(trace.Event{
-			Kind: trace.EvTCPInput, At: k.Now(), ID: pktID,
-			Len: segLen, Aux: int64(th.Flags),
-		})
-	}
-
-	// PCB demultiplexing: single-entry cache, then list or hash search.
-	probe := pcb.Key{
-		LocalAddr:  h.Dst,
-		RemoteAddr: h.Src,
-		LocalPort:  th.DstPort,
-		RemotePort: th.SrcPort,
-	}
-	s.Table.CacheDisabled = !s.PredictionEnabled
-	ent, res := s.Table.Lookup(probe)
-	if k.Trace.PacketRecording() {
-		searched := int64(res.Searched)
-		if res.CacheHit {
-			searched = -1
-		}
-		k.Trace.Event(trace.Event{
-			Kind: trace.EvPCBLookup, At: k.Now(), ID: pktID, Aux: searched,
-		})
-	}
-	if res.CacheHit {
-		s.Stats.PCBCacheHits++
-		k.Use(p, trace.LayerTCPSegmentRx, k.Cost.PCBCacheHit)
+	f := s.inOp
+	if f != nil {
+		s.inOp = nil
 	} else {
-		s.Stats.PCBListSearched += int64(res.Searched)
-		var searchCost sim.Time
-		if s.Table.UseHash {
-			searchCost = k.Cost.PCBHashLookup
-		} else {
-			searchCost = k.Cost.PCBLookupFixed +
-				sim.Time(res.Searched)*k.Cost.PCBLookupPerEntry
-		}
-		k.Use(p, trace.LayerTCPSegmentRx, searchCost)
+		f = &inputOp{s: s}
 	}
-	if ent == nil {
-		// No connection: drop (a full stack would send RST).
-		k.Pool.Free(m)
-		return
-	}
-
-	// Checksum verification. BSD verifies before the PCB lookup; with
-	// the Alternate Checksum Option the mode is per connection, so the
-	// lookup has to come first. A segment whose corrupted ports demux
-	// to the wrong (or no) connection is still dropped — here, by that
-	// connection's own checksum, or by the sequence checks. Whether the
-	// checksum applies: never for SYNs (negotiation is not complete),
-	// and not when both ends negotiated it off.
-	verify := true
-	if conn, ok := ent.Owner.(*Conn); ok &&
-		conn.cksumOff && th.Flags&FlagSYN == 0 {
-		verify = false
-	}
-	if verify && !s.verifyChecksum(p, h, m, segLen) {
-		s.Stats.ChecksumErrors++
-		k.Pool.Free(m)
-		return
-	}
-
-	// Strip the TCP header; the remaining chain is the segment data.
-	m = k.Pool.Drop(m, off)
-
-	switch owner := ent.Owner.(type) {
-	case *Listener:
-		k.Pool.Free(m)
-		s.listenerInput(p, owner, h, th)
-	case *Conn:
-		owner.input(p, th, m)
-	default:
-		panic("tcp: unknown PCB owner")
-	}
+	f.pc, f.h, f.m, f.tagged = 0, h, m, false
+	p.Call(f)
 }
 
-// listenerInput handles a segment addressed to a listening socket: a SYN
-// creates an embryonic connection; anything else is dropped.
-func (s *Stack) listenerInput(p *sim.Proc, l *Listener, h ip.Header, th Header) {
+// inputOp is the resumable state of one segment's input processing:
+// parse, PCB lookup, checksum verification, and dispatch to the owning
+// connection or listener. The stack caches one — input runs from the
+// netisr, which processes one datagram at a time.
+type inputOp struct {
+	s      *Stack
+	pc     int
+	h      ip.Header
+	m      *mbuf.Mbuf
+	th     Header
+	off    int
+	segLen int
+	pktID  trace.PacketID
+	tagged bool
+	ent    *pcb.PCB
+	ps     checksum.Partial
+	csM    *mbuf.Mbuf // integrated-verification chain cursor
+	ok     bool       // checksum verdict
+}
+
+func (f *inputOp) Step(p *sim.Proc) {
+	s := f.s
 	k := s.K
-	k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputSlow)
-	s.Stats.SlowPath++
-	if th.Flags&FlagSYN == 0 || th.Flags&FlagACK != 0 {
-		return
+	for {
+		switch f.pc {
+		case 0: // parse, tag, PCB demultiplex (cache, then list or hash)
+			s.Stats.SegsIn++
+			f.segLen = mbuf.ChainLen(f.m)
+
+			// Header scratch on the stack (20 bytes plus the two options
+			// this stack uses); Parse copies what it keeps, so this must
+			// not escape.
+			var raw [maxHeaderLen]byte
+			nn := mbuf.CopyBytesTo(f.m, 0, maxHeaderLen, raw[:])
+			th, off, err := Parse(raw[:nn])
+			if err != nil {
+				k.Pool.Free(f.m)
+				f.pc = 7
+				continue
+			}
+			f.th, f.off = th, off
+
+			// Tag the process with the segment's on-wire identity for the
+			// rest of input processing: the PCB lookup, checksum
+			// verification, and tcp_input charges all attribute to this
+			// packet in the event stream. (A response transmitted from
+			// inside input pushes its own identity on top.) Untraced runs
+			// skip the push — the tag stack exists only for trace
+			// attribution and pushing boxes the identity, one heap
+			// allocation per segment.
+			f.pktID = trace.PacketID{}
+			if k.Trace.PacketsEnabled() {
+				f.pktID = trace.PacketID{
+					Src:     f.h.Src,
+					Dst:     f.h.Dst,
+					SrcPort: th.SrcPort,
+					DstPort: th.DstPort,
+					Seq:     uint32(th.Seq),
+				}
+				f.tagged = true
+				p.PushTag(f.pktID)
+				k.Trace.Event(trace.Event{
+					Kind: trace.EvTCPInput, At: k.Now(), ID: f.pktID,
+					Len: f.segLen, Aux: int64(th.Flags),
+				})
+			}
+
+			probe := pcb.Key{
+				LocalAddr:  f.h.Dst,
+				RemoteAddr: f.h.Src,
+				LocalPort:  th.DstPort,
+				RemotePort: th.SrcPort,
+			}
+			s.Table.CacheDisabled = !s.PredictionEnabled
+			ent, res := s.Table.Lookup(probe)
+			f.ent = ent
+			if k.Trace.PacketRecording() {
+				searched := int64(res.Searched)
+				if res.CacheHit {
+					searched = -1
+				}
+				k.Trace.Event(trace.Event{
+					Kind: trace.EvPCBLookup, At: k.Now(), ID: f.pktID, Aux: searched,
+				})
+			}
+			f.pc = 1
+			if res.CacheHit {
+				s.Stats.PCBCacheHits++
+				if !k.Use(p, trace.LayerTCPSegmentRx, k.Cost.PCBCacheHit) {
+					return
+				}
+			} else {
+				s.Stats.PCBListSearched += int64(res.Searched)
+				var searchCost sim.Time
+				if s.Table.UseHash {
+					searchCost = k.Cost.PCBHashLookup
+				} else {
+					searchCost = k.Cost.PCBLookupFixed +
+						sim.Time(res.Searched)*k.Cost.PCBLookupPerEntry
+				}
+				if !k.Use(p, trace.LayerTCPSegmentRx, searchCost) {
+					return
+				}
+			}
+
+		case 1: // lookup result; decide whether the checksum applies
+			if f.ent == nil {
+				// No connection: drop (a full stack would send RST).
+				k.Pool.Free(f.m)
+				f.pc = 7
+				continue
+			}
+			// Checksum verification. BSD verifies before the PCB lookup;
+			// with the Alternate Checksum Option the mode is per
+			// connection, so the lookup has to come first. A segment whose
+			// corrupted ports demux to the wrong (or no) connection is
+			// still dropped — here, by that connection's own checksum, or
+			// by the sequence checks. Whether the checksum applies: never
+			// for SYNs (negotiation is not complete), and not when both
+			// ends negotiated it off.
+			verify := true
+			if conn, isConn := f.ent.Owner.(*Conn); isConn &&
+				conn.cksumOff && f.th.Flags&FlagSYN == 0 {
+				verify = false
+			}
+			if !verify {
+				f.ok = true
+				f.pc = 5
+				continue
+			}
+			if s.Mode == cost.ChecksumIntegrated {
+				// Verify using the partial sums the ATM driver stashed
+				// during its device-to-kernel copy.
+				f.ps = pseudoPartial(f.h, f.segLen)
+				f.csM = f.m
+				f.pc = 2
+				continue
+			}
+			nm := mbuf.ChainCount(f.m)
+			f.pc = 4
+			if !k.Use(p, trace.LayerTCPCksumRx,
+				k.Cost.TCPKernelChecksum.Cost(f.segLen)+sim.Time(nm)*k.Cost.TCPCksumPerMbuf) {
+				return
+			}
+
+		case 2: // integrated verification: per-mbuf charge for the next link
+			m := f.csM
+			if m == nil {
+				f.ok = f.ps.Sum16() == 0xffff
+				f.pc = 5
+				continue
+			}
+			var d sim.Time
+			if m.CsumValid {
+				d = k.Cost.ChecksumCombine
+			} else {
+				d = sim.Time(k.Cost.TCPKernelChecksum.PerByte * float64(m.Len()))
+			}
+			f.pc = 3
+			if !k.Use(p, trace.LayerTCPCksumRx, d) {
+				return
+			}
+
+		case 3: // integrated verification: fold the charged link, advance
+			m := f.csM
+			if m.CsumValid {
+				f.ps.Combine(m.Csum)
+			} else {
+				f.ps.Add(m.Bytes())
+			}
+			f.csM = m.Next()
+			f.pc = 2
+
+		case 4: // standard verification: one charged pass over real bytes
+			ps := pseudoPartial(f.h, f.segLen)
+			for c := f.m; c != nil; c = c.Next() {
+				ps.Add(c.Bytes())
+			}
+			f.ok = ps.Sum16() == 0xffff
+			f.pc = 5
+
+		case 5: // checksum verdict, strip header, dispatch to the owner
+			if !f.ok {
+				s.Stats.ChecksumErrors++
+				k.Pool.Free(f.m)
+				f.pc = 7
+				continue
+			}
+			// Strip the TCP header; the remaining chain is the data.
+			f.m = k.Pool.Drop(f.m, f.off)
+			switch owner := f.ent.Owner.(type) {
+			case *Listener:
+				k.Pool.Free(f.m)
+				f.m = nil
+				f.pc = 6
+				if !k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputSlow) {
+					return
+				}
+			case *Conn:
+				f.pc = 7
+				owner.input(p, f.th, f.m)
+				f.m = nil
+				return
+			default:
+				panic("tcp: unknown PCB owner")
+			}
+
+		case 6: // listener input: a SYN creates an embryonic connection
+			s.Stats.SlowPath++
+			l := f.ent.Owner.(*Listener)
+			th := f.th
+			if th.Flags&FlagSYN == 0 || th.Flags&FlagACK != 0 {
+				f.pc = 7
+				continue
+			}
+			c := s.newConn()
+			key := pcb.Key{
+				LocalAddr:  s.IP.Addr,
+				RemoteAddr: f.h.Src,
+				LocalPort:  l.port,
+				RemotePort: th.SrcPort,
+			}
+			c.pcbEntry = &pcb.PCB{Key: key, Owner: c}
+			c.so.TraceID = connTraceID(key)
+			s.Table.Insert(c.pcbEntry)
+			c.listener = l
+			s.nextISS += 64000
+			c.iss = s.nextISS
+			c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
+			c.irs = th.Seq
+			c.rcvNxt = th.Seq.Add(1)
+			c.mss = s.mtuMSS()
+			if th.MSS != 0 && int(th.MSS) < c.mss {
+				c.mss = int(th.MSS)
+			}
+			if th.AltCksum == AltCksumNone && c.wantCksumOff {
+				c.cksumOff = true
+			}
+			c.cwnd = c.mss
+			c.ssthresh = 65535
+			c.sndWnd = int(th.Win)
+			c.state = StateSynRcvd
+			c.flagAckNow = true
+			f.pc = 7
+			c.output(p)
+			return
+
+		case 7: // finish: restore the tag, recycle the frame
+			if f.tagged {
+				p.PopTag()
+			}
+			f.m, f.ent, f.csM = nil, nil, nil
+			if s.inOp == nil {
+				s.inOp = f
+			}
+			p.Return()
+			return
+		}
 	}
-	c := s.newConn()
-	key := pcb.Key{
-		LocalAddr:  s.IP.Addr,
-		RemoteAddr: h.Src,
-		LocalPort:  l.port,
-		RemotePort: th.SrcPort,
-	}
-	c.pcbEntry = &pcb.PCB{Key: key, Owner: c}
-	c.so.TraceID = connTraceID(key)
-	s.Table.Insert(c.pcbEntry)
-	c.listener = l
-	s.nextISS += 64000
-	c.iss = s.nextISS
-	c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
-	c.irs = th.Seq
-	c.rcvNxt = th.Seq.Add(1)
-	c.mss = s.mtuMSS()
-	if th.MSS != 0 && int(th.MSS) < c.mss {
-		c.mss = int(th.MSS)
-	}
-	if th.AltCksum == AltCksumNone && c.wantCksumOff {
-		c.cksumOff = true
-	}
-	c.cwnd = c.mss
-	c.ssthresh = 65535
-	c.sndWnd = int(th.Win)
-	c.state = StateSynRcvd
-	c.flagAckNow = true
-	c.output(p)
 }
 
 // connTraceID is the connection-scoped trace identity (4-tuple, Seq
@@ -405,24 +602,5 @@ func connTraceID(key pcb.Key) trace.PacketID {
 		Dst:     key.RemoteAddr,
 		SrcPort: key.LocalPort,
 		DstPort: key.RemotePort,
-	}
-}
-
-// verifyChecksum checks the segment's TCP checksum according to the
-// stack's mode, charging the appropriate cost, and reports validity.
-func (s *Stack) verifyChecksum(p *sim.Proc, h ip.Header, m *mbuf.Mbuf, segLen int) bool {
-	k := s.K
-	switch s.Mode {
-	case cost.ChecksumIntegrated:
-		return verifyIntegrated(p, k, h, m, segLen)
-	default:
-		nm := mbuf.ChainCount(m)
-		k.Use(p, trace.LayerTCPCksumRx,
-			k.Cost.TCPKernelChecksum.Cost(segLen)+sim.Time(nm)*k.Cost.TCPCksumPerMbuf)
-		ps := pseudoPartial(h, segLen)
-		for c := m; c != nil; c = c.Next() {
-			ps.Add(c.Bytes())
-		}
-		return ps.Sum16() == 0xffff
 	}
 }

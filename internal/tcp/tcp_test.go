@@ -11,6 +11,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/kern"
 	"repro/internal/sim"
+	"repro/internal/sock"
 )
 
 func TestHeaderRoundTrip(t *testing.T) {
@@ -123,6 +124,229 @@ func newPair(t *testing.T, mode cost.ChecksumMode) *pair {
 	return p
 }
 
+// drainFrame accepts one connection and reads until EOF or error,
+// appending everything read to *got (when non-nil) and reporting each
+// read's length to each (when non-nil). done, if set, runs before the
+// frame returns.
+type drainFrame struct {
+	ln   *Listener
+	got  *[]byte
+	conn **Conn
+	each func(n int)
+	done func()
+
+	pc     int
+	accept *AcceptOp
+	so     *sock.Socket
+	buf    []byte
+	recv   *sock.RecvOp
+}
+
+func (f *drainFrame) Step(p *sim.Proc) {
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			f.accept = f.ln.Accept(p)
+			return
+		case 1:
+			f.so = f.accept.So
+			if f.conn != nil {
+				*f.conn = f.accept.C
+			}
+			f.buf = make([]byte, 4096)
+			f.pc = 2
+		case 2:
+			f.pc = 3
+			f.recv = f.so.Recv(p, f.buf)
+			return
+		case 3:
+			if f.recv.Err != nil || f.recv.N == 0 {
+				if f.done != nil {
+					f.done()
+				}
+				p.Return()
+				return
+			}
+			if f.got != nil {
+				*f.got = append(*f.got, f.buf[:f.recv.N]...)
+			}
+			if f.each != nil {
+				f.each(f.recv.N)
+			}
+			f.pc = 2
+		}
+	}
+}
+
+// echoFrame accepts one connection and echoes every read back to the
+// sender until EOF or error.
+type echoFrame struct {
+	ln *Listener
+
+	pc     int
+	accept *AcceptOp
+	so     *sock.Socket
+	buf    []byte
+	recv   *sock.RecvOp
+	send   *sock.SendOp
+}
+
+func (f *echoFrame) Step(p *sim.Proc) {
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			f.accept = f.ln.Accept(p)
+			return
+		case 1:
+			f.so = f.accept.So
+			f.accept.C.SetNoDelay(true)
+			f.buf = make([]byte, 64)
+			f.pc = 2
+		case 2:
+			f.pc = 3
+			f.recv = f.so.Recv(p, f.buf)
+			return
+		case 3:
+			if f.recv.Err != nil || f.recv.N == 0 {
+				p.Return()
+				return
+			}
+			f.pc = 4
+			f.send = f.so.Send(p, f.buf[:f.recv.N])
+			return
+		case 4:
+			if f.send.Err != nil {
+				p.Return()
+				return
+			}
+			f.pc = 2
+		}
+	}
+}
+
+// txFrame connects, optionally after a stagger delay, sends one payload,
+// and closes the socket.
+type txFrame struct {
+	t       *testing.T
+	s       *Stack
+	payload []byte
+	nodelay bool
+	stagger sim.Time
+	conn    **Conn
+
+	pc   int
+	op   *ConnectOp
+	send *sock.SendOp
+}
+
+func (f *txFrame) Step(p *sim.Proc) {
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			if f.stagger > 0 && !p.Sleep(f.stagger) {
+				return
+			}
+		case 1:
+			f.pc = 2
+			f.op = f.s.Connect(p, 2, 80)
+			return
+		case 2:
+			if f.op.Err != nil {
+				f.t.Error(f.op.Err)
+				p.Return()
+				return
+			}
+			if f.conn != nil {
+				*f.conn = f.op.C
+			}
+			f.op.C.SetNoDelay(f.nodelay)
+			f.pc = 3
+			f.send = f.op.So.Send(p, f.payload)
+			return
+		case 3:
+			if f.send.Err != nil {
+				f.t.Error(f.send.Err)
+			}
+			f.pc = 4
+			f.op.So.Close(p)
+			return
+		case 4:
+			p.Return()
+			return
+		}
+	}
+}
+
+// rpcClientFrame connects and performs iters request/response exchanges
+// of 64 bytes each against an echo server, then closes.
+type rpcClientFrame struct {
+	t     *testing.T
+	s     *Stack
+	iters int
+	done  func()
+
+	pc    int
+	op    *ConnectOp
+	so    *sock.Socket
+	buf   []byte
+	i     int
+	total int
+	recv  *sock.RecvOp
+	send  *sock.SendOp
+}
+
+func (f *rpcClientFrame) Step(p *sim.Proc) {
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			f.op = f.s.Connect(p, 2, 80)
+			return
+		case 1:
+			if f.op.Err != nil {
+				f.t.Error(f.op.Err)
+				p.Return()
+				return
+			}
+			f.so = f.op.So
+			f.op.C.SetNoDelay(true)
+			f.buf = make([]byte, 64)
+			f.pc = 2
+		case 2: // next exchange, or close once all are done
+			if f.i == f.iters {
+				f.pc = 5
+				f.so.Close(p)
+				return
+			}
+			f.i++
+			f.total = 0
+			f.pc = 3
+			f.send = f.so.Send(p, f.buf)
+			return
+		case 3: // read the echo until the full 64 bytes are back
+			if f.total >= 64 {
+				f.pc = 2
+				continue
+			}
+			f.pc = 4
+			f.recv = f.so.Recv(p, f.buf[f.total:])
+			return
+		case 4:
+			f.total += f.recv.N
+			f.pc = 3
+		case 5:
+			if f.done != nil {
+				f.done()
+			}
+			p.Return()
+			return
+		}
+	}
+}
+
 func TestConnectEstablishes(t *testing.T) {
 	p := newPair(t, cost.ChecksumStandard)
 	ln, err := p.sb.Listen(80)
@@ -130,17 +354,22 @@ func TestConnectEstablishes(t *testing.T) {
 		t.Fatal(err)
 	}
 	var clientConn, serverConn *Conn
-	p.env.Spawn("server", func(pr *sim.Proc) {
-		_, serverConn = ln.Accept(pr)
-	})
-	p.env.Spawn("client", func(pr *sim.Proc) {
-		_, c, err := p.sa.Connect(pr, 2, 80)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		clientConn = c
-	})
+	var accept *AcceptOp
+	p.env.Spawn("server", sim.Steps(
+		func(pr *sim.Proc) { accept = ln.Accept(pr) },
+		func(pr *sim.Proc) { serverConn = accept.C },
+	))
+	var conn *ConnectOp
+	p.env.Spawn("client", sim.Steps(
+		func(pr *sim.Proc) { conn = p.sa.Connect(pr, 2, 80) },
+		func(pr *sim.Proc) {
+			if conn.Err != nil {
+				t.Error(conn.Err)
+				return
+			}
+			clientConn = conn.C
+		},
+	))
 	p.env.Run()
 	if clientConn == nil || serverConn == nil {
 		t.Fatal("handshake incomplete")
@@ -173,30 +402,8 @@ func transfer(t *testing.T, p *pair, payload []byte, nodelay bool) []byte {
 		t.Fatal(err)
 	}
 	var got []byte
-	p.env.Spawn("rx", func(pr *sim.Proc) {
-		so, _ := ln.Accept(pr)
-		buf := make([]byte, 4096)
-		for {
-			n, err := so.Recv(pr, buf)
-			if err != nil || n == 0 {
-				return
-			}
-			got = append(got, buf[:n]...)
-		}
-	})
-	p.env.Spawn("tx", func(pr *sim.Proc) {
-		so, c, err := p.sa.Connect(pr, 2, 80)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		c.SetNoDelay(nodelay)
-		if _, err := so.Send(pr, payload); err != nil {
-			t.Error(err)
-			return
-		}
-		so.Close(pr)
-	})
+	p.env.Spawn("rx", &drainFrame{ln: ln, got: &got})
+	p.env.Spawn("tx", &txFrame{t: t, s: p.sa, payload: payload, nodelay: nodelay})
 	p.env.Run()
 	return got
 }
@@ -289,38 +496,8 @@ func TestFastPathFailsForRPC(t *testing.T) {
 	p := newPair(t, cost.ChecksumStandard)
 	ln, _ := p.sb.Listen(80)
 	const iters = 20
-	p.env.Spawn("server", func(pr *sim.Proc) {
-		so, c := ln.Accept(pr)
-		c.SetNoDelay(true)
-		buf := make([]byte, 64)
-		for {
-			n, err := so.Recv(pr, buf)
-			if err != nil || n == 0 {
-				return
-			}
-			if _, err := so.Send(pr, buf[:n]); err != nil {
-				return
-			}
-		}
-	})
-	p.env.Spawn("client", func(pr *sim.Proc) {
-		so, c, err := p.sa.Connect(pr, 2, 80)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		c.SetNoDelay(true)
-		buf := make([]byte, 64)
-		for i := 0; i < iters; i++ {
-			so.Send(pr, buf)
-			total := 0
-			for total < 64 {
-				n, _ := so.Recv(pr, buf[total:])
-				total += n
-			}
-		}
-		so.Close(pr)
-	})
+	p.env.Spawn("server", &echoFrame{ln: ln})
+	p.env.Spawn("client", &rpcClientFrame{t: t, s: p.sa, iters: iters})
 	p.env.Run()
 	data := p.sa.Stats.FastPathData + p.sb.Stats.FastPathData
 	if data > 2 {
@@ -359,34 +536,33 @@ func TestFastPathPureAck(t *testing.T) {
 		t.Fatal(err)
 	}
 	const rounds = 4
-	p.env.Spawn("rx", func(pr *sim.Proc) {
-		so, _ := ln.Accept(pr)
-		buf := make([]byte, 4096)
-		for {
-			n, err := so.Recv(pr, buf)
-			if err != nil || n == 0 {
+	p.env.Spawn("rx", &drainFrame{ln: ln})
+	var conn *ConnectOp
+	var send *sock.SendOp
+	msg := make([]byte, 512)
+	p.env.Spawn("tx", sim.Steps(
+		func(pr *sim.Proc) { conn = p.sa.Connect(pr, 2, 80) },
+		func(pr *sim.Proc) {
+			if conn.Err != nil {
+				t.Error(conn.Err)
+				pr.Return()
 				return
 			}
-		}
-	})
-	p.env.Spawn("tx", func(pr *sim.Proc) {
-		so, c, err := p.sa.Connect(pr, 2, 80)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		c.SetNoDelay(true)
-		msg := make([]byte, 512)
-		for i := 0; i < rounds; i++ {
-			if _, err := so.Send(pr, msg); err != nil {
-				t.Error(err)
-				return
-			}
-			// Wait out the peer's delayed ACK before the next send.
-			pr.Sleep(300 * sim.Millisecond)
-		}
-		so.Close(pr)
-	})
+			conn.C.SetNoDelay(true)
+			pr.Call(sim.LoopN(2*rounds, func(pr *sim.Proc, i int) {
+				if i%2 == 0 {
+					send = conn.So.Send(pr, msg)
+				} else {
+					if send.Err != nil {
+						t.Error(send.Err)
+					}
+					// Wait out the peer's delayed ACK before the next send.
+					pr.Sleep(300 * sim.Millisecond)
+				}
+			}))
+		},
+		func(pr *sim.Proc) { conn.So.Close(pr) },
+	))
 	p.env.Run()
 	if p.sa.Stats.FastPathAck < rounds-1 {
 		t.Errorf("sender fast-path ACK hits = %d, expected >= %d",
@@ -419,28 +595,22 @@ func TestNagleCoalesces(t *testing.T) {
 	ln, _ := p.sb.Listen(80)
 	const writes = 50
 	var received int
-	p.env.Spawn("rx", func(pr *sim.Proc) {
-		so, _ := ln.Accept(pr)
-		buf := make([]byte, 4096)
-		for {
-			n, err := so.Recv(pr, buf)
-			if err != nil || n == 0 {
+	p.env.Spawn("rx", &drainFrame{ln: ln, each: func(n int) { received += n }})
+	var conn *ConnectOp
+	p.env.Spawn("tx", sim.Steps(
+		func(pr *sim.Proc) { conn = p.sa.Connect(pr, 2, 80) },
+		func(pr *sim.Proc) {
+			if conn.Err != nil {
+				t.Error(conn.Err)
+				pr.Return()
 				return
 			}
-			received += n
-		}
-	})
-	p.env.Spawn("tx", func(pr *sim.Proc) {
-		so, _, err := p.sa.Connect(pr, 2, 80)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		for i := 0; i < writes; i++ {
-			so.Send(pr, []byte{byte(i)})
-		}
-		so.Close(pr)
-	})
+			pr.Call(sim.LoopN(writes, func(pr *sim.Proc, i int) {
+				conn.So.Send(pr, []byte{byte(i)})
+			}))
+		},
+		func(pr *sim.Proc) { conn.So.Close(pr) },
+	))
 	p.env.Run()
 	if received != writes {
 		t.Fatalf("received %d bytes, want %d", received, writes)
@@ -456,27 +626,37 @@ func TestCloseHandshakeStates(t *testing.T) {
 	ln, _ := p.sb.Listen(80)
 	var server, client *Conn
 	var srvEOF bool
-	p.env.Spawn("server", func(pr *sim.Proc) {
-		so, c := ln.Accept(pr)
-		server = c
-		buf := make([]byte, 16)
-		n, err := so.Recv(pr, buf)
-		if err != nil || n != 0 {
-			t.Errorf("expected EOF, got n=%d err=%v", n, err)
-			return
-		}
-		srvEOF = true
-		so.Close(pr) // passive close
-	})
-	p.env.Spawn("client", func(pr *sim.Proc) {
-		so, c, err := p.sa.Connect(pr, 2, 80)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		client = c
-		so.Close(pr) // active close
-	})
+	var accept *AcceptOp
+	var srecv *sock.RecvOp
+	p.env.Spawn("server", sim.Steps(
+		func(pr *sim.Proc) { accept = ln.Accept(pr) },
+		func(pr *sim.Proc) {
+			server = accept.C
+			srecv = accept.So.Recv(pr, make([]byte, 16))
+		},
+		func(pr *sim.Proc) {
+			if srecv.Err != nil || srecv.N != 0 {
+				t.Errorf("expected EOF, got n=%d err=%v", srecv.N, srecv.Err)
+				pr.Return()
+				return
+			}
+			srvEOF = true
+			accept.So.Close(pr) // passive close
+		},
+	))
+	var conn *ConnectOp
+	p.env.Spawn("client", sim.Steps(
+		func(pr *sim.Proc) { conn = p.sa.Connect(pr, 2, 80) },
+		func(pr *sim.Proc) {
+			if conn.Err != nil {
+				t.Error(conn.Err)
+				pr.Return()
+				return
+			}
+			client = conn.C
+			conn.So.Close(pr) // active close
+		},
+	))
 	p.env.Run()
 	if !srvEOF {
 		t.Fatal("server never saw EOF")
@@ -501,31 +681,31 @@ func TestRTTEstimatorConverges(t *testing.T) {
 	// The transfer helper closes the conn, so measure via a new pair.
 	p2 := newPair(t, cost.ChecksumStandard)
 	ln, _ := p2.sb.Listen(80)
-	p2.env.Spawn("rx", func(pr *sim.Proc) {
-		so, _ := ln.Accept(pr)
-		buf := make([]byte, 4096)
-		for {
-			n, err := so.Recv(pr, buf)
-			if err != nil || n == 0 {
+	p2.env.Spawn("rx", &drainFrame{ln: ln})
+	var srtt sim.Time
+	var conn *ConnectOp
+	p2.env.Spawn("tx", sim.Steps(
+		func(pr *sim.Proc) { conn = p2.sa.Connect(pr, 2, 80) },
+		func(pr *sim.Proc) {
+			if conn.Err != nil {
+				t.Error(conn.Err)
+				pr.Return()
 				return
 			}
-		}
-	})
-	var srtt sim.Time
-	p2.env.Spawn("tx", func(pr *sim.Proc) {
-		so, c, err := p2.sa.Connect(pr, 2, 80)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		c.SetNoDelay(true)
-		for i := 0; i < 20; i++ {
-			so.Send(pr, make([]byte, 1000))
-			pr.Sleep(5 * sim.Millisecond)
-		}
-		srtt = c.SRTT()
-		so.Close(pr)
-	})
+			conn.C.SetNoDelay(true)
+			pr.Call(sim.LoopN(40, func(pr *sim.Proc, i int) {
+				if i%2 == 0 {
+					conn.So.Send(pr, make([]byte, 1000))
+				} else {
+					pr.Sleep(5 * sim.Millisecond)
+				}
+			}))
+		},
+		func(pr *sim.Proc) {
+			srtt = conn.C.SRTT()
+			conn.So.Close(pr)
+		},
+	))
 	p2.env.Run()
 	if srtt <= 0 || srtt > 50*sim.Millisecond {
 		t.Fatalf("SRTT = %v, implausible", srtt)
@@ -569,31 +749,9 @@ func TestAltChecksumMismatchInteroperates(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []byte
-	var serverConn *Conn
-	p.env.Spawn("rx", func(pr *sim.Proc) {
-		so, c := ln.Accept(pr)
-		serverConn = c
-		buf := make([]byte, 4096)
-		for {
-			n, err := so.Recv(pr, buf)
-			if err != nil || n == 0 {
-				return
-			}
-			got = append(got, buf[:n]...)
-		}
-	})
-	var clientConn *Conn
-	p.env.Spawn("tx", func(pr *sim.Proc) {
-		so, c, err := p.sa.Connect(pr, 2, 80)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		clientConn = c
-		c.SetNoDelay(true)
-		so.Send(pr, payload)
-		so.Close(pr)
-	})
+	var serverConn, clientConn *Conn
+	p.env.Spawn("rx", &drainFrame{ln: ln, got: &got, conn: &serverConn})
+	p.env.Spawn("tx", &txFrame{t: t, s: p.sa, payload: payload, nodelay: true, conn: &clientConn})
 	p.env.Run()
 	if !bytes.Equal(got, payload) {
 		t.Fatal("mismatched-mode transfer corrupted or blackholed")
@@ -610,14 +768,22 @@ func TestAltChecksumNegotiatedFlag(t *testing.T) {
 	p := newPair(t, cost.ChecksumNone)
 	ln, _ := p.sb.Listen(80)
 	var sc, cc *Conn
-	p.env.Spawn("s", func(pr *sim.Proc) { _, sc = ln.Accept(pr) })
-	p.env.Spawn("c", func(pr *sim.Proc) {
-		_, c, err := p.sa.Connect(pr, 2, 80)
-		if err != nil {
-			t.Error(err)
-		}
-		cc = c
-	})
+	var accept *AcceptOp
+	p.env.Spawn("s", sim.Steps(
+		func(pr *sim.Proc) { accept = ln.Accept(pr) },
+		func(pr *sim.Proc) { sc = accept.C },
+	))
+	var conn *ConnectOp
+	p.env.Spawn("c", sim.Steps(
+		func(pr *sim.Proc) { conn = p.sa.Connect(pr, 2, 80) },
+		func(pr *sim.Proc) {
+			if conn.Err != nil {
+				t.Error(conn.Err)
+				return
+			}
+			cc = conn.C
+		},
+	))
 	p.env.Run()
 	if cc == nil || sc == nil || !cc.ChecksumEliminated() || !sc.ChecksumEliminated() {
 		t.Fatal("both-ends offer did not negotiate the checksum off")
@@ -651,34 +817,17 @@ func TestMultipleConnectionsDemux(t *testing.T) {
 		p.env.RNG().Fill(payloads[i])
 	}
 	for i := 0; i < conns; i++ {
-		p.env.Spawn("srv", func(pr *sim.Proc) {
-			so, _ := ln.Accept(pr)
-			buf := make([]byte, 4096)
-			var got []byte
-			for {
-				n, err := so.Recv(pr, buf)
-				if err != nil || n == 0 {
-					break
-				}
-				got = append(got, buf[:n]...)
-			}
+		got := new([]byte)
+		p.env.Spawn("srv", &drainFrame{ln: ln, got: got, done: func() {
 			// Identify the stream by its first byte tag.
-			results[got[0]] = got
-		})
+			results[(*got)[0]] = *got
+		}})
 	}
 	for i := 0; i < conns; i++ {
-		i := i
 		payloads[i][0] = byte(i)
-		p.env.Spawn("cli", func(pr *sim.Proc) {
-			pr.Sleep(sim.Time(i) * 3 * sim.Millisecond) // stagger
-			so, c, err := p.sa.Connect(pr, 2, 80)
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			c.SetNoDelay(true)
-			so.Send(pr, payloads[i])
-			so.Close(pr)
+		p.env.Spawn("cli", &txFrame{
+			t: t, s: p.sa, payload: payloads[i], nodelay: true,
+			stagger: sim.Time(i) * 3 * sim.Millisecond, // stagger
 		})
 	}
 	p.env.Run()
@@ -699,40 +848,11 @@ func TestPCBCacheThrashAcrossConnections(t *testing.T) {
 	p := newPair(t, cost.ChecksumStandard)
 	ln, _ := p.sb.Listen(80)
 	for i := 0; i < 2; i++ {
-		p.env.Spawn("srv", func(pr *sim.Proc) {
-			so, c := ln.Accept(pr)
-			c.SetNoDelay(true)
-			buf := make([]byte, 64)
-			for {
-				n, err := so.Recv(pr, buf)
-				if err != nil || n == 0 {
-					return
-				}
-				so.Send(pr, buf[:n])
-			}
-		})
+		p.env.Spawn("srv", &echoFrame{ln: ln})
 	}
 	done := 0
 	for i := 0; i < 2; i++ {
-		p.env.Spawn("cli", func(pr *sim.Proc) {
-			so, c, err := p.sa.Connect(pr, 2, 80)
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			c.SetNoDelay(true)
-			buf := make([]byte, 64)
-			for j := 0; j < 15; j++ {
-				so.Send(pr, buf)
-				total := 0
-				for total < 64 {
-					n, _ := so.Recv(pr, buf[total:])
-					total += n
-				}
-			}
-			so.Close(pr)
-			done++
-		})
+		p.env.Spawn("cli", &rpcClientFrame{t: t, s: p.sa, iters: 15, done: func() { done++ }})
 	}
 	p.env.Run()
 	if done != 2 {
@@ -753,24 +873,28 @@ func TestDelayedAckTimerFires(t *testing.T) {
 	// the 200 ms fast-timer bound, or the sender would retransmit.
 	p := newPair(t, cost.ChecksumStandard)
 	ln, _ := p.sb.Listen(80)
-	p.env.Spawn("rx", func(pr *sim.Proc) {
-		so, _ := ln.Accept(pr)
-		buf := make([]byte, 64)
-		so.Recv(pr, buf)
+	var accept *AcceptOp
+	p.env.Spawn("rx", sim.Steps(
+		func(pr *sim.Proc) { accept = ln.Accept(pr) },
 		// Read but never reply: only the delayed-ACK timer can ACK.
-	})
+		func(pr *sim.Proc) { accept.So.Recv(pr, make([]byte, 64)) },
+	))
 	var acked bool
-	p.env.Spawn("tx", func(pr *sim.Proc) {
-		so, c, err := p.sa.Connect(pr, 2, 80)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		c.SetNoDelay(true)
-		so.Send(pr, make([]byte, 64))
-		pr.Sleep(400 * sim.Millisecond)
-		acked = c.sndUna == c.sndMax
-	})
+	var conn *ConnectOp
+	p.env.Spawn("tx", sim.Steps(
+		func(pr *sim.Proc) { conn = p.sa.Connect(pr, 2, 80) },
+		func(pr *sim.Proc) {
+			if conn.Err != nil {
+				t.Error(conn.Err)
+				pr.Return()
+				return
+			}
+			conn.C.SetNoDelay(true)
+			conn.So.Send(pr, make([]byte, 64))
+		},
+		func(pr *sim.Proc) { pr.Sleep(400 * sim.Millisecond) },
+		func(pr *sim.Proc) { acked = conn.C.sndUna == conn.C.sndMax },
+	))
 	p.env.RunUntil(2 * sim.Second)
 	if !acked {
 		t.Fatal("data not acknowledged within the delayed-ACK bound")
@@ -787,22 +911,33 @@ func TestRSTDropsConnection(t *testing.T) {
 	p := newPair(t, cost.ChecksumStandard)
 	ln, _ := p.sb.Listen(80)
 	var srvConn *Conn
-	p.env.Spawn("rx", func(pr *sim.Proc) {
-		_, srvConn = ln.Accept(pr)
-	})
+	var accept *AcceptOp
+	p.env.Spawn("rx", sim.Steps(
+		func(pr *sim.Proc) { accept = ln.Accept(pr) },
+		func(pr *sim.Proc) { srvConn = accept.C },
+	))
 	var clientErr error
-	p.env.Spawn("tx", func(pr *sim.Proc) {
-		so, c, err := p.sa.Connect(pr, 2, 80)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		pr.Sleep(5 * sim.Millisecond)
-		// Forge a RST from the server side by injecting it directly
-		// into the client's input path.
-		c.input(pr, Header{Flags: FlagRST, Seq: c.rcvNxt}, nil)
-		_, clientErr = so.Recv(pr, make([]byte, 8))
-	})
+	var conn *ConnectOp
+	var recv *sock.RecvOp
+	p.env.Spawn("tx", sim.Steps(
+		func(pr *sim.Proc) { conn = p.sa.Connect(pr, 2, 80) },
+		func(pr *sim.Proc) {
+			if conn.Err != nil {
+				t.Error(conn.Err)
+				pr.Return()
+				return
+			}
+			pr.Sleep(5 * sim.Millisecond)
+		},
+		func(pr *sim.Proc) {
+			// Forge a RST from the server side by injecting it directly
+			// into the client's input path.
+			c := conn.C
+			c.input(pr, Header{Flags: FlagRST, Seq: c.rcvNxt}, nil)
+		},
+		func(pr *sim.Proc) { recv = conn.So.Recv(pr, make([]byte, 8)) },
+		func(pr *sim.Proc) { clientErr = recv.Err },
+	))
 	p.env.Run()
 	if srvConn == nil {
 		t.Fatal("handshake failed")
@@ -833,29 +968,23 @@ func TestSegmentationRespectsMSS(t *testing.T) {
 
 	ln, _ := sb.Listen(80)
 	total := 0
-	env.Spawn("rx", func(pr *sim.Proc) {
-		so, _ := ln.Accept(pr)
-		buf := make([]byte, 4096)
-		for total < 10000 {
-			n, err := so.Recv(pr, buf)
-			if err != nil || n == 0 {
+	env.Spawn("rx", &drainFrame{ln: ln, each: func(n int) { total += n }})
+	var conn *ConnectOp
+	env.Spawn("tx", sim.Steps(
+		func(pr *sim.Proc) { conn = sa.Connect(pr, 2, 80) },
+		func(pr *sim.Proc) {
+			if conn.Err != nil {
+				t.Error(conn.Err)
+				pr.Return()
 				return
 			}
-			total += n
-		}
-	})
-	env.Spawn("tx", func(pr *sim.Proc) {
-		so, c, err := sa.Connect(pr, 2, 80)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		if c.MSS() != ether.MTU-ip.HeaderLen-HeaderLen {
-			t.Errorf("Ethernet MSS = %d", c.MSS())
-		}
-		c.SetNoDelay(true)
-		so.Send(pr, make([]byte, 10000))
-	})
+			if conn.C.MSS() != ether.MTU-ip.HeaderLen-HeaderLen {
+				t.Errorf("Ethernet MSS = %d", conn.C.MSS())
+			}
+			conn.C.SetNoDelay(true)
+			conn.So.Send(pr, make([]byte, 10000))
+		},
+	))
 	env.Run()
 	if total != 10000 {
 		t.Fatalf("received %d of 10000", total)

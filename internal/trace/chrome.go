@@ -9,15 +9,15 @@ import (
 // "JSON Array Format" consumed by chrome://tracing and Perfetto).
 // Timestamps and durations are microseconds.
 type chromeEvent struct {
-	Name string                 `json:"name"`
-	Cat  string                 `json:"cat,omitempty"`
-	Ph   string                 `json:"ph"`
-	Ts   float64                `json:"ts"`
-	Dur  float64                `json:"dur,omitempty"`
-	Pid  int                    `json:"pid"`
-	Tid  int                    `json:"tid"`
-	S    string                 `json:"s,omitempty"`
-	Args map[string]interface{} `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // chromeFile is the top-level trace_event container.
@@ -45,7 +45,7 @@ func ChromeTrace(evs []HostEvent) ([]byte, error) {
 				Name: "process_name",
 				Ph:   "M",
 				Pid:  pid,
-				Args: map[string]interface{}{"name": e.Host},
+				Args: map[string]any{"name": e.Host},
 			})
 		}
 		ce := chromeEvent{
@@ -53,7 +53,7 @@ func ChromeTrace(evs []HostEvent) ([]byte, error) {
 			Cat:  chromeCategory(e.Event),
 			Ts:   e.At.Micros(),
 			Pid:  pid,
-			Args: map[string]interface{}{},
+			Args: map[string]any{},
 		}
 		if !e.ID.IsZero() {
 			ce.Args["packet"] = e.ID.String()

@@ -73,6 +73,11 @@ type Endpoint struct {
 	port uint16
 	q    []Datagram
 	wq   *sim.WaitQueue
+
+	// Cached frames for the endpoint's send and receive paths; one of
+	// each is in flight at a time in the steady state.
+	sendOp *SendToOp
+	recvOp *RecvFromOp
 }
 
 // Stack is one host's UDP layer. It implements ip.Handler.
@@ -88,6 +93,10 @@ type Stack struct {
 
 	ports    map[uint16]*Endpoint
 	nextPort uint16
+
+	// inOp caches the ip.Handler input frame (one datagram is processed
+	// at a time per host).
+	inOp *inputOp
 
 	// Stats.
 	DatagramsIn    int64
@@ -135,123 +144,309 @@ func (s *Stack) Bind(port uint16) (*Endpoint, error) {
 // Port returns the endpoint's bound port.
 func (e *Endpoint) Port() uint16 { return e.port }
 
-// SendTo transmits one datagram. The cost structure mirrors the TCP
-// output path minus connection state: syscall + copyin under the User
-// row, checksum under TCP.checksum (the paper's tables use that row for
-// transport checksums generally), and a light protocol-processing charge.
+// SendTo transmits one datagram as a frame call (tail position). The
+// cost structure mirrors the TCP output path minus connection state:
+// syscall + copyin under the User row, checksum under TCP.checksum (the
+// paper's tables use that row for transport checksums generally), and a
+// light protocol-processing charge.
 func (e *Endpoint) SendTo(p *sim.Proc, dst uint32, dstPort uint16, data []byte) {
-	k := e.s.K
-	k.Use(p, trace.LayerUserTx, k.Cost.WriteSyscall)
-
-	// Copy user data into mbufs with the same sizing policy as sosend.
-	var chain, tail *mbuf.Mbuf
-	rest := data
-	useClusters := len(data) > mbuf.ClusterThreshold
-	for len(rest) > 0 || chain == nil {
-		var m *mbuf.Mbuf
-		if useClusters {
-			m = k.AllocCluster(p, trace.LayerUserTx)
-		} else {
-			m = k.AllocMbuf(p, trace.LayerUserTx)
-		}
-		n := m.Append(rest)
-		rest = rest[n:]
-		k.Use(p, trace.LayerUserTx,
-			k.Cost.CopyinFixed+sim.Time(k.Cost.CopyinPerByte*float64(n)))
-		if chain == nil {
-			chain = m
-		} else {
-			tail.SetNext(m)
-		}
-		tail = m
-		if len(rest) == 0 {
-			break
-		}
+	f := e.sendOp
+	if f != nil {
+		e.sendOp = nil
+	} else {
+		f = &SendToOp{e: e}
 	}
-
-	// Header + optional checksum over real bytes.
-	hm := k.AllocMbuf(p, trace.LayerTCPSegmentTx)
-	h := Header{SrcPort: e.port, DstPort: dstPort, Length: HeaderLen + len(data)}
-	hdr := make([]byte, HeaderLen)
-	h.Marshal(hdr)
-	hm.Append(hdr)
-	hm.SetNext(chain)
-	k.Use(p, trace.LayerTCPSegmentTx, k.Cost.UsrreqDispatch+k.Cost.TCPOutputSegment.Fixed/2)
-	if !e.s.ChecksumOff {
-		nm := mbuf.ChainCount(hm)
-		k.Use(p, trace.LayerTCPCksumTx,
-			k.Cost.TCPKernelChecksum.Cost(h.Length)+sim.Time(nm)*k.Cost.TCPCksumPerMbuf)
-		ps := udpPseudo(e.s.IP.Addr, dst, h.Length)
-		for m := hm; m != nil; m = m.Next() {
-			ps.Add(m.Bytes())
-		}
-		ck := ps.Checksum()
-		if ck == 0 {
-			ck = 0xffff // RFC 768: transmitted as all ones
-		}
-		b := hm.Bytes()
-		b[6] = byte(ck >> 8)
-		b[7] = byte(ck)
-	}
-	e.s.DatagramsOut++
-	e.s.IP.Output(p, dst, ProtoUDP, hm)
+	f.pc = 0
+	f.dst, f.dstPort = dst, dstPort
+	f.data, f.rest = data, data
+	f.useClusters = len(data) > mbuf.ClusterThreshold
+	p.Call(f)
 }
 
-// RecvFrom blocks until a datagram arrives and returns it.
-func (e *Endpoint) RecvFrom(p *sim.Proc) Datagram {
-	k := e.s.K
-	for len(e.q) == 0 {
-		k.SleepOn(p, e.wq)
+// SendToOp is the frame behind Endpoint.SendTo: the write() entry, the
+// copyin loop (same mbuf sizing policy as sosend), the header build, the
+// optional checksum, and the hand-off to IP.
+type SendToOp struct {
+	e  *Endpoint
+	pc int
+
+	dst         uint32
+	dstPort     uint16
+	data, rest  []byte
+	useClusters bool
+
+	chain, tail *mbuf.Mbuf
+	curM, hm    *mbuf.Mbuf
+	curN        int
+	length      int // header + payload
+}
+
+// allocCost returns the charge for the next payload mbuf.
+func (f *SendToOp) allocCost() sim.Time {
+	if f.useClusters {
+		return f.e.s.K.Cost.ClusterAlloc
 	}
-	k.Use(p, trace.LayerUserRx, k.Cost.ReadSyscall)
-	d := e.q[0]
-	copy(e.q, e.q[1:])
-	e.q = e.q[:len(e.q)-1]
-	k.Use(p, trace.LayerUserRx,
-		k.Cost.CopyoutFixed+sim.Time(k.Cost.CopyoutPerByte*float64(len(d.Data))))
-	return d
+	return f.e.s.K.Cost.MbufAlloc
+}
+
+// Step drives the datagram-send state machine.
+func (f *SendToOp) Step(p *sim.Proc) {
+	e := f.e
+	k := e.s.K
+	for {
+		switch f.pc {
+		case 0: // write() entry
+			f.pc = 1
+			if !k.Use(p, trace.LayerUserTx, k.Cost.WriteSyscall) {
+				return
+			}
+		case 1: // first payload mbuf (even a zero-length datagram gets one)
+			f.pc = 2
+			if !k.Use(p, trace.LayerUserTx, f.allocCost()) {
+				return
+			}
+		case 2: // allocate, fill, charge the copyin
+			var m *mbuf.Mbuf
+			if f.useClusters {
+				m = k.Pool.AllocCluster()
+			} else {
+				m = k.Pool.Alloc()
+			}
+			f.curM = m
+			f.curN = m.Append(f.rest)
+			f.rest = f.rest[f.curN:]
+			f.pc = 3
+			if !k.Use(p, trace.LayerUserTx,
+				k.Cost.CopyinFixed+sim.Time(k.Cost.CopyinPerByte*float64(f.curN))) {
+				return
+			}
+		case 3: // link the filled mbuf; loop or move to the header
+			if f.chain == nil {
+				f.chain = f.curM
+			} else {
+				f.tail.SetNext(f.curM)
+			}
+			f.tail = f.curM
+			if len(f.rest) > 0 {
+				f.pc = 2
+				if !k.Use(p, trace.LayerUserTx, f.allocCost()) {
+					return
+				}
+			} else {
+				f.pc = 4
+				if !k.Use(p, trace.LayerTCPSegmentTx, k.Cost.MbufAlloc) {
+					return
+				}
+			}
+		case 4: // header mbuf + protocol-processing charge
+			f.hm = k.Pool.Alloc()
+			f.length = HeaderLen + len(f.data)
+			h := Header{SrcPort: e.port, DstPort: f.dstPort, Length: f.length}
+			var hdr [HeaderLen]byte
+			h.Marshal(hdr[:])
+			f.hm.Append(hdr[:])
+			f.hm.SetNext(f.chain)
+			f.pc = 5
+			if !k.Use(p, trace.LayerTCPSegmentTx,
+				k.Cost.UsrreqDispatch+k.Cost.TCPOutputSegment.Fixed/2) {
+				return
+			}
+		case 5: // optional checksum charge
+			if e.s.ChecksumOff {
+				f.pc = 7
+				continue
+			}
+			nm := mbuf.ChainCount(f.hm)
+			f.pc = 6
+			if !k.Use(p, trace.LayerTCPCksumTx,
+				k.Cost.TCPKernelChecksum.Cost(f.length)+sim.Time(nm)*k.Cost.TCPCksumPerMbuf) {
+				return
+			}
+		case 6: // checksum over real bytes
+			ps := udpPseudo(e.s.IP.Addr, f.dst, f.length)
+			for m := f.hm; m != nil; m = m.Next() {
+				ps.Add(m.Bytes())
+			}
+			ck := ps.Checksum()
+			if ck == 0 {
+				ck = 0xffff // RFC 768: transmitted as all ones
+			}
+			b := f.hm.Bytes()
+			b[6] = byte(ck >> 8)
+			b[7] = byte(ck)
+			f.pc = 7
+		case 7: // hand off to IP (tail call)
+			e.s.DatagramsOut++
+			f.pc = 8
+			e.s.IP.Output(p, f.dst, ProtoUDP, f.hm)
+			return
+		case 8: // done
+			f.data, f.rest = nil, nil
+			f.chain, f.tail, f.curM, f.hm = nil, nil, nil, nil
+			if e.sendOp == nil {
+				e.sendOp = f
+			}
+			p.Return()
+			return
+		}
+	}
+}
+
+// RecvFrom blocks until a datagram arrives. The call must be in tail
+// position; once the caller re-enters, the returned op's D field holds
+// the datagram.
+func (e *Endpoint) RecvFrom(p *sim.Proc) *RecvFromOp {
+	f := e.recvOp
+	if f != nil {
+		e.recvOp = nil
+	} else {
+		f = &RecvFromOp{e: e}
+	}
+	f.pc = 0
+	f.D = Datagram{}
+	p.Call(f)
+	return f
+}
+
+// RecvFromOp is the frame behind Endpoint.RecvFrom.
+type RecvFromOp struct {
+	e  *Endpoint
+	pc int
+
+	// D is the received datagram, valid once the frame returns.
+	D Datagram
+}
+
+// Step drives the datagram-receive state machine.
+func (f *RecvFromOp) Step(p *sim.Proc) {
+	e := f.e
+	k := e.s.K
+	for {
+		switch f.pc {
+		case 0: // wait for a datagram
+			if len(e.q) == 0 {
+				k.SleepOn(p, e.wq)
+				return
+			}
+			f.pc = 1
+			if !k.Use(p, trace.LayerUserRx, k.Cost.ReadSyscall) {
+				return
+			}
+		case 1: // dequeue and charge the copyout
+			f.D = e.q[0]
+			copy(e.q, e.q[1:])
+			e.q = e.q[:len(e.q)-1]
+			f.pc = 2
+			if !k.Use(p, trace.LayerUserRx,
+				k.Cost.CopyoutFixed+sim.Time(k.Cost.CopyoutPerByte*float64(len(f.D.Data)))) {
+				return
+			}
+		case 2: // done
+			if e.recvOp == nil {
+				e.recvOp = f
+			}
+			p.Return()
+			return
+		}
+	}
 }
 
 // Pending returns the number of queued datagrams.
 func (e *Endpoint) Pending() int { return len(e.q) }
 
-// Input implements ip.Handler.
+// Input implements ip.Handler as a frame call.
 func (s *Stack) Input(p *sim.Proc, h ip.Header, m *mbuf.Mbuf) {
+	f := s.inOp
+	if f != nil {
+		s.inOp = nil
+	} else {
+		f = &inputOp{s: s}
+	}
+	f.pc = 0
+	f.h, f.m = h, m
+	p.Call(f)
+}
+
+// inputOp is the frame behind Stack.Input: parse checks (free of charge,
+// as in the original), the protocol-processing charge, the optional
+// checksum verification, and delivery to the bound port. The datagram
+// chain is freed on every exit path.
+type inputOp struct {
+	s  *Stack
+	pc int
+
+	h  ip.Header
+	m  *mbuf.Mbuf
+	uh Header
+}
+
+// Step drives the datagram-input state machine.
+func (f *inputOp) Step(p *sim.Proc) {
+	s := f.s
 	k := s.K
-	defer k.Pool.Free(m)
-	raw := make([]byte, HeaderLen)
-	if mbuf.CopyBytesTo(m, 0, HeaderLen, raw) != HeaderLen {
-		return
-	}
-	uh, err := ParseHeader(raw)
-	if err != nil || uh.Length != mbuf.ChainLen(m) {
-		return
-	}
-	k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputFast)
-	if uh.Cksum != 0 {
-		// A nonzero checksum field must verify (RFC 768).
-		nm := mbuf.ChainCount(m)
-		k.Use(p, trace.LayerTCPCksumRx,
-			k.Cost.TCPKernelChecksum.Cost(uh.Length)+sim.Time(nm)*k.Cost.TCPCksumPerMbuf)
-		ps := udpPseudo(h.Src, h.Dst, uh.Length)
-		for c := m; c != nil; c = c.Next() {
-			ps.Add(c.Bytes())
-		}
-		if ps.Sum16() != 0xffff {
-			s.ChecksumErrors++
+	for {
+		switch f.pc {
+		case 0: // parse and sanity-check, then charge protocol processing
+			var raw [HeaderLen]byte
+			if mbuf.CopyBytesTo(f.m, 0, HeaderLen, raw[:]) != HeaderLen {
+				f.pc = 4
+				continue
+			}
+			uh, err := ParseHeader(raw[:])
+			if err != nil || uh.Length != mbuf.ChainLen(f.m) {
+				f.pc = 4
+				continue
+			}
+			f.uh = uh
+			f.pc = 1
+			if !k.Use(p, trace.LayerTCPSegmentRx, k.Cost.TCPInputFast) {
+				return
+			}
+		case 1: // a nonzero checksum field must verify (RFC 768)
+			if f.uh.Cksum == 0 {
+				f.pc = 3
+				continue
+			}
+			nm := mbuf.ChainCount(f.m)
+			f.pc = 2
+			if !k.Use(p, trace.LayerTCPCksumRx,
+				k.Cost.TCPKernelChecksum.Cost(f.uh.Length)+sim.Time(nm)*k.Cost.TCPCksumPerMbuf) {
+				return
+			}
+		case 2: // verify the sum
+			ps := udpPseudo(f.h.Src, f.h.Dst, f.uh.Length)
+			for c := f.m; c != nil; c = c.Next() {
+				ps.Add(c.Bytes())
+			}
+			if ps.Sum16() != 0xffff {
+				s.ChecksumErrors++
+				f.pc = 4
+				continue
+			}
+			f.pc = 3
+		case 3: // deliver to the bound port
+			ep, ok := s.ports[f.uh.DstPort]
+			if !ok {
+				s.NoPortDrops++
+				f.pc = 4
+				continue
+			}
+			data := make([]byte, f.uh.Length-HeaderLen)
+			mbuf.CopyBytesTo(f.m, HeaderLen, len(data), data)
+			s.DatagramsIn++
+			ep.q = append(ep.q, Datagram{Src: f.h.Src, SrcPort: f.uh.SrcPort, Data: data})
+			ep.wq.WakeAll()
+			f.pc = 4
+		case 4: // free the chain and pop
+			k.Pool.Free(f.m)
+			f.m = nil
+			if s.inOp == nil {
+				s.inOp = f
+			}
+			p.Return()
 			return
 		}
 	}
-	ep, ok := s.ports[uh.DstPort]
-	if !ok {
-		s.NoPortDrops++
-		return
-	}
-	data := make([]byte, uh.Length-HeaderLen)
-	mbuf.CopyBytesTo(m, HeaderLen, len(data), data)
-	s.DatagramsIn++
-	ep.q = append(ep.q, Datagram{Src: h.Src, SrcPort: uh.SrcPort, Data: data})
-	ep.wq.WakeAll()
 }
 
 // udpPseudo primes a partial sum with the UDP pseudo-header.

@@ -61,15 +61,19 @@ func TestSendRecvRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.env.Spawn("rx", func(pr *sim.Proc) { got = eb.RecvFrom(pr) })
-	p.env.Spawn("tx", func(pr *sim.Proc) {
+	var recv *RecvFromOp
+	p.env.Spawn("rx", sim.Steps(
+		func(pr *sim.Proc) { recv = eb.RecvFrom(pr) },
+		func(pr *sim.Proc) { got = recv.D },
+	))
+	p.env.Spawn("tx", sim.Steps(func(pr *sim.Proc) {
 		ea, err := p.sa.Bind(0)
 		if err != nil {
 			t.Error(err)
 			return
 		}
 		ea.SendTo(pr, 2, 53, payload)
-	})
+	}))
 	p.env.Run()
 	if !bytes.Equal(got.Data, payload) {
 		t.Fatal("payload corrupted")
@@ -87,11 +91,15 @@ func TestSizesProperty(t *testing.T) {
 		p.env.RNG().Fill(payload)
 		eb, _ := p.sb.Bind(99)
 		var got Datagram
-		p.env.Spawn("rx", func(pr *sim.Proc) { got = eb.RecvFrom(pr) })
-		p.env.Spawn("tx", func(pr *sim.Proc) {
+		var recv *RecvFromOp
+		p.env.Spawn("rx", sim.Steps(
+			func(pr *sim.Proc) { recv = eb.RecvFrom(pr) },
+			func(pr *sim.Proc) { got = recv.D },
+		))
+		p.env.Spawn("tx", sim.Steps(func(pr *sim.Proc) {
 			ea, _ := p.sa.Bind(0)
 			ea.SendTo(pr, 2, 99, payload)
-		})
+		}))
 		p.env.Run()
 		return bytes.Equal(got.Data, payload)
 	}
@@ -105,14 +113,14 @@ func TestChecksumDetectsHostCorruption(t *testing.T) {
 	p.db.HostCorruptRate = 1.0 // corrupt every datagram
 	eb, _ := p.sb.Bind(7)
 	received := false
-	p.env.Spawn("rx", func(pr *sim.Proc) {
-		eb.RecvFrom(pr)
-		received = true
-	})
-	p.env.Spawn("tx", func(pr *sim.Proc) {
+	p.env.Spawn("rx", sim.Steps(
+		func(pr *sim.Proc) { eb.RecvFrom(pr) },
+		func(pr *sim.Proc) { received = true },
+	))
+	p.env.Spawn("tx", sim.Steps(func(pr *sim.Proc) {
 		ea, _ := p.sa.Bind(0)
 		ea.SendTo(pr, 2, 7, make([]byte, 500))
-	})
+	}))
 	// RecvFrom never returns: run a bounded slice of virtual time.
 	p.env.RunUntil(100 * sim.Millisecond)
 	if received {
@@ -134,11 +142,15 @@ func TestChecksumOffDeliversCorruption(t *testing.T) {
 	payload := make([]byte, 500)
 	p.env.RNG().Fill(payload)
 	var got Datagram
-	p.env.Spawn("rx", func(pr *sim.Proc) { got = eb.RecvFrom(pr) })
-	p.env.Spawn("tx", func(pr *sim.Proc) {
+	var recv *RecvFromOp
+	p.env.Spawn("rx", sim.Steps(
+		func(pr *sim.Proc) { recv = eb.RecvFrom(pr) },
+		func(pr *sim.Proc) { got = recv.D },
+	))
+	p.env.Spawn("tx", sim.Steps(func(pr *sim.Proc) {
 		ea, _ := p.sa.Bind(0)
 		ea.SendTo(pr, 2, 7, payload)
-	})
+	}))
 	p.env.Run()
 	if got.Data == nil {
 		t.Fatal("datagram not delivered")
@@ -156,16 +168,23 @@ func TestNoChecksumFasterThanChecksum(t *testing.T) {
 		eb, _ := p.sb.Bind(7)
 		payload := make([]byte, 4000)
 		var done sim.Time
-		p.env.Spawn("server", func(pr *sim.Proc) {
-			d := eb.RecvFrom(pr)
-			eb.SendTo(pr, d.Src, d.SrcPort, d.Data)
-		})
-		p.env.Spawn("client", func(pr *sim.Proc) {
-			ea, _ := p.sa.Bind(0)
-			ea.SendTo(pr, 2, 7, payload)
-			ea.RecvFrom(pr)
-			done = p.env.Now()
-		})
+		var srecv *RecvFromOp
+		p.env.Spawn("server", sim.Steps(
+			func(pr *sim.Proc) { srecv = eb.RecvFrom(pr) },
+			func(pr *sim.Proc) {
+				d := srecv.D
+				eb.SendTo(pr, d.Src, d.SrcPort, d.Data)
+			},
+		))
+		var ea *Endpoint
+		p.env.Spawn("client", sim.Steps(
+			func(pr *sim.Proc) {
+				ea, _ = p.sa.Bind(0)
+				ea.SendTo(pr, 2, 7, payload)
+			},
+			func(pr *sim.Proc) { ea.RecvFrom(pr) },
+			func(pr *sim.Proc) { done = p.env.Now() },
+		))
 		p.env.Run()
 		return done
 	}
@@ -198,10 +217,10 @@ func TestBindConflicts(t *testing.T) {
 
 func TestUnboundPortDrops(t *testing.T) {
 	p := newPair(t)
-	p.env.Spawn("tx", func(pr *sim.Proc) {
+	p.env.Spawn("tx", sim.Steps(func(pr *sim.Proc) {
 		ea, _ := p.sa.Bind(0)
 		ea.SendTo(pr, 2, 1234, []byte("nobody home"))
-	})
+	}))
 	p.env.Run()
 	if p.sb.NoPortDrops != 1 {
 		t.Fatalf("NoPortDrops = %d", p.sb.NoPortDrops)
@@ -212,19 +231,26 @@ func TestQueueingMultipleDatagrams(t *testing.T) {
 	p := newPair(t)
 	eb, _ := p.sb.Bind(7)
 	var got []byte
-	p.env.Spawn("tx", func(pr *sim.Proc) {
+	p.env.Spawn("tx", sim.Steps(func(pr *sim.Proc) {
 		ea, _ := p.sa.Bind(0)
-		for i := 0; i < 5; i++ {
+		pr.Call(sim.LoopN(5, func(pr *sim.Proc, i int) {
 			ea.SendTo(pr, 2, 7, []byte{byte(i)})
-		}
-	})
-	p.env.Spawn("rx", func(pr *sim.Proc) {
-		pr.Sleep(50 * sim.Millisecond) // let them queue
-		for i := 0; i < 5; i++ {
-			d := eb.RecvFrom(pr)
-			got = append(got, d.Data...)
-		}
-	})
+		}))
+	}))
+	var recv *RecvFromOp
+	p.env.Spawn("rx", sim.Steps(
+		func(pr *sim.Proc) { pr.Sleep(50 * sim.Millisecond) }, // let them queue
+		func(pr *sim.Proc) {
+			pr.Call(sim.LoopN(6, func(pr *sim.Proc, i int) {
+				if i > 0 {
+					got = append(got, recv.D.Data...)
+				}
+				if i < 5 {
+					recv = eb.RecvFrom(pr)
+				}
+			}))
+		},
+	))
 	p.env.Run()
 	if !bytes.Equal(got, []byte{0, 1, 2, 3, 4}) {
 		t.Fatalf("order/content wrong: %v", got)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sock"
 	"repro/internal/stats"
+	"repro/internal/tcp"
 	"repro/internal/trace"
 )
 
@@ -156,49 +157,23 @@ func (g FanIn) Run(l *lab.Lab) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	l.Env.Spawn("server.fanin", func(p *sim.Proc) {
-		for i := 0; i < clients; i++ {
-			so, conn := ln.Accept(p)
-			conn.SetNoDelay(true)
-			l.Env.Spawn(fmt.Sprintf("server.fanin.conn%d", i), func(p *sim.Proc) {
-				serveEcho(p, so)
-			})
-		}
+	l.Env.Spawn("server.fanin", &acceptLoopFrame{
+		ln: ln, n: clients,
+		accepted: func(i int, op *tcp.AcceptOp) bool {
+			op.C.SetNoDelay(true)
+			l.Env.Spawn(fmt.Sprintf("server.fanin.conn%d", i),
+				&serveEchoFrame{so: op.So})
+			return true
+		},
 	})
 
 	perClient := make([][]sim.Time, clients)
 	var last sim.Time
 	for ci := 0; ci < clients; ci++ {
-		ci := ci
 		host := l.Hosts[ci+1]
-		l.Env.Spawn(fmt.Sprintf("client%d.fanin", ci), func(p *sim.Proc) {
-			so, conn, err := host.TCP.Connect(p, lab.HostAddr(0), Port)
-			if err != nil {
-				fail(err)
-				return
-			}
-			conn.SetNoDelay(true)
-			msg := make([]byte, size)
-			l.Env.RNG().Fill(msg)
-			buf := make([]byte, size)
-			for i := 0; i < warm+reqs; i++ {
-				start := l.Env.Now()
-				if err := exchange(p, so, msg, buf); err != nil {
-					fail(fmt.Errorf("client %d request %d: %w", ci, i, err))
-					return
-				}
-				if i >= warm {
-					lat := l.Env.Now() - start
-					perClient[ci] = append(perClient[ci], lat)
-					if l.Env.Now() > last {
-						last = l.Env.Now()
-					}
-					if !bytesEqual(buf, msg) {
-						r.Errors++
-					}
-				}
-			}
-			so.Close(p)
+		l.Env.Spawn(fmt.Sprintf("client%d.fanin", ci), &fanInClientFrame{
+			l: l, host: host, ci: ci, size: size, warm: warm, reqs: reqs,
+			perClient: perClient, last: &last, r: r, fail: fail,
 		})
 	}
 
@@ -251,47 +226,23 @@ func (g Churn) Run(l *lab.Lab) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	l.Env.Spawn("server.churn", func(p *sim.Proc) {
-		for i := 0; i < clients*conns; i++ {
-			so, conn := ln.Accept(p)
-			conn.SetNoDelay(true)
-			l.Env.Spawn(fmt.Sprintf("server.churn.conn%d", i), func(p *sim.Proc) {
-				serveEcho(p, so)
-			})
-		}
+	l.Env.Spawn("server.churn", &acceptLoopFrame{
+		ln: ln, n: clients * conns,
+		accepted: func(i int, op *tcp.AcceptOp) bool {
+			op.C.SetNoDelay(true)
+			l.Env.Spawn(fmt.Sprintf("server.churn.conn%d", i),
+				&serveEchoFrame{so: op.So})
+			return true
+		},
 	})
 
 	perClient := make([][]sim.Time, clients)
 	var last sim.Time
 	for ci := 0; ci < clients; ci++ {
-		ci := ci
 		host := l.Hosts[ci+1]
-		l.Env.Spawn(fmt.Sprintf("client%d.churn", ci), func(p *sim.Proc) {
-			msg := make([]byte, size)
-			l.Env.RNG().Fill(msg)
-			buf := make([]byte, size)
-			for k := 0; k < conns; k++ {
-				start := l.Env.Now()
-				so, conn, err := host.TCP.Connect(p, lab.HostAddr(0), Port)
-				if err != nil {
-					fail(fmt.Errorf("client %d cycle %d: %w", ci, k, err))
-					return
-				}
-				conn.SetNoDelay(true)
-				if err := exchange(p, so, msg, buf); err != nil {
-					fail(fmt.Errorf("client %d cycle %d: %w", ci, k, err))
-					return
-				}
-				lat := l.Env.Now() - start
-				perClient[ci] = append(perClient[ci], lat)
-				if l.Env.Now() > last {
-					last = l.Env.Now()
-				}
-				if !bytesEqual(buf, msg) {
-					r.Errors++
-				}
-				so.Close(p)
-			}
+		l.Env.Spawn(fmt.Sprintf("client%d.churn", ci), &churnClientFrame{
+			l: l, host: host, ci: ci, size: size, conns: conns,
+			perClient: perClient, last: &last, r: r, fail: fail,
 		})
 	}
 
@@ -349,58 +300,27 @@ func (g Bulk) Run(l *lab.Lab) (*Result, error) {
 	// Connections may be accepted in any order (loss can delay one
 	// client's handshake past another's), so the accepted connection's
 	// remote address — not the accept order — identifies the transfer.
-	l.Env.Spawn("server.bulk", func(p *sim.Proc) {
-		for k := 0; k < clients; k++ {
-			so, conn := ln.Accept(p)
-			i := int(conn.Key().RemoteAddr - lab.HostAddr(1))
+	l.Env.Spawn("server.bulk", &acceptLoopFrame{
+		ln: ln, n: clients,
+		accepted: func(_ int, op *tcp.AcceptOp) bool {
+			i := int(op.C.Key().RemoteAddr - lab.HostAddr(1))
 			if i < 0 || i >= clients {
 				fail(fmt.Errorf("workload: bulk connection from unexpected address %#x",
-					conn.Key().RemoteAddr))
-				return
+					op.C.Key().RemoteAddr))
+				return false
 			}
-			l.Env.Spawn(fmt.Sprintf("server.bulk.conn%d", i), func(p *sim.Proc) {
-				buf := make([]byte, 16384)
-				for {
-					n, err := so.Recv(p, buf)
-					if err != nil {
-						fail(err)
-						return
-					}
-					if n == 0 {
-						dones[i] = l.Env.Now()
-						so.Close(p)
-						return
-					}
-					received[i] += n
-				}
-			})
-		}
+			l.Env.Spawn(fmt.Sprintf("server.bulk.conn%d", i),
+				&bulkConnFrame{l: l, so: op.So, i: i, dones: dones,
+					received: received, fail: fail})
+			return true
+		},
 	})
 
 	for ci := 0; ci < clients; ci++ {
-		ci := ci
 		host := l.Hosts[ci+1]
-		l.Env.Spawn(fmt.Sprintf("client%d.bulk", ci), func(p *sim.Proc) {
-			so, _, err := host.TCP.Connect(p, lab.HostAddr(0), Port)
-			if err != nil {
-				fail(err)
-				return
-			}
-			msg := make([]byte, chunk)
-			l.Env.RNG().Fill(msg)
-			starts[ci] = l.Env.Now()
-			for sent := 0; sent < total; {
-				n := chunk
-				if n > total-sent {
-					n = total - sent
-				}
-				if _, err := so.Send(p, msg[:n]); err != nil {
-					fail(err)
-					return
-				}
-				sent += n
-			}
-			so.Close(p)
+		l.Env.Spawn(fmt.Sprintf("client%d.bulk", ci), &bulkClientFrame{
+			l: l, host: host, ci: ci, total: total, chunk: chunk,
+			starts: starts, fail: fail,
 		})
 	}
 
@@ -425,39 +345,427 @@ func (g Bulk) Run(l *lab.Lab) (*Result, error) {
 	return r, nil
 }
 
-// serveEcho is the streaming echo handler shared by the fan-in and churn
-// servers: write back whatever arrives, until EOF, then close.
-func serveEcho(p *sim.Proc, so *sock.Socket) {
-	buf := make([]byte, 16384)
+// acceptLoopFrame accepts n connections, invoking the accepted callback
+// (which typically spawns a per-connection server process) for each.
+// The callback returns false to abandon the loop after recording an
+// error.
+type acceptLoopFrame struct {
+	ln       *tcp.Listener
+	n        int
+	accepted func(i int, op *tcp.AcceptOp) bool
+
+	pc int
+	i  int
+	op *tcp.AcceptOp
+}
+
+// Step drives the accept loop.
+func (f *acceptLoopFrame) Step(p *sim.Proc) {
 	for {
-		n, err := so.Recv(p, buf)
-		if err != nil || n == 0 {
-			so.Close(p)
+		switch f.pc {
+		case 0: // accept the next connection
+			if f.i >= f.n {
+				p.Return()
+				return
+			}
+			f.pc = 1
+			f.op = f.ln.Accept(p)
 			return
+		case 1: // hand it to the callback
+			op := f.op
+			f.op = nil
+			if !f.accepted(f.i, op) {
+				p.Return()
+				return
+			}
+			f.i++
+			f.pc = 0
 		}
-		if _, err := so.Send(p, buf[:n]); err != nil {
+	}
+}
+
+// serveEchoFrame is the streaming echo handler shared by the fan-in and
+// churn servers: write back whatever arrives, until EOF, then close.
+type serveEchoFrame struct {
+	so *sock.Socket
+
+	pc   int
+	buf  []byte
+	n    int
+	recv *sock.RecvOp
+	send *sock.SendOp
+}
+
+// Step drives the echo handler.
+func (f *serveEchoFrame) Step(p *sim.Proc) {
+	for {
+		switch f.pc {
+		case 0: // read the next chunk
+			if f.buf == nil {
+				f.buf = make([]byte, 16384)
+			}
+			f.pc = 1
+			f.recv = f.so.Recv(p, f.buf)
+			return
+		case 1: // echo it back, or close on EOF/error
+			if f.recv.Err != nil || f.recv.N == 0 {
+				f.pc = 3
+				f.so.Close(p)
+				return
+			}
+			f.n = f.recv.N
+			f.recv = nil
+			f.pc = 2
+			f.send = f.so.Send(p, f.buf[:f.n])
+			return
+		case 2: // next chunk, unless the write failed
+			if f.send.Err != nil {
+				p.Return()
+				return
+			}
+			f.send = nil
+			f.pc = 0
+		case 3: // closed; done
+			p.Return()
 			return
 		}
 	}
 }
 
-// exchange sends msg and receives exactly len(buf) bytes back.
-func exchange(p *sim.Proc, so *sock.Socket, msg, buf []byte) error {
-	if _, err := so.Send(p, msg); err != nil {
-		return err
-	}
-	total := 0
-	for total < len(buf) {
-		n, err := so.Recv(p, buf[total:])
-		if err != nil {
-			return err
+// exchangeFrame sends msg and receives exactly len(buf) bytes back; Err
+// carries the failure, if any, once the frame returns.
+type exchangeFrame struct {
+	so       *sock.Socket
+	msg, buf []byte
+
+	pc    int
+	total int
+	recv  *sock.RecvOp
+	send  *sock.SendOp
+
+	Err error
+}
+
+// Step drives the request/response exchange.
+func (f *exchangeFrame) Step(p *sim.Proc) {
+	for {
+		switch f.pc {
+		case 0: // write the request
+			f.pc = 1
+			f.send = f.so.Send(p, f.msg)
+			return
+		case 1: // request written; read the response
+			if f.send.Err != nil {
+				f.Err = f.send.Err
+				p.Return()
+				return
+			}
+			f.send = nil
+			f.total = 0
+			f.pc = 2
+		case 2: // read loop head
+			if f.total >= len(f.buf) {
+				p.Return()
+				return
+			}
+			f.pc = 3
+			f.recv = f.so.Recv(p, f.buf[f.total:])
+			return
+		case 3: // fold in one read's result
+			if f.recv.Err != nil {
+				f.Err = f.recv.Err
+				p.Return()
+				return
+			}
+			if f.recv.N == 0 {
+				f.Err = fmt.Errorf("workload: unexpected EOF after %d of %d bytes",
+					f.total, len(f.buf))
+				p.Return()
+				return
+			}
+			f.total += f.recv.N
+			f.recv = nil
+			f.pc = 2
 		}
-		if n == 0 {
-			return fmt.Errorf("workload: unexpected EOF after %d of %d bytes", total, len(buf))
-		}
-		total += n
 	}
-	return nil
+}
+
+// fanInClientFrame is one fan-in client: connect once, then run warm+reqs
+// request/response exchanges, measuring the post-warmup ones.
+type fanInClientFrame struct {
+	l                *lab.Lab
+	host             *lab.Host
+	ci               int
+	size, warm, reqs int
+	perClient        [][]sim.Time
+	last             *sim.Time
+	r                *Result
+	fail             func(error)
+
+	pc       int
+	conn     *tcp.ConnectOp
+	so       *sock.Socket
+	msg, buf []byte
+	i        int
+	start    sim.Time
+	ex       *exchangeFrame
+}
+
+// Step drives the fan-in client.
+func (f *fanInClientFrame) Step(p *sim.Proc) {
+	l := f.l
+	for {
+		switch f.pc {
+		case 0: // connect to the server
+			f.pc = 1
+			f.conn = f.host.TCP.Connect(p, lab.HostAddr(0), Port)
+			return
+		case 1: // configure and prepare buffers
+			if f.conn.Err != nil {
+				f.fail(f.conn.Err)
+				p.Return()
+				return
+			}
+			f.so = f.conn.So
+			f.conn.C.SetNoDelay(true)
+			f.conn = nil
+			f.msg = make([]byte, f.size)
+			l.Env.RNG().Fill(f.msg)
+			f.buf = make([]byte, f.size)
+			f.pc = 2
+		case 2: // request loop head
+			if f.i >= f.warm+f.reqs {
+				f.pc = 4
+				f.so.Close(p)
+				return
+			}
+			f.start = l.Env.Now()
+			f.ex = &exchangeFrame{so: f.so, msg: f.msg, buf: f.buf}
+			f.pc = 3
+			p.Call(f.ex)
+			return
+		case 3: // fold in one exchange's result
+			if f.ex.Err != nil {
+				f.fail(fmt.Errorf("client %d request %d: %w", f.ci, f.i, f.ex.Err))
+				p.Return()
+				return
+			}
+			f.ex = nil
+			if f.i >= f.warm {
+				lat := l.Env.Now() - f.start
+				f.perClient[f.ci] = append(f.perClient[f.ci], lat)
+				if l.Env.Now() > *f.last {
+					*f.last = l.Env.Now()
+				}
+				if !bytesEqual(f.buf, f.msg) {
+					f.r.Errors++
+				}
+			}
+			f.i++
+			f.pc = 2
+		case 4: // closed; done
+			p.Return()
+			return
+		}
+	}
+}
+
+// churnClientFrame is one churn client: each cycle connects, exchanges
+// once, and closes; the whole cycle is the measured operation.
+type churnClientFrame struct {
+	l           *lab.Lab
+	host        *lab.Host
+	ci          int
+	size, conns int
+	perClient   [][]sim.Time
+	last        *sim.Time
+	r           *Result
+	fail        func(error)
+
+	pc       int
+	conn     *tcp.ConnectOp
+	so       *sock.Socket
+	msg, buf []byte
+	k        int
+	start    sim.Time
+	ex       *exchangeFrame
+}
+
+// Step drives the churn client.
+func (f *churnClientFrame) Step(p *sim.Proc) {
+	l := f.l
+	for {
+		switch f.pc {
+		case 0: // prepare buffers
+			f.msg = make([]byte, f.size)
+			l.Env.RNG().Fill(f.msg)
+			f.buf = make([]byte, f.size)
+			f.pc = 1
+		case 1: // cycle head: connect
+			if f.k >= f.conns {
+				p.Return()
+				return
+			}
+			f.start = l.Env.Now()
+			f.pc = 2
+			f.conn = f.host.TCP.Connect(p, lab.HostAddr(0), Port)
+			return
+		case 2: // connected; run the exchange
+			if f.conn.Err != nil {
+				f.fail(fmt.Errorf("client %d cycle %d: %w", f.ci, f.k, f.conn.Err))
+				p.Return()
+				return
+			}
+			f.so = f.conn.So
+			f.conn.C.SetNoDelay(true)
+			f.conn = nil
+			f.ex = &exchangeFrame{so: f.so, msg: f.msg, buf: f.buf}
+			f.pc = 3
+			p.Call(f.ex)
+			return
+		case 3: // record the cycle and close
+			if f.ex.Err != nil {
+				f.fail(fmt.Errorf("client %d cycle %d: %w", f.ci, f.k, f.ex.Err))
+				p.Return()
+				return
+			}
+			f.ex = nil
+			lat := l.Env.Now() - f.start
+			f.perClient[f.ci] = append(f.perClient[f.ci], lat)
+			if l.Env.Now() > *f.last {
+				*f.last = l.Env.Now()
+			}
+			if !bytesEqual(f.buf, f.msg) {
+				f.r.Errors++
+			}
+			f.pc = 4
+			f.so.Close(p)
+			return
+		case 4: // next cycle
+			f.so = nil
+			f.k++
+			f.pc = 1
+		}
+	}
+}
+
+// bulkConnFrame is the bulk server's per-connection sink: drain until
+// EOF, stamping the completion time.
+type bulkConnFrame struct {
+	l        *lab.Lab
+	so       *sock.Socket
+	i        int
+	dones    []sim.Time
+	received []int
+	fail     func(error)
+
+	pc   int
+	buf  []byte
+	recv *sock.RecvOp
+}
+
+// Step drives the sink.
+func (f *bulkConnFrame) Step(p *sim.Proc) {
+	for {
+		switch f.pc {
+		case 0: // read the next chunk
+			if f.buf == nil {
+				f.buf = make([]byte, 16384)
+			}
+			f.pc = 1
+			f.recv = f.so.Recv(p, f.buf)
+			return
+		case 1: // account for it, or finish at EOF
+			if f.recv.Err != nil {
+				f.fail(f.recv.Err)
+				p.Return()
+				return
+			}
+			if f.recv.N == 0 {
+				f.dones[f.i] = f.l.Env.Now()
+				f.recv = nil
+				f.pc = 2
+				f.so.Close(p)
+				return
+			}
+			f.received[f.i] += f.recv.N
+			f.recv = nil
+			f.pc = 0
+		case 2: // closed; done
+			p.Return()
+			return
+		}
+	}
+}
+
+// bulkClientFrame streams total bytes to the server in chunk-sized
+// writes, then closes.
+type bulkClientFrame struct {
+	l            *lab.Lab
+	host         *lab.Host
+	ci           int
+	total, chunk int
+	starts       []sim.Time
+	fail         func(error)
+
+	pc   int
+	conn *tcp.ConnectOp
+	so   *sock.Socket
+	msg  []byte
+	sent int
+	n    int
+	send *sock.SendOp
+}
+
+// Step drives the source.
+func (f *bulkClientFrame) Step(p *sim.Proc) {
+	l := f.l
+	for {
+		switch f.pc {
+		case 0: // connect
+			f.pc = 1
+			f.conn = f.host.TCP.Connect(p, lab.HostAddr(0), Port)
+			return
+		case 1: // prepare the payload and start the clock
+			if f.conn.Err != nil {
+				f.fail(f.conn.Err)
+				p.Return()
+				return
+			}
+			f.so = f.conn.So
+			f.conn = nil
+			f.msg = make([]byte, f.chunk)
+			l.Env.RNG().Fill(f.msg)
+			f.starts[f.ci] = l.Env.Now()
+			f.sent = 0
+			f.pc = 2
+		case 2: // write loop head
+			if f.sent >= f.total {
+				f.pc = 4
+				f.so.Close(p)
+				return
+			}
+			f.n = f.chunk
+			if f.n > f.total-f.sent {
+				f.n = f.total - f.sent
+			}
+			f.pc = 3
+			f.send = f.so.Send(p, f.msg[:f.n])
+			return
+		case 3: // fold in one write's result
+			if f.send.Err != nil {
+				f.fail(f.send.Err)
+				p.Return()
+				return
+			}
+			f.send = nil
+			f.sent += f.n
+			f.pc = 2
+		case 4: // closed; done
+			p.Return()
+			return
+		}
+	}
 }
 
 func defInt(v, d int) int {

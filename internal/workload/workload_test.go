@@ -68,6 +68,47 @@ func TestFanInDeterministic(t *testing.T) {
 	}
 }
 
+// TestFanInFreshVsReusedBitIdentical is the reuse contract under the
+// run-to-completion scheduler: a warm lab that already ran an unrelated
+// trial — leaving per-socket and per-stack operation frames behind in
+// their caches — must, after Reset, reproduce a fresh lab's fan-in
+// latencies bit for bit.
+func TestFanInFreshVsReusedBitIdentical(t *testing.T) {
+	cfg := lab.Config{Link: lab.LinkATM, Seed: 17}
+	gen := FanIn{Size: 200, Requests: 5, Warmup: 1}
+
+	fresh, err := gen.Run(lab.NewTopology(cfg, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := lab.NewTopology(lab.Config{Link: lab.LinkATM, Seed: 3}, 5)
+	if _, err := (Churn{Conns: 4, Size: 64}).Run(warm); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Reset(cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	reused, err := gen.Run(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(fresh.Latencies) != len(reused.Latencies) {
+		t.Fatalf("latency counts differ: fresh %d vs reused %d",
+			len(fresh.Latencies), len(reused.Latencies))
+	}
+	for i := range fresh.Latencies {
+		if fresh.Latencies[i] != reused.Latencies[i] {
+			t.Fatalf("latency %d diverges: fresh %v vs reused %v",
+				i, fresh.Latencies[i], reused.Latencies[i])
+		}
+	}
+	if fresh.Elapsed != reused.Elapsed {
+		t.Fatalf("elapsed diverges: fresh %v vs reused %v", fresh.Elapsed, reused.Elapsed)
+	}
+}
+
 func TestChurnReleasesPCBs(t *testing.T) {
 	l := lab.NewTopology(lab.Config{Link: lab.LinkATM, Seed: 8}, 3)
 	res, err := Churn{Conns: 6, Size: 64}.Run(l)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline bench-wallclock bench-wallclock-scaling baseline-wallclock tables load-smoke docs-check
+.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline bench-wallclock bench-wallclock-scaling baseline-wallclock tables load-smoke load-scale-smoke docs-check
 
 all: build test
 
@@ -52,9 +52,11 @@ baseline:
 ## with WALLCLOCK_TOL_NS=1 (gate allocations only — runner hardware
 ## differs from the machine that wrote the ns/op baseline).
 WALLCLOCK_TOL_NS ?= 0.5
+WALLCLOCK_TOL_BYTES ?= 0.35
 bench-wallclock:
 	$(GO) test -run='^$$' -bench=Wallclock -benchmem -benchtime=2x . | \
 		$(GO) run ./cmd/benchdiff -wallclock -tol-ns $(WALLCLOCK_TOL_NS) \
+			-tol-bytes $(WALLCLOCK_TOL_BYTES) \
 			-baseline BENCH_wallclock.json
 
 ## bench-wallclock-scaling: the sweep pair at GOMAXPROCS 1 and 2, fed
@@ -78,6 +80,15 @@ tables:
 ## load-smoke: a 16-client fan-in under both PCB organizations (what CI runs)
 load-smoke:
 	$(GO) run ./cmd/load -workload fanin -hosts 17 -reqs 4 -compare -seed 1994 -parallel 2 -json > /dev/null
+
+## load-scale-smoke: a 1024-host fan-in on the fat-tree fabric under the
+## race detector — the whole scale path (on-demand VC setup, trunk VCI
+## allocation, streaming statistics, staggered starts) end to end (what
+## CI runs). The stagger stays above the server's per-client service
+## time so the smoke cannot drift into retransmission collapse.
+load-scale-smoke:
+	$(GO) run -race ./cmd/load -workload fanin -hosts 1024 -reqs 1 -hashpcb \
+		-fabric fattree -stream on -stagger 5500 -json > /dev/null
 
 ## docs-check: execute every command quoted in README.md and docs/ (smoke mode)
 docs-check:

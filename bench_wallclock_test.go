@@ -19,6 +19,8 @@ import (
 	"testing"
 
 	"repro/internal/lab"
+	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -61,6 +63,47 @@ func BenchmarkWallclockEchoTraced(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkWallclockFanIn10k is the scale benchmark the routed-fabric
+// and streaming-statistics work exists for: 10,000 clients against one
+// server on a fat-tree fabric, VCs installed on demand, per-request
+// latencies folded into constant-memory aggregates, client starts
+// staggered 5ms apart — above the server CPU's ~3.5ms per-connection
+// service time — so the run measures traffic rather than
+// SYN-retransmission collapse. Besides ns/op it reports peak-heap-MB —
+// live heap after the run — which benchdiff carries into the baseline's
+// metadata: the number that blows up if per-pair VC state or per-request
+// latency retention ever creeps back in.
+func BenchmarkWallclockFanIn10k(b *testing.B) {
+	b.ReportAllocs()
+	gen := workload.FanIn{
+		Size:     200,
+		Requests: 1,
+		Warmup:   0,
+		Stagger:  5000 * sim.Microsecond,
+		Stats:    stats.Config{Streaming: true},
+	}
+	cfg := lab.Config{Link: lab.LinkATM, Fabric: lab.FabricFatTree, Seed: 1994, HashPCBs: true}
+	var peak uint64
+	for i := 0; i < b.N; i++ {
+		l := lab.NewTopology(cfg, 10001)
+		res, err := gen.Run(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Requests != 10000 {
+			b.Fatalf("completed %d of 10000 requests", res.Requests)
+		}
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if m.HeapAlloc > peak {
+			peak = m.HeapAlloc
+		}
+		runtime.KeepAlive(l)
+	}
+	b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
 }
 
 // echoMallocs runs one 1400-byte echo lab to completion and returns the

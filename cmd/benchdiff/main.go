@@ -9,12 +9,15 @@
 // is correspondingly strict (0.1%).
 //
 // The -wallclock mode guards the SIMULATOR's own speed: it extracts
-// ns/op, allocs/op, and the custom allocs/rtt metric from the Wallclock
-// benchmark tier and compares them against BENCH_wallclock.json with a
-// tolerance band — wide for ns/op (machine and load dependent), tight
-// for allocation counts (near-deterministic). This is the gate that
-// fails CI when a change quietly reintroduces per-event or per-packet
-// allocations the hot-path overhaul removed (see docs/PERFORMANCE.md).
+// ns/op, B/op, allocs/op, and the custom allocs/rtt metric from the
+// Wallclock benchmark tier and compares them against BENCH_wallclock.json
+// with a tolerance band — wide for ns/op (machine and load dependent),
+// medium for B/op (GC timing and map growth add noise allocation counts
+// do not have), tight for allocation counts (near-deterministic). This
+// is the gate that fails CI when a change quietly reintroduces per-event
+// or per-packet allocations the hot-path overhaul removed, or per-host
+// state that bloats the bytes-per-op of the scale benchmarks (see
+// docs/PERFORMANCE.md).
 //
 // The wallclock mode also reports the sweep engine's parallel/serial
 // ns/op scaling ratio per GOMAXPROCS value present in the input, warning
@@ -64,6 +67,7 @@ func run(args []string, in io.Reader, w io.Writer) error {
 		wallclock = fs.Bool("wallclock", false, "compare wall-clock metrics (ns/op, allocs) instead of paper metrics")
 		tolNs     = fs.Float64("tol-ns", 0.5, "wallclock: relative tolerance for ns/op (machine dependent)")
 		tolAlloc  = fs.Float64("tol-alloc", 0.15, "wallclock: relative tolerance for allocation counts")
+		tolBytes  = fs.Float64("tol-bytes", 0.35, "wallclock: relative tolerance for B/op (GC timing and map growth add noise)")
 		scaling   = fs.Bool("scaling", false, "wallclock: report the parallel/serial sweep scaling ratio only, without a baseline comparison")
 		cpus      = fs.Int("cpus", runtime.NumCPU(), "wallclock: physical CPUs assumed by the scaling report (default: this machine's)")
 	)
@@ -129,8 +133,11 @@ func run(args []string, in io.Reader, w io.Writer) error {
 	tolFor := func(string) float64 { return *tol }
 	if *wallclock {
 		tolFor = func(key string) float64 {
-			if strings.HasSuffix(key, "/ns/op") {
+			switch {
+			case strings.HasSuffix(key, "/ns/op"):
 				return *tolNs
+			case strings.HasSuffix(key, "/B/op"):
+				return *tolBytes
 			}
 			return *tolAlloc
 		}
@@ -245,21 +252,26 @@ func parseBench(in io.Reader) (map[string]float64, error) {
 }
 
 // parseWallclock extracts the wall-clock metrics of the Wallclock
-// benchmark tier: the standard ns/op and allocs/op columns plus the
-// custom allocs/rtt metric. Keys are "BenchName/unit" with the
+// benchmark tier: the standard ns/op, B/op, and allocs/op columns plus
+// the custom allocs/rtt metric. Keys are "BenchName/unit" with the
 // -GOMAXPROCS suffix stripped (a -cpu=1,2 run therefore keeps the last
-// variant's values under the plain key). B/op is deliberately excluded:
-// byte counts swing with GC timing and map growth in ways allocation
-// counts do not, and the allocation count is the metric the hot-path
-// contract is written against.
+// variant's values under the plain key). B/op gets its own wider
+// tolerance (-tol-bytes): byte counts swing with GC timing and map
+// growth in ways allocation counts do not, but they are the metric that
+// catches per-host state regressions — an eager VC mesh or retained
+// per-request latencies move the scale benchmarks' B/op by integer
+// factors, far past any noise band.
 //
-// Two machine-metadata keys ride along under the meta/ prefix:
-// meta/gomaxprocs (the -N suffix of the benchmark lines) and
-// meta/sweep_workers (the sweep pair's custom "workers" metric). They
-// are written into baselines and compared only informationally, so a
-// baseline recorded on one machine is never silently treated as
-// equivalent on another. Per-GOMAXPROCS ns/op samples of the sweep pair
-// are returned separately for the scaling report.
+// Machine-metadata keys ride along under the meta/ prefix:
+// meta/gomaxprocs (the -N suffix of the benchmark lines),
+// meta/sweep_workers (the sweep pair's custom "workers" metric), and
+// meta/peak_heap_mb (the fan-in scale benchmark's peak-heap-MB metric —
+// live heap is a property of the whole process, so it is recorded for
+// the record rather than gated). They are written into baselines and
+// compared only informationally, so a baseline recorded on one machine
+// is never silently treated as equivalent on another. Per-GOMAXPROCS
+// ns/op samples of the sweep pair are returned separately for the
+// scaling report.
 func parseWallclock(in io.Reader) (map[string]float64, []sweepSample, error) {
 	out := map[string]float64{}
 	var sweeps []sweepSample
@@ -290,16 +302,20 @@ func parseWallclock(in io.Reader) (map[string]float64, []sweepSample, error) {
 				out["meta/sweep_workers"] = v
 				continue
 			}
+			if unit == "peak-heap-MB" {
+				out["meta/peak_heap_mb"] = v
+				continue
+			}
 			switch unit {
-			case "ns/op", "allocs/op", "allocs/rtt":
+			case "ns/op", "B/op", "allocs/op", "allocs/rtt":
 			default:
 				continue
 			}
-			if unit == "allocs/op" && sweepVariant == "Parallel" {
-				// The parallel sweep's allocation count scales with the
-				// worker count (each worker builds its own warm testbed
-				// cache), so it is machine-dependent in a way no
-				// tolerance band fixes. The serial variant carries the
+			if (unit == "allocs/op" || unit == "B/op") && sweepVariant == "Parallel" {
+				// The parallel sweep's allocation count and bytes scale
+				// with the worker count (each worker builds its own warm
+				// testbed cache), so they are machine-dependent in a way
+				// no tolerance band fixes. The serial variant carries the
 				// allocation contract; worker count is recorded in
 				// meta/sweep_workers.
 				continue

@@ -110,13 +110,15 @@ func TestParseWallclock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Only the Wallclock tier counts, B/op is excluded, and the machine
-	// metadata rides along under meta/.
+	// Only the Wallclock tier counts, B/op is gated alongside the
+	// allocation counts, and the machine metadata rides along under meta/.
 	want := map[string]float64{
 		"BenchmarkWallclockSweepSerial/ns/op":     288152656,
+		"BenchmarkWallclockSweepSerial/B/op":      33812764,
 		"BenchmarkWallclockSweepSerial/allocs/op": 28784,
 		"BenchmarkWallclockEchoSteady/ns/op":      20063557,
 		"BenchmarkWallclockEchoSteady/allocs/rtt": 12.21,
+		"BenchmarkWallclockEchoSteady/B/op":       2755016,
 		"BenchmarkWallclockEchoSteady/allocs/op":  1696,
 		"meta/gomaxprocs":                         8,
 		"meta/sweep_workers":                      1,
@@ -265,5 +267,63 @@ func TestWallclockWriteRejectsMissingAllocs(t *testing.T) {
 	}
 	if _, statErr := os.Stat(path); statErr == nil {
 		t.Fatal("baseline file written despite rejection")
+	}
+}
+
+// sampleScale is the 10k fan-in scale benchmark's output shape: B/op
+// rides the gate with its own band and peak-heap-MB lands in the
+// baseline as machine metadata.
+const sampleScale = `goos: linux
+BenchmarkWallclockFanIn10k-2   	       1	31000000000 ns/op	        62.00 peak-heap-MB	 9800000000 B/op	  61000000 allocs/op
+PASS
+`
+
+func TestWallclockBytesBandAndPeakHeapMeta(t *testing.T) {
+	got, _, err := parseWallclock(strings.NewReader(sampleScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["meta/peak_heap_mb"] != 62 {
+		t.Fatalf("peak-heap-MB not recorded as metadata: %v", got)
+	}
+	if got["BenchmarkWallclockFanIn10k/B/op"] != 9800000000 {
+		t.Fatalf("B/op not parsed: %v", got)
+	}
+
+	path := filepath.Join(t.TempDir(), "wall.json")
+	if err := run([]string{"-wallclock", "-write", path},
+		strings.NewReader(sampleScale), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	// A 25% B/op swing stays inside the default 35% band.
+	swung := strings.Replace(sampleScale, " 9800000000 B/op", "12250000000 B/op", 1)
+	var out bytes.Buffer
+	if err := run([]string{"-wallclock", "-baseline", path},
+		strings.NewReader(swung), &out); err != nil {
+		t.Fatalf("25%% B/op swing should pass: %v\n%s", err, out.String())
+	}
+	// A 2x B/op regression — per-request latency retention creeping back
+	// in — breaks it.
+	bloated := strings.Replace(sampleScale, " 9800000000 B/op", "19600000000 B/op", 1)
+	out.Reset()
+	if err := run([]string{"-wallclock", "-baseline", path},
+		strings.NewReader(bloated), &out); err == nil {
+		t.Fatalf("2x B/op regression not detected:\n%s", out.String())
+	}
+	// -tol-bytes widens the band explicitly.
+	out.Reset()
+	if err := run([]string{"-wallclock", "-tol-bytes", "0.6", "-baseline", path},
+		strings.NewReader(bloated), &out); err != nil {
+		t.Fatalf("-tol-bytes=0.6 should admit the 2x swing (rel diff 0.5): %v\n%s", err, out.String())
+	}
+	// Peak heap from a different machine is a note, never drift.
+	other := strings.Replace(sampleScale, "62.00 peak-heap-MB", "91.00 peak-heap-MB", 1)
+	out.Reset()
+	if err := run([]string{"-wallclock", "-baseline", path},
+		strings.NewReader(other), &out); err != nil {
+		t.Fatalf("peak-heap mismatch must be non-fatal: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "note: baseline meta/peak_heap_mb=62 but this run has 91") {
+		t.Errorf("missing peak-heap note:\n%s", out.String())
 	}
 }

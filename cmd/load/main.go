@@ -24,8 +24,35 @@ import (
 
 	"repro/internal/lab"
 	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// scaleHosts is where the harness flips from paper-scale to large-scale
+// defaults: above it, -stream auto selects constant-memory streaming
+// statistics and -stagger auto spaces client starts, because a 10,000-way
+// simultaneous SYN storm against one listener mostly measures
+// retransmission backoff, and retaining every latency mostly measures
+// the host's RAM.
+const scaleHosts = 1024
+
+// fanInWarmup is the unmeasured per-client warmup requests cmd/load
+// configures for the fan-in workload.
+const fanInWarmup = 2
+
+// autoStaggerFor is the per-client start spacing -stagger auto applies
+// past scaleHosts. The spacing must exceed one client's total service
+// time on the server's single simulated DECstation CPU — measured ~1ms
+// to accept and close a connection plus ~1.5ms per request — or the
+// server falls permanently behind, SYN retransmissions pile onto the
+// queue, and the run collapses into an hours-long simulated
+// retransmission storm. Spacing by the full per-client service time
+// keeps the server below saturation at any -hosts; a 10,000-client
+// single-request run holds a flat ~2ms per-request latency.
+func autoStaggerFor(reqs int) sim.Time {
+	return sim.Time(1000+1500*(reqs+fanInWarmup)) * sim.Microsecond
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -51,6 +78,10 @@ func run(args []string, w io.Writer) error {
 		parallel = fs.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
 		seed     = fs.Uint64("seed", 0, "base seed for per-trial RNG derivation (0 with -trials > 1 uses base 1)")
 		jsonOut  = fs.Bool("json", false, "emit results as JSON instead of text")
+		stream   = fs.String("stream", "auto", "fanin/churn latency statistics: on (constant-memory P²+reservoir), off (exact), or auto (on past -hosts 1024)")
+		stagger  = fs.Int64("stagger", -1, "fanin: per-client start stagger in microseconds (-1 = auto: the per-client service estimate past -hosts 1024, else 0)")
+		fabric   = fs.String("fabric", "hub", "ATM switch fabric: hub (one switch) or fattree (leaf switches trunked to a spine)")
+		leaf     = fs.Int("leafports", 0, "fattree: hosts per leaf switch (0 = default 64)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -68,7 +99,7 @@ func run(args []string, w io.Writer) error {
 	if *loss < 0 || *loss >= 1 {
 		return fmt.Errorf("-loss %g out of range [0, 1)", *loss)
 	}
-	cfg := lab.Config{HashPCBs: *hash, CellLossRate: *loss}
+	cfg := lab.Config{HashPCBs: *hash, CellLossRate: *loss, LeafPorts: *leaf}
 	switch *link {
 	case "atm":
 		cfg.Link = lab.LinkATM
@@ -82,8 +113,37 @@ func run(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown link %q", *link)
 	}
+	switch *fabric {
+	case "hub":
+		cfg.Fabric = lab.FabricHub
+	case "fattree":
+		cfg.Fabric = lab.FabricFatTree
+		if cfg.Link != lab.LinkATM {
+			return fmt.Errorf("-fabric fattree applies to the ATM link only")
+		}
+	default:
+		return fmt.Errorf("unknown fabric %q (want hub or fattree)", *fabric)
+	}
 
-	gen, err := makeGenerator(*wl, *size, *reqs, *conns, *bytesN)
+	var stCfg stats.Config
+	switch *stream {
+	case "on":
+		stCfg.Streaming = true
+	case "off":
+	case "auto":
+		stCfg.Streaming = *hosts > scaleHosts
+	default:
+		return fmt.Errorf("unknown -stream %q (want on, off, or auto)", *stream)
+	}
+	stag := autoStaggerFor(*reqs)
+	switch {
+	case *stagger >= 0:
+		stag = sim.Time(*stagger) * sim.Microsecond
+	case *hosts <= scaleHosts:
+		stag = 0
+	}
+
+	gen, err := makeGenerator(*wl, *size, *reqs, *conns, *bytesN, stCfg, stag)
 	if err != nil {
 		return err
 	}
@@ -142,12 +202,12 @@ func run(args []string, w io.Writer) error {
 }
 
 // makeGenerator builds the named workload from the command-line knobs.
-func makeGenerator(name string, size, reqs, conns, bytes int) (workload.Generator, error) {
+func makeGenerator(name string, size, reqs, conns, bytes int, st stats.Config, stagger sim.Time) (workload.Generator, error) {
 	switch name {
 	case "fanin":
-		return workload.FanIn{Size: size, Requests: reqs, Warmup: 2}, nil
+		return workload.FanIn{Size: size, Requests: reqs, Warmup: fanInWarmup, Stats: st, Stagger: stagger}, nil
 	case "churn":
-		return workload.Churn{Conns: conns, Size: size}, nil
+		return workload.Churn{Conns: conns, Size: size, Stats: st}, nil
 	case "bulk":
 		return workload.Bulk{Bytes: bytes}, nil
 	case "echo":

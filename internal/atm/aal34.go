@@ -222,6 +222,10 @@ func (r *Reassembler) Reset() {
 	r.Errors = 0
 }
 
+// Idle reports whether no datagram is partially reassembled, i.e. the
+// channel's context can be reclaimed without losing a frame in progress.
+func (r *Reassembler) Idle() bool { return !r.active }
+
 // Push processes one cell. It returns (datagram, nil) when a frame
 // completes, (nil, error) when a frame is discarded, and (nil, nil) when
 // more cells are needed. Detection is real: sequence-number gaps from

@@ -33,9 +33,27 @@ type Driver struct {
 
 	// seg carries traffic on the default PVC (the single VC of the
 	// paper's switchless fiber); vcs maps destination IP addresses to
-	// per-VC segmenters when a topology builder installed VCs.
+	// per-VC transmit state, installed either eagerly by a test harness
+	// (AddVC) or on demand through SetupVC when the first datagram to a
+	// destination is segmented.
 	seg Segmenter
-	vcs map[uint32]*Segmenter
+	vcs map[uint32]*txVC
+
+	// SetupVC, when set, is consulted on a transmit-side VC miss: the
+	// routed fabric installs the switch path for (this host → dst) and
+	// returns the VCI the host transmits on. Signaling is modeled as
+	// instantaneous — it charges no simulated time — so an on-demand
+	// topology is timing-identical to one with every VC pre-installed.
+	// TeardownVC is the inverse, called when the driver reclaims an idle
+	// VC under TxVCLimit.
+	SetupVC    func(dst uint32) (vci uint16, ok bool)
+	TeardownVC func(dst uint32)
+
+	// TxVCLimit, when positive, bounds the transmit VC cache: installing
+	// a VC beyond the limit evicts the least-recently-used other entry
+	// (ties broken by lowest destination address, so eviction order is
+	// deterministic) and tears its path down. Zero means unlimited.
+	TxVCLimit int
 	// reasms holds one reassembler per incoming VCI. Cells from
 	// different sources arrive interleaved on distinct VCIs in switched
 	// topologies; reassembly state must be per VC.
@@ -114,8 +132,18 @@ func (d *Driver) Reset() {
 	d.HostCorruptRate = 0
 	d.txBusy = false
 	d.seg.Reset()
-	for _, s := range d.vcs {
-		s.Reset()
+	for dst, vc := range d.vcs {
+		if vc.demand {
+			// On-demand entries are trial state, not topology: dropping
+			// them restores the exact fresh-build contract (the next
+			// datagram re-installs through SetupVC, and the fabric
+			// returns the already-routed path, so the wire bytes and
+			// timing match a brand-new lab).
+			delete(d.vcs, dst)
+			continue
+		}
+		vc.seg.Reset()
+		vc.lastUse = 0
 	}
 	for _, r := range d.reasms {
 		r.Reset()
@@ -125,27 +153,107 @@ func (d *Driver) Reset() {
 	d.ReassemblyErrors, d.HECErrors, d.HostCorruptions = 0, 0, 0
 }
 
-// AddVC installs a transmit-side virtual channel: datagrams addressed to
-// dst leave on their own segmenter carrying vci. Topology builders call
-// it once per reachable host; without any VCs every datagram rides the
-// default PVC, preserving the two-host fiber behaviour.
-func (d *Driver) AddVC(dst uint32, vci uint16) {
-	if d.vcs == nil {
-		d.vcs = make(map[uint32]*Segmenter)
-	}
-	d.vcs[dst] = &Segmenter{VCI: vci}
+// txVC is the transmit side of one virtual channel: its segmenter, the
+// last time a datagram used it (for LRU reclamation), and whether it was
+// installed on demand (trial state) or eagerly (topology).
+type txVC struct {
+	seg     Segmenter
+	lastUse sim.Time
+	demand  bool
 }
 
-// segFor picks the segmenter for a datagram's destination address.
-func (d *Driver) segFor(dst uint32) *Segmenter {
+// AddVC installs a transmit-side virtual channel eagerly: datagrams
+// addressed to dst leave on their own segmenter carrying vci. Test
+// harnesses call it per reachable host; without any VCs and without a
+// SetupVC hook every datagram rides the default PVC, preserving the
+// two-host fiber behaviour. Routed fabrics do not call it — they install
+// VCs lazily through SetupVC.
+func (d *Driver) AddVC(dst uint32, vci uint16) {
 	if d.vcs == nil {
+		d.vcs = make(map[uint32]*txVC)
+	}
+	d.vcs[dst] = &txVC{seg: Segmenter{VCI: vci}}
+}
+
+// NumTxVCs returns how many transmit VCs are installed — O(peers this
+// host has sent to) under on-demand setup, the quantity the
+// state-sparsity tests pin.
+func (d *Driver) NumTxVCs() int { return len(d.vcs) }
+
+// NumReassemblers returns how many receive-side reassembly contexts
+// exist — O(peers that have sent to this host).
+func (d *Driver) NumReassemblers() int { return len(d.reasms) }
+
+// segFor picks the segmenter for a datagram's destination address,
+// installing the VC on demand when a routed fabric is attached. The miss
+// path charges no simulated time (signaling is instantaneous), so lazily
+// built topologies behave bit-identically to eagerly meshed ones.
+func (d *Driver) segFor(now sim.Time, dst uint32) *Segmenter {
+	if d.vcs == nil && d.SetupVC == nil {
 		return &d.seg
 	}
-	s, ok := d.vcs[dst]
-	if !ok {
+	if vc, ok := d.vcs[dst]; ok {
+		vc.lastUse = now
+		return &vc.seg
+	}
+	if d.SetupVC == nil {
 		panic(fmt.Sprintf("atm: no VC to destination %#x", dst))
 	}
-	return s
+	vci, ok := d.SetupVC(dst)
+	if !ok {
+		panic(fmt.Sprintf("atm: fabric has no route to destination %#x", dst))
+	}
+	if d.vcs == nil {
+		d.vcs = make(map[uint32]*txVC)
+	}
+	vc := &txVC{seg: Segmenter{VCI: vci}, lastUse: now, demand: true}
+	d.vcs[dst] = vc
+	if d.TxVCLimit > 0 && len(d.vcs) > d.TxVCLimit {
+		d.evictIdleVC(dst)
+	}
+	return &vc.seg
+}
+
+// evictIdleVC tears down the least-recently-used on-demand VC other than
+// keep. The scan is O(installed VCs), which TxVCLimit itself bounds; ties
+// on lastUse break toward the lowest destination address so that eviction
+// is a pure function of simulated history.
+func (d *Driver) evictIdleVC(keep uint32) {
+	var (
+		victim uint32
+		oldest sim.Time
+		found  bool
+	)
+	for dst, vc := range d.vcs {
+		if dst == keep || !vc.demand {
+			continue
+		}
+		if !found || vc.lastUse < oldest || (vc.lastUse == oldest && dst < victim) {
+			victim, oldest, found = dst, vc.lastUse, true
+		}
+	}
+	if !found {
+		return
+	}
+	delete(d.vcs, victim)
+	if d.TeardownVC != nil {
+		d.TeardownVC(victim)
+	}
+}
+
+// DropRx reclaims the reassembly context for an incoming VCI, returning
+// false (and keeping it) if a datagram is mid-reassembly on that channel.
+func (d *Driver) DropRx(vci uint16) bool {
+	r, ok := d.reasms[vci]
+	if !ok {
+		return true
+	}
+	if !r.Idle() {
+		return false
+	}
+	delete(d.reasms, vci)
+	delete(d.rxStart, vci)
+	return true
 }
 
 // reasmFor picks (lazily creating) the reassembler for an incoming VCI.
@@ -224,7 +332,7 @@ func (f *outputOp) Step(p *sim.Proc) {
 		case 1: // linearize and segment into the scratch buffers
 			data := mbuf.LinearizeInto(d.lin[:0], f.m)
 			d.lin = data
-			d.cells = d.segFor(ip.Dst(data)).SegmentAppend(d.cells[:0], data)
+			d.cells = d.segFor(k.Now(), ip.Dst(data)).SegmentAppend(d.cells[:0], data)
 			f.i = 0
 			f.pc = 2
 		case 2: // cell-loop head: stall on a full FIFO or charge the push

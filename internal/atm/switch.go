@@ -31,11 +31,17 @@ type vcRoute struct {
 	vci  uint16
 }
 
-// Switch is a simple output-queued ATM cell switch: any number of hosts
-// attach through ports, and a VC table maps (ingress port, VCI) to
-// (egress port, VCI). Each egress port paces cells onto its fiber at the
-// link rate, so concurrent senders to one destination queue at that
-// port — the fan-in contention point of a hub topology.
+// Switch is a simple output-queued ATM cell switch: hosts attach through
+// ports, other switches attach through trunk ports (ConnectTrunk), and a
+// VC table maps (ingress port, VCI) to (egress port, VCI). Each egress
+// port paces cells onto its fiber at the link rate, so concurrent
+// senders to one destination queue at that port — the fan-in contention
+// point of a hub topology.
+//
+// The VC table starts empty and is populated on demand by a Fabric
+// (routed topologies install a flow's path when its first datagram is
+// segmented) or eagerly by a test harness via AddVC. Its size is
+// therefore O(active flows crossing this switch), never O(hosts²).
 type Switch struct {
 	env *sim.Env
 
@@ -68,7 +74,10 @@ func NewSwitch(env *sim.Env) *Switch {
 // Reset returns the switch to its just-constructed state for testbed
 // reuse: every port's egress pacing rewinds to idle at time zero with
 // its queues emptied (retaining backing arrays), and the counters clear.
-// The VC table and port attachments survive — they are the topology.
+// Port attachments and the VC table survive — attachments are the
+// topology, and VC entries (whether installed eagerly or on demand) name
+// the same routes a fresh lab would install for the same flows, so
+// keeping them is invisible to simulated behaviour.
 func (sw *Switch) Reset() {
 	for _, p := range sw.ports {
 		p.busy = 0
@@ -79,15 +88,27 @@ func (sw *Switch) Reset() {
 	sw.CellsSwitched, sw.CellsUnrouted, sw.CellsDropped, sw.HECErrors = 0, 0, 0, 0
 }
 
-// Port is one switch port: the fiber to a single attached adapter plus
-// the egress queue pacing state.
+// Port is one switch port: the fiber to a single far end — an attached
+// host adapter or a peer switch's trunk port — plus the egress queue
+// pacing state and, for trunk ports, the egress link's VCI allocator.
 type Port struct {
-	sw      *Switch
-	index   int
-	adapter *Adapter
+	sw    *Switch
+	index int
+	// out is the far end of the fiber (an *Adapter or a peer *Port);
+	// bits and prop are the link's rate and one-way propagation delay,
+	// taken from the attached adapter's cost model for host ports and
+	// from the model handed to ConnectTrunk for trunk ports.
+	out  cellSink
+	bits float64
+	prop sim.Time
 
 	busy   sim.Time // when the egress link finishes its current cell
 	queued int      // cells committed to the egress queue
+
+	// vci allocates per-flow VCIs on this egress link for routed
+	// fabrics; nil on host-facing ports, whose egress VCI is fixed by
+	// the source-naming convention (DefaultVCI + source host index).
+	vci *vciAlloc
 
 	// egress holds cells committed to the port's output pacing and
 	// flight the cells crossing the fiber; outFn/inFn are bound once so
@@ -103,14 +124,32 @@ type Port struct {
 // Index returns the port's number on the switch.
 func (p *Port) Index() int { return p.index }
 
-// AttachPort connects an adapter to a new port and returns its index.
-func (sw *Switch) AttachPort(a *Adapter) int {
-	p := &Port{sw: sw, index: len(sw.ports), adapter: a}
+// newPort wires one port's queues and bound callbacks.
+func (sw *Switch) newPort(out cellSink, bits float64, prop sim.Time) *Port {
+	p := &Port{sw: sw, index: len(sw.ports), out: out, bits: bits, prop: prop}
 	p.outFn = p.cellOut
 	p.inFn = p.cellIn
 	sw.ports = append(sw.ports, p)
+	return p
+}
+
+// AttachPort connects an adapter to a new port and returns its index.
+func (sw *Switch) AttachPort(a *Adapter) int {
+	p := sw.newPort(a, a.K.Cost.ATMLinkBitsPS, a.K.Cost.ATMPropagation)
 	a.link = p
 	return p.index
+}
+
+// ConnectTrunk joins two switches with a duplex inter-switch fiber at
+// the model's link rate and returns the new port index on each. Trunk
+// ports carry many flows, so each side gets a VCI allocator for its
+// egress direction of the link.
+func ConnectTrunk(a, b *Switch, model *cost.Model) (aPort, bPort int) {
+	pa := a.newPort(nil, model.ATMLinkBitsPS, model.ATMPropagation)
+	pb := b.newPort(nil, model.ATMLinkBitsPS, model.ATMPropagation)
+	pa.out, pb.out = pb, pa
+	pa.vci, pb.vci = &vciAlloc{}, &vciAlloc{}
+	return pa.index, pb.index
 }
 
 // cellOut fires when the egress link finishes clocking one cell onto the
@@ -118,16 +157,20 @@ func (sw *Switch) AttachPort(a *Adapter) int {
 func (p *Port) cellOut() {
 	p.queued--
 	p.flight.push(p.egress.pop())
-	p.sw.env.After(p.adapter.K.Cost.ATMPropagation, "atmsw.cellin", p.inFn)
+	p.sw.env.After(p.prop, "atmsw.cellin", p.inFn)
 }
 
-// cellIn fires when the cell reaches the attached adapter.
+// cellIn fires when the cell reaches the far end of the fiber.
 func (p *Port) cellIn() {
-	p.adapter.receive(p.flight.pop())
+	p.out.deliverCell(p.flight.pop())
 }
 
 // NumPorts returns the number of attached ports.
 func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// NumVCs returns the number of installed VC table entries — O(active
+// flows) in routed fabrics, the quantity the state-sparsity tests pin.
+func (sw *Switch) NumVCs() int { return len(sw.vc) }
 
 // AddVC installs a unidirectional VC table entry: cells arriving on
 // inPort with inVCI leave outPort carrying outVCI.
@@ -139,8 +182,14 @@ func (sw *Switch) AddVC(inPort int, inVCI uint16, outPort int, outVCI uint16) {
 	sw.vc[vcKey{inPort, inVCI}] = vcRoute{outPort, outVCI}
 }
 
-// deliverCell implements cellSink for a port: a cell arriving from the
-// attached host enters the fabric.
+// RemoveVC tears one VC table entry down (idle-VC reclamation); removing
+// a missing entry is a no-op.
+func (sw *Switch) RemoveVC(inPort int, inVCI uint16) {
+	delete(sw.vc, vcKey{inPort, inVCI})
+}
+
+// deliverCell implements cellSink for a port: a cell arriving over the
+// fiber — from an attached host or a peer switch — enters the fabric.
 func (p *Port) deliverCell(c Cell) { p.sw.forward(p, c) }
 
 // forward looks the cell up in the VC table, rewrites the VCI, and
@@ -172,10 +221,39 @@ func (sw *Switch) forward(from *Port, c Cell) {
 	if out.busy > start {
 		start = out.busy
 	}
-	end := start + cost.WireTime(CellSize, out.adapter.K.Cost.ATMLinkBitsPS)
+	end := start + cost.WireTime(CellSize, out.bits)
 	out.busy = end
 	out.queued++
 	sw.CellsSwitched++
 	out.egress.push(c)
 	env.At(end, "atmsw.cellout", out.outFn)
 }
+
+// vciAlloc hands out per-flow VCIs on one egress direction of a trunk
+// link, recycling torn-down values so the 16-bit space bounds the number
+// of *simultaneous* flows on the link, not the number ever set up.
+type vciAlloc struct {
+	next uint16
+	free []uint16
+}
+
+// get allocates the next VCI on the link.
+func (a *vciAlloc) get() uint16 {
+	if n := len(a.free); n > 0 {
+		v := a.free[n-1]
+		a.free = a.free[:n-1]
+		return v
+	}
+	if a.next == 0 {
+		a.next = DefaultVCI
+	}
+	v := a.next
+	if v == 0xffff {
+		panic("atm: trunk link out of VCIs (65503 simultaneous flows); reclaim idle VCs")
+	}
+	a.next++
+	return v
+}
+
+// put returns a torn-down VCI to the link's pool.
+func (a *vciAlloc) put(v uint16) { a.free = append(a.free, v) }

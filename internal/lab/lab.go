@@ -99,6 +99,16 @@ type Config struct {
 	// into every later trial on this testbed. Debug-only: it never
 	// changes simulated behaviour, only whether Reset tolerates a leak.
 	CheckLeaks bool
+	// Fabric selects the switch arrangement of a multi-host ATM topology:
+	// FabricHub (the default) is one switch with every host attached;
+	// FabricFatTree arranges hosts on leaf switches (LeafPorts per leaf)
+	// trunked to a spine. Ignored for Ethernet and for the two-host
+	// switchless fiber. VC paths are installed on demand in either
+	// arrangement, so topology memory is O(active flows), not O(hosts²).
+	Fabric FabricKind
+	// LeafPorts is the hosts-per-leaf of a fat-tree fabric; zero means
+	// atm.DefaultLeafPorts.
+	LeafPorts int
 	// Cost overrides the cost model (nil means DECstation 5000/200).
 	Cost *cost.Model
 	// Seed seeds the simulation RNG.
@@ -140,10 +150,23 @@ type Lab struct {
 
 	// Segment is the shared broadcast domain of an Ethernet topology.
 	Segment *ether.Segment
-	// Switch is the cell switch of an ATM topology with more than two
-	// hosts; nil for the paper's switchless two-host fiber.
+	// Switch is the core cell switch of an ATM topology with more than
+	// two hosts — the hub of a hub fabric, the spine of a fat tree; nil
+	// for the paper's switchless two-host fiber.
 	Switch *atm.Switch
+	// Fabric is the routed multi-switch topology behind Switch; nil for
+	// Ethernet and the two-host fiber.
+	Fabric *atm.Fabric
 }
+
+// FabricKind selects the ATM switch arrangement (see atm.FabricKind).
+type FabricKind = atm.FabricKind
+
+// Fabric kinds, re-exported for Config literals.
+const (
+	FabricHub     = atm.FabricHub
+	FabricFatTree = atm.FabricFatTree
+)
 
 // BaseAddr is the first host address on the private network.
 const BaseAddr = 0xc0a80101 // 192.168.1.1
@@ -176,11 +199,13 @@ func New(cfg Config) *Lab { return NewTopology(cfg, 2) }
 
 // NewTopology builds a testbed of nHosts workstations on one link
 // substrate. Two ATM hosts share the paper's switchless fiber; more
-// attach to an output-queued Switch through a full mesh of virtual
-// channels (the VC from host i to host j is rewritten at the switch so
-// that the VCI arriving at j identifies the source, giving each flow its
-// own reassembly context). Ethernet hosts of any number share a Segment
-// with static IP bindings. Host i answers at HostAddr(i).
+// attach to a routed fabric of output-queued switches (Config.Fabric:
+// one hub by default, or a two-level fat tree), with each flow's virtual
+// channels installed on demand by the first datagram — the VC from host
+// i to host j is rewritten at the last switch so that the VCI arriving
+// at j identifies the source, giving each flow its own reassembly
+// context. Ethernet hosts of any number share a Segment with static IP
+// bindings. Host i answers at HostAddr(i).
 func NewTopology(cfg Config, nHosts int) *Lab {
 	if nHosts < 2 {
 		panic(fmt.Sprintf("lab: topology needs at least 2 hosts, got %d", nHosts))
@@ -204,22 +229,12 @@ func NewTopology(cfg Config, nHosts int) *Lab {
 		if nHosts == 2 {
 			atm.Connect(l.Client.ATMAdapter, l.Server.ATMAdapter)
 		} else {
-			l.Switch = atm.NewSwitch(env)
-			for _, h := range l.Hosts {
-				l.Switch.AttachPort(h.ATMAdapter)
-			}
+			drvs := make([]*atm.Driver, nHosts)
 			for i, h := range l.Hosts {
-				for j := range l.Hosts {
-					if i == j {
-						continue
-					}
-					// Host i reaches host j on VCI DefaultVCI+j; the
-					// switch rewrites it to DefaultVCI+i so the VCI at
-					// j names the source.
-					h.ATMDriver.AddVC(HostAddr(j), vciFor(j))
-					l.Switch.AddVC(i, vciFor(j), j, vciFor(i))
-				}
+				drvs[i] = h.ATMDriver
 			}
+			l.Fabric = atm.NewFabric(env, cfg.Fabric, model, cfg.LeafPorts, drvs)
+			l.Switch = l.Fabric.Core
 		}
 		for _, h := range l.Hosts {
 			h.ATMAdapter.LossRate = cfg.CellLossRate
@@ -263,6 +278,13 @@ func (l *Lab) Reset(cfg Config, seed uint64) error {
 	if cfg.Link != l.Config.Link {
 		return fmt.Errorf("lab: cannot reset %v topology to %v", l.Config.Link, cfg.Link)
 	}
+	if cfg.Link == LinkATM && l.Fabric != nil &&
+		(cfg.Fabric != l.Config.Fabric || cfg.LeafPorts != l.Config.LeafPorts) {
+		// The switch arrangement is wiring on the bench, like the link
+		// kind and host count — a different fabric shape is a new lab.
+		return fmt.Errorf("lab: cannot reset %v fabric (leaf ports %d) to %v (leaf ports %d)",
+			l.Config.Fabric, l.Config.LeafPorts, cfg.Fabric, cfg.LeafPorts)
+	}
 	if n := l.Env.Pending(); n != 0 {
 		// The previous trial never drained its event loop (it errored or
 		// was abandoned mid-run); resetting would strand scheduled work.
@@ -287,8 +309,8 @@ func (l *Lab) Reset(cfg Config, seed uint64) error {
 	}
 	switch cfg.Link {
 	case LinkATM:
-		if l.Switch != nil {
-			l.Switch.Reset()
+		if l.Fabric != nil {
+			l.Fabric.Reset()
 		}
 		for _, h := range l.Hosts {
 			h.ATMAdapter.LossRate = cfg.CellLossRate

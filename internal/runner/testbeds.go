@@ -11,8 +11,10 @@ import (
 // of the same shape are interchangeable through lab.Lab.Reset; labs of
 // different shapes never are.
 type topoKey struct {
-	link  lab.LinkKind
-	hosts int
+	link      lab.LinkKind
+	hosts     int
+	fabric    lab.FabricKind
+	leafPorts int
 }
 
 // maxWarmLabs bounds how many warm labs one worker keeps. Real sweeps
@@ -58,7 +60,7 @@ func (tb *Testbeds) Lab(cfg lab.Config, nHosts int) *lab.Lab {
 	if tb == nil {
 		return lab.NewTopology(cfg, nHosts)
 	}
-	key := topoKey{link: cfg.Link, hosts: nHosts}
+	key := topoKey{link: cfg.Link, hosts: nHosts, fabric: cfg.Fabric, leafPorts: cfg.LeafPorts}
 	if l := tb.labs[key]; l != nil {
 		err := l.Reset(cfg, 0)
 		if err == nil {

@@ -10,19 +10,41 @@ import (
 	"sort"
 )
 
-// Sample accumulates a set of float64 observations.
+// Sample accumulates a set of float64 observations. The zero value is
+// the exact aggregator the paper-scale tables rely on: it retains every
+// observation and computes exact nearest-rank quantiles. NewSample with
+// Config.Streaming builds the constant-memory variant instead (see
+// streaming.go); the API is identical either way.
 type Sample struct {
 	values []float64
+	stream *streamState
 }
 
 // Add appends an observation.
-func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+func (s *Sample) Add(v float64) {
+	if s.stream != nil {
+		s.stream.add(v)
+		return
+	}
+	s.values = append(s.values, v)
+}
 
 // N returns the number of observations.
-func (s *Sample) N() int { return len(s.values) }
+func (s *Sample) N() int {
+	if s.stream != nil {
+		return int(s.stream.n)
+	}
+	return len(s.values)
+}
 
 // Mean returns the arithmetic mean, or 0 for an empty sample.
 func (s *Sample) Mean() float64 {
+	if s.stream != nil {
+		if s.stream.n == 0 {
+			return 0
+		}
+		return s.stream.mean
+	}
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -35,6 +57,12 @@ func (s *Sample) Mean() float64 {
 
 // Min returns the smallest observation, or 0 for an empty sample.
 func (s *Sample) Min() float64 {
+	if s.stream != nil {
+		if s.stream.n == 0 {
+			return 0
+		}
+		return s.stream.min
+	}
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -49,6 +77,12 @@ func (s *Sample) Min() float64 {
 
 // Max returns the largest observation, or 0 for an empty sample.
 func (s *Sample) Max() float64 {
+	if s.stream != nil {
+		if s.stream.n == 0 {
+			return 0
+		}
+		return s.stream.max
+	}
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -64,6 +98,12 @@ func (s *Sample) Max() float64 {
 // StdDev returns the population standard deviation, or 0 for fewer than
 // two observations.
 func (s *Sample) StdDev() float64 {
+	if s.stream != nil {
+		if s.stream.n < 2 {
+			return 0
+		}
+		return math.Sqrt(s.stream.m2 / float64(s.stream.n))
+	}
 	if len(s.values) < 2 {
 		return 0
 	}
@@ -76,9 +116,13 @@ func (s *Sample) StdDev() float64 {
 	return math.Sqrt(sum / float64(len(s.values)))
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) using
-// nearest-rank on a sorted copy, or 0 for an empty sample.
+// Percentile returns the p-th percentile (0 <= p <= 100): nearest-rank
+// on a sorted copy of the observations in exact mode, nearest-rank over
+// the reservoir in streaming mode. 0 for an empty sample.
 func (s *Sample) Percentile(p float64) float64 {
+	if s.stream != nil {
+		return s.stream.percentile(p)
+	}
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -111,8 +155,16 @@ type Quantiles struct {
 }
 
 // Quantiles returns the sample's p50/p95/p99, or zeros for an empty
-// sample. One sorted copy serves all three cuts.
+// sample. Exact mode sorts one copy and serves all three cuts; streaming
+// mode reads the three P² estimators.
 func (s *Sample) Quantiles() Quantiles {
+	if s.stream != nil {
+		return Quantiles{
+			P50: s.stream.q50.value(),
+			P95: s.stream.q95.value(),
+			P99: s.stream.q99.value(),
+		}
+	}
 	if len(s.values) == 0 {
 		return Quantiles{}
 	}

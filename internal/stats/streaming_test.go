@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// distributions are the latency-like shapes the property tests sweep:
+// what fan-in RTT streams actually look like (tight unimodal bodies with
+// heavy right tails), at paper scale (tens of thousands of observations).
+var distributions = []struct {
+	name string
+	gen  func(r *rand.Rand) float64
+}{
+	{"uniform", func(r *rand.Rand) float64 { return 1000 + 9000*r.Float64() }},
+	{"exponential", func(r *rand.Rand) float64 { return 2000 * r.ExpFloat64() }},
+	{"lognormal", func(r *rand.Rand) float64 { return math.Exp(7 + 0.5*r.NormFloat64()) }},
+	{"shifted-tail", func(r *rand.Rand) float64 {
+		// An RPC-like shape: a 1.5ms body with a 1-in-50 retransmission
+		// tail an order of magnitude out.
+		v := 1500 + 100*r.NormFloat64()
+		if r.Intn(50) == 0 {
+			v += 30000 * r.Float64()
+		}
+		return v
+	}},
+}
+
+// TestStreamingQuantilesMatchExact is the satellite property test: on
+// paper-scale observation streams, the P² p50/p95/p99 and the
+// reservoir's Percentile must track the exact Sample's nearest-rank cuts
+// within the documented tolerances — for P², 5% relative error at the
+// median and 10% in the tails; for the 1024-slot reservoir, 15% in the
+// body and 25% at p99 (its rank error is ~sqrt(p(1-p)/1024), under 2%,
+// but heavy tails magnify rank error into value error at the extreme
+// cut) — across the latency-like distribution family and several seeds.
+func TestStreamingQuantilesMatchExact(t *testing.T) {
+	const n = 20000
+	for _, dist := range distributions {
+		for seed := int64(1); seed <= 3; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			exact := &Sample{}
+			stream := NewSample(Config{Streaming: true})
+			for i := 0; i < n; i++ {
+				v := dist.gen(r)
+				exact.Add(v)
+				stream.Add(v)
+			}
+
+			eq, sq := exact.Quantiles(), stream.Quantiles()
+			checkClose(t, dist.name, seed, "p2 p50", eq.P50, sq.P50, 0.05)
+			checkClose(t, dist.name, seed, "p2 p95", eq.P95, sq.P95, 0.10)
+			checkClose(t, dist.name, seed, "p2 p99", eq.P99, sq.P99, 0.10)
+			for _, pt := range []struct{ p, tol float64 }{{50, 0.15}, {90, 0.15}, {99, 0.25}} {
+				checkClose(t, dist.name, seed, "reservoir",
+					exact.Percentile(pt.p), stream.Percentile(pt.p), pt.tol)
+			}
+
+			// The moment estimators are exact up to float error.
+			checkClose(t, dist.name, seed, "mean", exact.Mean(), stream.Mean(), 1e-9)
+			checkClose(t, dist.name, seed, "stddev", exact.StdDev(), stream.StdDev(), 1e-9)
+			if exact.Min() != stream.Min() || exact.Max() != stream.Max() {
+				t.Errorf("%s seed %d: min/max diverged: exact [%g,%g] stream [%g,%g]",
+					dist.name, seed, exact.Min(), exact.Max(), stream.Min(), stream.Max())
+			}
+			if exact.N() != stream.N() {
+				t.Errorf("%s seed %d: N %d vs %d", dist.name, seed, exact.N(), stream.N())
+			}
+		}
+	}
+}
+
+func checkClose(t *testing.T, dist string, seed int64, what string, want, got, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s seed %d: %s exact value is 0; test distribution broken", dist, seed, what)
+	}
+	if rel := math.Abs(got-want) / math.Abs(want); rel > tol {
+		t.Errorf("%s seed %d: %s = %g, exact %g (relative error %.3f > %.2f)",
+			dist, seed, what, got, want, rel, tol)
+	}
+}
+
+// TestStreamingSmallSamples pins the warm-up path: below five
+// observations the P² estimators cannot start, so quantiles must fall
+// back to exact nearest-rank over what has arrived.
+func TestStreamingSmallSamples(t *testing.T) {
+	for n := 0; n <= 5; n++ {
+		exact := &Sample{}
+		stream := NewSample(Config{Streaming: true})
+		for i := 0; i < n; i++ {
+			v := float64((i*7)%5 + 1)
+			exact.Add(v)
+			stream.Add(v)
+		}
+		eq, sq := exact.Quantiles(), stream.Quantiles()
+		if n < 5 && eq != sq {
+			t.Errorf("n=%d: quantiles %+v vs exact %+v", n, sq, eq)
+		}
+		if exact.Percentile(50) != stream.Percentile(50) {
+			t.Errorf("n=%d: p50 %g vs exact %g", n, stream.Percentile(50), exact.Percentile(50))
+		}
+	}
+}
+
+// TestStreamingDeterministic pins the reproducibility contract: the same
+// observation stream through two streaming Samples yields identical
+// estimates, because the reservoir RNG is seeded, not global.
+func TestStreamingDeterministic(t *testing.T) {
+	a := NewSample(Config{Streaming: true})
+	b := NewSample(Config{Streaming: true})
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		v := r.ExpFloat64() * 1000
+		a.Add(v)
+		b.Add(v)
+	}
+	if a.Quantiles() != b.Quantiles() {
+		t.Errorf("quantiles diverged: %+v vs %+v", a.Quantiles(), b.Quantiles())
+	}
+	for _, p := range []float64{10, 50, 90, 99, 99.9} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Errorf("p%.1f diverged: %g vs %g", p, a.Percentile(p), b.Percentile(p))
+		}
+	}
+}
+
+// TestStreamingConstantMemory pins the point of the exercise: the
+// streaming aggregate must not grow with the observation count. The
+// reservoir is the only sized buffer, and it is capped at construction.
+func TestStreamingConstantMemory(t *testing.T) {
+	s := NewSample(Config{Streaming: true, ReservoirSize: 64})
+	for i := 0; i < 200000; i++ {
+		s.Add(float64(i))
+	}
+	if s.values != nil {
+		t.Fatalf("streaming sample retained %d observations in the exact buffer", len(s.values))
+	}
+	if got := cap(s.stream.res); got != 64 {
+		t.Fatalf("reservoir capacity grew to %d (want 64)", got)
+	}
+	if s.N() != 200000 {
+		t.Fatalf("N = %d, want 200000", s.N())
+	}
+}
+
+// TestExactModeUnchanged is the paper-mode bit-identity guard at the
+// unit level: a zero-value Sample and a NewSample(Config{}) both take
+// the exact code path, retaining observations and computing the same
+// nearest-rank quantiles as always. (The end-to-end guarantee is the
+// golden SHA-256 suite over the cmd tools.)
+func TestExactModeUnchanged(t *testing.T) {
+	zero := &Sample{}
+	cfged := NewSample(Config{})
+	if zero.Streaming() || cfged.Streaming() {
+		t.Fatal("exact-mode samples report Streaming()")
+	}
+	for i := 100; i >= 1; i-- {
+		zero.Add(float64(i))
+		cfged.Add(float64(i))
+	}
+	if len(zero.values) != 100 || len(cfged.values) != 100 {
+		t.Fatal("exact mode no longer retains observations")
+	}
+	want := Quantiles{P50: 50, P95: 95, P99: 99}
+	if zero.Quantiles() != want || cfged.Quantiles() != want {
+		t.Fatalf("exact quantiles changed: %+v / %+v, want %+v",
+			zero.Quantiles(), cfged.Quantiles(), want)
+	}
+}

@@ -46,6 +46,9 @@ type Result struct {
 	Elapsed sim.Time
 	// Latencies holds one per-operation latency per measured operation,
 	// in deterministic order: client index major, operation index minor.
+	// Nil when the generator ran with streaming statistics — then the
+	// per-operation stream was folded into constant-memory aggregates as
+	// it happened (see Sample) instead of being retained.
 	Latencies []sim.Time
 	// Events is the merged per-packet trace of the run, present only
 	// when the topology was built with lab.Config.PacketTrace. For the
@@ -53,10 +56,19 @@ type Result struct {
 	// paper's instrumentation window); for the other generators it
 	// covers the whole run including connection setup.
 	Events []trace.HostEvent
+
+	// agg is the streaming aggregate when the generator ran with
+	// stats.Config.Streaming; nil in exact mode.
+	agg *stats.Sample
 }
 
-// Sample aggregates the latencies in microseconds.
+// Sample aggregates the latencies in microseconds: exact runs build the
+// sample from the retained Latencies; streaming runs return the
+// constant-memory aggregate that absorbed each latency as it completed.
 func (r *Result) Sample() *stats.Sample {
+	if r.agg != nil {
+		return r.agg
+	}
 	var s stats.Sample
 	for _, v := range r.Latencies {
 		s.Add(v.Micros())
@@ -126,6 +138,63 @@ func startTrace(l *lab.Lab) {
 	}
 }
 
+// latSink collects per-operation latencies for the multi-client
+// generators. In exact mode (the zero stats.Config) it retains every
+// latency per client, exactly as the generators always have, and emits
+// them client-major into Result.Latencies. With stats.Config.Streaming
+// it folds each latency into a constant-memory aggregate in completion
+// order instead — deterministic (the event loop is), but unordered
+// per client, which only the reservoir's contents can observe; the
+// per-client counts are still tracked so short-changed clients fail
+// loudly either way.
+type latSink struct {
+	counts    []int
+	perClient [][]sim.Time
+	agg       *stats.Sample
+}
+
+// newLatSink sizes a sink for the client count per the stats config.
+func newLatSink(clients int, cfg stats.Config) *latSink {
+	s := &latSink{counts: make([]int, clients)}
+	if cfg.Streaming {
+		s.agg = stats.NewSample(cfg)
+	} else {
+		s.perClient = make([][]sim.Time, clients)
+	}
+	return s
+}
+
+// record folds in one measured operation for client ci.
+func (s *latSink) record(ci int, lat sim.Time) {
+	s.counts[ci]++
+	if s.agg != nil {
+		s.agg.Add(lat.Micros())
+		return
+	}
+	s.perClient[ci] = append(s.perClient[ci], lat)
+}
+
+// finish validates that every client measured want operations and moves
+// the collected latencies into the result.
+func (s *latSink) finish(r *Result, want int, unit string) error {
+	for ci, n := range s.counts {
+		if n != want {
+			return fmt.Errorf("workload: client %d measured %d of %d %s",
+				ci, n, want, unit)
+		}
+	}
+	if s.agg != nil {
+		r.agg = s.agg
+		r.Requests = s.agg.N()
+		return nil
+	}
+	for _, lats := range s.perClient {
+		r.Latencies = append(r.Latencies, lats...)
+	}
+	r.Requests = len(r.Latencies)
+	return nil
+}
+
 // FanIn is the hub workload: every client host opens one connection to
 // the server and issues request/response exchanges concurrently, so the
 // server demultiplexes interleaved segments across a live connection
@@ -135,6 +204,17 @@ type FanIn struct {
 	Size     int // request and response payload bytes (default 200)
 	Requests int // measured requests per client (default 20)
 	Warmup   int // unmeasured requests per client (default 2)
+	// Stagger spaces client start times: client i connects at i×Stagger
+	// of virtual time. Zero — the default, and the golden-output
+	// setting — starts every client at time zero, an unmetered SYN
+	// storm; at thousands of hosts a stagger in the RTT range keeps the
+	// handshake backlog from collapsing into retransmission cascades.
+	Stagger sim.Time
+	// Stats selects the latency aggregation: the zero value retains
+	// every observation (exact quantiles, required for golden outputs);
+	// Streaming folds latencies into constant-memory estimators, the
+	// 10,000-host setting.
+	Stats stats.Config
 }
 
 // Name implements Generator.
@@ -167,13 +247,14 @@ func (g FanIn) Run(l *lab.Lab) (*Result, error) {
 		},
 	})
 
-	perClient := make([][]sim.Time, clients)
+	sink := newLatSink(clients, g.Stats)
 	var last sim.Time
 	for ci := 0; ci < clients; ci++ {
 		host := l.Hosts[ci+1]
 		l.Env.Spawn(fmt.Sprintf("client%d.fanin", ci), &fanInClientFrame{
 			l: l, host: host, ci: ci, size: size, warm: warm, reqs: reqs,
-			perClient: perClient, last: &last, r: r, fail: fail,
+			startAt: sim.Time(ci) * g.Stagger,
+			sink:    sink, last: &last, r: r, fail: fail,
 		})
 	}
 
@@ -181,14 +262,9 @@ func (g FanIn) Run(l *lab.Lab) (*Result, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
-	for ci := 0; ci < clients; ci++ {
-		if len(perClient[ci]) != reqs {
-			return nil, fmt.Errorf("workload: client %d measured %d of %d requests",
-				ci, len(perClient[ci]), reqs)
-		}
-		r.Latencies = append(r.Latencies, perClient[ci]...)
+	if err := sink.finish(r, reqs, "requests"); err != nil {
+		return nil, err
 	}
-	r.Requests = len(r.Latencies)
 	r.Bytes = int64(r.Requests) * int64(size) * 2
 	r.Elapsed = last
 	collectTrace(l, r)
@@ -204,6 +280,8 @@ func (g FanIn) Run(l *lab.Lab) (*Result, error) {
 type Churn struct {
 	Conns int // connection cycles per client (default 10)
 	Size  int // payload bytes exchanged per connection (default 64)
+	// Stats selects the latency aggregation (see FanIn.Stats).
+	Stats stats.Config
 }
 
 // Name implements Generator.
@@ -236,13 +314,13 @@ func (g Churn) Run(l *lab.Lab) (*Result, error) {
 		},
 	})
 
-	perClient := make([][]sim.Time, clients)
+	sink := newLatSink(clients, g.Stats)
 	var last sim.Time
 	for ci := 0; ci < clients; ci++ {
 		host := l.Hosts[ci+1]
 		l.Env.Spawn(fmt.Sprintf("client%d.churn", ci), &churnClientFrame{
 			l: l, host: host, ci: ci, size: size, conns: conns,
-			perClient: perClient, last: &last, r: r, fail: fail,
+			sink: sink, last: &last, r: r, fail: fail,
 		})
 	}
 
@@ -250,14 +328,9 @@ func (g Churn) Run(l *lab.Lab) (*Result, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
-	for ci := 0; ci < clients; ci++ {
-		if len(perClient[ci]) != conns {
-			return nil, fmt.Errorf("workload: client %d completed %d of %d cycles",
-				ci, len(perClient[ci]), conns)
-		}
-		r.Latencies = append(r.Latencies, perClient[ci]...)
+	if err := sink.finish(r, conns, "cycles"); err != nil {
+		return nil, err
 	}
-	r.Requests = len(r.Latencies)
 	r.Bytes = int64(r.Requests) * int64(size) * 2
 	r.Elapsed = last
 	collectTrace(l, r)
@@ -490,14 +563,16 @@ func (f *exchangeFrame) Step(p *sim.Proc) {
 	}
 }
 
-// fanInClientFrame is one fan-in client: connect once, then run warm+reqs
-// request/response exchanges, measuring the post-warmup ones.
+// fanInClientFrame is one fan-in client: wait out its stagger slot,
+// connect once, then run warm+reqs request/response exchanges, measuring
+// the post-warmup ones.
 type fanInClientFrame struct {
 	l                *lab.Lab
 	host             *lab.Host
 	ci               int
 	size, warm, reqs int
-	perClient        [][]sim.Time
+	startAt          sim.Time
+	sink             *latSink
 	last             *sim.Time
 	r                *Result
 	fail             func(error)
@@ -516,11 +591,16 @@ func (f *fanInClientFrame) Step(p *sim.Proc) {
 	l := f.l
 	for {
 		switch f.pc {
-		case 0: // connect to the server
+		case 0: // wait for the stagger slot (a no-op at the default 0)
 			f.pc = 1
+			if f.startAt > 0 && !p.SleepUntil(f.startAt) {
+				return
+			}
+		case 1: // connect to the server
+			f.pc = 2
 			f.conn = f.host.TCP.Connect(p, lab.HostAddr(0), Port)
 			return
-		case 1: // configure and prepare buffers
+		case 2: // configure and prepare buffers
 			if f.conn.Err != nil {
 				f.fail(f.conn.Err)
 				p.Return()
@@ -532,19 +612,19 @@ func (f *fanInClientFrame) Step(p *sim.Proc) {
 			f.msg = make([]byte, f.size)
 			l.Env.RNG().Fill(f.msg)
 			f.buf = make([]byte, f.size)
-			f.pc = 2
-		case 2: // request loop head
+			f.pc = 3
+		case 3: // request loop head
 			if f.i >= f.warm+f.reqs {
-				f.pc = 4
+				f.pc = 5
 				f.so.Close(p)
 				return
 			}
 			f.start = l.Env.Now()
 			f.ex = &exchangeFrame{so: f.so, msg: f.msg, buf: f.buf}
-			f.pc = 3
+			f.pc = 4
 			p.Call(f.ex)
 			return
-		case 3: // fold in one exchange's result
+		case 4: // fold in one exchange's result
 			if f.ex.Err != nil {
 				f.fail(fmt.Errorf("client %d request %d: %w", f.ci, f.i, f.ex.Err))
 				p.Return()
@@ -553,7 +633,7 @@ func (f *fanInClientFrame) Step(p *sim.Proc) {
 			f.ex = nil
 			if f.i >= f.warm {
 				lat := l.Env.Now() - f.start
-				f.perClient[f.ci] = append(f.perClient[f.ci], lat)
+				f.sink.record(f.ci, lat)
 				if l.Env.Now() > *f.last {
 					*f.last = l.Env.Now()
 				}
@@ -562,8 +642,8 @@ func (f *fanInClientFrame) Step(p *sim.Proc) {
 				}
 			}
 			f.i++
-			f.pc = 2
-		case 4: // closed; done
+			f.pc = 3
+		case 5: // closed; done
 			p.Return()
 			return
 		}
@@ -577,7 +657,7 @@ type churnClientFrame struct {
 	host        *lab.Host
 	ci          int
 	size, conns int
-	perClient   [][]sim.Time
+	sink        *latSink
 	last        *sim.Time
 	r           *Result
 	fail        func(error)
@@ -631,7 +711,7 @@ func (f *churnClientFrame) Step(p *sim.Proc) {
 			}
 			f.ex = nil
 			lat := l.Env.Now() - f.start
-			f.perClient[f.ci] = append(f.perClient[f.ci], lat)
+			f.sink.record(f.ci, lat)
 			if l.Env.Now() > *f.last {
 				*f.last = l.Env.Now()
 			}

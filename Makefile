@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline bench-wallclock bench-wallclock-scaling baseline-wallclock tables load-smoke load-scale-smoke docs-check
+.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline bench-wallclock bench-wallclock-scaling baseline-wallclock tables load-smoke load-scale-smoke shard-smoke docs-check
 
 all: build test
 
@@ -89,6 +89,16 @@ load-smoke:
 load-scale-smoke:
 	$(GO) run -race ./cmd/load -workload fanin -hosts 1024 -reqs 1 -hashpcb \
 		-fabric fattree -stream on -stagger 5500 -json > /dev/null
+
+## shard-smoke: a 1024-host fat-tree fan-in split across 4 shards under
+## the race detector (what CI runs). The shard workers really do run
+## concurrently, so this exercises every cross-shard path — staged cell
+## injection, barrier control transfers, VC setup across cuts — with
+## the race detector watching, and the run's digest still matches the
+## serial golden (the sharded golden tests pin that separately).
+shard-smoke:
+	$(GO) run -race ./cmd/load -workload fanin -hosts 1024 -reqs 1 -hashpcb \
+		-fabric fattree -stream on -stagger 5500 -shards 4 -json > /dev/null
 
 ## docs-check: execute every command quoted in README.md and docs/ (smoke mode)
 docs-check:

@@ -12,6 +12,7 @@
 //	load -workload churn -hosts 9 -conns 25       # open/close storms
 //	load -workload bulk -hosts 5 -bytes 262144    # concurrent bulk fan-in
 //	load -workload fanin -trials 8 -loss 0.0005 -parallel 4  # repetitions under loss
+//	load -workload fanin -hosts 17 -reqs 4 -shards 4     # host-sharded event loops
 package main
 
 import (
@@ -82,6 +83,7 @@ func run(args []string, w io.Writer) error {
 		stagger  = fs.Int64("stagger", -1, "fanin: per-client start stagger in microseconds (-1 = auto: the per-client service estimate past -hosts 1024, else 0)")
 		fabric   = fs.String("fabric", "hub", "ATM switch fabric: hub (one switch) or fattree (leaf switches trunked to a spine)")
 		leaf     = fs.Int("leafports", 0, "fattree: hosts per leaf switch (0 = default 64)")
+		shards   = fs.Int("shards", 0, "host-sharded trial execution: run each trial's event loop across N worker shards, bit-identical to serial (0 or 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -98,6 +100,17 @@ func run(args []string, w io.Writer) error {
 	}
 	if *loss < 0 || *loss >= 1 {
 		return fmt.Errorf("-loss %g out of range [0, 1)", *loss)
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d must be >= 0", *shards)
+	}
+	if *shards > 1 {
+		if *link != "atm" {
+			return fmt.Errorf("-shards applies to the ATM link only (ether is one broadcast domain with no cuttable link)")
+		}
+		if *loss > 0 {
+			return fmt.Errorf("-shards cannot run with -loss: fault draws consume the serial RNG stream, which shards do not share")
+		}
 	}
 	cfg := lab.Config{HashPCBs: *hash, CellLossRate: *loss, LeafPorts: *leaf}
 	switch *link {
@@ -165,7 +178,7 @@ func run(args []string, w io.Writer) error {
 			if *trials > 1 {
 				label += fmt.Sprintf("/t%d", t)
 			}
-			ts = append(ts, runner.WorkloadTrial{Label: label, Cfg: c, Hosts: *hosts, Gen: gen})
+			ts = append(ts, runner.WorkloadTrial{Label: label, Cfg: c, Hosts: *hosts, Gen: gen, Shards: *shards})
 		}
 	}
 

@@ -96,6 +96,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-trials", "0"},
 		{"-loss", "1.5"},
 		{"-link", "ether", "-loss", "0.001"},
+		{"-shards", "-1"},
+		{"-shards", "4", "-link", "ether"},
+		{"-shards", "4", "-loss", "0.001"},
 	} {
 		if err := run(args, &bytes.Buffer{}); err == nil {
 			t.Fatalf("args %v accepted", args)
@@ -120,6 +123,26 @@ func TestGoldenJSONByteIdentical(t *testing.T) {
 		if got := hex.EncodeToString(sum[:]); got != goldenLoadSHA256 {
 			t.Errorf("-parallel %s: output hash %s, want golden %s (simulated results changed)",
 				parallel, got, goldenLoadSHA256)
+		}
+	}
+}
+
+// TestGoldenJSONShardedByteIdentical gates sharded execution against the
+// same golden hash as the serial path: -shards changes how the event
+// loop is driven, never what it computes, so the sharded run must
+// reproduce the PR 3 golden output to the byte.
+func TestGoldenJSONShardedByteIdentical(t *testing.T) {
+	for _, shards := range []string{"2", "4", "7"} {
+		var buf bytes.Buffer
+		args := []string{"-workload", "fanin", "-hosts", "9", "-reqs", "4",
+			"-seed", "1994", "-json", "-shards", shards}
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		if got := hex.EncodeToString(sum[:]); got != goldenLoadSHA256 {
+			t.Errorf("-shards %s: output hash %s, want golden %s (sharded run diverged from serial)",
+				shards, got, goldenLoadSHA256)
 		}
 	}
 }

@@ -119,6 +119,15 @@ type Port struct {
 	flight cellQueue
 	outFn  func()
 	inFn   func()
+
+	// cut, when set, marks the far end of this fiber as living in another
+	// shard: instead of queueing the cell locally and scheduling its
+	// arrival, forward hands it to the cluster coordinator with the two
+	// wire times serial execution would have used (scheduleAt = egress
+	// engine completion, at = far-end arrival), and the local cellout
+	// event — cutFn, bound by SetCut — only releases the queue slot.
+	cut   func(scheduleAt, at sim.Time, c Cell)
+	cutFn func()
 }
 
 // Index returns the port's number on the switch.
@@ -151,6 +160,23 @@ func ConnectTrunk(a, b *Switch, model *cost.Model) (aPort, bPort int) {
 	pa.vci, pb.vci = &vciAlloc{}, &vciAlloc{}
 	return pa.index, pb.index
 }
+
+// SetCut diverts this port's egress across a shard boundary: every cell
+// forwarded out of it is staged with the cluster coordinator instead of
+// being delivered locally. The egress pacing, queue accounting, and
+// counters are untouched — only the delivery leg moves — so the staged
+// (scheduleAt, at) times are exactly the event times a serial run would
+// have scheduled.
+func (p *Port) SetCut(stage func(scheduleAt, at sim.Time, c Cell)) {
+	p.cut = stage
+	p.cutFn = func() { p.queued-- }
+}
+
+// InjectCell delivers a cell that crossed a shard boundary into this
+// port as if it had just arrived over the fiber. The cluster coordinator
+// schedules the injection in this switch's environment at the staged
+// arrival time, mirroring the peer's cellIn.
+func (p *Port) InjectCell(c Cell) { p.sw.forward(p, c) }
 
 // cellOut fires when the egress link finishes clocking one cell onto the
 // port's fiber: release the queue slot and start the propagation delay.
@@ -225,6 +251,13 @@ func (sw *Switch) forward(from *Port, c Cell) {
 	out.busy = end
 	out.queued++
 	sw.CellsSwitched++
+	if out.cut != nil {
+		// Far end lives in another shard: stage the delivery with the
+		// coordinator and keep only the queue-slot release local.
+		out.cut(end, end+out.prop, c)
+		env.At(end, "atmsw.cellout", out.cutFn)
+		return
+	}
 	out.egress.push(c)
 	env.At(end, "atmsw.cellout", out.outFn)
 }

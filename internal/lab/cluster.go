@@ -1,0 +1,552 @@
+// Sharded execution: conservative-lookahead parallel discrete-event
+// simulation of one big scenario. A Cluster partitions a topology's
+// hosts across shards, each driving its own sim.Env event loop on its
+// own goroutine, and synchronizes them in barrier rounds: every round
+// the coordinator reads each shard's earliest pending event, gives each
+// shard its own safe horizon (see horizonFor), and lets every shard
+// execute its events with timestamps strictly below its horizon in
+// parallel. The horizons derive from the lookahead — the minimum
+// latency a cell needs to cross a cut fiber (first-cell serialization
+// plus propagation, plus the switch latency when only trunks are cut) —
+// so nothing a shard does inside a round can affect another shard
+// within that same round — the classic conservative-PDES argument, with
+// the cut links of the ATM fabric as the only channels.
+//
+// The contract is bit-identity, not approximate equivalence: a sharded
+// run must be event-for-event and byte-for-byte identical to the serial
+// run at every shard count. Three mechanisms carry it. First, cut
+// fibers stage each crossing cell with the exact (schedule, arrival)
+// times the serial run would have used, and the coordinator injects
+// them between rounds in canonical order — ascending schedule time,
+// ties by source shard and emission order, the same order the serial
+// event queue would have assigned sequence numbers. Second, VC-table
+// installs that touch switches outside the calling shard are staged as
+// control mutations applied at the next barrier, which is always before
+// the flow's first data cell can arrive there (that cell itself must
+// cross a cut, which delays it past the barrier). Third, each shard's
+// env refuses to advance its clock past the horizon (sim.Env.SetHorizon
+// bounds both RunWindow and SleepUntil's in-place fast path), so no
+// shard ever runs ahead of what its peers might still deliver.
+package lab
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/atm"
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+// Shard is one partition of a cluster: an event loop and the hosts
+// living in it, in ascending host order.
+type Shard struct {
+	Env   *sim.Env
+	Hosts []int
+}
+
+// stagedCell is one cell in flight across a shard boundary, with the
+// serial run's two wire times: scheduleAt is when the serial run would
+// have created the arrival event (the canonical ordering key) and at is
+// the arrival itself.
+type stagedCell struct {
+	dstShard   int
+	scheduleAt sim.Time
+	at         sim.Time
+	to         atm.CellDest
+	cell       atm.Cell
+}
+
+// Cluster is a sharded testbed: one Lab whose hosts are spread across
+// per-shard event loops. Build one with NewCluster, drive it with Run
+// (or RunEcho for the paper's benchmark), and rewind it between trials
+// with Cluster.Reset — the owned Lab rejects a direct Lab.Reset, which
+// would rewind only shard 0.
+type Cluster struct {
+	Lab    *Lab
+	Shards []*Shard
+
+	// lookahead is the conservative safe-time window: the minimum time a
+	// cell needs to cross any cut fiber. boomerang is the minimum time a
+	// causal consequence of a staged cell needs to cross back INTO the
+	// emitting shard (see stageCell).
+	lookahead sim.Time
+	boomerang sim.Time
+	hostShard []int
+
+	// rounds counts barrier rounds across the cluster's lifetime — the
+	// number of coordinator wake-ups, the cost per-shard horizons drive
+	// down.
+	rounds int64
+
+	// outbox and ctl are the per-source-shard staging areas written by
+	// shard goroutines during a round and drained by the coordinator at
+	// the barrier; merged is the coordinator's reusable sort buffer.
+	outbox [][]stagedCell
+	ctl    [][]func()
+	merged []stagedCell
+}
+
+// NewCluster builds a testbed of nHosts ATM workstations partitioned
+// across up to the requested number of shards. The partition is
+// topology-aware: on a hub every host is its own unit, on a fat tree
+// the unit is the leaf switch (hosts never straddle a cut host link or
+// an uncut trunk), and unit 0 — the workload server's — always forms
+// shard 0 alone with the core switch, so the fan-in hot spot gets a
+// dedicated event loop. The shard count is clamped to the unit count,
+// and a clamp to one shard (including the two-host switchless fiber,
+// which has no cuttable boundary) degenerates to a plain serial lab.
+//
+// Sharded execution refuses configurations whose behaviour depends on a
+// globally ordered RNG stream or on one host mutating another's state
+// directly: Ethernet (one broadcast domain), cell loss or corruption
+// injection, and the PCB-population knobs. Payload fills also draw from
+// per-shard RNGs — that diverges from the serial stream, but payload
+// bytes are behaviorally inert (checksum costs are data-independent and
+// echo comparison is against the sender's own message), so bit-identity
+// of every event, result, and trace is unaffected.
+func NewCluster(cfg Config, nHosts, shards int) (*Cluster, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("lab: cluster needs at least 1 shard, got %d", shards)
+	}
+	if cfg.Link != LinkATM {
+		return nil, fmt.Errorf("lab: sharded execution requires ATM; %v is one broadcast domain with no cuttable link", cfg.Link)
+	}
+	if cfg.CellLossRate != 0 || cfg.CellCorruptRate != 0 || cfg.HostCorruptRate != 0 {
+		return nil, fmt.Errorf("lab: sharded execution cannot inject faults (loss %g, corrupt %g, host-corrupt %g): fault draws consume the serial RNG stream, which shards do not share",
+			cfg.CellLossRate, cfg.CellCorruptRate, cfg.HostCorruptRate)
+	}
+	if cfg.ExtraPCBs != 0 || cfg.LivePCBs != 0 {
+		return nil, fmt.Errorf("lab: sharded execution cannot populate PCBs (extra %d, live %d): population mutates the peer host's tables directly",
+			cfg.ExtraPCBs, cfg.LivePCBs)
+	}
+	leafPorts := cfg.LeafPorts
+	if leafPorts <= 0 {
+		leafPorts = atm.DefaultLeafPorts
+	}
+	units := nHosts
+	if cfg.Fabric == FabricFatTree {
+		units = (nHosts + leafPorts - 1) / leafPorts
+	}
+	if nHosts == 2 {
+		units = 1 // switchless fiber: no switch, nothing to cut
+	}
+	eff := shards
+	if eff > units {
+		eff = units
+	}
+	if eff == 1 {
+		l := NewTopology(cfg, nHosts)
+		sh := &Shard{Env: l.Env}
+		for i := range l.Hosts {
+			sh.Hosts = append(sh.Hosts, i)
+		}
+		return &Cluster{
+			Lab:       l,
+			Shards:    []*Shard{sh},
+			hostShard: make([]int, nHosts),
+		}, nil
+	}
+
+	model := cfg.Cost
+	if model == nil {
+		model = cost.DECstation5000()
+	}
+	envs := make([]*sim.Env, eff)
+	for s := range envs {
+		envs[s] = sim.NewEnv()
+		if cfg.Seed != 0 {
+			envs[s].Seed(cfg.Seed)
+		}
+	}
+	hostShard := partitionHosts(cfg.Fabric, nHosts, leafPorts, units, eff)
+
+	l := &Lab{Env: envs[0], Config: cfg, ownerShards: eff}
+	for i := 0; i < nHosts; i++ {
+		l.Hosts = append(l.Hosts, buildHost(envs[hostShard[i]], model, cfg, hostName(i), HostAddr(i)))
+	}
+	l.Client, l.Server = l.Hosts[0], l.Hosts[1]
+
+	c := &Cluster{
+		Lab:       l,
+		hostShard: hostShard,
+		outbox:    make([][]stagedCell, eff),
+		ctl:       make([][]func(), eff),
+	}
+	drvs := make([]*atm.Driver, nHosts)
+	for i, h := range l.Hosts {
+		drvs[i] = h.ATMDriver
+	}
+	plan := &atm.ShardPlan{
+		Envs:      envs,
+		HostShard: hostShard,
+		StageCell: c.stageCell,
+		StageCtl:  c.stageCtl,
+	}
+	l.Fabric = atm.NewShardedFabric(plan, cfg.Fabric, model, cfg.LeafPorts, drvs)
+	l.Switch = l.Fabric.Core
+
+	c.Shards = make([]*Shard, eff)
+	for s := range c.Shards {
+		c.Shards[s] = &Shard{Env: envs[s]}
+	}
+	for i, s := range hostShard {
+		c.Shards[s].Hosts = append(c.Shards[s].Hosts, i)
+	}
+
+	// Lookahead: the latency floor of a cut fiber. On a hub the cuts are
+	// host links, whose cheapest direction is adapter egress — one cell
+	// time of serialization plus propagation. On a fat tree only trunk
+	// fibers are cut, and every trunk crossing first pays the switch's
+	// forwarding latency.
+	cell := cost.WireTime(atm.CellSize, model.ATMLinkBitsPS)
+	c.lookahead = cell + model.ATMPropagation
+	if cfg.Fabric == FabricFatTree {
+		c.lookahead += l.Switch.Latency
+	}
+	// The earliest a staged cell's causal consequence can re-enter the
+	// emitting shard: propagation to the far side of the cut, then —
+	// because every egress pointed back at this shard is a switch forward
+	// (the hub's port toward a cut host link, the spine toward a cut
+	// trunk) — the switch's forwarding latency, one cell serialization,
+	// and propagation home. Anything the arrival influences acts no
+	// earlier than the arrival itself, so this floor holds for perturbed
+	// traffic as well as direct responses.
+	c.boomerang = 2*model.ATMPropagation + l.Switch.Latency + cell
+	return c, nil
+}
+
+// partitionHosts assigns each host a shard: unit 0 is shard 0 alone,
+// and the remaining units split contiguously and near-evenly across
+// shards 1..eff-1 (monotone, so same-shard hosts keep their relative
+// construction order — the tie-break order serial execution uses).
+func partitionHosts(kind FabricKind, nHosts, leafPorts, units, eff int) []int {
+	unitShard := make([]int, units)
+	rest, workers := units-1, eff-1
+	base, rem := rest/workers, rest%workers
+	u := 1
+	for w := 0; w < workers; w++ {
+		n := base
+		if w < rem {
+			n++
+		}
+		for k := 0; k < n; k++ {
+			unitShard[u] = w + 1
+			u++
+		}
+	}
+	hostShard := make([]int, nHosts)
+	for i := range hostShard {
+		if kind == FabricFatTree {
+			hostShard[i] = unitShard[i/leafPorts]
+		} else {
+			hostShard[i] = unitShard[i]
+		}
+	}
+	return hostShard
+}
+
+// NumShards returns the effective shard count after clamping.
+func (c *Cluster) NumShards() int { return len(c.Shards) }
+
+// Lookahead returns the conservative safe-time window.
+func (c *Cluster) Lookahead() sim.Time { return c.lookahead }
+
+// Rounds returns how many barrier rounds this cluster has executed.
+func (c *Cluster) Rounds() int64 { return c.rounds }
+
+// HostShard returns the shard index of host i.
+func (c *Cluster) HostShard(i int) int { return c.hostShard[i] }
+
+// EnvOf returns the event loop that owns host i. Workload generators
+// spawn each host's processes on its owning shard's loop so that frame
+// code reading p.Env() sees the clock the host lives on.
+func (c *Cluster) EnvOf(i int) *sim.Env { return c.Shards[c.hostShard[i]].Env }
+
+// stageCell implements atm.ShardPlan.StageCell: the sending shard's
+// goroutine parks the crossing cell in its own outbox (no other
+// goroutine touches that slice until the barrier).
+func (c *Cluster) stageCell(srcShard, dstShard int, scheduleAt, at sim.Time, to atm.CellDest, cell atm.Cell) {
+	// Dynamic horizon tightening (see horizonFor): this emission can
+	// draw a causal response back into this shard no earlier than one
+	// round trip across the cut, so cap the window there. Emission times
+	// are not monotone across adapters (each has its own wire-busy
+	// backlog), so every stage checks, not just the first.
+	env := c.Shards[srcShard].Env
+	if b := scheduleAt + c.boomerang; b < env.Horizon() {
+		env.SetHorizon(b)
+	}
+	c.outbox[srcShard] = append(c.outbox[srcShard], stagedCell{
+		dstShard: dstShard, scheduleAt: scheduleAt, at: at, to: to, cell: cell,
+	})
+}
+
+// stageCtl implements atm.ShardPlan.StageCtl.
+func (c *Cluster) stageCtl(srcShard int, apply func()) {
+	c.ctl[srcShard] = append(c.ctl[srcShard], apply)
+}
+
+// applyStaged drains the staging areas at a round barrier: control
+// mutations first (VC installs must precede any cell that needs them),
+// then the staged cells in canonical order — ascending schedule time,
+// ties broken by source shard and then emission order, which is exactly
+// the order the serial run's event queue assigned sequence numbers to
+// the same arrivals. Only the coordinator runs here, so it may touch
+// any shard's switches and event heap freely.
+func (c *Cluster) applyStaged() {
+	for s := range c.ctl {
+		for _, fn := range c.ctl[s] {
+			fn()
+		}
+		c.ctl[s] = c.ctl[s][:0]
+	}
+	c.merged = c.merged[:0]
+	for s := range c.outbox {
+		c.merged = append(c.merged, c.outbox[s]...)
+		c.outbox[s] = c.outbox[s][:0]
+	}
+	sort.SliceStable(c.merged, func(i, j int) bool {
+		return c.merged[i].scheduleAt < c.merged[j].scheduleAt
+	})
+	for i := range c.merged {
+		m := c.merged[i] // copy: the closure outlives the reused buffer
+		c.Shards[m.dstShard].Env.At(m.at, "xshard.cellin", func() { m.to.InjectCell(m.cell) })
+	}
+}
+
+// nextTimes fills ts with each shard's earliest pending event time
+// (sim.MaxTime for an empty heap) and reports whether any shard has
+// events at all.
+func (c *Cluster) nextTimes(ts []sim.Time) bool {
+	any := false
+	for i, sh := range c.Shards {
+		if t, ok := sh.Env.NextEventAt(); ok {
+			ts[i] = t
+			any = true
+		} else {
+			ts[i] = sim.MaxTime
+		}
+	}
+	return any
+}
+
+// horizonFor returns shard i's static safe-execution bound for the
+// round: the earliest event any OTHER shard holds at the barrier, plus
+// the minimum cross-shard latency. Shard i's own events never bound it —
+// everything it emits to itself is already in its heap in order. This
+// per-shard horizon (rather than one global min+L window) is what lets
+// a busy shard stream through long stretches of local work in a single
+// round while its peers sit at far-future timestamps; with only one
+// shard holding events at all, that shard runs unbounded.
+//
+// The static bound alone is unsound: it ignores causal chains the shard
+// itself starts mid-round. A cell it stages at emission time t can wake
+// a far-future peer and draw a response back at t plus one cut round
+// trip — inside its own supposedly-safe window. stageCell closes that
+// hole dynamically by tightening the emitting shard's horizon to
+// t + boomerang, the provable floor on that round trip. Chains through
+// an intermediary are covered by the static term of the ORIGIN shard:
+// whatever shard k emits this round is emitted at or after k's first
+// event, so it lands in any third shard no earlier than that shard's
+// static horizon. Progress is preserved under both terms — each exceeds
+// the globally earliest event time, so every round retires at least one
+// event.
+func (c *Cluster) horizonFor(i int, ts []sim.Time) sim.Time {
+	minOther := sim.MaxTime
+	for k, t := range ts {
+		if k != i && t < minOther {
+			minOther = t
+		}
+	}
+	if minOther == sim.MaxTime {
+		return sim.MaxTime
+	}
+	return minOther + c.lookahead
+}
+
+// Run drives every shard's event loop to completion, round by round.
+// One worker goroutine per shard lives for the duration of the call —
+// O(shards) goroutines, which the footprint tests pin — and the
+// coordinator (the calling goroutine) owns every barrier: it applies
+// staged control, injects staged cells, computes the horizon, and only
+// then releases the workers for the next window. All cross-goroutine
+// visibility flows through the start/done channels, so the race
+// detector sees a clean happens-before chain.
+func (c *Cluster) Run() {
+	if len(c.Shards) == 1 {
+		c.Lab.Env.Run()
+		return
+	}
+	nShards := len(c.Shards)
+	start := make([]chan struct{}, nShards)
+	done := make(chan struct{}, nShards)
+	for s := range start {
+		start[s] = make(chan struct{}, 1)
+		env := c.Shards[s].Env
+		ch := start[s]
+		go func() {
+			for range ch {
+				env.RunWindow()
+				done <- struct{}{}
+			}
+		}()
+	}
+	next := make([]sim.Time, nShards)
+	for {
+		c.applyStaged()
+		if !c.nextTimes(next) {
+			break // every heap empty, nothing staged: the run is done
+		}
+		// Why a per-shard horizon is safe: shard i only processes events
+		// strictly before H_i = min over k≠i of next_k, plus L. Any cell
+		// shard k emits this round is emitted at a time >= next_k (its own
+		// first event) and arrives at >= next_k + L >= H_i for every other
+		// shard i — never inside a window a peer is executing, so the
+		// barrier always injects it into the peer's future.
+		// Release only shards holding an event below their horizon: an
+		// idle shard's RunWindow would return without executing anything,
+		// so waking it buys nothing and costs two goroutine switches —
+		// most of a round's overhead when one flow ping-pongs between two
+		// shards while the rest sit at far-future timestamps.
+		c.rounds++
+		released := 0
+		for s, sh := range c.Shards {
+			h := c.horizonFor(s, next)
+			sh.Env.SetHorizon(h)
+			if next[s] < h {
+				released++
+				start[s] <- struct{}{}
+			}
+		}
+		for i := 0; i < released; i++ {
+			<-done
+		}
+	}
+	for s := range start {
+		close(start[s])
+	}
+	for _, sh := range c.Shards {
+		sh.Env.SetHorizon(sim.MaxTime)
+	}
+}
+
+// RunEcho runs the paper's echo benchmark on the sharded testbed (see
+// Lab.RunEcho): the client lives in shard 0, the server in whatever
+// shard owns host 1. The serial benchmark flips every host's trace
+// recorder on at the client's warmup boundary; the sharded client
+// cannot reach other shards' recorders mid-round, so hosts outside its
+// shard record from time zero instead and PacketEvents drops everything
+// before the flip instant — the same stream, filtered after the fact
+// rather than gated at the source.
+func (c *Cluster) RunEcho(size, iterations, warmup int) (*EchoResult, error) {
+	l := c.Lab
+	if len(c.Shards) == 1 {
+		return l.RunEcho(size, iterations, warmup)
+	}
+	res := &EchoResult{Size: size, Iterations: iterations}
+	var runErr error
+
+	ln, err := l.Server.TCP.Listen(echoPort)
+	if err != nil {
+		return nil, err
+	}
+	// Config.LivePCBs is rejected at cluster construction, so the
+	// discard-port listener is never needed here.
+	c.Shards[c.hostShard[1]].Env.Spawn("server.echo", &echoServerFrame{l: l, ln: ln, size: size})
+	l.Env.Spawn("client.echo", &echoClientFrame{
+		l: l, size: size, iterations: iterations, warmup: warmup,
+		res: res, runErr: &runErr,
+	})
+
+	clientShard := c.hostShard[0]
+	for i, h := range l.Hosts {
+		if c.hostShard[i] != clientShard {
+			h.Kern.Trace.Enable()
+		}
+	}
+	l.flipLocal = func(on bool) {
+		for i, h := range l.Hosts {
+			if c.hostShard[i] != clientShard {
+				continue
+			}
+			if on {
+				h.Kern.Trace.Enable()
+			} else {
+				h.Kern.Trace.Disable()
+			}
+		}
+		if on && l.eventsSince == 0 {
+			l.eventsSince = l.Env.Now()
+		}
+	}
+	defer func() { l.flipLocal = nil }()
+
+	c.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if len(res.RTTs) != iterations {
+		return nil, fmt.Errorf("lab: measured %d of %d iterations", len(res.RTTs), iterations)
+	}
+	return res, nil
+}
+
+// Reset rewinds the sharded testbed for its next trial, mirroring
+// Lab.Reset shard by shard: every shard's event loop, every host, and
+// the fabric rewind to just-built state under the new configuration.
+// The shard count is part of the topology shape — like the link kind
+// and host count, it was fixed at construction — so a caller wanting a
+// different shard count builds a new cluster; Testbeds keys its cache
+// accordingly.
+func (c *Cluster) Reset(cfg Config, seed uint64) error {
+	if len(c.Shards) == 1 {
+		return c.Lab.Reset(cfg, seed)
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	l := c.Lab
+	if cfg.Link != l.Config.Link {
+		return fmt.Errorf("lab: cannot reset %v topology to %v", l.Config.Link, cfg.Link)
+	}
+	if cfg.Fabric != l.Config.Fabric || cfg.LeafPorts != l.Config.LeafPorts {
+		return fmt.Errorf("lab: cannot reset %v fabric (leaf ports %d) to %v (leaf ports %d)",
+			l.Config.Fabric, l.Config.LeafPorts, cfg.Fabric, cfg.LeafPorts)
+	}
+	if cfg.CellLossRate != 0 || cfg.CellCorruptRate != 0 || cfg.HostCorruptRate != 0 ||
+		cfg.ExtraPCBs != 0 || cfg.LivePCBs != 0 {
+		return fmt.Errorf("lab: cannot reset a sharded cluster to a fault-injection or PCB-population configuration")
+	}
+	for s, sh := range c.Shards {
+		if n := sh.Env.Pending(); n != 0 {
+			return fmt.Errorf("lab: cannot reset with %d events pending in shard %d", n, s)
+		}
+	}
+	if l.Config.CheckLeaks {
+		if hdrs, pages := l.PoolLive(); hdrs != 0 || pages != 0 {
+			return fmt.Errorf("lab: trial leaked %d mbuf headers and %d cluster pages: %w",
+				hdrs, pages, ErrPoolLeak)
+		}
+	}
+	for _, sh := range c.Shards {
+		sh.Env.Reset()
+		if cfg.Seed != 0 {
+			sh.Env.Seed(cfg.Seed)
+		}
+	}
+	model := cfg.Cost
+	if model == nil {
+		model = cost.DECstation5000()
+	}
+	for _, h := range l.Hosts {
+		resetHost(h, model, cfg)
+	}
+	l.Fabric.Reset()
+	for s := range c.ctl {
+		c.ctl[s] = c.ctl[s][:0]
+		c.outbox[s] = c.outbox[s][:0]
+	}
+	l.eventsSince = 0
+	l.Config = cfg
+	return nil
+}

@@ -1,0 +1,178 @@
+package lab
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// mustCluster builds a cluster or fails the test.
+func mustCluster(t *testing.T, cfg Config, nHosts, shards int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg, nHosts, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// clusterEcho runs the echo benchmark on a cluster and returns the
+// result; any error fails the test.
+func clusterEcho(t *testing.T, c *Cluster, size int) *EchoResult {
+	t.Helper()
+	res, err := c.RunEcho(size, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestClusterGates pins the configurations sharded execution refuses:
+// everything whose serial behavior consumes a shared RNG stream or
+// mutates peer-host state directly, which per-shard loops cannot
+// replicate bit-identically.
+func TestClusterGates(t *testing.T) {
+	bad := []Config{
+		{Link: LinkEther},
+		{Link: LinkATM, CellLossRate: 0.01},
+		{Link: LinkATM, CellCorruptRate: 0.01},
+		{Link: LinkATM, HostCorruptRate: 0.01},
+		{Link: LinkATM, ExtraPCBs: 5},
+		{Link: LinkATM, LivePCBs: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCluster(cfg, 4, 2); err == nil {
+			t.Errorf("case %d: NewCluster accepted gated config %+v", i, cfg)
+		}
+	}
+	if _, err := NewCluster(Config{Link: LinkATM}, 4, 0); err == nil {
+		t.Error("NewCluster accepted 0 shards")
+	}
+}
+
+// TestClusterClamps pins the degenerate shapes: a two-host lab is
+// switchless (one unit — nothing to cut), and the shard count clamps to
+// the number of partition units.
+func TestClusterClamps(t *testing.T) {
+	if c := mustCluster(t, Config{Link: LinkATM}, 2, 8); c.NumShards() != 1 {
+		t.Errorf("2-host cluster has %d shards, want 1", c.NumShards())
+	}
+	// 5 hosts on a hub = 5 units; requesting more shards clamps.
+	if c := mustCluster(t, Config{Link: LinkATM}, 5, 64); c.NumShards() != 5 {
+		t.Errorf("5-host hub cluster has %d shards, want clamp to 5", c.NumShards())
+	}
+	// Host 0 always lives alone on shard 0.
+	c := mustCluster(t, Config{Link: LinkATM}, 5, 3)
+	if got := c.HostShard(0); got != 0 {
+		t.Errorf("host 0 on shard %d, want 0", got)
+	}
+	for i := 1; i < 5; i++ {
+		if c.HostShard(i) == 0 {
+			t.Errorf("client host %d shares shard 0 with the server", i)
+		}
+	}
+}
+
+// TestClusterEchoBitIdentity is the tentpole contract at the lab layer:
+// the sharded echo benchmark reproduces the serial run exactly — every
+// RTT, every kernel window, every traced packet event.
+func TestClusterEchoBitIdentity(t *testing.T) {
+	cfg := Config{Link: LinkATM, PacketTrace: true, Seed: 1994}
+	serialLab := NewTopology(cfg, 3)
+	serial := runEchoOn(t, serialLab, 1400)
+	serialEvents := serialLab.PacketEvents()
+
+	for _, shards := range []int{2, 3} {
+		c := mustCluster(t, cfg, 3, shards)
+		if c.NumShards() < 2 {
+			t.Fatalf("shards=%d degenerated to serial", shards)
+		}
+		got := clusterEcho(t, c, 1400)
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("shards=%d: echo result diverged from serial", shards)
+		}
+		if ev := c.Lab.PacketEvents(); !reflect.DeepEqual(ev, serialEvents) {
+			t.Errorf("shards=%d: packet events diverged from serial (%d vs %d events)",
+				shards, len(ev), len(serialEvents))
+		}
+	}
+}
+
+// TestClusterResetBitIdentity is the sharded testbed-reuse contract: a
+// cluster warmed on a different trial and Reset to a new configuration
+// must reproduce a freshly built cluster byte-for-byte — same RTTs, same
+// trace — just like lab.Lab.Reset pins for serial labs.
+func TestClusterResetBitIdentity(t *testing.T) {
+	warmCfg := Config{Link: LinkATM, PacketTrace: true, SockBuf: 4096, Seed: 3}
+	cfg := Config{Link: LinkATM, PacketTrace: true, Seed: 7}
+
+	fresh := clusterEcho(t, mustCluster(t, cfg, 4, 3), 1400)
+
+	c := mustCluster(t, warmCfg, 4, 3)
+	clusterEcho(t, c, 200)
+	if err := c.Reset(cfg, 0); err != nil {
+		t.Fatalf("Cluster.Reset: %v", err)
+	}
+	reused := clusterEcho(t, c, 1400)
+	if !reflect.DeepEqual(reused, fresh) {
+		t.Error("reused cluster diverged from fresh cluster")
+	}
+}
+
+// TestLabResetRejectsShardedOwner pins the guard against resetting one
+// shard of a sharded testbed as if it were a whole serial lab: shard 0's
+// Lab must refuse, directing callers through Cluster.Reset.
+func TestLabResetRejectsShardedOwner(t *testing.T) {
+	c := mustCluster(t, Config{Link: LinkATM, Seed: 5}, 4, 2)
+	clusterEcho(t, c, 200)
+	if err := c.Lab.Reset(Config{Link: LinkATM, Seed: 9}, 0); err == nil {
+		t.Fatal("Lab.Reset accepted a lab owned by a 2-shard cluster")
+	}
+	if err := c.Reset(Config{Link: LinkATM, Seed: 9}, 0); err != nil {
+		t.Fatalf("Cluster.Reset rejected a matching shape: %v", err)
+	}
+	// A single-shard cluster's lab is an ordinary serial lab; the guard
+	// must not apply.
+	c1 := mustCluster(t, Config{Link: LinkATM, Seed: 5}, 2, 1)
+	clusterEcho(t, c1, 200)
+	if err := c1.Lab.Reset(Config{Link: LinkATM, Seed: 9}, 0); err != nil {
+		t.Fatalf("Lab.Reset rejected a single-shard cluster's lab: %v", err)
+	}
+}
+
+// TestClusterGoroutineFootprint pins worker cost at O(shards): a run
+// holds one goroutine per shard while shards execute and releases them
+// all before Run returns — no per-host or per-connection goroutines, and
+// no leak across runs.
+func TestClusterGoroutineFootprint(t *testing.T) {
+	before := runtime.NumGoroutine()
+	c := mustCluster(t, Config{Link: LinkATM, Seed: 1}, 9, 4)
+	during := 0
+	// Sample mid-run from inside a shard's event loop. The extra event is
+	// simulation-inert (it only reads the goroutine count).
+	c.Shards[1].Env.At(sim.Millisecond, "sample", func() {
+		during = runtime.NumGoroutine()
+	})
+	clusterEcho(t, c, 1400)
+	// Run has returned but the released workers may still be tearing
+	// down; give the scheduler a moment before calling a leak.
+	after := runtime.NumGoroutine()
+	for i := 0; i < 100 && after > before+2; i++ {
+		time.Sleep(time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+
+	if during == 0 {
+		t.Fatal("mid-run sample never fired")
+	}
+	if during > before+c.NumShards()+2 {
+		t.Errorf("goroutines during run: %d, want <= %d (before %d + %d shards + 2)",
+			during, before+c.NumShards()+2, before, c.NumShards())
+	}
+	if after > before+2 {
+		t.Errorf("goroutines after run: %d, want <= %d — workers leaked", after, before+2)
+	}
+}

@@ -157,6 +157,18 @@ type Lab struct {
 	// Fabric is the routed multi-switch topology behind Switch; nil for
 	// Ethernet and the two-host fiber.
 	Fabric *atm.Fabric
+
+	// ownerShards is nonzero when this lab's hosts are spread across the
+	// event loops of a multi-shard Cluster, which then owns resetting it.
+	ownerShards int
+	// flipLocal, when set (by Cluster.RunEcho), replaces setTracing's
+	// all-host sweep: a sharded echo client may only flip recorders in
+	// its own shard mid-round.
+	flipLocal func(on bool)
+	// eventsSince, when nonzero, filters PacketEvents to events at or
+	// after it — the sharded echo run's substitute for flipping remote
+	// recorders on exactly at the warmup boundary.
+	eventsSince sim.Time
 }
 
 // FabricKind selects the ATM switch arrangement (see atm.FabricKind).
@@ -272,6 +284,11 @@ func NewTopology(cfg Config, nHosts int) *Lab {
 // pages, failing loudly rather than letting a leaked chain ride into
 // later trials.
 func (l *Lab) Reset(cfg Config, seed uint64) error {
+	if l.ownerShards > 1 {
+		// Resetting only shard 0's event loop would leave the other
+		// shards' clocks and RNGs mid-trial — silently divergent state.
+		return fmt.Errorf("lab: testbed is sharded %d ways; reset it through Cluster.Reset", l.ownerShards)
+	}
 	if seed != 0 {
 		cfg.Seed = seed
 	}
@@ -320,6 +337,7 @@ func (l *Lab) Reset(cfg Config, seed uint64) error {
 	case LinkEther:
 		l.Segment.Reset()
 	}
+	l.eventsSince = 0
 	l.Config = cfg
 	return nil
 }
@@ -883,6 +901,10 @@ func bytesEqual(a, b []byte) bool {
 func (l *Lab) tracing() bool { return l.Client.Kern.Trace.Enabled() }
 
 func (l *Lab) setTracing(on bool) {
+	if l.flipLocal != nil {
+		l.flipLocal(on)
+		return
+	}
 	for _, h := range l.Hosts {
 		if on {
 			h.Kern.Trace.Enable()
@@ -911,5 +933,19 @@ func (l *Lab) PacketEvents() []trace.HostEvent {
 		names[i] = h.Kern.Name
 		recs[i] = h.Kern.Trace
 	}
-	return trace.MergeEvents(names, recs)
+	evs := trace.MergeEvents(names, recs)
+	if l.eventsSince > 0 {
+		// Sharded echo run: hosts outside the client's shard recorded
+		// from time zero (they cannot be flipped mid-round); drop what
+		// the serial benchmark would never have recorded.
+		k := 0
+		for _, ev := range evs {
+			if ev.At >= l.eventsSince {
+				evs[k] = ev
+				k++
+			}
+		}
+		evs = evs[:k]
+	}
+	return evs
 }

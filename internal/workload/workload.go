@@ -103,6 +103,13 @@ func (g Echo) Run(l *lab.Lab) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return echoResult(l, size, res), nil
+}
+
+// echoResult folds a lab echo run into the workload result shape. Shared
+// by the serial path above and the sharded path (Cluster.RunEcho returns
+// the same lab.EchoResult).
+func echoResult(l *lab.Lab, size int, res *lab.EchoResult) *Result {
 	r := &Result{
 		Workload:  "echo",
 		Requests:  len(res.RTTs),
@@ -116,7 +123,7 @@ func (g Echo) Run(l *lab.Lab) (*Result, error) {
 		r.Elapsed = res.Windows[len(res.Windows)-1].ReadReturn
 	}
 	collectTrace(l, r)
-	return r, nil
+	return r
 }
 
 // collectTrace attaches the merged packet-event stream to a result when
@@ -150,7 +157,12 @@ func startTrace(l *lab.Lab) {
 type latSink struct {
 	counts    []int
 	perClient [][]sim.Time
-	agg       *stats.Sample
+	// times retains each operation's completion time alongside perClient.
+	// Only sharded streaming runs arm it: they must buffer per client and
+	// replay the stream into the aggregate in canonical completion order
+	// afterwards, since shards complete operations concurrently.
+	times [][]sim.Time
+	agg   *stats.Sample
 }
 
 // newLatSink sizes a sink for the client count per the stats config.
@@ -164,14 +176,29 @@ func newLatSink(clients int, cfg stats.Config) *latSink {
 	return s
 }
 
-// record folds in one measured operation for client ci.
-func (s *latSink) record(ci int, lat sim.Time) {
+// newShardSink builds a single-slot sink for one client of a sharded
+// run: always per-client retention (an order-independent collection the
+// merge step folds canonically), with completion times kept when a
+// streaming aggregate will be replayed afterwards.
+func newShardSink(retainTimes bool) *latSink {
+	s := &latSink{counts: make([]int, 1), perClient: make([][]sim.Time, 1)}
+	if retainTimes {
+		s.times = make([][]sim.Time, 1)
+	}
+	return s
+}
+
+// record folds in one measured operation for client ci completing at at.
+func (s *latSink) record(ci int, lat, at sim.Time) {
 	s.counts[ci]++
 	if s.agg != nil {
 		s.agg.Add(lat.Micros())
 		return
 	}
 	s.perClient[ci] = append(s.perClient[ci], lat)
+	if s.times != nil {
+		s.times[ci] = append(s.times[ci], at)
+	}
 }
 
 // finish validates that every client measured want operations and moves
@@ -252,7 +279,7 @@ func (g FanIn) Run(l *lab.Lab) (*Result, error) {
 	for ci := 0; ci < clients; ci++ {
 		host := l.Hosts[ci+1]
 		l.Env.Spawn(fmt.Sprintf("client%d.fanin", ci), &fanInClientFrame{
-			l: l, host: host, ci: ci, size: size, warm: warm, reqs: reqs,
+			host: host, ci: ci, si: ci, size: size, warm: warm, reqs: reqs,
 			startAt: sim.Time(ci) * g.Stagger,
 			sink:    sink, last: &last, r: r, fail: fail,
 		})
@@ -319,7 +346,7 @@ func (g Churn) Run(l *lab.Lab) (*Result, error) {
 	for ci := 0; ci < clients; ci++ {
 		host := l.Hosts[ci+1]
 		l.Env.Spawn(fmt.Sprintf("client%d.churn", ci), &churnClientFrame{
-			l: l, host: host, ci: ci, size: size, conns: conns,
+			host: host, ci: ci, si: ci, size: size, conns: conns,
 			sink: sink, last: &last, r: r, fail: fail,
 		})
 	}
@@ -383,7 +410,7 @@ func (g Bulk) Run(l *lab.Lab) (*Result, error) {
 				return false
 			}
 			l.Env.Spawn(fmt.Sprintf("server.bulk.conn%d", i),
-				&bulkConnFrame{l: l, so: op.So, i: i, dones: dones,
+				&bulkConnFrame{so: op.So, i: i, dones: dones,
 					received: received, fail: fail})
 			return true
 		},
@@ -392,7 +419,7 @@ func (g Bulk) Run(l *lab.Lab) (*Result, error) {
 	for ci := 0; ci < clients; ci++ {
 		host := l.Hosts[ci+1]
 		l.Env.Spawn(fmt.Sprintf("client%d.bulk", ci), &bulkClientFrame{
-			l: l, host: host, ci: ci, total: total, chunk: chunk,
+			host: host, ci: ci, total: total, chunk: chunk,
 			starts: starts, fail: fail,
 		})
 	}
@@ -565,11 +592,13 @@ func (f *exchangeFrame) Step(p *sim.Proc) {
 
 // fanInClientFrame is one fan-in client: wait out its stagger slot,
 // connect once, then run warm+reqs request/response exchanges, measuring
-// the post-warmup ones.
+// the post-warmup ones. All simulation state flows through p.Env() —
+// the client's own shard in a sharded run, the lab's only env serially
+// — and all shared accumulators (sink slot si, last, r, fail) are
+// per-client in sharded runs, so the frame itself is shard-agnostic.
 type fanInClientFrame struct {
-	l                *lab.Lab
 	host             *lab.Host
-	ci               int
+	ci, si           int
 	size, warm, reqs int
 	startAt          sim.Time
 	sink             *latSink
@@ -588,7 +617,6 @@ type fanInClientFrame struct {
 
 // Step drives the fan-in client.
 func (f *fanInClientFrame) Step(p *sim.Proc) {
-	l := f.l
 	for {
 		switch f.pc {
 		case 0: // wait for the stagger slot (a no-op at the default 0)
@@ -610,7 +638,7 @@ func (f *fanInClientFrame) Step(p *sim.Proc) {
 			f.conn.C.SetNoDelay(true)
 			f.conn = nil
 			f.msg = make([]byte, f.size)
-			l.Env.RNG().Fill(f.msg)
+			p.Env().RNG().Fill(f.msg)
 			f.buf = make([]byte, f.size)
 			f.pc = 3
 		case 3: // request loop head
@@ -619,7 +647,7 @@ func (f *fanInClientFrame) Step(p *sim.Proc) {
 				f.so.Close(p)
 				return
 			}
-			f.start = l.Env.Now()
+			f.start = p.Env().Now()
 			f.ex = &exchangeFrame{so: f.so, msg: f.msg, buf: f.buf}
 			f.pc = 4
 			p.Call(f.ex)
@@ -632,10 +660,11 @@ func (f *fanInClientFrame) Step(p *sim.Proc) {
 			}
 			f.ex = nil
 			if f.i >= f.warm {
-				lat := l.Env.Now() - f.start
-				f.sink.record(f.ci, lat)
-				if l.Env.Now() > *f.last {
-					*f.last = l.Env.Now()
+				now := p.Env().Now()
+				lat := now - f.start
+				f.sink.record(f.si, lat, now)
+				if now > *f.last {
+					*f.last = now
 				}
 				if !bytesEqual(f.buf, f.msg) {
 					f.r.Errors++
@@ -651,11 +680,12 @@ func (f *fanInClientFrame) Step(p *sim.Proc) {
 }
 
 // churnClientFrame is one churn client: each cycle connects, exchanges
-// once, and closes; the whole cycle is the measured operation.
+// once, and closes; the whole cycle is the measured operation. Like the
+// fan-in client it is shard-agnostic: p.Env() and per-client
+// accumulators are all it touches.
 type churnClientFrame struct {
-	l           *lab.Lab
 	host        *lab.Host
-	ci          int
+	ci, si      int
 	size, conns int
 	sink        *latSink
 	last        *sim.Time
@@ -673,12 +703,11 @@ type churnClientFrame struct {
 
 // Step drives the churn client.
 func (f *churnClientFrame) Step(p *sim.Proc) {
-	l := f.l
 	for {
 		switch f.pc {
 		case 0: // prepare buffers
 			f.msg = make([]byte, f.size)
-			l.Env.RNG().Fill(f.msg)
+			p.Env().RNG().Fill(f.msg)
 			f.buf = make([]byte, f.size)
 			f.pc = 1
 		case 1: // cycle head: connect
@@ -686,7 +715,7 @@ func (f *churnClientFrame) Step(p *sim.Proc) {
 				p.Return()
 				return
 			}
-			f.start = l.Env.Now()
+			f.start = p.Env().Now()
 			f.pc = 2
 			f.conn = f.host.TCP.Connect(p, lab.HostAddr(0), Port)
 			return
@@ -710,10 +739,11 @@ func (f *churnClientFrame) Step(p *sim.Proc) {
 				return
 			}
 			f.ex = nil
-			lat := l.Env.Now() - f.start
-			f.sink.record(f.ci, lat)
-			if l.Env.Now() > *f.last {
-				*f.last = l.Env.Now()
+			now := p.Env().Now()
+			lat := now - f.start
+			f.sink.record(f.si, lat, now)
+			if now > *f.last {
+				*f.last = now
 			}
 			if !bytesEqual(f.buf, f.msg) {
 				f.r.Errors++
@@ -732,7 +762,6 @@ func (f *churnClientFrame) Step(p *sim.Proc) {
 // bulkConnFrame is the bulk server's per-connection sink: drain until
 // EOF, stamping the completion time.
 type bulkConnFrame struct {
-	l        *lab.Lab
 	so       *sock.Socket
 	i        int
 	dones    []sim.Time
@@ -762,7 +791,7 @@ func (f *bulkConnFrame) Step(p *sim.Proc) {
 				return
 			}
 			if f.recv.N == 0 {
-				f.dones[f.i] = f.l.Env.Now()
+				f.dones[f.i] = p.Env().Now()
 				f.recv = nil
 				f.pc = 2
 				f.so.Close(p)
@@ -781,7 +810,6 @@ func (f *bulkConnFrame) Step(p *sim.Proc) {
 // bulkClientFrame streams total bytes to the server in chunk-sized
 // writes, then closes.
 type bulkClientFrame struct {
-	l            *lab.Lab
 	host         *lab.Host
 	ci           int
 	total, chunk int
@@ -799,7 +827,6 @@ type bulkClientFrame struct {
 
 // Step drives the source.
 func (f *bulkClientFrame) Step(p *sim.Proc) {
-	l := f.l
 	for {
 		switch f.pc {
 		case 0: // connect
@@ -815,8 +842,8 @@ func (f *bulkClientFrame) Step(p *sim.Proc) {
 			f.so = f.conn.So
 			f.conn = nil
 			f.msg = make([]byte, f.chunk)
-			l.Env.RNG().Fill(f.msg)
-			f.starts[f.ci] = l.Env.Now()
+			p.Env().RNG().Fill(f.msg)
+			f.starts[f.ci] = p.Env().Now()
 			f.sent = 0
 			f.pc = 2
 		case 2: // write loop head

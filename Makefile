@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline bench-wallclock bench-wallclock-scaling baseline-wallclock tables load-smoke load-scale-smoke shard-smoke docs-check
+.PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline bench-wallclock bench-wallclock-scaling baseline-wallclock tables load-smoke load-scale-smoke shard-smoke loaded-smoke docs-check
 
 all: build test
 
@@ -99,6 +99,14 @@ load-scale-smoke:
 shard-smoke:
 	$(GO) run -race ./cmd/load -workload fanin -hosts 1024 -reqs 1 -hashpcb \
 		-fabric fattree -stream on -stagger 5500 -shards 4 -json > /dev/null
+
+## loaded-smoke: the congested-regime tier end to end under the race
+## detector (what CI runs): both transports (TCP and reliable UDP)
+## through the loaded fan-in study with RED on every egress port,
+## Gilbert–Elliott burst loss, and heavy-tailed cross traffic.
+loaded-smoke:
+	$(GO) run -race ./cmd/load -workload loaded -hosts 6 -reqs 4 \
+		-qdisc red -burstloss 0.002 -crosstraffic 2 -seed 1994 -json > /dev/null
 
 ## docs-check: execute every command quoted in README.md and docs/ (smoke mode)
 docs-check:

@@ -65,6 +65,30 @@ func BenchmarkWallclockEchoTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkWallclockFanInLoaded is the loaded-tier hot path: the
+// 16-client fan-in with every switch egress port behind RED,
+// Gilbert–Elliott burst loss armed on every link, and two heavy-tailed
+// cross-traffic flows contending for the server's egress. Its ns/op
+// prices what the impairment layer costs per run — RED's EWMA update
+// and drop lottery per cell arrival, the GE chain's two draws per cell,
+// the cross flows' extra connections. The unloaded FanIn16 number
+// above is the control: work on the loaded path must not move it.
+func BenchmarkWallclockFanInLoaded(b *testing.B) {
+	b.ReportAllocs()
+	cfg := lab.Config{Link: lab.LinkATM, Seed: 1994,
+		Qdisc:     lab.QdiscConfig{Kind: lab.QdiscRED},
+		BurstLoss: sim.GEParams{PGoodBad: 0.002, PBadGood: 0.2, LossBad: 0.5},
+	}
+	gen := workload.FanIn{Size: 200, Requests: 4, Warmup: 1,
+		Cross: &workload.CrossTraffic{Flows: 2}}
+	for i := 0; i < b.N; i++ {
+		l := lab.NewTopology(cfg, 17)
+		if _, err := gen.Run(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWallclockFanIn10k is the scale benchmark the routed-fabric
 // and streaming-statistics work exists for: 10,000 clients against one
 // server on a fat-tree fabric, VCs installed on demand, per-request

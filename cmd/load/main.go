@@ -13,6 +13,8 @@
 //	load -workload bulk -hosts 5 -bytes 262144    # concurrent bulk fan-in
 //	load -workload fanin -trials 8 -loss 0.0005 -parallel 4  # repetitions under loss
 //	load -workload fanin -hosts 17 -reqs 4 -shards 4     # host-sharded event loops
+//	load -workload fanin -transport rudp -qdisc red      # reliable-UDP rival transport
+//	load -workload loaded -burstloss 0.002 -crosstraffic 2   # TCP vs rUDP under load
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/lab"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -84,6 +87,10 @@ func run(args []string, w io.Writer) error {
 		fabric   = fs.String("fabric", "hub", "ATM switch fabric: hub (one switch) or fattree (leaf switches trunked to a spine)")
 		leaf     = fs.Int("leafports", 0, "fattree: hosts per leaf switch (0 = default 64)")
 		shards   = fs.Int("shards", 0, "host-sharded trial execution: run each trial's event loop across N worker shards, bit-identical to serial (0 or 1 = serial)")
+		transp   = fs.String("transport", "tcp", "fanin: transport under test, tcp or rudp (reliable UDP)")
+		qdisc    = fs.String("qdisc", "none", "ATM egress queue discipline: none, droptail, red, or drr")
+		burst    = fs.Float64("burstloss", 0, "Gilbert-Elliott burst loss: probability of entering the bad state per cell (0 = off)")
+		crossN   = fs.Int("crosstraffic", 0, "fanin/loaded: background bounded-Pareto transfer flows contending with the workload")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -111,8 +118,25 @@ func run(args []string, w io.Writer) error {
 		if *loss > 0 {
 			return fmt.Errorf("-shards cannot run with -loss: fault draws consume the serial RNG stream, which shards do not share")
 		}
+		if *burst > 0 {
+			return fmt.Errorf("-shards cannot run with -burstloss: fault studies compare serial runs only")
+		}
 	}
-	cfg := lab.Config{HashPCBs: *hash, CellLossRate: *loss, LeafPorts: *leaf}
+	if *burst < 0 || *burst >= 1 {
+		return fmt.Errorf("-burstloss %g out of range [0, 1)", *burst)
+	}
+	if *crossN < 0 {
+		return fmt.Errorf("-crosstraffic %d must be >= 0", *crossN)
+	}
+	qk, err := lab.ParseQdiscKind(*qdisc)
+	if err != nil {
+		return err
+	}
+	if *transp != workload.TransportTCP && *transp != workload.TransportRUDP {
+		return fmt.Errorf("unknown transport %q (want tcp or rudp)", *transp)
+	}
+	cfg := lab.Config{HashPCBs: *hash, CellLossRate: *loss, LeafPorts: *leaf,
+		Qdisc: lab.QdiscConfig{Kind: qk}, BurstLoss: burstGE(*burst)}
 	switch *link {
 	case "atm":
 		cfg.Link = lab.LinkATM
@@ -122,6 +146,11 @@ func run(args []string, w io.Writer) error {
 		// here would silently measure a loss-free segment.
 		if *loss > 0 {
 			return fmt.Errorf("-loss applies to the ATM link only")
+		}
+		// Queue disciplines hang off ATM switch egress ports; the
+		// Ethernet segment has no switch to install one on.
+		if qk != lab.QdiscNone {
+			return fmt.Errorf("-qdisc applies to the ATM link only")
 		}
 	default:
 		return fmt.Errorf("unknown link %q", *link)
@@ -136,6 +165,36 @@ func run(args []string, w io.Writer) error {
 		}
 	default:
 		return fmt.Errorf("unknown fabric %q (want hub or fattree)", *fabric)
+	}
+
+	if *wl == "loaded" {
+		// The loaded study is self-contained: fan-in under the load
+		// knobs, once per rival transport, rendered as a comparison.
+		if cfg.Link != lab.LinkATM || cfg.Fabric != lab.FabricHub {
+			return fmt.Errorf("-workload loaded runs on the hub ATM fabric")
+		}
+		res, err := core.RunLoadedStudy(core.LoadedOptions{
+			Hosts: *hosts, Requests: *reqs, Size: *size,
+			Qdisc:      cfg.Qdisc,
+			BurstLoss:  cfg.BurstLoss,
+			CrossFlows: *crossN,
+			Shards:     *shards,
+			Parallel:   *parallel,
+			BaseSeed:   *seed,
+		})
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			b, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, string(b))
+			return nil
+		}
+		fmt.Fprint(w, res.Render())
+		return nil
 	}
 
 	var stCfg stats.Config
@@ -156,7 +215,7 @@ func run(args []string, w io.Writer) error {
 		stag = 0
 	}
 
-	gen, err := makeGenerator(*wl, *size, *reqs, *conns, *bytesN, stCfg, stag)
+	gen, err := makeGenerator(*wl, *size, *reqs, *conns, *bytesN, stCfg, stag, *transp, *crossN)
 	if err != nil {
 		return err
 	}
@@ -214,11 +273,35 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
+// burstGE expands the one-knob burst-loss flag into the Gilbert–Elliott
+// chain it configures: entering the bad state with the given per-cell
+// probability, leaving it with mean burst length 5 cells, and losing
+// half the cells while bad.
+func burstGE(pGoodBad float64) sim.GEParams {
+	if pGoodBad <= 0 {
+		return sim.GEParams{}
+	}
+	return sim.GEParams{PGoodBad: pGoodBad, PBadGood: 0.2, LossBad: 0.5}
+}
+
 // makeGenerator builds the named workload from the command-line knobs.
-func makeGenerator(name string, size, reqs, conns, bytes int, st stats.Config, stagger sim.Time) (workload.Generator, error) {
+func makeGenerator(name string, size, reqs, conns, bytes int, st stats.Config, stagger sim.Time, transport string, crossFlows int) (workload.Generator, error) {
+	if name != "fanin" {
+		if transport == workload.TransportRUDP {
+			return nil, fmt.Errorf("-transport rudp applies to the fanin workload only")
+		}
+		if crossFlows > 0 {
+			return nil, fmt.Errorf("-crosstraffic applies to the fanin and loaded workloads only")
+		}
+	}
 	switch name {
 	case "fanin":
-		return workload.FanIn{Size: size, Requests: reqs, Warmup: fanInWarmup, Stats: st, Stagger: stagger}, nil
+		g := workload.FanIn{Size: size, Requests: reqs, Warmup: fanInWarmup,
+			Stats: st, Stagger: stagger, Transport: transport}
+		if crossFlows > 0 {
+			g.Cross = &workload.CrossTraffic{Flows: crossFlows}
+		}
+		return g, nil
 	case "churn":
 		return workload.Churn{Conns: conns, Size: size, Stats: st}, nil
 	case "bulk":
@@ -226,5 +309,5 @@ func makeGenerator(name string, size, reqs, conns, bytes int, st stats.Config, s
 	case "echo":
 		return workload.Echo{Size: size, Iterations: reqs}, nil
 	}
-	return nil, fmt.Errorf("unknown workload %q (want fanin, churn, bulk, or echo)", name)
+	return nil, fmt.Errorf("unknown workload %q (want fanin, churn, bulk, echo, or loaded)", name)
 }

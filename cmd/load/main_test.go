@@ -99,9 +99,36 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-shards", "-1"},
 		{"-shards", "4", "-link", "ether"},
 		{"-shards", "4", "-loss", "0.001"},
+		{"-shards", "4", "-burstloss", "0.001"},
+		{"-burstloss", "1.5"},
+		{"-crosstraffic", "-1"},
+		{"-qdisc", "codel"},
+		{"-link", "ether", "-qdisc", "red"},
+		{"-transport", "sctp"},
+		{"-workload", "churn", "-transport", "rudp"},
+		{"-workload", "bulk", "-crosstraffic", "2"},
+		{"-workload", "loaded", "-link", "ether"},
+		{"-workload", "loaded", "-fabric", "fattree"},
 	} {
 		if err := run(args, &bytes.Buffer{}); err == nil {
 			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunLoadedText smokes the loaded study end to end through the CLI:
+// both transports under RED, burst loss, and cross traffic.
+func TestRunLoadedText(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-workload", "loaded", "-hosts", "4", "-reqs", "3",
+		"-qdisc", "red", "-burstloss", "0.001", "-crosstraffic", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"loaded fan-in", "tcp", "rudp", "Server CPU attribution"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("loaded output missing %q:\n%s", want, out)
 		}
 	}
 }
@@ -143,6 +170,28 @@ func TestGoldenJSONShardedByteIdentical(t *testing.T) {
 		if got := hex.EncodeToString(sum[:]); got != goldenLoadSHA256 {
 			t.Errorf("-shards %s: output hash %s, want golden %s (sharded run diverged from serial)",
 				shards, got, goldenLoadSHA256)
+		}
+	}
+}
+
+// goldenRUDPSHA256 is the SHA-256 of the same 8-client fan-in JSON over
+// the reliable-UDP transport, captured when the transport landed.
+const goldenRUDPSHA256 = "2883886237a98fb0f1b69092c38e01586856fa1963ca993685ea22b8c9affd5b"
+
+// TestGoldenRUDPByteIdentical pins the rudp fan-in output byte for byte,
+// serial and host-sharded: the rival transport is as deterministic as
+// TCP, and sharding must not perturb it.
+func TestGoldenRUDPByteIdentical(t *testing.T) {
+	for _, shards := range []string{"0", "2", "3"} {
+		var buf bytes.Buffer
+		args := []string{"-workload", "fanin", "-transport", "rudp",
+			"-hosts", "9", "-reqs", "4", "-seed", "1994", "-json", "-shards", shards}
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		if got := hex.EncodeToString(sum[:]); got != goldenRUDPSHA256 {
+			t.Errorf("-shards %s: rudp output hash %s, want golden %s", shards, got, goldenRUDPSHA256)
 		}
 	}
 }

@@ -109,11 +109,26 @@ type Adapter struct {
 	// are caught by the HEC, payload bits by the AAL3/4 CRC-10.
 	CorruptRate float64
 
+	// Link impairment layer, configured via SetImpairments: a
+	// Gilbert–Elliott burst-loss chain and bounded cell reordering,
+	// layered ahead of the Bernoulli LossRate knob. Both draw from
+	// per-link RNGs seeded at configuration, never the environment's
+	// stream, so enabling them perturbs no other random draw.
+	ge           sim.GEChain
+	reorderRate  float64
+	reorderDepth int
+	impRNG       sim.RNG
+	held         Cell // cell held back for reordering
+	heldValid    bool
+	heldLeft     int // deliveries remaining before the held cell is released
+
 	// Counters.
 	CellsSent      int64
 	CellsDropped   int64 // lost on the wire or to a full receive FIFO
 	CellsCorrupted int64
 	RxOverflows    int64
+	GEDrops        int64 // subset of CellsDropped killed by the burst-loss chain
+	CellsReordered int64
 }
 
 // NewAdapter returns an adapter attached to the given host kernel.
@@ -144,7 +159,28 @@ func (a *Adapter) Reset() {
 	a.framesPending = 0
 	a.arrivals = a.arrivals[:0]
 	a.LossRate, a.DropNext, a.CorruptRate = 0, false, 0
+	a.ge = sim.GEChain{}
+	a.reorderRate, a.reorderDepth = 0, 0
+	a.heldValid, a.heldLeft = false, 0
 	a.CellsSent, a.CellsDropped, a.CellsCorrupted, a.RxOverflows = 0, 0, 0, 0
+	a.GEDrops, a.CellsReordered = 0, 0
+}
+
+// SetImpairments configures the link impairment layer: a Gilbert–Elliott
+// burst-loss chain (p) and bounded reordering (each arriving cell is
+// held back past the next depth deliveries with probability rate). Both
+// are seeded per link from seed; a zero GEParams and zero rate disable
+// the layer entirely, leaving the receive path byte-identical to an
+// unimpaired adapter.
+func (a *Adapter) SetImpairments(p sim.GEParams, rate float64, depth int, seed uint64) {
+	a.ge.Init(p, seed)
+	a.reorderRate = rate
+	if depth <= 0 {
+		depth = 1
+	}
+	a.reorderDepth = depth
+	a.impRNG = *sim.NewRNG(seed ^ 0x5bf03635aca3c1ed)
+	a.heldValid, a.heldLeft = false, 0
 }
 
 // cellOut fires when the transmit engine finishes clocking one cell into
@@ -227,8 +263,43 @@ func (a *Adapter) PushTx(c Cell) {
 	env.At(end, "atm.cellout", a.cellOutFn)
 }
 
-// receive handles a cell arriving from the wire.
+// receive handles a cell arriving from the wire: the impairment layer
+// (burst loss, then bounded reordering) runs first, then accept hands
+// surviving cells to the FIFO. With no impairments configured the path
+// is a direct call to accept — byte-identical to an unimpaired adapter.
 func (a *Adapter) receive(c Cell) {
+	if a.ge.Enabled() && a.ge.Drop() {
+		a.CellsDropped++
+		a.GEDrops++
+		return
+	}
+	if a.reorderRate > 0 {
+		if a.heldValid {
+			// A cell is being held back: this arrival overtakes it, and
+			// the held cell is released once its countdown expires.
+			a.heldLeft--
+			if a.heldLeft <= 0 {
+				held := a.held
+				a.heldValid = false
+				a.accept(c)
+				a.accept(held)
+				return
+			}
+		} else if a.impRNG.Bool(a.reorderRate) {
+			a.held = c
+			a.heldValid = true
+			a.heldLeft = a.reorderDepth
+			a.CellsReordered++
+			return
+		}
+	}
+	a.accept(c)
+}
+
+// accept runs the adapter's legacy receive path: the deterministic and
+// Bernoulli fault knobs, then FIFO admission and the frame-end
+// interrupt.
+func (a *Adapter) accept(c Cell) {
 	if a.DropNext {
 		a.DropNext = false
 		a.CellsDropped++

@@ -1,0 +1,277 @@
+package atm
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Qdisc is a pluggable queue discipline for one switch egress port. The
+// switch consults it instead of its built-in drop-tail depth when one is
+// installed (Port.SetQdisc): every cell the VC table routes to the port
+// is offered to Enqueue — which may refuse it, the discipline's drop
+// decision — and the egress link asks Dequeue for the next cell each
+// time it goes idle, which is where non-FIFO disciplines reorder.
+//
+// Disciplines must be deterministic: any randomness (RED's drop lottery)
+// comes from a private RNG seeded at construction, never from the
+// simulation environment's stream, so installing a qdisc perturbs no
+// other random draw and sharded runs stay bit-identical to serial.
+type Qdisc interface {
+	// Enqueue offers a cell routed to this port; flow is the cell's
+	// egress VCI, the flow key of VC-switched traffic. It returns false
+	// to drop the cell.
+	Enqueue(c Cell, flow uint16) bool
+	// Dequeue returns the next cell to transmit, in the discipline's
+	// service order; ok is false when the queue is empty.
+	Dequeue() (c Cell, ok bool)
+	// Len returns the cells currently queued.
+	Len() int
+	// Reset returns the discipline to its just-constructed state —
+	// including reseeding any private RNG — for testbed reuse.
+	Reset()
+}
+
+// DropTail is the classic FIFO with a hard depth bound: the qdisc-shaped
+// twin of the switch's built-in egress depth, useful as the explicit
+// baseline in qdisc comparisons.
+type DropTail struct {
+	limit int
+	q     cellQueue
+}
+
+// NewDropTail returns a FIFO dropping arrivals beyond limit cells.
+func NewDropTail(limit int) *DropTail {
+	if limit <= 0 {
+		limit = DefaultPortQueueCells
+	}
+	return &DropTail{limit: limit}
+}
+
+// Enqueue implements Qdisc.
+func (d *DropTail) Enqueue(c Cell, _ uint16) bool {
+	if d.q.len() >= d.limit {
+		return false
+	}
+	d.q.push(c)
+	return true
+}
+
+// Dequeue implements Qdisc.
+func (d *DropTail) Dequeue() (Cell, bool) {
+	if d.q.len() == 0 {
+		return Cell{}, false
+	}
+	return d.q.pop(), true
+}
+
+// Len implements Qdisc.
+func (d *DropTail) Len() int { return d.q.len() }
+
+// Reset implements Qdisc.
+func (d *DropTail) Reset() { d.q.reset() }
+
+// RED is random early detection (Floyd & Jacobson 1993) on a cell FIFO:
+// an EWMA of the queue depth is updated on every arrival, and arrivals
+// are dropped probabilistically once the average crosses MinTh — before
+// the queue is actually full — so sources back off early instead of
+// synchronizing on tail drops. Below MinTh nothing is ever dropped;
+// at or above MaxTh (or the hard Limit) everything is.
+type RED struct {
+	MinTh  int     // no early drops while avg < MinTh
+	MaxTh  int     // all arrivals dropped while avg >= MaxTh
+	MaxP   float64 // drop probability as avg approaches MaxTh
+	Weight float64 // EWMA weight per arrival
+	Limit  int     // hard physical bound (cells)
+
+	seed  uint64
+	rng   sim.RNG
+	avg   float64
+	count int // arrivals since the last early drop, for drop spreading
+	q     cellQueue
+}
+
+// Default RED parameters: thresholds bracketing a fraction of the
+// physical queue, the classic 2% max drop probability, and the 0.002
+// EWMA weight from the RED paper.
+const (
+	DefaultREDMaxP   = 0.02
+	DefaultREDWeight = 0.002
+)
+
+// NewRED returns a RED discipline with its private drop-lottery RNG
+// seeded by seed. Zero parameters take defaults: limit
+// DefaultPortQueueCells, thresholds at 1/4 and 3/4 of the limit.
+func NewRED(minTh, maxTh int, maxP, weight float64, limit int, seed uint64) *RED {
+	if limit <= 0 {
+		limit = DefaultPortQueueCells
+	}
+	if minTh <= 0 {
+		minTh = limit / 4
+	}
+	if maxTh <= 0 {
+		maxTh = limit * 3 / 4
+	}
+	if maxTh <= minTh {
+		panic(fmt.Sprintf("atm: RED MaxTh %d must exceed MinTh %d", maxTh, minTh))
+	}
+	if maxP <= 0 {
+		maxP = DefaultREDMaxP
+	}
+	if weight <= 0 {
+		weight = DefaultREDWeight
+	}
+	r := &RED{MinTh: minTh, MaxTh: maxTh, MaxP: maxP, Weight: weight,
+		Limit: limit, seed: seed}
+	r.Reset()
+	return r
+}
+
+// Enqueue implements Qdisc: update the average, then gate the arrival.
+func (r *RED) Enqueue(c Cell, _ uint16) bool {
+	r.avg = (1-r.Weight)*r.avg + r.Weight*float64(r.q.len())
+	switch {
+	case r.q.len() >= r.Limit || r.avg >= float64(r.MaxTh):
+		// Forced drop: physically full, or the average says sustained
+		// congestion.
+		r.count = 0
+		return false
+	case r.avg < float64(r.MinTh):
+		r.count = -1
+	default:
+		// Early-drop band: probability ramps from 0 at MinTh to MaxP at
+		// MaxTh, spread by the count of arrivals since the last drop so
+		// drops land roughly uniformly rather than in clumps.
+		r.count++
+		pb := r.MaxP * (r.avg - float64(r.MinTh)) / float64(r.MaxTh-r.MinTh)
+		pa := pb
+		if d := 1 - float64(r.count)*pb; d > 0 {
+			pa = pb / d
+		} else {
+			pa = 1
+		}
+		if r.rng.Float64() < pa {
+			r.count = 0
+			return false
+		}
+	}
+	r.q.push(c)
+	return true
+}
+
+// Dequeue implements Qdisc.
+func (r *RED) Dequeue() (Cell, bool) {
+	if r.q.len() == 0 {
+		return Cell{}, false
+	}
+	return r.q.pop(), true
+}
+
+// Len implements Qdisc.
+func (r *RED) Len() int { return r.q.len() }
+
+// AvgQueue exposes the EWMA for tests.
+func (r *RED) AvgQueue() float64 { return r.avg }
+
+// Reset implements Qdisc: empty the queue, zero the average, reseed.
+func (r *RED) Reset() {
+	r.q.reset()
+	r.avg = 0
+	r.count = -1
+	r.rng = *sim.NewRNG(r.seed)
+}
+
+// DRR is deficit round robin (Shreedhar & Varghese 1995) keyed by egress
+// VCI: each backlogged flow gets Quantum bytes of credit per round and
+// transmits head cells while its deficit covers them, so competing flows
+// share the link in proportion to quanta — byte-fair within one quantum
+// regardless of arrival pattern — instead of in arrival (FIFO) order.
+type DRR struct {
+	Quantum int // bytes of credit per flow per round (>= CellSize)
+	Limit   int // aggregate bound across all flow queues (cells)
+
+	flows  map[uint16]*drrFlow
+	active []uint16 // backlogged flows in round-robin order
+	total  int
+}
+
+// drrFlow is one VCI's queue and deficit counter.
+type drrFlow struct {
+	q       cellQueue
+	deficit int
+	active  bool
+}
+
+// NewDRR returns a DRR discipline. Quantum below one cell is raised to
+// CellSize (the classic requirement that a flow with a full quantum can
+// always send its head packet); limit zero takes DefaultPortQueueCells.
+func NewDRR(quantum, limit int) *DRR {
+	if quantum < CellSize {
+		quantum = CellSize
+	}
+	if limit <= 0 {
+		limit = DefaultPortQueueCells
+	}
+	return &DRR{Quantum: quantum, Limit: limit, flows: make(map[uint16]*drrFlow)}
+}
+
+// Enqueue implements Qdisc: append to the flow's queue, activating the
+// flow at the back of the round if it was idle. Arrivals beyond the
+// aggregate limit drop (drop-from-tail of the offered cell, the simplest
+// bound; per-flow accounting still isolates service order).
+func (d *DRR) Enqueue(c Cell, flow uint16) bool {
+	if d.total >= d.Limit {
+		return false
+	}
+	f := d.flows[flow]
+	if f == nil {
+		f = &drrFlow{}
+		d.flows[flow] = f
+	}
+	if !f.active {
+		f.active = true
+		f.deficit = 0
+		d.active = append(d.active, flow)
+	}
+	f.q.push(c)
+	d.total++
+	return true
+}
+
+// Dequeue implements Qdisc: serve the head of the active list, renewing
+// its deficit by one quantum when exhausted and rotating it to the back
+// of the round.
+func (d *DRR) Dequeue() (Cell, bool) {
+	for len(d.active) > 0 {
+		key := d.active[0]
+		f := d.flows[key]
+		if f.deficit < CellSize {
+			// New round for this flow: grant the quantum and rotate.
+			f.deficit += d.Quantum
+			d.active = append(d.active[1:], key)
+			continue
+		}
+		f.deficit -= CellSize
+		c := f.q.pop()
+		d.total--
+		if f.q.len() == 0 {
+			f.active = false
+			f.deficit = 0
+			d.active = d.active[1:]
+		}
+		return c, true
+	}
+	return Cell{}, false
+}
+
+// Len implements Qdisc.
+func (d *DRR) Len() int { return d.total }
+
+// Reset implements Qdisc.
+func (d *DRR) Reset() {
+	for k := range d.flows {
+		delete(d.flows, k)
+	}
+	d.active = d.active[:0]
+	d.total = 0
+}

@@ -1,0 +1,168 @@
+package atm
+
+import (
+	"testing"
+)
+
+// TestREDNeverDropsBelowMinTh holds the instantaneous queue at zero or
+// one cell — the EWMA can never reach MinTh — and requires RED to
+// accept every arrival: below the minimum threshold RED is a plain
+// FIFO, whatever the lottery RNG says.
+func TestREDNeverDropsBelowMinTh(t *testing.T) {
+	r := NewRED(4, 12, 0.5, 0.5, 32, 99)
+	var c Cell
+	for i := 0; i < 10000; i++ {
+		if !r.Enqueue(c, 0) {
+			t.Fatalf("arrival %d dropped with avg %.3f < MinTh %d", i, r.AvgQueue(), r.MinTh)
+		}
+		if avg := r.AvgQueue(); avg >= float64(r.MinTh) {
+			t.Fatalf("EWMA %.3f crossed MinTh with an empty-ish queue", avg)
+		}
+		if _, ok := r.Dequeue(); !ok {
+			t.Fatal("Dequeue empty after accepted Enqueue")
+		}
+	}
+}
+
+// TestREDAlwaysDropsAtMaxTh backs the queue up until the EWMA crosses
+// MaxTh and requires every subsequent arrival to be refused — the
+// forced-drop region admits nothing, independent of the lottery.
+func TestREDAlwaysDropsAtMaxTh(t *testing.T) {
+	// Heavy weight so the EWMA tracks the standing queue quickly.
+	r := NewRED(4, 8, 0.02, 0.5, 64, 7)
+	var c Cell
+	// Never dequeue: the standing queue grows until the average pins.
+	for i := 0; i < 200 && r.AvgQueue() < float64(r.MaxTh); i++ {
+		r.Enqueue(c, 0)
+	}
+	if r.AvgQueue() < float64(r.MaxTh) {
+		t.Fatalf("EWMA %.3f never reached MaxTh %d under a standing queue", r.AvgQueue(), r.MaxTh)
+	}
+	for i := 0; i < 1000; i++ {
+		if r.Enqueue(c, 0) {
+			t.Fatalf("arrival %d accepted with avg %.3f >= MaxTh %d", i, r.AvgQueue(), r.MaxTh)
+		}
+	}
+}
+
+// TestREDHardLimit fills the physical queue while keeping the EWMA
+// low (fresh discipline, burst arrival) and requires the hard bound to
+// refuse arrivals even though the average would admit them.
+func TestREDHardLimit(t *testing.T) {
+	r := NewRED(100, 200, 0.02, 0.001, 8, 3)
+	var c Cell
+	for i := 0; i < 8; i++ {
+		if !r.Enqueue(c, 0) {
+			t.Fatalf("arrival %d dropped below the physical limit", i)
+		}
+	}
+	if r.Enqueue(c, 0) {
+		t.Error("arrival beyond Limit accepted")
+	}
+	if r.Len() != 8 {
+		t.Errorf("Len %d, want 8", r.Len())
+	}
+}
+
+// TestREDDeterministicLottery drives two identically-seeded REDs and a
+// Reset replay through the same arrival pattern and requires identical
+// accept/drop decisions: the lottery draws only from the private seeded
+// RNG.
+func TestREDDeterministicLottery(t *testing.T) {
+	pattern := func(r *RED) string {
+		var c Cell
+		out := make([]byte, 0, 4000)
+		for i := 0; i < 4000; i++ {
+			if r.Enqueue(c, 0) {
+				out = append(out, '1')
+			} else {
+				out = append(out, '0')
+			}
+			// Drain slowly: 3 arrivals per departure keeps the average
+			// wandering through the early-drop band.
+			if i%3 == 0 {
+				r.Dequeue()
+			}
+		}
+		return string(out)
+	}
+	a := NewRED(4, 16, 0.1, 0.2, 32, 42)
+	b := NewRED(4, 16, 0.1, 0.2, 32, 42)
+	pa, pb := pattern(a), pattern(b)
+	if pa != pb {
+		t.Error("identically seeded REDs made different drop decisions")
+	}
+	a.Reset()
+	if got := pattern(a); got != pa {
+		t.Error("Reset did not replay the drop lottery")
+	}
+	diff := NewRED(4, 16, 0.1, 0.2, 32, 43)
+	if pattern(diff) == pa {
+		t.Error("differently seeded RED reproduced the same decisions — lottery not seed-driven")
+	}
+}
+
+// TestDRRFairness backlogs two flows with adversarial arrival order —
+// every cell of one flow enqueued before any of the other — and
+// requires the byte service gap between them to stay within one quantum
+// plus one cell for as long as both are backlogged: the deficit
+// round-robin guarantee, independent of FIFO arrival order.
+func TestDRRFairness(t *testing.T) {
+	const perFlow = 120
+	d := NewDRR(4*CellSize, 2*perFlow)
+	// Tag each cell's payload with its flow so departures attribute
+	// themselves (cells are stored by value).
+	tagged := func(tag byte) Cell {
+		var c Cell
+		c.Payload()[0] = tag
+		return c
+	}
+	for i := 0; i < perFlow; i++ {
+		if !d.Enqueue(tagged('a'), 100) {
+			t.Fatalf("flow 100 arrival %d dropped below the limit", i)
+		}
+	}
+	for i := 0; i < perFlow; i++ {
+		if !d.Enqueue(tagged('b'), 200) {
+			t.Fatalf("flow 200 arrival %d dropped below the limit", i)
+		}
+	}
+	served := map[byte]int{}
+	bound := d.Quantum + CellSize
+	for d.Len() > 0 {
+		before := d.Len()
+		c, ok := d.Dequeue()
+		if !ok || d.Len() != before-1 {
+			t.Fatal("Dequeue lost track of the backlog")
+		}
+		served[c.Payload()[0]]++
+		if served['a'] < perFlow && served['b'] < perFlow {
+			sa, sb := served['a']*CellSize, served['b']*CellSize
+			if gap := sa - sb; gap > bound || -gap > bound {
+				t.Fatalf("service gap %d bytes exceeds quantum+cell %d (A=%d B=%d)", sa-sb, bound, sa, sb)
+			}
+		}
+	}
+	if served['a'] != perFlow || served['b'] != perFlow {
+		t.Errorf("served %d/%d cells, want %d each", served['a'], served['b'], perFlow)
+	}
+}
+
+// TestDRRAggregateLimit checks the aggregate bound drops arrivals once
+// the queues hold Limit cells in total.
+func TestDRRAggregateLimit(t *testing.T) {
+	d := NewDRR(CellSize, 10)
+	var c Cell
+	for i := 0; i < 10; i++ {
+		if !d.Enqueue(c, uint16(i%3)) {
+			t.Fatalf("arrival %d dropped below the aggregate limit", i)
+		}
+	}
+	if d.Enqueue(c, 0) {
+		t.Error("arrival beyond the aggregate limit accepted")
+	}
+	d.Dequeue()
+	if !d.Enqueue(c, 0) {
+		t.Error("arrival refused after a departure freed a slot")
+	}
+}

@@ -84,6 +84,11 @@ func (sw *Switch) Reset() {
 		p.queued = 0
 		p.egress.reset()
 		p.flight.reset()
+		p.pre.reset()
+		p.qdServing = false
+		if p.qd != nil {
+			p.qd.Reset()
+		}
 	}
 	sw.CellsSwitched, sw.CellsUnrouted, sw.CellsDropped, sw.HECErrors = 0, 0, 0, 0
 }
@@ -128,10 +133,104 @@ type Port struct {
 	// event — cutFn, bound by SetCut — only releases the queue slot.
 	cut   func(scheduleAt, at sim.Time, c Cell)
 	cutFn func()
+
+	// qd, when installed, replaces the built-in drop-tail depth with a
+	// pluggable queue discipline. The qdisc path separates the fabric
+	// pipeline (fixed Latency, modeled by the pre queue and qdInFn event)
+	// from link service (one cell at a time, picked by qd.Dequeue), so
+	// disciplines that reorder — DRR — actually control transmission
+	// order, which the legacy precomputed-busy-time path cannot allow.
+	// A nil qd leaves the legacy path byte-identical.
+	qd        Qdisc
+	pre       cellQueue // cells crossing the fabric toward the qdisc
+	qdServing bool      // link currently clocking a cell out
+	qdInFn    func()
+	qdOutFn   func()
 }
 
 // Index returns the port's number on the switch.
 func (p *Port) Index() int { return p.index }
+
+// SetQdisc installs a queue discipline on the port's egress, replacing
+// the built-in drop-tail depth. Install before traffic flows; nil
+// restores the legacy path.
+func (p *Port) SetQdisc(q Qdisc) {
+	p.qd = q
+	if q != nil && p.qdInFn == nil {
+		p.qdInFn = p.qdIn
+		p.qdOutFn = p.qdCellOut
+	}
+}
+
+// Qdisc returns the installed discipline (nil for the legacy drop-tail
+// depth).
+func (p *Port) Qdisc() Qdisc { return p.qd }
+
+// Port returns the port at index i.
+func (sw *Switch) Port(i int) *Port { return sw.ports[i] }
+
+// qdIn fires when a cell finishes crossing the fabric toward a
+// qdisc-managed egress port: offer it to the discipline and start link
+// service if the link is idle.
+func (p *Port) qdIn() {
+	c := p.pre.pop()
+	h, err := ParseHeader(&c)
+	if err != nil {
+		p.sw.HECErrors++
+		return
+	}
+	if !p.qd.Enqueue(c, h.VCI) {
+		p.sw.CellsDropped++
+		return
+	}
+	p.sw.CellsSwitched++
+	p.queued++
+	p.qdKick()
+}
+
+// qdKick starts transmitting the discipline's next cell if the link is
+// idle and the queue non-empty. On a cut port the delivery is staged
+// with the coordinator here, at commit time — arrival is one cell
+// serialization plus propagation away, exactly the cluster's lookahead
+// floor, so deferring the stage to transmission completion (as the
+// local path may) would under-run the conservative horizon.
+func (p *Port) qdKick() {
+	if p.qdServing {
+		return
+	}
+	c, ok := p.qd.Dequeue()
+	if !ok {
+		return
+	}
+	p.qdServing = true
+	env := p.sw.env
+	start := env.Now()
+	if p.busy > start {
+		start = p.busy
+	}
+	end := start + cost.WireTime(CellSize, p.bits)
+	p.busy = end
+	if p.cut != nil {
+		p.cut(end, end+p.prop, c)
+	} else {
+		p.egress.push(c)
+	}
+	env.At(end, "atmsw.cellout", p.qdOutFn)
+}
+
+// qdCellOut fires when the link finishes clocking a qdisc-scheduled cell
+// onto the fiber: release the slot, deliver (cut ports already staged at
+// commit time), and start the next cell.
+func (p *Port) qdCellOut() {
+	p.qdServing = false
+	p.queued--
+	if p.cut == nil {
+		c := p.egress.pop()
+		p.flight.push(c)
+		p.sw.env.After(p.prop, "atmsw.cellin", p.inFn)
+	}
+	p.qdKick()
+}
 
 // newPort wires one port's queues and bound callbacks.
 func (sw *Switch) newPort(out cellSink, bits float64, prop sim.Time) *Port {
@@ -235,6 +334,17 @@ func (sw *Switch) forward(from *Port, c Cell) {
 		return
 	}
 	out := sw.ports[route.port]
+	if out.qd != nil {
+		// Qdisc path: the cell crosses the fabric pipeline (fixed
+		// Latency), is offered to the discipline — whose Enqueue makes
+		// the drop decision — and waits for the egress link to pick it
+		// in the discipline's service order.
+		h.VCI = route.vci
+		h.Marshal(&c)
+		out.pre.push(c)
+		sw.env.After(sw.Latency, "atmsw.qdin", out.qdInFn)
+		return
+	}
 	if out.queued >= sw.PortQueueCells {
 		sw.CellsDropped++
 		return

@@ -219,6 +219,19 @@ type Adapter struct {
 	Filtered int64
 	// LossRate drops frames on the wire for fault injection.
 	LossRate float64
+	// ge is the Gilbert–Elliott burst-loss chain (SetImpairments) —
+	// the frame-level analogue of the ATM adapter's cell impairments,
+	// drawing from a per-link RNG rather than the environment's stream.
+	ge sim.GEChain
+	// GEDrops counts frames the chain killed.
+	GEDrops int64
+}
+
+// SetImpairments configures the Gilbert–Elliott burst-loss chain on this
+// adapter's receive side, seeded per link. A zero GEParams disables it,
+// leaving the receive path byte-identical to an unimpaired adapter.
+func (a *Adapter) SetImpairments(p sim.GEParams, seed uint64) {
+	a.ge.Init(p, seed)
 }
 
 // NewAdapter returns an adapter with the given station address.
@@ -249,7 +262,8 @@ func (a *Adapter) Reset() {
 	}
 	a.flight = a.flight[:0]
 	a.LossRate = 0
-	a.FramesSent, a.FramesRecv, a.Filtered = 0, 0, 0
+	a.ge = sim.GEChain{}
+	a.FramesSent, a.FramesRecv, a.Filtered, a.GEDrops = 0, 0, 0, 0
 }
 
 // popFrame removes and returns the head of a frame queue, clearing the
@@ -322,6 +336,10 @@ func (a *Adapter) receive(f Frame) {
 			a.Filtered++
 			return
 		}
+	}
+	if a.ge.Enabled() && a.ge.Drop() {
+		a.GEDrops++
+		return
 	}
 	if a.LossRate > 0 && a.K.Env.RNG().Bool(a.LossRate) {
 		return

@@ -31,7 +31,6 @@ package lab
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/atm"
 	"repro/internal/cost"
@@ -50,6 +49,7 @@ type Shard struct {
 // have created the arrival event (the canonical ordering key) and at is
 // the arrival itself.
 type stagedCell struct {
+	srcShard   int
 	dstShard   int
 	scheduleAt sim.Time
 	at         sim.Time
@@ -81,10 +81,16 @@ type Cluster struct {
 
 	// outbox and ctl are the per-source-shard staging areas written by
 	// shard goroutines during a round and drained by the coordinator at
-	// the barrier; merged is the coordinator's reusable sort buffer.
-	outbox [][]stagedCell
-	ctl    [][]func()
-	merged []stagedCell
+	// the barrier. pending holds drained cells per DESTINATION shard in
+	// canonical order until the round whose horizon needs them: deferring
+	// injection is what lets equal-time arrivals staged in different
+	// rounds meet in one buffer and sort canonically (see applyStaged).
+	outbox  [][]stagedCell
+	ctl     [][]func()
+	pending [][]stagedCell
+	// pendStart is applyStaged's per-destination scratch: the pending
+	// length before this round's appends, i.e. where re-sorting starts.
+	pendStart []int
 }
 
 // NewCluster builds a testbed of nHosts ATM workstations partitioned
@@ -115,6 +121,10 @@ func NewCluster(cfg Config, nHosts, shards int) (*Cluster, error) {
 	if cfg.CellLossRate != 0 || cfg.CellCorruptRate != 0 || cfg.HostCorruptRate != 0 {
 		return nil, fmt.Errorf("lab: sharded execution cannot inject faults (loss %g, corrupt %g, host-corrupt %g): fault draws consume the serial RNG stream, which shards do not share",
 			cfg.CellLossRate, cfg.CellCorruptRate, cfg.HostCorruptRate)
+	}
+	if cfg.impaired() {
+		return nil, fmt.Errorf("lab: sharded execution cannot impair links (burst loss %+v, reorder %g): fault studies compare serial runs only",
+			cfg.BurstLoss, cfg.ReorderRate)
 	}
 	if cfg.ExtraPCBs != 0 || cfg.LivePCBs != 0 {
 		return nil, fmt.Errorf("lab: sharded execution cannot populate PCBs (extra %d, live %d): population mutates the peer host's tables directly",
@@ -172,6 +182,8 @@ func NewCluster(cfg Config, nHosts, shards int) (*Cluster, error) {
 		hostShard: hostShard,
 		outbox:    make([][]stagedCell, eff),
 		ctl:       make([][]func(), eff),
+		pending:   make([][]stagedCell, eff),
+		pendStart: make([]int, eff),
 	}
 	drvs := make([]*atm.Driver, nHosts)
 	for i, h := range l.Hosts {
@@ -185,6 +197,9 @@ func NewCluster(cfg Config, nHosts, shards int) (*Cluster, error) {
 	}
 	l.Fabric = atm.NewShardedFabric(plan, cfg.Fabric, model, cfg.LeafPorts, drvs)
 	l.Switch = l.Fabric.Core
+	// Same per-port seed derivation as the serial build, so a sharded
+	// run's RED lotteries replay the serial run's draw for draw.
+	applyQdisc(l.Fabric, cfg)
 
 	c.Shards = make([]*Shard, eff)
 	for s := range c.Shards {
@@ -201,7 +216,13 @@ func NewCluster(cfg Config, nHosts, shards int) (*Cluster, error) {
 	// forwarding latency.
 	cell := cost.WireTime(atm.CellSize, model.ATMLinkBitsPS)
 	c.lookahead = cell + model.ATMPropagation
-	if cfg.Fabric == FabricFatTree {
+	if cfg.Fabric == FabricFatTree && !cfg.Qdisc.Enabled() {
+		// Only trunk fibers are cut, and the legacy forward path stages a
+		// trunk crossing before paying the switch latency — so the
+		// latency widens the guaranteed gap. Under a qdisc the latency is
+		// spent BEFORE the cell reaches the egress queue; the stage
+		// happens at dequeue commit, leaving only serialization plus
+		// propagation of provable gap.
 		c.lookahead += l.Switch.Latency
 	}
 	// The earliest a staged cell's causal consequence can re-enter the
@@ -277,7 +298,8 @@ func (c *Cluster) stageCell(srcShard, dstShard int, scheduleAt, at sim.Time, to 
 		env.SetHorizon(b)
 	}
 	c.outbox[srcShard] = append(c.outbox[srcShard], stagedCell{
-		dstShard: dstShard, scheduleAt: scheduleAt, at: at, to: to, cell: cell,
+		srcShard: srcShard, dstShard: dstShard,
+		scheduleAt: scheduleAt, at: at, to: to, cell: cell,
 	})
 }
 
@@ -288,11 +310,19 @@ func (c *Cluster) stageCtl(srcShard int, apply func()) {
 
 // applyStaged drains the staging areas at a round barrier: control
 // mutations first (VC installs must precede any cell that needs them),
-// then the staged cells in canonical order — ascending schedule time,
-// ties broken by source shard and then emission order, which is exactly
-// the order the serial run's event queue assigned sequence numbers to
-// the same arrivals. Only the coordinator runs here, so it may touch
-// any shard's switches and event heap freely.
+// then the staged cells into per-destination pending buffers kept in
+// canonical order — ascending arrival time, ties broken by schedule
+// time, source shard, and emission order, which is exactly the order
+// the serial run's event queue assigned sequence numbers to the same
+// arrivals. Injection into the destination heap is deferred to
+// injectPending: an event heap breaks same-time ties by insertion
+// order, so equal-time arrivals staged in DIFFERENT rounds (shards
+// reach the common emission instant in different windows) must wait in
+// one buffer until the round that needs them, where they sort
+// canonically. Deferral never reorders against later rounds: a cell
+// injected below horizon H arrived strictly before H, and every cell a
+// future round stages arrives at or after H. Only the coordinator runs
+// here, so it may touch any shard's switches and event heap freely.
 func (c *Cluster) applyStaged() {
 	for s := range c.ctl {
 		for _, fn := range c.ctl[s] {
@@ -300,32 +330,88 @@ func (c *Cluster) applyStaged() {
 		}
 		c.ctl[s] = c.ctl[s][:0]
 	}
-	c.merged = c.merged[:0]
+	for d := range c.pendStart {
+		c.pendStart[d] = len(c.pending[d])
+	}
 	for s := range c.outbox {
-		c.merged = append(c.merged, c.outbox[s]...)
+		for _, m := range c.outbox[s] {
+			c.pending[m.dstShard] = append(c.pending[m.dstShard], m)
+		}
 		c.outbox[s] = c.outbox[s][:0]
 	}
-	sort.SliceStable(c.merged, func(i, j int) bool {
-		return c.merged[i].scheduleAt < c.merged[j].scheduleAt
-	})
-	for i := range c.merged {
-		m := c.merged[i] // copy: the closure outlives the reused buffer
-		c.Shards[m.dstShard].Env.At(m.at, "xshard.cellin", func() { m.to.InjectCell(m.cell) })
+	for d := range c.pending {
+		insertStaged(c.pending[d], c.pendStart[d])
 	}
 }
 
-// nextTimes fills ts with each shard's earliest pending event time
-// (sim.MaxTime for an empty heap) and reports whether any shard has
-// events at all.
+// stagedBefore is the canonical cross-shard arrival order: ascending
+// arrival time, ties broken by schedule time, then source shard.
+func stagedBefore(a, b stagedCell) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.scheduleAt != b.scheduleAt {
+		return a.scheduleAt < b.scheduleAt
+	}
+	return a.srcShard < b.srcShard
+}
+
+// insertStaged restores canonical order after appends: p[:from] is
+// already sorted (the invariant injectPending preserves by consuming a
+// prefix), so a stable insertion of the tail suffices — and unlike
+// sort.SliceStable it allocates nothing, which matters at one call per
+// destination per barrier round.
+func insertStaged(p []stagedCell, from int) {
+	for i := from; i < len(p); i++ {
+		m := p[i]
+		j := i - 1
+		for j >= 0 && stagedBefore(m, p[j]) {
+			p[j+1] = p[j]
+			j--
+		}
+		p[j+1] = m
+	}
+}
+
+// injectPending schedules shard s's pending arrivals strictly below
+// horizon h into its heap, in canonical order, and retains the rest for
+// a later round (the shard executes strictly below h, so nothing at or
+// beyond h can be missed this window).
+func (c *Cluster) injectPending(s int, h sim.Time) {
+	pend := c.pending[s]
+	env := c.Shards[s].Env
+	k := 0
+	for k < len(pend) && pend[k].at < h {
+		m := pend[k] // copy: the closure outlives the reused buffer
+		env.At(m.at, "xshard.cellin", func() { m.to.InjectCell(m.cell) })
+		k++
+	}
+	if k > 0 {
+		c.pending[s] = append(pend[:0], pend[k:]...)
+	}
+}
+
+// nextTimes fills ts with each shard's earliest future action — the
+// head of its event heap or of its pending-arrival buffer, whichever is
+// sooner (sim.MaxTime when both are empty) — and reports whether any
+// shard has work at all. Counting un-injected arrivals is what keeps
+// the horizon math sound under deferred injection: a peer's horizon is
+// derived from this shard's earliest possible action, and a pending
+// arrival is exactly such an action.
 func (c *Cluster) nextTimes(ts []sim.Time) bool {
 	any := false
 	for i, sh := range c.Shards {
-		if t, ok := sh.Env.NextEventAt(); ok {
-			ts[i] = t
-			any = true
-		} else {
-			ts[i] = sim.MaxTime
+		t, ok := sh.Env.NextEventAt()
+		if !ok {
+			t = sim.MaxTime
 		}
+		if p := c.pending[i]; len(p) > 0 && p[0].at < t {
+			t = p[0].at
+		}
+		if t != sim.MaxTime {
+			any = true
+		}
+		ts[i] = t
 	}
 	return any
 }
@@ -412,6 +498,7 @@ func (c *Cluster) Run() {
 		released := 0
 		for s, sh := range c.Shards {
 			h := c.horizonFor(s, next)
+			c.injectPending(s, h)
 			sh.Env.SetHorizon(h)
 			if next[s] < h {
 				released++
@@ -514,7 +601,7 @@ func (c *Cluster) Reset(cfg Config, seed uint64) error {
 			l.Config.Fabric, l.Config.LeafPorts, cfg.Fabric, cfg.LeafPorts)
 	}
 	if cfg.CellLossRate != 0 || cfg.CellCorruptRate != 0 || cfg.HostCorruptRate != 0 ||
-		cfg.ExtraPCBs != 0 || cfg.LivePCBs != 0 {
+		cfg.impaired() || cfg.ExtraPCBs != 0 || cfg.LivePCBs != 0 {
 		return fmt.Errorf("lab: cannot reset a sharded cluster to a fault-injection or PCB-population configuration")
 	}
 	for s, sh := range c.Shards {
@@ -542,9 +629,11 @@ func (c *Cluster) Reset(cfg Config, seed uint64) error {
 		resetHost(h, model, cfg)
 	}
 	l.Fabric.Reset()
+	applyQdisc(l.Fabric, cfg)
 	for s := range c.ctl {
 		c.ctl[s] = c.ctl[s][:0]
 		c.outbox[s] = c.outbox[s][:0]
+		c.pending[s] = c.pending[s][:0]
 	}
 	l.eventsSince = 0
 	l.Config = cfg

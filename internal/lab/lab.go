@@ -74,6 +74,26 @@ type Config struct {
 	// the device-to-host transfer (invisible to the AAL; only the TCP
 	// checksum can catch it — the §4.2.1 buggy-controller scenario).
 	HostCorruptRate float64
+	// BurstLoss layers a Gilbert–Elliott two-state burst-loss chain on
+	// every host's receive path — correlated losses that kill several
+	// cells of one AAL frame at once, unlike the independent drops of
+	// CellLossRate. Each host's chain has a private RNG derived from
+	// Seed, so enabling it perturbs no other random draw. Serial only:
+	// sharded execution rejects it like the other fault knobs.
+	BurstLoss sim.GEParams
+	// ReorderRate holds each arriving ATM cell back past the next
+	// ReorderDepth deliveries with this probability — bounded cell
+	// reordering, which AAL3/4 sequence checking converts into frame
+	// loss. Zero depth means 1. Serial only, like BurstLoss. Ignored on
+	// Ethernet (frames are not split into cells).
+	ReorderRate  float64
+	ReorderDepth int
+	// Qdisc installs a queue discipline on every switch egress port of a
+	// routed ATM fabric (3+ hosts): drop-tail, RED, or per-VCI deficit
+	// round robin. Ignored for Ethernet and the two-host switchless
+	// fiber, which have no switch ports. Disciplines draw only private
+	// per-port RNGs, so qdisc configurations stay shardable.
+	Qdisc QdiscConfig
 	// MTU, when positive, lowers the MTU the link's driver advertises to
 	// IP (and so the MSS TCP negotiates) below the link default — a
 	// sweep dimension beyond the paper's grid. Values below MinMTU are
@@ -253,6 +273,7 @@ func NewTopology(cfg Config, nHosts int) *Lab {
 			h.ATMAdapter.CorruptRate = cfg.CellCorruptRate
 			h.ATMDriver.HostCorruptRate = cfg.HostCorruptRate
 		}
+		applyQdisc(l.Fabric, cfg)
 	case LinkEther:
 		l.Segment = ether.NewSegment()
 		for i, h := range l.Hosts {
@@ -260,6 +281,7 @@ func NewTopology(cfg Config, nHosts int) *Lab {
 			l.Segment.BindIP(HostAddr(i), h.EthAdapter)
 		}
 	}
+	applyImpairments(l, cfg)
 	return l
 }
 
@@ -334,9 +356,11 @@ func (l *Lab) Reset(cfg Config, seed uint64) error {
 			h.ATMAdapter.CorruptRate = cfg.CellCorruptRate
 			h.ATMDriver.HostCorruptRate = cfg.HostCorruptRate
 		}
+		applyQdisc(l.Fabric, cfg)
 	case LinkEther:
 		l.Segment.Reset()
 	}
+	applyImpairments(l, cfg)
 	l.eventsSince = 0
 	l.Config = cfg
 	return nil
@@ -392,6 +416,13 @@ func resetHost(h *Host, model *cost.Model, cfg Config) {
 	h.UDP.Reset()
 	h.UDP.ChecksumOff = cfg.Mode == cost.ChecksumNone
 }
+
+// HostName returns the trace host name of host i — the key
+// trace.BreakdownFromEvents wants. The paper's echo pair fixed the
+// names: host 0 is "client", host 1 is "server", the rest are numbered.
+// Note the workload engine puts its SERVER on host 0, so a fan-in
+// server's trace events carry the name "client".
+func HostName(i int) string { return hostName(i) }
 
 // hostName keeps the paper's names for the measurement pair and numbers
 // the rest.

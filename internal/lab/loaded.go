@@ -1,0 +1,157 @@
+package lab
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+)
+
+// QdiscKind selects the queue discipline installed on switch egress
+// ports of a routed ATM fabric (Config.Qdisc). The two-host switchless
+// fiber and Ethernet have no switch ports, so the knob is ignored there.
+type QdiscKind int
+
+// Available queue disciplines.
+const (
+	// QdiscNone keeps the switch's built-in drop-tail egress depth.
+	QdiscNone QdiscKind = iota
+	// QdiscDropTail is an explicit FIFO with a hard cell bound — the
+	// qdisc-shaped twin of the built-in depth, the comparison baseline.
+	QdiscDropTail
+	// QdiscRED drops arrivals probabilistically once the EWMA queue
+	// depth crosses a threshold (random early detection).
+	QdiscRED
+	// QdiscDRR serves per-VCI flow queues byte-fairly (deficit round
+	// robin).
+	QdiscDRR
+)
+
+// String names the discipline for reports and flag round-trips.
+func (k QdiscKind) String() string {
+	switch k {
+	case QdiscDropTail:
+		return "droptail"
+	case QdiscRED:
+		return "red"
+	case QdiscDRR:
+		return "drr"
+	}
+	return "none"
+}
+
+// ParseQdiscKind maps a flag string to a QdiscKind.
+func ParseQdiscKind(s string) (QdiscKind, error) {
+	switch s {
+	case "", "none":
+		return QdiscNone, nil
+	case "droptail":
+		return QdiscDropTail, nil
+	case "red":
+		return QdiscRED, nil
+	case "drr":
+		return QdiscDRR, nil
+	}
+	return QdiscNone, fmt.Errorf("unknown qdisc %q (none, droptail, red, drr)", s)
+}
+
+// QdiscConfig selects and parameterizes the egress queue discipline.
+// Zero parameter values take the discipline's defaults (see atm.NewRED,
+// atm.NewDRR); the zero QdiscConfig keeps the built-in drop-tail depth.
+type QdiscConfig struct {
+	Kind QdiscKind
+	// LimitCells bounds the discipline's queue (cells); zero means
+	// atm.DefaultPortQueueCells.
+	LimitCells int
+	// REDMinCells / REDMaxCells / REDMaxP / REDWeight parameterize RED;
+	// zeros take the atm package defaults.
+	REDMinCells int
+	REDMaxCells int
+	REDMaxP     float64
+	REDWeight   float64
+	// DRRQuantumBytes is DRR's per-flow byte credit per round; zero (or
+	// anything below one cell) means one cell.
+	DRRQuantumBytes int
+}
+
+// Enabled reports whether the configuration installs a discipline.
+func (q QdiscConfig) Enabled() bool { return q.Kind != QdiscNone }
+
+// build constructs one discipline instance with a private RNG seed (only
+// RED draws from it).
+func (q QdiscConfig) build(seed uint64) atm.Qdisc {
+	switch q.Kind {
+	case QdiscDropTail:
+		return atm.NewDropTail(q.LimitCells)
+	case QdiscRED:
+		return atm.NewRED(q.REDMinCells, q.REDMaxCells, q.REDMaxP, q.REDWeight,
+			q.LimitCells, seed)
+	case QdiscDRR:
+		return atm.NewDRR(q.DRRQuantumBytes, q.LimitCells)
+	}
+	return nil
+}
+
+// deriveSeed mixes a base seed with a stream index into an independent
+// stream seed (splitmix64 finalizer over the pair). Per-port qdisc RNGs
+// and per-host impairment chains take their seeds here, so every private
+// stream is decorrelated from the environment RNG and from each other
+// while staying a pure function of Config.Seed.
+func deriveSeed(base, stream uint64) uint64 {
+	z := base ^ 0x9e3779b97f4a7c15 + stream*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// applyQdisc installs (or removes) the configured discipline on every
+// egress port of every switch in the fabric. Fresh instances are built
+// on each call — construction is cheap and guarantees a Reset lab's
+// disciplines match a fresh build's bit for bit. Per-port seeds derive
+// from Config.Seed and the switch/port coordinates.
+func applyQdisc(f *atm.Fabric, cfg Config) {
+	if f == nil {
+		return
+	}
+	sws := []*atm.Switch{f.Core}
+	sws = append(sws, f.Leaves...)
+	for si, sw := range sws {
+		for pi := 0; pi < sw.NumPorts(); pi++ {
+			var qd atm.Qdisc
+			if cfg.Qdisc.Enabled() {
+				qd = cfg.Qdisc.build(deriveSeed(cfg.Seed, uint64(si)<<16|uint64(pi)))
+			}
+			sw.Port(pi).SetQdisc(qd)
+		}
+	}
+}
+
+// applyImpairments configures each host's link-level impairment layer —
+// the Gilbert–Elliott burst-loss chain and (ATM only) bounded cell
+// reordering — with per-host seeds derived from Config.Seed. Adapters
+// clear impairment state on Reset, so the lab re-applies on every build
+// and reset; a zero BurstLoss and zero ReorderRate leave the receive
+// path byte-identical to an unimpaired adapter.
+func applyImpairments(l *Lab, cfg Config) {
+	for i, h := range l.Hosts {
+		seed := deriveSeed(cfg.Seed, 0x1000_0000+uint64(i))
+		if h.ATMAdapter != nil {
+			h.ATMAdapter.SetImpairments(cfg.BurstLoss, cfg.ReorderRate,
+				cfg.ReorderDepth, seed)
+		}
+		if h.EthAdapter != nil {
+			h.EthAdapter.SetImpairments(cfg.BurstLoss, seed)
+		}
+	}
+}
+
+// impaired reports whether the configuration enables any stochastic
+// link impairment beyond the legacy fault knobs — the gate sharded
+// execution checks (burst loss and reordering draw per-host streams,
+// but the reorder hold-back interacts with cut staging, and fault
+// studies compare serial runs only, so shards reject them like the
+// other fault knobs).
+func (c Config) impaired() bool {
+	return c.BurstLoss.Enabled() || c.ReorderRate > 0
+}

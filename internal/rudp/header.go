@@ -1,0 +1,147 @@
+// Package rudp is a reliable-UDP rival transport: sequenced,
+// acknowledged, retransmitted message delivery over the UDP stack, in
+// the style of game-networking reliability layers. Each message rides
+// one datagram; a compact header carries a 16-bit sequence number, the
+// latest received sequence, and a 32-bit acknowledgement bitfield
+// covering the 32 sequences before it, so one ack names up to 33
+// packets and a single surviving reply repairs a whole burst of lost
+// acks. Retransmission uses the same Jacobson/Karn estimator machinery
+// as the TCP stack, so a latency comparison between the two transports
+// isolates protocol structure — ordering, acking, retransmit policy —
+// from timer tuning.
+package rudp
+
+import "fmt"
+
+// MaxHeaderBytes is the worst-case encoded header size: prefix, 2-byte
+// sequence, 2-byte ack, 4 ackBits bytes.
+const MaxHeaderBytes = 9
+
+// Prefix bits. Bits 0–4 are compression flags; 5–6 carry packet kind.
+const (
+	prefAckDiff  = 1 << 0 // ack encoded as a 1-byte diff from seq
+	prefBitsByte = 1 << 1 // ackBits byte i is 0xFF and elided (bits 1–4)
+	prefData     = 1 << 5 // packet consumes Seq and carries payload
+	prefFin      = 1 << 6 // packet consumes Seq and marks end of stream
+)
+
+// Header is one rudp packet header. Data and Fin packets consume Seq
+// (the receiver orders and acknowledges them); pure acks carry the
+// sender's next sequence without consuming it.
+type Header struct {
+	// Seq is this packet's sequence number (Data/Fin), or the sender's
+	// next unconsumed sequence (pure ack).
+	Seq uint16
+	// Ack is the latest sequence received from the peer.
+	Ack uint16
+	// AckBits acknowledges earlier sequences: bit i set means Ack-1-i
+	// was received.
+	AckBits uint32
+	// Data marks a payload-bearing packet; Fin marks the sender's end
+	// of stream (ordered like a zero-length message).
+	Data bool
+	Fin  bool
+}
+
+// MarshaledSize returns the encoded size of h in bytes.
+func (h Header) MarshaledSize() int {
+	n := 3 // prefix + seq
+	if uint16(h.Seq-h.Ack) <= 0xFF {
+		n++
+	} else {
+		n += 2
+	}
+	for i := 0; i < 4; i++ {
+		if byte(h.AckBits>>(8*i)) != 0xFF {
+			n++
+		}
+	}
+	return n
+}
+
+// Marshal encodes h into b (at least MaxHeaderBytes long) and returns
+// the encoded length. The layout follows the game-networking idiom:
+// a prefix byte of compression flags, then big-endian fields with the
+// ack compressed to a 1-byte difference from seq when close, and each
+// all-ones ackBits byte elided (a healthy link acks solid runs, so the
+// common bitfield is mostly 0xFF).
+func (h Header) Marshal(b []byte) int {
+	prefix := byte(0)
+	if h.Data {
+		prefix |= prefData
+	}
+	if h.Fin {
+		prefix |= prefFin
+	}
+	diff := uint16(h.Seq - h.Ack)
+	if diff <= 0xFF {
+		prefix |= prefAckDiff
+	}
+	for i := 0; i < 4; i++ {
+		if byte(h.AckBits>>(8*i)) == 0xFF {
+			prefix |= prefBitsByte << i
+		}
+	}
+	b[0] = prefix
+	b[1] = byte(h.Seq >> 8)
+	b[2] = byte(h.Seq)
+	n := 3
+	if diff <= 0xFF {
+		b[n] = byte(diff)
+		n++
+	} else {
+		b[n] = byte(h.Ack >> 8)
+		b[n+1] = byte(h.Ack)
+		n += 2
+	}
+	for i := 0; i < 4; i++ {
+		if prefix&(prefBitsByte<<i) == 0 {
+			b[n] = byte(h.AckBits >> (8 * i))
+			n++
+		}
+	}
+	return n
+}
+
+// ParseHeader decodes a header from the front of b, returning it and
+// the number of bytes consumed.
+func ParseHeader(b []byte) (Header, int, error) {
+	if len(b) < 3 {
+		return Header{}, 0, fmt.Errorf("rudp: header truncated (%d bytes)", len(b))
+	}
+	prefix := b[0]
+	if prefix&^(prefAckDiff|prefData|prefFin|0x1E) != 0 {
+		return Header{}, 0, fmt.Errorf("rudp: bad prefix %#02x", prefix)
+	}
+	h := Header{
+		Seq:  uint16(b[1])<<8 | uint16(b[2]),
+		Data: prefix&prefData != 0,
+		Fin:  prefix&prefFin != 0,
+	}
+	n := 3
+	if prefix&prefAckDiff != 0 {
+		if len(b) < n+1 {
+			return Header{}, 0, fmt.Errorf("rudp: header truncated at ack")
+		}
+		h.Ack = h.Seq - uint16(b[n])
+		n++
+	} else {
+		if len(b) < n+2 {
+			return Header{}, 0, fmt.Errorf("rudp: header truncated at ack")
+		}
+		h.Ack = uint16(b[n])<<8 | uint16(b[n+1])
+		n += 2
+	}
+	for i := 0; i < 4; i++ {
+		if prefix&(prefBitsByte<<i) != 0 {
+			h.AckBits |= 0xFF << (8 * i)
+			continue
+		}
+		if len(b) < n+1 {
+			return Header{}, 0, fmt.Errorf("rudp: header truncated at ackBits")
+		}
+		h.AckBits |= uint32(b[n]) << (8 * i)
+		n++
+	}
+	return h, n, nil
+}

@@ -1,0 +1,109 @@
+package rudp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestHeaderSizes pins the rely-style compression: the header spends
+// bytes only on the parts of the ack state that are not the common
+// case (a close ack over a solid bitfield).
+func TestHeaderSizes(t *testing.T) {
+	cases := []struct {
+		name string
+		h    Header
+		want int
+	}{
+		// Far ack, no solid bitfield bytes: everything spelled out.
+		{"worst", Header{Seq: 1000, Ack: 100, AckBits: 0}, 9},
+		// Far ack, one solid byte elided.
+		{"one-solid", Header{Seq: 1000, Ack: 100, AckBits: 0xFEFEFFFE}, 8},
+		// Close ack, one hole in the bitfield.
+		{"close-one-hole", Header{Seq: 200, Ack: 190, AckBits: 0xFFFEFFFF}, 5},
+		// Close ack over a solid bitfield: the ideal steady state.
+		{"ideal", Header{Seq: 200, Ack: 190, AckBits: 0xFFFFFFFF}, 4},
+	}
+	for _, tc := range cases {
+		var b [MaxHeaderBytes]byte
+		n := tc.h.Marshal(b[:])
+		if n != tc.want {
+			t.Errorf("%s: Marshal wrote %d bytes, want %d", tc.name, n, tc.want)
+		}
+		if s := tc.h.MarshaledSize(); s != n {
+			t.Errorf("%s: MarshaledSize %d != Marshal %d", tc.name, s, n)
+		}
+		got, m, err := ParseHeader(b[:n])
+		if err != nil {
+			t.Fatalf("%s: ParseHeader: %v", tc.name, err)
+		}
+		if m != n {
+			t.Errorf("%s: ParseHeader consumed %d of %d bytes", tc.name, m, n)
+		}
+		if got != tc.h {
+			t.Errorf("%s: round trip %+v != %+v", tc.name, got, tc.h)
+		}
+	}
+}
+
+// TestHeaderFlags checks Data/Fin survive the round trip and that the
+// flag bits do not perturb the size.
+func TestHeaderFlags(t *testing.T) {
+	for _, h := range []Header{
+		{Seq: 5, Ack: 3, AckBits: 0xFFFFFFFF, Data: true},
+		{Seq: 5, Ack: 3, AckBits: 0xFFFFFFFF, Fin: true},
+		{Seq: 5, Ack: 3, AckBits: 0xFFFFFFFF, Data: true, Fin: true},
+	} {
+		var b [MaxHeaderBytes]byte
+		n := h.Marshal(b[:])
+		if n != 4 {
+			t.Errorf("%+v: %d bytes, want 4", h, n)
+		}
+		got, _, err := ParseHeader(b[:n])
+		if err != nil || got != h {
+			t.Errorf("round trip %+v -> %+v (%v)", h, got, err)
+		}
+	}
+}
+
+// TestHeaderTruncated checks every truncation point errors rather than
+// mis-parsing.
+func TestHeaderTruncated(t *testing.T) {
+	h := Header{Seq: 1000, Ack: 100, AckBits: 0x00FF00FF}
+	var b [MaxHeaderBytes]byte
+	n := h.Marshal(b[:])
+	for i := 0; i < n; i++ {
+		if _, _, err := ParseHeader(b[:i]); err == nil {
+			t.Errorf("ParseHeader accepted %d of %d bytes", i, n)
+		}
+	}
+}
+
+// FuzzHeaderRoundTrip throws arbitrary header fields at the encoder and
+// requires an exact round trip, and throws arbitrary bytes at the
+// parser and requires re-encoding to reproduce them.
+func FuzzHeaderRoundTrip(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint32(0), false, false)
+	f.Add(uint16(65535), uint16(0), uint32(0xFFFFFFFF), true, false)
+	f.Add(uint16(100), uint16(300), uint32(0xFF00FF00), false, true)
+	f.Fuzz(func(t *testing.T, seq, ack uint16, bits uint32, data, fin bool) {
+		h := Header{Seq: seq, Ack: ack, AckBits: bits, Data: data, Fin: fin}
+		var b [MaxHeaderBytes]byte
+		n := h.Marshal(b[:])
+		if n < 3 || n > MaxHeaderBytes {
+			t.Fatalf("Marshal wrote %d bytes", n)
+		}
+		got, m, err := ParseHeader(b[:n])
+		if err != nil {
+			t.Fatalf("ParseHeader(%x): %v", b[:n], err)
+		}
+		if m != n || got != h {
+			t.Fatalf("round trip %+v (%d bytes) -> %+v (%d bytes)", h, n, got, m)
+		}
+		// Parse-then-marshal is the identity on valid encodings.
+		var b2 [MaxHeaderBytes]byte
+		n2 := got.Marshal(b2[:])
+		if !bytes.Equal(b[:n], b2[:n2]) {
+			t.Fatalf("re-encode %x != %x", b2[:n2], b[:n])
+		}
+	})
+}

@@ -49,12 +49,25 @@ func TestShardedBitIdentityMatrix(t *testing.T) {
 				Fabric: lab.FabricFatTree, LeafPorts: 2},
 			hosts: 9,
 		},
+		{
+			// The loaded tier's shardable slice: every egress port behind
+			// a RED discipline, whose lazy dequeue path stages cut cells
+			// at commit time rather than transmit completion.
+			name: "hub-red",
+			cfg: lab.Config{Link: lab.LinkATM, PacketTrace: true, Seed: 1994,
+				Qdisc: lab.QdiscConfig{Kind: lab.QdiscRED}},
+			hosts: 9,
+		},
 	}
 	gens := []workload.Generator{
 		workload.Echo{Iterations: 8, Warmup: 2},
 		workload.FanIn{Requests: 4},
 		workload.Churn{Conns: 3},
 		workload.Bulk{Bytes: 16384},
+		// Cross traffic rides the fan-in: background flows span shards
+		// and contend for the server egress, the case that forces
+		// equal-time cut arrivals staged in different barrier rounds.
+		workload.FanIn{Requests: 4, Cross: &workload.CrossTraffic{Flows: 2, Transfers: 2, MaxBytes: 32768}},
 	}
 	for _, fab := range fabrics {
 		for _, gen := range gens {

@@ -1,0 +1,93 @@
+package sim
+
+// GEParams configures a Gilbert–Elliott two-state burst-loss chain: a
+// link alternates between a Good and a Bad state with per-step
+// transition probabilities, and each transmission unit (cell, frame) is
+// lost with the current state's loss probability. Unlike a Bernoulli
+// CellLossRate, losses cluster — the Bad state's sojourn is geometric
+// with mean 1/PBadGood units — which is what kills several cells of one
+// AAL frame at once and so converts cell-level impairment into whole
+// segment loss far more often than independent drops of the same rate.
+//
+// The zero value disables the chain.
+type GEParams struct {
+	// PGoodBad is the per-unit probability of entering the Bad state.
+	PGoodBad float64
+	// PBadGood is the per-unit probability of leaving the Bad state;
+	// the mean burst length is 1/PBadGood units.
+	PBadGood float64
+	// LossGood is the per-unit loss probability in the Good state
+	// (usually 0 or very small).
+	LossGood float64
+	// LossBad is the per-unit loss probability in the Bad state.
+	LossBad float64
+}
+
+// Enabled reports whether the chain does anything.
+func (p GEParams) Enabled() bool {
+	return p.PGoodBad > 0 || p.LossGood > 0
+}
+
+// StationaryLoss returns the long-run loss probability of the chain:
+// the Bad-state occupancy times LossBad plus the Good-state occupancy
+// times LossGood. It is what the property tests compare empirical rates
+// against.
+func (p GEParams) StationaryLoss() float64 {
+	if p.PGoodBad <= 0 && p.PBadGood <= 0 {
+		return p.LossGood
+	}
+	piBad := p.PGoodBad / (p.PGoodBad + p.PBadGood)
+	return piBad*p.LossBad + (1-piBad)*p.LossGood
+}
+
+// GEChain is the running state of one link's Gilbert–Elliott chain. It
+// draws from its own RNG — seeded per link, never the simulation
+// environment's stream — so enabling burst loss on one link perturbs no
+// other random draw and runs stay bit-reproducible. (Sharded execution
+// still rejects burst-loss configurations at construction, like the
+// other fault knobs, so fault studies compare serial runs only.)
+type GEChain struct {
+	P    GEParams
+	seed uint64
+	bad  bool
+	rng  RNG
+}
+
+// Init (re)starts the chain in the Good state with the given seed.
+func (c *GEChain) Init(p GEParams, seed uint64) {
+	c.P = p
+	c.seed = seed
+	c.Reset()
+}
+
+// Reset rewinds the chain to its initial state for testbed reuse.
+func (c *GEChain) Reset() {
+	c.bad = false
+	c.rng = *NewRNG(c.seed)
+}
+
+// Enabled reports whether Drop does anything.
+func (c *GEChain) Enabled() bool { return c.P.Enabled() }
+
+// Bad exposes the current state for tests.
+func (c *GEChain) Bad() bool { return c.bad }
+
+// Drop advances the chain one transmission unit and reports whether
+// that unit is lost. Two draws per unit: the state transition, then the
+// loss lottery in the (possibly new) state.
+func (c *GEChain) Drop() bool {
+	if c.bad {
+		if c.rng.Float64() < c.P.PBadGood {
+			c.bad = false
+		}
+	} else {
+		if c.rng.Float64() < c.P.PGoodBad {
+			c.bad = true
+		}
+	}
+	pl := c.P.LossGood
+	if c.bad {
+		pl = c.P.LossBad
+	}
+	return pl > 0 && c.rng.Float64() < pl
+}

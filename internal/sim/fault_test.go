@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGEStationaryLoss runs the chain long enough for the empirical
+// loss rate to converge and compares it against the closed-form
+// stationary loss — the property RunLossStudy-style comparisons lean
+// on when they quote a GE configuration as "x% effective loss".
+func TestGEStationaryLoss(t *testing.T) {
+	p := GEParams{PGoodBad: 0.01, PBadGood: 0.1, LossGood: 0.001, LossBad: 0.5}
+	var c GEChain
+	c.Init(p, 1234)
+	const n = 2_000_000
+	lost := 0
+	for i := 0; i < n; i++ {
+		if c.Drop() {
+			lost++
+		}
+	}
+	want := p.StationaryLoss()
+	got := float64(lost) / n
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("empirical loss %.5f, stationary %.5f (>5%% off)", got, want)
+	}
+}
+
+// TestGEMeanBurst measures the mean Bad-state sojourn and compares it
+// against the geometric mean 1/PBadGood — the "burst length" knob the
+// loaded-network configurations are documented in terms of.
+func TestGEMeanBurst(t *testing.T) {
+	p := GEParams{PGoodBad: 0.02, PBadGood: 0.1, LossBad: 1}
+	var c GEChain
+	c.Init(p, 77)
+	const n = 2_000_000
+	bursts, badUnits := 0, 0
+	inBad := false
+	for i := 0; i < n; i++ {
+		c.Drop()
+		if c.Bad() {
+			if !inBad {
+				bursts++
+			}
+			badUnits++
+		}
+		inBad = c.Bad()
+	}
+	if bursts == 0 {
+		t.Fatal("chain never entered the Bad state")
+	}
+	got := float64(badUnits) / float64(bursts)
+	want := 1 / p.PBadGood
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("mean burst %.3f units over %d bursts, want %.3f (>5%% off)", got, bursts, want)
+	}
+}
+
+// TestGEDeterminism requires the chain to be a pure function of its
+// seed: identical seeds replay identical drop sequences, Reset rewinds
+// exactly, and a different seed decorrelates.
+func TestGEDeterminism(t *testing.T) {
+	p := GEParams{PGoodBad: 0.05, PBadGood: 0.2, LossBad: 0.7}
+	seq := func(c *GEChain, n int) string {
+		out := make([]byte, n)
+		for i := range out {
+			if c.Drop() {
+				out[i] = '1'
+			} else {
+				out[i] = '0'
+			}
+		}
+		return string(out)
+	}
+	var a, b GEChain
+	a.Init(p, 5)
+	b.Init(p, 5)
+	sa := seq(&a, 10000)
+	if sb := seq(&b, 10000); sb != sa {
+		t.Error("identically seeded chains diverged")
+	}
+	a.Reset()
+	if got := seq(&a, 10000); got != sa {
+		t.Error("Reset did not replay the chain")
+	}
+	var d GEChain
+	d.Init(p, 6)
+	if seq(&d, 10000) == sa {
+		t.Error("differently seeded chains correlated")
+	}
+}
+
+// TestGEDisabled pins the zero value and the loss-only edge cases of
+// Enabled and StationaryLoss.
+func TestGEDisabled(t *testing.T) {
+	var zero GEParams
+	if zero.Enabled() {
+		t.Error("zero GEParams enabled")
+	}
+	if zero.StationaryLoss() != 0 {
+		t.Errorf("zero StationaryLoss %g", zero.StationaryLoss())
+	}
+	// A chain that never transitions but loses in Good state is a plain
+	// Bernoulli dropper.
+	bern := GEParams{LossGood: 0.25}
+	if !bern.Enabled() {
+		t.Error("Bernoulli-style GEParams not enabled")
+	}
+	if got := bern.StationaryLoss(); got != 0.25 {
+		t.Errorf("Bernoulli StationaryLoss %g, want 0.25", got)
+	}
+	var c GEChain
+	c.Init(GEParams{}, 9)
+	for i := 0; i < 1000; i++ {
+		if c.Drop() {
+			t.Fatal("disabled chain dropped a unit")
+		}
+	}
+}

@@ -50,6 +50,7 @@ type Buffer struct {
 	K     *kern.Kernel
 	Hiwat int
 	mb    *mbuf.Mbuf
+	tail  *mbuf.Mbuf // last mbuf of the chain, so Append is O(appended)
 	cc    int
 	// WaitQ is where processes sleep for state changes (sbwait).
 	WaitQ *sim.WaitQueue
@@ -71,10 +72,40 @@ func (b *Buffer) Space() int { return b.Hiwat - b.cc }
 // Chain returns the head of the buffered mbuf chain.
 func (b *Buffer) Chain() *mbuf.Mbuf { return b.mb }
 
-// Append adds a chain to the buffer (sbappend).
+// Append adds a chain to the buffer (sbappend + sbcompress). Small
+// normal mbufs that fit whole in the tail's trailing space are copied in
+// and freed rather than linked, as in BSD's sbcompress. Without it a
+// stream of sub-MSS writes builds a chain of tiny mbufs — ROADMAP 3b's
+// "retransmission livelock": TCP output's mcopy then pays a per-mbuf
+// alloc+copy charge per segment (a 9148-byte MSS carved from 1-byte
+// mbufs costs ~50ms of simulated CPU per transmission, paid again on
+// every retransmission), and each append walked the whole chain, so
+// multi-client sub-MSS bulk runs blew up quadratically in wall-clock
+// time on top of the inflated simulated charges.
 func (b *Buffer) Append(m *mbuf.Mbuf) {
 	b.cc += mbuf.ChainLen(m)
-	b.mb = mbuf.Concat(b.mb, m)
+	for m != nil && b.tail != nil && !b.tail.IsCluster() && !m.IsCluster() &&
+		m.Len() <= b.tail.Cap() {
+		b.tail.Append(m.Bytes())
+		b.tail.CsumValid = false // stashed partial sum no longer covers the mbuf
+		next := m.Next()
+		m.SetNext(nil)
+		b.K.Pool.Free(m)
+		m = next
+	}
+	if m == nil {
+		return
+	}
+	if b.tail == nil {
+		b.mb = m
+	} else {
+		b.tail.SetNext(m)
+	}
+	t := m
+	for t.Next() != nil {
+		t = t.Next()
+	}
+	b.tail = t
 }
 
 // Drop releases n bytes from the front (sbdrop), returning the mbufs to
@@ -85,6 +116,9 @@ func (b *Buffer) Drop(n int) {
 	}
 	b.mb = b.K.Pool.Drop(b.mb, n)
 	b.cc -= n
+	if b.mb == nil {
+		b.tail = nil
+	}
 }
 
 // Socket is a connected stream socket.

@@ -59,6 +59,23 @@ const (
 // ErrReset is delivered to a socket whose connection received a RST.
 var ErrReset = errors.New("tcp: connection reset by peer")
 
+// ErrTimeout is delivered to a socket whose connection gave up after
+// maxRexmtShift consecutive retransmission timeouts (BSD's ETIMEDOUT
+// from tcp_timers).
+var ErrTimeout = errors.New("tcp: connection timed out")
+
+// maxRexmtShift plays BSD's TCP_MAXRXTSHIFT: the number of consecutive
+// backed-off retransmissions after which the connection is dropped
+// rather than probed forever — without it, a FIN whose peer's PCB has
+// already vanished (silent drop, no RST) retransmits eternally at
+// maxRTO and the simulation never drains. BSD's value is 12 (~10
+// minutes of patience); this simulation uses 32 (~30 minutes) because
+// its hosts share one perfectly synchronized clock: an unstaggered
+// 1,000-client connect storm collapses into deterministic lock-step
+// retry waves no real network produces, and the slowest client needs
+// ~26 simulated minutes to get through.
+const maxRexmtShift = 32
+
 // reassSeg is one out-of-order segment held for reassembly.
 type reassSeg struct {
 	seq Seq
@@ -264,9 +281,11 @@ func (c *Conn) rexmtFire(p *sim.Proc) {
 		return
 	}
 	c.S.Stats.Retransmits++
-	if c.rexmtShift < 12 {
-		c.rexmtShift++
+	if c.rexmtShift >= maxRexmtShift {
+		c.drop(ErrTimeout)
+		return
 	}
+	c.rexmtShift++
 	flight := c.sndMax.Diff(c.sndUna)
 	half := min2(flight, c.sndWnd) / 2
 	if half < 2*c.mss {

@@ -993,3 +993,54 @@ func TestSegmentationRespectsMSS(t *testing.T) {
 		t.Fatalf("only %d segments for 10000 bytes over Ethernet", sa.Stats.SegsOut)
 	}
 }
+
+// TestRexmtGiveUpAfterPeerVanishes pins BSD's TCP_MAXRXTSHIFT
+// behaviour (at this simulation's raised threshold): when the peer's
+// PCB disappears without an RST — here torn down silently, the way an
+// expired TIME_WAIT entry vanishes — the sender's retransmissions go
+// unanswered, and after maxRexmtShift backed-off timeouts the
+// connection drops with ErrTimeout instead of probing forever. The
+// event queue must fully drain: before the give-up existed this
+// scenario kept the simulation alive eternally at maxRTO intervals.
+func TestRexmtGiveUpAfterPeerVanishes(t *testing.T) {
+	p := newPair(t, cost.ChecksumStandard)
+	ln, err := p.sb.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serverConn *Conn
+	var accept *AcceptOp
+	p.env.Spawn("server", sim.Steps(
+		func(pr *sim.Proc) { accept = ln.Accept(pr) },
+		func(pr *sim.Proc) { serverConn = accept.C },
+	))
+	var conn *ConnectOp
+	p.env.Spawn("client", sim.Steps(
+		func(pr *sim.Proc) { conn = p.sa.Connect(pr, 2, 80) },
+	))
+	p.env.Run()
+	if conn.Err != nil || serverConn == nil {
+		t.Fatalf("handshake failed: %v", conn.Err)
+	}
+	clientConn := conn.C
+
+	// The peer vanishes silently: no RST, no FIN, just no PCB.
+	serverConn.drop(nil)
+
+	var send *sock.SendOp
+	p.env.Spawn("tx", sim.Steps(
+		func(pr *sim.Proc) { send = clientConn.Socket().Send(pr, []byte("hello?")) },
+	))
+	p.env.Run()
+
+	if clientConn.State() != StateClosed {
+		t.Errorf("client state %v after give-up, want CLOSED", clientConn.State())
+	}
+	if clientConn.Socket().Err != ErrTimeout {
+		t.Errorf("socket error %v, want ErrTimeout", clientConn.Socket().Err)
+	}
+	_ = send
+	if _, ok := p.env.NextEventAt(); ok {
+		t.Error("events still pending after the connection gave up")
+	}
+}

@@ -1,0 +1,55 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/lab"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestBulkSubMSSChunksComplete is the regression test for ROADMAP 3b:
+// workload.Bulk with chunk sizes below the MSS and multiple concurrent
+// clients used to drive the stack into what looked like a retransmission
+// livelock that never completed. The diagnosis: the socket buffer had no
+// sbcompress, so every sub-MSS write became its own mbuf. A 16 KB send
+// buffer of 1-byte mbufs made each sbappend walk a 16k-long chain
+// (quadratic wall-clock time), and TCP output's mcopy charged per source
+// mbuf — carving one 9148-byte MSS out of 1-byte mbufs cost ~50 ms of
+// simulated CPU, paid again on every retransmission, which stretched
+// multi-client runs into simulated (and wall-clock) hours. With
+// sbcompress in sock.Buffer.Append the same runs finish in under ten
+// simulated seconds; this test pins that down to sharp bounds so a
+// regression shows up as a timeout or an elapsed-time assertion, not a
+// hung fuzz worker.
+func TestBulkSubMSSChunksComplete(t *testing.T) {
+	for _, tc := range []struct {
+		hosts, chunk int
+	}{
+		{5, 1},    // pathological: one mbuf per byte before the fix
+		{5, 512},  // typical sub-MSS application write
+		{9, 5},    // previously hung for minutes of wall-clock time
+		{7, 2048}, // sub-MSS but above the cluster threshold
+	} {
+		cfg := lab.Config{Link: lab.LinkATM, Seed: 1, PacketTrace: true}
+		l := lab.NewTopology(cfg, tc.hosts)
+		g := workload.Bulk{Bytes: 16384, Chunk: tc.chunk}
+		r, err := g.Run(l)
+		if err != nil {
+			t.Fatalf("hosts=%d chunk=%d: %v", tc.hosts, tc.chunk, err)
+		}
+		wantBytes := int64((tc.hosts - 1) * 16384)
+		if r.Bytes != wantBytes {
+			t.Errorf("hosts=%d chunk=%d: transferred %d bytes, want %d",
+				tc.hosts, tc.chunk, r.Bytes, wantBytes)
+		}
+		// The transfers ride synchronized RTOs when the server's receive
+		// FIFO overflows, so they are not fast — but they must stay in
+		// the seconds range, not the simulated hours the livelock
+		// produced.
+		if limit := 30 * sim.Second; r.Elapsed > limit {
+			t.Errorf("hosts=%d chunk=%d: took %v simulated, want < %v",
+				tc.hosts, tc.chunk, r.Elapsed, limit)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"repro/internal/lab"
+	"repro/internal/rudp"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tcp"
@@ -169,34 +170,72 @@ func runEchoSharded(g Echo, c *lab.Cluster) (*Result, error) {
 	return echoResult(c.Lab, size, res), nil
 }
 
-// runFanInSharded mirrors FanIn.Run with per-client participants.
+// runFanInSharded mirrors FanIn.Run with per-client participants; cross
+// flows become participants of their own (each runs on the shard owning
+// its originating host, with a private fail slot), and the sink's
+// processes stay on shard 0 with the server's.
 func runFanInSharded(g FanIn, c *lab.Cluster) (*Result, error) {
 	l := c.Lab
 	size, reqs, warm := defInt(g.Size, 200), defInt(g.Requests, 20), defInt(g.Warmup, 2)
+	if err := checkTransport(g.Transport, size); err != nil {
+		return nil, err
+	}
 	clients := len(l.Hosts) - 1
 	r := &Result{Workload: "fanin"}
 	server := &shardParticipant{}
 
 	startTrace(l)
-	ln, err := l.Hosts[0].TCP.Listen(Port)
-	if err != nil {
-		return nil, err
+	if g.Transport == TransportRUDP {
+		e, err := rudp.Listen(l.Hosts[0].Kern, l.Hosts[0].UDP, Port)
+		if err != nil {
+			return nil, err
+		}
+		l.Env.Spawn("server.fanin",
+			&rudpAcceptLoopFrame{e: e, env: l.Env, n: clients})
+	} else {
+		ln, err := l.Hosts[0].TCP.Listen(Port)
+		if err != nil {
+			return nil, err
+		}
+		l.Env.Spawn("server.fanin", &acceptLoopFrame{
+			ln: ln, n: clients,
+			accepted: func(i int, op *tcp.AcceptOp) bool {
+				op.C.SetNoDelay(true)
+				l.Env.Spawn(fmt.Sprintf("server.fanin.conn%d", i),
+					&serveEchoFrame{so: op.So})
+				return true
+			},
+		})
 	}
-	l.Env.Spawn("server.fanin", &acceptLoopFrame{
-		ln: ln, n: clients,
-		accepted: func(i int, op *tcp.AcceptOp) bool {
-			op.C.SetNoDelay(true)
-			l.Env.Spawn(fmt.Sprintf("server.fanin.conn%d", i),
-				&serveEchoFrame{so: op.So})
-			return true
-		},
-	})
+	var crossParts []*shardParticipant
+	if g.Cross != nil {
+		if err := g.Cross.spawnSink(l, server.failFn(l.Env)); err != nil {
+			return nil, err
+		}
+		ctc := g.Cross.withDefaults()
+		crossParts = make([]*shardParticipant, ctc.Flows)
+		for f := 0; f < ctc.Flows; f++ {
+			hi := ctc.flowHost(f, clients)
+			env := c.EnvOf(hi)
+			sp := &shardParticipant{}
+			crossParts[f] = sp
+			g.Cross.spawnFlow(env, l.Hosts[hi], f, sp.failFn(env))
+		}
+	}
 
 	parts := make([]*shardParticipant, clients)
 	for ci := 0; ci < clients; ci++ {
 		env := c.EnvOf(ci + 1)
 		sp := &shardParticipant{sink: newShardSink(g.Stats.Streaming)}
 		parts[ci] = sp
+		if g.Transport == TransportRUDP {
+			env.Spawn(fmt.Sprintf("client%d.fanin", ci), &rudpFanInClientFrame{
+				host: l.Hosts[ci+1], ci: ci, si: 0, size: size, warm: warm, reqs: reqs,
+				startAt: sim.Time(ci) * g.Stagger,
+				sink:    sp.sink, last: &sp.last, r: &sp.res, fail: sp.failFn(env),
+			})
+			continue
+		}
 		env.Spawn(fmt.Sprintf("client%d.fanin", ci), &fanInClientFrame{
 			host: l.Hosts[ci+1], ci: ci, si: 0, size: size, warm: warm, reqs: reqs,
 			startAt: sim.Time(ci) * g.Stagger,
@@ -206,6 +245,9 @@ func runFanInSharded(g FanIn, c *lab.Cluster) (*Result, error) {
 
 	c.Run()
 	if err := firstError(server, parts); err != nil {
+		return nil, err
+	}
+	if err := firstError(server, crossParts); err != nil {
 		return nil, err
 	}
 	if err := mergeShardSinks(r, parts, reqs, "requests", g.Stats); err != nil {

@@ -27,12 +27,10 @@ func fuzzTrial(fabric, leafPorts, hosts, wl uint8, seed uint16) (workload.Genera
 	case 2:
 		g = workload.Churn{Conns: 2, Size: 48}
 	default:
-		// Default chunk size only: sub-MSS chunks trip a pre-existing
-		// retransmission livelock in the serial stack with multiple
-		// concurrent clients (see ROADMAP), which would hang the fuzz
-		// worker on a bug this harness is not hunting. The sharded
-		// executor inherits whatever the serial run does either way.
-		g = workload.Bulk{Bytes: 16384}
+		// Sub-MSS chunks included: they exercise the sbcompress path in
+		// the socket buffer (the ROADMAP 3b livelock fix) on top of the
+		// shard-identity property this harness is hunting.
+		g = workload.Bulk{Bytes: 16384, Chunk: 1 + int(seed%8192)}
 	}
 	return g, cfg, n
 }

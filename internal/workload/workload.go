@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/lab"
+	"repro/internal/rudp"
 	"repro/internal/sim"
 	"repro/internal/sock"
 	"repro/internal/stats"
@@ -242,6 +243,15 @@ type FanIn struct {
 	// Streaming folds latencies into constant-memory estimators, the
 	// 10,000-host setting.
 	Stats stats.Config
+	// Cross, when non-nil, runs heavy-tailed background flows beside the
+	// measured clients (see CrossTraffic) — the loaded regime. Cross
+	// flows share client adapters and the server's CPU but connect to
+	// their own sink port, so they contend without being measured.
+	Cross *CrossTraffic
+	// Transport selects the measured connections' transport: "tcp" (the
+	// default) or "rudp", the reliable-UDP rival stack (internal/rudp).
+	// Cross traffic always rides TCP either way.
+	Transport string
 }
 
 // Name implements Generator.
@@ -250,6 +260,9 @@ func (FanIn) Name() string { return "fanin" }
 // Run implements Generator.
 func (g FanIn) Run(l *lab.Lab) (*Result, error) {
 	size, reqs, warm := defInt(g.Size, 200), defInt(g.Requests, 20), defInt(g.Warmup, 2)
+	if err := checkTransport(g.Transport, size); err != nil {
+		return nil, err
+	}
 	clients := len(l.Hosts) - 1
 	r := &Result{Workload: "fanin"}
 	var runErr error
@@ -260,24 +273,46 @@ func (g FanIn) Run(l *lab.Lab) (*Result, error) {
 	}
 
 	startTrace(l)
-	ln, err := l.Hosts[0].TCP.Listen(Port)
-	if err != nil {
-		return nil, err
+	if g.Transport == TransportRUDP {
+		e, err := rudp.Listen(l.Hosts[0].Kern, l.Hosts[0].UDP, Port)
+		if err != nil {
+			return nil, err
+		}
+		l.Env.Spawn("server.fanin",
+			&rudpAcceptLoopFrame{e: e, env: l.Env, n: clients})
+	} else {
+		ln, err := l.Hosts[0].TCP.Listen(Port)
+		if err != nil {
+			return nil, err
+		}
+		l.Env.Spawn("server.fanin", &acceptLoopFrame{
+			ln: ln, n: clients,
+			accepted: func(i int, op *tcp.AcceptOp) bool {
+				op.C.SetNoDelay(true)
+				l.Env.Spawn(fmt.Sprintf("server.fanin.conn%d", i),
+					&serveEchoFrame{so: op.So})
+				return true
+			},
+		})
 	}
-	l.Env.Spawn("server.fanin", &acceptLoopFrame{
-		ln: ln, n: clients,
-		accepted: func(i int, op *tcp.AcceptOp) bool {
-			op.C.SetNoDelay(true)
-			l.Env.Spawn(fmt.Sprintf("server.fanin.conn%d", i),
-				&serveEchoFrame{so: op.So})
-			return true
-		},
-	})
+	if g.Cross != nil {
+		if err := g.Cross.spawn(l, fail); err != nil {
+			return nil, err
+		}
+	}
 
 	sink := newLatSink(clients, g.Stats)
 	var last sim.Time
 	for ci := 0; ci < clients; ci++ {
 		host := l.Hosts[ci+1]
+		if g.Transport == TransportRUDP {
+			l.Env.Spawn(fmt.Sprintf("client%d.fanin", ci), &rudpFanInClientFrame{
+				host: host, ci: ci, si: ci, size: size, warm: warm, reqs: reqs,
+				startAt: sim.Time(ci) * g.Stagger,
+				sink:    sink, last: &last, r: r, fail: fail,
+			})
+			continue
+		}
 		l.Env.Spawn(fmt.Sprintf("client%d.fanin", ci), &fanInClientFrame{
 			host: host, ci: ci, si: ci, size: size, warm: warm, reqs: reqs,
 			startAt: sim.Time(ci) * g.Stagger,

@@ -170,8 +170,28 @@ func run(args []string, w io.Writer) error {
 	if *wl == "loaded" {
 		// The loaded study is self-contained: fan-in under the load
 		// knobs, once per rival transport, rendered as a comparison.
+		// Knobs it does not consume are rejected rather than silently
+		// dropped, like the invalid combinations above.
 		if cfg.Link != lab.LinkATM || cfg.Fabric != lab.FabricHub {
 			return fmt.Errorf("-workload loaded runs on the hub ATM fabric")
+		}
+		if *transp != workload.TransportTCP {
+			return fmt.Errorf("-transport does not apply to -workload loaded (it always runs both transports)")
+		}
+		if *loss > 0 {
+			return fmt.Errorf("-loss does not apply to -workload loaded (use -burstloss)")
+		}
+		if *stream != "auto" {
+			return fmt.Errorf("-stream does not apply to -workload loaded")
+		}
+		if *stagger >= 0 {
+			return fmt.Errorf("-stagger does not apply to -workload loaded")
+		}
+		if *hash || *compare {
+			return fmt.Errorf("-hashpcb/-compare do not apply to -workload loaded")
+		}
+		if *trials != 1 {
+			return fmt.Errorf("-trials does not apply to -workload loaded")
 		}
 		res, err := core.RunLoadedStudy(core.LoadedOptions{
 			Hosts: *hosts, Requests: *reqs, Size: *size,

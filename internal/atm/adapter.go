@@ -120,7 +120,9 @@ type Adapter struct {
 	impRNG       sim.RNG
 	held         Cell // cell held back for reordering
 	heldValid    bool
-	heldLeft     int // deliveries remaining before the held cell is released
+	heldLeft     int    // deliveries remaining before the held cell is released
+	heldGen      uint64 // hold generation, so a stale flush timer no-ops
+	heldFlushFn  func(uint64)
 
 	// Counters.
 	CellsSent      int64
@@ -141,6 +143,7 @@ func NewAdapter(k *kern.Kernel) *Adapter {
 	// Bound once so the per-cell wire events reuse them (see PushTx).
 	a.cellOutFn = a.cellOut
 	a.cellInFn = a.cellIn
+	a.heldFlushFn = a.heldFlush
 	return a
 }
 
@@ -289,11 +292,31 @@ func (a *Adapter) receive(c Cell) {
 			a.held = c
 			a.heldValid = true
 			a.heldLeft = a.reorderDepth
+			a.heldGen++
 			a.CellsReordered++
+			// Backstop against stranding: if the held cell is the link's
+			// last traffic, no later arrival will ever decrement the
+			// countdown, so a timer releases it once the wire has been
+			// quiet longer than a full back-to-back countdown would take.
+			// Arrivals that complete the countdown first leave the timer
+			// to no-op on a stale generation.
+			wait := sim.Time(a.reorderDepth+1) * a.CellTime()
+			a.K.Env.AfterArg(wait, "atm.reorder.flush", a.heldFlushFn, a.heldGen)
 			return
 		}
 	}
 	a.accept(c)
+}
+
+// heldFlush fires when a held cell's release timer elapses: if the hold
+// is still pending (same generation, not released by later arrivals),
+// deliver the cell rather than strand it as silent uncounted loss.
+func (a *Adapter) heldFlush(gen uint64) {
+	if !a.heldValid || gen != a.heldGen {
+		return
+	}
+	a.heldValid = false
+	a.accept(a.held)
 }
 
 // accept runs the adapter's legacy receive path: the deterministic and

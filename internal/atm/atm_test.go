@@ -264,6 +264,25 @@ func TestAdapterRxOverflowDropsCells(t *testing.T) {
 	}
 }
 
+// TestReorderHeldCellFlushed pins the hold-back backstop: a cell held
+// for reordering on a link that then goes quiet must be released by the
+// flush timer, not stranded forever as silent uncounted loss (e.g. the
+// final cell of a teardown segment, with no retransmission to flush it).
+func TestReorderHeldCellFlushed(t *testing.T) {
+	env, _, _, a, b := twoAdapters(t)
+	b.SetImpairments(sim.GEParams{}, 1.0, 4, 7) // hold every arrival
+	var c Cell
+	CellHeader{VCI: 32}.Marshal(&c)
+	a.PushTx(c) // the link's only traffic
+	env.Run()
+	if b.RxAvail() != 1 {
+		t.Fatalf("RxAvail = %d, want 1 (held cell flushed on idle link)", b.RxAvail())
+	}
+	if b.CellsReordered != 1 {
+		t.Fatalf("CellsReordered = %d, want 1", b.CellsReordered)
+	}
+}
+
 func TestAdapterDropNext(t *testing.T) {
 	env, _, _, a, b := twoAdapters(t)
 	b.DropNext = true

@@ -17,12 +17,14 @@ import "fmt"
 // sequence, 2-byte ack, 4 ackBits bytes.
 const MaxHeaderBytes = 9
 
-// Prefix bits. Bits 0–4 are compression flags; 5–6 carry packet kind.
+// Prefix bits. Bits 0–4 are compression flags; 5–6 carry packet kind;
+// bit 7 marks an absent ack.
 const (
 	prefAckDiff  = 1 << 0 // ack encoded as a 1-byte diff from seq
 	prefBitsByte = 1 << 1 // ackBits byte i is 0xFF and elided (bits 1–4)
 	prefData     = 1 << 5 // packet consumes Seq and carries payload
 	prefFin      = 1 << 6 // packet consumes Seq and marks end of stream
+	prefNoAck    = 1 << 7 // sender has received nothing; Ack/AckBits elided
 )
 
 // Header is one rudp packet header. Data and Fin packets consume Seq
@@ -37,6 +39,12 @@ type Header struct {
 	// AckBits acknowledges earlier sequences: bit i set means Ack-1-i
 	// was received.
 	AckBits uint32
+	// AckNone marks a header from a sender that has received nothing
+	// yet: Ack and AckBits are meaningless (zero) and acknowledge no
+	// sequence. Without it, Ack's zero value is indistinguishable from
+	// "I received seq 0", and a retransmission sent before the first
+	// reception would silently retire the peer's seq 0.
+	AckNone bool
 	// Data marks a payload-bearing packet; Fin marks the sender's end
 	// of stream (ordered like a zero-length message).
 	Data bool
@@ -45,6 +53,9 @@ type Header struct {
 
 // MarshaledSize returns the encoded size of h in bytes.
 func (h Header) MarshaledSize() int {
+	if h.AckNone {
+		return 3 // prefix + seq; no ack state to encode
+	}
 	n := 3 // prefix + seq
 	if uint16(h.Seq-h.Ack) <= 0xFF {
 		n++
@@ -72,6 +83,14 @@ func (h Header) Marshal(b []byte) int {
 	}
 	if h.Fin {
 		prefix |= prefFin
+	}
+	if h.AckNone {
+		// Nothing received yet: the ack fields carry no information, so
+		// the flag replaces them entirely.
+		b[0] = prefix | prefNoAck
+		b[1] = byte(h.Seq >> 8)
+		b[2] = byte(h.Seq)
+		return 3
 	}
 	diff := uint16(h.Seq - h.Ack)
 	if diff <= 0xFF {
@@ -110,15 +129,21 @@ func ParseHeader(b []byte) (Header, int, error) {
 		return Header{}, 0, fmt.Errorf("rudp: header truncated (%d bytes)", len(b))
 	}
 	prefix := b[0]
-	if prefix&^(prefAckDiff|prefData|prefFin|0x1E) != 0 {
+	if prefix&prefNoAck != 0 && prefix&(prefAckDiff|0x1E) != 0 {
+		// Ack-compression bits alongside the no-ack flag have no
+		// canonical encoding.
 		return Header{}, 0, fmt.Errorf("rudp: bad prefix %#02x", prefix)
 	}
 	h := Header{
-		Seq:  uint16(b[1])<<8 | uint16(b[2]),
-		Data: prefix&prefData != 0,
-		Fin:  prefix&prefFin != 0,
+		Seq:     uint16(b[1])<<8 | uint16(b[2]),
+		AckNone: prefix&prefNoAck != 0,
+		Data:    prefix&prefData != 0,
+		Fin:     prefix&prefFin != 0,
 	}
 	n := 3
+	if h.AckNone {
+		return h, n, nil
+	}
 	if prefix&prefAckDiff != 0 {
 		if len(b) < n+1 {
 			return Header{}, 0, fmt.Errorf("rudp: header truncated at ack")

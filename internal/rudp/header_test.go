@@ -22,6 +22,8 @@ func TestHeaderSizes(t *testing.T) {
 		{"close-one-hole", Header{Seq: 200, Ack: 190, AckBits: 0xFFFEFFFF}, 5},
 		// Close ack over a solid bitfield: the ideal steady state.
 		{"ideal", Header{Seq: 200, Ack: 190, AckBits: 0xFFFFFFFF}, 4},
+		// Nothing received yet: the flag replaces the ack state.
+		{"no-ack", Header{Seq: 7, AckNone: true, Data: true}, 3},
 	}
 	for _, tc := range cases {
 		var b [MaxHeaderBytes]byte
@@ -65,6 +67,21 @@ func TestHeaderFlags(t *testing.T) {
 	}
 }
 
+// TestHeaderNoAckPrefix checks the no-ack flag's canonical encoding:
+// ack-compression bits alongside it are rejected, since an AckNone
+// header has no ack state to compress.
+func TestHeaderNoAckPrefix(t *testing.T) {
+	for _, bad := range []byte{
+		prefNoAck | prefAckDiff,
+		prefNoAck | prefBitsByte,
+		prefNoAck | prefBitsByte<<3,
+	} {
+		if _, _, err := ParseHeader([]byte{bad, 0, 1}); err == nil {
+			t.Errorf("ParseHeader accepted prefix %#02x", bad)
+		}
+	}
+}
+
 // TestHeaderTruncated checks every truncation point errors rather than
 // mis-parsing.
 func TestHeaderTruncated(t *testing.T) {
@@ -82,11 +99,16 @@ func TestHeaderTruncated(t *testing.T) {
 // requires an exact round trip, and throws arbitrary bytes at the
 // parser and requires re-encoding to reproduce them.
 func FuzzHeaderRoundTrip(f *testing.F) {
-	f.Add(uint16(0), uint16(0), uint32(0), false, false)
-	f.Add(uint16(65535), uint16(0), uint32(0xFFFFFFFF), true, false)
-	f.Add(uint16(100), uint16(300), uint32(0xFF00FF00), false, true)
-	f.Fuzz(func(t *testing.T, seq, ack uint16, bits uint32, data, fin bool) {
+	f.Add(uint16(0), uint16(0), uint32(0), false, false, false)
+	f.Add(uint16(65535), uint16(0), uint32(0xFFFFFFFF), true, false, false)
+	f.Add(uint16(100), uint16(300), uint32(0xFF00FF00), false, true, false)
+	f.Add(uint16(0), uint16(0), uint32(0), true, false, true)
+	f.Fuzz(func(t *testing.T, seq, ack uint16, bits uint32, data, fin, ackNone bool) {
 		h := Header{Seq: seq, Ack: ack, AckBits: bits, Data: data, Fin: fin}
+		if ackNone {
+			// AckNone headers carry no ack state; canonical form zeroes it.
+			h = Header{Seq: seq, AckNone: true, Data: data, Fin: fin}
+		}
 		var b [MaxHeaderBytes]byte
 		n := h.Marshal(b[:])
 		if n < 3 || n > MaxHeaderBytes {

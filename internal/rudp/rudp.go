@@ -22,8 +22,12 @@ const (
 	seenSpan = 128
 	// maxRexmtShift is the retransmission give-up threshold, TCP's
 	// TCP_MAXRXTSHIFT: after this many consecutive backed-off timeouts
-	// the stream is aborted rather than probed forever.
-	maxRexmtShift = 12
+	// the stream is aborted rather than probed forever. It matches the
+	// TCP stack's raised value so the rival-transport comparison holds
+	// give-up patience equal: in a large unstaggered run whose lock-step
+	// retry waves need ~26 simulated minutes to drain, rudp must not
+	// abort measured flows where TCP survives.
+	maxRexmtShift = 32
 
 	minRTO = 1 * sim.Second
 	maxRTO = 64 * sim.Second
@@ -233,18 +237,21 @@ type Conn struct {
 func (c *Conn) SRTT() sim.Time { return c.srtt }
 
 // rto mirrors the TCP stack's timer: srtt + 4·rttvar, doubled per
-// backoff, clamped to [minRTO, maxRTO].
+// backoff, clamped to [minRTO, maxRTO]. The backoff shift saturates at
+// maxRTO before it is applied: shifts up to maxRexmtShift would wrap
+// the multiplication negative, and the minRTO clamp would then turn a
+// 64-second timeout into a 1-second one.
 func (c *Conn) rto() sim.Time {
 	base := 2 * sim.Second
 	if c.srtt != 0 {
 		base = c.srtt + 4*c.rttvar
 	}
-	d := base << c.rexmtShift
+	d := maxRTO
+	if base <= maxRTO>>c.rexmtShift {
+		d = base << c.rexmtShift
+	}
 	if d < minRTO {
 		d = minRTO
-	}
-	if d > maxRTO {
-		d = maxRTO
 	}
 	return d
 }
@@ -315,8 +322,14 @@ func (c *Conn) abort() {
 }
 
 // header returns the ack-bearing header for the next outgoing packet;
-// seq is filled by the caller for Data/Fin packets.
+// seq is filled by the caller for Data/Fin packets. Before the first
+// reception the header carries AckNone instead of ack state: Ack's zero
+// value would otherwise read as "seq 0 received" and retire the peer's
+// first message without delivery.
 func (c *Conn) header() Header {
+	if !c.rcvAny {
+		return Header{Seq: c.sndNxt, AckNone: true}
+	}
 	return Header{Seq: c.sndNxt, Ack: c.rcvLatest, AckBits: c.ackBits()}
 }
 
@@ -359,6 +372,9 @@ func (c *Conn) ackPacket() []byte {
 // processAck retires entries the header acknowledges, samples RTT per
 // Karn, and manages the timer. Returns true if anything newly retired.
 func (c *Conn) processAck(h Header) bool {
+	if h.AckNone {
+		return false // peer has received nothing; no sequence is covered
+	}
 	retired := false
 	for _, ent := range c.unacked {
 		if ent.acked {

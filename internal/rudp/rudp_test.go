@@ -96,6 +96,55 @@ func TestProcessAck(t *testing.T) {
 	}
 }
 
+// TestAckNoneDoesNotRetire pins the fix for the seq-0 ack ambiguity:
+// under burst loss, a client whose first send's replies were all lost
+// retransmits before receiving anything, and that retransmission's
+// header must not read as "seq 0 received" — it would retire the
+// server's lost echo (seq 0) without delivery, nothing would ever
+// retransmit it, and the client would park in Recv forever.
+func TestAckNoneDoesNotRetire(t *testing.T) {
+	server := testConn(t)
+	server.unacked = append(server.unacked, &sndEntry{seq: 0, payload: []byte("echo")})
+	client := testConn(t)
+	h := client.header()
+	if !h.AckNone {
+		t.Fatal("header before first reception does not carry AckNone")
+	}
+	if server.processAck(h) {
+		t.Fatal("AckNone header retired an entry")
+	}
+	if server.unacked[0].acked {
+		t.Fatal("seq 0 marked acked by a peer that received nothing")
+	}
+	// Once the client has received something, acks flow normally.
+	client.recordArrival(0)
+	h = client.header()
+	if h.AckNone {
+		t.Fatal("header still AckNone after a reception")
+	}
+	if !server.processAck(h) {
+		t.Fatal("real ack of seq 0 retired nothing")
+	}
+}
+
+// TestRTOBackoffSaturates checks the backoff shift saturates at maxRTO
+// instead of overflowing: at maxRexmtShift 32 a raw base<<shift wraps
+// int64 negative, and the minRTO clamp would turn the slowest, most
+// backed-off retries into the fastest.
+func TestRTOBackoffSaturates(t *testing.T) {
+	c := testConn(t)
+	for shift := uint(0); shift <= maxRexmtShift; shift++ {
+		c.rexmtShift = shift
+		if d := c.rto(); d < minRTO || d > maxRTO {
+			t.Fatalf("shift %d: rto %v outside [%v, %v]", shift, d, minRTO, maxRTO)
+		}
+	}
+	c.rexmtShift = maxRexmtShift
+	if d := c.rto(); d != maxRTO {
+		t.Fatalf("rto at max shift = %v, want %v", d, maxRTO)
+	}
+}
+
 // TestDeliverOrdering checks ordered delivery with out-of-order
 // arrival, duplication, and the fin's end-of-stream position.
 func TestDeliverOrdering(t *testing.T) {

@@ -224,6 +224,10 @@ func (c *Conn) drop(err error) {
 // --- RTT estimation and the retransmit timer ---
 
 // rto returns the current retransmission timeout with backoff applied.
+// The backoff shift saturates at maxRTO before it is applied: at
+// maxRexmtShift 32 a raw `base << shift` wraps int64 negative (3s<<22
+// already overflows), and the minRTO clamp would then turn a 64-second
+// timeout into a 1-second one.
 func (c *Conn) rto() sim.Time {
 	var base sim.Time
 	if c.srtt == 0 {
@@ -231,12 +235,12 @@ func (c *Conn) rto() sim.Time {
 	} else {
 		base = c.srtt + 4*c.rttvar
 	}
-	d := base << c.rexmtShift
+	d := maxRTO
+	if base <= maxRTO>>c.rexmtShift {
+		d = base << c.rexmtShift
+	}
 	if d < minRTO {
 		d = minRTO
-	}
-	if d > maxRTO {
-		d = maxRTO
 	}
 	return d
 }

@@ -1044,3 +1044,22 @@ func TestRexmtGiveUpAfterPeerVanishes(t *testing.T) {
 		t.Error("events still pending after the connection gave up")
 	}
 }
+
+// TestRTOBackoffSaturates checks the backoff shift saturates at maxRTO
+// instead of overflowing: at maxRexmtShift 32 a raw base<<shift wraps
+// int64 negative (the pre-first-sample base of 3s overflows at shift
+// 22), and the minRTO clamp would then fire the slowest, most
+// backed-off retries 64x faster than modeled.
+func TestRTOBackoffSaturates(t *testing.T) {
+	c := &Conn{}
+	for shift := uint(0); shift <= maxRexmtShift; shift++ {
+		c.rexmtShift = shift
+		if d := c.rto(); d < minRTO || d > maxRTO {
+			t.Fatalf("shift %d: rto %v outside [%v, %v]", shift, d, minRTO, maxRTO)
+		}
+	}
+	c.rexmtShift = maxRexmtShift
+	if d := c.rto(); d != maxRTO {
+		t.Fatalf("rto at max shift = %v, want %v", d, maxRTO)
+	}
+}

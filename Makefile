@@ -1,5 +1,11 @@
 GO ?= go
 
+# Every test target carries an explicit -timeout and every smoke target a
+# wall-clock deadline: a reintroduced livelock (the watchdog tier's whole
+# reason to exist) must fail CI in minutes, not ride the 10-minute
+# per-package default or hang a -race smoke until the job is killed.
+SMOKE_DEADLINE ?= 600
+
 .PHONY: all fmt fmt-check vet build test race bench bench-smoke benchdiff baseline bench-wallclock bench-wallclock-scaling baseline-wallclock tables load-smoke load-scale-smoke shard-smoke loaded-smoke docs-check
 
 all: build test
@@ -23,28 +29,28 @@ build:
 
 ## test: the tier-1 suite
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 240s ./...
 
 ## race: the tier-1 suite under the race detector
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 600s ./...
 
 ## bench: the full benchmark suite with memory stats
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem .
+	$(GO) test -run='^$$' -bench=. -benchmem -timeout 1800s .
 
 ## bench-smoke: one iteration of every benchmark (deterministic metrics)
 bench-smoke:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 300s .
 
 ## benchdiff: compare the smoke run's paper metrics against the baseline
 benchdiff:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x . | \
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 300s . | \
 		$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json
 
 ## baseline: regenerate BENCH_baseline.json from a smoke run
 baseline:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x . | \
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 300s . | \
 		$(GO) run ./cmd/benchdiff -write BENCH_baseline.json
 
 ## bench-wallclock: run the wall-clock tier and gate ns/op + allocation
@@ -54,7 +60,7 @@ baseline:
 WALLCLOCK_TOL_NS ?= 0.5
 WALLCLOCK_TOL_BYTES ?= 0.35
 bench-wallclock:
-	$(GO) test -run='^$$' -bench=Wallclock -benchmem -benchtime=2x . | \
+	$(GO) test -run='^$$' -bench=Wallclock -benchmem -benchtime=2x -timeout 600s . | \
 		$(GO) run ./cmd/benchdiff -wallclock -tol-ns $(WALLCLOCK_TOL_NS) \
 			-tol-bytes $(WALLCLOCK_TOL_BYTES) \
 			-baseline BENCH_wallclock.json
@@ -65,12 +71,12 @@ bench-wallclock:
 ## baseline gate — this target measures worker-affine sharding, not
 ## regressions.
 bench-wallclock-scaling:
-	$(GO) test -run='^$$' -bench='WallclockSweep' -benchmem -benchtime=2x -cpu=1,2 . | \
+	$(GO) test -run='^$$' -bench='WallclockSweep' -benchmem -benchtime=2x -cpu=1,2 -timeout 600s . | \
 		$(GO) run ./cmd/benchdiff -wallclock -scaling
 
 ## baseline-wallclock: regenerate BENCH_wallclock.json on this machine
 baseline-wallclock:
-	$(GO) test -run='^$$' -bench=Wallclock -benchmem -benchtime=2x . | \
+	$(GO) test -run='^$$' -bench=Wallclock -benchmem -benchtime=2x -timeout 600s . | \
 		$(GO) run ./cmd/benchdiff -wallclock -write BENCH_wallclock.json
 
 ## tables: regenerate every table and figure of the paper's evaluation
@@ -79,7 +85,7 @@ tables:
 
 ## load-smoke: a 16-client fan-in under both PCB organizations (what CI runs)
 load-smoke:
-	$(GO) run ./cmd/load -workload fanin -hosts 17 -reqs 4 -compare -seed 1994 -parallel 2 -json > /dev/null
+	timeout $(SMOKE_DEADLINE) $(GO) run ./cmd/load -workload fanin -hosts 17 -reqs 4 -compare -seed 1994 -parallel 2 -json > /dev/null
 
 ## load-scale-smoke: a 1024-host fan-in on the fat-tree fabric under the
 ## race detector — the whole scale path (on-demand VC setup, trunk VCI
@@ -87,7 +93,7 @@ load-smoke:
 ## CI runs). The stagger stays above the server's per-client service
 ## time so the smoke cannot drift into retransmission collapse.
 load-scale-smoke:
-	$(GO) run -race ./cmd/load -workload fanin -hosts 1024 -reqs 1 -hashpcb \
+	timeout $(SMOKE_DEADLINE) $(GO) run -race ./cmd/load -workload fanin -hosts 1024 -reqs 1 -hashpcb \
 		-fabric fattree -stream on -stagger 5500 -json > /dev/null
 
 ## shard-smoke: a 1024-host fat-tree fan-in split across 4 shards under
@@ -97,7 +103,7 @@ load-scale-smoke:
 ## the race detector watching, and the run's digest still matches the
 ## serial golden (the sharded golden tests pin that separately).
 shard-smoke:
-	$(GO) run -race ./cmd/load -workload fanin -hosts 1024 -reqs 1 -hashpcb \
+	timeout $(SMOKE_DEADLINE) $(GO) run -race ./cmd/load -workload fanin -hosts 1024 -reqs 1 -hashpcb \
 		-fabric fattree -stream on -stagger 5500 -shards 4 -json > /dev/null
 
 ## loaded-smoke: the congested-regime tier end to end under the race
@@ -105,9 +111,9 @@ shard-smoke:
 ## through the loaded fan-in study with RED on every egress port,
 ## Gilbert–Elliott burst loss, and heavy-tailed cross traffic.
 loaded-smoke:
-	$(GO) run -race ./cmd/load -workload loaded -hosts 6 -reqs 4 \
+	timeout $(SMOKE_DEADLINE) $(GO) run -race ./cmd/load -workload loaded -hosts 6 -reqs 4 \
 		-qdisc red -burstloss 0.002 -crosstraffic 2 -seed 1994 -json > /dev/null
 
 ## docs-check: execute every command quoted in README.md and docs/ (smoke mode)
 docs-check:
-	$(GO) run ./cmd/docscheck README.md docs
+	timeout $(SMOKE_DEADLINE) $(GO) run ./cmd/docscheck README.md docs

@@ -15,6 +15,8 @@
 //	load -workload fanin -hosts 17 -reqs 4 -shards 4     # host-sharded event loops
 //	load -workload fanin -transport rudp -qdisc red      # reliable-UDP rival transport
 //	load -workload loaded -burstloss 0.002 -crosstraffic 2   # TCP vs rUDP under load
+//	load -workload faults -hosts 65 -crashat 500 -downtime 1000  # crash-recovery study
+//	load -workload fanin -faults 2 -shards 4             # seeded link flaps, shard-safe
 package main
 
 import (
@@ -91,6 +93,9 @@ func run(args []string, w io.Writer) error {
 		qdisc    = fs.String("qdisc", "none", "ATM egress queue discipline: none, droptail, red, or drr")
 		burst    = fs.Float64("burstloss", 0, "Gilbert-Elliott burst loss: probability of entering the bad state per cell (0 = off)")
 		crossN   = fs.Int("crosstraffic", 0, "fanin/loaded: background bounded-Pareto transfer flows contending with the workload")
+		faultsN  = fs.Int("faults", 0, "fanin: seeded link flaps per client host during the run (shard-safe; 0 = none)")
+		crashAt  = fs.Int64("crashat", 0, "faults: server crash time in milliseconds (0 = default 500)")
+		downtime = fs.Int64("downtime", 0, "faults: crash-to-restart gap in milliseconds (0 = default 1000)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -127,6 +132,15 @@ func run(args []string, w io.Writer) error {
 	}
 	if *crossN < 0 {
 		return fmt.Errorf("-crosstraffic %d must be >= 0", *crossN)
+	}
+	if *faultsN < 0 {
+		return fmt.Errorf("-faults %d must be >= 0", *faultsN)
+	}
+	if *crashAt < 0 || *downtime < 0 {
+		return fmt.Errorf("-crashat/-downtime must be >= 0")
+	}
+	if (*crashAt > 0 || *downtime > 0) && *wl != "faults" {
+		return fmt.Errorf("-crashat/-downtime apply to -workload faults only")
 	}
 	qk, err := lab.ParseQdiscKind(*qdisc)
 	if err != nil {
@@ -193,6 +207,9 @@ func run(args []string, w io.Writer) error {
 		if *trials != 1 {
 			return fmt.Errorf("-trials does not apply to -workload loaded")
 		}
+		if *faultsN > 0 {
+			return fmt.Errorf("-faults applies to the fanin workload only")
+		}
 		res, err := core.RunLoadedStudy(core.LoadedOptions{
 			Hosts: *hosts, Requests: *reqs, Size: *size,
 			Qdisc:      cfg.Qdisc,
@@ -201,6 +218,66 @@ func run(args []string, w io.Writer) error {
 			Shards:     *shards,
 			Parallel:   *parallel,
 			BaseSeed:   *seed,
+		})
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			b, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, string(b))
+			return nil
+		}
+		fmt.Fprint(w, res.Render())
+		return nil
+	}
+
+	if *wl == "faults" {
+		// The fault study is self-contained like loaded: the paced
+		// fan-in with a mid-run server crash, once per rival transport,
+		// rendered as a recovery comparison. Knobs it does not consume
+		// are rejected rather than silently dropped.
+		if cfg.Link != lab.LinkATM || cfg.Fabric != lab.FabricHub {
+			return fmt.Errorf("-workload faults runs on the hub ATM fabric")
+		}
+		if *transp != workload.TransportTCP {
+			return fmt.Errorf("-transport does not apply to -workload faults (it always runs both transports)")
+		}
+		if *loss > 0 || *burst > 0 {
+			return fmt.Errorf("-loss/-burstloss do not apply to -workload faults (the fault schedule is the impairment)")
+		}
+		if qk != lab.QdiscNone {
+			return fmt.Errorf("-qdisc does not apply to -workload faults")
+		}
+		if *crossN > 0 {
+			return fmt.Errorf("-crosstraffic does not apply to -workload faults")
+		}
+		if *faultsN > 0 {
+			return fmt.Errorf("-faults applies to the fanin workload only (-workload faults schedules its own crash)")
+		}
+		if *stream != "auto" {
+			return fmt.Errorf("-stream does not apply to -workload faults")
+		}
+		if *stagger >= 0 {
+			return fmt.Errorf("-stagger does not apply to -workload faults")
+		}
+		if *hash || *compare {
+			return fmt.Errorf("-hashpcb/-compare do not apply to -workload faults")
+		}
+		if *trials != 1 {
+			return fmt.Errorf("-trials does not apply to -workload faults")
+		}
+		if *shards > 1 {
+			return fmt.Errorf("-shards does not apply to -workload faults (host crashes mutate cross-shard state; see docs/METHODOLOGY.md)")
+		}
+		res, err := core.RunFaultStudy(core.FaultOptions{
+			Hosts: *hosts, Requests: *reqs, Size: *size,
+			CrashAt:  sim.Time(*crashAt) * sim.Millisecond,
+			Downtime: sim.Time(*downtime) * sim.Millisecond,
+			Parallel: *parallel,
+			BaseSeed: *seed,
 		})
 		if err != nil {
 			return err
@@ -235,7 +312,8 @@ func run(args []string, w io.Writer) error {
 		stag = 0
 	}
 
-	gen, err := makeGenerator(*wl, *size, *reqs, *conns, *bytesN, stCfg, stag, *transp, *crossN)
+	gen, err := makeGenerator(*wl, *size, *reqs, *conns, *bytesN, stCfg, stag, *transp, *crossN,
+		*faultsN, *hosts, *seed)
 	if err != nil {
 		return err
 	}
@@ -304,14 +382,26 @@ func burstGE(pGoodBad float64) sim.GEParams {
 	return sim.GEParams{PGoodBad: pGoodBad, PBadGood: 0.2, LossBad: 0.5}
 }
 
+// flapWindow and flapDowntime shape the -faults link flaps: each flap's
+// start is drawn over the window from the host's own seeded stream, and
+// each outage is short enough that TCP rides it out on retransmission
+// backoff instead of giving up.
+const (
+	flapWindow   = 20 * sim.Millisecond
+	flapDowntime = 500 * sim.Microsecond
+)
+
 // makeGenerator builds the named workload from the command-line knobs.
-func makeGenerator(name string, size, reqs, conns, bytes int, st stats.Config, stagger sim.Time, transport string, crossFlows int) (workload.Generator, error) {
+func makeGenerator(name string, size, reqs, conns, bytes int, st stats.Config, stagger sim.Time, transport string, crossFlows, faults, hosts int, seed uint64) (workload.Generator, error) {
 	if name != "fanin" {
 		if transport == workload.TransportRUDP {
 			return nil, fmt.Errorf("-transport rudp applies to the fanin workload only")
 		}
 		if crossFlows > 0 {
 			return nil, fmt.Errorf("-crosstraffic applies to the fanin and loaded workloads only")
+		}
+		if faults > 0 {
+			return nil, fmt.Errorf("-faults applies to the fanin workload only")
 		}
 	}
 	switch name {
@@ -321,6 +411,16 @@ func makeGenerator(name string, size, reqs, conns, bytes int, st stats.Config, s
 		if crossFlows > 0 {
 			g.Cross = &workload.CrossTraffic{Flows: crossFlows}
 		}
+		if faults > 0 {
+			// The flap schedule derives from the base seed and host
+			// indices alone (per-entity splitmix64 streams), so it is
+			// identical serially and at any -shards level.
+			clients := make([]int, 0, hosts-1)
+			for i := 1; i < hosts; i++ {
+				clients = append(clients, i)
+			}
+			g.Faults = sim.LinkFlaps(seed, clients, faults, flapWindow, flapDowntime)
+		}
 		return g, nil
 	case "churn":
 		return workload.Churn{Conns: conns, Size: size, Stats: st}, nil
@@ -329,5 +429,5 @@ func makeGenerator(name string, size, reqs, conns, bytes int, st stats.Config, s
 	case "echo":
 		return workload.Echo{Size: size, Iterations: reqs}, nil
 	}
-	return nil, fmt.Errorf("unknown workload %q (want fanin, churn, bulk, echo, or loaded)", name)
+	return nil, fmt.Errorf("unknown workload %q (want fanin, churn, bulk, echo, loaded, or faults)", name)
 }

@@ -116,6 +116,30 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-workload", "loaded", "-compare"},
 		{"-workload", "loaded", "-hashpcb"},
 		{"-workload", "loaded", "-trials", "2"},
+		// Fault flags in incompatible workloads, same convention: rejected
+		// rather than silently dropped.
+		{"-faults", "-1"},
+		{"-crashat", "-1"},
+		{"-downtime", "-1"},
+		{"-workload", "fanin", "-crashat", "100"},
+		{"-workload", "fanin", "-downtime", "100"},
+		{"-workload", "loaded", "-faults", "2"},
+		{"-workload", "bulk", "-faults", "1"},
+		{"-workload", "churn", "-faults", "1"},
+		{"-workload", "faults", "-link", "ether"},
+		{"-workload", "faults", "-fabric", "fattree"},
+		{"-workload", "faults", "-transport", "rudp"},
+		{"-workload", "faults", "-loss", "0.001"},
+		{"-workload", "faults", "-burstloss", "0.001"},
+		{"-workload", "faults", "-qdisc", "red"},
+		{"-workload", "faults", "-crosstraffic", "1"},
+		{"-workload", "faults", "-faults", "2"},
+		{"-workload", "faults", "-stream", "on"},
+		{"-workload", "faults", "-stagger", "100"},
+		{"-workload", "faults", "-compare"},
+		{"-workload", "faults", "-hashpcb"},
+		{"-workload", "faults", "-trials", "2"},
+		{"-workload", "faults", "-shards", "2"},
 	} {
 		if err := run(args, &bytes.Buffer{}); err == nil {
 			t.Fatalf("args %v accepted", args)
@@ -136,6 +160,88 @@ func TestRunLoadedText(t *testing.T) {
 	for _, want := range []string{"loaded fan-in", "tcp", "rudp", "Server CPU attribution"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("loaded output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunFaultsText smokes the crash-recovery study end to end through
+// the CLI: both transports under the same seeded crash schedule, with
+// recovery quantiles in the rendered table.
+func TestRunFaultsText(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-workload", "faults", "-hosts", "4", "-reqs", "4",
+		"-crashat", "100", "-downtime", "400"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"crash recovery", "tcp", "rudp", "Rec mean", "Goodput"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("faults output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFaultsParallelBitIdentical pins the fault study's determinism
+// contract: same crash schedule, same seed, byte-identical JSON at any
+// -parallel level.
+func TestFaultsParallelBitIdentical(t *testing.T) {
+	jsonAt := func(workers string) string {
+		var buf bytes.Buffer
+		err := run([]string{"-workload", "faults", "-hosts", "4", "-reqs", "4",
+			"-crashat", "100", "-downtime", "400",
+			"-seed", "7", "-parallel", workers, "-json"}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := jsonAt("1")
+	parallel := jsonAt("2")
+	if serial != parallel {
+		t.Fatal("fault study JSON differs between -parallel 1 and 2")
+	}
+	var res struct {
+		Rows []struct {
+			Transport string
+			Outages   int
+			Errors    int
+		}
+	}
+	if err := json.Unmarshal([]byte(serial), &res); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (tcp and rudp)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Outages == 0 {
+			t.Fatalf("%s: no outages recorded; the crash should sever every client", row.Transport)
+		}
+		if row.Errors != 0 {
+			t.Fatalf("%s: %d errors, want 0", row.Transport, row.Errors)
+		}
+	}
+}
+
+// TestFanInLinkFlapsShardedBitIdentical pins the shard-safe fault
+// subset: a fan-in under seeded link flaps produces byte-identical JSON
+// serial and host-sharded, because each flap flips per-entity state on
+// the entity's owning shard from the host's own splitmix64 stream.
+func TestFanInLinkFlapsShardedBitIdentical(t *testing.T) {
+	jsonAt := func(shards string) string {
+		var buf bytes.Buffer
+		err := run([]string{"-workload", "fanin", "-hosts", "9", "-reqs", "3",
+			"-faults", "2", "-seed", "5", "-json", "-shards", shards}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := jsonAt("0")
+	for _, shards := range []string{"2", "4"} {
+		if sharded := jsonAt(shards); sharded != serial {
+			t.Fatalf("-shards %s: link-flap fan-in JSON diverged from serial", shards)
 		}
 	}
 }

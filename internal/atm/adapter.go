@@ -124,6 +124,13 @@ type Adapter struct {
 	heldGen      uint64 // hold generation, so a stale flush timer no-ops
 	heldFlushFn  func(uint64)
 
+	// down marks the host's access link failed (fault injection): every
+	// arriving cell is dropped at the adapter until the link recovers.
+	// Cells already accepted into the FIFOs stay parked — a link outage
+	// loses wire traffic, not adapter memory — and the disarmed cost is
+	// one boolean test on the receive path.
+	down bool
+
 	// Counters.
 	CellsSent      int64
 	CellsDropped   int64 // lost on the wire or to a full receive FIFO
@@ -131,6 +138,7 @@ type Adapter struct {
 	RxOverflows    int64
 	GEDrops        int64 // subset of CellsDropped killed by the burst-loss chain
 	CellsReordered int64
+	DownDrops      int64 // subset of CellsDropped killed by link down-state
 }
 
 // NewAdapter returns an adapter attached to the given host kernel.
@@ -165,9 +173,19 @@ func (a *Adapter) Reset() {
 	a.ge = sim.GEChain{}
 	a.reorderRate, a.reorderDepth = 0, 0
 	a.heldValid, a.heldLeft = false, 0
+	a.down = false
 	a.CellsSent, a.CellsDropped, a.CellsCorrupted, a.RxOverflows = 0, 0, 0, 0
-	a.GEDrops, a.CellsReordered = 0, 0
+	a.GEDrops, a.CellsReordered, a.DownDrops = 0, 0, 0
 }
+
+// SetDown flips the access link's fault state: while down, every cell
+// arriving over the fiber is dropped before the impairment layer. Both
+// ends of a link go down together (the lab flips the peer adapter or
+// switch port), so the outage is symmetric.
+func (a *Adapter) SetDown(down bool) { a.down = down }
+
+// Down reports the link's fault state.
+func (a *Adapter) Down() bool { return a.down }
 
 // SetImpairments configures the link impairment layer: a Gilbert–Elliott
 // burst-loss chain (p) and bounded reordering (each arriving cell is
@@ -271,6 +289,11 @@ func (a *Adapter) PushTx(c Cell) {
 // surviving cells to the FIFO. With no impairments configured the path
 // is a direct call to accept — byte-identical to an unimpaired adapter.
 func (a *Adapter) receive(c Cell) {
+	if a.down {
+		a.CellsDropped++
+		a.DownDrops++
+		return
+	}
 	if a.ge.Enabled() && a.ge.Drop() {
 		a.CellsDropped++
 		a.GEDrops++

@@ -2,6 +2,7 @@ package atm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cost"
 	"repro/internal/sim"
@@ -274,15 +275,67 @@ func (f *Fabric) teardown(src int, dstAddr uint32) {
 	if !ok {
 		return
 	}
+	f.removeRoute(key, rt)
+}
+
+// removeRoute is teardown's working half, shared with port-failure
+// reclamation: remove every switch entry, refund trunk VCIs, reclaim the
+// destination's reassembly context, forget the route.
+func (f *Fabric) removeRoute(key flowKey, rt *route) {
 	for _, h := range rt.hops {
 		h.sw.RemoveVC(h.port, h.vci)
 		if h.alloc != nil {
 			h.alloc.put(h.vci)
 		}
 	}
-	f.hosts[dst].drv.DropRx(rt.rxVCI)
+	f.hosts[key.dst].drv.DropRx(rt.rxVCI)
 	delete(f.routes, key)
 	f.VCsTornDown++
+}
+
+// HostPort returns host i's access port on its switch (the hub core or
+// its fat-tree leaf).
+func (f *Fabric) HostPort(i int) *Port {
+	h := &f.hosts[i]
+	return h.sw.ports[h.port]
+}
+
+// FailHostPort fails host i's switch access port (fault injection): the
+// port goes down, and every installed VC path with i as source or
+// destination is torn down — switch entries removed, trunk VCIs
+// refunded — exactly as idle-VC reclamation would. Peers recover through
+// the same on-demand machinery: their next retransmission re-requests
+// the path via SetupVC and gets a fresh install once the port is
+// restored. Serial fabrics only; sharded runs reject non-shard-safe
+// fault kinds at scheduling.
+func (f *Fabric) FailHostPort(i int) {
+	if f.plan != nil {
+		panic(fmt.Sprintf("atm: FailHostPort(%d) on a sharded fabric", i))
+	}
+	f.HostPort(i).SetDown(true)
+	keys := make([]flowKey, 0, 8)
+	for k := range f.routes {
+		if k.src == i || k.dst == i {
+			keys = append(keys, k)
+		}
+	}
+	// Map iteration order is random; reclaim in canonical order so VCI
+	// pool refunds (and thus later allocations) stay deterministic.
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].src != keys[b].src {
+			return keys[a].src < keys[b].src
+		}
+		return keys[a].dst < keys[b].dst
+	})
+	for _, k := range keys {
+		f.removeRoute(k, f.routes[k])
+	}
+}
+
+// RestoreHostPort brings a failed access port back; torn-down paths
+// reinstall on demand when traffic next flows.
+func (f *Fabric) RestoreHostPort(i int) {
+	f.HostPort(i).SetDown(false)
 }
 
 // CellDest is a shard-boundary delivery target — the far end of a cut

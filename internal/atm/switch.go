@@ -89,6 +89,8 @@ func (sw *Switch) Reset() {
 		if p.qd != nil {
 			p.qd.Reset()
 		}
+		p.down = false
+		p.DownDrops = 0
 	}
 	sw.CellsSwitched, sw.CellsUnrouted, sw.CellsDropped, sw.HECErrors = 0, 0, 0, 0
 }
@@ -146,10 +148,27 @@ type Port struct {
 	qdServing bool      // link currently clocking a cell out
 	qdInFn    func()
 	qdOutFn   func()
+
+	// down marks the port failed (fault injection): cells arriving over
+	// its fiber are dropped before the VC lookup until recovery. Cells
+	// already committed to the egress queue stay parked and transmit
+	// after recovery — a port failure loses wire traffic, not queue
+	// memory. The disarmed cost is one boolean test per forwarded cell.
+	down bool
+
+	// DownDrops counts cells the down-state discarded.
+	DownDrops int64
 }
 
 // Index returns the port's number on the switch.
 func (p *Port) Index() int { return p.index }
+
+// SetDown flips the port's fault state: while down, cells arriving over
+// the port's fiber are dropped at ingress.
+func (p *Port) SetDown(down bool) { p.down = down }
+
+// Down reports the port's fault state.
+func (p *Port) Down() bool { return p.down }
 
 // SetQdisc installs a queue discipline on the port's egress, replacing
 // the built-in drop-tail depth. Install before traffic flows; nil
@@ -321,6 +340,13 @@ func (p *Port) deliverCell(c Cell) { p.sw.forward(p, c) }
 // queues it on the egress port. The egress link paces cells back to back
 // at the link rate; the fabric adds its fixed latency up front.
 func (sw *Switch) forward(from *Port, c Cell) {
+	if from.down {
+		// Failed ingress: the fiber is dark, the cell never enters the
+		// fabric. (The egress direction of the same outage is dropped at
+		// the far-end adapter's own down flag.)
+		from.DownDrops++
+		return
+	}
 	h, err := ParseHeader(&c)
 	if err != nil {
 		// Header corruption on the ingress fiber: the switch's own HEC

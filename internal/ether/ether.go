@@ -225,6 +225,12 @@ type Adapter struct {
 	ge sim.GEChain
 	// GEDrops counts frames the chain killed.
 	GEDrops int64
+	// down marks the station's drop cable failed (fault injection):
+	// frames neither leave nor arrive until recovery. The disarmed cost
+	// is one boolean test per frame on each path.
+	down bool
+	// DownDrops counts frames the down-state discarded (both directions).
+	DownDrops int64
 }
 
 // SetImpairments configures the Gilbert–Elliott burst-loss chain on this
@@ -263,8 +269,17 @@ func (a *Adapter) Reset() {
 	a.flight = a.flight[:0]
 	a.LossRate = 0
 	a.ge = sim.GEChain{}
-	a.FramesSent, a.FramesRecv, a.Filtered, a.GEDrops = 0, 0, 0, 0
+	a.down = false
+	a.FramesSent, a.FramesRecv, a.Filtered, a.GEDrops, a.DownDrops = 0, 0, 0, 0, 0
 }
+
+// SetDown flips the station's fault state: while down, frames the
+// station transmits die on its drop cable and frames addressed to it are
+// discarded on arrival.
+func (a *Adapter) SetDown(down bool) { a.down = down }
+
+// Down reports the station's fault state.
+func (a *Adapter) Down() bool { return a.down }
 
 // popFrame removes and returns the head of a frame queue, clearing the
 // vacated slot so the array does not retain the frame.
@@ -284,9 +299,16 @@ func (a *Adapter) frameOut() {
 }
 
 // frameIn fires when the frame reaches the far end: hand it to the
-// segment for destination filtering and delivery.
+// segment for destination filtering and delivery. A down station's
+// frames die here — the pacing machinery (and so every wire timestamp)
+// is untouched, only the delivery leg is lost.
 func (a *Adapter) frameIn() {
-	a.seg.deliver(a, popFrame(&a.flight))
+	f := popFrame(&a.flight)
+	if a.down {
+		a.DownDrops++
+		return
+	}
+	a.seg.deliver(a, f)
 }
 
 // Segment returns the broadcast domain the adapter is attached to, or nil.
@@ -329,6 +351,10 @@ func (a *Adapter) Transmit(f Frame) sim.Time {
 // the segment normally routes frames so the filter only fires on
 // misdelivery.
 func (a *Adapter) receive(f Frame) {
+	if a.down {
+		a.DownDrops++
+		return
+	}
 	if len(f) >= 6 {
 		var dst [6]byte
 		copy(dst[:], f[0:6])

@@ -37,6 +37,12 @@ type Kernel struct {
 
 	busyUntil sim.Time
 
+	// NoSbCompress disables sock.Buffer's sbcompress coalescing,
+	// restoring the pre-fix behaviour where every sub-MSS write stays its
+	// own mbuf and TCP output pays mcopy's per-mbuf charge for each (the
+	// ROADMAP 3b livelock). Only the watchdog revert-guard tests set it.
+	NoSbCompress bool
+
 	// wakeFn charges the scheduler's wakeup path when a process sleeping
 	// via SleepOn resumes; bound once so arming it allocates nothing.
 	wakeFn func(*sim.Proc) bool
@@ -68,6 +74,7 @@ func New(env *sim.Env, model *cost.Model, name string) *Kernel {
 func (k *Kernel) Reset(model *cost.Model) {
 	k.Cost = model
 	k.busyUntil = 0
+	k.NoSbCompress = false
 	k.Trace.Reset()
 	k.Trace.Disable()
 	k.Pool.Reset()

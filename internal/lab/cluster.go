@@ -480,6 +480,13 @@ func (c *Cluster) Run() {
 	next := make([]sim.Time, nShards)
 	for {
 		c.applyStaged()
+		if c.Lab.wd != nil && c.Lab.wd.Fired() {
+			// A fired watchdog makes every shard's RunWindow return
+			// without retiring events; without this break the barrier
+			// loop would spin through empty rounds forever — the very
+			// hang the watchdog exists to prevent.
+			break
+		}
 		if !c.nextTimes(next) {
 			break // every heap empty, nothing staged: the run is done
 		}
@@ -636,6 +643,8 @@ func (c *Cluster) Reset(cfg Config, seed uint64) error {
 		c.pending[s] = c.pending[s][:0]
 	}
 	l.eventsSince = 0
+	l.faultState = nil
+	l.wd = nil
 	l.Config = cfg
 	return nil
 }

@@ -189,6 +189,12 @@ type Lab struct {
 	// after it — the sharded echo run's substitute for flipping remote
 	// recorders on exactly at the warmup boundary.
 	eventsSince sim.Time
+
+	// faultState is the fault tier's outage bookkeeping (fault.go),
+	// allocated on first use; nil on the unfaulted hot path.
+	faultState *faultState
+	// wd is the armed no-progress watchdog, nil when disarmed.
+	wd *sim.Watchdog
 }
 
 // FabricKind selects the ATM switch arrangement (see atm.FabricKind).
@@ -362,6 +368,8 @@ func (l *Lab) Reset(cfg Config, seed uint64) error {
 	}
 	applyImpairments(l, cfg)
 	l.eventsSince = 0
+	l.faultState = nil // outage refcounts and hooks are per-trial
+	l.wd = nil
 	l.Config = cfg
 	return nil
 }

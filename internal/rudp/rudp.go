@@ -1,12 +1,18 @@
 package rudp
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/kern"
 	"repro/internal/sim"
 	"repro/internal/udp"
 )
+
+// ErrCrashed fails the parked Accepts of an endpoint that suffered a
+// simulated kernel crash (Endpoint.Crash).
+var ErrCrashed = errors.New("rudp: host crashed")
 
 const (
 	// MaxMessage is the largest message Send accepts: one message rides
@@ -56,9 +62,15 @@ type Endpoint struct {
 	listening bool
 	backlog   []*Conn
 	acceptWq  *sim.WaitQueue
+	err       error // set when the endpoint dies (host crash); fails Accepts
 
 	due    []func(p *sim.Proc)
 	workWq *sim.WaitQueue
+
+	// DisableGiveUp removes the maxRexmtShift abort, restoring the
+	// historical probe-forever behaviour for the watchdog revert-guard
+	// tests (the TCP stack has the same knob).
+	DisableGiveUp bool
 
 	// Stats.
 	PacketsIn   int64
@@ -134,8 +146,10 @@ type AcceptOp struct {
 	e  *Endpoint
 	pc int
 
-	// C is the accepted connection, valid once the frame returns.
-	C *Conn
+	// C is the accepted connection, valid once the frame returns; Err is
+	// set instead when the endpoint died (host crash) while waiting.
+	C   *Conn
+	Err error
 }
 
 // Step waits for the backlog to fill.
@@ -143,6 +157,11 @@ func (f *AcceptOp) Step(p *sim.Proc) {
 	for {
 		switch f.pc {
 		case 0:
+			if f.e.err != nil {
+				f.Err = f.e.err
+				p.Return()
+				return
+			}
 			if len(f.e.backlog) == 0 {
 				f.e.K.SleepOn(p, f.e.acceptWq)
 				return
@@ -156,6 +175,39 @@ func (f *AcceptOp) Step(p *sim.Proc) {
 			return
 		}
 	}
+}
+
+// Crash simulates a kernel crash: every stream aborts locally (blocked
+// senders and receivers wake and unwind), parked Accepts fail with
+// ErrCrashed, deferred timer work dies with the kernel, and the UDP
+// port unbinds so a restarted application can Listen on it again.
+// Nothing is transmitted; peers discover the death through their own
+// timers, like the TCP stack's Crash.
+func (e *Endpoint) Crash() {
+	keys := make([]connKey, 0, len(e.conns))
+	for k := range e.conns {
+		keys = append(keys, k)
+	}
+	// The conns map iterates in random order; aborts wake processes in
+	// wake-queue order, so a deterministic crash sorts first.
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].addr != keys[j].addr {
+			return keys[i].addr < keys[j].addr
+		}
+		return keys[i].port < keys[j].port
+	})
+	for _, k := range keys {
+		e.conns[k].abort()
+	}
+	clear(e.conns)
+	e.backlog = nil
+	e.err = ErrCrashed
+	e.acceptWq.WakeAll()
+	for i := range e.due {
+		e.due[i] = nil
+	}
+	e.due = e.due[:0]
+	e.ep.Close()
 }
 
 // dispatch queues deferred work (a timer's retransmission) for the work
@@ -296,18 +348,29 @@ func (c *Conn) rexmtFire(p *sim.Proc) {
 		return
 	}
 	if c.rexmtShift >= maxRexmtShift {
-		// Give up, like TCP past TCP_MAXRXTSHIFT: the peer is
-		// unreachable or its endpoint is gone (datagrams to a vanished
-		// peer vanish silently), so abandoning the window is the only
-		// exit — retransmitting forever at maxRTO never drains.
-		c.abort()
-		return
+		if !c.e.DisableGiveUp {
+			// Give up, like TCP past TCP_MAXRXTSHIFT: the peer is
+			// unreachable or its endpoint is gone (datagrams to a
+			// vanished peer vanish silently), so abandoning the window
+			// is the only exit — retransmitting forever at maxRTO never
+			// drains.
+			c.abort()
+			return
+		}
+		// Revert-guard behaviour: probe forever at maxRTO; the shift
+		// stays pinned so rto() keeps saturating.
+	} else {
+		c.rexmtShift++
 	}
-	c.rexmtShift++
 	c.rtTiming = false
 	c.setRexmt()
 	p.Call(&rexmtAllFrame{c: c})
 }
+
+// Abort abandons the stream immediately and locally, as an application
+// deadline would: nothing is transmitted, so the peer discovers the
+// death only through its own retransmission timers.
+func (c *Conn) Abort() { c.abort() }
 
 // abort abandons the stream after retransmission give-up: the unacked
 // window is discarded, the timer cancelled, and both directions wake —

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/lab"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -68,6 +69,12 @@ func TestShardedBitIdentityMatrix(t *testing.T) {
 		// and contend for the server egress, the case that forces
 		// equal-time cut arrivals staged in different barrier rounds.
 		workload.FanIn{Requests: 4, Cross: &workload.CrossTraffic{Flows: 2, Transfers: 2, MaxBytes: 32768}},
+		// Link flaps ride the fan-in: the shard-safe fault subset flips
+		// per-host adapter state on the host's owning shard and the
+		// matching port state on the port's owner, mid-run retransmission
+		// recovery included, and must not perturb bit identity.
+		workload.FanIn{Requests: 4,
+			Faults: sim.LinkFlaps(1994, []int{1, 2, 3}, 2, 20*sim.Millisecond, 500*sim.Microsecond)},
 	}
 	for _, fab := range fabrics {
 		for _, gen := range gens {

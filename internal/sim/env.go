@@ -3,7 +3,11 @@
 // effect on simulated time.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // event is a scheduled callback. Events with equal timestamps fire in the
 // order they were scheduled (seq breaks ties), which keeps runs
@@ -114,6 +118,13 @@ type Env struct {
 	// to the conservative-lookahead safe time each round, so events that
 	// a cross-shard message could still precede stay pending.
 	horizon Time
+
+	// wd, when non-nil, is the no-progress watchdog polled by Step. The
+	// disarmed cost is one pointer comparison per event; armed, the poll
+	// runs only when the clock reaches wdNext, so the per-event cost stays
+	// one extra Time comparison. Cluster shards may share one Watchdog.
+	wd     *Watchdog
+	wdNext Time
 }
 
 // NewEnv returns a fresh simulation environment with its clock at zero
@@ -143,6 +154,8 @@ func (e *Env) Reset() {
 	e.seq = 0
 	e.rng = NewRNG(1)
 	e.horizon = MaxTime
+	e.wd = nil
+	e.wdNext = 0
 }
 
 // RNG returns the environment's random number generator.
@@ -197,10 +210,19 @@ func (e *Env) AfterArg(d Time, name string, fn func(uint64), arg uint64) {
 }
 
 // Step runs the next pending event, advancing the clock to its timestamp.
-// It reports whether an event was run.
+// It reports whether an event was run. With a watchdog armed, Step
+// refuses to run further events once the watchdog fires, so every run
+// loop built on Step (Run, RunUntil, RunWindow) stops instead of
+// executing a livelocked simulation forever.
 func (e *Env) Step() bool {
 	if len(e.events) == 0 {
 		return false
+	}
+	if e.wd != nil && e.events[0].at >= e.wdNext {
+		if e.wd.check(e, e.events[0].at) {
+			return false
+		}
+		e.wdNext = e.events[0].at + e.wd.pollEvery()
 	}
 	ev := e.events.pop()
 	e.now = ev.at
@@ -222,7 +244,9 @@ func (e *Env) Run() {
 // advances the clock to the deadline. Later events remain pending.
 func (e *Env) RunUntil(deadline Time) {
 	for len(e.events) > 0 && e.events[0].at <= deadline {
-		e.Step()
+		if !e.Step() {
+			return // watchdog fired: leave the clock where it stopped
+		}
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -258,6 +282,58 @@ func (e *Env) NextEventAt() (Time, bool) {
 // stay where the last executed event left it.
 func (e *Env) RunWindow() {
 	for len(e.events) > 0 && e.events[0].at < e.horizon {
-		e.Step()
+		if !e.Step() {
+			return // watchdog fired: the coordinator surfaces the abort
+		}
 	}
+}
+
+// SetWatchdog arms the no-progress watchdog (nil disarms). Sharded
+// execution arms every shard's environment with the same Watchdog, whose
+// internal lock makes the shared state safe across worker goroutines.
+func (e *Env) SetWatchdog(w *Watchdog) {
+	e.wd = w
+	e.wdNext = 0
+}
+
+// WatchdogErr returns the armed watchdog's abort diagnostic, or nil if
+// no watchdog is armed or it has not fired.
+func (e *Env) WatchdogErr() error {
+	if e.wd == nil {
+		return nil
+	}
+	return e.wd.Err()
+}
+
+// PendingSummary returns a histogram of pending event names — at most
+// max entries, most frequent first — for watchdog diagnostics: a
+// livelocked run's heap is typically thousands of copies of the same few
+// timer events, and naming them identifies the spinning subsystem.
+func (e *Env) PendingSummary(max int) string {
+	counts := make(map[string]int)
+	for i := range e.events {
+		counts[e.events[i].name]++
+	}
+	type entry struct {
+		name string
+		n    int
+	}
+	ordered := make([]entry, 0, len(counts))
+	for name, n := range counts {
+		ordered = append(ordered, entry{name, n})
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].n != ordered[j].n {
+			return ordered[i].n > ordered[j].n
+		}
+		return ordered[i].name < ordered[j].name
+	})
+	if len(ordered) > max {
+		ordered = ordered[:max]
+	}
+	parts := make([]string, len(ordered))
+	for i, en := range ordered {
+		parts[i] = fmt.Sprintf("%s×%d", en.name, en.n)
+	}
+	return strings.Join(parts, " ")
 }

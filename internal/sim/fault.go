@@ -1,5 +1,153 @@
 package sim
 
+import (
+	"fmt"
+	"sort"
+)
+
+// FaultKind names one deterministic fault-injection action. Link flips
+// are the shard-safe subset: they flip per-entity down flags read only
+// by the entity's owning shard, so a schedule of flips runs bit-identical
+// serial and host-sharded. Port failures and host crashes mutate shared
+// fabric and stack state and are applied to serial runs only.
+type FaultKind uint8
+
+const (
+	// FaultLinkDown drops every cell or frame arriving at the target
+	// host's access link (both directions) until FaultLinkUp.
+	FaultLinkDown FaultKind = iota
+	// FaultLinkUp restores the target host's access link and, after a
+	// FaultPortFail, its switch port.
+	FaultLinkUp
+	// FaultPortFail fails the target host's switch access port: the
+	// link goes down and every VC routed through the port is torn down,
+	// so recovery re-routes through on-demand VC setup. FaultLinkUp
+	// restores the port.
+	FaultPortFail
+	// FaultHostCrash resets the target host's transport stacks mid-run —
+	// PCBs, listeners, and in-flight retransmission state are lost, as
+	// with a kernel crash — and takes the access link down.
+	FaultHostCrash
+	// FaultHostRestart brings a crashed host's link back up; the stack
+	// restarts empty and applications must re-listen and reconnect.
+	FaultHostRestart
+)
+
+// String names the kind for diagnostics.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLinkDown:
+		return "link-down"
+	case FaultLinkUp:
+		return "link-up"
+	case FaultPortFail:
+		return "port-fail"
+	case FaultHostCrash:
+		return "host-crash"
+	case FaultHostRestart:
+		return "host-restart"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// ShardSafe reports whether the kind may run under host-sharded
+// execution.
+func (k FaultKind) ShardSafe() bool {
+	return k == FaultLinkDown || k == FaultLinkUp
+}
+
+// FaultEvent is one scheduled one-shot fault: at virtual time At, apply
+// Kind to Host's entity (its access link, switch port, or stack).
+type FaultEvent struct {
+	At   Time
+	Kind FaultKind
+	Host int
+}
+
+// FaultSchedule is a deterministic fault-injection plan: a set of timed
+// one-shot events applied to a topology at the start of a run. The
+// schedule is plain data — it draws nothing from the simulation's serial
+// RNG stream, so an identical schedule replays identically at any shard
+// count (for the shard-safe kinds) and perturbs no other random draw.
+type FaultSchedule []FaultEvent
+
+// Validate checks every event targets a host in [0, hosts) at a
+// non-negative time.
+func (s FaultSchedule) Validate(hosts int) error {
+	for _, ev := range s {
+		if ev.Host < 0 || ev.Host >= hosts {
+			return fmt.Errorf("sim: fault %s targets host %d of %d", ev.Kind, ev.Host, hosts)
+		}
+		if ev.At < 0 {
+			return fmt.Errorf("sim: fault %s at negative time %v", ev.Kind, ev.At)
+		}
+	}
+	return nil
+}
+
+// ShardSafe reports whether every event in the schedule may run
+// host-sharded.
+func (s FaultSchedule) ShardSafe() bool {
+	for _, ev := range s {
+		if !ev.Kind.ShardSafe() {
+			return false
+		}
+	}
+	return true
+}
+
+// CrashSchedule is the canonical recovery-study plan: host crashes at
+// `at` and restarts after `downtime`.
+func CrashSchedule(host int, at, downtime Time) FaultSchedule {
+	return FaultSchedule{
+		{At: at, Kind: FaultHostCrash, Host: host},
+		{At: at + downtime, Kind: FaultHostRestart, Host: host},
+	}
+}
+
+// faultStreamSeed derives host h's private fault RNG seed from the base
+// seed with a splitmix64 finalizer — the same per-entity stream
+// construction the qdisc and impairment layers use, and for the same
+// reason: draws for one entity never consume another entity's stream or
+// the shared serial stream, so the schedule is shard-compatible and
+// adding an entity leaves every other entity's draws unchanged.
+func faultStreamSeed(base uint64, h int) uint64 {
+	z := base + 0x9E3779B97F4A7C15*(uint64(h)+0x5EED_FA01)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// LinkFlaps builds a shard-safe schedule of random link flaps: each
+// listed host flaps `flaps` times, with down times drawn uniformly over
+// [0, window) from the host's own splitmix64-derived stream and each
+// outage lasting `downtime`. Same base seed, same hosts ⇒ same schedule,
+// at any shard count.
+func LinkFlaps(base uint64, hosts []int, flaps int, window, downtime Time) FaultSchedule {
+	var s FaultSchedule
+	for _, h := range hosts {
+		rng := NewRNG(faultStreamSeed(base, h))
+		for k := 0; k < flaps; k++ {
+			at := Time(rng.Float64() * float64(window))
+			s = append(s, FaultEvent{At: at, Kind: FaultLinkDown, Host: h},
+				FaultEvent{At: at + downtime, Kind: FaultLinkUp, Host: h})
+		}
+	}
+	// Canonical order: by time, then host, then kind — so the schedule's
+	// application order (and thus equal-time event sequencing) does not
+	// depend on construction order.
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].At != s[j].At {
+			return s[i].At < s[j].At
+		}
+		if s[i].Host != s[j].Host {
+			return s[i].Host < s[j].Host
+		}
+		return s[i].Kind < s[j].Kind
+	})
+	return s
+}
+
 // GEParams configures a Gilbert–Elliott two-state burst-loss chain: a
 // link alternates between a Good and a Bad state with per-step
 // transition probabilities, and each transmission unit (cell, frame) is

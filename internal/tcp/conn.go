@@ -64,6 +64,14 @@ var ErrReset = errors.New("tcp: connection reset by peer")
 // from tcp_timers).
 var ErrTimeout = errors.New("tcp: connection timed out")
 
+// ErrAborted is delivered to a socket whose application tore the
+// connection down with Conn.Abort — a local deadline, not a peer event.
+var ErrAborted = errors.New("tcp: connection aborted")
+
+// ErrCrashed is delivered to every socket of a stack that suffered a
+// simulated kernel crash (Stack.Crash).
+var ErrCrashed = errors.New("tcp: host crashed")
+
 // maxRexmtShift plays BSD's TCP_MAXRXTSHIFT: the number of consecutive
 // backed-off retransmissions after which the connection is dropped
 // rather than probed forever — without it, a FIN whose peer's PCB has
@@ -179,6 +187,38 @@ func (c *Conn) ChecksumEliminated() bool { return c.cksumOff }
 // SRTT returns the smoothed round-trip estimate (0 before any sample).
 func (c *Conn) SRTT() sim.Time { return c.srtt }
 
+// RexmtShift returns the current retransmission backoff shift, for the
+// watchdog's stuck-connection diagnostics.
+func (c *Conn) RexmtShift() uint { return c.rexmtShift }
+
+// Abort tears the connection down immediately and locally, as an
+// application deadline would: timers disarmed, PCB removed, the socket
+// poisoned with ErrAborted. Nothing is transmitted — this stack never
+// sends RSTs — so the peer discovers the death only through its own
+// retransmission timers, exactly as across a real host failure.
+func (c *Conn) Abort() { c.abortWith(ErrAborted) }
+
+// abortWith is the shared local-teardown path behind Abort and
+// Stack.Crash. Unlike drop alone it also disarms the delayed-ACK state:
+// delackFire does not check for StateClosed, so a pending delayed ACK
+// left armed would transmit from a connection that no longer exists.
+func (c *Conn) abortWith(err error) {
+	if c.state == StateClosed {
+		return
+	}
+	c.flagDelAck = false
+	c.delackGen++
+	// The reassembly queue is connection-internal — no parked operation
+	// holds cursors into it the way socket buffers are held mid-copy —
+	// so its segments free immediately. The socket buffers themselves
+	// are reaped later (Stack.ReapCrashed, or the aborting client).
+	for _, seg := range c.reass {
+		c.K.Pool.Free(seg.m)
+	}
+	c.reass = nil
+	c.drop(err)
+}
+
 // SetNoDelay disables the Nagle algorithm, as TCP_NODELAY does.
 func (c *Conn) SetNoDelay(v bool) { c.noDelay = v }
 
@@ -286,10 +326,16 @@ func (c *Conn) rexmtFire(p *sim.Proc) {
 	}
 	c.S.Stats.Retransmits++
 	if c.rexmtShift >= maxRexmtShift {
-		c.drop(ErrTimeout)
-		return
+		if !c.S.DisableGiveUp {
+			c.drop(ErrTimeout)
+			return
+		}
+		// Pre-give-up behaviour, kept for the revert-guard tests: probe
+		// at maxRTO forever and let the watchdog be the backstop. The
+		// shift stays pinned at maxRexmtShift so rto() keeps saturating.
+	} else {
+		c.rexmtShift++
 	}
-	c.rexmtShift++
 	flight := c.sndMax.Diff(c.sndUna)
 	half := min2(flight, c.sndWnd) / 2
 	if half < 2*c.mss {

@@ -57,6 +57,13 @@ type Stack struct {
 	// serialize large transfers behind window updates).
 	SockBuf int
 
+	// DisableGiveUp removes the maxRexmtShift drop, restoring the
+	// historical behaviour where a connection whose peer silently
+	// vanished retransmits forever. Only the watchdog revert-guard
+	// tests set it: they prove the no-progress watchdog converts that
+	// livelock into a failing run with a diagnostic.
+	DisableGiveUp bool
+
 	Stats Stats
 
 	listeners map[uint16]*Listener
@@ -67,6 +74,10 @@ type Stack struct {
 	// stack's service process, which can block on driver FIFOs.
 	due   []func(p *sim.Proc)
 	workQ *sim.WaitQueue
+
+	// crashed holds the connections dropped by Crash until ReapCrashed
+	// can safely return their buffered mbuf chains to the pool.
+	crashed []*Conn
 
 	inOp *inputOp // cached input frame (nil while in use)
 }
@@ -107,10 +118,59 @@ func (s *Stack) Reset() {
 	s.PredictionEnabled = true
 	s.Mode = cost.ChecksumStandard
 	s.SockBuf = 0
+	s.DisableGiveUp = false
 	for i := range s.due {
 		s.due[i] = nil
 	}
 	s.due = s.due[:0]
+	s.ReapCrashed()
+}
+
+// Crash simulates a kernel crash mid-run: every connection's PCB and
+// timer state is discarded locally — no FIN, no RST, the peer learns
+// nothing until its own timers fire — every listener closes (parked
+// Accepts fail with ErrCrashed), and deferred timer work dies with the
+// kernel. Sockets are poisoned with ErrCrashed so blocked readers and
+// writers wake and unwind. The dropped connections' buffered mbuf
+// chains are NOT freed here: a reader or writer parked mid-copy still
+// holds a cursor into them, so the sweep is deferred to ReapCrashed,
+// which the lab runs at host restart (microseconds after the crash
+// every such op has resumed and unwound; restarts come seconds later).
+func (s *Stack) Crash() {
+	for _, ent := range s.Table.Entries() {
+		switch owner := ent.Owner.(type) {
+		case *Conn:
+			owner.abortWith(ErrCrashed)
+			s.crashed = append(s.crashed, owner)
+		case *Listener:
+			owner.err = ErrCrashed
+			owner.backlog = nil // the embryonic conns are dropped above
+			s.Table.Remove(ent)
+			owner.wq.WakeAll()
+		default:
+			panic("tcp: unknown PCB owner")
+		}
+	}
+	clear(s.listeners)
+	for i := range s.due {
+		s.due[i] = nil
+	}
+	s.due = s.due[:0]
+}
+
+// ReapCrashed frees the socket buffers of connections dropped by Crash
+// (their reassembly queues were freed at abort), returning the mbufs to
+// the pool so a crash trial stays leak-free under the Config.CheckLeaks
+// gate. Callers must invoke it only once every operation blocked on a
+// crashed socket has unwound — at host restart, or at stack Reset.
+func (s *Stack) ReapCrashed() {
+	for i, c := range s.crashed {
+		so := c.so
+		so.Snd.Drop(so.Snd.Len())
+		so.Rcv.Drop(so.Rcv.Len())
+		s.crashed[i] = nil
+	}
+	s.crashed = s.crashed[:0]
 }
 
 // dispatch queues protocol work for the service process. Timer events use
@@ -242,6 +302,17 @@ func (f *ConnectOp) Step(p *sim.Proc) {
 	}
 }
 
+// Abort cancels an in-flight connect: the half-open connection is torn
+// down and the op completes with ErrAborted. A no-op before the op
+// starts or once establishment has completed either way. It is how a
+// client bounds connection setup with its own deadline — the SYN
+// retransmission schedule alone takes minutes to give up.
+func (f *ConnectOp) Abort() {
+	if f.c != nil && !f.c.so.Connected && f.c.so.Err == nil {
+		f.c.abortWith(ErrAborted)
+	}
+}
+
 // InsertIdlePCB inserts a synthetic inactive connection into the
 // demultiplexing table. The §3 experiments use it to control the PCB list
 // length the lookup must search, standing in for the paper's population of
@@ -265,6 +336,7 @@ type Listener struct {
 	pcbEnt  *pcb.PCB
 	backlog []*Conn
 	wq      *sim.WaitQueue
+	err     error // set when the listener dies (host crash); fails Accepts
 }
 
 // Listen starts accepting connections on port.
@@ -298,13 +370,20 @@ func (l *Listener) Accept(p *sim.Proc) *AcceptOp {
 type AcceptOp struct {
 	l *Listener
 
-	// Results, valid once the op returns.
-	So *sock.Socket
-	C  *Conn
+	// Results, valid once the op returns: So/C on success, Err when the
+	// listener died (host crash) before a connection arrived.
+	So  *sock.Socket
+	C   *Conn
+	Err error
 }
 
 func (f *AcceptOp) Step(p *sim.Proc) {
 	l := f.l
+	if l.err != nil {
+		f.Err = l.err
+		p.Return()
+		return
+	}
 	if len(l.backlog) == 0 {
 		l.wq.Wait(p)
 		return

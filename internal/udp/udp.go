@@ -144,6 +144,16 @@ func (s *Stack) Bind(port uint16) (*Endpoint, error) {
 // Port returns the endpoint's bound port.
 func (e *Endpoint) Port() uint16 { return e.port }
 
+// Close releases the endpoint's port binding and discards queued
+// datagrams, so the port can be bound again (a crashed server's restart
+// re-Listens on the same port). Parked receivers are not woken — a
+// closed endpoint's service process simply never runs again — and later
+// arrivals for the port drop like any unbound port's.
+func (e *Endpoint) Close() {
+	delete(e.s.ports, e.port)
+	e.q = nil
+}
+
 // SendTo transmits one datagram as a frame call (tail position). The
 // cost structure mirrors the TCP output path minus connection state:
 // syscall + copyin under the User row, checksum under TCP.checksum (the

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/lab"
+	"repro/internal/sim"
+)
+
+// faultCfg is the fault-study test topology: a routed hub fabric (so
+// the crash exercises the switch-port down path too) with the leak gate
+// armed — a crash trial must strand no mbuf chains.
+func faultCfg(seed uint64) lab.Config {
+	return lab.Config{Link: lab.LinkATM, Seed: seed, CheckLeaks: true}
+}
+
+// runFaults runs one fault-recovery trial and asserts the shared
+// invariants: every request eventually completed, no payload
+// corruption, and at least one client recorded a recovery sample.
+func runFaults(t *testing.T, g FaultRecovery, seed uint64) (*Result, *lab.Lab) {
+	t.Helper()
+	l := lab.NewTopology(faultCfg(seed), 5)
+	r, err := g.Run(l)
+	if err != nil {
+		t.Fatalf("FaultRecovery.Run: %v", err)
+	}
+	clients := 4
+	if want := clients * g.withDefaults().Requests; r.Requests != want {
+		t.Fatalf("Requests = %d, want %d", r.Requests, want)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0", r.Errors)
+	}
+	if len(r.Recoveries) == 0 {
+		t.Fatalf("no recovery samples; the crash should have severed every client")
+	}
+	for _, rec := range r.Recoveries {
+		if rec <= 0 {
+			t.Fatalf("non-positive recovery sample %v", rec)
+		}
+	}
+	return r, l
+}
+
+// TestFaultRecoveryTCP pins the TCP crash trial: clients survive the
+// server crash, record recoveries, and leave the lab leak-free (the
+// Reset below runs under the CheckLeaks gate).
+func TestFaultRecoveryTCP(t *testing.T) {
+	g := FaultRecovery{Requests: 8, Interval: 100 * sim.Millisecond,
+		CrashAt: 250 * sim.Millisecond, Downtime: sim.Second}
+	_, l := runFaults(t, g, 1)
+	if err := l.Reset(faultCfg(1), 0); err != nil {
+		t.Fatalf("leak-gated reset after crash trial: %v", err)
+	}
+}
+
+// TestFaultRecoveryRUDP is the same trial on the rival transport.
+func TestFaultRecoveryRUDP(t *testing.T) {
+	g := FaultRecovery{Transport: TransportRUDP, Requests: 8,
+		Interval: 100 * sim.Millisecond,
+		CrashAt:  250 * sim.Millisecond, Downtime: sim.Second}
+	_, l := runFaults(t, g, 1)
+	if err := l.Reset(faultCfg(1), 0); err != nil {
+		t.Fatalf("leak-gated reset after crash trial: %v", err)
+	}
+}
+
+// TestFaultRecoveryDeterministic pins run-to-run determinism of the
+// crash trial: same schedule, same seed, byte-identical latencies and
+// recovery samples.
+func TestFaultRecoveryDeterministic(t *testing.T) {
+	for _, tr := range []string{TransportTCP, TransportRUDP} {
+		g := FaultRecovery{Transport: tr, Requests: 6,
+			Interval: 100 * sim.Millisecond,
+			CrashAt:  250 * sim.Millisecond, Downtime: sim.Second}
+		a, _ := runFaults(t, g, 7)
+		b, _ := runFaults(t, g, 7)
+		if len(a.Latencies) != len(b.Latencies) {
+			t.Fatalf("%s: latency counts differ: %d vs %d", tr, len(a.Latencies), len(b.Latencies))
+		}
+		for i := range a.Latencies {
+			if a.Latencies[i] != b.Latencies[i] {
+				t.Fatalf("%s: latency %d differs: %v vs %v", tr, i, a.Latencies[i], b.Latencies[i])
+			}
+		}
+		if len(a.Recoveries) != len(b.Recoveries) {
+			t.Fatalf("%s: recovery counts differ: %d vs %d", tr, len(a.Recoveries), len(b.Recoveries))
+		}
+		for i := range a.Recoveries {
+			if a.Recoveries[i] != b.Recoveries[i] {
+				t.Fatalf("%s: recovery %d differs: %v vs %v", tr, i, a.Recoveries[i], b.Recoveries[i])
+			}
+		}
+	}
+}

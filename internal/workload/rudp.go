@@ -61,6 +61,12 @@ func (f *rudpAcceptLoopFrame) Step(p *sim.Proc) {
 			f.op = f.e.Accept(p)
 			return
 		case 1: // spawn its echo server
+			if f.op.Err != nil {
+				// The endpoint died under the accept (host crash); the
+				// restart supervisor spawns the successor loop.
+				p.Return()
+				return
+			}
 			c := f.op.C
 			f.op = nil
 			f.env.Spawn(fmt.Sprintf("server.fanin.rconn%d", f.i),

@@ -184,6 +184,12 @@ func runFanInSharded(g FanIn, c *lab.Cluster) (*Result, error) {
 	r := &Result{Workload: "fanin"}
 	server := &shardParticipant{}
 
+	if len(g.Faults) > 0 {
+		if err := c.ScheduleFaults(g.Faults); err != nil {
+			return nil, err
+		}
+	}
+	wd := armClusterWatchdog(c)
 	startTrace(l)
 	if g.Transport == TransportRUDP {
 		e, err := rudp.Listen(l.Hosts[0].Kern, l.Hosts[0].UDP, Port)
@@ -227,6 +233,7 @@ func runFanInSharded(g FanIn, c *lab.Cluster) (*Result, error) {
 	for ci := 0; ci < clients; ci++ {
 		env := c.EnvOf(ci + 1)
 		sp := &shardParticipant{sink: newShardSink(g.Stats.Streaming)}
+		sp.sink.wd = wd
 		parts[ci] = sp
 		if g.Transport == TransportRUDP {
 			env.Spawn(fmt.Sprintf("client%d.fanin", ci), &rudpFanInClientFrame{
@@ -250,6 +257,9 @@ func runFanInSharded(g FanIn, c *lab.Cluster) (*Result, error) {
 	if err := firstError(server, crossParts); err != nil {
 		return nil, err
 	}
+	if err := wd.Err(); err != nil {
+		return nil, err
+	}
 	if err := mergeShardSinks(r, parts, reqs, "requests", g.Stats); err != nil {
 		return nil, err
 	}
@@ -267,6 +277,7 @@ func runChurnSharded(g Churn, c *lab.Cluster) (*Result, error) {
 	r := &Result{Workload: "churn"}
 	server := &shardParticipant{}
 
+	wd := armClusterWatchdog(c)
 	startTrace(l)
 	ln, err := l.Hosts[0].TCP.Listen(Port)
 	if err != nil {
@@ -286,6 +297,7 @@ func runChurnSharded(g Churn, c *lab.Cluster) (*Result, error) {
 	for ci := 0; ci < clients; ci++ {
 		env := c.EnvOf(ci + 1)
 		sp := &shardParticipant{sink: newShardSink(g.Stats.Streaming)}
+		sp.sink.wd = wd
 		parts[ci] = sp
 		env.Spawn(fmt.Sprintf("client%d.churn", ci), &churnClientFrame{
 			host: l.Hosts[ci+1], ci: ci, si: 0, size: size, conns: conns,
@@ -295,6 +307,9 @@ func runChurnSharded(g Churn, c *lab.Cluster) (*Result, error) {
 
 	c.Run()
 	if err := firstError(server, parts); err != nil {
+		return nil, err
+	}
+	if err := wd.Err(); err != nil {
 		return nil, err
 	}
 	if err := mergeShardSinks(r, parts, conns, "cycles", g.Stats); err != nil {
@@ -323,6 +338,7 @@ func runBulkSharded(g Bulk, c *lab.Cluster) (*Result, error) {
 	dones := make([]sim.Time, clients)
 	received := make([]int, clients)
 
+	wd := armClusterWatchdog(c)
 	startTrace(l)
 	ln, err := l.Hosts[0].TCP.Listen(Port)
 	if err != nil {
@@ -339,7 +355,7 @@ func runBulkSharded(g Bulk, c *lab.Cluster) (*Result, error) {
 			}
 			l.Env.Spawn(fmt.Sprintf("server.bulk.conn%d", i),
 				&bulkConnFrame{so: op.So, i: i, dones: dones,
-					received: received, fail: serverFail})
+					received: received, fail: serverFail, wd: wd})
 			return true
 		},
 	})
@@ -357,6 +373,9 @@ func runBulkSharded(g Bulk, c *lab.Cluster) (*Result, error) {
 
 	c.Run()
 	if err := firstError(server, parts); err != nil {
+		return nil, err
+	}
+	if err := wd.Err(); err != nil {
 		return nil, err
 	}
 	var last sim.Time

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lab"
+	"repro/internal/sim"
+)
+
+// These are the watchdog revert-guard tests: they re-create the two
+// configurations that historically hung the suite — by reverting the
+// fixes via the DisableGiveUp / NoSbCompress knobs — and assert the
+// no-progress watchdog converts each livelock into a failing run whose
+// diagnostic names the stuck connections, instead of a run that never
+// returns. If a future change reintroduces either livelock with the
+// fixes nominally in place, the same watchdog (armed by default in
+// every generator) fails the affected test with the same diagnostic.
+
+// disableGiveUp reverts every host to the historical
+// retransmit-forever behaviour.
+func disableGiveUp(l *lab.Lab) {
+	for _, h := range l.Hosts {
+		h.TCP.DisableGiveUp = true
+	}
+}
+
+// assertWatchdogDiag checks the error is the watchdog abort with the
+// full diagnostic: the stall headline, the pending-event histogram, and
+// at least one stuck connection with its retransmission backoff.
+func assertWatchdogDiag(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("run completed; want the watchdog to abort the livelock")
+	}
+	for _, want := range []string{
+		"watchdog", "no workload progress", "pending events", "rexmt-shift",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("watchdog diagnostic missing %q:\n%v", want, err)
+		}
+	}
+}
+
+// orphanedTeardownCfg is the PR 9 orphaned-teardown livelock
+// configuration, verbatim from the loaded-study regression test
+// (core/loaded_test.go): RED on the switch ports, Gilbert–Elliott burst
+// loss on the links, cross traffic beside the measured fan-in, seed 0.
+// Burst loss plus RED kills whole teardown exchanges; before transport
+// give-up the orphaned closer retransmitted its FIN forever.
+func orphanedTeardownCfg() lab.Config {
+	return lab.Config{
+		Link: lab.LinkATM, Seed: 0, PacketTrace: true,
+		Qdisc:     lab.QdiscConfig{Kind: lab.QdiscRED},
+		BurstLoss: sim.GEParams{PGoodBad: 0.002, PBadGood: 0.2, LossBad: 0.5},
+	}
+}
+
+// TestWatchdogCatchesOrphanedTeardownLivelock reverts transport give-up
+// and runs the orphaned-teardown config: the watchdog must abort with a
+// diagnostic rather than hang. The measured requests all complete — the
+// livelock is pure post-completion teardown — so only the watchdog
+// stands between this configuration and an infinite run.
+func TestWatchdogCatchesOrphanedTeardownLivelock(t *testing.T) {
+	l := lab.NewTopology(orphanedTeardownCfg(), 5)
+	disableGiveUp(l)
+	g := FanIn{Requests: 2, Warmup: 1, Cross: &CrossTraffic{Flows: 2}}
+	_, err := g.Run(l)
+	assertWatchdogDiag(t, err)
+}
+
+// TestGiveUpDrainsOrphanedTeardown is the control: the identical
+// configuration with give-up in place (the fix) drains the orphaned
+// teardown within the transport's bounded backoff, well inside the
+// default watchdog horizon — the run completes and the watchdog stays
+// quiet.
+func TestGiveUpDrainsOrphanedTeardown(t *testing.T) {
+	l := lab.NewTopology(orphanedTeardownCfg(), 5)
+	g := FanIn{Requests: 2, Warmup: 1, Cross: &CrossTraffic{Flows: 2}}
+	r, err := g.Run(l)
+	if err != nil {
+		t.Fatalf("give-up should bound the teardown drain: %v", err)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0", r.Errors)
+	}
+}
+
+// TestWatchdogCatchesSubMSSBulkCollapse reverts both PR 9 fixes —
+// sbcompress (kern.NoSbCompress) and transport give-up — and runs the
+// sub-MSS bulk shape scaled to the cliff: sixteen clients streaming
+// one-byte writes. Without sbcompress every write stays its own mbuf
+// and each (re)transmission pays mcopy's per-mbuf charge, overloading
+// the server into the synchronized-RTO storm whose close phase then
+// wedges without give-up: the historical hang. The watchdog converts it
+// into a failing run naming the connections still spinning in teardown.
+// (The same shape at bulk_submss_test.go's sizes, with the fixes in
+// place, completes in seconds of simulated time.)
+func TestWatchdogCatchesSubMSSBulkCollapse(t *testing.T) {
+	cfg := lab.Config{Link: lab.LinkATM, Seed: 1, PacketTrace: true}
+	l := lab.NewTopology(cfg, 17)
+	disableGiveUp(l)
+	for _, h := range l.Hosts {
+		h.Kern.NoSbCompress = true
+	}
+	g := Bulk{Bytes: 16384, Chunk: 1}
+	_, err := g.Run(l)
+	assertWatchdogDiag(t, err)
+}

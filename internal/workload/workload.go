@@ -57,6 +57,11 @@ type Result struct {
 	// paper's instrumentation window); for the other generators it
 	// covers the whole run including connection setup.
 	Events []trace.HostEvent
+	// Recoveries holds one sample per client-visible outage the fault
+	// workload survived: the virtual time from a client first detecting
+	// its server gone to its first completed request afterwards. Nil for
+	// every other generator. Order is deterministic: client-major.
+	Recoveries []sim.Time
 
 	// agg is the streaming aggregate when the generator ran with
 	// stats.Config.Streaming; nil in exact mode.
@@ -146,6 +151,29 @@ func startTrace(l *lab.Lab) {
 	}
 }
 
+// armWatchdog arms the lab's no-progress watchdog for a generator run —
+// unless the caller armed one already (a test choosing a short horizon).
+// Every multi-client generator arms it by default: a run that stops
+// completing operations aborts with a diagnostic naming the stuck
+// connections instead of spinning its event loop forever. A disarmed
+// healthy run and an armed one produce identical results — the watchdog
+// schedules no events and draws no randomness.
+func armWatchdog(l *lab.Lab) *sim.Watchdog {
+	if w := l.Watchdog(); w != nil {
+		return w
+	}
+	return l.ArmWatchdog(0)
+}
+
+// armClusterWatchdog is armWatchdog for the sharded path: one shared
+// watchdog spanning every shard's event loop.
+func armClusterWatchdog(c *lab.Cluster) *sim.Watchdog {
+	if w := c.Lab.Watchdog(); w != nil {
+		return w
+	}
+	return c.ArmWatchdog(0)
+}
+
 // latSink collects per-operation latencies for the multi-client
 // generators. In exact mode (the zero stats.Config) it retains every
 // latency per client, exactly as the generators always have, and emits
@@ -164,6 +192,10 @@ type latSink struct {
 	// afterwards, since shards complete operations concurrently.
 	times [][]sim.Time
 	agg   *stats.Sample
+	// wd, when armed, receives a progress report per recorded operation,
+	// so the no-progress watchdog distinguishes a run that is merely slow
+	// from one that has stopped completing work.
+	wd *sim.Watchdog
 }
 
 // newLatSink sizes a sink for the client count per the stats config.
@@ -191,6 +223,9 @@ func newShardSink(retainTimes bool) *latSink {
 
 // record folds in one measured operation for client ci completing at at.
 func (s *latSink) record(ci int, lat, at sim.Time) {
+	if s.wd != nil {
+		s.wd.Progress()
+	}
 	s.counts[ci]++
 	if s.agg != nil {
 		s.agg.Add(lat.Micros())
@@ -252,6 +287,11 @@ type FanIn struct {
 	// default) or "rudp", the reliable-UDP rival stack (internal/rudp).
 	// Cross traffic always rides TCP either way.
 	Transport string
+	// Faults schedules deterministic fault events against the topology
+	// before traffic starts (see sim.FaultSchedule): link flaps stall
+	// clients behind retransmission backoff without failing them. The
+	// sharded path accepts only the shard-safe kinds (link flips).
+	Faults sim.FaultSchedule
 }
 
 // Name implements Generator.
@@ -272,6 +312,12 @@ func (g FanIn) Run(l *lab.Lab) (*Result, error) {
 		}
 	}
 
+	if len(g.Faults) > 0 {
+		if err := l.ScheduleFaults(g.Faults); err != nil {
+			return nil, err
+		}
+	}
+	wd := armWatchdog(l)
 	startTrace(l)
 	if g.Transport == TransportRUDP {
 		e, err := rudp.Listen(l.Hosts[0].Kern, l.Hosts[0].UDP, Port)
@@ -302,6 +348,7 @@ func (g FanIn) Run(l *lab.Lab) (*Result, error) {
 	}
 
 	sink := newLatSink(clients, g.Stats)
+	sink.wd = wd
 	var last sim.Time
 	for ci := 0; ci < clients; ci++ {
 		host := l.Hosts[ci+1]
@@ -323,6 +370,9 @@ func (g FanIn) Run(l *lab.Lab) (*Result, error) {
 	l.Env.Run()
 	if runErr != nil {
 		return nil, runErr
+	}
+	if err := wd.Err(); err != nil {
+		return nil, err
 	}
 	if err := sink.finish(r, reqs, "requests"); err != nil {
 		return nil, err
@@ -361,6 +411,7 @@ func (g Churn) Run(l *lab.Lab) (*Result, error) {
 		}
 	}
 
+	wd := armWatchdog(l)
 	startTrace(l)
 	ln, err := l.Hosts[0].TCP.Listen(Port)
 	if err != nil {
@@ -377,6 +428,7 @@ func (g Churn) Run(l *lab.Lab) (*Result, error) {
 	})
 
 	sink := newLatSink(clients, g.Stats)
+	sink.wd = wd
 	var last sim.Time
 	for ci := 0; ci < clients; ci++ {
 		host := l.Hosts[ci+1]
@@ -389,6 +441,9 @@ func (g Churn) Run(l *lab.Lab) (*Result, error) {
 	l.Env.Run()
 	if runErr != nil {
 		return nil, runErr
+	}
+	if err := wd.Err(); err != nil {
+		return nil, err
 	}
 	if err := sink.finish(r, conns, "cycles"); err != nil {
 		return nil, err
@@ -427,6 +482,7 @@ func (g Bulk) Run(l *lab.Lab) (*Result, error) {
 	dones := make([]sim.Time, clients)
 	received := make([]int, clients)
 
+	wd := armWatchdog(l)
 	startTrace(l)
 	ln, err := l.Hosts[0].TCP.Listen(Port)
 	if err != nil {
@@ -446,7 +502,7 @@ func (g Bulk) Run(l *lab.Lab) (*Result, error) {
 			}
 			l.Env.Spawn(fmt.Sprintf("server.bulk.conn%d", i),
 				&bulkConnFrame{so: op.So, i: i, dones: dones,
-					received: received, fail: fail})
+					received: received, fail: fail, wd: wd})
 			return true
 		},
 	})
@@ -462,6 +518,9 @@ func (g Bulk) Run(l *lab.Lab) (*Result, error) {
 	l.Env.Run()
 	if runErr != nil {
 		return nil, runErr
+	}
+	if err := wd.Err(); err != nil {
+		return nil, err
 	}
 	var last sim.Time
 	for ci := 0; ci < clients; ci++ {
@@ -483,7 +542,8 @@ func (g Bulk) Run(l *lab.Lab) (*Result, error) {
 // acceptLoopFrame accepts n connections, invoking the accepted callback
 // (which typically spawns a per-connection server process) for each.
 // The callback returns false to abandon the loop after recording an
-// error.
+// error. A failed accept — the listener died under it when its host
+// crashed — ends the loop; a restart supervisor spawns the successor.
 type acceptLoopFrame struct {
 	ln       *tcp.Listener
 	n        int
@@ -509,6 +569,10 @@ func (f *acceptLoopFrame) Step(p *sim.Proc) {
 		case 1: // hand it to the callback
 			op := f.op
 			f.op = nil
+			if op.Err != nil {
+				p.Return()
+				return
+			}
 			if !f.accepted(f.i, op) {
 				p.Return()
 				return
@@ -802,6 +866,7 @@ type bulkConnFrame struct {
 	dones    []sim.Time
 	received []int
 	fail     func(error)
+	wd       *sim.Watchdog
 
 	pc   int
 	buf  []byte
@@ -833,6 +898,9 @@ func (f *bulkConnFrame) Step(p *sim.Proc) {
 				return
 			}
 			f.received[f.i] += f.recv.N
+			if f.wd != nil {
+				f.wd.Progress()
+			}
 			f.recv = nil
 			f.pc = 0
 		case 2: // closed; done
